@@ -1,0 +1,106 @@
+//! Criterion benches of the Nitro framework itself: feature evaluation,
+//! model prediction and dispatch — the runtime overheads §III-C's
+//! optimizations exist to hide.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nitro_core::{ClassifierConfig, CodeVariant, Context, FnFeature, FnVariant};
+use nitro_ml::{Dataset, TrainedModel, TreeParams};
+use std::hint::black_box;
+
+/// A synthetic tuned function over vectors with several features of
+/// varying cost.
+fn make_cv(parallel: bool) -> CodeVariant<Vec<f64>> {
+    let ctx = Context::new();
+    let mut cv = CodeVariant::new("bench", &ctx);
+    cv.add_variant(FnVariant::new("a", |v: &Vec<f64>| v.len() as f64));
+    cv.add_variant(FnVariant::new("b", |v: &Vec<f64>| v.len() as f64 * 0.5));
+    cv.set_default(0);
+    cv.add_input_feature(FnFeature::new("len", |v: &Vec<f64>| v.len() as f64));
+    cv.add_input_feature(FnFeature::new("sum", |v: &Vec<f64>| v.iter().sum()));
+    cv.add_input_feature(FnFeature::new("mean_abs", |v: &Vec<f64>| {
+        v.iter().map(|x| x.abs()).sum::<f64>() / v.len().max(1) as f64
+    }));
+    cv.add_input_feature(FnFeature::new("sd", |v: &Vec<f64>| {
+        let m = v.iter().sum::<f64>() / v.len().max(1) as f64;
+        (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len().max(1) as f64).sqrt()
+    }));
+    cv.policy_mut().parallel_feature_evaluation = parallel;
+    cv
+}
+
+fn training_data() -> Dataset {
+    let x: Vec<Vec<f64>> = (0..60)
+        .map(|i| vec![i as f64, (i * 3 % 17) as f64, (i * 7 % 11) as f64, (i % 5) as f64])
+        .collect();
+    let y: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
+    Dataset::from_parts(x, y)
+}
+
+fn bench_feature_evaluation(c: &mut Criterion) {
+    let input: Vec<f64> = (0..65_536).map(|i| (i as f64).sin()).collect();
+    let serial = make_cv(false);
+    let parallel = make_cv(true);
+    let mut g = c.benchmark_group("feature_evaluation");
+    g.bench_function("serial_4_features_64k", |b| {
+        b.iter(|| serial.evaluate_features(black_box(&input)))
+    });
+    g.bench_function("parallel_4_features_64k", |b| {
+        b.iter(|| parallel.evaluate_features(black_box(&input)))
+    });
+    g.finish();
+}
+
+fn bench_model_prediction(c: &mut Criterion) {
+    let data = training_data();
+    let svm = TrainedModel::train(
+        &ClassifierConfig::Svm { c: Some(4.0), gamma: Some(0.5), grid_search: false },
+        &data,
+    );
+    let knn = TrainedModel::train(&ClassifierConfig::Knn { k: 3 }, &data);
+    let tree = TrainedModel::train(&ClassifierConfig::Tree(TreeParams::default()), &data);
+    let point = vec![31.0, 8.0, 3.0, 1.0];
+
+    let mut g = c.benchmark_group("model_prediction");
+    g.bench_function("svm_predict", |b| b.iter(|| svm.predict(black_box(&point))));
+    g.bench_function("svm_probabilities", |b| b.iter(|| svm.probabilities(black_box(&point))));
+    g.bench_function("knn_predict", |b| b.iter(|| knn.predict(black_box(&point))));
+    g.bench_function("tree_predict", |b| b.iter(|| tree.predict(black_box(&point))));
+    g.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut cv = make_cv(false);
+    let data = training_data();
+    cv.install_model(TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &data));
+    let input: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+    c.bench_function("dispatch_full_call", |b| {
+        b.iter(|| cv.call(black_box(&input)).unwrap().variant)
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = training_data();
+    let mut g = c.benchmark_group("training");
+    g.sample_size(20);
+    g.bench_function("svm_fixed_params_60x4", |b| {
+        b.iter(|| {
+            TrainedModel::train(
+                &ClassifierConfig::Svm { c: Some(4.0), gamma: Some(0.5), grid_search: false },
+                black_box(&data),
+            )
+        })
+    });
+    g.bench_function("tree_60x4", |b| {
+        b.iter(|| TrainedModel::train(&ClassifierConfig::Tree(TreeParams::default()), black_box(&data)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feature_evaluation,
+    bench_model_prediction,
+    bench_dispatch,
+    bench_training
+);
+criterion_main!(benches);

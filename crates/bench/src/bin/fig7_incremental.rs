@@ -1,0 +1,128 @@
+//! Figure 7: incremental tuning — performance (relative to exhaustive
+//! search) as a function of Best-vs-Second-Best active-learning
+//! iterations, compared against training on the full training set.
+//!
+//! Paper: the number of iterations required to reach within 90% of the
+//! performance achieved without incremental tuning is roughly 25
+//! iterations. To match it, incremental tuning takes no more than 50.
+
+use nitro_bench::{cached_table, device, pct, incremental_curve, SuiteSpec};
+use nitro_core::Context;
+use nitro_tuner::{evaluate_model, Autotuner, ProfileTable};
+
+const MAX_ITERS: usize = 50;
+
+fn main() {
+    let spec = SuiteSpec::from_env();
+    let cfg = device();
+    println!("== Figure 7: incremental tuning (BvSB active learning) ==");
+    if spec.small {
+        println!("(NITRO_SCALE=small — miniature collections)");
+    }
+    let scale = if spec.small { "small" } else { "full" };
+    let max_iters = if spec.small { 10 } else { MAX_ITERS };
+
+    // Each block: build the code variant + inputs, profile, run the sweep.
+    {
+        let ctx = Context::new();
+        let mut cv = nitro_sparse::spmv::build_code_variant(&ctx, &cfg);
+        let (train, test) = if spec.small {
+            nitro_sparse::collection::spmv_small_sets(spec.seed)
+        } else {
+            (
+                nitro_sparse::collection::spmv_training_set(spec.seed),
+                nitro_sparse::collection::spmv_test_set(spec.seed),
+            )
+        };
+        let test_table = cached_table(&format!("spmv-{scale}-test"), &cv, &test, spec.cache);
+        report("spmv", &mut cv, &train, &test_table, max_iters);
+    }
+    {
+        let ctx = Context::new();
+        let mut cv = nitro_solvers::variants::build_code_variant(&ctx, &cfg);
+        let (train, test) = if spec.small {
+            nitro_solvers::collection::solver_small_sets(spec.seed)
+        } else {
+            (
+                nitro_solvers::collection::solver_training_set(spec.seed),
+                nitro_solvers::collection::solver_test_set(spec.seed),
+            )
+        };
+        let test_table = cached_table(&format!("solvers-{scale}-test"), &cv, &test, spec.cache);
+        report("solvers", &mut cv, &train, &test_table, max_iters);
+    }
+    {
+        let ctx = Context::new();
+        let mut cv = nitro_graph::bfs::build_code_variant(&ctx, &cfg);
+        let (train, test) = nitro_bench::bfs_sets(spec);
+        let test_table = cached_table(&format!("bfs-{scale}-test"), &cv, &test, spec.cache);
+        report("bfs", &mut cv, &train, &test_table, max_iters);
+    }
+    {
+        let ctx = Context::new();
+        let mut cv = nitro_histogram::variants::build_code_variant(&ctx, &cfg);
+        let (train, test) = if spec.small {
+            nitro_histogram::data::hist_small_sets(spec.seed)
+        } else {
+            (
+                nitro_histogram::data::hist_training_set(spec.seed),
+                nitro_histogram::data::hist_test_set(spec.seed),
+            )
+        };
+        let test_table = cached_table(&format!("histogram-{scale}-test"), &cv, &test, spec.cache);
+        report("histogram", &mut cv, &train, &test_table, max_iters);
+    }
+    {
+        let ctx = Context::new();
+        let mut cv = nitro_sort::variants::build_code_variant(&ctx, &cfg);
+        let (train, test) = if spec.small {
+            nitro_sort::keys::sort_small_sets(spec.seed)
+        } else {
+            (
+                nitro_sort::keys::sort_training_set(spec.seed),
+                nitro_sort::keys::sort_test_set(spec.seed),
+            )
+        };
+        let test_table = cached_table(&format!("sort-{scale}-test"), &cv, &test, spec.cache);
+        report("sort", &mut cv, &train, &test_table, max_iters);
+    }
+}
+
+fn report<I: Send + Sync>(
+    name: &str,
+    cv: &mut nitro_core::CodeVariant<I>,
+    train: &[I],
+    test_table: &ProfileTable,
+    max_iters: usize,
+) {
+    // Baseline: full-training-set performance.
+    cv.policy_mut().incremental = None;
+    let train_table = ProfileTable::build(cv, train);
+    Autotuner::new().tune_from_table(cv, &train_table).expect("full tuning");
+    let full_model = cv.export_artifact().unwrap().model;
+    let full = evaluate_model(test_table, &full_model, cv.default_variant()).mean_relative_perf;
+
+    let curve = incremental_curve(cv, train, test_table, max_iters);
+
+    println!("\n--- {name} (full-training performance: {}) ---", pct(full));
+    println!("  iter  perf      % of full-training");
+    let mut reached_90 = None;
+    let mut reached_100 = None;
+    for &(i, perf) in &curve {
+        let frac = if full > 0.0 { perf / full } else { 0.0 };
+        if reached_90.is_none() && frac >= 0.90 {
+            reached_90 = Some(i);
+        }
+        if reached_100.is_none() && frac >= 0.999 {
+            reached_100 = Some(i);
+        }
+        // Print a decimated curve: every iteration up to 10, then every 5.
+        if i <= 10 || i % 5 == 0 || i + 1 == curve.len() {
+            println!("  {:>4}  {}  {:>6.1}%", i, pct(perf), frac * 100.0);
+        }
+    }
+    println!(
+        "  reached 90% of full-training at iteration {:?}; matched it at {:?} (paper: ~25 and <=50)",
+        reached_90, reached_100
+    );
+}

@@ -1,0 +1,432 @@
+//! Shared experiment-harness machinery: suite construction, profile
+//! caching and evaluation plumbing used by every figure binary.
+
+use std::path::PathBuf;
+
+use nitro_core::{CodeVariant, Context, StoppingCriterion, TrainedModel};
+use nitro_simt::DeviceConfig;
+use nitro_tuner::{evaluate_fixed_variant, evaluate_model, Autotuner, EvalSummary, ProfileTable, TuneReport};
+
+/// Seed every collection in the harness derives from — change it and all
+/// generated "UFL matrices", graphs and key sequences change together.
+pub const COLLECTION_SEED: u64 = 0x0417_2014;
+
+/// Harness configuration, read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteSpec {
+    /// Use miniature collections (CI-sized) instead of paper-sized ones.
+    pub small: bool,
+    /// Collection seed.
+    pub seed: u64,
+    /// Cache profile tables under `target/nitro-cache`.
+    pub cache: bool,
+}
+
+impl SuiteSpec {
+    /// Read `NITRO_SCALE` (`small` | `full`, default `full`) and
+    /// `NITRO_NO_CACHE`.
+    pub fn from_env() -> Self {
+        let small = std::env::var("NITRO_SCALE").map(|v| v == "small").unwrap_or(false);
+        let cache = std::env::var("NITRO_NO_CACHE").is_err();
+        Self { small, seed: COLLECTION_SEED, cache }
+    }
+
+    /// Miniature configuration for tests.
+    pub fn small() -> Self {
+        Self { small: true, seed: COLLECTION_SEED, cache: false }
+    }
+}
+
+/// Everything the figure binaries need from one tuned benchmark.
+pub struct SuiteOutcome {
+    /// Benchmark name ("spmv", "solvers", "bfs", "histogram", "sort").
+    pub name: String,
+    /// Variant names in label order.
+    pub variant_names: Vec<String>,
+    /// "Always run variant v" evaluation, per variant (Figure 5 bars).
+    pub fixed: Vec<EvalSummary>,
+    /// The Nitro-tuned selector's evaluation (Figures 5–6).
+    pub nitro: EvalSummary,
+    /// Tuning metadata.
+    pub tune: TuneReport,
+    /// The profiled test set (reused by follow-up analyses).
+    pub test_table: ProfileTable,
+    /// The trained model.
+    pub model: TrainedModel,
+    /// Default variant index (constraint fallback target).
+    pub default_variant: Option<usize>,
+    /// Training-set profile table (full feature set), for retraining
+    /// studies.
+    pub train_table: ProfileTable,
+}
+
+/// Directory used for cached profile tables.
+pub fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/nitro-cache");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Build (or load from cache) a profile table for `inputs`.
+pub fn cached_table<I: Send + Sync>(
+    tag: &str,
+    cv: &CodeVariant<I>,
+    inputs: &[I],
+    cache: bool,
+) -> ProfileTable {
+    let path = cache_dir().join(format!("{tag}.table.json"));
+    if cache {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(table) = ProfileTable::from_json(&text) {
+                if table.len() == inputs.len() && table.variant_names == cv.variant_names() {
+                    return table;
+                }
+            }
+        }
+    }
+    let table = ProfileTable::build(cv, inputs);
+    if cache {
+        if let Ok(json) = table.to_json() {
+            std::fs::write(&path, json).ok();
+        }
+    }
+    table
+}
+
+/// Generic suite driver: profile train + test, tune on the training
+/// profile, evaluate the model and every fixed variant on the test set.
+pub fn run_suite<I: Send + Sync>(
+    name: &str,
+    cv: &mut CodeVariant<I>,
+    train: &[I],
+    test: &[I],
+    spec: SuiteSpec,
+) -> SuiteOutcome {
+    let scale = if spec.small { "small" } else { "full" };
+    let train_table = cached_table(&format!("{name}-{scale}-train"), cv, train, spec.cache);
+    let test_table = cached_table(&format!("{name}-{scale}-test"), cv, test, spec.cache);
+
+    let tune = Autotuner::new().tune_from_table(cv, &train_table).expect("tuning succeeds");
+    let model = cv.export_artifact().expect("model installed").model;
+    let nitro = evaluate_model(&test_table, &model, cv.default_variant());
+    let fixed = (0..cv.n_variants()).map(|v| evaluate_fixed_variant(&test_table, v)).collect();
+
+    SuiteOutcome {
+        name: name.to_string(),
+        variant_names: cv.variant_names(),
+        fixed,
+        nitro,
+        tune,
+        test_table,
+        model,
+        default_variant: cv.default_variant(),
+        train_table,
+    }
+}
+
+/// The simulated device all harnesses use (the paper's Tesla C2050).
+pub fn device() -> DeviceConfig {
+    DeviceConfig::fermi_c2050()
+}
+
+// ---------------------------------------------------------------------
+// Per-benchmark suite constructors
+// ---------------------------------------------------------------------
+
+/// SpMV suite (paper benchmark 1).
+pub fn run_spmv(spec: SuiteSpec) -> SuiteOutcome {
+    run_spmv_on(spec, &device())
+}
+
+/// SpMV suite on an explicit device (used by the device ablation).
+pub fn run_spmv_on(spec: SuiteSpec, cfg: &DeviceConfig) -> SuiteOutcome {
+    let ctx = Context::new();
+    let mut cv = nitro_sparse::spmv::build_code_variant(&ctx, cfg);
+    let (train, test) = if spec.small {
+        nitro_sparse::collection::spmv_small_sets(spec.seed)
+    } else {
+        (
+            nitro_sparse::collection::spmv_training_set(spec.seed),
+            nitro_sparse::collection::spmv_test_set(spec.seed),
+        )
+    };
+    let tag = if cfg.name.contains("Fermi") { "spmv" } else { "spmv-alt" };
+    run_suite(tag, &mut cv, &train, &test, spec)
+}
+
+/// Solvers suite (paper benchmark 2).
+pub fn run_solvers(spec: SuiteSpec) -> SuiteOutcome {
+    let ctx = Context::new();
+    let mut cv = nitro_solvers::variants::build_code_variant(&ctx, &device());
+    let (train, test) = if spec.small {
+        nitro_solvers::collection::solver_small_sets(spec.seed)
+    } else {
+        (
+            nitro_solvers::collection::solver_training_set(spec.seed),
+            nitro_solvers::collection::solver_test_set(spec.seed),
+        )
+    };
+    run_suite("solvers", &mut cv, &train, &test, spec)
+}
+
+/// BFS suite (paper benchmark 3).
+pub fn run_bfs(spec: SuiteSpec) -> SuiteOutcome {
+    let ctx = Context::new();
+    let mut cv = nitro_graph::bfs::build_code_variant(&ctx, &device());
+    let (train, test) = bfs_sets(spec);
+    run_suite("bfs", &mut cv, &train, &test, spec)
+}
+
+/// The BFS train/test inputs (exposed for the Hybrid comparison, which
+/// needs the raw graphs as well as the profile table).
+pub fn bfs_sets(spec: SuiteSpec) -> (Vec<nitro_graph::BfsInput>, Vec<nitro_graph::BfsInput>) {
+    if spec.small {
+        nitro_graph::collection::bfs_small_sets(spec.seed)
+    } else {
+        (
+            nitro_graph::collection::bfs_training_set(spec.seed),
+            nitro_graph::collection::bfs_test_set(spec.seed),
+        )
+    }
+}
+
+/// Histogram suite (paper benchmark 4).
+pub fn run_histogram(spec: SuiteSpec) -> SuiteOutcome {
+    let ctx = Context::new();
+    let mut cv = nitro_histogram::variants::build_code_variant(&ctx, &device());
+    let (train, test) = if spec.small {
+        nitro_histogram::data::hist_small_sets(spec.seed)
+    } else {
+        (
+            nitro_histogram::data::hist_training_set(spec.seed),
+            nitro_histogram::data::hist_test_set(spec.seed),
+        )
+    };
+    run_suite("histogram", &mut cv, &train, &test, spec)
+}
+
+/// Sort suite (paper benchmark 5).
+pub fn run_sort(spec: SuiteSpec) -> SuiteOutcome {
+    let ctx = Context::new();
+    let mut cv = nitro_sort::variants::build_code_variant(&ctx, &device());
+    let (train, test) = if spec.small {
+        nitro_sort::keys::sort_small_sets(spec.seed)
+    } else {
+        (
+            nitro_sort::keys::sort_training_set(spec.seed),
+            nitro_sort::keys::sort_test_set(spec.seed),
+        )
+    };
+    run_suite("sort", &mut cv, &train, &test, spec)
+}
+
+/// All five suites, in the paper's order.
+pub fn run_all(spec: SuiteSpec) -> Vec<SuiteOutcome> {
+    vec![
+        run_spmv(spec),
+        run_solvers(spec),
+        run_bfs(spec),
+        run_histogram(spec),
+        run_sort(spec),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Incremental-tuning and feature-subset analyses
+// ---------------------------------------------------------------------
+
+/// Performance-vs-iterations curve (Figure 7): run incremental tuning for
+/// `max_iterations` BvSB queries and evaluate every intermediate model on
+/// the test table. Returns `(iteration, % of exhaustive best)` pairs,
+/// where iteration 0 is the seed-only model.
+pub fn incremental_curve<I: Send + Sync>(
+    cv: &mut CodeVariant<I>,
+    train: &[I],
+    test_table: &ProfileTable,
+    max_iterations: usize,
+) -> Vec<(usize, f64)> {
+    cv.policy_mut().incremental = Some(StoppingCriterion::Iterations(max_iterations));
+    let report = Autotuner::new()
+        .tune_with_test(cv, train, test_table)
+        .expect("incremental tuning succeeds");
+    report
+        .model_history
+        .iter()
+        .enumerate()
+        .map(|(i, model)| {
+            let summary = evaluate_model(test_table, model, cv.default_variant());
+            (i, summary.mean_relative_perf)
+        })
+        .collect()
+}
+
+/// One row of the Figure-8 study: the features used, the achieved
+/// performance and the feature-evaluation overhead relative to the mean
+/// best-variant time.
+#[derive(Debug, Clone)]
+pub struct FeatureSubsetRow {
+    /// How many (cheapest-first) features were used.
+    pub k: usize,
+    /// Names of the features in the subset.
+    pub features: Vec<String>,
+    /// Mean relative performance on the test set.
+    pub perf: f64,
+    /// Mean feature-evaluation cost as a fraction of the mean
+    /// best-variant execution time.
+    pub overhead_frac: f64,
+}
+
+/// The Figure-8 sweep: order features by measured evaluation cost, then
+/// retrain on the cheapest `k` for every `k`, reusing the existing
+/// profile tables (costs don't change, only feature columns do).
+pub fn feature_subset_sweep<I: Send + Sync>(
+    cv: &CodeVariant<I>,
+    sample_inputs: &[I],
+    train_table: &ProfileTable,
+    test_table: &ProfileTable,
+) -> Vec<FeatureSubsetRow> {
+    let n_features = cv.n_features();
+    // Average per-feature cost over a sample of inputs.
+    let mut avg_cost = vec![0.0f64; n_features];
+    let sample: Vec<&I> = sample_inputs.iter().take(40).collect();
+    for input in &sample {
+        for (j, c) in cv.feature_costs(input).into_iter().enumerate() {
+            avg_cost[j] += c;
+        }
+    }
+    for c in avg_cost.iter_mut() {
+        *c /= sample.len().max(1) as f64;
+    }
+    let mut order: Vec<usize> = (0..n_features).collect();
+    order.sort_by(|&a, &b| avg_cost[a].partial_cmp(&avg_cost[b]).unwrap());
+
+    // Mean best-variant time on the test set, as the overhead denominator.
+    let mean_best: f64 = {
+        let bests: Vec<f64> = (0..test_table.len())
+            .filter_map(|i| test_table.best_cost(i))
+            .map(|c| c.abs())
+            .collect();
+        bests.iter().sum::<f64>() / bests.len().max(1) as f64
+    };
+
+    let classifier = cv.policy().classifier.clone();
+    (1..=n_features)
+        .map(|k| {
+            let subset: Vec<usize> = order[..k].to_vec();
+            let train_sub = train_table.with_feature_subset(&subset);
+            let test_sub = test_table.with_feature_subset(&subset);
+            let model = TrainedModel::train(&classifier, &train_sub.dataset());
+            let summary = evaluate_model(&test_sub, &model, cv.default_variant());
+            let cost: f64 = subset.iter().map(|&j| avg_cost[j]).sum();
+            FeatureSubsetRow {
+                k,
+                features: subset.iter().map(|&j| cv.feature_names()[j].clone()).collect(),
+                perf: summary.mean_relative_perf,
+                overhead_frac: if mean_best > 0.0 { cost / mean_best } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Solver convergence analysis (§V-A)
+// ---------------------------------------------------------------------
+
+/// Convergence statistics for the Solvers benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceStats {
+    /// Test systems no variant solved (paper: 6).
+    pub unsolvable: usize,
+    /// Solvable systems where at least one variant failed (paper: 35).
+    pub partially_failing: usize,
+    /// Of those, how many times Nitro picked a converging variant
+    /// (paper: 33 of 35).
+    pub nitro_picked_converging: usize,
+}
+
+/// Compute the paper's convergence-selection statistics from a solver
+/// test table and a trained model.
+pub fn convergence_stats(
+    table: &ProfileTable,
+    model: &TrainedModel,
+    default_variant: Option<usize>,
+) -> ConvergenceStats {
+    let mut unsolvable = 0;
+    let mut partially_failing = 0;
+    let mut picked_converging = 0;
+    let worst = table.objective.worst();
+    for i in 0..table.len() {
+        let failing = table.costs[i].iter().filter(|&&c| c == worst).count();
+        if failing == table.n_variants() {
+            unsolvable += 1;
+            continue;
+        }
+        if failing > 0 {
+            partially_failing += 1;
+            let mut chosen = model.predict(&table.features[i]).min(table.n_variants() - 1);
+            if !table.allowed[i][chosen] {
+                chosen = default_variant.unwrap_or(0);
+            }
+            if table.costs[i][chosen] != worst {
+                picked_converging += 1;
+            }
+        }
+    }
+    ConvergenceStats {
+        unsolvable,
+        partially_failing,
+        nitro_picked_converging: picked_converging,
+    }
+}
+
+/// Pretty percent formatting used across binaries.
+pub fn pct(x: f64) -> String {
+    format!("{:6.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_spmv_suite_runs_end_to_end() {
+        let out = run_spmv(SuiteSpec::small());
+        assert_eq!(out.variant_names.len(), 6);
+        assert!(out.nitro.mean_relative_perf > 0.7, "nitro {:?}", out.nitro);
+        assert_eq!(out.fixed.len(), 6);
+    }
+
+    #[test]
+    fn incremental_curve_is_reasonable() {
+        let ctx = Context::new();
+        let mut cv = nitro_sort::variants::build_code_variant(&ctx, &device());
+        let (train, test) = nitro_sort::keys::sort_small_sets(COLLECTION_SEED);
+        let test_table = ProfileTable::build(&cv, &test);
+        let curve = incremental_curve(&mut cv, &train, &test_table, 8);
+        assert!(curve.len() >= 2);
+        assert!(curve.last().unwrap().1 > 0.6, "{curve:?}");
+    }
+
+    #[test]
+    fn feature_subset_sweep_covers_all_ks() {
+        let ctx = Context::new();
+        let cv = nitro_sort::variants::build_code_variant(&ctx, &device());
+        let (train, test) = nitro_sort::keys::sort_small_sets(COLLECTION_SEED);
+        let train_table = ProfileTable::build(&cv, &train);
+        let test_table = ProfileTable::build(&cv, &test);
+        let rows = feature_subset_sweep(&cv, &test, &train_table, &test_table);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].overhead_frac <= rows[2].overhead_frac);
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.perf)));
+    }
+
+    #[test]
+    fn convergence_stats_count_failures() {
+        let out = run_solvers(SuiteSpec::small());
+        let stats = convergence_stats(&out.test_table, &out.model, out.default_variant);
+        // The small solver sets include weak-diagonal systems where some
+        // variants fail.
+        assert!(stats.partially_failing > 0);
+        assert!(stats.nitro_picked_converging <= stats.partially_failing);
+    }
+}

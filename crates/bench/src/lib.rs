@@ -1,0 +1,29 @@
+//! # nitro-bench — experiment harnesses for every table and figure
+//!
+//! Each binary regenerates one piece of the paper's evaluation:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig4_inventory` | Figure 4 — benchmark/variant/feature inventory |
+//! | `fig5_variants` | Figure 5 — per-variant average % of best + Nitro |
+//! | `fig6_nitro` | Figure 6 — Nitro vs exhaustive search (+ solver convergence stats, §V-A) |
+//! | `fig7_incremental` | Figure 7 — incremental-tuning performance vs iterations |
+//! | `fig8_features` | Figure 8 — feature subsets: performance and evaluation overhead |
+//! | `bfs_hybrid` | §V-A — Nitro-tuned BFS vs the dynamic Hybrid variant |
+//! | `ablation_classifiers` | extension — SVM vs kNN vs decision tree across benchmarks |
+//! | `ablation_devices` | extension — retuning for a different simulated device |
+//!
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run -p nitro-bench --release --bin fig6_nitro
+//! NITRO_SCALE=small cargo run -p nitro-bench --bin fig6_nitro   # quick pass
+//! ```
+//!
+//! The Criterion benches under `benches/` measure framework overheads
+//! (feature evaluation, model prediction, dispatch) and per-kernel
+//! simulator throughput.
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,681 @@
+//! The `code_variant` dispatcher: Nitro's central construct.
+//!
+//! Mirrors the paper's `code_variant<TuningPolicy, ArgTuple>` class
+//! (Table I): variants, features and constraints are registered, a
+//! trained model is installed (by the autotuner or loaded from the
+//! [`Context`]), and calls then select and execute the predicted best
+//! variant — falling back to the default when a constraint vetoes the
+//! prediction.
+
+use std::sync::Arc;
+
+use nitro_ml::TrainedModel;
+use rayon::prelude::*;
+
+use crate::context::Context;
+use crate::error::{NitroError, Result};
+use crate::feature::{Constraint, InputFeature};
+use crate::model::ModelArtifact;
+use crate::policy::TuningPolicy;
+use crate::variant::Variant;
+
+/// Replace non-finite feature values with 0: a NaN or ±∞ leaking out of
+/// a feature function would otherwise poison the scaler and every model
+/// trained on it.
+fn sanitize(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// Outcome of one dispatched call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// Index of the executed variant.
+    pub variant: usize,
+    /// Name of the executed variant.
+    pub variant_name: String,
+    /// Objective value the variant returned (simulated ns by default).
+    pub objective: f64,
+    /// Feature vector used for selection (active subset, in order).
+    pub features: Vec<f64>,
+    /// Simulated feature-evaluation cost on the variant clock.
+    pub feature_cost_ns: f64,
+    /// True when a constraint vetoed the model's choice and the default
+    /// variant ran instead.
+    pub fell_back_to_default: bool,
+}
+
+/// Cumulative dispatch statistics for one `code_variant`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CallStats {
+    /// Total dispatched calls.
+    pub calls: u64,
+    /// Times each variant (by index) was executed.
+    pub selections: Vec<u64>,
+    /// Calls where a constraint forced the default variant.
+    pub fallbacks: u64,
+    /// Accumulated simulated feature-evaluation cost.
+    pub feature_cost_ns: f64,
+    /// Calls served through the asynchronous `fix_inputs` path.
+    pub async_calls: u64,
+}
+
+/// Pending asynchronous feature evaluation (paper §III-C).
+struct Pending<I: ?Sized> {
+    input: Arc<I>,
+    handle: std::thread::JoinHandle<(Vec<f64>, f64)>,
+}
+
+/// A tuned function: set of variants + selection meta-information.
+///
+/// Type parameter `I` is the input (argument tuple) type shared by every
+/// variant, feature and constraint.
+pub struct CodeVariant<I: ?Sized> {
+    name: String,
+    context: Context,
+    variants: Vec<Arc<dyn Variant<I>>>,
+    default_variant: Option<usize>,
+    features: Vec<Arc<dyn InputFeature<I>>>,
+    constraints: Vec<(usize, Arc<dyn Constraint<I>>)>,
+    model: Option<TrainedModel>,
+    policy: TuningPolicy,
+    stats: CallStats,
+    pending: Option<Pending<I>>,
+}
+
+impl<I: ?Sized> CodeVariant<I> {
+    /// Create a named dispatcher attached to a [`Context`].
+    pub fn new(name: impl Into<String>, context: &Context) -> Self {
+        Self {
+            name: name.into(),
+            context: context.clone(),
+            variants: Vec::new(),
+            default_variant: None,
+            features: Vec::new(),
+            constraints: Vec::new(),
+            model: None,
+            policy: TuningPolicy::default(),
+            stats: CallStats::default(),
+            pending: None,
+        }
+    }
+
+    /// This function's name (used as the model registry key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attached context.
+    pub fn context(&self) -> &Context {
+        &self.context
+    }
+
+    /// Register a variant; returns its index (the model's class label).
+    pub fn add_variant(&mut self, v: impl Variant<I> + 'static) -> usize {
+        self.variants.push(Arc::new(v));
+        self.stats.selections.push(0);
+        self.variants.len() - 1
+    }
+
+    /// Register an already-shared variant; returns its index.
+    pub fn add_variant_arc(&mut self, v: Arc<dyn Variant<I>>) -> usize {
+        self.variants.push(v);
+        self.stats.selections.push(0);
+        self.variants.len() - 1
+    }
+
+    /// Register a *family* of variants generated from a parameter grid:
+    /// one variant per value, named `base@value`. Returns their indices.
+    ///
+    /// This folds optimization-parameter tuning into variant selection —
+    /// the integration path the paper sketches for parameter-tuning
+    /// systems (§VI: parameterized templates "generate new variants based
+    /// on the actual values of the parameters"; §VII plans to
+    /// "incorporate into Nitro optimization parameters common to most
+    /// autotuning systems").
+    pub fn add_variant_family<P, F>(&mut self, base: &str, params: Vec<P>, invoke: F) -> Vec<usize>
+    where
+        I: 'static,
+        P: std::fmt::Display + Send + Sync + 'static,
+        F: Fn(&P, &I) -> f64 + Send + Sync + Clone + 'static,
+    {
+        params
+            .into_iter()
+            .map(|p| {
+                let name = format!("{base}@{p}");
+                let f = invoke.clone();
+                self.add_variant(crate::variant::FnVariant::new(name, move |input: &I| {
+                    f(&p, input)
+                }))
+            })
+            .collect()
+    }
+
+    /// Mark the variant used when no model is installed or a constraint
+    /// vetoes the prediction.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn set_default(&mut self, index: usize) {
+        assert!(index < self.variants.len(), "default variant {index} not registered");
+        self.default_variant = Some(index);
+    }
+
+    /// The default variant's index, if set.
+    pub fn default_variant(&self) -> Option<usize> {
+        self.default_variant
+    }
+
+    /// Register an input feature; returns its index.
+    pub fn add_input_feature(&mut self, f: impl InputFeature<I> + 'static) -> usize {
+        self.features.push(Arc::new(f));
+        self.features.len() - 1
+    }
+
+    /// Attach a constraint to one variant.
+    ///
+    /// # Panics
+    /// Panics if `variant` is out of range.
+    pub fn add_constraint(&mut self, variant: usize, c: impl Constraint<I> + 'static) {
+        assert!(variant < self.variants.len(), "constraint on unregistered variant {variant}");
+        self.constraints.push((variant, Arc::new(c)));
+    }
+
+    /// Number of registered variants.
+    pub fn n_variants(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Number of registered features.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Registered variant names, in index order.
+    pub fn variant_names(&self) -> Vec<String> {
+        self.variants.iter().map(|v| v.name().to_string()).collect()
+    }
+
+    /// Registered feature names, in index order (full set, not subset).
+    pub fn feature_names(&self) -> Vec<String> {
+        self.features.iter().map(|f| f.name().to_string()).collect()
+    }
+
+    /// Feature names after applying the policy's feature subset.
+    pub fn active_feature_names(&self) -> Vec<String> {
+        self.policy
+            .active_features(self.features.len())
+            .into_iter()
+            .map(|i| self.features[i].name().to_string())
+            .collect()
+    }
+
+    /// The tuning policy (Table II options).
+    pub fn policy(&self) -> &TuningPolicy {
+        &self.policy
+    }
+
+    /// Mutable access to the tuning policy.
+    pub fn policy_mut(&mut self) -> &mut TuningPolicy {
+        &mut self.policy
+    }
+
+    /// Dispatch statistics so far.
+    pub fn stats(&self) -> &CallStats {
+        &self.stats
+    }
+
+    /// Install a trained model directly (used by the autotuner).
+    pub fn install_model(&mut self, model: TrainedModel) {
+        self.model = Some(model);
+    }
+
+    /// Whether a model is installed.
+    pub fn has_model(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Install a persisted artifact after validating that it was trained
+    /// for this function's exact variant and feature lists.
+    pub fn install_artifact(&mut self, artifact: ModelArtifact) -> Result<()> {
+        artifact.validate(&self.name, &self.variant_names(), &self.feature_names())?;
+        self.policy = artifact.policy.clone();
+        self.model = Some(artifact.model);
+        Ok(())
+    }
+
+    /// Bundle the installed model into a persistable artifact.
+    pub fn export_artifact(&self) -> Result<ModelArtifact> {
+        let model = self.model.clone().ok_or(NitroError::NoSelectionPossible)?;
+        Ok(ModelArtifact {
+            function: self.name.clone(),
+            variant_names: self.variant_names(),
+            feature_names: self.feature_names(),
+            policy: self.policy.clone(),
+            model,
+        })
+    }
+
+    /// Store the installed model in the context (registry + disk).
+    pub fn save_model(&self) -> Result<()> {
+        self.context.store_model(self.export_artifact()?)
+    }
+
+    /// Load and install this function's model from the context.
+    pub fn load_model(&mut self) -> Result<()> {
+        let artifact = self
+            .context
+            .fetch_model(&self.name)
+            .ok_or_else(|| NitroError::ModelMismatch {
+                detail: format!("no stored model for '{}'", self.name),
+            })?;
+        self.install_artifact(artifact)
+    }
+
+    /// Evaluate the active features for an input. Returns the feature
+    /// vector and the total simulated evaluation cost in nanoseconds.
+    pub fn evaluate_features(&self, input: &I) -> (Vec<f64>, f64)
+    where
+        I: Sync,
+    {
+        let active = self.policy.active_features(self.features.len());
+        // Borrow only the feature table: capturing `self` would demand
+        // `I: Send` because of the pending-async slot.
+        let features = &self.features;
+        if self.policy.parallel_feature_evaluation {
+            let pairs: Vec<(f64, f64)> = active
+                .par_iter()
+                .map(|&i| {
+                    let f = &features[i];
+                    (sanitize(f.evaluate(input)), f.cost_ns(input))
+                })
+                .collect();
+            let values = pairs.iter().map(|p| p.0).collect();
+            // Parallel evaluation overlaps the features: the simulated
+            // cost is the longest one, not the sum (paper §III-C).
+            let cost = pairs.iter().map(|p| p.1).fold(0.0, f64::max);
+            (values, cost)
+        } else {
+            let mut values = Vec::with_capacity(active.len());
+            let mut cost = 0.0;
+            for &i in &active {
+                let f = &self.features[i];
+                values.push(sanitize(f.evaluate(input)));
+                cost += f.cost_ns(input);
+            }
+            (values, cost)
+        }
+    }
+
+    /// Per-feature simulated evaluation costs for an input, over the
+    /// *full* registered feature list (ignores the policy's subset). Used
+    /// by the feature-overhead analysis (paper Figure 8) to order
+    /// features from cheap to expensive.
+    pub fn feature_costs(&self, input: &I) -> Vec<f64> {
+        self.features.iter().map(|f| f.cost_ns(input)).collect()
+    }
+
+    /// Whether every constraint attached to `variant` accepts this input.
+    /// Always true when the policy disables constraints.
+    pub fn constraints_satisfied(&self, variant: usize, input: &I) -> bool {
+        if !self.policy.constraints {
+            return true;
+        }
+        self.constraints
+            .iter()
+            .filter(|(v, _)| *v == variant)
+            .all(|(_, c)| c.is_satisfied(input))
+    }
+
+    /// Execute one specific variant directly (the autotuner's exhaustive
+    /// search uses this).
+    ///
+    /// # Panics
+    /// Panics if `variant` is out of range.
+    pub fn run_variant(&self, variant: usize, input: &I) -> f64 {
+        self.variants[variant].invoke(input)
+    }
+
+    /// Model prediction for a feature vector (no constraint handling).
+    pub fn select(&self, features: &[f64]) -> Option<usize> {
+        self.model.as_ref().map(|m| m.predict(features))
+    }
+
+    /// The full dispatch pipeline: evaluate features, consult the model,
+    /// apply constraints, execute, record statistics.
+    pub fn call(&mut self, input: &I) -> Result<Invocation>
+    where
+        I: Sync,
+    {
+        let (features, feature_cost_ns) = self.evaluate_features(input);
+        self.dispatch(input, features, feature_cost_ns, false)
+    }
+
+    /// Shared dispatch tail for `call` and `call_fixed`.
+    fn dispatch(
+        &mut self,
+        input: &I,
+        features: Vec<f64>,
+        feature_cost_ns: f64,
+        via_async: bool,
+    ) -> Result<Invocation> {
+        if self.variants.is_empty() {
+            return Err(NitroError::NoVariants);
+        }
+        let predicted = match (&self.model, self.default_variant) {
+            (Some(m), _) => Some(m.predict(&features)),
+            (None, Some(d)) => Some(d),
+            (None, None) => None,
+        }
+        .ok_or(NitroError::NoSelectionPossible)?;
+
+        // Online constraint handling: revert to the default variant when
+        // the predicted one is vetoed (paper §II-B).
+        let mut fell_back = false;
+        let mut chosen = predicted.min(self.variants.len() - 1);
+        if !self.constraints_satisfied(chosen, input) {
+            fell_back = true;
+            chosen = self.default_variant.unwrap_or(0);
+        }
+
+        let objective = self.variants[chosen].invoke(input);
+
+        self.stats.calls += 1;
+        self.stats.selections[chosen] += 1;
+        self.stats.feature_cost_ns += feature_cost_ns;
+        if fell_back {
+            self.stats.fallbacks += 1;
+        }
+        if via_async {
+            self.stats.async_calls += 1;
+        }
+
+        Ok(Invocation {
+            variant: chosen,
+            variant_name: self.variants[chosen].name().to_string(),
+            objective,
+            features,
+            feature_cost_ns,
+            fell_back_to_default: fell_back,
+        })
+    }
+}
+
+impl<I: ?Sized + Send + Sync + 'static> CodeVariant<I> {
+    /// Begin asynchronous feature evaluation for `input` (paper §III-C:
+    /// "start executing feature functions asynchronously … Calling the
+    /// variant while in asynchronous mode introduces an implicit
+    /// barrier"). Returns immediately; follow with [`CodeVariant::call_fixed`].
+    ///
+    /// When the policy's `async_feature_eval` is disabled, the features
+    /// are evaluated eagerly on this thread instead (same semantics,
+    /// no concurrency).
+    pub fn fix_inputs(&mut self, input: Arc<I>) {
+        let active = self.policy.active_features(self.features.len());
+        let feats: Vec<Arc<dyn InputFeature<I>>> =
+            active.iter().map(|&i| Arc::clone(&self.features[i])).collect();
+        let parallel = self.policy.parallel_feature_evaluation;
+        let work = {
+            let input = Arc::clone(&input);
+            move || -> (Vec<f64>, f64) {
+                if parallel {
+                    let pairs: Vec<(f64, f64)> = feats
+                        .par_iter()
+                        .map(|f| (f.evaluate(&input), f.cost_ns(&input)))
+                        .collect();
+                    let values = pairs.iter().map(|p| p.0).collect();
+                    let cost = pairs.iter().map(|p| p.1).fold(0.0, f64::max);
+                    (values, cost)
+                } else {
+                    let mut values = Vec::with_capacity(feats.len());
+                    let mut cost = 0.0;
+                    for f in &feats {
+                        values.push(f.evaluate(&input));
+                        cost += f.cost_ns(&input);
+                    }
+                    (values, cost)
+                }
+            }
+        };
+        let handle = if self.policy.async_feature_eval {
+            std::thread::spawn(work)
+        } else {
+            // Eager evaluation wrapped in an immediately-finished thread
+            // keeps one code path for call_fixed.
+            let result = work();
+            std::thread::spawn(move || result)
+        };
+        self.pending = Some(Pending { input, handle });
+    }
+
+    /// Join the pending feature evaluation (the implicit barrier) and
+    /// dispatch on the fixed input.
+    pub fn call_fixed(&mut self) -> Result<Invocation> {
+        let Pending { input, handle } = self.pending.take().ok_or(NitroError::NoFixedInput)?;
+        let (features, cost) = handle.join().expect("feature evaluation thread panicked");
+        self.dispatch(&input, features, cost, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{FnConstraint, FnFeature};
+    use crate::variant::FnVariant;
+    use nitro_ml::{ClassifierConfig, Dataset};
+
+    /// A toy tuned function over f64 inputs: variant 0 is "cheap for
+    /// small", variant 1 is "cheap for large".
+    fn toy() -> CodeVariant<f64> {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::new("toy", &ctx);
+        cv.add_variant(FnVariant::new("small", |&x: &f64| 1.0 + x));
+        cv.add_variant(FnVariant::new("large", |&x: &f64| 10.0 - x * 0.5));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        cv
+    }
+
+    fn toy_model() -> TrainedModel {
+        // Learn: x < 5 → variant 0, else variant 1.
+        let data = Dataset::from_parts(
+            (0..10).map(|i| vec![i as f64]).collect(),
+            (0..10).map(|i| usize::from(i >= 5)).collect(),
+        );
+        TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &data)
+    }
+
+    #[test]
+    fn no_variants_is_an_error() {
+        let ctx = Context::new();
+        let mut cv: CodeVariant<f64> = CodeVariant::new("empty", &ctx);
+        assert!(matches!(cv.call(&1.0), Err(NitroError::NoVariants)));
+    }
+
+    #[test]
+    fn without_model_uses_default() {
+        let mut cv = toy();
+        let inv = cv.call(&8.0).unwrap();
+        assert_eq!(inv.variant, 0);
+        assert_eq!(inv.variant_name, "small");
+    }
+
+    #[test]
+    fn without_model_or_default_errors() {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::new("nodefault", &ctx);
+        cv.add_variant(FnVariant::new("only", |&_x: &f64| 1.0));
+        assert!(matches!(cv.call(&1.0), Err(NitroError::NoSelectionPossible)));
+    }
+
+    #[test]
+    fn model_drives_selection() {
+        let mut cv = toy();
+        cv.install_model(toy_model());
+        assert_eq!(cv.call(&1.0).unwrap().variant, 0);
+        assert_eq!(cv.call(&9.0).unwrap().variant, 1);
+    }
+
+    #[test]
+    fn constraint_forces_fallback_to_default() {
+        let mut cv = toy();
+        cv.install_model(toy_model());
+        // Veto the "large" variant everywhere.
+        cv.add_constraint(1, FnConstraint::new("never", |_: &f64| false));
+        let inv = cv.call(&9.0).unwrap();
+        assert!(inv.fell_back_to_default);
+        assert_eq!(inv.variant, 0);
+        assert_eq!(cv.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn disabling_constraints_in_policy_ignores_them() {
+        let mut cv = toy();
+        cv.install_model(toy_model());
+        cv.add_constraint(1, FnConstraint::new("never", |_: &f64| false));
+        cv.policy_mut().constraints = false;
+        let inv = cv.call(&9.0).unwrap();
+        assert!(!inv.fell_back_to_default);
+        assert_eq!(inv.variant, 1);
+    }
+
+    #[test]
+    fn feature_subset_changes_feature_vector() {
+        let mut cv = toy();
+        cv.add_input_feature(FnFeature::new("x_squared", |&x: &f64| x * x));
+        cv.policy_mut().feature_subset = Some(vec![1]);
+        let (features, _) = cv.evaluate_features(&3.0);
+        assert_eq!(features, vec![9.0]);
+        assert_eq!(cv.active_feature_names(), vec!["x_squared".to_string()]);
+    }
+
+    #[test]
+    fn serial_feature_cost_sums_parallel_takes_max() {
+        let mut cv = toy();
+        cv.add_input_feature(FnFeature::with_cost("slow", |&x: &f64| x, |_| 100.0));
+        cv.add_input_feature(FnFeature::with_cost("slower", |&x: &f64| x, |_| 300.0));
+        let (_, serial_cost) = cv.evaluate_features(&1.0);
+        assert_eq!(serial_cost, 400.0);
+        cv.policy_mut().parallel_feature_evaluation = true;
+        let (_, parallel_cost) = cv.evaluate_features(&1.0);
+        assert_eq!(parallel_cost, 300.0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut cv = toy();
+        cv.install_model(toy_model());
+        cv.call(&1.0).unwrap();
+        cv.call(&2.0).unwrap();
+        cv.call(&9.0).unwrap();
+        let s = cv.stats();
+        assert_eq!(s.calls, 3);
+        assert_eq!(s.selections, vec![2, 1]);
+    }
+
+    #[test]
+    fn async_fix_inputs_then_call_fixed() {
+        let mut cv = toy();
+        cv.install_model(toy_model());
+        cv.policy_mut().async_feature_eval = true;
+        cv.fix_inputs(Arc::new(9.0));
+        let inv = cv.call_fixed().unwrap();
+        assert_eq!(inv.variant, 1);
+        assert_eq!(cv.stats().async_calls, 1);
+    }
+
+    #[test]
+    fn call_fixed_without_fix_inputs_errors() {
+        let mut cv = toy();
+        assert!(matches!(cv.call_fixed(), Err(NitroError::NoFixedInput)));
+    }
+
+    #[test]
+    fn artifact_round_trip_through_context() {
+        let dir = crate::context::temp_model_dir("cv-artifact");
+        let ctx = Context::with_model_dir(&dir);
+        let mut cv = CodeVariant::new("toy", &ctx);
+        cv.add_variant(FnVariant::new("small", |&x: &f64| 1.0 + x));
+        cv.add_variant(FnVariant::new("large", |&x: &f64| 10.0 - x * 0.5));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        cv.install_model(toy_model());
+        cv.save_model().unwrap();
+
+        // A second instance of the same library function loads it back.
+        let mut cv2 = CodeVariant::new("toy", &ctx);
+        cv2.add_variant(FnVariant::new("small", |&x: &f64| 1.0 + x));
+        cv2.add_variant(FnVariant::new("large", |&x: &f64| 10.0 - x * 0.5));
+        cv2.set_default(0);
+        cv2.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        cv2.load_model().unwrap();
+        assert_eq!(cv2.call(&9.0).unwrap().variant, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn variant_family_expands_parameter_grid() {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("fam", &ctx);
+        // Cost model: |x − p| — each parameter value wins near itself.
+        let ids =
+            cv.add_variant_family("tile", vec![2u32, 4, 8], |&p, &x: &f64| (x - p as f64).abs());
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(
+            cv.variant_names(),
+            vec!["tile@2".to_string(), "tile@4".to_string(), "tile@8".to_string()]
+        );
+        assert_eq!(cv.run_variant(1, &5.0), 1.0);
+        // Families can be tuned like any other variant set.
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        let data = Dataset::from_parts(
+            vec![vec![2.0], vec![2.2], vec![4.1], vec![3.9], vec![7.8], vec![8.3]],
+            vec![0, 0, 1, 1, 2, 2],
+        );
+        cv.install_model(TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &data));
+        assert_eq!(cv.call(&7.9).unwrap().variant_name, "tile@8");
+    }
+
+    #[test]
+    fn artifact_with_wrong_shape_is_rejected() {
+        let ctx = Context::new();
+        let mut cv = toy();
+        cv.install_model(toy_model());
+        let artifact = cv.export_artifact().unwrap();
+
+        let mut other = CodeVariant::new("toy", &ctx);
+        other.add_variant(FnVariant::new("renamed", |&x: &f64| x));
+        other.add_variant(FnVariant::new("large", |&x: &f64| x));
+        other.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        assert!(other.install_artifact(artifact).is_err());
+    }
+}
+
+#[cfg(test)]
+mod sanitize_tests {
+    use super::*;
+    use crate::feature::FnFeature;
+    use crate::variant::FnVariant;
+
+    #[test]
+    fn non_finite_features_are_zeroed() {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("nan", &ctx);
+        cv.add_variant(FnVariant::new("only", |&_x: &f64| 1.0));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("bad_nan", |&_x: &f64| f64::NAN));
+        cv.add_input_feature(FnFeature::new("bad_inf", |&_x: &f64| f64::INFINITY));
+        cv.add_input_feature(FnFeature::new("good", |&x: &f64| x));
+        let (features, _) = cv.evaluate_features(&3.0);
+        assert_eq!(features, vec![0.0, 0.0, 3.0]);
+
+        // Same guarantee on the parallel path.
+        cv.policy_mut().parallel_feature_evaluation = true;
+        let (features, _) = cv.evaluate_features(&3.0);
+        assert_eq!(features, vec![0.0, 0.0, 3.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! The tuning context: global state shared by all `code_variant`s.
+//!
+//! Paper §II-B: "a pointer to a `context` object that maintains global
+//! state among all the variants in the program must be included as a
+//! constructor argument." The Rust `Context` is cheaply clonable (an
+//! `Arc` handle) and holds a model registry plus an optional directory
+//! for persisted model artifacts.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::Result;
+use crate::model::ModelArtifact;
+
+#[derive(Debug, Default)]
+struct ContextInner {
+    model_dir: Mutex<Option<PathBuf>>,
+    registry: Mutex<HashMap<String, ModelArtifact>>,
+}
+
+/// Shared tuning state. Clones refer to the same underlying context.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    inner: Arc<ContextInner>,
+}
+
+impl Context {
+    /// Create an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a context that persists models under `dir`.
+    pub fn with_model_dir(dir: impl Into<PathBuf>) -> Self {
+        let ctx = Self::new();
+        ctx.set_model_dir(dir);
+        ctx
+    }
+
+    /// Set (or replace) the model persistence directory.
+    pub fn set_model_dir(&self, dir: impl Into<PathBuf>) {
+        *self.inner.model_dir.lock() = Some(dir.into());
+    }
+
+    /// The configured model directory, if any.
+    pub fn model_dir(&self) -> Option<PathBuf> {
+        self.inner.model_dir.lock().clone()
+    }
+
+    /// File path a function's model persists to (requires a model dir).
+    pub fn model_path(&self, function: &str) -> Option<PathBuf> {
+        self.model_dir().map(|d| d.join(format!("{function}.model.json")))
+    }
+
+    /// Register a trained model in the in-memory registry and, when a
+    /// model directory is configured, persist it to disk too.
+    pub fn store_model(&self, artifact: ModelArtifact) -> Result<()> {
+        if let Some(path) = self.model_path(&artifact.function) {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            artifact.save(&path)?;
+        }
+        self.inner.registry.lock().insert(artifact.function.clone(), artifact);
+        Ok(())
+    }
+
+    /// Fetch a function's model from the registry, falling back to the
+    /// model directory. Returns `None` if neither has it.
+    pub fn fetch_model(&self, function: &str) -> Option<ModelArtifact> {
+        if let Some(a) = self.inner.registry.lock().get(function).cloned() {
+            return Some(a);
+        }
+        let path = self.model_path(function)?;
+        let artifact = ModelArtifact::load(&path).ok()?;
+        self.inner.registry.lock().insert(function.to_string(), artifact.clone());
+        Some(artifact)
+    }
+
+    /// Names of all functions with registered models.
+    pub fn registered_functions(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.registry.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Remove a function's model from the registry (and its on-disk file,
+    /// when a model directory is configured).
+    pub fn evict_model(&self, function: &str) -> Result<()> {
+        self.inner.registry.lock().remove(function);
+        if let Some(path) = self.model_path(function) {
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: contexts compare equal when they share the same state.
+impl PartialEq for Context {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[allow(unused)]
+fn _assert_send_sync(ctx: Context) -> impl Send + Sync {
+    ctx
+}
+
+/// Helper for tests across the workspace: a unique temp directory.
+pub fn temp_model_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nitro-models-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp model dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::TuningPolicy;
+    use nitro_ml::{ClassifierConfig, Dataset, TrainedModel};
+
+    fn artifact(name: &str) -> ModelArtifact {
+        let data = Dataset::from_parts(vec![vec![0.0], vec![1.0]], vec![0, 1]);
+        ModelArtifact {
+            function: name.into(),
+            variant_names: vec!["a".into(), "b".into()],
+            feature_names: vec!["f".into()],
+            policy: TuningPolicy::default(),
+            model: TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &data),
+        }
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let ctx = Context::new();
+        let clone = ctx.clone();
+        ctx.store_model(artifact("spmv")).unwrap();
+        assert!(clone.fetch_model("spmv").is_some());
+        assert_eq!(ctx, clone);
+    }
+
+    #[test]
+    fn fetch_missing_returns_none() {
+        assert!(Context::new().fetch_model("nope").is_none());
+    }
+
+    #[test]
+    fn persists_to_model_dir_and_reloads() {
+        let dir = temp_model_dir("ctx-persist");
+        let ctx = Context::with_model_dir(&dir);
+        ctx.store_model(artifact("sort")).unwrap();
+        assert!(ctx.model_path("sort").unwrap().exists());
+
+        // A fresh context over the same dir lazily loads from disk.
+        let ctx2 = Context::with_model_dir(&dir);
+        let a = ctx2.fetch_model("sort").expect("loaded from disk");
+        assert_eq!(a.function, "sort");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn evict_removes_registry_and_file() {
+        let dir = temp_model_dir("ctx-evict");
+        let ctx = Context::with_model_dir(&dir);
+        ctx.store_model(artifact("bfs")).unwrap();
+        ctx.evict_model("bfs").unwrap();
+        assert!(ctx.fetch_model("bfs").is_none());
+        assert!(!ctx.model_path("bfs").unwrap().exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn registered_functions_sorted() {
+        let ctx = Context::new();
+        ctx.store_model(artifact("zeta")).unwrap();
+        ctx.store_model(artifact("alpha")).unwrap();
+        assert_eq!(ctx.registered_functions(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

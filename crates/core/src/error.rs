@@ -1,0 +1,86 @@
+//! Error type for the Nitro library interface.
+
+use std::fmt;
+
+/// Errors surfaced by the Nitro core library.
+#[derive(Debug)]
+pub enum NitroError {
+    /// A `code_variant` was called before any variant was registered.
+    NoVariants,
+    /// No model is installed and no default variant was set.
+    NoSelectionPossible,
+    /// `call_fixed` was invoked without a preceding `fix_inputs`.
+    NoFixedInput,
+    /// A model artifact did not match the function it was loaded into
+    /// (different variant or feature lists).
+    ModelMismatch {
+        /// Explanation of what disagreed.
+        detail: String,
+    },
+    /// Filesystem failure while persisting or loading a model.
+    Io(std::io::Error),
+    /// Serialization failure while persisting or loading a model.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for NitroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NitroError::NoVariants => write!(f, "no variants registered"),
+            NitroError::NoSelectionPossible => {
+                write!(f, "no trained model installed and no default variant set")
+            }
+            NitroError::NoFixedInput => {
+                write!(f, "call_fixed used without fix_inputs (no pending input)")
+            }
+            NitroError::ModelMismatch { detail } => write!(f, "model mismatch: {detail}"),
+            NitroError::Io(e) => write!(f, "io error: {e}"),
+            NitroError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NitroError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NitroError::Io(e) => Some(e),
+            NitroError::Serde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NitroError {
+    fn from(e: std::io::Error) -> Self {
+        NitroError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for NitroError {
+    fn from(e: serde_json::Error) -> Self {
+        NitroError::Serde(e)
+    }
+}
+
+/// Convenience alias used across the core crate.
+pub type Result<T> = std::result::Result<T, NitroError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(NitroError::NoVariants.to_string().contains("variants"));
+        assert!(NitroError::NoFixedInput.to_string().contains("fix_inputs"));
+        let e = NitroError::ModelMismatch { detail: "3 vs 4 variants".into() };
+        assert!(e.to_string().contains("3 vs 4"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: NitroError = io.into();
+        assert!(matches!(e, NitroError::Io(_)));
+    }
+}

@@ -1,0 +1,156 @@
+//! Input features: the meta-information driving variant selection.
+//!
+//! Paper §II-B: "Input features are described in Nitro through feature
+//! functions. These have the same argument types as the variant, but
+//! always return a double." Features are evaluated before the variant
+//! executes; their evaluation cost matters (paper §V-C / Figure 8), so
+//! each feature can also report a *simulated* evaluation cost on the same
+//! clock the variants use — O(1) features report ~0, a sub-sample
+//! standard deviation reports time proportional to its sample size.
+
+use crate::variant::Variant;
+
+/// A feature function: maps an input to one scalar of meta-information.
+pub trait InputFeature<I: ?Sized>: Send + Sync {
+    /// Stable feature name (appears in models and Figure-8 style reports).
+    fn name(&self) -> &str;
+
+    /// Compute the feature value for this input.
+    fn evaluate(&self, input: &I) -> f64;
+
+    /// Simulated evaluation cost in nanoseconds on the variant clock.
+    ///
+    /// Used by the feature-overhead analysis; defaults to free. Features
+    /// that inspect the whole input (e.g. DIA fill-in, row-length standard
+    /// deviation) should report a cost proportional to the data touched.
+    fn cost_ns(&self, _input: &I) -> f64 {
+        0.0
+    }
+}
+
+/// Adapter turning closures into an [`InputFeature`].
+pub struct FnFeature<I: ?Sized, F, C = fn(&I) -> f64> {
+    name: String,
+    eval: F,
+    cost: Option<C>,
+    _marker: std::marker::PhantomData<fn(&I)>,
+}
+
+impl<I: ?Sized, F> FnFeature<I, F>
+where
+    F: Fn(&I) -> f64 + Send + Sync,
+{
+    /// A feature with negligible (zero) evaluation cost.
+    pub fn new(name: impl Into<String>, eval: F) -> Self {
+        Self { name: name.into(), eval, cost: None, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<I: ?Sized, F, C> FnFeature<I, F, C>
+where
+    F: Fn(&I) -> f64 + Send + Sync,
+    C: Fn(&I) -> f64 + Send + Sync,
+{
+    /// A feature with an explicit simulated cost function.
+    pub fn with_cost(name: impl Into<String>, eval: F, cost: C) -> Self {
+        Self { name: name.into(), eval, cost: Some(cost), _marker: std::marker::PhantomData }
+    }
+}
+
+impl<I: ?Sized, F, C> InputFeature<I> for FnFeature<I, F, C>
+where
+    F: Fn(&I) -> f64 + Send + Sync,
+    C: Fn(&I) -> f64 + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn evaluate(&self, input: &I) -> f64 {
+        (self.eval)(input)
+    }
+
+    fn cost_ns(&self, input: &I) -> f64 {
+        self.cost.as_ref().map_or(0.0, |c| c(input))
+    }
+}
+
+/// A constraint: vetoes a specific variant on inputs where it would be
+/// incorrect or pathologically slow (paper §II-B "Defining Constraints").
+///
+/// During offline training a violated constraint forces the variant's
+/// objective to ∞ so it is never labeled best; online, a violated
+/// constraint makes the dispatcher fall back to the default variant.
+pub trait Constraint<I: ?Sized>: Send + Sync {
+    /// Stable constraint name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// `true` when the associated variant is allowed on this input.
+    fn is_satisfied(&self, input: &I) -> bool;
+}
+
+/// Adapter turning a closure into a [`Constraint`].
+pub struct FnConstraint<I: ?Sized, F> {
+    name: String,
+    f: F,
+    _marker: std::marker::PhantomData<fn(&I)>,
+}
+
+impl<I: ?Sized, F> FnConstraint<I, F>
+where
+    F: Fn(&I) -> bool + Send + Sync,
+{
+    /// Wrap `f` as a named constraint.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<I: ?Sized, F> Constraint<I> for FnConstraint<I, F>
+where
+    F: Fn(&I) -> bool + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_satisfied(&self, input: &I) -> bool {
+        (self.f)(input)
+    }
+}
+
+/// Blanket helper: any variant can be probed for its name; re-exported so
+/// downstream crates can build name lists without extra bounds.
+pub fn variant_names<I: ?Sized>(variants: &[std::sync::Arc<dyn Variant<I>>]) -> Vec<String> {
+    variants.iter().map(|v| v.name().to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_feature_evaluates() {
+        let f = FnFeature::new("nnz", |v: &Vec<f64>| v.iter().filter(|&&x| x != 0.0).count() as f64);
+        assert_eq!(f.evaluate(&vec![1.0, 0.0, 2.0]), 2.0);
+        assert_eq!(f.cost_ns(&vec![1.0]), 0.0);
+    }
+
+    #[test]
+    fn fn_feature_with_cost_reports_it() {
+        let f = FnFeature::with_cost(
+            "row_sd",
+            |v: &Vec<f64>| v.len() as f64,
+            |v: &Vec<f64>| v.len() as f64 * 2.0,
+        );
+        assert_eq!(f.cost_ns(&vec![0.0; 10]), 20.0);
+    }
+
+    #[test]
+    fn fn_constraint_gates() {
+        let c = FnConstraint::new("small_only", |v: &Vec<f64>| v.len() < 3);
+        assert!(c.is_satisfied(&vec![1.0]));
+        assert!(!c.is_satisfied(&vec![1.0; 5]));
+        assert_eq!(c.name(), "small_only");
+    }
+}

@@ -1,0 +1,144 @@
+//! Persistable variant-selection models.
+//!
+//! The paper's autotuner communicates with the C++ library through
+//! generated files; the Rust analog is a JSON [`ModelArtifact`] pairing
+//! the trained classifier with the variant/feature names it was fitted
+//! against, so loading into a mismatched `code_variant` is detected
+//! rather than silently mispredicting.
+
+use std::path::Path;
+
+use nitro_ml::TrainedModel;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NitroError, Result};
+use crate::policy::TuningPolicy;
+
+/// A trained model plus the metadata needed to validate installation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Name of the tuned function (the `code_variant`'s name).
+    pub function: String,
+    /// Variant names, in registration order, at training time.
+    pub variant_names: Vec<String>,
+    /// Feature names, in registration order, at training time.
+    pub feature_names: Vec<String>,
+    /// The policy the model was trained under (records classifier choice,
+    /// feature subset, objective direction…).
+    pub policy: TuningPolicy,
+    /// The fitted classifier.
+    pub model: TrainedModel,
+}
+
+impl ModelArtifact {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> Result<String> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self> {
+        Ok(serde_json::from_str(s)?)
+    }
+
+    /// Write the artifact to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Read an artifact from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json(&s)
+    }
+
+    /// Check that this artifact matches a function's registered variant
+    /// and feature names.
+    pub fn validate(&self, function: &str, variants: &[String], features: &[String]) -> Result<()> {
+        if self.function != function {
+            return Err(NitroError::ModelMismatch {
+                detail: format!("artifact is for '{}', not '{function}'", self.function),
+            });
+        }
+        if self.variant_names != variants {
+            return Err(NitroError::ModelMismatch {
+                detail: format!(
+                    "variant lists differ: trained {:?} vs registered {:?}",
+                    self.variant_names, variants
+                ),
+            });
+        }
+        if self.feature_names != features {
+            return Err(NitroError::ModelMismatch {
+                detail: format!(
+                    "feature lists differ: trained {:?} vs registered {:?}",
+                    self.feature_names, features
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_ml::{ClassifierConfig, Dataset};
+
+    fn artifact() -> ModelArtifact {
+        let data = Dataset::from_parts(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![0, 0, 1, 1],
+        );
+        let model = TrainedModel::train(
+            &ClassifierConfig::Svm { c: Some(1.0), gamma: Some(1.0), grid_search: false },
+            &data,
+        );
+        ModelArtifact {
+            function: "spmv".into(),
+            variant_names: vec!["csr".into(), "dia".into()],
+            feature_names: vec!["nnz".into()],
+            policy: TuningPolicy::default(),
+            model,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let a = artifact();
+        let j = a.to_json().unwrap();
+        let back = ModelArtifact::from_json(&j).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let a = artifact();
+        let dir = std::env::temp_dir().join("nitro-core-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spmv.model.json");
+        a.save(&path).unwrap();
+        let back = ModelArtifact::load(&path).unwrap();
+        assert_eq!(a, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn validate_accepts_matching_lists() {
+        let a = artifact();
+        assert!(a
+            .validate("spmv", &["csr".into(), "dia".into()], &["nnz".into()])
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_function_or_lists() {
+        let a = artifact();
+        assert!(a.validate("bfs", &["csr".into(), "dia".into()], &["nnz".into()]).is_err());
+        assert!(a.validate("spmv", &["csr".into()], &["nnz".into()]).is_err());
+        assert!(a
+            .validate("spmv", &["csr".into(), "dia".into()], &["rows".into()])
+            .is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Code variants: alternative implementations of one computation.
+//!
+//! Paper §II-B: "Each variant must be defined as a C++ function object
+//! deriving from the `variant_type` class … The code for the variant must
+//! be specified in the `operator()` function … Nitro variants are required
+//! to return a double precision value, which by default denotes the time
+//! taken by the variant." The Rust rendering is the [`Variant`] trait; the
+//! returned objective value can equally be energy, error, or — as in the
+//! paper's BFS benchmark — a throughput metric like TEPS, with the
+//! direction controlled by [`Objective`].
+
+use serde::{Deserialize, Serialize};
+
+/// Whether smaller or larger objective values are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Objective {
+    /// Smaller is better (the default: variants return elapsed time).
+    #[default]
+    Minimize,
+    /// Larger is better (e.g. traversed edges per second for BFS).
+    Maximize,
+}
+
+impl Objective {
+    /// True if `a` is a better objective value than `b`.
+    pub fn better(&self, a: f64, b: f64) -> bool {
+        match self {
+            Objective::Minimize => a < b,
+            Objective::Maximize => a > b,
+        }
+    }
+
+    /// The worst representable objective value (what constraint violations
+    /// are mapped to during training, the paper's "∞").
+    pub fn worst(&self) -> f64 {
+        match self {
+            Objective::Minimize => f64::INFINITY,
+            Objective::Maximize => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Relative performance of `achieved` against `best` as a fraction in
+    /// `[0, 1]` (the paper's "% of performance of exhaustive search").
+    pub fn relative(&self, achieved: f64, best: f64) -> f64 {
+        let r = match self {
+            Objective::Minimize => best / achieved,
+            Objective::Maximize => achieved / best,
+        };
+        if r.is_nan() {
+            0.0
+        } else {
+            r.clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// One implementation of the tuned computation.
+///
+/// All variants registered on a `CodeVariant` share the input type `I` and
+/// must be functionally equivalent; they may use fundamentally different
+/// algorithms.
+pub trait Variant<I: ?Sized>: Send + Sync {
+    /// Stable, human-readable variant name (appears in models & reports).
+    fn name(&self) -> &str;
+
+    /// Run the variant on `input`, returning its objective value
+    /// (simulated elapsed nanoseconds by default).
+    fn invoke(&self, input: &I) -> f64;
+}
+
+/// Adapter turning a closure into a [`Variant`] — convenient for tests and
+/// for wrapping existing library entry points.
+pub struct FnVariant<I: ?Sized, F> {
+    name: String,
+    f: F,
+    _marker: std::marker::PhantomData<fn(&I)>,
+}
+
+impl<I: ?Sized, F> FnVariant<I, F>
+where
+    F: Fn(&I) -> f64 + Send + Sync,
+{
+    /// Wrap `f` under the given variant name.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<I: ?Sized, F> Variant<I> for FnVariant<I, F>
+where
+    F: Fn(&I) -> f64 + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn invoke(&self, input: &I) -> f64 {
+        (self.f)(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_direction() {
+        assert!(Objective::Minimize.better(1.0, 2.0));
+        assert!(Objective::Maximize.better(2.0, 1.0));
+        assert_eq!(Objective::Minimize.worst(), f64::INFINITY);
+        assert_eq!(Objective::Maximize.worst(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn relative_performance_is_a_fraction() {
+        assert_eq!(Objective::Minimize.relative(2.0, 1.0), 0.5);
+        assert_eq!(Objective::Minimize.relative(1.0, 1.0), 1.0);
+        assert_eq!(Objective::Maximize.relative(50.0, 100.0), 0.5);
+        // Worse than best clamps at 1.0 never exceeds it.
+        assert_eq!(Objective::Minimize.relative(0.5, 1.0), 1.0);
+    }
+
+    #[test]
+    fn relative_handles_degenerate_values() {
+        assert_eq!(Objective::Minimize.relative(f64::INFINITY, f64::INFINITY), 0.0);
+        assert_eq!(Objective::Maximize.relative(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn fn_variant_invokes_closure() {
+        let v = FnVariant::new("double", |x: &f64| x * 2.0);
+        assert_eq!(v.name(), "double");
+        assert_eq!(v.invoke(&21.0), 42.0);
+    }
+
+    #[test]
+    fn fn_variant_works_on_unsized_inputs() {
+        let v = FnVariant::new("len", |s: &[u8]| s.len() as f64);
+        assert_eq!(v.invoke(&[1, 2, 3][..]), 3.0);
+    }
+}

@@ -1,0 +1,520 @@
+//! BFS code variants on the simulated GPU.
+//!
+//! Six variants mirroring the Back40 set the paper tunes over (Figure 4):
+//! three frontier strategies × two launch styles.
+//!
+//! * **EC** (expand-contract): thread-per-vertex expansion of the vertex
+//!   frontier, then filtering. Serial per-thread edge loops make it very
+//!   sensitive to degree skew.
+//! * **CE** (contract-expand): contracts the incoming *edge* frontier,
+//!   then expands newly visited vertices in the same kernel. One kernel
+//!   per level and minimal fixed cost — the winner on low-out-degree
+//!   graphs.
+//! * **2-Phase**: separate expansion and contraction kernels with
+//!   warp/CTA-cooperative, scan-based neighbour gathering — no per-vertex
+//!   transaction minimum and no divergence penalty, at the price of an
+//!   extra kernel and a materialized edge frontier per level. Wins on
+//!   high-out-degree graphs, exactly as Merrill et al. report.
+//! * **Fused** variants replace per-level kernel launches with in-kernel
+//!   global barriers (cheap); **Iter** variants pay the full launch
+//!   overhead every level but get freshly balanced work each time
+//!   (dynamic block scheduling).
+//!
+//! The traversal itself is real — depths are checked against a CPU
+//! reference in the tests — and every cost term is derived from the
+//! actual per-level frontier composition.
+
+use nitro_core::{CodeVariant, Context, FnFeature, FnVariant, Objective};
+use nitro_simt::{DeviceConfig, Gpu, Schedule, SplitMix64};
+
+use crate::graph::CsrGraph;
+
+/// Frontier strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Expand-contract over a vertex frontier.
+    ExpandContract,
+    /// Contract-expand over an edge frontier.
+    ContractExpand,
+    /// Separate expansion and contraction phases.
+    TwoPhase,
+}
+
+/// Result of one simulated BFS traversal.
+#[derive(Debug, Clone)]
+pub struct BfsRun {
+    /// Depth per vertex (`usize::MAX` = unreachable).
+    pub depth: Vec<usize>,
+    /// Directed edges examined.
+    pub edges_traversed: u64,
+    /// Frontier levels processed.
+    pub levels: usize,
+    /// Simulated wall time in nanoseconds.
+    pub elapsed_ns: f64,
+}
+
+/// In-kernel global-barrier cost for fused variants (ns per kernel
+/// boundary — a 2-Phase level pays it twice).
+const FUSED_BARRIER_NS: f64 = 1_200.0;
+/// Minimum busy time per logical kernel (pipeline ramp-up/drain): tiny
+/// frontiers cannot run faster than this.
+const KERNEL_MIN_NS: f64 = 800.0;
+/// Host-side readback + decision cost per level for the Hybrid variant.
+const HYBRID_DECISION_NS: f64 = 700.0;
+/// Hybrid switches from CE to 2-Phase above this edge-frontier size.
+const HYBRID_EDGE_CUTOFF: usize = 4_096;
+
+/// Run a BFS variant. `fused` selects the launch style.
+pub fn run_bfs(
+    g: &CsrGraph,
+    source: usize,
+    strategy: Strategy,
+    fused: bool,
+    cfg: &DeviceConfig,
+    seed: u64,
+) -> BfsRun {
+    run_dynamic(g, source, |_level, _edge_frontier| strategy, fused, cfg, seed, 0.0)
+}
+
+/// Run the Hybrid baseline (Merrill et al.'s seventh variant): per level
+/// it picks CE for small edge frontiers and 2-Phase for large ones,
+/// paying a host decision cost each level.
+pub fn run_hybrid(g: &CsrGraph, source: usize, cfg: &DeviceConfig, seed: u64) -> BfsRun {
+    run_dynamic(
+        g,
+        source,
+        |_level, edge_frontier| {
+            if edge_frontier < HYBRID_EDGE_CUTOFF {
+                Strategy::ContractExpand
+            } else {
+                Strategy::TwoPhase
+            }
+        },
+        true,
+        cfg,
+        seed,
+        HYBRID_DECISION_NS,
+    )
+}
+
+fn run_dynamic(
+    g: &CsrGraph,
+    source: usize,
+    mut pick: impl FnMut(usize, usize) -> Strategy,
+    fused: bool,
+    cfg: &DeviceConfig,
+    seed: u64,
+    per_level_host_ns: f64,
+) -> BfsRun {
+    // Per-level kernels are costed noiselessly with zero launch overhead;
+    // overheads and one multiplicative noise factor are applied at the end
+    // so fused/iter differ only in launch accounting.
+    let mut level_cfg = cfg.clone().noiseless();
+    level_cfg.launch_overhead_ns = 0.0;
+    let gpu = Gpu::with_seed(level_cfg, seed);
+
+    let mut depth = vec![usize::MAX; g.n];
+    depth[source] = 0;
+    let mut frontier: Vec<u32> = vec![source as u32];
+    let mut busy_ns = 0.0;
+    let mut launches = 0usize;
+    let mut edges_traversed = 0u64;
+    let mut levels = 0usize;
+
+    while !frontier.is_empty() {
+        let edge_frontier: usize = frontier.iter().map(|&v| g.degree(v as usize)).sum();
+        let strategy = pick(levels, edge_frontier);
+
+        // Functional expansion: the next frontier.
+        let mut next: Vec<u32> = Vec::new();
+        let d = levels + 1;
+        for &u in &frontier {
+            for &v in g.neighbours(u as usize) {
+                edges_traversed += 1;
+                if depth[v as usize] == usize::MAX {
+                    depth[v as usize] = d;
+                    next.push(v);
+                }
+            }
+        }
+
+        // Cost of this level under the chosen strategy.
+        let (ns, kernel_count) =
+            level_cost(g, &frontier, &next, edge_frontier, strategy, fused, &gpu);
+        busy_ns += ns + kernel_count as f64 * KERNEL_MIN_NS + per_level_host_ns;
+        launches += kernel_count;
+
+        frontier = next;
+        levels += 1;
+    }
+
+    let overhead = if fused {
+        // One real launch; every later kernel boundary is a global barrier.
+        cfg.launch_overhead_ns + launches.saturating_sub(1) as f64 * FUSED_BARRIER_NS
+    } else {
+        launches as f64 * cfg.launch_overhead_ns
+    };
+    let noise = SplitMix64::new(seed ^ 0xBF5).noise_factor(cfg.noise_rel_sigma);
+
+    BfsRun { depth, edges_traversed, levels, elapsed_ns: (busy_ns + overhead) * noise }
+}
+
+/// Simulated busy time of one BFS level; returns `(ns, kernels_used)`.
+fn level_cost(
+    g: &CsrGraph,
+    frontier: &[u32],
+    next: &[u32],
+    edge_frontier: usize,
+    strategy: Strategy,
+    fused: bool,
+    gpu: &Gpu,
+) -> (f64, usize) {
+    // Iterative launches are rebalanced by the runtime (dynamic blocks);
+    // fused kernels keep their static assignment.
+    let schedule = if fused { Schedule::EvenShare } else { Schedule::Dynamic };
+    let f = frontier.len();
+    let e_next: usize = next.iter().map(|&v| g.degree(v as usize)).sum();
+
+    match strategy {
+        Strategy::ExpandContract => {
+            let blocks = f.div_ceil(256).max(1);
+            let stats = gpu.launch("bfs_ec", blocks, schedule, |b, ctx| {
+                let v0 = b * 256;
+                let v1 = (v0 + 256).min(f);
+                if v0 >= v1 {
+                    return;
+                }
+                let slice = &frontier[v0..v1];
+                // Read frontier ids + gather row offsets.
+                ctx.coalesced((v1 - v0) as u64, 4);
+                let row_addrs: Vec<u64> = slice.iter().map(|&v| v as u64 * 8).collect();
+                ctx.warp_gather(&row_addrs, 8);
+                // Thread-per-vertex serial edge loops: heavy divergence.
+                let degs: Vec<u64> = slice.iter().map(|&v| g.degree(v as usize) as u64).collect();
+                ctx.warp_loop(&degs, 12.0);
+                // Per-vertex neighbour-list reads: at least one transaction
+                // per vertex, the vertex-parallel tax.
+                let mut status_addrs: Vec<u64> = Vec::new();
+                for &v in slice {
+                    ctx.coalesced(g.degree(v as usize).max(1) as u64, 4);
+                    status_addrs.extend(g.neighbours(v as usize).iter().map(|&w| w as u64));
+                }
+                // Status checks for every expanded neighbour.
+                ctx.warp_gather(&status_addrs, 1);
+                ctx.bulk_atomic(status_addrs.len() as f64, nitro_simt::block::AtomicSpace::Shared, 1.2);
+            });
+            // Write the next vertex frontier.
+            let write = gpu.launch("bfs_ec_write", 1, schedule, |_, ctx| {
+                ctx.coalesced(next.len() as u64, 4);
+            });
+            (stats.elapsed_ns + write.elapsed_ns, 1)
+        }
+        Strategy::ContractExpand => {
+            // One kernel per level over the edge frontier.
+            let blocks = edge_frontier.div_ceil(256).max(1);
+            // Materialize the edge frontier's neighbour targets in order.
+            let mut targets: Vec<u32> = Vec::with_capacity(edge_frontier);
+            for &u in frontier {
+                targets.extend_from_slice(g.neighbours(u as usize));
+            }
+            let stats = gpu.launch("bfs_ce", blocks, schedule, |b, ctx| {
+                let e0 = b * 256;
+                let e1 = (e0 + 256).min(targets.len());
+                if e0 >= e1 {
+                    return;
+                }
+                let slice = &targets[e0..e1];
+                // Read + contract the edge frontier (status gathers).
+                ctx.coalesced((e1 - e0) as u64, 4);
+                let status_addrs: Vec<u64> = slice.iter().map(|&w| w as u64).collect();
+                ctx.warp_gather(&status_addrs, 1);
+                ctx.charge_ops(4 * (e1 - e0) as u64);
+                ctx.bulk_atomic((e1 - e0) as f64, nitro_simt::block::AtomicSpace::Shared, 1.1);
+            });
+            // Expansion of the newly visited vertices in the same kernel:
+            // warp-cooperative gathering (cheap on short lists), but the
+            // combined kernel serializes on degree skew and reads the
+            // adjacency with worse coalescing than a dedicated expansion
+            // phase — 2-Phase's advantage on high-degree graphs.
+            let expand = gpu.launch("bfs_ce_expand", next.len().div_ceil(256).max(1), schedule, |b, ctx| {
+                let v0 = b * 256;
+                let v1 = (v0 + 256).min(next.len());
+                if v0 >= v1 {
+                    return;
+                }
+                let slice = &next[v0..v1];
+                let row_addrs: Vec<u64> = slice.iter().map(|&v| v as u64 * 8).collect();
+                ctx.warp_gather(&row_addrs, 8);
+                let degs: Vec<u64> = slice.iter().map(|&v| g.degree(v as usize) as u64).collect();
+                ctx.warp_loop(&degs, 4.0);
+                let e_block: u64 = degs.iter().sum();
+                ctx.bulk_read(e_block as f64 * 4.0, 0.6);
+            });
+            let write = gpu.launch("bfs_ce_write", 1, schedule, |_, ctx| {
+                ctx.coalesced(e_next as u64, 4);
+            });
+            (stats.elapsed_ns + expand.elapsed_ns + write.elapsed_ns, 1)
+        }
+        Strategy::TwoPhase => {
+            // Phase 1: scan-based cooperative expansion — edge-frontier
+            // traffic only, no per-vertex minimum, no divergence term.
+            let expand = gpu.launch("bfs_2p_expand", edge_frontier.div_ceil(256).max(1), schedule, |b, ctx| {
+                let e0 = b * 256;
+                let e1 = (e0 + 256).min(edge_frontier);
+                if e0 >= e1 {
+                    return;
+                }
+                let chunk = (e1 - e0) as u64;
+                ctx.coalesced(f.div_ceil(256).max(1) as u64, 4); // frontier slice
+                ctx.coalesced(chunk, 4); // gathered adjacency
+                ctx.charge_ops(3 * chunk);
+                ctx.coalesced(chunk, 4); // edge-frontier write
+            });
+            // Phase 2: contraction of the edge frontier.
+            let mut targets: Vec<u32> = Vec::with_capacity(edge_frontier);
+            for &u in frontier {
+                targets.extend_from_slice(g.neighbours(u as usize));
+            }
+            let contract = gpu.launch("bfs_2p_contract", edge_frontier.div_ceil(256).max(1), schedule, |b, ctx| {
+                let e0 = b * 256;
+                let e1 = (e0 + 256).min(targets.len());
+                if e0 >= e1 {
+                    return;
+                }
+                let slice = &targets[e0..e1];
+                ctx.coalesced((e1 - e0) as u64, 4);
+                let status_addrs: Vec<u64> = slice.iter().map(|&w| w as u64).collect();
+                ctx.warp_gather(&status_addrs, 1);
+                ctx.bulk_atomic((e1 - e0) as f64, nitro_simt::block::AtomicSpace::Shared, 1.1);
+                ctx.charge_ops(2 * (e1 - e0) as u64);
+            });
+            let write = gpu.launch("bfs_2p_write", 1, schedule, |_, ctx| {
+                ctx.coalesced(next.len() as u64, 4);
+            });
+            (expand.elapsed_ns + contract.elapsed_ns + write.elapsed_ns, 2)
+        }
+    }
+}
+
+/// One BFS benchmark instance: a graph plus a set of source vertices.
+#[derive(Debug)]
+pub struct BfsInput {
+    /// Instance name (seeds simulation noise).
+    pub name: String,
+    /// Collection group.
+    pub group: String,
+    /// The graph.
+    pub graph: CsrGraph,
+    /// Source vertices; the objective averages over them (the paper runs
+    /// 100 randomly-sourced traversals per graph).
+    pub sources: Vec<u32>,
+    /// Noise seed.
+    pub gpu_seed: u64,
+}
+
+impl BfsInput {
+    /// Create an instance with `n_sources` deterministic sources.
+    pub fn new(
+        name: impl Into<String>,
+        group: impl Into<String>,
+        graph: CsrGraph,
+        n_sources: usize,
+    ) -> Self {
+        let name = name.into();
+        let gpu_seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
+            (h ^ c as u64).wrapping_mul(0x100_0000_01b3)
+        });
+        let mut rng = SplitMix64::new(gpu_seed);
+        // Prefer sources with outgoing edges so traversals do real work.
+        let mut sources = Vec::with_capacity(n_sources);
+        let mut guard = 0;
+        while sources.len() < n_sources && guard < 100 * n_sources.max(1) {
+            let v = (rng.next_u64() % graph.n as u64) as u32;
+            if graph.degree(v as usize) > 0 {
+                sources.push(v);
+            }
+            guard += 1;
+        }
+        if sources.is_empty() {
+            sources.push(0);
+        }
+        Self { name, group: group.into(), graph, sources, gpu_seed }
+    }
+
+    /// Traversed-edges-per-second for a strategy over this input's
+    /// sources (the paper's BFS objective).
+    pub fn teps(&self, strategy: Strategy, fused: bool, cfg: &DeviceConfig) -> f64 {
+        let mut edges = 0u64;
+        let mut ns = 0.0;
+        for (k, &s) in self.sources.iter().enumerate() {
+            let run = run_bfs(&self.graph, s as usize, strategy, fused, cfg, self.gpu_seed ^ k as u64);
+            edges += run.edges_traversed;
+            ns += run.elapsed_ns;
+        }
+        if ns <= 0.0 {
+            0.0
+        } else {
+            edges as f64 / (ns * 1e-9)
+        }
+    }
+
+    /// TEPS of the Hybrid baseline on this input.
+    pub fn hybrid_teps(&self, cfg: &DeviceConfig) -> f64 {
+        let mut edges = 0u64;
+        let mut ns = 0.0;
+        for (k, &s) in self.sources.iter().enumerate() {
+            let run = run_hybrid(&self.graph, s as usize, cfg, self.gpu_seed ^ 0x44 ^ k as u64);
+            edges += run.edges_traversed;
+            ns += run.elapsed_ns;
+        }
+        if ns <= 0.0 {
+            0.0
+        } else {
+            edges as f64 / (ns * 1e-9)
+        }
+    }
+}
+
+/// The six variants, in registration order.
+pub const VARIANT_NAMES: [&str; 6] =
+    ["EC-Fused", "EC-Iter", "CE-Fused", "CE-Iter", "2Phase-Fused", "2Phase-Iter"];
+
+/// Assemble the BFS `code_variant`: 6 variants, 5 features, TEPS
+/// objective (maximize). Default: CE-Fused.
+pub fn build_code_variant(ctx: &Context, cfg: &DeviceConfig) -> CodeVariant<BfsInput> {
+    let mut cv = CodeVariant::new("bfs", ctx);
+    let combos: [(Strategy, bool); 6] = [
+        (Strategy::ExpandContract, true),
+        (Strategy::ExpandContract, false),
+        (Strategy::ContractExpand, true),
+        (Strategy::ContractExpand, false),
+        (Strategy::TwoPhase, true),
+        (Strategy::TwoPhase, false),
+    ];
+    for ((strategy, fused), name) in combos.into_iter().zip(VARIANT_NAMES) {
+        let cfg = cfg.clone();
+        cv.add_variant(FnVariant::new(name, move |inp: &BfsInput| {
+            inp.teps(strategy, fused, &cfg)
+        }));
+    }
+    cv.set_default(2); // CE-Fused
+    cv.policy_mut().objective = Objective::Maximize;
+
+    cv.add_input_feature(FnFeature::with_cost(
+        "AvgOutDeg",
+        |i: &BfsInput| i.graph.avg_out_degree(),
+        |_| 8.0,
+    ));
+    cv.add_input_feature(FnFeature::with_cost(
+        "Deg-SD",
+        |i: &BfsInput| i.graph.degree_sd(),
+        |i: &BfsInput| 8.0 + i.graph.n as f64 * 0.8,
+    ));
+    cv.add_input_feature(FnFeature::with_cost(
+        "MaxDeviation",
+        |i: &BfsInput| i.graph.max_degree_deviation(),
+        |i: &BfsInput| 8.0 + i.graph.n as f64 * 0.8,
+    ));
+    cv.add_input_feature(FnFeature::with_cost("Nvertices", |i: &BfsInput| i.graph.n as f64, |_| 8.0));
+    cv.add_input_feature(FnFeature::with_cost(
+        "Nedges",
+        |i: &BfsInput| i.graph.n_edges() as f64,
+        |_| 8.0,
+    ));
+    cv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::fermi_c2050().noiseless()
+    }
+
+    #[test]
+    fn all_strategies_compute_correct_depths() {
+        let g = gen::rmat(9, 8, 3);
+        let reference = g.bfs_reference(1);
+        for strategy in [Strategy::ExpandContract, Strategy::ContractExpand, Strategy::TwoPhase] {
+            for fused in [true, false] {
+                let run = run_bfs(&g, 1, strategy, fused, &cfg(), 7);
+                assert_eq!(run.depth, reference, "{strategy:?} fused={fused}");
+                assert!(run.elapsed_ns > 0.0);
+            }
+        }
+        let hybrid = run_hybrid(&g, 1, &cfg(), 7);
+        assert_eq!(hybrid.depth, reference);
+    }
+
+    #[test]
+    fn fused_beats_iter_on_deep_low_degree_graphs() {
+        // A long, thin grid has many levels with tiny frontiers: per-level
+        // launch overhead dominates, so Fused must win.
+        let g = gen::grid_2d(200, 10);
+        let f = run_bfs(&g, 0, Strategy::ContractExpand, true, &cfg(), 1);
+        let i = run_bfs(&g, 0, Strategy::ContractExpand, false, &cfg(), 1);
+        assert!(f.elapsed_ns < i.elapsed_ns, "fused {} iter {}", f.elapsed_ns, i.elapsed_ns);
+    }
+
+    #[test]
+    fn ce_beats_two_phase_on_low_degree() {
+        let g = gen::grid_2d(60, 60); // avg degree < 4
+        let inp = BfsInput::new("grid", "grid", g, 3);
+        let ce = inp.teps(Strategy::ContractExpand, true, &cfg());
+        let tp = inp.teps(Strategy::TwoPhase, true, &cfg());
+        assert!(ce > tp, "CE {ce} vs 2Phase {tp} on a grid");
+    }
+
+    #[test]
+    fn two_phase_beats_ce_on_high_degree_skewed() {
+        let g = gen::rmat(12, 24, 9); // avg degree 24, skewed
+        let inp = BfsInput::new("rmat", "rmat", g, 3);
+        let ce = inp.teps(Strategy::ContractExpand, true, &cfg());
+        let tp = inp.teps(Strategy::TwoPhase, true, &cfg());
+        assert!(tp > ce, "2Phase {tp} vs CE {ce} on RMAT");
+    }
+
+    #[test]
+    fn hybrid_is_good_but_not_best() {
+        let cfg = cfg();
+        for (g, tag) in [(gen::grid_2d(60, 60), "grid"), (gen::rmat(12, 24, 5), "rmat")] {
+            let inp = BfsInput::new(format!("h/{tag}"), tag, g, 3);
+            let best = VARIANT_NAMES
+                .iter()
+                .zip([
+                    (Strategy::ExpandContract, true),
+                    (Strategy::ExpandContract, false),
+                    (Strategy::ContractExpand, true),
+                    (Strategy::ContractExpand, false),
+                    (Strategy::TwoPhase, true),
+                    (Strategy::TwoPhase, false),
+                ])
+                .map(|(_, (s, f))| inp.teps(s, f, &cfg))
+                .fold(0.0f64, f64::max);
+            let hybrid = inp.hybrid_teps(&cfg);
+            assert!(hybrid > best * 0.5, "{tag}: hybrid {hybrid} too weak vs best {best}");
+            assert!(hybrid < best, "{tag}: hybrid {hybrid} should trail the best {best}");
+        }
+    }
+
+    #[test]
+    fn code_variant_matches_paper_inventory() {
+        let ctx = Context::new();
+        let cv = build_code_variant(&ctx, &cfg());
+        assert_eq!(cv.n_variants(), 6);
+        assert_eq!(cv.n_features(), 5);
+        assert_eq!(cv.policy().objective, Objective::Maximize);
+    }
+
+    #[test]
+    fn teps_is_deterministic() {
+        let inp = BfsInput::new("det", "grid", gen::grid_2d(30, 30), 2);
+        let cfg = DeviceConfig::fermi_c2050();
+        assert_eq!(
+            inp.teps(Strategy::ContractExpand, true, &cfg),
+            inp.teps(Strategy::ContractExpand, true, &cfg)
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Deterministic graph generators spanning the DIMACS10-style regimes
+//! the paper tests on: meshes (low, uniform out-degree — CE territory),
+//! RMAT/power-law networks (high, skewed out-degree — 2-Phase territory)
+//! and intermediates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::CsrGraph;
+
+/// 2-D grid with 4-neighbour connectivity (both directions per edge).
+pub fn grid_2d(nx: usize, ny: usize) -> CsrGraph {
+    let n = nx * ny;
+    let idx = |x: usize, y: usize| (y * nx + x) as u32;
+    let mut edges = Vec::with_capacity(4 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                edges.push((idx(x, y), idx(x + 1, y)));
+                edges.push((idx(x + 1, y), idx(x, y)));
+            }
+            if y + 1 < ny {
+                edges.push((idx(x, y), idx(x, y + 1)));
+                edges.push((idx(x, y + 1), idx(x, y)));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// 3-D grid with 6-neighbour connectivity.
+pub fn grid_3d(nx: usize, ny: usize, nz: usize) -> CsrGraph {
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as u32;
+    let mut edges = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((idx(x, y, z), idx(x + 1, y, z)));
+                    edges.push((idx(x + 1, y, z), idx(x, y, z)));
+                }
+                if y + 1 < ny {
+                    edges.push((idx(x, y, z), idx(x, y + 1, z)));
+                    edges.push((idx(x, y + 1, z), idx(x, y, z)));
+                }
+                if z + 1 < nz {
+                    edges.push((idx(x, y, z), idx(x, y, z + 1)));
+                    edges.push((idx(x, y, z + 1), idx(x, y, z)));
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// RMAT (recursive matrix) generator: power-law degrees, community
+/// structure — the Graph500/social-network regime.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.random();
+            if r < a {
+                // upper-left
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u as u32, v as u32));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Random regular-ish digraph: every vertex has exactly `k` out-edges to
+/// uniform targets.
+pub fn random_regular(n: usize, k: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * k);
+    for u in 0..n {
+        for _ in 0..k {
+            edges.push((u as u32, rng.random_range(0..n) as u32));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Watts–Strogatz-style small world: a ring lattice with `k` neighbours
+/// per side and a rewiring probability.
+pub fn small_world(n: usize, k: usize, rewire: f64, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(2 * n * k);
+    for u in 0..n {
+        for j in 1..=k {
+            let v = if rng.random_bool(rewire.clamp(0.0, 1.0)) {
+                rng.random_range(0..n)
+            } else {
+                (u + j) % n
+            };
+            edges.push((u as u32, v as u32));
+            edges.push((v as u32, u as u32));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// "Road-network-like": a 2-D grid plus a few long-range shortcuts.
+pub fn road_like(nx: usize, ny: usize, shortcuts: usize, seed: u64) -> CsrGraph {
+    let base = grid_2d(nx, ny);
+    let n = base.n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(base.n_edges() + 2 * shortcuts);
+    for u in 0..n {
+        for &v in base.neighbours(u) {
+            edges.push((u as u32, v));
+        }
+    }
+    for _ in 0..shortcuts {
+        let u = rng.random_range(0..n) as u32;
+        let v = rng.random_range(0..n) as u32;
+        edges.push((u, v));
+        edges.push((v, u));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_degrees_are_bounded() {
+        let g = grid_2d(10, 10);
+        assert_eq!(g.n, 100);
+        assert!((0..g.n).all(|v| g.degree(v) <= 4));
+        // Interior vertex has degree 4.
+        assert_eq!(g.degree(55), 4);
+    }
+
+    #[test]
+    fn grid3d_interior_degree_is_six() {
+        let g = grid_3d(5, 5, 5);
+        assert_eq!(g.degree(62), 6);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(10, 8, 42);
+        assert_eq!(g.n, 1024);
+        assert!(g.degree_sd() > g.avg_out_degree(), "RMAT should be highly skewed");
+    }
+
+    #[test]
+    fn random_regular_has_exact_out_degrees() {
+        let g = random_regular(200, 7, 1);
+        assert!((0..g.n).all(|v| g.degree(v) == 7));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(rmat(8, 8, 5), rmat(8, 8, 5));
+        assert_eq!(small_world(100, 3, 0.1, 2), small_world(100, 3, 0.1, 2));
+        assert_ne!(random_regular(100, 4, 1), random_regular(100, 4, 2));
+    }
+
+    #[test]
+    fn grids_are_connected() {
+        let g = grid_2d(8, 8);
+        let d = g.bfs_reference(0);
+        assert!(d.iter().all(|&x| x != usize::MAX));
+    }
+}

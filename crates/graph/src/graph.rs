@@ -1,0 +1,147 @@
+//! Directed graphs in CSR (adjacency array) form.
+
+/// A directed graph stored as out-adjacency lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    /// Number of vertices.
+    pub n: usize,
+    /// `row_ptr[v]..row_ptr[v+1]` spans vertex `v`'s out-neighbours.
+    pub row_ptr: Vec<usize>,
+    /// Concatenated out-neighbour lists.
+    pub adj: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build from an edge list (duplicates kept, self-loops allowed).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(u, _) in edges {
+            row_ptr[u as usize + 1] += 1;
+        }
+        for v in 0..n {
+            row_ptr[v + 1] += row_ptr[v];
+        }
+        let mut adj = vec![0u32; edges.len()];
+        let mut cursor = row_ptr.clone();
+        for &(u, v) in edges {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        // Sort each list for locality realism and determinism.
+        let mut g = Self { n, row_ptr, adj };
+        for v in 0..n {
+            let span = g.row_ptr[v]..g.row_ptr[v + 1];
+            g.adj[span].sort_unstable();
+        }
+        g
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.row_ptr[v + 1] - self.row_ptr[v]
+    }
+
+    /// Out-neighbours of `v`.
+    pub fn neighbours(&self, v: usize) -> &[u32] {
+        &self.adj[self.row_ptr[v]..self.row_ptr[v + 1]]
+    }
+
+    /// Mean out-degree.
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.n_edges() as f64 / self.n as f64
+        }
+    }
+
+    /// Standard deviation of out-degrees.
+    pub fn degree_sd(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let avg = self.avg_out_degree();
+        let var = (0..self.n)
+            .map(|v| {
+                let d = self.degree(v) as f64 - avg;
+                d * d
+            })
+            .sum::<f64>()
+            / self.n as f64;
+        var.sqrt()
+    }
+
+    /// Deviation of the largest out-degree from the mean.
+    pub fn max_degree_deviation(&self) -> f64 {
+        let max = (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0);
+        (max as f64 - self.avg_out_degree()).max(0.0)
+    }
+
+    /// Reference CPU BFS from `source`: returns the depth of each vertex
+    /// (`usize::MAX` = unreachable).
+    pub fn bfs_reference(&self, source: usize) -> Vec<usize> {
+        let mut depth = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        depth[source] = 0;
+        queue.push_back(source as u32);
+        while let Some(u) = queue.pop_front() {
+            let d = depth[u as usize] + 1;
+            for &v in self.neighbours(u as usize) {
+                if depth[v as usize] == usize::MAX {
+                    depth[v as usize] = d;
+                    queue.push_back(v);
+                }
+            }
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i as u32, i as u32 + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn from_edges_builds_sorted_lists() {
+        let g = CsrGraph::from_edges(3, &[(0, 2), (0, 1), (1, 2)]);
+        assert_eq!(g.neighbours(0), &[1, 2]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        assert_eq!(g.avg_out_degree(), 1.0);
+        assert!(g.degree_sd() > 0.0);
+        assert_eq!(g.max_degree_deviation(), 2.0);
+    }
+
+    #[test]
+    fn bfs_depths_on_a_path() {
+        let g = path_graph(5);
+        let d = g.bfs_reference(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d2 = g.bfs_reference(3);
+        assert_eq!(d2[4], 1);
+        assert_eq!(d2[0], usize::MAX);
+    }
+
+    #[test]
+    fn bfs_handles_disconnected_vertices() {
+        let g = CsrGraph::from_edges(4, &[(0, 1)]);
+        let d = g.bfs_reference(0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+    }
+}

@@ -1,0 +1,204 @@
+//! Graph I/O: edge-list and DIMACS formats.
+//!
+//! The paper's BFS test set is "148 graphs in the DIMACS10 group in the
+//! UFL Sparse Matrix collection"; DIMACS10 distributes graphs in the
+//! METIS-like DIMACS format, and simple whitespace edge lists are the
+//! lingua franca everywhere else. Both are supported so external graphs
+//! can be tuned alongside the synthetic ones.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::graph::CsrGraph;
+
+/// Errors from graph parsing.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file.
+    Parse {
+        /// 1-based line where parsing failed.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "io error: {e}"),
+            GraphIoError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+fn perr(line: usize, reason: impl Into<String>) -> GraphIoError {
+    GraphIoError::Parse { line, reason: reason.into() }
+}
+
+/// Read a whitespace edge list (`u v` per line, 0-based, `#`/`%` comments).
+/// The vertex count is `max id + 1` unless `n` is given.
+pub fn read_edge_list<R: BufRead>(reader: R, n: Option<usize>) -> Result<CsrGraph, GraphIoError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let u: u32 = parts
+            .next()
+            .ok_or_else(|| perr(no + 1, "missing source"))?
+            .parse()
+            .map_err(|_| perr(no + 1, "bad source id"))?;
+        let v: u32 = parts
+            .next()
+            .ok_or_else(|| perr(no + 1, "missing target"))?
+            .parse()
+            .map_err(|_| perr(no + 1, "bad target id"))?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = n.unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    if edges.iter().any(|&(u, v)| u as usize >= n || v as usize >= n) {
+        return Err(perr(0, "edge references vertex beyond declared count"));
+    }
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Read a DIMACS/METIS graph file: first non-comment line is
+/// `n_vertices n_edges [fmt]`, then line `i` lists the (1-based)
+/// neighbours of vertex `i`. Undirected: each edge appears on both
+/// endpoint lines; we store each direction as given.
+pub fn read_dimacs<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
+    let mut lines = reader.lines().enumerate().filter_map(|(no, l)| match l {
+        Ok(s) => {
+            let t = s.trim().to_string();
+            if t.is_empty() || t.starts_with('%') {
+                None
+            } else {
+                Some(Ok((no + 1, t)))
+            }
+        }
+        Err(e) => Some(Err(e)),
+    });
+
+    let (hline, header) = lines.next().ok_or_else(|| perr(0, "empty file"))??;
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() < 2 {
+        return Err(perr(hline, "header must be 'n m [fmt]'"));
+    }
+    let n: usize = head[0].parse().map_err(|_| perr(hline, "bad vertex count"))?;
+    if head.len() >= 3 && head[2] != "0" && head[2] != "00" {
+        return Err(perr(hline, "weighted DIMACS graphs are not supported"));
+    }
+
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut vertex = 0usize;
+    for item in lines {
+        let (no, line) = item?;
+        if vertex >= n {
+            return Err(perr(no, "more adjacency lines than vertices"));
+        }
+        for tok in line.split_whitespace() {
+            let w: usize = tok.parse().map_err(|_| perr(no, "bad neighbour id"))?;
+            if w == 0 || w > n {
+                return Err(perr(no, "neighbour out of range (DIMACS is 1-based)"));
+            }
+            edges.push((vertex as u32, (w - 1) as u32));
+        }
+        vertex += 1;
+    }
+    if vertex != n {
+        return Err(perr(0, format!("expected {n} adjacency lines, found {vertex}")));
+    }
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Read an edge-list graph from a file.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<CsrGraph, GraphIoError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(f), None)
+}
+
+/// Write a graph as a 0-based edge list.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nitro-graph edge list: {} vertices, {} edges", g.n, g.n_edges())?;
+    for u in 0..g.n {
+        for &v in g.neighbours(u) {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = crate::gen::rmat(7, 6, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(Cursor::new(buf), Some(g.n)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn edge_list_infers_vertex_count() {
+        let g = read_edge_list(Cursor::new("0 1\n1 4\n# comment\n4 0\n"), None).unwrap();
+        assert_eq!(g.n, 5);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.neighbours(1), &[4]);
+    }
+
+    #[test]
+    fn dimacs_parses_metis_format() {
+        // Triangle, undirected: 3 vertices, 3 edges.
+        let g = read_dimacs(Cursor::new("% comment\n3 3\n2 3\n1 3\n1 2\n")).unwrap();
+        assert_eq!(g.n, 3);
+        assert_eq!(g.n_edges(), 6); // both directions stored
+        assert_eq!(g.neighbours(0), &[1, 2]);
+        let d = g.bfs_reference(0);
+        assert_eq!(d, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn dimacs_rejects_bad_inputs() {
+        assert!(read_dimacs(Cursor::new("")).is_err());
+        assert!(read_dimacs(Cursor::new("2 1\n2\n1\n3\n")).is_err()); // extra line
+        assert!(read_dimacs(Cursor::new("2 1\n3\n\n")).is_err()); // neighbour out of range
+        assert!(read_dimacs(Cursor::new("2 1 011\n2\n1\n")).is_err()); // weighted
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list(Cursor::new("a b\n"), None).is_err());
+        assert!(read_edge_list(Cursor::new("0\n"), None).is_err());
+        assert!(read_edge_list(Cursor::new("0 9\n"), Some(3)).is_err());
+    }
+
+    #[test]
+    fn empty_edge_list_is_empty_graph() {
+        let g = read_edge_list(Cursor::new("# nothing\n"), None).unwrap();
+        assert_eq!(g.n, 0);
+        assert_eq!(g.n_edges(), 0);
+    }
+}

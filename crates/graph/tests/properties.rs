@@ -1,0 +1,72 @@
+//! Property tests: every BFS variant computes reference depths on
+//! arbitrary graphs, and TEPS accounting stays consistent.
+
+use nitro_graph::{gen, run_bfs, run_hybrid, CsrGraph, Strategy as BfsStrategy};
+use nitro_simt::DeviceConfig;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60, prop::collection::vec((0u32..60, 0u32..60), 1..300)).prop_map(|(n, edges)| {
+        let clipped: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        CsrGraph::from_edges(n, &clipped)
+    })
+}
+
+proptest! {
+    /// All six variants and the Hybrid produce the reference depths.
+    #[test]
+    fn variants_match_reference_depths(g in arb_graph(), source_raw in 0usize..60) {
+        let source = source_raw % g.n;
+        let cfg = DeviceConfig::fermi_c2050().noiseless();
+        let reference = g.bfs_reference(source);
+        for strategy in [BfsStrategy::ExpandContract, BfsStrategy::ContractExpand, BfsStrategy::TwoPhase] {
+            for fused in [true, false] {
+                let run = run_bfs(&g, source, strategy, fused, &cfg, 3);
+                prop_assert_eq!(&run.depth, &reference);
+                prop_assert!(run.elapsed_ns > 0.0);
+            }
+        }
+        let hybrid = run_hybrid(&g, source, &cfg, 3);
+        prop_assert_eq!(&hybrid.depth, &reference);
+    }
+
+    /// Edges traversed equals the sum of out-degrees of reached vertices,
+    /// and level count equals the maximum finite depth.
+    #[test]
+    fn traversal_accounting_consistent(g in arb_graph(), source_raw in 0usize..60) {
+        let source = source_raw % g.n;
+        let cfg = DeviceConfig::fermi_c2050().noiseless();
+        let run = run_bfs(&g, source, BfsStrategy::ContractExpand, true, &cfg, 5);
+        let expected_edges: u64 = run
+            .depth
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != usize::MAX)
+            .map(|(v, _)| g.degree(v) as u64)
+            .sum();
+        prop_assert_eq!(run.edges_traversed, expected_edges);
+        let max_depth = run.depth.iter().filter(|&&d| d != usize::MAX).max().copied().unwrap_or(0);
+        prop_assert_eq!(run.levels, max_depth + 1);
+    }
+
+    /// Degree statistics are internally consistent.
+    #[test]
+    fn degree_statistics_consistent(g in arb_graph()) {
+        let avg = g.avg_out_degree();
+        let total: usize = (0..g.n).map(|v| g.degree(v)).sum();
+        prop_assert!((avg - total as f64 / g.n as f64).abs() < 1e-12);
+        prop_assert!(g.degree_sd() >= 0.0);
+        prop_assert!(g.max_degree_deviation() >= 0.0);
+    }
+}
+
+#[test]
+fn grid_generators_shapes() {
+    let g = gen::grid_2d(7, 9);
+    assert_eq!(g.n, 63);
+    let g3 = gen::grid_3d(3, 4, 5);
+    assert_eq!(g3.n, 60);
+}

@@ -1,0 +1,209 @@
+//! Best-vs-Second-Best active learning (paper §III-B, "Incremental
+//! Tuning to Reduce Training Inputs").
+//!
+//! Feature vectors are cheap to compute; labels are expensive (each label
+//! requires *running every variant* on that input). The learner therefore
+//! starts from a small labeled seed — at least one example per variant —
+//! plus a large unlabeled pool, and at each iteration queries the pool
+//! point whose class posterior has the smallest Best-vs-Second-Best
+//! margin (Joshi, Porikli & Papanikolopoulos, CVPR 2009 — the heuristic
+//! the paper cites as reference 20).
+
+use crate::classifier::{ClassifierConfig, TrainedModel};
+use crate::dataset::Dataset;
+
+/// Bookkeeping for one active-learning run.
+///
+/// Pool entries keep their *original indices* so the caller (the
+/// incremental tuner) knows which training input to profile when a query
+/// is made.
+#[derive(Debug, Clone)]
+pub struct ActiveLearner {
+    labeled: Dataset,
+    pool_x: Vec<Vec<f64>>,
+    pool_ids: Vec<usize>,
+}
+
+impl ActiveLearner {
+    /// Start from a labeled seed and an unlabeled pool. `pool` pairs each
+    /// feature vector with its original input index.
+    ///
+    /// # Panics
+    /// Panics if the seed is empty (the paper requires at least one seed
+    /// example per variant label).
+    pub fn new(seed: Dataset, pool: Vec<(usize, Vec<f64>)>) -> Self {
+        assert!(!seed.is_empty(), "active learning needs a labeled seed");
+        let (pool_ids, pool_x) = pool.into_iter().unzip();
+        Self { labeled: seed, pool_x, pool_ids }
+    }
+
+    /// Current labeled training set.
+    pub fn labeled(&self) -> &Dataset {
+        &self.labeled
+    }
+
+    /// Remaining unlabeled pool size.
+    pub fn pool_len(&self) -> usize {
+        self.pool_x.len()
+    }
+
+    /// Fit a model on the current labeled set.
+    pub fn fit(&self, config: &ClassifierConfig) -> TrainedModel {
+        TrainedModel::train(config, &self.labeled)
+    }
+
+    /// Choose the pool entry with the smallest BvSB margin under `model`.
+    /// Returns `(pool position, original input index)`, or `None` when the
+    /// pool is exhausted.
+    pub fn next_query(&self, model: &TrainedModel) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, x) in self.pool_x.iter().enumerate() {
+            let margin = model.bvsb_margin(x);
+            if best.is_none_or(|(_, m)| margin < m) {
+                best = Some((pos, margin));
+            }
+        }
+        best.map(|(pos, _)| (pos, self.pool_ids[pos]))
+    }
+
+    /// Move a pool entry (by pool position) into the labeled set with the
+    /// oracle-provided label.
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of range or the label exceeds the seed's
+    /// class count.
+    pub fn label(&mut self, pos: usize, label: usize) {
+        let x = self.pool_x.swap_remove(pos);
+        self.pool_ids.swap_remove(pos);
+        self.labeled.push(x, label);
+    }
+
+    /// Drop a pool entry without labeling it — used when the oracle finds
+    /// the input unlabelable (e.g. no variant succeeded on it).
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of range.
+    pub fn discard(&mut self, pos: usize) {
+        self.pool_x.swap_remove(pos);
+        self.pool_ids.swap_remove(pos);
+    }
+
+    /// Run the full loop: at each iteration fit a model, query the most
+    /// uncertain pool point, and label it via `oracle(original_index)`.
+    /// Stops after `iterations` queries or when the pool empties, then
+    /// returns the final model.
+    pub fn run<F>(&mut self, config: &ClassifierConfig, iterations: usize, mut oracle: F) -> TrainedModel
+    where
+        F: FnMut(usize) -> usize,
+    {
+        let mut model = self.fit(config);
+        for _ in 0..iterations {
+            let Some((pos, original)) = self.next_query(&model) else { break };
+            let label = oracle(original);
+            self.label(pos, label);
+            model = self.fit(config);
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ground truth: class = sign of x0 (a 1D threshold at 0).
+    fn truth(x: &[f64]) -> usize {
+        usize::from(x[0] > 0.0)
+    }
+
+    /// Pool entry `i` has `x0 = -1.5 + 0.05 i`; the oracle labels by id.
+    fn oracle(id: usize) -> usize {
+        truth(&[-1.5 + id as f64 * 0.05])
+    }
+
+    fn seed_and_pool() -> (Dataset, Vec<(usize, Vec<f64>)>) {
+        let mut seed = Dataset::new(2);
+        seed.push(vec![-2.0, 0.0], 0);
+        seed.push(vec![2.0, 0.0], 1);
+        // Pool spans the boundary densely.
+        let pool: Vec<(usize, Vec<f64>)> = (0..60)
+            .map(|i| (i, vec![-1.5 + i as f64 * 0.05, (i % 5) as f64 * 0.1]))
+            .collect();
+        (seed, pool)
+    }
+
+    fn cheap_svm() -> ClassifierConfig {
+        ClassifierConfig::Svm { c: Some(10.0), gamma: Some(1.0), grid_search: false }
+    }
+
+    #[test]
+    fn queries_shrink_pool_and_grow_labeled() {
+        let (seed, pool) = seed_and_pool();
+        let mut al = ActiveLearner::new(seed, pool);
+        let before_pool = al.pool_len();
+        al.run(&cheap_svm(), 5, oracle);
+        assert_eq!(al.pool_len(), before_pool - 5);
+        assert_eq!(al.labeled().len(), 2 + 5);
+    }
+
+    #[test]
+    fn queries_concentrate_near_decision_boundary() {
+        let (seed, pool) = seed_and_pool();
+        let mut al = ActiveLearner::new(seed, pool);
+        let config = cheap_svm();
+        let mut queried_x0 = Vec::new();
+        let model = al.fit(&config);
+        let mut model = model;
+        for _ in 0..8 {
+            let (pos, _) = al.next_query(&model).unwrap();
+            let x0 = al.pool_x[pos][0];
+            queried_x0.push(x0);
+            let label = truth(&al.pool_x[pos].clone());
+            al.label(pos, label);
+            model = al.fit(&config);
+        }
+        // Most queried points should hug the boundary at x0 = 0.
+        let near = queried_x0.iter().filter(|v| v.abs() < 0.75).count();
+        assert!(near >= 5, "queried x0 values: {queried_x0:?}");
+    }
+
+    #[test]
+    fn active_model_matches_full_training_with_fewer_labels() {
+        let (seed, pool) = seed_and_pool();
+        // Full training on everything:
+        let mut full = seed.clone();
+        for (_, x) in &pool {
+            full.push(x.clone(), truth(x));
+        }
+        let config = cheap_svm();
+        let full_model = TrainedModel::train(&config, &full);
+
+        let mut al = ActiveLearner::new(seed, pool);
+        let active_model = al.run(&config, 12, oracle);
+
+        // Evaluate both on a fresh grid.
+        let test: Vec<Vec<f64>> = (0..100).map(|i| vec![-2.0 + i as f64 * 0.04, 0.2]).collect();
+        let full_acc = test.iter().filter(|x| full_model.predict(x) == truth(x)).count();
+        let active_acc = test.iter().filter(|x| active_model.predict(x) == truth(x)).count();
+        assert!(
+            active_acc as f64 >= full_acc as f64 * 0.9,
+            "active {active_acc}/100 vs full {full_acc}/100 with only 12 labels"
+        );
+        assert!(al.labeled().len() < full.len() / 3);
+    }
+
+    #[test]
+    fn run_stops_when_pool_exhausted() {
+        let (seed, pool) = seed_and_pool();
+        let n_pool = pool.len();
+        let mut al = ActiveLearner::new(seed, pool);
+        al.run(&cheap_svm(), n_pool + 50, oracle);
+        assert_eq!(al.pool_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labeled seed")]
+    fn rejects_empty_seed() {
+        ActiveLearner::new(Dataset::new(2), vec![]);
+    }
+}

@@ -1,0 +1,289 @@
+//! The unified classifier interface consumed by the rest of Nitro.
+//!
+//! [`ClassifierConfig`] is the declarative knob exposed through the tuning
+//! interface (Table II's `classifier` option — the paper's example script
+//! sets `spmv.classifier = svm_classifier()`); [`TrainedModel`] is the
+//! fitted artifact installed into a `code_variant` and persisted to disk.
+//! Feature scaling to `[-1, 1]` happens inside the model, so callers
+//! always pass raw feature vectors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::forest::{ForestModel, ForestParams};
+use crate::grid::{GridResult, GridSearch};
+use crate::kernel::Kernel;
+use crate::knn::KnnModel;
+use crate::scale::Scaler;
+use crate::svm::multiclass::SvmModel;
+use crate::svm::smo::SmoParams;
+use crate::tree::{TreeModel, TreeParams};
+
+/// Which learning algorithm the autotuner should fit, with its options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClassifierConfig {
+    /// RBF-kernel SVM — the paper's default.
+    Svm {
+        /// Fixed C; `None` lets grid search decide.
+        c: Option<f64>,
+        /// Fixed γ; `None` lets grid search decide (or uses `1/dim` when
+        /// grid search is disabled).
+        gamma: Option<f64>,
+        /// Run cross-validated grid search for unspecified parameters.
+        grid_search: bool,
+    },
+    /// k-nearest neighbours.
+    Knn {
+        /// Neighbour count.
+        k: usize,
+    },
+    /// CART decision tree.
+    Tree(TreeParams),
+    /// Bagged random forest.
+    Forest(ForestParams),
+}
+
+impl Default for ClassifierConfig {
+    /// The paper's default: SVM with RBF kernel and CV grid search.
+    fn default() -> Self {
+        ClassifierConfig::Svm { c: None, gamma: None, grid_search: true }
+    }
+}
+
+impl ClassifierConfig {
+    /// Short human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClassifierConfig::Svm { .. } => "svm",
+            ClassifierConfig::Knn { .. } => "knn",
+            ClassifierConfig::Tree(_) => "tree",
+            ClassifierConfig::Forest(_) => "forest",
+        }
+    }
+}
+
+/// A fitted, serializable variant-selection model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrainedModel {
+    /// Scaled SVM with the hyper-parameters it was trained at.
+    Svm {
+        /// The scaler fitted on training features.
+        scaler: Scaler,
+        /// The one-vs-one ensemble.
+        model: SvmModel,
+        /// Box constraint used.
+        c: f64,
+        /// RBF width used.
+        gamma: f64,
+        /// CV accuracy from grid search (`None` without grid search).
+        cv_accuracy: Option<f64>,
+    },
+    /// Scaled kNN.
+    Knn {
+        /// The scaler fitted on training features.
+        scaler: Scaler,
+        /// The memorized model.
+        model: KnnModel,
+    },
+    /// Decision tree (scale-invariant, no scaler needed).
+    Tree {
+        /// The grown tree.
+        model: TreeModel,
+    },
+    /// Random forest (scale-invariant).
+    Forest {
+        /// The trained ensemble.
+        model: ForestModel,
+    },
+}
+
+impl TrainedModel {
+    /// Fit the configured classifier on raw (unscaled) training data.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn train(config: &ClassifierConfig, data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        match config {
+            ClassifierConfig::Svm { c, gamma, grid_search } => {
+                let scaler = Scaler::fit(&data.x);
+                let scaled = Dataset {
+                    x: scaler.transform_all(&data.x),
+                    y: data.y.clone(),
+                    n_classes: data.n_classes,
+                };
+                let default_gamma = 1.0 / data.dim().max(1) as f64;
+                let (c_used, gamma_used, cv_acc) = match (c, gamma, grid_search) {
+                    (Some(c), Some(g), _) => (*c, *g, None),
+                    (_, _, false) => (c.unwrap_or(1.0), gamma.unwrap_or(default_gamma), None),
+                    _ => {
+                        let mut grid = GridSearch::default();
+                        if let Some(c) = c {
+                            grid.c_values = vec![*c];
+                        }
+                        if let Some(g) = gamma {
+                            grid.gamma_values = vec![*g];
+                        }
+                        let GridResult { c, gamma, cv_accuracy } = grid.search(&scaled);
+                        (c, gamma, Some(cv_accuracy))
+                    }
+                };
+                let model = SvmModel::train(
+                    &scaled,
+                    Kernel::Rbf { gamma: gamma_used },
+                    &SmoParams { c: c_used, ..Default::default() },
+                );
+                TrainedModel::Svm { scaler, model, c: c_used, gamma: gamma_used, cv_accuracy: cv_acc }
+            }
+            ClassifierConfig::Knn { k } => {
+                let scaler = Scaler::fit(&data.x);
+                let scaled = Dataset {
+                    x: scaler.transform_all(&data.x),
+                    y: data.y.clone(),
+                    n_classes: data.n_classes,
+                };
+                TrainedModel::Knn { scaler, model: KnnModel::train(&scaled, *k) }
+            }
+            ClassifierConfig::Tree(params) => {
+                TrainedModel::Tree { model: TreeModel::train(data, params) }
+            }
+            ClassifierConfig::Forest(params) => {
+                TrainedModel::Forest { model: ForestModel::train(data, params) }
+            }
+        }
+    }
+
+    /// Predict the best variant (class) for a raw feature vector.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        match self {
+            TrainedModel::Svm { scaler, model, .. } => model.predict(&scaler.transform(features)),
+            TrainedModel::Knn { scaler, model } => model.predict(&scaler.transform(features)),
+            TrainedModel::Tree { model } => model.predict(features),
+            TrainedModel::Forest { model } => model.predict(features),
+        }
+    }
+
+    /// Class posterior for a raw feature vector.
+    pub fn probabilities(&self, features: &[f64]) -> Vec<f64> {
+        match self {
+            TrainedModel::Svm { scaler, model, .. } => {
+                model.probabilities(&scaler.transform(features))
+            }
+            TrainedModel::Knn { scaler, model } => model.probabilities(&scaler.transform(features)),
+            TrainedModel::Tree { model } => model.probabilities(features),
+            TrainedModel::Forest { model } => model.probabilities(features),
+        }
+    }
+
+    /// Best-vs-Second-Best margin (small = uncertain), the active-learning
+    /// query criterion.
+    pub fn bvsb_margin(&self, features: &[f64]) -> f64 {
+        let mut p = self.probabilities(features);
+        p.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        match (p.first(), p.get(1)) {
+            (Some(best), Some(second)) => best - second,
+            (Some(_), None) => 1.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Accuracy over a raw labeled dataset.
+    pub fn accuracy_on(&self, data: &Dataset) -> f64 {
+        let preds: Vec<usize> = data.x.iter().map(|x| self.predict(x)).collect();
+        data.accuracy(&preds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Clusters with wildly different feature magnitudes, so scaling is
+    /// load-bearing.
+    fn skewed_clusters() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..12 {
+            let j = i as f64 * 0.01;
+            d.push(vec![1_000_000.0 + j * 1e4, 0.001 + j * 1e-4], 0);
+            d.push(vec![2_000_000.0 + j * 1e4, 0.002 + j * 1e-4], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn svm_without_grid_search_learns_clusters() {
+        let d = skewed_clusters();
+        let m = TrainedModel::train(
+            &ClassifierConfig::Svm { c: Some(10.0), gamma: Some(1.0), grid_search: false },
+            &d,
+        );
+        assert!(m.accuracy_on(&d) > 0.95);
+    }
+
+    #[test]
+    fn svm_grid_search_records_cv_accuracy() {
+        let d = skewed_clusters();
+        let m = TrainedModel::train(&ClassifierConfig::default(), &d);
+        match m {
+            TrainedModel::Svm { cv_accuracy: Some(acc), .. } => assert!(acc > 0.8, "cv {acc}"),
+            other => panic!("expected grid-searched SVM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn knn_and_tree_learn_clusters() {
+        let d = skewed_clusters();
+        for config in
+            [ClassifierConfig::Knn { k: 3 }, ClassifierConfig::Tree(TreeParams::default())]
+        {
+            let m = TrainedModel::train(&config, &d);
+            assert!(m.accuracy_on(&d) > 0.95, "{} failed", config.name());
+        }
+    }
+
+    #[test]
+    fn probabilities_are_distributions_for_all_models() {
+        let d = skewed_clusters();
+        for config in [
+            ClassifierConfig::Svm { c: Some(1.0), gamma: Some(0.5), grid_search: false },
+            ClassifierConfig::Knn { k: 3 },
+            ClassifierConfig::Tree(TreeParams::default()),
+        ] {
+            let m = TrainedModel::train(&config, &d);
+            let p = m.probabilities(&d.x[0]);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn bvsb_margin_in_unit_interval() {
+        let d = skewed_clusters();
+        let m = TrainedModel::train(&ClassifierConfig::Knn { k: 5 }, &d);
+        for x in &d.x {
+            let margin = m.bvsb_margin(x);
+            assert!((0.0..=1.0).contains(&margin));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let d = skewed_clusters();
+        let m = TrainedModel::train(
+            &ClassifierConfig::Svm { c: Some(1.0), gamma: Some(0.5), grid_search: false },
+            &d,
+        );
+        let j = serde_json::to_string(&m).unwrap();
+        let back: TrainedModel = serde_json::from_str(&j).unwrap();
+        for x in &d.x {
+            assert_eq!(m.predict(x), back.predict(x));
+        }
+    }
+
+    #[test]
+    fn config_default_is_svm_with_grid_search() {
+        assert_eq!(
+            ClassifierConfig::default(),
+            ClassifierConfig::Svm { c: None, gamma: None, grid_search: true }
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Labeled datasets for supervised classification.
+//!
+//! A [`Dataset`] holds feature vectors (`x`) and integer labels (`y`) in
+//! the range `0..n_classes` — in Nitro, labels are variant indices
+//! (paper §III-A: "the label set is integers in the range
+//! {0, 1, …, |V| − 1}").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled classification dataset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature vectors; all rows must share a dimension.
+    pub x: Vec<Vec<f64>>,
+    /// Labels in `0..n_classes`, parallel to `x`.
+    pub y: Vec<usize>,
+    /// Number of classes (variant count).
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Create an empty dataset expecting the given number of classes.
+    pub fn new(n_classes: usize) -> Self {
+        Self { x: Vec::new(), y: Vec::new(), n_classes }
+    }
+
+    /// Create a dataset from parallel arrays, inferring `n_classes` as
+    /// `max(y) + 1`.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` lengths differ or rows have mixed dimensions.
+    pub fn from_parts(x: Vec<Vec<f64>>, y: Vec<usize>) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        if let Some(first) = x.first() {
+            let d = first.len();
+            assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
+        }
+        let n_classes = y.iter().max().map_or(0, |m| m + 1);
+        Self { x, y, n_classes }
+    }
+
+    /// Append one labeled example.
+    ///
+    /// # Panics
+    /// Panics if the label is out of range or the dimension disagrees with
+    /// existing rows.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        assert!(label < self.n_classes, "label {label} >= n_classes {}", self.n_classes);
+        if let Some(first) = self.x.first() {
+            assert_eq!(first.len(), features.len(), "feature dimension mismatch");
+        }
+        self.x.push(features);
+        self.y.push(label);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimensionality (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.x.first().map_or(0, |r| r.len())
+    }
+
+    /// Per-class example counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &label in &self.y {
+            counts[label] += 1;
+        }
+        counts
+    }
+
+    /// The subset of examples at the given indices (cloned).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Deterministic stratified k-fold split: returns `k` disjoint index
+    /// sets whose union is `0..len`, each approximately preserving class
+    /// proportions. Folds are shuffled with `seed`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn stratified_folds(&self, k: usize, seed: u64) -> Vec<Vec<usize>> {
+        assert!(k > 0, "k must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes.max(1)];
+        for (i, &label) in self.y.iter().enumerate() {
+            by_class[label].push(i);
+        }
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for class_indices in by_class.iter_mut() {
+            class_indices.shuffle(&mut rng);
+            for (j, &idx) in class_indices.iter().enumerate() {
+                folds[j % k].push(idx);
+            }
+        }
+        folds
+    }
+
+    /// Classification accuracy of `predictions` against this dataset's
+    /// labels (0 for an empty dataset).
+    pub fn accuracy(&self, predictions: &[usize]) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        assert_eq!(predictions.len(), self.len());
+        let correct = predictions.iter().zip(&self.y).filter(|(p, y)| p == y).count();
+        correct as f64 / self.len() as f64
+    }
+
+    /// Confusion matrix `m[actual][predicted]`.
+    pub fn confusion(&self, predictions: &[usize]) -> Vec<Vec<usize>> {
+        assert_eq!(predictions.len(), self.len());
+        let mut m = vec![vec![0usize; self.n_classes]; self.n_classes];
+        for (&pred, &actual) in predictions.iter().zip(&self.y) {
+            m[actual][pred] += 1;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_parts(
+            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
+            vec![0, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn from_parts_infers_classes() {
+        let d = toy();
+        assert_eq!(d.n_classes, 2);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn push_rejects_out_of_range_label() {
+        let mut d = Dataset::new(2);
+        d.push(vec![1.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn push_rejects_ragged_rows() {
+        let mut d = toy();
+        d.push(vec![1.0], 0);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = toy();
+        let s = d.subset(&[0, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y, vec![0, 1]);
+        assert_eq!(s.x[1], vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let d = toy();
+        let folds = d.stratified_folds(2, 42);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        // 10 of class 0, 10 of class 1; 5 folds should each get 2+2.
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..20).map(|i| i / 10).collect();
+        let d = Dataset::from_parts(x, y);
+        for fold in d.stratified_folds(5, 7) {
+            let zeros = fold.iter().filter(|&&i| d.y[i] == 0).count();
+            let ones = fold.len() - zeros;
+            assert_eq!((zeros, ones), (2, 2));
+        }
+    }
+
+    #[test]
+    fn folds_deterministic_by_seed() {
+        let d = toy();
+        assert_eq!(d.stratified_folds(2, 5), d.stratified_folds(2, 5));
+    }
+
+    #[test]
+    fn accuracy_and_confusion() {
+        let d = toy();
+        let preds = vec![0, 1, 1, 1];
+        assert_eq!(d.accuracy(&preds), 0.75);
+        let m = d.confusion(&preds);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 2);
+    }
+
+    #[test]
+    fn empty_accuracy_is_zero() {
+        assert_eq!(Dataset::new(3).accuracy(&[]), 0.0);
+    }
+}

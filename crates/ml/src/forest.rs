@@ -1,0 +1,184 @@
+//! Random forest — a bagged ensemble of CART trees.
+//!
+//! A fourth classifier family for the tuner's `classifier` option. The
+//! paper's related-work section (§VI) surveys a spectrum of learning
+//! approaches for algorithm selection and argues "many of these
+//! techniques can be integrated into Nitro's learning sub-system";
+//! forests are the natural upgrade over a single tree: same
+//! interpretable axis-aligned structure, far lower variance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::tree::{TreeModel, TreeParams};
+
+/// Training hyper-parameters for [`ForestModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of bagged trees.
+    pub n_trees: usize,
+    /// Per-tree CART parameters.
+    pub tree: TreeParams,
+    /// Bootstrap sample fraction (of the training-set size).
+    pub sample_fraction: f64,
+    /// Seed for the bootstrap resampling.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self { n_trees: 25, tree: TreeParams::default(), sample_fraction: 0.8, seed: 0xF0E5 }
+    }
+}
+
+/// A bagged ensemble of CART trees with averaged leaf posteriors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestModel {
+    trees: Vec<TreeModel>,
+    n_classes: usize,
+}
+
+impl ForestModel {
+    /// Train the ensemble on bootstrap resamples of `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `n_trees == 0`.
+    pub fn train(data: &Dataset, params: &ForestParams) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert!(params.n_trees > 0, "need at least one tree");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let sample_size =
+            ((data.len() as f64 * params.sample_fraction).ceil() as usize).clamp(1, data.len());
+        let trees = (0..params.n_trees)
+            .map(|_| {
+                let indices: Vec<usize> =
+                    (0..sample_size).map(|_| rng.random_range(0..data.len())).collect();
+                TreeModel::train(&data.subset(&indices), &params.tree)
+            })
+            .collect();
+        Self { trees, n_classes: data.n_classes }
+    }
+
+    /// Mean leaf posterior across the ensemble.
+    pub fn probabilities(&self, point: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.n_classes];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.probabilities(point)) {
+                *a += p;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in acc.iter_mut() {
+                *a /= total;
+            }
+        }
+        acc
+    }
+
+    /// Predicted class (argmax of the mean posterior).
+    pub fn predict(&self, point: &[f64]) -> usize {
+        self.probabilities(point)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Noisy two-moons-ish data a single shallow tree struggles with.
+    fn noisy_data(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..120 {
+            let x: f64 = rng.random_range(-2.0..2.0);
+            let y: f64 = rng.random_range(-2.0..2.0);
+            // True boundary: inside the unit circle vs outside, with 8%
+            // label noise.
+            let mut label = usize::from(x * x + y * y > 1.0);
+            if rng.random_bool(0.08) {
+                label = 1 - label;
+            }
+            d.push(vec![x, y], label);
+        }
+        d
+    }
+
+    #[test]
+    fn forest_learns_nonlinear_boundary() {
+        let d = noisy_data(3);
+        let f = ForestModel::train(&d, &ForestParams::default());
+        // Evaluate on clean points.
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..200 {
+            let theta = i as f64 * 0.0314;
+            for (r, label) in [(0.5, 0usize), (1.5, 1usize)] {
+                let p = vec![r * theta.cos(), r * theta.sin()];
+                if f.predict(&p) == label {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.9, "{correct}/{total}");
+    }
+
+    #[test]
+    fn forest_beats_single_tree_on_noise() {
+        let train = noisy_data(5);
+        let forest = ForestModel::train(&train, &ForestParams::default());
+        let tree = TreeModel::train(&train, &TreeParams::default());
+        let mut forest_ok = 0;
+        let mut tree_ok = 0;
+        let mut n = 0;
+        for i in 0..300 {
+            let theta = i as f64 * 0.021;
+            for (r, label) in [(0.4, 0usize), (1.7, 1usize)] {
+                let p = vec![r * theta.cos(), r * theta.sin()];
+                forest_ok += usize::from(forest.predict(&p) == label);
+                tree_ok += usize::from(tree.predict(&p) == label);
+                n += 1;
+            }
+        }
+        assert!(forest_ok >= tree_ok, "forest {forest_ok} vs tree {tree_ok} of {n}");
+    }
+
+    #[test]
+    fn probabilities_are_distributions() {
+        let d = noisy_data(7);
+        let f = ForestModel::train(&d, &ForestParams { n_trees: 7, ..Default::default() });
+        let p = f.probabilities(&[0.3, -0.4]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = noisy_data(9);
+        let a = ForestModel::train(&d, &ForestParams::default());
+        let b = ForestModel::train(&d, &ForestParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = noisy_data(11);
+        let f = ForestModel::train(&d, &ForestParams { n_trees: 3, ..Default::default() });
+        let j = serde_json::to_string(&f).unwrap();
+        let back: ForestModel = serde_json::from_str(&j).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -1,0 +1,125 @@
+//! k-nearest-neighbour classifier — an alternative model for the tuner's
+//! `classifier` option (Table II lets the expert swap the learning
+//! algorithm; the paper's related-work section cites several systems that
+//! use instance-based selection).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Brute-force kNN over (pre-scaled) feature vectors with majority voting.
+///
+/// Probabilities are neighbour vote fractions with inverse-distance
+/// weighting, which gives the active learner a usable confidence signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnModel {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KnnModel {
+    /// Fit (memorize) the training data.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `k == 0`.
+    pub fn train(data: &Dataset, k: usize) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert!(k > 0, "k must be positive");
+        Self { k, x: data.x.clone(), y: data.y.clone(), n_classes: data.n_classes }
+    }
+
+    fn neighbours(&self, point: &[f64]) -> Vec<(f64, usize)> {
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(row, &label)| {
+                let d2: f64 = row.iter().zip(point).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2, label)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        dists.truncate(self.k);
+        dists
+    }
+
+    /// Predicted class of a point.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        let p = self.probabilities(point);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Inverse-distance-weighted vote distribution over classes.
+    pub fn probabilities(&self, point: &[f64]) -> Vec<f64> {
+        let mut weights = vec![0.0f64; self.n_classes];
+        for (d2, label) in self.neighbours(point) {
+            weights[label] += 1.0 / (d2.sqrt() + 1e-9);
+        }
+        let total: f64 = weights.iter().sum();
+        if total > 0.0 {
+            for w in weights.iter_mut() {
+                *w /= total;
+            }
+        }
+        weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_parts(
+            vec![
+                vec![0.0, 0.0],
+                vec![0.1, 0.0],
+                vec![0.0, 0.1],
+                vec![5.0, 5.0],
+                vec![5.1, 5.0],
+                vec![5.0, 5.1],
+            ],
+            vec![0, 0, 0, 1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn predicts_by_locality() {
+        let m = KnnModel::train(&toy(), 3);
+        assert_eq!(m.predict(&[0.05, 0.05]), 0);
+        assert_eq!(m.predict(&[5.05, 5.05]), 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let m = KnnModel::train(&toy(), 3);
+        let p = m.probabilities(&[2.5, 2.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_training_point_is_confident() {
+        let m = KnnModel::train(&toy(), 1);
+        let p = m.probabilities(&[0.0, 0.0]);
+        assert!(p[0] > 0.999);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_uses_all_points() {
+        let m = KnnModel::train(&toy(), 100);
+        // Should not panic; majority of all six points decides.
+        let _ = m.predict(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        KnnModel::train(&toy(), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Classification metrics beyond plain accuracy.
+//!
+//! Variant populations are imbalanced (a benchmark may have one dominant
+//! winner and several niche ones), so per-class precision/recall and
+//! macro-F1 say more about a selection model than accuracy does. Used by
+//! the experiment harnesses' diagnostic output.
+
+use crate::dataset::Dataset;
+
+/// Per-class and aggregate classification metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationReport {
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Per-class precision (NaN-free: 0 when the class was never predicted).
+    pub precision: Vec<f64>,
+    /// Per-class recall (0 when the class never occurs).
+    pub recall: Vec<f64>,
+    /// Per-class F1.
+    pub f1: Vec<f64>,
+    /// Macro-averaged F1 over classes that occur in the data.
+    pub macro_f1: f64,
+    /// Number of true examples per class.
+    pub support: Vec<usize>,
+}
+
+/// Compute a classification report from true labels and predictions.
+///
+/// # Panics
+/// Panics if lengths differ or a prediction is out of class range.
+pub fn classification_report(data: &Dataset, predictions: &[usize]) -> ClassificationReport {
+    assert_eq!(data.len(), predictions.len(), "one prediction per example");
+    let k = data.n_classes;
+    let mut tp = vec![0usize; k];
+    let mut fp = vec![0usize; k];
+    let mut fnn = vec![0usize; k];
+    let mut support = vec![0usize; k];
+    let mut correct = 0usize;
+    for (&pred, &truth) in predictions.iter().zip(&data.y) {
+        assert!(pred < k, "prediction {pred} out of range");
+        support[truth] += 1;
+        if pred == truth {
+            tp[truth] += 1;
+            correct += 1;
+        } else {
+            fp[pred] += 1;
+            fnn[truth] += 1;
+        }
+    }
+    let precision: Vec<f64> = (0..k)
+        .map(|c| {
+            let denom = tp[c] + fp[c];
+            if denom == 0 {
+                0.0
+            } else {
+                tp[c] as f64 / denom as f64
+            }
+        })
+        .collect();
+    let recall: Vec<f64> = (0..k)
+        .map(|c| {
+            let denom = tp[c] + fnn[c];
+            if denom == 0 {
+                0.0
+            } else {
+                tp[c] as f64 / denom as f64
+            }
+        })
+        .collect();
+    let f1: Vec<f64> = (0..k)
+        .map(|c| {
+            let (p, r) = (precision[c], recall[c]);
+            if p + r == 0.0 {
+                0.0
+            } else {
+                2.0 * p * r / (p + r)
+            }
+        })
+        .collect();
+    let present: Vec<usize> = (0..k).filter(|&c| support[c] > 0).collect();
+    let macro_f1 = if present.is_empty() {
+        0.0
+    } else {
+        present.iter().map(|&c| f1[c]).sum::<f64>() / present.len() as f64
+    };
+    ClassificationReport {
+        accuracy: if data.is_empty() { 0.0 } else { correct as f64 / data.len() as f64 },
+        precision,
+        recall,
+        f1,
+        macro_f1,
+        support,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(labels: &[usize], k: usize) -> Dataset {
+        let x = labels.iter().map(|&l| vec![l as f64]).collect();
+        Dataset { x, y: labels.to_vec(), n_classes: k }
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let d = dataset(&[0, 1, 2, 1, 0], 3);
+        let r = classification_report(&d, &d.y);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.macro_f1, 1.0);
+        assert!(r.precision.iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn asymmetric_errors_show_in_precision_recall() {
+        // Truth:        0 0 0 1 1
+        // Predictions:  0 0 1 1 1
+        let d = dataset(&[0, 0, 0, 1, 1], 2);
+        let r = classification_report(&d, &[0, 0, 1, 1, 1]);
+        assert_eq!(r.accuracy, 0.8);
+        assert_eq!(r.precision[0], 1.0); // class 0 never falsely predicted
+        assert!((r.recall[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.precision[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.recall[1], 1.0);
+        assert_eq!(r.support, vec![3, 2]);
+    }
+
+    #[test]
+    fn absent_class_contributes_zero_but_not_to_macro() {
+        // Class 2 never appears in the data.
+        let d = dataset(&[0, 0, 1, 1], 3);
+        let r = classification_report(&d, &[0, 0, 1, 1]);
+        assert_eq!(r.f1[2], 0.0);
+        assert_eq!(r.macro_f1, 1.0, "macro-F1 averages only classes present");
+    }
+
+    #[test]
+    fn never_predicted_class_has_zero_precision_without_nan() {
+        let d = dataset(&[0, 1], 2);
+        let r = classification_report(&d, &[0, 0]);
+        assert_eq!(r.precision[1], 0.0);
+        assert!(r.macro_f1.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction per example")]
+    fn rejects_length_mismatch() {
+        let d = dataset(&[0, 1], 2);
+        classification_report(&d, &[0]);
+    }
+}

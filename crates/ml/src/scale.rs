@@ -1,0 +1,138 @@
+//! Feature scaling to `[-1, 1]`.
+//!
+//! Paper §III-A: "The features are scaled to the range [-1, 1]" before the
+//! RBF-kernel SVM is trained — the standard libSVM preprocessing. The same
+//! scaler fitted on the training set is applied to every later input.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension min/max scaler mapping features into `[-1, 1]`.
+///
+/// Dimensions that were constant in the training data map to `0.0`.
+/// Out-of-range values at prediction time extrapolate linearly (they are
+/// *not* clamped), matching libSVM's `svm-scale`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fit a scaler on training rows.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on no data");
+        let dim = rows[0].len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in rows {
+            assert_eq!(row.len(), dim, "ragged rows");
+            for (d, &v) in row.iter().enumerate() {
+                mins[d] = mins[d].min(v);
+                maxs[d] = maxs[d].max(v);
+            }
+        }
+        Self { mins, maxs }
+    }
+
+    /// Feature dimensionality this scaler was fitted for.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scale one feature vector into `[-1, 1]` (training range).
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim(), "dimension mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let span = self.maxs[d] - self.mins[d];
+                if span <= 0.0 || !span.is_finite() {
+                    0.0
+                } else {
+                    -1.0 + 2.0 * (v - self.mins[d]) / span
+                }
+            })
+            .collect()
+    }
+
+    /// Scale many rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Map a scaled vector back to original units (constant dimensions
+    /// return their training value).
+    pub fn inverse(&self, scaled: &[f64]) -> Vec<f64> {
+        assert_eq!(scaled.len(), self.dim(), "dimension mismatch");
+        scaled
+            .iter()
+            .enumerate()
+            .map(|(d, &s)| {
+                let span = self.maxs[d] - self.mins[d];
+                if span <= 0.0 || !span.is_finite() {
+                    self.mins[d]
+                } else {
+                    self.mins[d] + (s + 1.0) * span / 2.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_training_extremes_to_unit_bounds() {
+        let rows = vec![vec![0.0, 10.0], vec![4.0, 30.0], vec![2.0, 20.0]];
+        let s = Scaler::fit(&rows);
+        assert_eq!(s.transform(&[0.0, 10.0]), vec![-1.0, -1.0]);
+        assert_eq!(s.transform(&[4.0, 30.0]), vec![1.0, 1.0]);
+        assert_eq!(s.transform(&[2.0, 20.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let rows = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        let s = Scaler::fit(&rows);
+        assert_eq!(s.transform(&[5.0, 1.5])[0], 0.0);
+    }
+
+    #[test]
+    fn out_of_range_extrapolates() {
+        let rows = vec![vec![0.0], vec![10.0]];
+        let s = Scaler::fit(&rows);
+        assert_eq!(s.transform(&[20.0]), vec![3.0]);
+        assert_eq!(s.transform(&[-10.0]), vec![-3.0]);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let rows = vec![vec![1.0, -4.0], vec![9.0, 8.0], vec![3.0, 0.0]];
+        let s = Scaler::fit(&rows);
+        for row in &rows {
+            let back = s.inverse(&s.transform(row));
+            for (a, b) in row.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn fit_rejects_empty() {
+        Scaler::fit(&[]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Scaler::fit(&[vec![0.0], vec![2.0]]);
+        let j = serde_json::to_string(&s).unwrap();
+        let back: Scaler = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

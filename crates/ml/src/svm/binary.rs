@@ -1,0 +1,113 @@
+//! A trained binary SVM: support vectors, coefficients and bias.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::Kernel;
+use crate::svm::smo::{solve, SmoParams};
+
+/// A binary C-SVC machine produced by [`BinarySvm::train`].
+///
+/// Only support vectors (training rows with `α > 0`) are retained; the
+/// decision function is `f(x) = Σ coef_s · K(sv_s, x) − rho`, with
+/// `coef_s = α_s y_s`. Positive `f` predicts the `+1` class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinarySvm {
+    /// Support vectors (copies of the relevant training rows).
+    pub support_vectors: Vec<Vec<f64>>,
+    /// `α_s y_s` for each support vector.
+    pub coef: Vec<f64>,
+    /// Bias term.
+    pub rho: f64,
+    /// Kernel the machine was trained with.
+    pub kernel: Kernel,
+}
+
+impl BinarySvm {
+    /// Train on rows `x` with labels `y ∈ {−1, +1}`.
+    pub fn train(x: &[Vec<f64>], y: &[f64], kernel: Kernel, params: &SmoParams) -> Self {
+        let result = solve(x, y, &kernel, params);
+        let mut support_vectors = Vec::new();
+        let mut coef = Vec::new();
+        for (i, &a) in result.alpha.iter().enumerate() {
+            if a > 0.0 {
+                support_vectors.push(x[i].clone());
+                coef.push(a * y[i]);
+            }
+        }
+        Self { support_vectors, coef, rho: result.rho, kernel }
+    }
+
+    /// Signed decision value; the predicted label is its sign.
+    pub fn decision(&self, point: &[f64]) -> f64 {
+        let mut f = -self.rho;
+        for (sv, &c) in self.support_vectors.iter().zip(&self.coef) {
+            f += c * self.kernel.eval(sv, point);
+        }
+        f
+    }
+
+    /// Predicted label in `{−1, +1}` (ties break positive).
+    pub fn predict(&self, point: &[f64]) -> f64 {
+        if self.decision(point) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Number of retained support vectors.
+    pub fn n_support(&self) -> usize {
+        self.support_vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_and_predicts_separable_data() {
+        let x = vec![vec![-3.0, 0.0], vec![-2.0, 1.0], vec![2.0, -1.0], vec![3.0, 0.5]];
+        let y = vec![-1.0, -1.0, 1.0, 1.0];
+        let m = BinarySvm::train(&x, &y, Kernel::Linear, &SmoParams::default());
+        assert_eq!(m.predict(&[-2.5, 0.0]), -1.0);
+        assert_eq!(m.predict(&[2.5, 0.0]), 1.0);
+        assert!(m.n_support() >= 2);
+    }
+
+    #[test]
+    fn discards_non_support_vectors() {
+        // Points far behind the margin should not be support vectors.
+        let x = vec![
+            vec![-10.0],
+            vec![-1.0],
+            vec![1.0],
+            vec![10.0],
+        ];
+        let y = vec![-1.0, -1.0, 1.0, 1.0];
+        let m = BinarySvm::train(&x, &y, Kernel::Linear, &SmoParams::default());
+        assert!(m.n_support() < 4, "expected the ±10 points to be dropped");
+    }
+
+    #[test]
+    fn decision_is_continuous_and_signed() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![-1.0, 1.0];
+        let m = BinarySvm::train(&x, &y, Kernel::Rbf { gamma: 1.0 }, &SmoParams::default());
+        assert!(m.decision(&[0.0]) < 0.0);
+        assert!(m.decision(&[1.0]) > 0.0);
+        // Midpoint should be near the boundary.
+        assert!(m.decision(&[0.5]).abs() < 0.2);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_decisions() {
+        let x = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let y = vec![-1.0, -1.0, 1.0, 1.0];
+        let m = BinarySvm::train(&x, &y, Kernel::Rbf { gamma: 0.5 }, &SmoParams::default());
+        let j = serde_json::to_string(&m).unwrap();
+        let back: BinarySvm = serde_json::from_str(&j).unwrap();
+        let p = [1.3, 0.9];
+        assert_eq!(m.decision(&p), back.decision(&p));
+    }
+}

@@ -1,0 +1,147 @@
+//! Pairwise coupling: one-vs-one probabilities → a single class posterior.
+//!
+//! Implements the second method of Wu, Lin & Weng (*Probability estimates
+//! for multi-class classification by pairwise coupling*, JMLR 2004) — the
+//! algorithm libSVM uses in `multiclass_probability`. Given pairwise
+//! estimates `r[i][j] ≈ P(class i | class i or j, x)`, it finds the
+//! posterior `p` minimizing `Σ_{i<j} (r[j][i]·p_i − r[i][j]·p_j)²` subject
+//! to `Σ p = 1`, `p ≥ 0`.
+
+/// Combine pairwise probabilities into a class posterior.
+///
+/// `r` is a `k × k` matrix with `r[i][j] + r[j][i] = 1` for `i ≠ j`
+/// (diagonal ignored). Returns a length-`k` probability vector.
+///
+/// # Panics
+/// Panics if `r` is not square of size `k ≥ 1`.
+pub fn couple(r: &[Vec<f64>]) -> Vec<f64> {
+    let k = r.len();
+    assert!(k >= 1 && r.iter().all(|row| row.len() == k), "r must be k×k");
+    if k == 1 {
+        return vec![1.0];
+    }
+
+    // Build Q: Q[t][t] = Σ_{j≠t} r[j][t]²,  Q[t][j] = −r[j][t]·r[t][j].
+    let mut q = vec![vec![0.0f64; k]; k];
+    for t in 0..k {
+        for j in 0..k {
+            if j == t {
+                continue;
+            }
+            q[t][t] += r[j][t] * r[j][t];
+            q[t][j] = -r[j][t] * r[t][j];
+        }
+    }
+
+    let mut p = vec![1.0 / k as f64; k];
+    let mut qp = vec![0.0f64; k];
+    let eps = 0.005 / k as f64;
+    let max_iter = 100.max(k);
+
+    for _ in 0..max_iter {
+        // qp = Q p, pqp = pᵀQp
+        let mut pqp = 0.0;
+        for t in 0..k {
+            qp[t] = (0..k).map(|j| q[t][j] * p[j]).sum();
+            pqp += p[t] * qp[t];
+        }
+        let max_err = (0..k).map(|t| (qp[t] - pqp).abs()).fold(0.0, f64::max);
+        if max_err < eps {
+            break;
+        }
+        for t in 0..k {
+            let diff = (-qp[t] + pqp) / q[t][t];
+            p[t] += diff;
+            pqp = (pqp + diff * (diff * q[t][t] + 2.0 * qp[t])) / ((1.0 + diff) * (1.0 + diff));
+            for j in 0..k {
+                qp[j] = (qp[j] + diff * q[t][j]) / (1.0 + diff);
+                p[j] /= 1.0 + diff;
+            }
+        }
+    }
+
+    // Numerical cleanup: clamp and renormalize.
+    for v in p.iter_mut() {
+        *v = v.max(0.0);
+    }
+    let sum: f64 = p.iter().sum();
+    if sum > 0.0 {
+        for v in p.iter_mut() {
+            *v /= sum;
+        }
+    } else {
+        p.fill(1.0 / k as f64);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairwise_from_scores(scores: &[f64]) -> Vec<Vec<f64>> {
+        // Bradley–Terry style r[i][j] = s_i / (s_i + s_j).
+        let k = scores.len();
+        let mut r = vec![vec![0.0; k]; k];
+        for i in 0..k {
+            for j in 0..k {
+                if i != j {
+                    r[i][j] = scores[i] / (scores[i] + scores[j]);
+                }
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn posterior_sums_to_one() {
+        let r = pairwise_from_scores(&[1.0, 2.0, 3.0, 4.0]);
+        let p = couple(&r);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn dominant_class_wins() {
+        let r = pairwise_from_scores(&[0.1, 0.1, 10.0]);
+        let p = couple(&r);
+        let best = p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(best, 2);
+        assert!(p[2] > 0.8, "p = {p:?}");
+    }
+
+    #[test]
+    fn symmetric_input_gives_uniform_posterior() {
+        let k = 4;
+        let mut r = vec![vec![0.5; k]; k];
+        for (i, row) in r.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        let p = couple(&r);
+        for &v in &p {
+            assert!((v - 0.25).abs() < 1e-6, "p = {p:?}");
+        }
+    }
+
+    #[test]
+    fn recovers_bradley_terry_ordering() {
+        let scores = [5.0, 1.0, 3.0, 2.0];
+        let p = couple(&pairwise_from_scores(&scores));
+        // Posterior must preserve the score ordering.
+        let mut order: Vec<usize> = (0..4).collect();
+        order.sort_by(|&a, &b| p[b].partial_cmp(&p[a]).unwrap());
+        assert_eq!(order, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn single_class_is_certain() {
+        assert_eq!(couple(&[vec![0.0]]), vec![1.0]);
+    }
+
+    #[test]
+    fn two_class_matches_direct_probability() {
+        let r = vec![vec![0.0, 0.8], vec![0.2, 0.0]];
+        let p = couple(&r);
+        assert!((p[0] - 0.8).abs() < 0.05, "p = {p:?}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Support Vector Machine classification (the paper's default model).
+//!
+//! The stack mirrors libSVM, which the paper uses directly (§II-A):
+//!
+//! * [`smo`] — the Sequential Minimal Optimization solver for the binary
+//!   C-SVC dual, with second-order working-set selection (Fan, Chen & Lin,
+//!   JMLR 2005 — the selection rule libSVM ships).
+//! * [`binary`] — a trained binary machine: support vectors, coefficients
+//!   and bias.
+//! * [`platt`] — Platt sigmoid calibration of decision values into
+//!   probabilities (Lin, Lin & Weng's robust Newton variant).
+//! * [`coupling`] — Wu–Lin–Weng pairwise coupling, combining the
+//!   one-vs-one probabilities into a single class posterior.
+//! * [`multiclass`] — the one-vs-one ensemble that the rest of Nitro
+//!   consumes; posteriors feed the Best-vs-Second-Best active-learning
+//!   heuristic (paper §III-B).
+
+pub mod binary;
+pub mod coupling;
+pub mod multiclass;
+pub mod platt;
+pub mod smo;
+
+pub use binary::BinarySvm;
+pub use multiclass::SvmModel;
+pub use platt::Platt;
+pub use smo::{solve, SmoParams, SmoResult};

@@ -1,0 +1,269 @@
+//! One-vs-one multiclass SVM (libSVM's scheme, used by the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::kernel::Kernel;
+use crate::svm::binary::BinarySvm;
+use crate::svm::coupling::couple;
+use crate::svm::platt::Platt;
+use crate::svm::smo::SmoParams;
+
+/// One binary machine for an ordered class pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PairMachine {
+    /// Class mapped to the machine's `+1` label.
+    pos: usize,
+    /// Class mapped to the machine's `−1` label.
+    neg: usize,
+    svm: BinarySvm,
+    platt: Platt,
+}
+
+/// A trained one-vs-one multiclass SVM with probability outputs.
+///
+/// `k(k−1)/2` binary machines are trained, one per class pair present in
+/// the training data. Prediction uses majority voting (ties broken by the
+/// coupled posterior); [`SvmModel::probabilities`] runs Platt-calibrated
+/// pairwise outputs through Wu–Lin–Weng coupling — these posteriors drive
+/// Nitro's Best-vs-Second-Best active learning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmModel {
+    n_classes: usize,
+    machines: Vec<PairMachine>,
+    /// Classes that actually appeared in training data.
+    present: Vec<bool>,
+    /// Majority training class: the fallback when no machine exists.
+    fallback: usize,
+}
+
+impl SvmModel {
+    /// Train on a (pre-scaled) dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn train(data: &Dataset, kernel: Kernel, params: &SmoParams) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let k = data.n_classes;
+        let counts = data.class_counts();
+        let present: Vec<bool> = counts.iter().map(|&c| c > 0).collect();
+        let fallback = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        let mut machines = Vec::new();
+        for a in 0..k {
+            for b in (a + 1)..k {
+                if counts[a] == 0 || counts[b] == 0 {
+                    continue;
+                }
+                let mut x = Vec::with_capacity(counts[a] + counts[b]);
+                let mut y = Vec::with_capacity(counts[a] + counts[b]);
+                for (row, &label) in data.x.iter().zip(&data.y) {
+                    if label == a {
+                        x.push(row.clone());
+                        y.push(1.0);
+                    } else if label == b {
+                        x.push(row.clone());
+                        y.push(-1.0);
+                    }
+                }
+                let svm = BinarySvm::train(&x, &y, kernel, params);
+                // Calibrate on in-sample decision values. (libSVM uses
+                // 5-fold CV decisions; in-sample is a documented
+                // simplification that matters little at Nitro's training
+                // sizes and keeps incremental retraining cheap.)
+                let decisions: Vec<f64> = x.iter().map(|r| svm.decision(r)).collect();
+                let labels: Vec<bool> = y.iter().map(|&v| v > 0.0).collect();
+                let platt = Platt::fit(&decisions, &labels);
+                machines.push(PairMachine { pos: a, neg: b, svm, platt });
+            }
+        }
+        Self { n_classes: k, machines, present, fallback }
+    }
+
+    /// Number of classes this model separates.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of trained pair machines.
+    pub fn n_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Predict the class of a (pre-scaled) point by pairwise voting.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        if self.machines.is_empty() {
+            return self.fallback;
+        }
+        let mut votes = vec![0usize; self.n_classes];
+        for m in &self.machines {
+            if m.svm.decision(point) >= 0.0 {
+                votes[m.pos] += 1;
+            } else {
+                votes[m.neg] += 1;
+            }
+        }
+        let max_votes = *votes.iter().max().unwrap();
+        let tied: Vec<usize> =
+            (0..self.n_classes).filter(|&c| votes[c] == max_votes).collect();
+        if tied.len() == 1 {
+            return tied[0];
+        }
+        // Break ties with the coupled posterior.
+        let probs = self.probabilities(point);
+        tied.into_iter()
+            .max_by(|&a, &b| probs[a].partial_cmp(&probs[b]).unwrap())
+            .unwrap_or(self.fallback)
+    }
+
+    /// Class posterior for a (pre-scaled) point, length `n_classes`.
+    /// Classes absent from training receive probability 0.
+    pub fn probabilities(&self, point: &[f64]) -> Vec<f64> {
+        let active: Vec<usize> =
+            (0..self.n_classes).filter(|&c| self.present[c]).collect();
+        if active.is_empty() {
+            return vec![0.0; self.n_classes];
+        }
+        if active.len() == 1 {
+            let mut p = vec![0.0; self.n_classes];
+            p[active[0]] = 1.0;
+            return p;
+        }
+        let idx_of: Vec<usize> = {
+            let mut map = vec![usize::MAX; self.n_classes];
+            for (i, &c) in active.iter().enumerate() {
+                map[c] = i;
+            }
+            map
+        };
+        let ka = active.len();
+        let mut r = vec![vec![0.5; ka]; ka];
+        for row in r.iter_mut().enumerate() {
+            row.1[row.0] = 0.0;
+        }
+        for m in &self.machines {
+            // Clamp away from 0/1 as libSVM does, to keep coupling stable.
+            let p = m.platt.prob(m.svm.decision(point)).clamp(1e-7, 1.0 - 1e-7);
+            let (i, j) = (idx_of[m.pos], idx_of[m.neg]);
+            r[i][j] = p;
+            r[j][i] = 1.0 - p;
+        }
+        let coupled = couple(&r);
+        let mut full = vec![0.0; self.n_classes];
+        for (i, &c) in active.iter().enumerate() {
+            full[c] = coupled[i];
+        }
+        full
+    }
+
+    /// The Best-vs-Second-Best margin: `p(best) − p(second)`. Small
+    /// margins mark points the model is least sure about — the paper's
+    /// active-learning query criterion (§III-B).
+    pub fn bvsb_margin(&self, point: &[f64]) -> f64 {
+        let mut p = self.probabilities(point);
+        p.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        match (p.first(), p.get(1)) {
+            (Some(best), Some(second)) => best - second,
+            (Some(_), None) => 1.0,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blob_dataset() -> Dataset {
+        // Three well-separated clusters in 2D.
+        let mut d = Dataset::new(3);
+        for i in 0..8 {
+            let t = i as f64 / 10.0;
+            d.push(vec![-1.0 + t * 0.1, -1.0 - t * 0.1], 0);
+            d.push(vec![1.0 + t * 0.1, -1.0 + t * 0.1], 1);
+            d.push(vec![0.0 + t * 0.1, 1.0 + t * 0.1], 2);
+        }
+        d
+    }
+
+    fn model() -> SvmModel {
+        SvmModel::train(
+            &three_blob_dataset(),
+            Kernel::Rbf { gamma: 1.0 },
+            &SmoParams::default(),
+        )
+    }
+
+    #[test]
+    fn trains_all_pairs() {
+        assert_eq!(model().n_machines(), 3);
+    }
+
+    #[test]
+    fn classifies_cluster_centers() {
+        let m = model();
+        assert_eq!(m.predict(&[-1.0, -1.0]), 0);
+        assert_eq!(m.predict(&[1.0, -1.0]), 1);
+        assert_eq!(m.predict(&[0.0, 1.0]), 2);
+    }
+
+    #[test]
+    fn probabilities_form_a_distribution() {
+        let m = model();
+        let p = m.probabilities(&[0.2, 0.3]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn confident_point_has_large_bvsb_margin() {
+        let m = model();
+        let at_center = m.bvsb_margin(&[-1.0, -1.0]);
+        // Equidistant from all three clusters: maximal confusion.
+        let at_centroid = m.bvsb_margin(&[0.0, -0.2]);
+        assert!(
+            at_center > at_centroid,
+            "center margin {at_center} vs centroid margin {at_centroid}"
+        );
+    }
+
+    #[test]
+    fn missing_class_gets_zero_probability() {
+        // n_classes = 3 but class 2 never appears.
+        let mut d = Dataset::new(3);
+        for i in 0..6 {
+            d.push(vec![i as f64], if i < 3 { 0 } else { 1 });
+        }
+        let m = SvmModel::train(&d, Kernel::Linear, &SmoParams::default());
+        let p = m.probabilities(&[0.0]);
+        assert_eq!(p[2], 0.0);
+        assert!((p[0] + p[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_class_dataset_predicts_it() {
+        let mut d = Dataset::new(4);
+        d.push(vec![1.0], 2);
+        d.push(vec![2.0], 2);
+        let m = SvmModel::train(&d, Kernel::Linear, &SmoParams::default());
+        assert_eq!(m.predict(&[5.0]), 2);
+        assert_eq!(m.probabilities(&[5.0])[2], 1.0);
+        assert_eq!(m.bvsb_margin(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let m = model();
+        let j = serde_json::to_string(&m).unwrap();
+        let back: SvmModel = serde_json::from_str(&j).unwrap();
+        for p in [[0.0, 1.0], [1.0, -1.0], [-1.0, -1.0]] {
+            assert_eq!(m.predict(&p), back.predict(&p));
+        }
+    }
+}

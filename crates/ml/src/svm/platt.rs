@@ -1,0 +1,176 @@
+//! Platt sigmoid calibration: decision values → probabilities.
+//!
+//! Fits `P(y = +1 | f) = 1 / (1 + exp(A·f + B))` to (decision value,
+//! label) pairs using the robust Newton method of Lin, Lin & Weng
+//! (*A note on Platt's probabilistic outputs for support vector
+//! machines*, 2007) — the exact routine libSVM ships. Probabilities feed
+//! pairwise coupling and, ultimately, the Best-vs-Second-Best
+//! active-learning margin.
+
+use serde::{Deserialize, Serialize};
+
+/// Fitted sigmoid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Platt {
+    /// Slope (negative for well-oriented machines).
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl Platt {
+    /// Fit on decision values and boolean labels (`true` = positive class).
+    ///
+    /// Targets use Laplace smoothing as in Platt's original paper, which
+    /// keeps the fit stable when one class is rare.
+    pub fn fit(decision_values: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(decision_values.len(), labels.len());
+        let n = decision_values.len();
+        let prior1 = labels.iter().filter(|&&l| l).count() as f64;
+        let prior0 = n as f64 - prior1;
+
+        let hi_target = (prior1 + 1.0) / (prior1 + 2.0);
+        let lo_target = 1.0 / (prior0 + 2.0);
+        let t: Vec<f64> =
+            labels.iter().map(|&l| if l { hi_target } else { lo_target }).collect();
+
+        // Newton with backtracking line search (Lin–Lin–Weng Algorithm 1).
+        let max_iter = 100;
+        let min_step = 1e-10;
+        let sigma = 1e-12;
+        let eps = 1e-5;
+
+        let mut a = 0.0;
+        let mut b = ((prior0 + 1.0) / (prior1 + 1.0)).ln();
+
+        let fval = |a: f64, b: f64| -> f64 {
+            let mut v = 0.0;
+            for (&f, &ti) in decision_values.iter().zip(&t) {
+                let fapb = f * a + b;
+                if fapb >= 0.0 {
+                    v += ti * fapb + (1.0 + (-fapb).exp()).ln();
+                } else {
+                    v += (ti - 1.0) * fapb + (1.0 + fapb.exp()).ln();
+                }
+            }
+            v
+        };
+
+        let mut f_cur = fval(a, b);
+        for _ in 0..max_iter {
+            // Gradient and Hessian.
+            let (mut h11, mut h22, mut h21) = (sigma, sigma, 0.0);
+            let (mut g1, mut g2) = (0.0, 0.0);
+            for (&f, &ti) in decision_values.iter().zip(&t) {
+                let fapb = f * a + b;
+                let (p, q) = if fapb >= 0.0 {
+                    let e = (-fapb).exp();
+                    (e / (1.0 + e), 1.0 / (1.0 + e))
+                } else {
+                    let e = fapb.exp();
+                    (1.0 / (1.0 + e), e / (1.0 + e))
+                };
+                let d2 = p * q;
+                h11 += f * f * d2;
+                h22 += d2;
+                h21 += f * d2;
+                let d1 = ti - p;
+                g1 += f * d1;
+                g2 += d1;
+            }
+            if g1.abs() < eps && g2.abs() < eps {
+                break;
+            }
+            // Newton direction (2x2 solve).
+            let det = h11 * h22 - h21 * h21;
+            let da = -(h22 * g1 - h21 * g2) / det;
+            let db = -(-h21 * g1 + h11 * g2) / det;
+            let gd = g1 * da + g2 * db;
+
+            let mut step = 1.0;
+            while step >= min_step {
+                let (na, nb) = (a + step * da, b + step * db);
+                let f_new = fval(na, nb);
+                if f_new < f_cur + 1e-4 * step * gd {
+                    a = na;
+                    b = nb;
+                    f_cur = f_new;
+                    break;
+                }
+                step /= 2.0;
+            }
+            if step < min_step {
+                break;
+            }
+        }
+        Self { a, b }
+    }
+
+    /// Calibrated probability of the positive class for decision value `f`.
+    pub fn prob(&self, f: f64) -> f64 {
+        let fapb = f * self.a + self.b;
+        // Numerically stable logistic.
+        if fapb >= 0.0 {
+            (-fapb).exp() / (1.0 + (-fapb).exp())
+        } else {
+            1.0 / (1.0 + fapb.exp())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_separation_yields_confident_probabilities() {
+        let f: Vec<f64> = vec![-3.0, -2.5, -2.0, 2.0, 2.5, 3.0];
+        let y = vec![false, false, false, true, true, true];
+        let p = Platt::fit(&f, &y);
+        assert!(p.prob(3.0) > 0.8, "p(+|3.0) = {}", p.prob(3.0));
+        assert!(p.prob(-3.0) < 0.2, "p(+|-3.0) = {}", p.prob(-3.0));
+    }
+
+    #[test]
+    fn probability_is_monotone_in_decision_value() {
+        let f: Vec<f64> = (-10..=10).map(|i| i as f64 / 2.0).collect();
+        let y: Vec<bool> = f.iter().map(|&v| v > 0.0).collect();
+        let p = Platt::fit(&f, &y);
+        let mut prev = 0.0;
+        for i in -20..=20 {
+            let v = p.prob(i as f64 / 4.0);
+            assert!(v >= prev - 1e-12, "not monotone at {i}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn zero_decision_near_class_prior_balance() {
+        let f = vec![-1.0, -0.5, 0.5, 1.0];
+        let y = vec![false, false, true, true];
+        let p = Platt::fit(&f, &y);
+        let mid = p.prob(0.0);
+        assert!((0.3..0.7).contains(&mid), "p(+|0) = {mid}");
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        let f = vec![-100.0, 0.0, 100.0];
+        let y = vec![false, true, true];
+        let p = Platt::fit(&f, &y);
+        for v in [-1e6, -1.0, 0.0, 1.0, 1e6] {
+            let pr = p.prob(v);
+            assert!((0.0..=1.0).contains(&pr));
+        }
+    }
+
+    #[test]
+    fn one_sided_labels_do_not_blow_up() {
+        // All positive: smoothed targets prevent divergence.
+        let f = vec![1.0, 2.0, 3.0];
+        let y = vec![true, true, true];
+        let p = Platt::fit(&f, &y);
+        assert!(p.prob(2.0) > 0.5);
+        assert!(p.a.is_finite() && p.b.is_finite());
+    }
+}

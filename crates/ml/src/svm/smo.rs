@@ -1,0 +1,327 @@
+//! Sequential Minimal Optimization for the binary C-SVC dual.
+//!
+//! Solves
+//!
+//! ```text
+//! min_α  ½ αᵀQα − eᵀα    s.t.  0 ≤ α_i ≤ C,  yᵀα = 0
+//! ```
+//!
+//! where `Q_ij = y_i y_j K(x_i, x_j)`, using the maximal-violating-pair
+//! rule with second-order `j` selection (libSVM's WSS, Fan–Chen–Lin 2005).
+//! Training sets in Nitro are small (tens to a few hundred inputs), so the
+//! full Gram matrix is materialized rather than cached column-wise.
+
+use crate::kernel::Kernel;
+
+/// Numerical floor for non-positive-definite quadratic coefficients.
+const TAU: f64 = 1e-12;
+
+/// Solver hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SmoParams {
+    /// Box constraint C (misclassification penalty).
+    pub c: f64,
+    /// KKT-violation stopping tolerance (libSVM default 1e-3).
+    pub tol: f64,
+    /// Hard cap on SMO iterations.
+    pub max_iter: usize,
+}
+
+impl Default for SmoParams {
+    fn default() -> Self {
+        Self { c: 1.0, tol: 1e-3, max_iter: 100_000 }
+    }
+}
+
+/// Solver output: dual variables, bias term and iteration count.
+#[derive(Debug, Clone)]
+pub struct SmoResult {
+    /// Dual coefficients, one per training row; support vectors have
+    /// `alpha > 0`.
+    pub alpha: Vec<f64>,
+    /// Bias: the decision function is `Σ α_i y_i K(x_i, x) − rho`.
+    pub rho: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Whether the KKT conditions reached `tol` before `max_iter`.
+    pub converged: bool,
+}
+
+/// Run SMO on training rows `x` with labels `y ∈ {−1, +1}`.
+///
+/// # Panics
+/// Panics if inputs are empty, lengths mismatch, or a label is not ±1.
+pub fn solve(x: &[Vec<f64>], y: &[f64], kernel: &Kernel, params: &SmoParams) -> SmoResult {
+    let n = x.len();
+    assert!(n > 0, "empty training set");
+    assert_eq!(y.len(), n, "label length mismatch");
+    assert!(y.iter().all(|&v| v == 1.0 || v == -1.0), "labels must be ±1");
+
+    // Full Gram matrix (row-major, symmetric).
+    let mut k = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i..n {
+            let v = kernel.eval(&x[i], &x[j]);
+            k[i * n + j] = v;
+            k[j * n + i] = v;
+        }
+    }
+    let q = |i: usize, j: usize| y[i] * y[j] * k[i * n + j];
+
+    let c = params.c;
+    let mut alpha = vec![0.0f64; n];
+    // Gradient of the dual objective: G_i = Σ_j Q_ij α_j − 1.
+    let mut grad = vec![-1.0f64; n];
+
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < params.max_iter {
+        iterations += 1;
+
+        // --- Working-set selection (WSS 2, Fan–Chen–Lin) ---
+        // i: maximal −y_t G_t over I_up.
+        let mut gmax = f64::NEG_INFINITY;
+        let mut i_sel = usize::MAX;
+        for t in 0..n {
+            if y[t] == 1.0 {
+                if alpha[t] < c && -grad[t] >= gmax {
+                    gmax = -grad[t];
+                    i_sel = t;
+                }
+            } else if alpha[t] > 0.0 && grad[t] >= gmax {
+                gmax = grad[t];
+                i_sel = t;
+            }
+        }
+        // j: second-order minimizer over I_low.
+        let mut gmax2 = f64::NEG_INFINITY;
+        let mut j_sel = usize::MAX;
+        let mut obj_min = f64::INFINITY;
+        if i_sel != usize::MAX {
+            let qii = k[i_sel * n + i_sel];
+            for t in 0..n {
+                if y[t] == 1.0 {
+                    if alpha[t] > 0.0 {
+                        let grad_diff = gmax + grad[t];
+                        if grad[t] >= gmax2 {
+                            gmax2 = grad[t];
+                        }
+                        if grad_diff > 0.0 {
+                            // Curvature along the (i, t) direction:
+                            // a_it = K_ii + K_tt − 2 K_it = ||φ(x_i) − φ(x_t)||².
+                            let quad = (qii + k[t * n + t] - 2.0 * k[i_sel * n + t]).max(TAU);
+                            let obj = -(grad_diff * grad_diff) / quad;
+                            if obj <= obj_min {
+                                obj_min = obj;
+                                j_sel = t;
+                            }
+                        }
+                    }
+                } else if alpha[t] < c {
+                    let grad_diff = gmax - grad[t];
+                    if -grad[t] >= gmax2 {
+                        gmax2 = -grad[t];
+                    }
+                    if grad_diff > 0.0 {
+                        let quad = (qii + k[t * n + t] - 2.0 * k[i_sel * n + t]).max(TAU);
+                        let obj = -(grad_diff * grad_diff) / quad;
+                        if obj <= obj_min {
+                            obj_min = obj;
+                            j_sel = t;
+                        }
+                    }
+                }
+            }
+        }
+
+        if i_sel == usize::MAX || j_sel == usize::MAX || gmax + gmax2 < params.tol {
+            converged = i_sel == usize::MAX || j_sel == usize::MAX || gmax + gmax2 < params.tol;
+            break;
+        }
+
+        let (i, j) = (i_sel, j_sel);
+        let old_ai = alpha[i];
+        let old_aj = alpha[j];
+
+        // --- Two-variable analytic update with box clipping (libSVM) ---
+        if y[i] != y[j] {
+            // The feasible direction is e_i + e_j, whose curvature is
+            // Q_ii + Q_jj + 2Q_ij = K_ii + K_jj − 2K_ij (Q_ij = −K_ij here).
+            let quad = (k[i * n + i] + k[j * n + j] - 2.0 * k[i * n + j]).max(TAU);
+            let delta = (-grad[i] - grad[j]) / quad;
+            let diff = alpha[i] - alpha[j];
+            alpha[i] += delta;
+            alpha[j] += delta;
+            if diff > 0.0 {
+                if alpha[j] < 0.0 {
+                    alpha[j] = 0.0;
+                    alpha[i] = diff;
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = -diff;
+            }
+            if diff > 0.0 {
+                if alpha[i] > c {
+                    alpha[i] = c;
+                    alpha[j] = c - diff;
+                }
+            } else if alpha[j] > c {
+                alpha[j] = c;
+                alpha[i] = c + diff;
+            }
+        } else {
+            let quad = (k[i * n + i] + k[j * n + j] - 2.0 * k[i * n + j]).max(TAU);
+            let delta = (grad[i] - grad[j]) / quad;
+            let sum = alpha[i] + alpha[j];
+            alpha[i] -= delta;
+            alpha[j] += delta;
+            if sum > c {
+                if alpha[i] > c {
+                    alpha[i] = c;
+                    alpha[j] = sum - c;
+                }
+            } else if alpha[j] < 0.0 {
+                alpha[j] = 0.0;
+                alpha[i] = sum;
+            }
+            if sum > c {
+                if alpha[j] > c {
+                    alpha[j] = c;
+                    alpha[i] = sum - c;
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = sum;
+            }
+        }
+
+        // --- Gradient maintenance ---
+        let dai = alpha[i] - old_ai;
+        let daj = alpha[j] - old_aj;
+        if dai != 0.0 || daj != 0.0 {
+            #[allow(clippy::needless_range_loop)] // t indexes grad AND the Q closure
+            for t in 0..n {
+                grad[t] += q(t, i) * dai + q(t, j) * daj;
+            }
+        }
+    }
+
+    // --- Bias (rho) from the KKT conditions ---
+    let mut ub = f64::INFINITY;
+    let mut lb = f64::NEG_INFINITY;
+    let mut sum_free = 0.0;
+    let mut n_free = 0usize;
+    for t in 0..n {
+        let yg = y[t] * grad[t];
+        if alpha[t] >= c {
+            if y[t] == -1.0 {
+                ub = ub.min(yg);
+            } else {
+                lb = lb.max(yg);
+            }
+        } else if alpha[t] <= 0.0 {
+            if y[t] == 1.0 {
+                ub = ub.min(yg);
+            } else {
+                lb = lb.max(yg);
+            }
+        } else {
+            n_free += 1;
+            sum_free += yg;
+        }
+    }
+    let rho = if n_free > 0 { sum_free / n_free as f64 } else { (ub + lb) / 2.0 };
+
+    SmoResult { alpha, rho, iterations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(x: &[Vec<f64>], y: &[f64], r: &SmoResult, kernel: &Kernel, point: &[f64]) -> f64 {
+        let mut f = -r.rho;
+        for (i, xi) in x.iter().enumerate() {
+            if r.alpha[i] > 0.0 {
+                f += r.alpha[i] * y[i] * kernel.eval(xi, point);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn separable_problem_classifies_training_data() {
+        let x = vec![vec![-2.0], vec![-1.5], vec![-1.0], vec![1.0], vec![1.5], vec![2.0]];
+        let y = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
+        let kernel = Kernel::Linear;
+        let r = solve(&x, &y, &kernel, &SmoParams::default());
+        assert!(r.converged);
+        for (xi, &yi) in x.iter().zip(&y) {
+            let f = decision(&x, &y, &r, &kernel, xi);
+            assert!(f * yi > 0.0, "point {xi:?} misclassified (f = {f})");
+        }
+    }
+
+    #[test]
+    fn equality_constraint_holds() {
+        let x: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![(i as f64) / 10.0, ((i * 7) % 13) as f64 / 13.0]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let kernel = Kernel::Rbf { gamma: 1.0 };
+        let r = solve(&x, &y, &kernel, &SmoParams::default());
+        let balance: f64 = r.alpha.iter().zip(&y).map(|(a, yi)| a * yi).sum();
+        assert!(balance.abs() < 1e-9, "yᵀα = {balance}");
+    }
+
+    #[test]
+    fn alphas_respect_box_constraints() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 10) as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| if (i % 10) < 5 { -1.0 } else { 1.0 }).collect();
+        let params = SmoParams { c: 0.5, ..Default::default() };
+        let r = solve(&x, &y, &Kernel::Rbf { gamma: 0.5 }, &params);
+        for &a in &r.alpha {
+            assert!((-1e-12..=0.5 + 1e-12).contains(&a), "alpha {a} outside [0, C]");
+        }
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        // XOR is the canonical non-linearly-separable problem.
+        let x = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let y = vec![-1.0, 1.0, 1.0, -1.0];
+        let kernel = Kernel::Rbf { gamma: 2.0 };
+        let r = solve(&x, &y, &kernel, &SmoParams { c: 10.0, ..Default::default() });
+        for (xi, &yi) in x.iter().zip(&y) {
+            let f = decision(&x, &y, &r, &kernel, xi);
+            assert!(f * yi > 0.0, "XOR point {xi:?} misclassified");
+        }
+    }
+
+    #[test]
+    fn single_point_per_class_converges() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![-1.0, 1.0];
+        let r = solve(&x, &y, &Kernel::Linear, &SmoParams::default());
+        assert!(r.converged);
+        assert!(r.alpha[0] > 0.0 && r.alpha[1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be ±1")]
+    fn rejects_bad_labels() {
+        solve(&[vec![0.0]], &[2.0], &Kernel::Linear, &SmoParams::default());
+    }
+
+    #[test]
+    fn noisy_labels_saturate_at_c() {
+        // One flipped label inside the other class forces alpha = C there.
+        let x = vec![vec![-2.0], vec![-1.8], vec![-1.9], vec![2.0], vec![1.9], vec![-1.85]];
+        let y = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0]; // last point is mislabeled
+        let params = SmoParams { c: 1.0, ..Default::default() };
+        let r = solve(&x, &y, &Kernel::Linear, &params);
+        assert!(r.converged);
+        assert!((r.alpha[5] - params.c).abs() < 1e-9, "outlier should hit the box bound");
+    }
+}

@@ -1,0 +1,247 @@
+//! CART decision tree — a second alternative classifier.
+//!
+//! Decision trees produce human-readable variant-selection rules (e.g.
+//! "if AvgOutDeg > 14.3 choose 2-Phase-Fused"), which is useful when an
+//! expert wants to inspect *why* the tuner picks a variant. Guo's Bayesian
+//! approach and Luo et al.'s classifier comparison (paper §VI) motivate
+//! having more than one model family available.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// A node in the tree, indexing into [`TreeModel::nodes`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    /// Internal split: `feature <= threshold` goes left, else right.
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    /// Leaf with a class-probability distribution.
+    Leaf { probs: Vec<f64> },
+}
+
+/// Training hyper-parameters for [`TreeModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node further.
+    pub min_split: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 8, min_split: 4 }
+    }
+}
+
+/// A Gini-impurity CART classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeModel {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+impl TreeModel {
+    /// Grow a tree on the dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn train(data: &Dataset, params: &TreeParams) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let mut model = Self { nodes: Vec::new(), n_classes: data.n_classes };
+        let indices: Vec<usize> = (0..data.len()).collect();
+        model.grow(data, &indices, params, 0);
+        model
+    }
+
+    /// Recursively grow and return the new node's index.
+    fn grow(&mut self, data: &Dataset, indices: &[usize], params: &TreeParams, depth: usize) -> usize {
+        let probs = class_distribution(data, indices, self.n_classes);
+        let pure = probs.iter().any(|&p| p >= 1.0 - 1e-12);
+        if depth >= params.max_depth || indices.len() < params.min_split || pure {
+            self.nodes.push(Node::Leaf { probs });
+            return self.nodes.len() - 1;
+        }
+        match best_split(data, indices) {
+            Some((feature, threshold)) => {
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| data.x[i][feature] <= threshold);
+                if li.is_empty() || ri.is_empty() {
+                    self.nodes.push(Node::Leaf { probs });
+                    return self.nodes.len() - 1;
+                }
+                // Reserve this node's slot before growing children.
+                let me = self.nodes.len();
+                self.nodes.push(Node::Leaf { probs: Vec::new() }); // placeholder
+                let left = self.grow(data, &li, params, depth + 1);
+                let right = self.grow(data, &ri, params, depth + 1);
+                self.nodes[me] = Node::Split { feature, threshold, left, right };
+                me
+            }
+            None => {
+                self.nodes.push(Node::Leaf { probs });
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Class-probability distribution at the leaf `point` falls into.
+    pub fn probabilities(&self, point: &[f64]) -> Vec<f64> {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Split { feature, threshold, left, right } => {
+                    at = if point[*feature] <= *threshold { *left } else { *right };
+                }
+                Node::Leaf { probs } => return probs.clone(),
+            }
+        }
+    }
+
+    /// Predicted class.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        self.probabilities(point)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Number of nodes in the grown tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn class_distribution(data: &Dataset, indices: &[usize], n_classes: usize) -> Vec<f64> {
+    let mut counts = vec![0.0f64; n_classes];
+    for &i in indices {
+        counts[data.y[i]] += 1.0;
+    }
+    let total: f64 = counts.iter().sum();
+    if total > 0.0 {
+        for c in counts.iter_mut() {
+            *c /= total;
+        }
+    }
+    counts
+}
+
+fn gini(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+}
+
+/// Exhaustive best (feature, threshold) split by Gini gain, scanning sorted
+/// unique values per feature. Returns `None` when nothing improves.
+fn best_split(data: &Dataset, indices: &[usize]) -> Option<(usize, f64)> {
+    let n = indices.len() as f64;
+    let n_classes = data.n_classes;
+    let parent_counts = {
+        let mut c = vec![0.0; n_classes];
+        for &i in indices {
+            c[data.y[i]] += 1.0;
+        }
+        c
+    };
+    let parent_gini = gini(&parent_counts, n);
+
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    for f in 0..data.dim() {
+        let mut vals: Vec<(f64, usize)> =
+            indices.iter().map(|&i| (data.x[i][f], data.y[i])).collect();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut left_counts = vec![0.0f64; n_classes];
+        let mut right_counts = parent_counts.clone();
+        for w in 0..vals.len() - 1 {
+            left_counts[vals[w].1] += 1.0;
+            right_counts[vals[w].1] -= 1.0;
+            if vals[w].0 == vals[w + 1].0 {
+                continue; // can't split between equal values
+            }
+            let nl = (w + 1) as f64;
+            let nr = n - nl;
+            let weighted = (nl / n) * gini(&left_counts, nl) + (nr / n) * gini(&right_counts, nr);
+            let gain = parent_gini - weighted;
+            let threshold = (vals[w].0 + vals[w + 1].0) / 2.0;
+            if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
+                best = Some((gain, f, threshold));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripes() -> Dataset {
+        // Class = x0 bucket; requires two splits on feature 0.
+        let mut d = Dataset::new(3);
+        for i in 0..30 {
+            let x0 = i as f64 / 10.0; // 0..3
+            d.push(vec![x0, (i % 7) as f64], (x0.floor() as usize).min(2));
+        }
+        d
+    }
+
+    #[test]
+    fn fits_axis_aligned_structure_perfectly() {
+        let d = stripes();
+        let m = TreeModel::train(&d, &TreeParams::default());
+        for (row, &label) in d.x.iter().zip(&d.y) {
+            assert_eq!(m.predict(row), label);
+        }
+    }
+
+    #[test]
+    fn depth_limit_bounds_tree_size() {
+        let d = stripes();
+        let shallow = TreeModel::train(&d, &TreeParams { max_depth: 1, min_split: 2 });
+        // Depth 1: one split, two leaves max.
+        assert!(shallow.n_nodes() <= 3);
+    }
+
+    #[test]
+    fn pure_dataset_is_single_leaf() {
+        let mut d = Dataset::new(2);
+        for i in 0..10 {
+            d.push(vec![i as f64], 1);
+        }
+        let m = TreeModel::train(&d, &TreeParams::default());
+        assert_eq!(m.n_nodes(), 1);
+        assert_eq!(m.predict(&[100.0]), 1);
+    }
+
+    #[test]
+    fn leaf_probabilities_are_distributions() {
+        let d = stripes();
+        let m = TreeModel::train(&d, &TreeParams { max_depth: 2, min_split: 2 });
+        let p = m.probabilities(&[1.5, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_features_yield_leaf() {
+        let mut d = Dataset::new(2);
+        d.push(vec![1.0], 0);
+        d.push(vec![1.0], 1);
+        d.push(vec![1.0], 0);
+        d.push(vec![1.0], 1);
+        let m = TreeModel::train(&d, &TreeParams::default());
+        assert_eq!(m.n_nodes(), 1, "no split possible on constant features");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = stripes();
+        let m = TreeModel::train(&d, &TreeParams::default());
+        let j = serde_json::to_string(&m).unwrap();
+        let back: TreeModel = serde_json::from_str(&j).unwrap();
+        assert_eq!(m, back);
+    }
+}

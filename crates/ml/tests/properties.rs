@@ -1,0 +1,82 @@
+//! Property-based tests for the learning subsystem.
+
+use nitro_ml::svm::smo::{solve, SmoParams};
+use nitro_ml::{ClassifierConfig, Dataset, Kernel, Scaler, TrainedModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// SMO output always satisfies the box and equality constraints.
+    #[test]
+    fn smo_respects_constraints(
+        points in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 4..40),
+        c in 0.1f64..100.0,
+    ) {
+        let x: Vec<Vec<f64>> = points.iter().map(|&(a, b)| vec![a, b]).collect();
+        // Deterministic half/half labels so both classes are present.
+        let y: Vec<f64> = (0..x.len()).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = solve(&x, &y, &Kernel::Rbf { gamma: 0.5 }, &SmoParams { c, ..Default::default() });
+        for &a in &r.alpha {
+            prop_assert!((-1e-9..=c + 1e-9).contains(&a));
+        }
+        let balance: f64 = r.alpha.iter().zip(&y).map(|(a, yi)| a * yi).sum();
+        prop_assert!(balance.abs() < 1e-6, "yᵀα = {}", balance);
+    }
+
+    /// Scaler always maps training rows into [-1, 1] and round-trips.
+    #[test]
+    fn scaler_bounds_and_roundtrip(
+        rows in prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 3), 1..50)
+    ) {
+        let s = Scaler::fit(&rows);
+        for row in &rows {
+            let t = s.transform(row);
+            for &v in &t {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
+            }
+            let back = s.inverse(&t);
+            for (a, b) in row.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
+            }
+        }
+    }
+
+    /// Every classifier family yields valid posteriors everywhere.
+    #[test]
+    fn posteriors_are_distributions(
+        seed_pts in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 6..20),
+        query in (-10.0f64..10.0, -10.0f64..10.0),
+    ) {
+        let x: Vec<Vec<f64>> = seed_pts.iter().map(|&(a, b)| vec![a, b]).collect();
+        let y: Vec<usize> = (0..x.len()).map(|i| i % 3).collect();
+        let data = Dataset::from_parts(x, y);
+        let q = vec![query.0, query.1];
+        for config in [
+            ClassifierConfig::Svm { c: Some(1.0), gamma: Some(0.5), grid_search: false },
+            ClassifierConfig::Knn { k: 3 },
+            ClassifierConfig::Tree(Default::default()),
+        ] {
+            let m = TrainedModel::train(&config, &data);
+            let p = m.probabilities(&q);
+            prop_assert_eq!(p.len(), 3);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            prop_assert!(p.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+            let pred = m.predict(&q);
+            prop_assert!(pred < 3);
+        }
+    }
+
+    /// kNN with k=1 reproduces training labels exactly.
+    #[test]
+    fn knn1_memorizes(
+        pts in prop::collection::hash_set((-100i32..100, -100i32..100), 4..30)
+    ) {
+        let pts: Vec<_> = pts.into_iter().collect();
+        let x: Vec<Vec<f64>> = pts.iter().map(|&(a, b)| vec![a as f64, b as f64]).collect();
+        let y: Vec<usize> = (0..x.len()).map(|i| i % 2).collect();
+        let data = Dataset::from_parts(x.clone(), y.clone());
+        let m = TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &data);
+        for (xi, &yi) in x.iter().zip(&y) {
+            prop_assert_eq!(m.predict(xi), yi);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Device characterization microbenchmarks.
+//!
+//! Real autotuning papers sanity-check their testbed with
+//! microbenchmarks (streaming bandwidth, gather cost, atomic throughput);
+//! this module does the same for the *simulated* device, both to validate
+//! the cost model's emergent behaviour and to document it. Each probe is
+//! an ordinary kernel run through the public [`Gpu`] API — nothing here
+//! reaches into the model's internals.
+
+use crate::block::AtomicSpace;
+use crate::config::DeviceConfig;
+use crate::gpu::{Gpu, Schedule};
+
+/// Measured characteristics of a simulated device.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Device name.
+    pub device: String,
+    /// Effective bandwidth of a perfectly coalesced stream, GB/s.
+    pub stream_gbps: f64,
+    /// Effective *useful* bandwidth of a random 8-byte gather, GB/s.
+    pub gather_gbps: f64,
+    /// Stream/gather ratio — the price of uncoalesced access.
+    pub coalescing_gain: f64,
+    /// Speedup of texture-cached gathers over global gathers when the
+    /// working set is cache-resident.
+    pub tex_resident_speedup: f64,
+    /// Slowdown of texture-cached gathers when the working set streams
+    /// through (misses dominate).
+    pub tex_streaming_slowdown: f64,
+    /// Conflict-free shared-atomic throughput, Mop/s.
+    pub shared_atomic_mops: f64,
+    /// Fully contended (same address) shared-atomic throughput, Mop/s.
+    pub contended_shared_atomic_mops: f64,
+    /// Fully contended global-atomic throughput, Mop/s.
+    pub contended_global_atomic_mops: f64,
+    /// Measured launch overhead, microseconds.
+    pub launch_overhead_us: f64,
+}
+
+/// Elements per probe; large enough to amortize launch overhead.
+const N: usize = 1 << 20;
+
+/// Run the characterization suite on a device configuration.
+pub fn calibrate(cfg: &DeviceConfig) -> Calibration {
+    let gpu = Gpu::new(cfg.clone().noiseless());
+    let blocks = cfg.num_sms * cfg.blocks_per_sm;
+
+    // --- Streaming bandwidth: read + write N doubles, coalesced. ---
+    let bytes = (N * 16) as f64;
+    let stream = gpu.launch("cal_stream", blocks, Schedule::EvenShare, |_, ctx| {
+        let per = N as u64 / blocks as u64;
+        ctx.coalesced(per, 8);
+        ctx.coalesced(per, 8);
+    });
+    let stream_busy = stream.elapsed_ns - cfg.launch_overhead_ns;
+    let stream_gbps = bytes / stream_busy;
+
+    // --- Random gather: one 8-byte element per lane, all distinct
+    //     segments (worst case). ---
+    let gather = gpu.launch("cal_gather", blocks, Schedule::EvenShare, |b, ctx| {
+        let per = N / blocks;
+        let mut addrs = Vec::with_capacity(32);
+        for w in 0..per / 32 {
+            addrs.clear();
+            // Stride of 1 segment per lane: fully uncoalesced.
+            addrs.extend((0..32u64).map(|l| ((b * per + w * 32) as u64 + l) * 128));
+            ctx.warp_gather(&addrs, 8);
+        }
+    });
+    let gather_busy = gather.elapsed_ns - cfg.launch_overhead_ns;
+    let gather_gbps = (N * 8) as f64 / gather_busy;
+
+    // --- Texture: resident working set (hits) vs streaming (misses). ---
+    let resident_lines = (cfg.tex_cache_bytes / cfg.tex_line_bytes / 2).max(1) as u64;
+    let tex_resident = gpu.launch("cal_tex_hot", 1, Schedule::EvenShare, |_, ctx| {
+        let mut addrs = Vec::with_capacity(32);
+        for w in 0..4096u64 {
+            addrs.clear();
+            addrs.extend(
+                (0..32u64).map(|l| ((w * 32 + l) % resident_lines) * cfg.tex_line_bytes as u64),
+            );
+            ctx.tex_gather(&addrs);
+        }
+    });
+    let global_equiv = gpu.launch("cal_glb_hot", 1, Schedule::EvenShare, |_, ctx| {
+        let mut addrs = Vec::with_capacity(32);
+        for w in 0..4096u64 {
+            addrs.clear();
+            addrs.extend(
+                (0..32u64).map(|l| ((w * 32 + l) % resident_lines) * cfg.tex_line_bytes as u64),
+            );
+            ctx.warp_gather(&addrs, 8);
+        }
+    });
+    let tex_resident_speedup = (global_equiv.elapsed_ns - cfg.launch_overhead_ns)
+        / (tex_resident.elapsed_ns - cfg.launch_overhead_ns);
+
+    let tex_stream = gpu.launch("cal_tex_cold", 1, Schedule::EvenShare, |_, ctx| {
+        let mut addrs = Vec::with_capacity(32);
+        for w in 0..4096u64 {
+            addrs.clear();
+            addrs.extend((0..32u64).map(|l| (w * 32 + l) * 4096));
+            ctx.tex_gather(&addrs);
+        }
+    });
+    let global_stream = gpu.launch("cal_glb_cold", 1, Schedule::EvenShare, |_, ctx| {
+        let mut addrs = Vec::with_capacity(32);
+        for w in 0..4096u64 {
+            addrs.clear();
+            addrs.extend((0..32u64).map(|l| (w * 32 + l) * 4096));
+            ctx.warp_gather(&addrs, 8);
+        }
+    });
+    let tex_streaming_slowdown = (tex_stream.elapsed_ns - cfg.launch_overhead_ns)
+        / (global_stream.elapsed_ns - cfg.launch_overhead_ns);
+
+    // --- Atomics: spread vs same-address. ---
+    let atomic_probe = |space: AtomicSpace, contended: bool| -> f64 {
+        let ops = (blocks * 8192) as f64;
+        let stats = gpu.launch("cal_atomic", blocks, Schedule::EvenShare, |_, ctx| {
+            let mut addrs = Vec::with_capacity(32);
+            for _ in 0..256 {
+                addrs.clear();
+                if contended {
+                    addrs.extend(std::iter::repeat_n(0u64, 32));
+                } else {
+                    addrs.extend((0..32u64).map(|l| l * 4));
+                }
+                ctx.warp_atomic(&addrs, space, if contended { 1.0 } else { 0.0 });
+            }
+        });
+        // Mop/s = ops / busy-ns * 1e9 / 1e6.
+        ops / (stats.elapsed_ns - cfg.launch_overhead_ns) * 1e3
+    };
+    let shared_atomic_mops = atomic_probe(AtomicSpace::Shared, false);
+    let contended_shared_atomic_mops = atomic_probe(AtomicSpace::Shared, true);
+    let contended_global_atomic_mops = atomic_probe(AtomicSpace::Global, true);
+
+    // --- Launch overhead: an empty launch. ---
+    let empty = gpu.launch("cal_empty", 0, Schedule::EvenShare, |_, _| {});
+
+    Calibration {
+        device: cfg.name.clone(),
+        stream_gbps,
+        gather_gbps,
+        coalescing_gain: stream_gbps / gather_gbps,
+        tex_resident_speedup,
+        tex_streaming_slowdown,
+        shared_atomic_mops,
+        contended_shared_atomic_mops,
+        contended_global_atomic_mops,
+        launch_overhead_us: empty.elapsed_ns / 1000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_calibration_is_plausible() {
+        let cal = calibrate(&DeviceConfig::fermi_c2050());
+        // Streaming should approach but not exceed the DRAM roofline.
+        assert!(cal.stream_gbps <= 144.0 + 1e-6, "stream {}", cal.stream_gbps);
+        assert!(cal.stream_gbps > 60.0, "stream {}", cal.stream_gbps);
+        // Random gathers waste most of each 128-byte transaction.
+        assert!(cal.coalescing_gain > 8.0, "gain {}", cal.coalescing_gain);
+        // Texture helps when resident, hurts when streaming.
+        assert!(cal.tex_resident_speedup > 1.5, "tex {}", cal.tex_resident_speedup);
+        assert!(cal.tex_streaming_slowdown > 1.0, "tex cold {}", cal.tex_streaming_slowdown);
+        // Contention destroys atomic throughput, global worse than shared.
+        assert!(cal.shared_atomic_mops > cal.contended_shared_atomic_mops * 4.0);
+        assert!(cal.contended_shared_atomic_mops > cal.contended_global_atomic_mops);
+        // Launch overhead is what the config says.
+        assert!((cal.launch_overhead_us - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn kepler_differs_from_fermi_in_the_right_direction() {
+        let fermi = calibrate(&DeviceConfig::fermi_c2050());
+        let kepler = calibrate(&DeviceConfig::kepler_k20());
+        // Kepler: cheaper atomics.
+        assert!(kepler.contended_global_atomic_mops > fermi.contended_global_atomic_mops);
+        // And a bigger texture cache never hurts residency.
+        assert!(kepler.tex_resident_speedup > 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Device configuration: the tunable hardware model.
+//!
+//! [`DeviceConfig`] collects every constant the cost model uses. Two presets
+//! are provided: [`DeviceConfig::fermi_c2050`] (the card used in the paper)
+//! and [`DeviceConfig::kepler_k20`] (a second architecture useful for
+//! portability/ablation experiments — retuning on a different device is one
+//! of the workflows the paper's autotuner interface is designed for).
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware model parameters for the simulated device.
+///
+/// All costs feed the accounting in [`crate::BlockCtx`] and the launch
+/// aggregation in [`crate::Gpu::launch`]. Times are expressed in
+/// nanoseconds, rates in cycles; cycles are converted to nanoseconds using
+/// [`DeviceConfig::cycle_ns`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name (appears in experiment reports).
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// SM core clock in GHz.
+    pub clock_ghz: f64,
+    /// Aggregate DRAM bandwidth in GB/s — the roofline floor.
+    pub dram_bw_gbps: f64,
+    /// Cycles an SM's memory pipeline is occupied per 128-byte transaction.
+    pub cycles_per_transaction: f64,
+    /// Cycles charged per scalar arithmetic instruction (warp-wide).
+    pub cycles_per_op: f64,
+    /// Per-SM texture cache capacity in bytes.
+    pub tex_cache_bytes: usize,
+    /// Texture cache line size in bytes.
+    pub tex_line_bytes: usize,
+    /// Texture cache associativity (ways per set).
+    pub tex_assoc: usize,
+    /// Cycles for a texture-cache hit.
+    pub tex_hit_cycles: f64,
+    /// Cycles for a texture-cache miss (fill from DRAM).
+    pub tex_miss_cycles: f64,
+    /// Cycles per serialized shared-memory atomic.
+    pub shared_atomic_cycles: f64,
+    /// Cycles per serialized global-memory atomic.
+    pub global_atomic_cycles: f64,
+    /// Additional multiplier for device-wide contention on hot addresses:
+    /// a global atomic on an address receiving fraction `p` of all traffic
+    /// is charged `global_atomic_cycles * (1 + hot_address_factor * p *
+    /// concurrent_warps)`.
+    pub hot_address_factor: f64,
+    /// Fixed overhead per kernel launch, nanoseconds (driver + dispatch).
+    pub launch_overhead_ns: f64,
+    /// Maximum thread blocks resident per SM (occupancy cap folded into
+    /// block scheduling granularity).
+    pub blocks_per_sm: usize,
+    /// Relative standard deviation of multiplicative measurement noise
+    /// applied to each launch (0 disables). Real GPU timings jitter by a
+    /// few percent; the paper's own labels inherit that jitter.
+    pub noise_rel_sigma: f64,
+    /// DRAM access energy in picojoules per byte moved.
+    pub pj_per_dram_byte: f64,
+    /// Dynamic SM energy in picojoules per busy cycle.
+    pub pj_per_cycle: f64,
+    /// Static (leakage + idle) power in watts, charged over elapsed time.
+    pub static_watts: f64,
+}
+
+impl DeviceConfig {
+    /// Preset resembling the NVIDIA Tesla C2050 (Fermi) used in the paper:
+    /// 14 SMs at 1.15 GHz, 144 GB/s DRAM, small per-SM texture cache.
+    pub fn fermi_c2050() -> Self {
+        Self {
+            name: "Tesla C2050 (Fermi, simulated)".to_string(),
+            num_sms: 14,
+            clock_ghz: 1.15,
+            dram_bw_gbps: 144.0,
+            cycles_per_transaction: 16.0,
+            cycles_per_op: 1.0,
+            tex_cache_bytes: 8 * 1024,
+            tex_line_bytes: 32,
+            tex_assoc: 4,
+            tex_hit_cycles: 2.0,
+            tex_miss_cycles: 28.0,
+            // Fermi shared-memory atomics are lock-based and expensive
+            // under same-address conflicts.
+            shared_atomic_cycles: 16.0,
+            global_atomic_cycles: 30.0,
+            hot_address_factor: 48.0,
+            launch_overhead_ns: 5_000.0,
+            blocks_per_sm: 8,
+            noise_rel_sigma: 0.02,
+            // Fermi-era *marginal* energy ballpark: ~25 pJ/byte at the
+            // DRAM pins and tens of pJ per SM cycle. Only the marginal
+            // (variant-attributable) static power is charged — the board's
+            // idle floor burns regardless of which variant runs, so it
+            // carries no selection signal.
+            pj_per_dram_byte: 25.0,
+            pj_per_cycle: 45.0,
+            static_watts: 6.0,
+        }
+    }
+
+    /// Preset resembling an NVIDIA Tesla K20 (Kepler): more SMs, higher
+    /// bandwidth, cheaper atomics. Used by the cross-architecture ablation.
+    pub fn kepler_k20() -> Self {
+        Self {
+            name: "Tesla K20 (Kepler, simulated)".to_string(),
+            num_sms: 13,
+            clock_ghz: 0.705,
+            dram_bw_gbps: 208.0,
+            // Kepler's wider memory pipelines issue transactions faster
+            // relative to its slower core clock.
+            cycles_per_transaction: 10.0,
+            cycles_per_op: 0.5,
+            tex_cache_bytes: 48 * 1024,
+            tex_line_bytes: 32,
+            tex_assoc: 4,
+            // Kepler's 48K read-only data cache serves hits faster.
+            tex_hit_cycles: 1.0,
+            tex_miss_cycles: 24.0,
+            shared_atomic_cycles: 3.0,
+            global_atomic_cycles: 8.0,
+            hot_address_factor: 16.0,
+            launch_overhead_ns: 4_000.0,
+            blocks_per_sm: 16,
+            noise_rel_sigma: 0.02,
+            pj_per_dram_byte: 18.0,
+            pj_per_cycle: 25.0,
+            static_watts: 5.0,
+        }
+    }
+
+    /// A noiseless copy of this configuration (useful in unit tests that
+    /// assert exact cost relationships).
+    pub fn noiseless(mut self) -> Self {
+        self.noise_rel_sigma = 0.0;
+        self
+    }
+
+    /// Duration of one SM cycle, in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.clock_ghz
+    }
+
+    /// Nanoseconds needed to move `bytes` across the DRAM interface.
+    pub fn dram_ns(&self, bytes: f64) -> f64 {
+        bytes / self.dram_bw_gbps
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::fermi_c2050()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_preset_is_sane() {
+        let cfg = DeviceConfig::fermi_c2050();
+        assert_eq!(cfg.num_sms, 14);
+        assert!(cfg.cycle_ns() > 0.8 && cfg.cycle_ns() < 0.9);
+        // 144 bytes in one nanosecond at 144 GB/s.
+        assert!((cfg.dram_ns(144.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_strips_noise_only() {
+        let cfg = DeviceConfig::fermi_c2050().noiseless();
+        assert_eq!(cfg.noise_rel_sigma, 0.0);
+        assert_eq!(cfg.num_sms, DeviceConfig::fermi_c2050().num_sms);
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let cfg = DeviceConfig::kepler_k20();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: DeviceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

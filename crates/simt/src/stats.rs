@@ -1,0 +1,104 @@
+//! Launch statistics and cumulative kernel tallies.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw activity counters accumulated while a kernel's blocks execute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelTally {
+    /// 128-byte global memory transactions issued.
+    pub transactions: u64,
+    /// Bytes moved across the DRAM interface (includes over-fetch from
+    /// poorly coalesced accesses and texture-cache fills).
+    pub dram_bytes: f64,
+    /// Texture cache hits.
+    pub tex_hits: u64,
+    /// Texture cache misses.
+    pub tex_misses: u64,
+    /// Cycles spent in serialized atomic operations.
+    pub atomic_cycles: f64,
+    /// Cycles spent in arithmetic / control.
+    pub compute_cycles: f64,
+    /// Cycles spent issuing memory transactions.
+    pub memory_cycles: f64,
+}
+
+impl KernelTally {
+    /// Total SM-side cycles this tally represents.
+    pub fn total_cycles(&self) -> f64 {
+        self.atomic_cycles + self.compute_cycles + self.memory_cycles
+    }
+
+    /// Accumulate another tally into this one.
+    pub fn merge(&mut self, other: &KernelTally) {
+        self.transactions += other.transactions;
+        self.dram_bytes += other.dram_bytes;
+        self.tex_hits += other.tex_hits;
+        self.tex_misses += other.tex_misses;
+        self.atomic_cycles += other.atomic_cycles;
+        self.compute_cycles += other.compute_cycles;
+        self.memory_cycles += other.memory_cycles;
+    }
+
+    /// Texture hit rate over all texture accesses (0 when none occurred).
+    pub fn tex_hit_rate(&self) -> f64 {
+        let total = self.tex_hits + self.tex_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.tex_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Result of simulating one kernel launch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaunchStats {
+    /// Kernel name as passed to [`crate::Gpu::launch`].
+    pub kernel: String,
+    /// Number of thread blocks launched.
+    pub blocks: usize,
+    /// Simulated wall time of the launch in nanoseconds, including launch
+    /// overhead, scheduling imbalance, the bandwidth roofline and noise.
+    pub elapsed_ns: f64,
+    /// SM-load imbalance: busiest SM time over mean SM time (1.0 = perfectly
+    /// balanced). Diagnoses even-share vs dynamic scheduling differences.
+    pub imbalance: f64,
+    /// Whether the launch was DRAM-bandwidth bound rather than SM bound.
+    pub bandwidth_bound: bool,
+    /// Estimated energy of the launch in nanojoules: DRAM traffic plus
+    /// dynamic SM work plus the static floor over the elapsed time (the
+    /// paper's "other optimization criteria, for example, energy usage").
+    pub energy_nj: f64,
+    /// Aggregated activity counters.
+    pub tally: KernelTally,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let a = KernelTally {
+            transactions: 1,
+            dram_bytes: 128.0,
+            tex_hits: 2,
+            tex_misses: 3,
+            atomic_cycles: 4.0,
+            compute_cycles: 5.0,
+            memory_cycles: 6.0,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.transactions, 2);
+        assert_eq!(b.dram_bytes, 256.0);
+        assert_eq!(b.tex_hits, 4);
+        assert_eq!(b.tex_misses, 6);
+        assert_eq!(b.total_cycles(), 30.0);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        assert_eq!(KernelTally::default().tex_hit_rate(), 0.0);
+    }
+}

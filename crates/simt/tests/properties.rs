@@ -1,0 +1,94 @@
+//! Property-based tests for the SIMT cost model invariants.
+
+use nitro_simt::{DeviceConfig, Gpu, Schedule, TexCache, WARP_SIZE};
+use proptest::prelude::*;
+
+fn quiet_gpu() -> Gpu {
+    Gpu::new(DeviceConfig::fermi_c2050().noiseless())
+}
+
+proptest! {
+    /// A warp gather costs between 1 and 32 transactions per 32-lane group.
+    #[test]
+    fn gather_transactions_bounded(addrs in prop::collection::vec(0u64..1_000_000, 1..256)) {
+        let gpu = quiet_gpu();
+        let n_warps = addrs.len().div_ceil(WARP_SIZE) as u64;
+        let stats = gpu.launch("g", 1, Schedule::EvenShare, |_, ctx| {
+            ctx.warp_gather(&addrs, 4);
+        });
+        prop_assert!(stats.tally.transactions >= n_warps);
+        prop_assert!(stats.tally.transactions <= n_warps * WARP_SIZE as u64);
+    }
+
+    /// Cache hit rate is always within [0, 1], and hits + misses == accesses.
+    #[test]
+    fn cache_accounting_consistent(addrs in prop::collection::vec(0u64..100_000, 1..2000)) {
+        let mut cache = TexCache::new(4096, 32, 4);
+        for &a in &addrs {
+            cache.access(a);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&cache.hit_rate()));
+    }
+
+    /// Sorting addresses makes each distinct segment contiguous, so the
+    /// sorted transaction count is at most #distinct-segments plus one
+    /// boundary split per extra warp — and every layout costs at least
+    /// #distinct-segments. (Sorting CAN be one worse per warp boundary.)
+    #[test]
+    fn sorted_gather_close_to_optimal(mut addrs in prop::collection::vec(0u64..1_000_000, 32..512)) {
+        let gpu = quiet_gpu();
+        let n_warps = addrs.len().div_ceil(WARP_SIZE) as u64;
+        let mut segs: Vec<u64> = addrs.iter().map(|a| a / 128).collect();
+        segs.sort_unstable();
+        segs.dedup();
+        let distinct = segs.len() as u64;
+
+        let unsorted = gpu.launch("g", 1, Schedule::EvenShare, |_, ctx| {
+            ctx.warp_gather(&addrs, 4);
+        });
+        addrs.sort_unstable();
+        let sorted = gpu.launch("g", 1, Schedule::EvenShare, |_, ctx| {
+            ctx.warp_gather(&addrs, 4);
+        });
+        prop_assert!(sorted.tally.transactions < distinct + n_warps);
+        prop_assert!(unsorted.tally.transactions >= distinct);
+    }
+
+    /// Elapsed time is monotone in added compute work.
+    #[test]
+    fn elapsed_monotone_in_work(base in 1.0e3f64..1.0e6, extra in 0.0f64..1.0e6) {
+        let gpu = quiet_gpu();
+        let t1 = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(base)).elapsed_ns;
+        let t2 = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(base + extra)).elapsed_ns;
+        prop_assert!(t2 >= t1);
+    }
+
+    /// Dynamic (greedy) scheduling satisfies Graham's bound: busiest SM
+    /// load ≤ mean load + one block, regardless of cost distribution.
+    #[test]
+    fn dynamic_satisfies_graham_bound(
+        costs in prop::collection::vec(0.0f64..1.0e6, 1..200)
+    ) {
+        let gpu = quiet_gpu();
+        let cycle_ns = gpu.config().cycle_ns();
+        let dispatch = 40.0; // per-block dynamic dispatch cycles
+        let dy = gpu.launch("k", costs.len(), Schedule::Dynamic, |b, ctx| ctx.charge_cycles(costs[b]));
+        let busy = dy.elapsed_ns - gpu.config().launch_overhead_ns;
+        let per_block: Vec<f64> = costs.iter().map(|c| (c + dispatch) * cycle_ns).collect();
+        let mean = per_block.iter().sum::<f64>() / gpu.config().num_sms as f64;
+        let max_block = per_block.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(busy <= mean + max_block + 1e-6,
+            "busy {} mean {} max_block {}", busy, mean, max_block);
+    }
+
+    /// The bandwidth roofline holds: elapsed >= dram_bytes / bandwidth.
+    #[test]
+    fn roofline_lower_bound(bytes in 1.0e3f64..1.0e8) {
+        let gpu = quiet_gpu();
+        let s = gpu.launch("stream", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.bulk_mem(bytes / 14.0, 1.0);
+        });
+        prop_assert!(s.elapsed_ns + 1e-9 >= gpu.config().dram_ns(s.tally.dram_bytes));
+    }
+}

@@ -1,0 +1,346 @@
+//! Preconditioners for the Krylov solvers (paper Figure 4: Jacobi,
+//! Blocked Jacobi and Factorized/Approximate Inverse, as in CULA Sparse).
+
+use nitro_sparse::CsrMatrix;
+
+/// A preconditioner: applies `z = M r` with `M ≈ A⁻¹`.
+pub trait Preconditioner: Send + Sync {
+    /// Name used in variant labels.
+    fn name(&self) -> &'static str;
+
+    /// Apply the preconditioner: `z ← M r`.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Simulated cost of one application, in "SpMV-equivalents" — the
+    /// solver benchmark converts this to nanoseconds using its measured
+    /// per-SpMV cost.
+    fn apply_cost_spmv_equiv(&self) -> f64;
+
+    /// Simulated one-time setup cost, in SpMV-equivalents.
+    fn setup_cost_spmv_equiv(&self) -> f64;
+}
+
+/// Point Jacobi: `M = D⁻¹`. The cheapest and least robust option —
+/// it amplifies rows with tiny diagonals.
+pub struct Jacobi {
+    inv_diag: Vec<f64>,
+}
+
+impl Jacobi {
+    /// Build from the matrix diagonal; zero diagonals invert to zero
+    /// (the corresponding component is left untouched, which typically
+    /// stalls convergence — deliberately so, that is Jacobi's weakness).
+    pub fn new(a: &CsrMatrix) -> Self {
+        let inv_diag = (0..a.n_rows)
+            .map(|r| {
+                let d = a.diag(r);
+                if d.abs() > 1e-300 {
+                    1.0 / d
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Self { inv_diag }
+    }
+}
+
+impl Preconditioner for Jacobi {
+    fn name(&self) -> &'static str {
+        "Jacobi"
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        for ((zi, &ri), &di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+
+    fn apply_cost_spmv_equiv(&self) -> f64 {
+        0.15
+    }
+
+    fn setup_cost_spmv_equiv(&self) -> f64 {
+        0.2
+    }
+}
+
+/// Blocked Jacobi: invert dense diagonal blocks of size `block`.
+/// More robust than point Jacobi (captures local coupling), costlier to
+/// set up and apply.
+pub struct BlockJacobi {
+    n: usize,
+    block: usize,
+    /// Row-major inverse of each block, concatenated.
+    inv_blocks: Vec<f64>,
+}
+
+impl BlockJacobi {
+    /// Extract, densify and invert each diagonal block. Singular blocks
+    /// fall back to point-Jacobi behaviour on their rows.
+    pub fn new(a: &CsrMatrix, block: usize) -> Self {
+        assert!(block >= 1);
+        let n = a.n_rows;
+        let nb = n.div_ceil(block);
+        let mut inv_blocks = vec![0.0; nb * block * block];
+        let mut dense = vec![0.0f64; block * block];
+        for bi in 0..nb {
+            let start = bi * block;
+            let end = (start + block).min(n);
+            let bs = end - start;
+            dense[..block * block].fill(0.0);
+            for r in start..end {
+                let (cols, vals) = a.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let c = c as usize;
+                    if c >= start && c < end {
+                        dense[(r - start) * block + (c - start)] = v;
+                    }
+                }
+            }
+            let out = &mut inv_blocks[bi * block * block..(bi + 1) * block * block];
+            if !invert_dense(&dense, bs, block, out) {
+                // Singular: diagonal fallback.
+                out.fill(0.0);
+                for k in 0..bs {
+                    let d = dense[k * block + k];
+                    out[k * block + k] = if d.abs() > 1e-300 { 1.0 / d } else { 0.0 };
+                }
+            }
+        }
+        Self { n, block, inv_blocks }
+    }
+}
+
+impl Preconditioner for BlockJacobi {
+    fn name(&self) -> &'static str {
+        "BJacobi"
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let b = self.block;
+        let nb = self.n.div_ceil(b);
+        for bi in 0..nb {
+            let start = bi * b;
+            let end = (start + b).min(self.n);
+            let inv = &self.inv_blocks[bi * b * b..(bi + 1) * b * b];
+            for i in start..end {
+                let mut acc = 0.0;
+                for j in start..end {
+                    acc += inv[(i - start) * b + (j - start)] * r[j];
+                }
+                z[i] = acc;
+            }
+        }
+    }
+
+    fn apply_cost_spmv_equiv(&self) -> f64 {
+        // Dense block rows cost ~block multiplies per unknown.
+        0.15 + 0.05 * self.block as f64
+    }
+
+    fn setup_cost_spmv_equiv(&self) -> f64 {
+        // Block inversion: ~block² work per unknown.
+        1.0 + 0.02 * (self.block * self.block) as f64
+    }
+}
+
+/// Approximate inverse via a damped one-term Neumann expansion:
+/// `M = D⁻¹ (2I − A D⁻¹)`, a factorized sparse-approximate-inverse
+/// stand-in for CULA's FAInv. Stronger than Jacobi when `ρ(I − D⁻¹A) < 1`,
+/// and — like real approximate inverses — it *diverges* when the
+/// diagonal scaling is a poor contraction, so some systems defeat it.
+pub struct ApproxInverse {
+    a: CsrMatrix,
+    inv_diag: Vec<f64>,
+    scratch: parking_lot::Mutex<Vec<f64>>,
+}
+
+impl ApproxInverse {
+    /// Build from the matrix (keeps a reference copy for the `A D⁻¹ r`
+    /// product).
+    pub fn new(a: &CsrMatrix) -> Self {
+        let inv_diag = (0..a.n_rows)
+            .map(|r| {
+                let d = a.diag(r);
+                if d.abs() > 1e-300 {
+                    1.0 / d
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Self {
+            a: a.clone(),
+            inv_diag,
+            scratch: parking_lot::Mutex::new(vec![0.0; a.n_rows]),
+        }
+    }
+}
+
+impl Preconditioner for ApproxInverse {
+    fn name(&self) -> &'static str {
+        "FAInv"
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        // z = D⁻¹ (2 r − A D⁻¹ r)
+        let mut t = self.scratch.lock();
+        for ((ti, &ri), &di) in t.iter_mut().zip(r).zip(&self.inv_diag) {
+            *ti = ri * di;
+        }
+        let at = self.a.spmv_reference(&t);
+        for i in 0..r.len() {
+            z[i] = self.inv_diag[i] * (2.0 * r[i] - at[i]);
+        }
+    }
+
+    fn apply_cost_spmv_equiv(&self) -> f64 {
+        1.3 // one SpMV plus vector work
+    }
+
+    fn setup_cost_spmv_equiv(&self) -> f64 {
+        3.0 // pattern analysis + scaling
+    }
+}
+
+/// Gauss–Jordan inversion of the `bs × bs` top-left of a `stride`-row
+/// dense block. Returns false on (near-)singularity.
+fn invert_dense(a: &[f64], bs: usize, stride: usize, out: &mut [f64]) -> bool {
+    let mut m = a.to_vec();
+    out.fill(0.0);
+    for k in 0..bs {
+        out[k * stride + k] = 1.0;
+    }
+    for col in 0..bs {
+        // Partial pivot.
+        let mut pivot_row = col;
+        let mut best = m[col * stride + col].abs();
+        for r in (col + 1)..bs {
+            let v = m[r * stride + col].abs();
+            if v > best {
+                best = v;
+                pivot_row = r;
+            }
+        }
+        if best < 1e-12 {
+            return false;
+        }
+        if pivot_row != col {
+            for c in 0..bs {
+                m.swap(col * stride + c, pivot_row * stride + c);
+                out.swap(col * stride + c, pivot_row * stride + c);
+            }
+        }
+        let piv = m[col * stride + col];
+        for c in 0..bs {
+            m[col * stride + c] /= piv;
+            out[col * stride + c] /= piv;
+        }
+        for r in 0..bs {
+            if r == col {
+                continue;
+            }
+            let f = m[r * stride + col];
+            if f != 0.0 {
+                for c in 0..bs {
+                    m[r * stride + c] -= f * m[col * stride + c];
+                    out[r * stride + c] -= f * out[col * stride + c];
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_sparse::gen;
+
+    fn spd(n: usize, seed: u64) -> CsrMatrix {
+        gen::make_spd(&gen::random_uniform(n, 4, seed), 1.4)
+    }
+
+    fn residual_reduction(p: &dyn Preconditioner, a: &CsrMatrix) -> f64 {
+        // One step of preconditioned Richardson: how much does M shrink
+        // the error of x = 0 for b = A·1?
+        let ones = vec![1.0; a.n_rows];
+        let b = a.spmv_reference(&ones);
+        let mut z = vec![0.0; a.n_rows];
+        p.apply(&b, &mut z);
+        // Error after one step: ||1 − z|| / ||1||.
+        let err: f64 = z.iter().map(|&zi| (1.0 - zi) * (1.0 - zi)).sum::<f64>().sqrt();
+        err / (a.n_rows as f64).sqrt()
+    }
+
+    #[test]
+    fn jacobi_inverts_diagonal_matrices_exactly() {
+        let mut coo = nitro_sparse::CooMatrix::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, (i + 1) as f64);
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let j = Jacobi::new(&a);
+        let mut z = vec![0.0; 4];
+        j.apply(&[1.0, 2.0, 3.0, 4.0], &mut z);
+        assert_eq!(z, vec![1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn block_jacobi_inverts_block_diagonal_exactly() {
+        let a = gen::block_diag(32, 4, 0.9, 3);
+        let bj = BlockJacobi::new(&a, 4);
+        // For a truly block-diagonal matrix, M = A⁻¹: one application of
+        // M to A·x recovers x.
+        let x: Vec<f64> = (0..32).map(|i| 1.0 + (i % 5) as f64).collect();
+        let b = a.spmv_reference(&x);
+        let mut z = vec![0.0; 32];
+        bj.apply(&b, &mut z);
+        for (xi, zi) in x.iter().zip(&z) {
+            assert!((xi - zi).abs() < 1e-8, "{xi} vs {zi}");
+        }
+    }
+
+    #[test]
+    fn stronger_preconditioners_reduce_error_more() {
+        let a = spd(200, 11);
+        let jac = residual_reduction(&Jacobi::new(&a), &a);
+        let fainv = residual_reduction(&ApproxInverse::new(&a), &a);
+        assert!(
+            fainv < jac,
+            "FAInv one-step error {fainv} should beat Jacobi {jac} on dominant SPD"
+        );
+    }
+
+    #[test]
+    fn costs_are_ordered_cheap_to_strong() {
+        let a = spd(64, 5);
+        let j = Jacobi::new(&a);
+        let bj = BlockJacobi::new(&a, 8);
+        let f = ApproxInverse::new(&a);
+        assert!(j.apply_cost_spmv_equiv() < bj.apply_cost_spmv_equiv());
+        assert!(bj.apply_cost_spmv_equiv() < f.apply_cost_spmv_equiv());
+    }
+
+    #[test]
+    fn zero_diagonal_does_not_produce_nan() {
+        let mut coo = nitro_sparse::CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let j = Jacobi::new(&a);
+        let mut z = vec![0.0; 2];
+        j.apply(&[1.0, 1.0], &mut z);
+        assert!(z.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dense_inversion_handles_permutation_pivoting() {
+        // A matrix requiring pivoting: [[0, 1], [1, 0]].
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let mut out = [0.0; 4];
+        assert!(invert_dense(&a, 2, 2, &mut out));
+        assert_eq!(out, [0.0, 1.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,292 @@
+//! The six (solver, preconditioner) code variants and their cost model.
+//!
+//! Mirrors the paper's CULA Sparse benchmark (Figure 4): {CG, BiCGStab} ×
+//! {Jacobi, Blocked Jacobi, Factorized Approximate Inverse}. Each variant
+//! runs the *real* solver in f64; the simulated GPU time is
+//!
+//! ```text
+//! setup + iterations × (spmv_time × (solver SpMVs + precond equivalents)
+//!                        + per-iteration kernel-launch overhead)
+//! ```
+//!
+//! with the per-matrix SpMV time measured once on the simulated device.
+//! Non-converging runs return ∞, reproducing the paper's treatment (§V-A:
+//! six test systems were solved by no variant at all).
+
+use std::sync::OnceLock;
+
+use nitro_core::{CodeVariant, Context, FnFeature, FnVariant};
+use nitro_simt::{DeviceConfig, Gpu};
+use nitro_sparse::spmv::spmv_csr_vector;
+use nitro_sparse::{features, CsrMatrix};
+
+use crate::krylov::{bicgstab, cg, SolveOutcome};
+use crate::precond::{ApproxInverse, BlockJacobi, Jacobi, Preconditioner};
+
+/// Relative-residual tolerance used by all variants.
+pub const TOLERANCE: f64 = 1e-6;
+/// Iteration cap — beyond this a variant is declared non-converging.
+pub const MAX_ITERATIONS: usize = 400;
+/// Block size for the Blocked Jacobi preconditioner.
+pub const BLOCK_SIZE: usize = 8;
+
+/// One linear system instance.
+#[derive(Debug)]
+pub struct SolverInput {
+    /// Instance name (seeds the simulated device noise).
+    pub name: String,
+    /// Collection group.
+    pub group: String,
+    /// The system matrix.
+    pub a: CsrMatrix,
+    /// The right-hand side (generated as `A·x_true`).
+    pub b: Vec<f64>,
+    /// Simulation noise seed.
+    pub gpu_seed: u64,
+    spmv_ns: OnceLock<f64>,
+}
+
+impl SolverInput {
+    /// Build an instance; the RHS comes from a deterministic `x_true`.
+    pub fn new(name: impl Into<String>, group: impl Into<String>, a: CsrMatrix) -> Self {
+        let name = name.into();
+        let gpu_seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
+            (h ^ c as u64).wrapping_mul(0x100_0000_01b3)
+        });
+        let x_true: Vec<f64> =
+            (0..a.n_rows).map(|i| 1.0 + ((i as f64) * 0.37).sin() * 0.5).collect();
+        let b = a.spmv_reference(&x_true);
+        Self { name, group: group.into(), a, b, gpu_seed, spmv_ns: OnceLock::new() }
+    }
+
+    /// Simulated time of one SpMV on this matrix (cached; the solver cost
+    /// model multiplies it by iteration counts).
+    pub fn spmv_ns(&self, cfg: &DeviceConfig) -> f64 {
+        *self.spmv_ns.get_or_init(|| {
+            let gpu = Gpu::with_seed(cfg.clone().noiseless(), self.gpu_seed);
+            let x = vec![1.0; self.a.n_cols];
+            spmv_csr_vector(&self.a, &x, &gpu, false).1.elapsed_ns
+        })
+    }
+}
+
+/// Which Krylov method a variant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Conjugate Gradients (SPD systems).
+    Cg,
+    /// BiCGStab (general systems).
+    BiCgStab,
+}
+
+/// Which preconditioner a variant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precond {
+    /// Point Jacobi.
+    Jacobi,
+    /// Blocked Jacobi with [`BLOCK_SIZE`] blocks.
+    BlockJacobi,
+    /// Factorized approximate inverse.
+    FaInv,
+}
+
+/// The paper's six variants, in registration order.
+pub const VARIANTS: [(Method, Precond, &str); 6] = [
+    (Method::Cg, Precond::Jacobi, "CG-Jacobi"),
+    (Method::Cg, Precond::BlockJacobi, "CG-BJacobi"),
+    (Method::Cg, Precond::FaInv, "CG-FAInv"),
+    (Method::BiCgStab, Precond::Jacobi, "BiCGStab-Jacobi"),
+    (Method::BiCgStab, Precond::BlockJacobi, "BiCGStab-BJacobi"),
+    (Method::BiCgStab, Precond::FaInv, "BiCGStab-FAInv"),
+];
+
+/// Run one variant on an input, returning `(outcome, simulated ns)` —
+/// ∞ ns when it does not converge.
+pub fn run_variant(
+    method: Method,
+    precond: Precond,
+    input: &SolverInput,
+    cfg: &DeviceConfig,
+) -> (SolveOutcome, f64) {
+    let p: Box<dyn Preconditioner> = match precond {
+        Precond::Jacobi => Box::new(Jacobi::new(&input.a)),
+        Precond::BlockJacobi => Box::new(BlockJacobi::new(&input.a, BLOCK_SIZE)),
+        Precond::FaInv => Box::new(ApproxInverse::new(&input.a)),
+    };
+    let salt = (method as u64) << 8 ^ (precond as u64) << 16;
+    run_with_preconditioner(method, p.as_ref(), input, cfg, salt)
+}
+
+/// Run a solver with an explicit preconditioner instance. This is the
+/// hook the parameter-tuning extension uses: a *family* of Block Jacobi
+/// variants with different block sizes is just this function called with
+/// different [`BlockJacobi`] instances (see `CodeVariant::add_variant_family`).
+pub fn run_with_preconditioner(
+    method: Method,
+    p: &dyn Preconditioner,
+    input: &SolverInput,
+    cfg: &DeviceConfig,
+    salt: u64,
+) -> (SolveOutcome, f64) {
+    let (_, outcome) = match method {
+        Method::Cg => cg(&input.a, &input.b, p, MAX_ITERATIONS, TOLERANCE),
+        Method::BiCgStab => bicgstab(&input.a, &input.b, p, MAX_ITERATIONS, TOLERANCE),
+    };
+    if !outcome.converged {
+        return (outcome, f64::INFINITY);
+    }
+
+    let spmv = input.spmv_ns(cfg);
+    // Solver structure: CG does 1 SpMV + 1 precond + ~5 vector kernels per
+    // iteration; BiCGStab does 2 SpMVs + 2 preconds + ~9 vector kernels.
+    let (spmvs, preconds, vec_kernels) = match method {
+        Method::Cg => (1.0, 1.0, 5.0),
+        Method::BiCgStab => (2.0, 2.0, 9.0),
+    };
+    let vec_bytes = input.a.n_rows as f64 * 8.0 * 3.0; // read-read-write per kernel
+    let vec_ns = vec_kernels * (cfg.launch_overhead_ns + cfg.dram_ns(vec_bytes));
+    let per_iter = spmv * (spmvs + preconds * p.apply_cost_spmv_equiv()) + vec_ns;
+    let setup = p.setup_cost_spmv_equiv() * spmv + cfg.launch_overhead_ns;
+
+    // Deterministic measurement jitter, consistent with the device model.
+    let mut noise_rng = nitro_simt::SplitMix64::new(input.gpu_seed ^ salt);
+    let noise = noise_rng.noise_factor(cfg.noise_rel_sigma);
+
+    (outcome, (setup + outcome.iterations as f64 * per_iter) * noise)
+}
+
+/// Assemble the Solvers `code_variant`: 6 variants and the 8 numerical
+/// features of Figure 4 (after Bhowmick et al.). The default variant is
+/// BiCGStab-Jacobi — the most generally applicable combination.
+pub fn build_code_variant(ctx: &Context, cfg: &DeviceConfig) -> CodeVariant<SolverInput> {
+    let mut cv = CodeVariant::new("solvers", ctx);
+    for (method, precond, name) in VARIANTS {
+        let cfg = cfg.clone();
+        cv.add_variant(FnVariant::new(name, move |inp: &SolverInput| {
+            run_variant(method, precond, inp, &cfg).1
+        }));
+    }
+    cv.set_default(3); // BiCGStab-Jacobi
+
+    cv.add_input_feature(FnFeature::with_cost(
+        "NNZ",
+        |i: &SolverInput| i.a.nnz() as f64,
+        |i: &SolverInput| features::cost::constant(&i.a),
+    ));
+    cv.add_input_feature(FnFeature::with_cost(
+        "Nrows",
+        |i: &SolverInput| i.a.n_rows as f64,
+        |i: &SolverInput| features::cost::constant(&i.a),
+    ));
+    cv.add_input_feature(FnFeature::with_cost(
+        "Trace",
+        |i: &SolverInput| features::trace(&i.a),
+        |i: &SolverInput| features::cost::per_row(&i.a),
+    ));
+    cv.add_input_feature(FnFeature::with_cost(
+        "DiagAvg",
+        |i: &SolverInput| features::diag_avg(&i.a),
+        |i: &SolverInput| features::cost::per_row(&i.a),
+    ));
+    cv.add_input_feature(FnFeature::with_cost(
+        "DiagVar",
+        |i: &SolverInput| features::diag_var(&i.a),
+        |i: &SolverInput| features::cost::per_row(&i.a),
+    ));
+    cv.add_input_feature(FnFeature::with_cost(
+        "DiagDominance",
+        |i: &SolverInput| features::diag_dominance(&i.a),
+        |i: &SolverInput| features::cost::per_nnz(&i.a),
+    ));
+    cv.add_input_feature(FnFeature::with_cost(
+        "LBw",
+        |i: &SolverInput| features::left_bandwidth(&i.a),
+        |i: &SolverInput| features::cost::per_row(&i.a),
+    ));
+    cv.add_input_feature(FnFeature::with_cost(
+        "Norm1",
+        |i: &SolverInput| features::norm1(&i.a),
+        |i: &SolverInput| features::cost::per_nnz(&i.a),
+    ));
+    cv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_sparse::gen;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::fermi_c2050().noiseless()
+    }
+
+    fn spd_input(n: usize, seed: u64) -> SolverInput {
+        SolverInput::new(
+            format!("spd{n}-{seed}"),
+            "spd",
+            gen::make_spd(&gen::random_uniform(n, 4, seed), 1.4),
+        )
+    }
+
+    #[test]
+    fn converging_variants_report_finite_time() {
+        let inp = spd_input(150, 3);
+        for (m, p, name) in VARIANTS {
+            let (out, ns) = run_variant(m, p, &inp, &cfg());
+            assert!(out.converged, "{name} failed on dominant SPD");
+            assert!(ns.is_finite() && ns > 0.0, "{name} time {ns}");
+        }
+    }
+
+    #[test]
+    fn non_convergence_maps_to_infinite_cost() {
+        // Use the collection's engineered "hopeless" group: indefinite and
+        // skew-heavy, defeating every variant.
+        let inp = SolverInput::new(
+            "hopeless",
+            "hopeless",
+            crate::collection::group_system("hopeless", 0, 7),
+        );
+        let mut failures = 0;
+        for (m, p, _) in VARIANTS {
+            let (out, ns) = run_variant(m, p, &inp, &cfg());
+            if !out.converged {
+                assert_eq!(ns, f64::INFINITY);
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "expected at least one failing combination");
+    }
+
+    #[test]
+    fn fewer_iterations_can_beat_cheaper_preconditioner() {
+        // On a weakly dominant SPD system, FAInv converges in fewer
+        // iterations; whether it wins on time is exactly what Nitro must
+        // learn. Here we only check both outcomes are finite and ordered
+        // by iteration count.
+        let inp = spd_input(400, 11);
+        let (jac, t_jac) = run_variant(Method::Cg, Precond::Jacobi, &inp, &cfg());
+        let (fainv, t_fainv) = run_variant(Method::Cg, Precond::FaInv, &inp, &cfg());
+        assert!(jac.converged && fainv.converged);
+        assert!(fainv.iterations <= jac.iterations);
+        assert!(t_jac.is_finite() && t_fainv.is_finite());
+    }
+
+    #[test]
+    fn code_variant_matches_paper_inventory() {
+        let ctx = Context::new();
+        let cv = build_code_variant(&ctx, &cfg());
+        assert_eq!(cv.n_variants(), 6);
+        assert_eq!(cv.n_features(), 8);
+        assert_eq!(cv.variant_names()[0], "CG-Jacobi");
+        assert_eq!(cv.default_variant(), Some(3));
+    }
+
+    #[test]
+    fn variant_times_are_deterministic() {
+        let ctx = Context::new();
+        let cv = build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
+        let inp = spd_input(100, 5);
+        assert_eq!(cv.run_variant(0, &inp), cv.run_variant(0, &inp));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: every sort variant produces a sorted permutation of
+//! its input, for arbitrary key sets and both widths.
+
+use nitro_simt::DeviceConfig;
+use nitro_sort::{run_variant, Keys, Method, SortInput};
+use proptest::prelude::*;
+
+fn sorted_copy_f64(v: &[f64]) -> Vec<f64> {
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s
+}
+
+fn sorted_copy_f32(v: &[f32]) -> Vec<f32> {
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s
+}
+
+proptest! {
+    /// f64 keys: output equals the comparison-sorted input for every
+    /// variant (i.e. it is a sorted permutation).
+    #[test]
+    fn f64_variants_sort_any_input(keys in prop::collection::vec(-1e12f64..1e12, 1..4000)) {
+        let cfg = DeviceConfig::fermi_c2050().noiseless();
+        let expect = sorted_copy_f64(&keys);
+        for m in [Method::Merge, Method::Locality, Method::Radix] {
+            let input = SortInput::new("p64", "prop", Keys::F64(keys.clone()));
+            let (out, ns) = run_variant(m, &input, &cfg);
+            match out {
+                Keys::F64(v) => prop_assert_eq!(&v, &expect, "{:?}", m),
+                _ => prop_assert!(false, "wrong key width"),
+            }
+            prop_assert!(ns > 0.0);
+        }
+    }
+
+    /// f32 keys, including negatives and repeats.
+    #[test]
+    fn f32_variants_sort_any_input(keys in prop::collection::vec(-1e6f32..1e6, 1..4000)) {
+        let cfg = DeviceConfig::fermi_c2050().noiseless();
+        let expect = sorted_copy_f32(&keys);
+        for m in [Method::Merge, Method::Locality, Method::Radix] {
+            let input = SortInput::new("p32", "prop", Keys::F32(keys.clone()));
+            let (out, _) = run_variant(m, &input, &cfg);
+            match out {
+                Keys::F32(v) => prop_assert_eq!(&v, &expect, "{:?}", m),
+                _ => prop_assert!(false, "wrong key width"),
+            }
+        }
+    }
+
+    /// NAscSeq is between 1 and n, and sorted input always reports 1.
+    #[test]
+    fn ascending_runs_bounds(keys in prop::collection::vec(-1e6f64..1e6, 1..2000)) {
+        let k = Keys::F64(keys.clone());
+        let runs = k.ascending_runs();
+        prop_assert!((1..=keys.len()).contains(&runs));
+        let sorted = Keys::F64(sorted_copy_f64(&keys));
+        prop_assert_eq!(sorted.ascending_runs(), 1);
+    }
+
+    /// Median displacement is zero exactly when the keys are sorted
+    /// (modulo ties) and bounded by n.
+    #[test]
+    fn median_displacement_bounds(keys in prop::collection::vec(0f64..1e9, 2..2000)) {
+        let k = Keys::F64(keys.clone());
+        let d = k.median_displacement();
+        prop_assert!((0.0..=keys.len() as f64).contains(&d));
+        let sorted = Keys::F64(sorted_copy_f64(&keys));
+        prop_assert_eq!(sorted.median_displacement(), 0.0);
+    }
+}

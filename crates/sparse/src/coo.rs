@@ -1,0 +1,113 @@
+//! Coordinate (COO) sparse matrix format.
+//!
+//! The paper's §II opens with the COO representation — one `(row, col,
+//! value)` triple per nonzero — as the general-but-slow baseline whose
+//! shortcomings motivate format-specialized SpMV variants.
+
+/// A sparse matrix in coordinate (triplet) form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of columns.
+    pub n_cols: usize,
+    /// Row index of each nonzero.
+    pub rows: Vec<u32>,
+    /// Column index of each nonzero.
+    pub cols: Vec<u32>,
+    /// Value of each nonzero.
+    pub vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Create an empty matrix of the given shape.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        Self { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Append one entry.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(row < self.n_rows && col < self.n_cols, "entry ({row},{col}) out of bounds");
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(val);
+    }
+
+    /// Number of stored entries (may include duplicates until
+    /// [`CooMatrix::sort_and_combine`]).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Sort entries by (row, col) and sum duplicates.
+    pub fn sort_and_combine(&mut self) {
+        let mut order: Vec<usize> = (0..self.nnz()).collect();
+        order.sort_unstable_by_key(|&i| (self.rows[i], self.cols[i]));
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals: Vec<f64> = Vec::with_capacity(self.nnz());
+        for &i in &order {
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == self.rows[i] && lc == self.cols[i] {
+                    *vals.last_mut().expect("parallel arrays") += self.vals[i];
+                    continue;
+                }
+            }
+            rows.push(self.rows[i]);
+            cols.push(self.cols[i]);
+            vals.push(self.vals[i]);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.vals = vals;
+    }
+
+    /// Reference SpMV: `y = A x`, the paper's introductory COO loop.
+    ///
+    /// # Panics
+    /// Panics if `x` is shorter than `n_cols`.
+    pub fn spmv_reference(&self, x: &[f64]) -> Vec<f64> {
+        assert!(x.len() >= self.n_cols, "x too short");
+        let mut y = vec![0.0; self.n_rows];
+        for i in 0..self.nnz() {
+            y[self.rows[i] as usize] += self.vals[i] * x[self.cols[i] as usize];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_spmv() {
+        let mut m = CooMatrix::new(2, 3);
+        m.push(0, 0, 1.0);
+        m.push(0, 2, 2.0);
+        m.push(1, 1, 3.0);
+        let y = m.spmv_reference(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn sort_and_combine_merges_duplicates() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(1, 1, 1.0);
+        m.push(0, 0, 2.0);
+        m.push(1, 1, 3.0);
+        m.sort_and_combine();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.rows, vec![0, 1]);
+        assert_eq!(m.vals, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_checks_bounds() {
+        CooMatrix::new(1, 1).push(0, 1, 1.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Compressed Sparse Row (CSR) format — the workhorse representation.
+
+use crate::coo::CooMatrix;
+
+/// A sparse matrix in CSR form: row pointers into column/value arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of columns.
+    pub n_cols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes row `r`'s entries.
+    pub row_ptr: Vec<usize>,
+    /// Column index per nonzero, ascending within each row.
+    pub cols: Vec<u32>,
+    /// Value per nonzero.
+    pub vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from a COO matrix (duplicates are combined).
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let mut sorted = coo.clone();
+        sorted.sort_and_combine();
+        let mut row_ptr = vec![0usize; sorted.n_rows + 1];
+        for &r in &sorted.rows {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for r in 0..sorted.n_rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Self {
+            n_rows: sorted.n_rows,
+            n_cols: sorted.n_cols,
+            row_ptr,
+            cols: sorted.cols,
+            vals: sorted.vals,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Length of row `r`.
+    pub fn row_len(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Column/value slices of row `r`.
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.cols[span.clone()], &self.vals[span])
+    }
+
+    /// All row lengths.
+    pub fn row_lengths(&self) -> Vec<usize> {
+        (0..self.n_rows).map(|r| self.row_len(r)).collect()
+    }
+
+    /// The main-diagonal entry of row `r` (0 when absent).
+    pub fn diag(&self, r: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(r as u32)) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Reference CPU SpMV: `y = A x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is shorter than `n_cols`.
+    pub fn spmv_reference(&self, x: &[f64]) -> Vec<f64> {
+        assert!(x.len() >= self.n_cols, "x too short");
+        (0..self.n_rows)
+            .map(|r| {
+                let (cols, vals) = self.row(r);
+                cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum()
+            })
+            .collect()
+    }
+
+    /// Transpose (used by the 1-norm feature and the nonsymmetric solver
+    /// tests).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::new(self.n_cols, self.n_rows);
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(c as usize, r, v);
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Whether the sparsity pattern and values are symmetric (within
+    /// `tol`). SPD generators rely on this check in tests.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.n_rows != self.n_cols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr || t.cols != self.cols {
+            return false;
+        }
+        self.vals.iter().zip(&t.vals).all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        let mut coo = CooMatrix::new(3, 3);
+        for &(r, c, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+            coo.push(r, c, v);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_coo_builds_row_ptr() {
+        let m = sample();
+        assert_eq!(m.row_ptr, vec![0, 2, 3, 5]);
+        assert_eq!(m.row_len(0), 2);
+        assert_eq!(m.row(1), (&[1u32][..], &[3.0][..]));
+    }
+
+    #[test]
+    fn spmv_matches_dense_computation() {
+        let m = sample();
+        let y = m.spmv_reference(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn csr_and_coo_spmv_agree() {
+        let mut coo = CooMatrix::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, (i + 1) as f64);
+            coo.push(i, (i + 1) % 4, 0.5);
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+        let x = [1.0, -2.0, 0.5, 3.0];
+        assert_eq!(coo.spmv_reference(&x), csr.spmv_reference(&x));
+    }
+
+    #[test]
+    fn diag_extraction() {
+        let m = sample();
+        assert_eq!(m.diag(0), 1.0);
+        assert_eq!(m.diag(1), 3.0);
+        assert_eq!(m.diag(2), 5.0);
+        // Row without diagonal:
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let m2 = CsrMatrix::from_coo(&coo);
+        assert_eq!(m2.diag(0), 0.0);
+    }
+
+    #[test]
+    fn transpose_involutes() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(1, 1, 2.0);
+        assert!(CsrMatrix::from_coo(&coo).is_symmetric(1e-12));
+        assert!(!sample().is_symmetric(1e-12));
+    }
+}

@@ -1,0 +1,341 @@
+//! Deterministic synthetic matrix generators.
+//!
+//! Substitute for the UFL Sparse Matrix collection the paper draws its
+//! training and test inputs from: each generator produces a structural
+//! *regime* in which a different SpMV variant tends to win — banded and
+//! stencil matrices favour DIA, uniform row lengths favour ELL, power-law
+//! rows favour CSR-Vector, and locality-clustered columns favour the
+//! texture-cached variants. Every generator is fully determined by its
+//! parameters and seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+fn val(rng: &mut StdRng) -> f64 {
+    rng.random_range(0.1..2.0)
+}
+
+/// Banded matrix: every row has entries on the same set of diagonals
+/// (DIA's best case). `half_bw` diagonals on each side of the main are
+/// kept with probability `density` (whole diagonals, preserving the DIA
+/// structure).
+pub fn banded(n: usize, half_bw: usize, density: f64, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let offsets: Vec<i64> = (-(half_bw as i64)..=half_bw as i64)
+        .filter(|&o| o == 0 || rng.random_bool(density.clamp(0.0, 1.0)))
+        .collect();
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        for &o in &offsets {
+            let c = r as i64 + o;
+            if c >= 0 && (c as usize) < n {
+                coo.push(r, c as usize, val(&mut rng));
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// 2-D 5-point (or 9-point) stencil on an `nx × ny` grid — the classic
+/// PDE discretization and the paper's "matrices related to stencils".
+pub fn stencil_2d(nx: usize, ny: usize, nine_point: bool) -> CsrMatrix {
+    let n = nx * ny;
+    let mut coo = CooMatrix::new(n, n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let r = idx(x, y);
+            coo.push(r, r, if nine_point { 8.0 } else { 4.0 });
+            let mut neighbour = |dx: i64, dy: i64| {
+                let (cx, cy) = (x as i64 + dx, y as i64 + dy);
+                if cx >= 0 && cy >= 0 && (cx as usize) < nx && (cy as usize) < ny {
+                    coo.push(r, idx(cx as usize, cy as usize), -1.0);
+                }
+            };
+            neighbour(-1, 0);
+            neighbour(1, 0);
+            neighbour(0, -1);
+            neighbour(0, 1);
+            if nine_point {
+                neighbour(-1, -1);
+                neighbour(1, -1);
+                neighbour(-1, 1);
+                neighbour(1, 1);
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// 3-D 7-point stencil on an `nx × ny × nz` grid.
+pub fn stencil_3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    let n = nx * ny * nz;
+    let mut coo = CooMatrix::new(n, n);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let r = idx(x, y, z);
+                coo.push(r, r, 6.0);
+                let mut neighbour = |dx: i64, dy: i64, dz: i64| {
+                    let (cx, cy, cz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                    if cx >= 0
+                        && cy >= 0
+                        && cz >= 0
+                        && (cx as usize) < nx
+                        && (cy as usize) < ny
+                        && (cz as usize) < nz
+                    {
+                        coo.push(r, idx(cx as usize, cy as usize, cz as usize), -1.0);
+                    }
+                };
+                neighbour(-1, 0, 0);
+                neighbour(1, 0, 0);
+                neighbour(0, -1, 0);
+                neighbour(0, 1, 0);
+                neighbour(0, 0, -1);
+                neighbour(0, 0, 1);
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Uniform row lengths (ELL's best case): every row has exactly `k`
+/// entries whose columns fall within `window` of the diagonal
+/// (`window >= n` means anywhere).
+pub fn uniform_rows(n: usize, k: usize, window: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        let (lo, hi) = col_window(r, n, window);
+        let span = hi - lo;
+        let mut cols = std::collections::BTreeSet::new();
+        cols.insert(r); // keep the diagonal
+        while cols.len() < k.min(span) {
+            cols.insert(lo + rng.random_range(0..span));
+        }
+        for c in cols {
+            coo.push(r, c, val(&mut rng));
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Power-law row lengths (CSR-Vector's home turf): most rows are short,
+/// a few are very long — think social-network adjacency.
+pub fn power_law(n: usize, avg_k: f64, alpha: f64, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    // Discrete Pareto: len = min_k * u^(-1/alpha), scaled so the mean is
+    // roughly avg_k.
+    let min_k = (avg_k * (alpha - 1.0) / alpha).max(1.0);
+    for r in 0..n {
+        let u: f64 = rng.random_range(1e-6..1.0);
+        let len = (min_k * u.powf(-1.0 / alpha)).min(n as f64 / 2.0).round() as usize;
+        let len = len.max(1);
+        let mut cols = std::collections::BTreeSet::new();
+        cols.insert(r);
+        while cols.len() < len {
+            cols.insert(rng.random_range(0..n));
+        }
+        for c in cols {
+            coo.push(r, c, val(&mut rng));
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Random matrix with binomially varying row lengths around `avg_k`.
+pub fn random_uniform(n: usize, avg_k: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        let len = 1 + rng.random_range(0..(2 * avg_k).max(2));
+        let mut cols = std::collections::BTreeSet::new();
+        cols.insert(r);
+        while cols.len() < len.min(n) {
+            cols.insert(rng.random_range(0..n));
+        }
+        for c in cols {
+            coo.push(r, c, val(&mut rng));
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Variable row lengths with strong column locality (the texture-cached
+/// CSR variant's sweet spot: too irregular for DIA/ELL, but gathers hit
+/// cache).
+pub fn clustered(n: usize, k_max: usize, window: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        let len = 1 + rng.random_range(0..k_max.max(1));
+        let (lo, hi) = col_window(r, n, window);
+        let span = hi - lo;
+        let mut cols = std::collections::BTreeSet::new();
+        cols.insert(r);
+        while cols.len() < len.min(span) {
+            cols.insert(lo + rng.random_range(0..span));
+        }
+        for c in cols {
+            coo.push(r, c, val(&mut rng));
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Block-diagonal matrix with dense random blocks.
+pub fn block_diag(n: usize, block: usize, fill: f64, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    let mut start = 0;
+    while start < n {
+        let end = (start + block).min(n);
+        for r in start..end {
+            coo.push(r, r, val(&mut rng) + 1.0);
+            for c in start..end {
+                if c != r && rng.random_bool(fill.clamp(0.0, 1.0)) {
+                    coo.push(r, c, val(&mut rng));
+                }
+            }
+        }
+        start = end;
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Symmetrize and diagonally shift into an SPD, diagonally dominant
+/// matrix: `B = (A + Aᵀ)/2 + shift·I` with `shift` exceeding the largest
+/// off-diagonal row sum. Solver benchmarks build on this.
+pub fn make_spd(a: &CsrMatrix, dominance: f64) -> CsrMatrix {
+    let t = a.transpose();
+    let mut coo = CooMatrix::new(a.n_rows, a.n_cols);
+    for r in 0..a.n_rows {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            coo.push(r, c as usize, v / 2.0);
+        }
+        let (tc, tv) = t.row(r);
+        for (&c, &v) in tc.iter().zip(tv) {
+            coo.push(r, c as usize, v / 2.0);
+        }
+    }
+    coo.sort_and_combine();
+    let sym = CsrMatrix::from_coo(&coo);
+    // Row-wise shift to enforce strict diagonal dominance.
+    let mut out = CooMatrix::new(sym.n_rows, sym.n_cols);
+    for r in 0..sym.n_rows {
+        let (cols, vals) = sym.row(r);
+        let off: f64 =
+            cols.iter().zip(vals).filter(|(&c, _)| c as usize != r).map(|(_, v)| v.abs()).sum();
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c as usize != r {
+                out.push(r, c as usize, v);
+            }
+        }
+        out.push(r, r, off * dominance.max(1.01) + 1.0);
+    }
+    CsrMatrix::from_coo(&out)
+}
+
+/// A "nearly SPD" matrix with weak diagonals on a fraction of rows —
+/// designed so some Krylov solver/preconditioner combinations fail to
+/// converge, as happens for 35 of the paper's 94 test systems.
+pub fn weak_diagonal(n: usize, k: usize, weak_fraction: f64, seed: u64) -> CsrMatrix {
+    let base = make_spd(&random_uniform(n, k, seed), 1.2);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        let (cols, vals) = base.row(r);
+        let weaken = rng.random_bool(weak_fraction.clamp(0.0, 1.0));
+        for (&c, &v) in cols.iter().zip(vals) {
+            let scale = if weaken && c as usize == r { 0.22 } else { 1.0 };
+            coo.push(r, c as usize, v * scale);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+fn col_window(r: usize, n: usize, window: usize) -> (usize, usize) {
+    if window >= n {
+        return (0, n);
+    }
+    let half = window / 2;
+    let lo = r.saturating_sub(half);
+    let hi = (lo + window).min(n);
+    (hi.saturating_sub(window), hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(banded(100, 3, 0.8, 7), banded(100, 3, 0.8, 7));
+        assert_eq!(power_law(100, 6.0, 1.8, 9), power_law(100, 6.0, 1.8, 9));
+        assert_ne!(random_uniform(100, 5, 1), random_uniform(100, 5, 2));
+    }
+
+    #[test]
+    fn banded_is_dia_friendly() {
+        let m = banded(500, 4, 1.0, 3);
+        assert!(features::dia_fill(&m) < 1.5, "fill {}", features::dia_fill(&m));
+    }
+
+    #[test]
+    fn stencils_have_expected_structure() {
+        let m5 = stencil_2d(10, 10, false);
+        assert_eq!(m5.n_rows, 100);
+        // Interior rows have 5 entries.
+        assert_eq!(m5.row_len(55), 5);
+        assert!(m5.is_symmetric(1e-12));
+        let m7 = stencil_3d(5, 5, 5);
+        assert_eq!(m7.row_len(62), 7); // interior voxel
+    }
+
+    #[test]
+    fn uniform_rows_is_ell_friendly() {
+        let m = uniform_rows(400, 8, 400, 11);
+        assert!(features::ell_fill(&m) < 1.05);
+        assert!(features::row_length_sd(&m) < 0.5);
+    }
+
+    #[test]
+    fn power_law_has_long_tail() {
+        let m = power_law(2000, 8.0, 1.5, 13);
+        assert!(features::max_row_deviation(&m) > 20.0);
+        assert!(features::ell_fill(&m) > 3.0, "ell fill {}", features::ell_fill(&m));
+    }
+
+    #[test]
+    fn clustered_stays_in_window() {
+        let m = clustered(1000, 12, 64, 17);
+        for r in 0..m.n_rows {
+            let (cols, _) = m.row(r);
+            for &c in cols {
+                assert!((c as i64 - r as i64).abs() <= 64);
+            }
+        }
+    }
+
+    #[test]
+    fn make_spd_is_symmetric_dominant() {
+        let m = make_spd(&random_uniform(200, 6, 5), 1.5);
+        assert!(m.is_symmetric(1e-9));
+        assert_eq!(features::diag_dominance(&m), 1.0);
+    }
+
+    #[test]
+    fn weak_diagonal_breaks_dominance_partially() {
+        let m = weak_diagonal(300, 5, 0.4, 21);
+        let d = features::diag_dominance(&m);
+        assert!(d > 0.2 && d < 0.95, "dominance {d}");
+    }
+}

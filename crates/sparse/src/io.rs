@@ -1,0 +1,350 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! The paper's tuning script (Figure 3) collects its training inputs with
+//! `glob.glob("inputs/training/*.mtx")` — the UFL Sparse Matrix
+//! collection ships in Matrix Market format. This module reads and writes
+//! the `coordinate` flavour (the only one sparse collections use), with
+//! `general`, `symmetric` and `skew-symmetric` symmetry and `real` /
+//! `integer` / `pattern` fields.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file, with a human-readable reason.
+    Parse {
+        /// 1-based line number where parsing failed (0 = header missing).
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "io error: {e}"),
+            MtxError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, reason: impl Into<String>) -> MtxError {
+    MtxError::Parse { line, reason: reason.into() }
+}
+
+/// Symmetry declared in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Value field declared in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Read a Matrix Market file from any buffered reader.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MtxError> {
+    let mut lines = reader.lines().enumerate();
+
+    // --- Header line ---
+    let (hline_no, header) = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (no + 1, line);
+                }
+            }
+            None => return Err(parse_err(0, "empty file")),
+        }
+    };
+    let header_lc = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(parse_err(hline_no, "expected '%%MatrixMarket matrix ...' header"));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(parse_err(hline_no, format!("unsupported format '{}'", tokens[2])));
+    }
+    let field = match tokens[3] {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(parse_err(hline_no, format!("unsupported field '{other}'"))),
+    };
+    let symmetry = match tokens[4] {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return Err(parse_err(hline_no, format!("unsupported symmetry '{other}'"))),
+    };
+
+    // --- Size line (after comments) ---
+    let (sline_no, size_line) = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (no + 1, line);
+                }
+            }
+            None => return Err(parse_err(0, "missing size line")),
+        }
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(parse_err(sline_no, "size line must be 'rows cols nnz'"));
+    }
+    let n_rows: usize =
+        dims[0].parse().map_err(|_| parse_err(sline_no, "bad row count"))?;
+    let n_cols: usize =
+        dims[1].parse().map_err(|_| parse_err(sline_no, "bad column count"))?;
+    let nnz: usize = dims[2].parse().map_err(|_| parse_err(sline_no, "bad nnz count"))?;
+
+    // --- Entries ---
+    let mut coo = CooMatrix::new(n_rows, n_cols);
+    let mut seen = 0usize;
+    for (no, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        let expected = if field == Field::Pattern { 2 } else { 3 };
+        if parts.len() < expected {
+            return Err(parse_err(no + 1, format!("expected {expected} fields")));
+        }
+        let r: usize = parts[0].parse().map_err(|_| parse_err(no + 1, "bad row index"))?;
+        let c: usize = parts[1].parse().map_err(|_| parse_err(no + 1, "bad column index"))?;
+        if r == 0 || c == 0 || r > n_rows || c > n_cols {
+            return Err(parse_err(no + 1, "index out of range (Matrix Market is 1-based)"));
+        }
+        let v: f64 = if field == Field::Pattern {
+            1.0
+        } else {
+            parts[2].parse().map_err(|_| parse_err(no + 1, "bad value"))?
+        };
+        let (r, c) = (r - 1, c - 1);
+        coo.push(r, c, v);
+        // Expand symmetric storage (lower triangle given).
+        if r != c {
+            match symmetry {
+                Symmetry::General => {}
+                Symmetry::Symmetric => coo.push(c, r, v),
+                Symmetry::SkewSymmetric => coo.push(c, r, -v),
+            }
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(0, format!("header declared {nnz} entries, file has {seen}")));
+    }
+    Ok(CsrMatrix::from_coo(&coo))
+}
+
+/// Read a `.mtx` file from disk.
+pub fn read_mtx_file(path: impl AsRef<Path>) -> Result<CsrMatrix, MtxError> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market(std::io::BufReader::new(file))
+}
+
+/// Write a matrix in Matrix Market `coordinate real general` format.
+pub fn write_matrix_market<W: Write>(m: &CsrMatrix, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% generated by nitro-sparse")?;
+    writeln!(w, "{} {} {}", m.n_rows, m.n_cols, m.nnz())?;
+    for r in 0..m.n_rows {
+        let (cols, vals) = m.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {v:?}", r + 1, c + 1)?;
+        }
+    }
+    w.flush()
+}
+
+/// Write a `.mtx` file to disk.
+pub fn write_mtx_file(m: &CsrMatrix, path: impl AsRef<Path>) -> Result<(), MtxError> {
+    let file = std::fs::File::create(path)?;
+    write_matrix_market(m, file)?;
+    Ok(())
+}
+
+/// Export a collection of inputs as `.mtx` files into a directory —
+/// lets external tools (or the real Nitro's Python scripts) consume the
+/// synthetic collections. Returns the written paths.
+pub fn export_collection(
+    inputs: &[crate::spmv::SpmvInput],
+    dir: impl AsRef<Path>,
+) -> Result<Vec<std::path::PathBuf>, MtxError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let safe: String = input
+            .name
+            .chars()
+            .map(|ch| if ch.is_alphanumeric() { ch } else { '_' })
+            .collect();
+        let path = dir.join(format!("{safe}.mtx"));
+        write_mtx_file(&input.csr, &path)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Load every `.mtx` file in a directory as an [`crate::spmv::SpmvInput`]
+/// collection — the Rust analog of the paper's
+/// `glob.glob("inputs/training/*.mtx")` (Figure 3). Files are loaded in
+/// sorted order for determinism; the group is the directory name.
+pub fn load_collection(
+    dir: impl AsRef<Path>,
+) -> Result<Vec<crate::spmv::SpmvInput>, MtxError> {
+    let dir = dir.as_ref();
+    let group =
+        dir.file_name().map(|s| s.to_string_lossy().to_string()).unwrap_or_else(|| "mtx".into());
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "mtx"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let csr = read_mtx_file(&path)?;
+        let name = path.file_stem().map(|s| s.to_string_lossy().to_string()).unwrap_or_default();
+        out.push(crate::spmv::SpmvInput::new(name, group.clone(), csr));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(s: &str) -> Result<CsrMatrix, MtxError> {
+        read_matrix_market(Cursor::new(s))
+    }
+
+    #[test]
+    fn reads_general_real_matrix() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             % a comment\n\
+             3 3 4\n\
+             1 1 2.5\n\
+             2 2 -1.0\n\
+             3 1 4.0\n\
+             3 3 1e2\n",
+        )
+        .unwrap();
+        assert_eq!((m.n_rows, m.n_cols, m.nnz()), (3, 3, 4));
+        assert_eq!(m.diag(0), 2.5);
+        assert_eq!(m.row(2).1, &[4.0, 100.0]);
+    }
+
+    #[test]
+    fn expands_symmetric_storage() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real symmetric\n\
+             2 2 2\n\
+             1 1 1.0\n\
+             2 1 3.0\n",
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert!(m.is_symmetric(1e-12));
+        assert_eq!(m.row(0).1, &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn expands_skew_symmetric_with_negation() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+             2 2 1\n\
+             2 1 5.0\n",
+        )
+        .unwrap();
+        assert_eq!(m.row(0).1, &[-5.0]);
+        assert_eq!(m.row(1).1, &[5.0]);
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate pattern general\n\
+             2 3 2\n\
+             1 3\n\
+             2 1\n",
+        )
+        .unwrap();
+        assert_eq!(m.row(0).1, &[1.0]);
+        assert_eq!(m.n_cols, 3);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse("").is_err());
+        assert!(parse("%%MatrixMarket matrix array real general\n2 2\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n").is_err());
+        assert!(parse("not a header\n").is_err());
+    }
+
+    #[test]
+    fn one_based_zero_index_rejected() {
+        let r = parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n");
+        assert!(matches!(r, Err(MtxError::Parse { .. })));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let original = crate::gen::clustered(60, 5, 16, 42);
+        let mut buf = Vec::new();
+        write_matrix_market(&original, &mut buf).unwrap();
+        let back = read_matrix_market(Cursor::new(buf)).unwrap();
+        assert_eq!(original, back);
+    }
+
+    #[test]
+    fn collection_export_import_round_trip() {
+        let dir = std::env::temp_dir().join(format!("nitro-mtx-{}", std::process::id()));
+        let inputs = vec![
+            crate::spmv::SpmvInput::new("a/one", "t", crate::gen::banded(30, 2, 1.0, 1)),
+            crate::spmv::SpmvInput::new("b/two", "t", crate::gen::random_uniform(25, 3, 2)),
+        ];
+        let paths = export_collection(&inputs, &dir).unwrap();
+        assert_eq!(paths.len(), 2);
+        let loaded = load_collection(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        // Sorted by filename: a_one then b_two.
+        assert_eq!(loaded[0].csr, inputs[0].csr);
+        assert_eq!(loaded[1].csr, inputs[1].csr);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: format conversions and kernels agree with the COO
+//! reference on arbitrary matrices.
+
+use nitro_simt::{DeviceConfig, Gpu};
+use nitro_sparse::dia::DiaMatrix;
+use nitro_sparse::ell::EllMatrix;
+use nitro_sparse::spmv::{spmv_csr_vector, spmv_dia, spmv_ell};
+use nitro_sparse::{CooMatrix, CsrMatrix};
+use proptest::prelude::*;
+
+/// Arbitrary small matrix as a set of triplets.
+fn arb_matrix() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let entries = prop::collection::vec(
+            ((0..n), (0..n), -10.0f64..10.0),
+            1..120,
+        );
+        (Just(n), entries)
+    })
+}
+
+fn build(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for &(r, c, v) in entries {
+        coo.push(r, c, v);
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-9 * x.abs().max(1.0))
+}
+
+proptest! {
+    /// COO → CSR preserves the SpMV result.
+    #[test]
+    fn coo_csr_agree((n, entries) in arb_matrix()) {
+        let mut coo = CooMatrix::new(n, n);
+        for &(r, c, v) in &entries {
+            coo.push(r, c, v);
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        prop_assert!(close(&coo.spmv_reference(&x), &csr.spmv_reference(&x)));
+    }
+
+    /// CSR row pointers are monotone and bound nnz.
+    #[test]
+    fn csr_invariants((n, entries) in arb_matrix()) {
+        let csr = build(n, &entries);
+        prop_assert_eq!(csr.row_ptr.len(), n + 1);
+        prop_assert!(csr.row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*csr.row_ptr.last().unwrap(), csr.nnz());
+        for r in 0..n {
+            let (cols, _) = csr.row(r);
+            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {} unsorted/dup", r);
+        }
+    }
+
+    /// All format conversions preserve the product, and all simulated
+    /// kernels match the reference.
+    #[test]
+    fn kernels_match_reference((n, entries) in arb_matrix()) {
+        let csr = build(n, &entries);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.3).collect();
+        let reference = csr.spmv_reference(&x);
+        let gpu = Gpu::new(DeviceConfig::fermi_c2050().noiseless());
+
+        let (y, t) = spmv_csr_vector(&csr, &x, &gpu, false);
+        prop_assert!(close(&reference, &y));
+        prop_assert!(t.elapsed_ns > 0.0);
+        let (y, _) = spmv_csr_vector(&csr, &x, &gpu, true);
+        prop_assert!(close(&reference, &y));
+
+        if let Some(dia) = DiaMatrix::from_csr(&csr, 4096) {
+            prop_assert!(close(&reference, &dia.spmv_reference(&x)));
+            let (y, _) = spmv_dia(&dia, &x, &gpu, false);
+            prop_assert!(close(&reference, &y));
+            let (y, _) = spmv_dia(&dia, &x, &gpu, true);
+            prop_assert!(close(&reference, &y));
+        }
+        if let Some(ell) = EllMatrix::from_csr(&csr, 1e9) {
+            prop_assert!(close(&reference, &ell.spmv_reference(&x)));
+            let (y, _) = spmv_ell(&ell, &x, &gpu, false);
+            prop_assert!(close(&reference, &y));
+            let (y, _) = spmv_ell(&ell, &x, &gpu, true);
+            prop_assert!(close(&reference, &y));
+        }
+    }
+
+    /// Transpose twice is the identity for arbitrary matrices.
+    #[test]
+    fn transpose_involution((n, entries) in arb_matrix()) {
+        let csr = build(n, &entries);
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end SpMV tuning: the Figure-6 pipeline at miniature scale.
+
+use nitro_core::{ClassifierConfig, Context};
+use nitro_simt::DeviceConfig;
+use nitro_sparse::collection::spmv_small_sets;
+use nitro_sparse::spmv::build_code_variant;
+use nitro_tuner::{evaluate_fixed_variant, evaluate_model, Autotuner, ProfileTable};
+
+#[test]
+fn nitro_tuned_spmv_beats_every_fixed_variant() {
+    let ctx = Context::new();
+    let cfg = DeviceConfig::fermi_c2050();
+    let mut cv = build_code_variant(&ctx, &cfg);
+    // Cheap fixed-parameter SVM keeps this test fast; the full harness
+    // grid-searches.
+    cv.policy_mut().classifier =
+        ClassifierConfig::Svm { c: Some(32.0), gamma: Some(2.0), grid_search: false };
+
+    let (train, test) = spmv_small_sets(0xBEEF);
+    let test_table = ProfileTable::build(&cv, &test);
+
+    let (report, summary) = Autotuner::new()
+        .tune_and_evaluate(&mut cv, &train, &test_table)
+        .expect("tuning succeeds");
+
+    assert_eq!(report.training_inputs, train.len());
+    assert!(
+        summary.mean_relative_perf > 0.85,
+        "Nitro at {:.1}% of exhaustive best",
+        summary.mean_relative_perf * 100.0
+    );
+
+    // No single variant should match the tuned selector on this mix.
+    for v in 0..cv.n_variants() {
+        let fixed = evaluate_fixed_variant(&test_table, v);
+        assert!(
+            fixed.mean_relative_perf < summary.mean_relative_perf + 1e-9,
+            "variant {v} at {:.1}% outperformed Nitro at {:.1}%",
+            fixed.mean_relative_perf * 100.0,
+            summary.mean_relative_perf * 100.0
+        );
+    }
+}
+
+#[test]
+fn trained_model_round_trips_through_disk() {
+    let dir = std::env::temp_dir().join(format!("nitro-spmv-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ctx = Context::with_model_dir(&dir);
+    let cfg = DeviceConfig::fermi_c2050();
+
+    let mut cv = build_code_variant(&ctx, &cfg);
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
+    let (train, test) = spmv_small_sets(0xF00D);
+    Autotuner { save_model: true, ..Default::default() }.tune(&mut cv, &train).unwrap();
+
+    // A fresh library instance (fresh process in real life) reloads it.
+    let mut cv2 = build_code_variant(&ctx, &cfg);
+    cv2.load_model().expect("artifact loads and validates");
+    let table = ProfileTable::build(&cv2, &test);
+    let model = cv2.export_artifact().unwrap().model;
+    let s = evaluate_model(&table, &model, cv2.default_variant());
+    assert!(s.mean_relative_perf > 0.8, "reloaded model at {:.2}", s.mean_relative_perf);
+    std::fs::remove_dir_all(dir).ok();
+}

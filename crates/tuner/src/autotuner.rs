@@ -1,0 +1,416 @@
+//! The Nitro autotuner: offline training of variant-selection models.
+//!
+//! Plays the role of the paper's Python autotuner (§II-C / Table II): it
+//! takes a configured [`CodeVariant`] plus training inputs, performs
+//! exhaustive search to label them, fits the configured classifier and
+//! installs the model. When the policy requests incremental tuning
+//! (`itune`), only a fraction of the training inputs is exhaustively
+//! profiled, chosen by Best-vs-Second-Best active learning (§III-B).
+
+use nitro_core::{CodeVariant, NitroError, Result, StoppingCriterion, TrainedModel};
+use nitro_ml::{ActiveLearner, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::ProfileTable;
+use crate::report::evaluate_model;
+
+/// Global autotuner options (the per-function options live in the
+/// `CodeVariant`'s [`nitro_core::TuningPolicy`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Autotuner {
+    /// Deterministic seed for the incremental tuner's initial sample.
+    pub seed: u64,
+    /// Upper bound on inputs profiled while searching for an initial
+    /// example of each variant label.
+    pub max_seed_probes: usize,
+    /// Hard cap on active-learning iterations under an accuracy criterion.
+    pub max_incremental_iterations: usize,
+    /// Persist the model through the context after tuning.
+    pub save_model: bool,
+}
+
+impl Default for Autotuner {
+    fn default() -> Self {
+        Self { seed: 0x417, max_seed_probes: 16, max_incremental_iterations: 200, save_model: false }
+    }
+}
+
+/// What a tuning run did.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct TuneReport {
+    /// Total training inputs supplied.
+    pub training_inputs: usize,
+    /// Inputs actually exhaustively profiled (== `training_inputs` for
+    /// full tuning; usually far fewer for incremental tuning).
+    pub profiled_inputs: usize,
+    /// Inputs dropped because no variant produced a valid result.
+    pub dropped_inputs: usize,
+    /// Labeled examples per class in the final training set.
+    pub class_counts: Vec<usize>,
+    /// Cross-validation accuracy from grid search, when it ran.
+    pub cv_accuracy: Option<f64>,
+    /// Active-learning iterations performed (0 for full tuning).
+    pub incremental_iterations: usize,
+    /// Model accuracy on the test table after each incremental iteration
+    /// (empty without a test table). Entry 0 is the seed-only model.
+    pub accuracy_history: Vec<f64>,
+    /// Snapshot of the model after each incremental iteration (entry 0 is
+    /// the seed-only model; empty for full tuning). Lets experiment
+    /// harnesses plot performance-vs-iterations (paper Figure 7) from a
+    /// single tuning run.
+    #[serde(skip)]
+    pub model_history: Vec<TrainedModel>,
+}
+
+impl Autotuner {
+    /// Create an autotuner with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tune a code variant on `inputs`, honouring the policy's
+    /// incremental-tuning setting. Installs the trained model and returns
+    /// a report.
+    pub fn tune<I>(&self, cv: &mut CodeVariant<I>, inputs: &[I]) -> Result<TuneReport>
+    where
+        I: Send + Sync,
+    {
+        self.tune_impl(cv, inputs, None)
+    }
+
+    /// Like [`Autotuner::tune`], but with a pre-profiled test table: the
+    /// incremental tuner can then use an accuracy stopping criterion and
+    /// the report carries an accuracy history (paper Figure 7).
+    pub fn tune_with_test<I>(
+        &self,
+        cv: &mut CodeVariant<I>,
+        inputs: &[I],
+        test: &ProfileTable,
+    ) -> Result<TuneReport>
+    where
+        I: Send + Sync,
+    {
+        self.tune_impl(cv, inputs, Some(test))
+    }
+
+    /// Full (non-incremental) tuning from an existing profile table.
+    /// Useful when the caller already paid for exhaustive profiling.
+    pub fn tune_from_table<I>(&self, cv: &mut CodeVariant<I>, table: &ProfileTable) -> Result<TuneReport>
+    where
+        I: Send + Sync,
+    {
+        let data = table.dataset();
+        if data.is_empty() {
+            return Err(NitroError::ModelMismatch {
+                detail: "no training input produced a valid label".into(),
+            });
+        }
+        let model = TrainedModel::train(&cv.policy().classifier, &data);
+        let cv_accuracy = grid_cv_accuracy(&model);
+        cv.install_model(model);
+        if self.save_model {
+            cv.save_model()?;
+        }
+        Ok(TuneReport {
+            training_inputs: table.len(),
+            profiled_inputs: table.len(),
+            dropped_inputs: table.len() - data.len(),
+            class_counts: data.class_counts(),
+            cv_accuracy,
+            incremental_iterations: 0,
+            accuracy_history: Vec::new(),
+            model_history: Vec::new(),
+        })
+    }
+
+    fn tune_impl<I>(
+        &self,
+        cv: &mut CodeVariant<I>,
+        inputs: &[I],
+        test: Option<&ProfileTable>,
+    ) -> Result<TuneReport>
+    where
+        I: Send + Sync,
+    {
+        if cv.n_variants() == 0 {
+            return Err(NitroError::NoVariants);
+        }
+        match cv.policy().incremental {
+            None => {
+                let table = ProfileTable::build(cv, inputs);
+                self.tune_from_table(cv, &table)
+            }
+            Some(criterion) => self.itune(cv, inputs, criterion, test),
+        }
+    }
+
+    /// Incremental tuning: profile only a seed plus actively-queried
+    /// inputs.
+    fn itune<I>(
+        &self,
+        cv: &mut CodeVariant<I>,
+        inputs: &[I],
+        criterion: StoppingCriterion,
+        test: Option<&ProfileTable>,
+    ) -> Result<TuneReport>
+    where
+        I: Send + Sync,
+    {
+        // Feature vectors for the whole pool are cheap (§III-B: "the
+        // execution time required to derive feature vectors is typically
+        // far lower than the cost of actually executing variants").
+        let features: Vec<Vec<f64>> =
+            inputs.par_iter().map(|i| cv.evaluate_features(i).0).collect();
+
+        // Deterministically shuffled probe order for the seed.
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        order.shuffle(&mut rng);
+
+        let mut seed = Dataset::new(cv.n_variants());
+        let mut profiled = 0usize;
+        let mut dropped = 0usize;
+        let mut seen_labels = vec![false; cv.n_variants()];
+        let mut in_seed = vec![false; inputs.len()];
+        for &idx in &order {
+            if profiled >= self.max_seed_probes || seen_labels.iter().all(|&s| s) {
+                break;
+            }
+            let (_, _, costs, _) = ProfileTable::profile_one(cv, &inputs[idx]);
+            profiled += 1;
+            in_seed[idx] = true;
+            let label = best_of(&costs, cv);
+            match label {
+                Some(l) => {
+                    seen_labels[l] = true;
+                    seed.push(features[idx].clone(), l);
+                }
+                None => dropped += 1,
+            }
+        }
+        if seed.is_empty() {
+            return Err(NitroError::ModelMismatch {
+                detail: "incremental tuning found no labelable seed input".into(),
+            });
+        }
+
+        let pool: Vec<(usize, Vec<f64>)> = (0..inputs.len())
+            .filter(|&i| !in_seed[i])
+            .map(|i| (i, features[i].clone()))
+            .collect();
+        let mut learner = ActiveLearner::new(seed, pool);
+        let config = cv.policy().classifier.clone();
+        let mut model = learner.fit(&config);
+        let mut model_history = vec![model.clone()];
+
+        let mut accuracy_history = Vec::new();
+        let record_accuracy = |model: &TrainedModel, history: &mut Vec<f64>| {
+            if let Some(t) = test {
+                let preds: Vec<usize> = (0..t.len()).map(|i| model.predict(&t.features[i])).collect();
+                let labeled = t.labels();
+                let correct =
+                    labeled.iter().filter(|&&(i, l)| preds[i] == l).count();
+                history.push(if labeled.is_empty() {
+                    0.0
+                } else {
+                    correct as f64 / labeled.len() as f64
+                });
+            }
+        };
+        record_accuracy(&model, &mut accuracy_history);
+
+        let max_iters = match criterion {
+            StoppingCriterion::Iterations(n) => n,
+            StoppingCriterion::Accuracy(_) => self.max_incremental_iterations,
+        };
+        let mut iterations = 0usize;
+        while iterations < max_iters {
+            if let (StoppingCriterion::Accuracy(threshold), Some(&acc)) =
+                (criterion, accuracy_history.last())
+            {
+                if acc >= threshold {
+                    break;
+                }
+            }
+            let Some((pos, original)) = learner.next_query(&model) else { break };
+            let (_, _, costs, _) = ProfileTable::profile_one(cv, &inputs[original]);
+            profiled += 1;
+            match best_of(&costs, cv) {
+                Some(label) => learner.label(pos, label),
+                None => {
+                    dropped += 1;
+                    learner.discard(pos);
+                    continue; // an unlabelable input doesn't count as an iteration
+                }
+            }
+            model = learner.fit(&config);
+            model_history.push(model.clone());
+            iterations += 1;
+            record_accuracy(&model, &mut accuracy_history);
+        }
+
+        let class_counts = learner.labeled().class_counts();
+        let cv_accuracy = grid_cv_accuracy(&model);
+        cv.install_model(model);
+        if self.save_model {
+            cv.save_model()?;
+        }
+        Ok(TuneReport {
+            training_inputs: inputs.len(),
+            profiled_inputs: profiled,
+            dropped_inputs: dropped,
+            class_counts,
+            cv_accuracy,
+            incremental_iterations: iterations,
+            accuracy_history,
+            model_history,
+        })
+    }
+
+    /// Convenience wrapper: tune, then immediately evaluate on a profiled
+    /// test table (the Figure 6 pipeline).
+    pub fn tune_and_evaluate<I>(
+        &self,
+        cv: &mut CodeVariant<I>,
+        train_inputs: &[I],
+        test_table: &ProfileTable,
+    ) -> Result<(TuneReport, crate::report::EvalSummary)>
+    where
+        I: Send + Sync,
+    {
+        let report = self.tune(cv, train_inputs)?;
+        let model = cv
+            .export_artifact()
+            .expect("tune() always installs a model on success")
+            .model;
+        let summary = evaluate_model(test_table, &model, cv.default_variant());
+        Ok((report, summary))
+    }
+}
+
+/// Best variant index from a cost row, under the code variant's objective.
+fn best_of<I: ?Sized>(costs: &[f64], cv: &CodeVariant<I>) -> Option<usize> {
+    let objective = cv.policy().objective;
+    let worst = objective.worst();
+    let mut best: Option<(usize, f64)> = None;
+    for (v, &c) in costs.iter().enumerate() {
+        if c == worst || c.is_nan() {
+            continue;
+        }
+        if best.is_none_or(|(_, bc)| objective.better(c, bc)) {
+            best = Some((v, c));
+        }
+    }
+    best.map(|(v, _)| v)
+}
+
+/// Pull the grid-search CV accuracy out of an SVM model, if present.
+fn grid_cv_accuracy(model: &TrainedModel) -> Option<f64> {
+    match model {
+        TrainedModel::Svm { cv_accuracy, .. } => *cv_accuracy,
+        _ => None,
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::{ClassifierConfig, Context, FnFeature, FnVariant};
+
+    /// Variant 0 is best for x < 5, variant 1 for x ≥ 5.
+    fn toy(ctx: &Context) -> CodeVariant<f64> {
+        let mut cv = CodeVariant::new("toy", ctx);
+        cv.add_variant(FnVariant::new("rising", |&x: &f64| 1.0 + x));
+        cv.add_variant(FnVariant::new("falling", |&x: &f64| 11.0 - x));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        cv.policy_mut().classifier =
+            ClassifierConfig::Svm { c: Some(10.0), gamma: Some(1.0), grid_search: false };
+        cv
+    }
+
+    fn training_inputs() -> Vec<f64> {
+        (0..40).map(|i| i as f64 * 0.25).collect() // 0..10
+    }
+
+    #[test]
+    fn full_tuning_installs_accurate_model() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        let report = Autotuner::new().tune(&mut cv, &training_inputs()).unwrap();
+        assert!(cv.has_model());
+        assert_eq!(report.profiled_inputs, 40);
+        assert_eq!(report.incremental_iterations, 0);
+        assert_eq!(cv.call(&1.0).unwrap().variant, 0);
+        assert_eq!(cv.call(&9.0).unwrap().variant, 1);
+    }
+
+    #[test]
+    fn incremental_tuning_profiles_fewer_inputs() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.policy_mut().incremental = Some(StoppingCriterion::Iterations(8));
+        let inputs = training_inputs();
+        let report = Autotuner::new().tune(&mut cv, &inputs).unwrap();
+        assert!(
+            report.profiled_inputs < inputs.len() / 2,
+            "profiled {} of {}",
+            report.profiled_inputs,
+            inputs.len()
+        );
+        assert_eq!(cv.call(&0.5).unwrap().variant, 0);
+        assert_eq!(cv.call(&9.5).unwrap().variant, 1);
+    }
+
+    #[test]
+    fn accuracy_criterion_stops_early() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.policy_mut().incremental = Some(StoppingCriterion::Accuracy(0.9));
+        let inputs = training_inputs();
+        let test_table = ProfileTable::build(&toy(&ctx), &inputs);
+        let report = Autotuner::new().tune_with_test(&mut cv, &inputs, &test_table).unwrap();
+        assert!(report.accuracy_history.last().copied().unwrap_or(0.0) >= 0.9);
+        assert!(report.incremental_iterations < inputs.len());
+    }
+
+    #[test]
+    fn tune_and_evaluate_reports_high_performance() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        let train = training_inputs();
+        let test: Vec<f64> = (0..100).map(|i| 0.05 + i as f64 * 0.1).collect();
+        let test_table = ProfileTable::build(&toy(&ctx), &test);
+        let (_, summary) =
+            Autotuner::new().tune_and_evaluate(&mut cv, &train, &test_table).unwrap();
+        assert!(summary.mean_relative_perf > 0.95, "perf {}", summary.mean_relative_perf);
+    }
+
+    #[test]
+    fn empty_variants_is_an_error() {
+        let ctx = Context::new();
+        let mut cv: CodeVariant<f64> = CodeVariant::new("none", &ctx);
+        assert!(Autotuner::new().tune(&mut cv, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn save_model_persists_through_context() {
+        let dir = nitro_core::context::temp_model_dir("tuner-save");
+        let ctx = Context::with_model_dir(&dir);
+        let mut cv = toy(&ctx);
+        let tuner = Autotuner { save_model: true, ..Default::default() };
+        tuner.tune(&mut cv, &training_inputs()).unwrap();
+        assert!(ctx.model_path("toy").unwrap().exists());
+
+        let mut fresh = toy(&ctx);
+        fresh.load_model().unwrap();
+        assert_eq!(fresh.call(&9.0).unwrap().variant, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

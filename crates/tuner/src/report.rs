@@ -1,0 +1,156 @@
+//! Evaluation reports: the numbers the paper's figures are built from.
+
+use nitro_core::TrainedModel;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::ProfileTable;
+
+/// Summary of a selection strategy evaluated against exhaustive search on
+/// a profiled test set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalSummary {
+    /// Inputs with a well-defined best variant (the denominator).
+    pub n_inputs: usize,
+    /// Mean relative performance vs exhaustive search (paper Figure 6).
+    pub mean_relative_perf: f64,
+    /// Fraction of inputs achieving ≥ 70% of exhaustive-search performance.
+    pub frac_ge_70: f64,
+    /// Fraction of inputs achieving ≥ 90%.
+    pub frac_ge_90: f64,
+    /// Inputs where the chosen variant was not the true best.
+    pub mispredictions: usize,
+    /// Inputs where the chosen variant failed outright (vetoed or
+    /// non-converging): relative performance 0.
+    pub failures: usize,
+}
+
+/// Evaluate an explicit per-input choice against the table's ground truth.
+/// `chosen[i]` is the variant executed for input `i`.
+pub fn evaluate_selection(table: &ProfileTable, chosen: &[usize]) -> EvalSummary {
+    assert_eq!(chosen.len(), table.len(), "one choice per input");
+    let mut perfs = Vec::new();
+    let mut mispredictions = 0;
+    let mut failures = 0;
+    for (i, &choice) in chosen.iter().enumerate() {
+        let Some(best) = table.best_variant(i) else { continue };
+        let p = table.relative_perf(i, choice);
+        if choice != best {
+            mispredictions += 1;
+        }
+        if p == 0.0 {
+            failures += 1;
+        }
+        perfs.push(p);
+    }
+    summarize(&perfs, mispredictions, failures)
+}
+
+/// Evaluate a trained model on a profiled test set, reproducing the online
+/// dispatch semantics: the model picks a variant from the features; if
+/// constraints vetoed it on that input, the default variant runs instead.
+pub fn evaluate_model(
+    table: &ProfileTable,
+    model: &TrainedModel,
+    default_variant: Option<usize>,
+) -> EvalSummary {
+    let chosen: Vec<usize> = (0..table.len())
+        .map(|i| {
+            let pred = model.predict(&table.features[i]).min(table.n_variants() - 1);
+            if table.allowed[i][pred] {
+                pred
+            } else {
+                default_variant.unwrap_or(0)
+            }
+        })
+        .collect();
+    evaluate_selection(table, &chosen)
+}
+
+/// Evaluate the strategy "always run variant `v`" (the per-variant bars of
+/// Figure 5).
+pub fn evaluate_fixed_variant(table: &ProfileTable, v: usize) -> EvalSummary {
+    evaluate_selection(table, &vec![v; table.len()])
+}
+
+fn summarize(perfs: &[f64], mispredictions: usize, failures: usize) -> EvalSummary {
+    let n = perfs.len();
+    if n == 0 {
+        return EvalSummary {
+            n_inputs: 0,
+            mean_relative_perf: 0.0,
+            frac_ge_70: 0.0,
+            frac_ge_90: 0.0,
+            mispredictions,
+            failures,
+        };
+    }
+    EvalSummary {
+        n_inputs: n,
+        mean_relative_perf: perfs.iter().sum::<f64>() / n as f64,
+        frac_ge_70: perfs.iter().filter(|&&p| p >= 0.70).count() as f64 / n as f64,
+        frac_ge_90: perfs.iter().filter(|&&p| p >= 0.90).count() as f64 / n as f64,
+        mispredictions,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::{CodeVariant, Context, FnFeature, FnVariant};
+    use nitro_ml::{ClassifierConfig, TrainedModel};
+
+    fn table() -> ProfileTable {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::new("toy", &ctx);
+        cv.add_variant(FnVariant::new("rising", |&x: &f64| x));
+        cv.add_variant(FnVariant::new("falling", |&x: &f64| 10.0 - x));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        ProfileTable::build(&cv, &[1.0, 2.0, 8.0, 9.0])
+    }
+
+    #[test]
+    fn oracle_selection_scores_one() {
+        let t = table();
+        let labels: Vec<usize> = t.labels().into_iter().map(|(_, l)| l).collect();
+        let s = evaluate_selection(&t, &labels);
+        assert_eq!(s.mean_relative_perf, 1.0);
+        assert_eq!(s.mispredictions, 0);
+        assert_eq!(s.frac_ge_90, 1.0);
+    }
+
+    #[test]
+    fn fixed_variant_pays_on_half_the_inputs() {
+        let t = table();
+        let s = evaluate_fixed_variant(&t, 0);
+        // Inputs 1, 2 are best on variant 0 (perf 1.0); inputs 8, 9 pay
+        // ratios 2/8 and 1/9.
+        assert_eq!(s.mispredictions, 2);
+        assert!(s.mean_relative_perf < 0.7);
+    }
+
+    #[test]
+    fn perfect_model_matches_oracle() {
+        let t = table();
+        let model = TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &t.dataset());
+        let s = evaluate_model(&t, &model, Some(0));
+        assert_eq!(s.mean_relative_perf, 1.0);
+    }
+
+    #[test]
+    fn empty_table_summary_is_zeroed() {
+        let t = ProfileTable {
+            objective: Default::default(),
+            variant_names: vec!["a".into()],
+            feature_names: vec![],
+            costs: vec![],
+            features: vec![],
+            feature_cost_ns: vec![],
+            allowed: vec![],
+        };
+        let s = evaluate_selection(&t, &[]);
+        assert_eq!(s.n_inputs, 0);
+        assert_eq!(s.mean_relative_perf, 0.0);
+    }
+}

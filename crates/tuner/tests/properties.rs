@@ -1,0 +1,108 @@
+//! Property tests for the profiling and evaluation layer.
+
+use nitro_core::{CodeVariant, Context, FnFeature, FnVariant, Objective};
+use nitro_tuner::{evaluate_fixed_variant, evaluate_selection, ProfileTable};
+use proptest::prelude::*;
+
+/// A code variant whose costs are table-driven: variant v on input i costs
+/// `costs[i][v]` (provided through the input itself).
+type Row = Vec<f64>;
+
+fn table_cv(n_variants: usize, ctx: &Context) -> CodeVariant<Row> {
+    let mut cv = CodeVariant::new("prop", ctx);
+    for v in 0..n_variants {
+        cv.add_variant(FnVariant::new(format!("v{v}"), move |row: &Row| row[v]));
+    }
+    cv.set_default(0);
+    cv.add_input_feature(FnFeature::new("sum", |row: &Row| row.iter().sum()));
+    cv
+}
+
+proptest! {
+    /// The labeled best variant really has the minimal cost, and relative
+    /// performance is 1.0 exactly for it and <= 1.0 elsewhere.
+    #[test]
+    fn best_variant_is_argmin(
+        rows in prop::collection::vec(prop::collection::vec(0.1f64..1e6, 3), 1..30)
+    ) {
+        let ctx = Context::new();
+        let cv = table_cv(3, &ctx);
+        let table = ProfileTable::build(&cv, &rows);
+        for (i, row) in rows.iter().enumerate() {
+            let best = table.best_variant(i).expect("finite costs");
+            for v in 0..3 {
+                prop_assert!(row[best] <= row[v]);
+                prop_assert!(table.relative_perf(i, v) <= 1.0 + 1e-12);
+            }
+            prop_assert!((table.relative_perf(i, best) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Oracle selection always evaluates to exactly 1.0 mean performance,
+    /// and any other selection is never better.
+    #[test]
+    fn oracle_dominates_every_selection(
+        rows in prop::collection::vec(prop::collection::vec(0.1f64..1e6, 4), 1..30),
+        picks in prop::collection::vec(0usize..4, 30)
+    ) {
+        let ctx = Context::new();
+        let cv = table_cv(4, &ctx);
+        let table = ProfileTable::build(&cv, &rows);
+        let oracle: Vec<usize> = table.labels().into_iter().map(|(_, l)| l).collect();
+        let oracle_summary = evaluate_selection(&table, &oracle);
+        prop_assert!((oracle_summary.mean_relative_perf - 1.0).abs() < 1e-12);
+        let arbitrary: Vec<usize> = (0..rows.len()).map(|i| picks[i % picks.len()]).collect();
+        let arbitrary_summary = evaluate_selection(&table, &arbitrary);
+        prop_assert!(arbitrary_summary.mean_relative_perf <= 1.0 + 1e-12);
+    }
+
+    /// Fixed-variant summaries are internally consistent: fraction
+    /// thresholds are ordered and mispredictions bounded by n.
+    #[test]
+    fn summary_invariants(
+        rows in prop::collection::vec(prop::collection::vec(0.1f64..1e6, 3), 1..40),
+        v in 0usize..3,
+    ) {
+        let ctx = Context::new();
+        let cv = table_cv(3, &ctx);
+        let table = ProfileTable::build(&cv, &rows);
+        let s = evaluate_fixed_variant(&table, v);
+        prop_assert!(s.frac_ge_90 <= s.frac_ge_70 + 1e-12);
+        prop_assert!(s.mispredictions <= s.n_inputs);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s.mean_relative_perf));
+    }
+
+    /// Under a Maximize objective, the best variant is the argmax.
+    #[test]
+    fn maximize_flips_argmin_to_argmax(
+        rows in prop::collection::vec(prop::collection::vec(0.1f64..1e6, 3), 1..20)
+    ) {
+        let ctx = Context::new();
+        let mut cv = table_cv(3, &ctx);
+        cv.policy_mut().objective = Objective::Maximize;
+        let table = ProfileTable::build(&cv, &rows);
+        for (i, row) in rows.iter().enumerate() {
+            let best = table.best_variant(i).unwrap();
+            for v in 0..3 {
+                prop_assert!(row[best] >= row[v]);
+            }
+        }
+    }
+
+    /// Feature-subset slicing preserves costs and labels exactly.
+    #[test]
+    fn subset_preserves_labels(
+        rows in prop::collection::vec(prop::collection::vec(0.1f64..1e6, 3), 1..20)
+    ) {
+        let ctx = Context::new();
+        let mut cv = table_cv(3, &ctx);
+        cv.add_input_feature(FnFeature::new("max", |row: &Row| {
+            row.iter().cloned().fold(f64::MIN, f64::max)
+        }));
+        let table = ProfileTable::build(&cv, &rows);
+        let sliced = table.with_feature_subset(&[1]);
+        prop_assert_eq!(table.labels(), sliced.labels());
+        prop_assert_eq!(&table.costs, &sliced.costs);
+        prop_assert_eq!(sliced.feature_names.len(), 1);
+    }
+}

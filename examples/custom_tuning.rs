@@ -1,0 +1,113 @@
+//! A tour of the tuning interface (paper Table II): classifier choice,
+//! incremental tuning, constraints, feature subsets, and parallel /
+//! asynchronous feature evaluation.
+//!
+//! ```text
+//! cargo run --release --example custom_tuning
+//! ```
+
+use std::sync::Arc;
+
+use nitro::core::{
+    ClassifierConfig, CodeVariant, Context, FnConstraint, FnFeature, FnVariant, StoppingCriterion,
+};
+use nitro::ml::TreeParams;
+use nitro::tuner::{Autotuner, ProfileTable};
+
+/// A toy input: a buffer plus a "mode" flag the constraint consults.
+#[derive(Debug)]
+struct Input {
+    data: Vec<f64>,
+    gpu_resident: bool,
+}
+
+fn build(ctx: &Context) -> CodeVariant<Input> {
+    let mut cv = CodeVariant::new("custom", ctx);
+    cv.add_variant(FnVariant::new("host", |i: &Input| 100.0 + i.data.len() as f64));
+    cv.add_variant(FnVariant::new("device", |i: &Input| 5_000.0 + i.data.len() as f64 * 0.1));
+    cv.set_default(0);
+    cv.add_input_feature(FnFeature::new("n", |i: &Input| i.data.len() as f64));
+    cv.add_input_feature(FnFeature::with_cost(
+        "mean",
+        |i: &Input| i.data.iter().sum::<f64>() / i.data.len().max(1) as f64,
+        |i: &Input| i.data.len() as f64 * 0.5,
+    ));
+    // The "device" variant is only legal for GPU-resident buffers.
+    cv.add_constraint(1, FnConstraint::new("resident", |i: &Input| i.gpu_resident));
+    cv
+}
+
+fn inputs(n: usize) -> Vec<Input> {
+    (1..=n)
+        .map(|i| Input { data: vec![1.0; i * 700], gpu_resident: i % 3 != 0 })
+        .collect()
+}
+
+fn main() {
+    let ctx = Context::new();
+    let train = inputs(30);
+
+    // --- Option 1: classifier choice (`spmv.classifier = ...`). ---
+    for config in [
+        ("svm+grid", ClassifierConfig::default()),
+        ("knn", ClassifierConfig::Knn { k: 3 }),
+        ("tree", ClassifierConfig::Tree(TreeParams::default())),
+    ] {
+        let mut cv = build(&ctx);
+        cv.policy_mut().classifier = config.1.clone();
+        let report = Autotuner::new().tune(&mut cv, &train).expect("tuning succeeds");
+        println!(
+            "classifier {:<9} -> class counts {:?}, cv accuracy {:?}",
+            config.0, report.class_counts, report.cv_accuracy
+        );
+    }
+
+    // --- Option 2: incremental tuning (`itune(iter | acc)`). ---
+    let mut cv = build(&ctx);
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
+    cv.policy_mut().incremental = Some(StoppingCriterion::Iterations(6));
+    let report = Autotuner::new().tune(&mut cv, &train).expect("tuning succeeds");
+    println!(
+        "\nincremental: profiled only {}/{} inputs ({} BvSB queries)",
+        report.profiled_inputs, report.training_inputs, report.incremental_iterations
+    );
+
+    // --- Option 3: constraints on/off. ---
+    let mut constrained = build(&ctx);
+    constrained.policy_mut().classifier = ClassifierConfig::Knn { k: 1 };
+    Autotuner::new().tune(&mut constrained, &train).unwrap();
+    let non_resident = Input { data: vec![1.0; 20_300], gpu_resident: false };
+    let with = constrained.call(&non_resident).unwrap();
+    constrained.policy_mut().constraints = false;
+    let without = constrained.call(&non_resident).unwrap();
+    println!(
+        "\nconstraints on: {} (fell back: {}); constraints off: {}",
+        with.variant_name, with.fell_back_to_default, without.variant_name
+    );
+
+    // --- Option 4: feature subsets (Figure 8's knob). ---
+    let mut cv = build(&ctx);
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
+    cv.policy_mut().feature_subset = Some(vec![0]); // drop the O(n) "mean"
+    let table = ProfileTable::build(&cv, &train);
+    println!(
+        "\nfeature subset {:?}: mean feature cost {:.0} ns/input",
+        cv.active_feature_names(),
+        table.feature_cost_ns.iter().sum::<f64>() / table.len() as f64
+    );
+
+    // --- Option 5: parallel + asynchronous feature evaluation. ---
+    let mut cv = build(&ctx);
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
+    Autotuner::new().tune(&mut cv, &train).unwrap();
+    cv.policy_mut().parallel_feature_evaluation = true;
+    cv.policy_mut().async_feature_eval = true;
+    let big = Arc::new(Input { data: vec![2.0; 50_000], gpu_resident: true });
+    cv.fix_inputs(Arc::clone(&big)); // features start in the background
+    // ... overlap other work here (paper §III-C) ...
+    let outcome = cv.call_fixed().unwrap(); // implicit barrier + dispatch
+    println!(
+        "\nasync call selected {} (feature cost charged: {:.0} ns, max not sum — parallel)",
+        outcome.variant_name, outcome.feature_cost_ns
+    );
+}

@@ -1,0 +1,55 @@
+//! Online tuning: no tuning script, no training set — the library tunes
+//! itself in production (an extension toward the paper's stated goal of
+//! serving "the general programming community", §VII).
+//!
+//! ```text
+//! cargo run --release --example online_tuning
+//! ```
+
+use nitro::core::{ClassifierConfig, Context};
+use nitro::simt::DeviceConfig;
+use nitro::sort::keys::generate;
+use nitro::sort::variants::build_code_variant;
+use nitro::tuner::{OnlineCodeVariant, OnlineOptions};
+
+fn main() {
+    let ctx = Context::new();
+    let mut sort = build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
+    sort.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
+
+    // Wrap it: exploration starts at 50% and decays as labels accumulate.
+    let mut online = OnlineCodeVariant::new(sort, OnlineOptions::default());
+
+    // Production traffic: a mix of workloads arriving over time.
+    let workloads =
+        [("uniform", false), ("uniform", true), ("almost_sorted", true), ("reverse", false)];
+    println!("{:<8} {:<22} {:<10} selected", "call", "workload", "mode");
+    for call in 0..60 {
+        let (category, wide) = workloads[call % workloads.len()];
+        let input = generate(category, 4_000, wide, call as u64, &format!("live/{call}"));
+        let before = online.stats().explorations;
+        let outcome = online.call(&input).expect("dispatch succeeds");
+        let mode = if online.stats().explorations > before { "explore" } else { "exploit" };
+        if !(8..56).contains(&call) {
+            println!(
+                "{:<8} {:<22} {:<10} {}",
+                call,
+                format!("{category}/{}bit", if wide { 64 } else { 32 }),
+                mode,
+                outcome.variant_name
+            );
+        } else if call == 8 {
+            println!("   ...");
+        }
+    }
+
+    let stats = online.stats();
+    println!(
+        "\n{} calls: {} explorations ({} labels gathered), {} retrains",
+        stats.calls,
+        stats.explorations,
+        online.n_labels(),
+        stats.retrains
+    );
+    println!("Late traffic exploits a model learned entirely from live inputs.");
+}

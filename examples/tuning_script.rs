@@ -1,0 +1,70 @@
+//! The paper's Figure 3, transliterated: an external "tuning script" that
+//! globs `.mtx` training matrices, sets tuning properties, and runs the
+//! autotuner — producing a persisted model the library loads at runtime.
+//!
+//! ```text
+//! cargo run --release --example tuning_script
+//! ```
+//!
+//! Figure 3 (Python)                     | here (Rust)
+//! --------------------------------------|---------------------------------
+//! `spmv = code_variant("spmv", 6)`      | `build_code_variant(...)`
+//! `spmv.classifier = svm_classifier()`  | `policy_mut().classifier = ...`
+//! `spmv.constraints = True`             | `policy_mut().constraints = true`
+//! `spmv.parallel_feature_evaluation`    | `policy_mut().parallel_feature_evaluation`
+//! `spmv.async_feature_eval = False`     | `policy_mut().async_feature_eval`
+//! `glob.glob("inputs/training/*.mtx")`  | `io::load_collection(dir)`
+//! `tuner.tune([spmv])`                  | `Autotuner::tune(&mut spmv, ...)`
+
+use nitro::core::{ClassifierConfig, Context};
+use nitro::simt::DeviceConfig;
+use nitro::sparse::{collection, io, spmv};
+use nitro::tuner::Autotuner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workdir = std::env::temp_dir().join(format!("nitro-tuning-script-{}", std::process::id()));
+    let mtx_dir = workdir.join("inputs/training");
+    let model_dir = workdir.join("models");
+
+    // Stage 0 (offstage in the paper): materialize training matrices as
+    // .mtx files, as if downloaded from the UFL collection.
+    let (train, _) = collection::spmv_small_sets(0xF163);
+    io::export_collection(&train, &mtx_dir)?;
+    println!("wrote {} training matrices to {}", train.len(), mtx_dir.display());
+
+    // --- The tuning script proper (paper Figure 3) ---
+    let ctx = Context::with_model_dir(&model_dir);
+    let mut spmv = spmv::build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
+
+    // Set tuning properties for spmv.
+    spmv.policy_mut().classifier =
+        ClassifierConfig::Svm { c: None, gamma: None, grid_search: true };
+    spmv.policy_mut().constraints = true;
+    spmv.policy_mut().parallel_feature_evaluation = false;
+    spmv.policy_mut().async_feature_eval = false;
+
+    // Set global tuning properties: the training inputs.
+    let matrices = io::load_collection(&mtx_dir)?; // glob("inputs/training/*.mtx")
+    println!("loaded {} matrices back from disk", matrices.len());
+
+    // Tune.
+    let tuner = Autotuner { save_model: true, ..Default::default() };
+    let report = tuner.tune(&mut spmv, &matrices)?;
+    println!(
+        "tuned: {} inputs, per-class counts {:?}, cv accuracy {:?}",
+        report.training_inputs, report.class_counts, report.cv_accuracy
+    );
+    println!("model written to {}", ctx.model_path("spmv").unwrap().display());
+
+    // --- Deployment: the application loads the model and dispatches. ---
+    let mut deployed = spmv::build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
+    deployed.load_model()?;
+    let (_, test) = collection::spmv_small_sets(0xF163);
+    for input in test.iter().take(4) {
+        let outcome = deployed.call(input)?;
+        println!("  {:<24} -> {}", input.name, outcome.variant_name);
+    }
+
+    std::fs::remove_dir_all(workdir).ok();
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! # Nitro — adaptive code variant tuning
+//!
+//! Facade crate re-exporting the full workspace. See the individual crates
+//! for details:
+//!
+//! * [`nitro_core`] — the library interface (variants, features, constraints).
+//! * [`nitro_ml`] — SVM/SMO, scaling, cross-validation, active learning.
+//! * [`nitro_tuner`] — the offline autotuner.
+//! * [`nitro_simt`] — the simulated GPU substrate.
+//! * Benchmarks: [`nitro_sparse`], [`nitro_solvers`], [`nitro_graph`],
+//!   [`nitro_histogram`], [`nitro_sort`].
+
+pub use nitro_core as core;
+pub use nitro_graph as graph;
+pub use nitro_histogram as histogram;
+pub use nitro_ml as ml;
+pub use nitro_simt as simt;
+pub use nitro_solvers as solvers;
+pub use nitro_sort as sort;
+pub use nitro_sparse as sparse;
+pub use nitro_tuner as tuner;

@@ -1,0 +1,100 @@
+//! Cross-crate integration: the full Nitro pipeline — register variants,
+//! tune, persist, reload, dispatch — on real benchmark substrates.
+
+use nitro::core::{ClassifierConfig, Context};
+use nitro::simt::DeviceConfig;
+use nitro::tuner::{evaluate_fixed_variant, evaluate_model, Autotuner, ProfileTable};
+
+fn fast_svm() -> ClassifierConfig {
+    ClassifierConfig::Svm { c: Some(32.0), gamma: Some(1.0), grid_search: false }
+}
+
+#[test]
+fn sort_pipeline_beats_every_fixed_variant() {
+    let ctx = Context::new();
+    let mut cv = nitro::sort::variants::build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
+    cv.policy_mut().classifier = fast_svm();
+    let (train, test) = nitro::sort::keys::sort_small_sets(0xE2E);
+    let table = ProfileTable::build(&cv, &test);
+    let (_, nitro) = Autotuner::new().tune_and_evaluate(&mut cv, &train, &table).unwrap();
+    assert!(nitro.mean_relative_perf > 0.9, "{nitro:?}");
+    for v in 0..cv.n_variants() {
+        let fixed = evaluate_fixed_variant(&table, v);
+        assert!(fixed.mean_relative_perf <= nitro.mean_relative_perf + 1e-9);
+    }
+}
+
+#[test]
+fn histogram_pipeline_handles_skewed_distributions() {
+    let ctx = Context::new();
+    let mut cv =
+        nitro::histogram::variants::build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
+    let (train, test) = nitro::histogram::data::hist_small_sets(0xE2E);
+    let table = ProfileTable::build(&cv, &test);
+    let (_, nitro) = Autotuner::new().tune_and_evaluate(&mut cv, &train, &table).unwrap();
+    assert!(nitro.mean_relative_perf > 0.85, "{nitro:?}");
+}
+
+#[test]
+fn bfs_pipeline_selects_per_topology() {
+    let ctx = Context::new();
+    let cfg = DeviceConfig::fermi_c2050();
+    let mut cv = nitro::graph::bfs::build_code_variant(&ctx, &cfg);
+    cv.policy_mut().classifier = fast_svm();
+    let (train, test) = nitro::graph::collection::bfs_small_sets(0xE2E);
+    let table = ProfileTable::build(&cv, &test);
+    let (_, nitro) = Autotuner::new().tune_and_evaluate(&mut cv, &train, &table).unwrap();
+    assert!(nitro.mean_relative_perf > 0.85, "{nitro:?}");
+
+    // The tuned dispatcher should not collapse to one variant across the
+    // test topologies.
+    let model = cv.export_artifact().unwrap().model;
+    let mut distinct = std::collections::HashSet::new();
+    for i in 0..table.len() {
+        distinct.insert(model.predict(&table.features[i]));
+    }
+    assert!(distinct.len() >= 2, "model collapsed to one variant: {distinct:?}");
+}
+
+#[test]
+fn solver_pipeline_avoids_non_converging_variants() {
+    let ctx = Context::new();
+    let cfg = DeviceConfig::fermi_c2050();
+    let mut cv = nitro::solvers::variants::build_code_variant(&ctx, &cfg);
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
+    let (train, test) = nitro::solvers::collection::solver_small_sets(0xE2E);
+    let table = ProfileTable::build(&cv, &test);
+    Autotuner::new().tune(&mut cv, &train).unwrap();
+    let model = cv.export_artifact().unwrap().model;
+    let s = evaluate_model(&table, &model, cv.default_variant());
+    assert!(s.mean_relative_perf > 0.6, "{s:?}");
+    // On inputs where some variant fails, the pipeline should rarely pick
+    // a failing one (failures => relative perf 0).
+    assert!(s.failures <= s.n_inputs / 4, "too many failing selections: {s:?}");
+}
+
+#[test]
+fn model_artifacts_round_trip_between_library_instances() {
+    let dir = std::env::temp_dir().join(format!("nitro-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ctx = Context::with_model_dir(&dir);
+    let cfg = DeviceConfig::fermi_c2050();
+
+    // Process 1: tune and save.
+    {
+        let mut cv = nitro::sort::variants::build_code_variant(&ctx, &cfg);
+        cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
+        let (train, _) = nitro::sort::keys::sort_small_sets(0xAB);
+        Autotuner { save_model: true, ..Default::default() }.tune(&mut cv, &train).unwrap();
+    }
+
+    // Process 2: fresh context over the same directory.
+    let ctx2 = Context::with_model_dir(&dir);
+    let mut cv = nitro::sort::variants::build_code_variant(&ctx2, &cfg);
+    cv.load_model().expect("artifact loads");
+    let input = nitro::sort::keys::generate("uniform", 4_000, false, 3, "rt");
+    let outcome = cv.call(&input).unwrap();
+    assert_eq!(outcome.variant_name, "Radix", "32-bit uniform keys should go to radix");
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,114 @@
+//! Integration tests for the Table II tuning options, exercised through
+//! the public facade exactly as the examples use them.
+
+use std::sync::Arc;
+
+use nitro::core::{
+    ClassifierConfig, CodeVariant, Context, FnConstraint, FnFeature, FnVariant, Objective,
+    StoppingCriterion,
+};
+use nitro::ml::TreeParams;
+use nitro::tuner::Autotuner;
+
+/// Toy function: variant 0 cheap below x = 5, variant 1 above.
+fn toy(ctx: &Context) -> CodeVariant<f64> {
+    let mut cv = CodeVariant::new("toy", ctx);
+    cv.add_variant(FnVariant::new("low", |&x: &f64| 1.0 + x));
+    cv.add_variant(FnVariant::new("high", |&x: &f64| 11.0 - x));
+    cv.set_default(0);
+    cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+    cv
+}
+
+fn train_inputs() -> Vec<f64> {
+    (0..40).map(|i| i as f64 * 0.25).collect()
+}
+
+#[test]
+fn every_classifier_family_learns_the_toy_boundary() {
+    for config in [
+        ClassifierConfig::Svm { c: Some(8.0), gamma: Some(1.0), grid_search: false },
+        ClassifierConfig::Svm { c: None, gamma: None, grid_search: true },
+        ClassifierConfig::Knn { k: 3 },
+        ClassifierConfig::Tree(TreeParams::default()),
+    ] {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.policy_mut().classifier = config.clone();
+        Autotuner::new().tune(&mut cv, &train_inputs()).unwrap();
+        assert_eq!(cv.call(&1.0).unwrap().variant, 0, "{config:?}");
+        assert_eq!(cv.call(&9.0).unwrap().variant, 1, "{config:?}");
+    }
+}
+
+#[test]
+fn incremental_option_reduces_profiling() {
+    let ctx = Context::new();
+    let mut cv = toy(&ctx);
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 1 };
+    cv.policy_mut().incremental = Some(StoppingCriterion::Iterations(6));
+    let inputs = train_inputs();
+    let report = Autotuner::new().tune(&mut cv, &inputs).unwrap();
+    assert!(report.profiled_inputs < inputs.len());
+    assert!(report.incremental_iterations <= 6);
+}
+
+#[test]
+fn constraints_toggle_controls_fallback() {
+    let ctx = Context::new();
+    let mut cv = toy(&ctx);
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 1 };
+    cv.add_constraint(1, FnConstraint::new("never_high", |_: &f64| false));
+    // Train with constraints off so labels still cover both variants.
+    cv.policy_mut().constraints = false;
+    Autotuner::new().tune(&mut cv, &train_inputs()).unwrap();
+
+    cv.policy_mut().constraints = true;
+    let gated = cv.call(&9.0).unwrap();
+    assert!(gated.fell_back_to_default);
+    assert_eq!(gated.variant, 0);
+
+    cv.policy_mut().constraints = false;
+    let ungated = cv.call(&9.0).unwrap();
+    assert_eq!(ungated.variant, 1);
+}
+
+#[test]
+fn maximize_objective_inverts_labels() {
+    let ctx = Context::new();
+    let mut cv = toy(&ctx);
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 1 };
+    cv.policy_mut().objective = Objective::Maximize;
+    Autotuner::new().tune(&mut cv, &train_inputs()).unwrap();
+    // With "bigger is better", the *expensive* variant is preferred.
+    assert_eq!(cv.call(&1.0).unwrap().variant, 1);
+    assert_eq!(cv.call(&9.0).unwrap().variant, 0);
+}
+
+#[test]
+fn feature_subset_restricts_model_inputs() {
+    let ctx = Context::new();
+    let mut cv = toy(&ctx);
+    cv.add_input_feature(FnFeature::new("noise", |_: &f64| 42.0));
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 1 };
+    cv.policy_mut().feature_subset = Some(vec![0]);
+    Autotuner::new().tune(&mut cv, &train_inputs()).unwrap();
+    assert_eq!(cv.active_feature_names(), vec!["x".to_string()]);
+    assert_eq!(cv.call(&9.0).unwrap().features.len(), 1);
+}
+
+#[test]
+fn async_and_parallel_feature_evaluation_agree_with_sync() {
+    let ctx = Context::new();
+    let mut cv = toy(&ctx);
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 1 };
+    Autotuner::new().tune(&mut cv, &train_inputs()).unwrap();
+
+    let sync = cv.call(&7.5).unwrap();
+    cv.policy_mut().parallel_feature_evaluation = true;
+    cv.policy_mut().async_feature_eval = true;
+    cv.fix_inputs(Arc::new(7.5));
+    let asynced = cv.call_fixed().unwrap();
+    assert_eq!(sync.variant, asynced.variant);
+    assert_eq!(sync.features, asynced.features);
+}
