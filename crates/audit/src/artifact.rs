@@ -1,0 +1,457 @@
+//! Model-artifact audit: validates a persisted [`ModelArtifact`] beyond
+//! the structural checks `ModelArtifact::validate` performs.
+//!
+//! Codes `NITRO001` (unreadable JSON) and `NITRO020`–`NITRO029`. Where
+//! `validate` answers "does this artifact belong to that function?", the
+//! auditor answers "is the trained model inside it numerically sane?" —
+//! NaN contamination, degenerate scaling ranges, labels outside the
+//! variant range and mis-fitted Platt calibrations all pass a JSON round
+//! trip silently and only surface later as nonsense predictions.
+
+use nitro_core::{CodeVariant, Diagnostic, ModelArtifact, TrainedModel, MODEL_SCHEMA_VERSION};
+use nitro_ml::Scaler;
+
+/// Solver-tolerance multiple above which a KKT residual is reported
+/// (`NITRO029`). The SMO solver stops at ~1e-3; artifacts straight out of
+/// training sit well below this bound.
+const KKT_TOLERANCE: f64 = 1e-2;
+
+/// Audit an artifact in isolation (no registration available).
+///
+/// Checks the schema version, the scaler fitted ranges, every retained
+/// support vector / dual coefficient, the Platt calibrations and the
+/// class-label range implied by `variant_names`.
+pub fn audit_artifact(artifact: &ModelArtifact) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let subject = artifact.function.as_str();
+
+    // NITRO020: schema compatibility.
+    if artifact.schema_version == 0 {
+        out.push(Diagnostic::warning(
+            "NITRO020",
+            subject,
+            "legacy artifact without a schema_version field; re-save to upgrade",
+        ));
+    } else if artifact.schema_version > MODEL_SCHEMA_VERSION {
+        out.push(Diagnostic::error(
+            "NITRO020",
+            subject,
+            format!(
+                "artifact schema version {} is newer than this build supports ({})",
+                artifact.schema_version, MODEL_SCHEMA_VERSION
+            ),
+        ));
+    }
+
+    // NITRO022 (arity half): the model's input width must match the
+    // active feature set the policy derives from the artifact's own
+    // feature list.
+    let active = artifact
+        .policy
+        .active_features(artifact.feature_names.len());
+    let n_variants = artifact.variant_names.len();
+    audit_model(&artifact.model, subject, active.len(), n_variants, &mut out);
+    out
+}
+
+/// Audit an artifact against a live registration: everything
+/// [`audit_artifact`] checks, plus the name-list comparisons
+/// (`NITRO021`, `NITRO022`).
+pub fn audit_artifact_against<I: ?Sized>(
+    artifact: &ModelArtifact,
+    cv: &CodeVariant<I>,
+) -> Vec<Diagnostic> {
+    let mut out = audit_artifact(artifact);
+    let subject = artifact.function.as_str();
+
+    if artifact.function != cv.name() {
+        out.push(Diagnostic::error(
+            "NITRO021",
+            subject,
+            format!(
+                "artifact is for '{}', not '{}'",
+                artifact.function,
+                cv.name()
+            ),
+        ));
+    }
+    let registered = cv.variant_names();
+    if artifact.variant_names != registered {
+        out.push(Diagnostic::error(
+            "NITRO021",
+            subject,
+            format!(
+                "variant lists differ: trained {:?} vs registered {:?}",
+                artifact.variant_names, registered
+            ),
+        ));
+    }
+    let registered = cv.feature_names();
+    if artifact.feature_names != registered {
+        out.push(Diagnostic::error(
+            "NITRO022",
+            subject,
+            format!(
+                "feature lists differ: trained {:?} vs registered {:?}",
+                artifact.feature_names, registered
+            ),
+        ));
+    }
+    out
+}
+
+/// Parse-then-audit an artifact's JSON text. An unparseable payload is a
+/// single `NITRO001` error; otherwise this is [`audit_artifact`].
+pub fn audit_artifact_json(json: &str) -> Vec<Diagnostic> {
+    match ModelArtifact::from_json(json) {
+        Ok(artifact) => audit_artifact(&artifact),
+        Err(e) => vec![Diagnostic::error(
+            "NITRO001",
+            "<artifact>",
+            format!("artifact JSON is unreadable: {e}"),
+        )],
+    }
+}
+
+/// The numeric-invariant checks shared by both entry points.
+fn audit_model(
+    model: &TrainedModel,
+    subject: &str,
+    expected_dim: usize,
+    n_variants: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    match model {
+        TrainedModel::Svm {
+            scaler, model, c, ..
+        } => {
+            audit_scaler(scaler, subject, expected_dim, out);
+            if model.n_classes() > n_variants {
+                out.push(Diagnostic::error(
+                    "NITRO027",
+                    subject,
+                    format!(
+                        "model separates {} classes but only {} variants are named",
+                        model.n_classes(),
+                        n_variants
+                    ),
+                ));
+            }
+            for (m, machine) in model.machines().iter().enumerate() {
+                for (pos_or_neg, label) in [("+1", machine.pos), ("-1", machine.neg)] {
+                    if label >= n_variants {
+                        out.push(Diagnostic::error(
+                            "NITRO027",
+                            subject,
+                            format!(
+                                "pair machine {m} maps class {label} to {pos_or_neg} \
+                                 but only {n_variants} variants are named"
+                            ),
+                        ));
+                    }
+                }
+                let bad_sv = machine
+                    .svm
+                    .support_vectors
+                    .iter()
+                    .filter(|sv| sv.iter().any(|v| !v.is_finite()))
+                    .count();
+                if bad_sv > 0 {
+                    out.push(Diagnostic::error(
+                        "NITRO023",
+                        subject,
+                        format!(
+                            "pair machine {m} has {bad_sv} support vector(s) with NaN/Inf entries"
+                        ),
+                    ));
+                }
+                if machine.svm.coef.iter().any(|v| !v.is_finite()) || !machine.svm.rho.is_finite() {
+                    out.push(Diagnostic::error(
+                        "NITRO024",
+                        subject,
+                        format!("pair machine {m} has non-finite dual coefficients or bias"),
+                    ));
+                } else {
+                    // KKT only makes sense over finite coefficients.
+                    let residual = machine.svm.kkt_residual(*c);
+                    if residual > KKT_TOLERANCE {
+                        out.push(Diagnostic::warning(
+                            "NITRO029",
+                            subject,
+                            format!(
+                                "pair machine {m} violates KKT conditions by {residual:.3e} \
+                                 (solver tolerance is ~1e-3); the artifact may be corrupt"
+                            ),
+                        ));
+                    }
+                }
+                if !machine.platt.a.is_finite() || !machine.platt.b.is_finite() {
+                    out.push(Diagnostic::error(
+                        "NITRO028",
+                        subject,
+                        format!("pair machine {m} has non-finite Platt coefficients"),
+                    ));
+                } else if machine.platt.a > 0.0 {
+                    out.push(Diagnostic::warning(
+                        "NITRO028",
+                        subject,
+                        format!(
+                            "pair machine {m} has a positive Platt slope ({:.3}); \
+                             its probabilities decrease with the decision value",
+                            machine.platt.a
+                        ),
+                    ));
+                }
+            }
+        }
+        TrainedModel::Knn { scaler, model } => {
+            audit_scaler(scaler, subject, expected_dim, out);
+            let bad: Vec<usize> = model
+                .labels()
+                .iter()
+                .copied()
+                .filter(|&l| l >= n_variants)
+                .collect();
+            if !bad.is_empty() {
+                out.push(Diagnostic::error(
+                    "NITRO027",
+                    subject,
+                    format!(
+                        "{} memorized label(s) outside the variant range (first: {}, have {n_variants})",
+                        bad.len(),
+                        bad[0]
+                    ),
+                ));
+            }
+            if model.k() > model.n_points() {
+                out.push(Diagnostic::warning(
+                    "NITRO018",
+                    subject,
+                    format!(
+                        "kNN k={} exceeds the {} memorized points; every query votes over the whole set",
+                        model.k(),
+                        model.n_points()
+                    ),
+                ));
+            }
+        }
+        // Trees and forests store no feature scaling and only emit labels
+        // seen in training; their training path cannot fabricate
+        // out-of-range labels, so there is nothing to audit yet.
+        TrainedModel::Tree { .. } | TrainedModel::Forest { .. } => {}
+    }
+}
+
+fn audit_scaler(scaler: &Scaler, subject: &str, expected_dim: usize, out: &mut Vec<Diagnostic>) {
+    if scaler.dim() != expected_dim {
+        out.push(Diagnostic::error(
+            "NITRO022",
+            subject,
+            format!(
+                "scaler was fitted on {} feature(s) but the policy's active set has {}",
+                scaler.dim(),
+                expected_dim
+            ),
+        ));
+    }
+    for (d, (&lo, &hi)) in scaler.mins().iter().zip(scaler.maxs()).enumerate() {
+        if !lo.is_finite() || !hi.is_finite() {
+            out.push(Diagnostic::error(
+                "NITRO025",
+                subject,
+                format!("scaling range for feature {d} is non-finite ({lo}..{hi})"),
+            ));
+        } else if lo == hi {
+            out.push(Diagnostic::warning(
+                "NITRO026",
+                subject,
+                format!(
+                    "feature {d} was constant in training ({lo}); \
+                     it carries no signal and scales every input to 0"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::diag::has_errors;
+    use nitro_core::{Severity, TuningPolicy};
+    use nitro_ml::{ClassifierConfig, Dataset};
+
+    fn svm_artifact() -> ModelArtifact {
+        let data = Dataset::from_parts(
+            vec![
+                vec![0.0, 5.0],
+                vec![1.0, 4.0],
+                vec![6.0, 1.0],
+                vec![7.0, 0.0],
+            ],
+            vec![0, 0, 1, 1],
+        );
+        let model = TrainedModel::train(
+            &ClassifierConfig::Svm {
+                c: Some(1.0),
+                gamma: Some(0.5),
+                grid_search: false,
+            },
+            &data,
+        );
+        ModelArtifact {
+            schema_version: MODEL_SCHEMA_VERSION,
+            function: "spmv".into(),
+            variant_names: vec!["csr".into(), "dia".into()],
+            feature_names: vec!["nnz".into(), "rows".into()],
+            policy: TuningPolicy::default(),
+            model,
+        }
+    }
+
+    fn knn_artifact() -> ModelArtifact {
+        let data = Dataset::from_parts(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 1]);
+        ModelArtifact {
+            schema_version: MODEL_SCHEMA_VERSION,
+            function: "sort".into(),
+            variant_names: vec!["merge".into(), "radix".into()],
+            feature_names: vec!["n".into()],
+            policy: TuningPolicy::default(),
+            model: TrainedModel::train(&ClassifierConfig::Knn { k: 2 }, &data),
+        }
+    }
+
+    #[test]
+    fn fresh_artifacts_audit_clean() {
+        assert!(audit_artifact(&svm_artifact()).is_empty());
+        assert!(audit_artifact(&knn_artifact()).is_empty());
+    }
+
+    #[test]
+    fn legacy_schema_warns_and_newer_errors() {
+        let mut a = svm_artifact();
+        a.schema_version = 0;
+        let diags = audit_artifact(&a);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO020" && d.severity == Severity::Warning));
+
+        a.schema_version = MODEL_SCHEMA_VERSION + 3;
+        let diags = audit_artifact(&a);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO020" && d.severity == Severity::Error));
+    }
+
+    /// Corrupt one field of an artifact's compact JSON and reload it.
+    /// `1e999` overflows f64 parsing to infinity, which is how non-finite
+    /// values sneak past a JSON round trip.
+    fn corrupt(a: &ModelArtifact, needle: &str, replacement: &str) -> ModelArtifact {
+        let json = serde_json::to_string(a).unwrap();
+        let poisoned = json.replacen(needle, replacement, 1);
+        assert_ne!(json, poisoned, "corruption needle '{needle}' not found");
+        ModelArtifact::from_json(&poisoned).unwrap()
+    }
+
+    #[test]
+    fn infinite_support_vector_is_nitro023() {
+        let back = corrupt(
+            &svm_artifact(),
+            "\"support_vectors\":[[",
+            "\"support_vectors\":[[1e999,",
+        );
+        let diags = audit_artifact(&back);
+        assert!(
+            diags.iter().any(|d| d.code == "NITRO023"),
+            "expected NITRO023 for a non-finite support vector, got {diags:?}"
+        );
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn infinite_rho_is_nitro024() {
+        let back = corrupt(&svm_artifact(), "\"rho\":", "\"rho\":1e999,\"_ignored\":");
+        let diags = audit_artifact(&back);
+        assert!(
+            diags.iter().any(|d| d.code == "NITRO024"),
+            "expected NITRO024 for infinite rho, got {diags:?}"
+        );
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn out_of_range_knn_label_is_nitro027() {
+        let data = Dataset::from_parts(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 2]);
+        let mut a = knn_artifact();
+        a.model = TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &data);
+        // Three classes memorized but only two variant names.
+        let diags = audit_artifact(&a);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO027" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn scaler_arity_mismatch_is_nitro022() {
+        let mut a = svm_artifact();
+        // Claim a third feature the scaler never saw.
+        a.feature_names.push("cols".into());
+        let diags = audit_artifact(&a);
+        assert!(diags.iter().any(|d| d.code == "NITRO022"));
+    }
+
+    #[test]
+    fn constant_training_feature_is_nitro026() {
+        let data = Dataset::from_parts(
+            vec![
+                vec![1.0, 5.0],
+                vec![1.0, 6.0],
+                vec![1.0, 7.0],
+                vec![1.0, 8.0],
+            ],
+            vec![0, 0, 1, 1],
+        );
+        let mut a = svm_artifact();
+        a.model = TrainedModel::train(
+            &ClassifierConfig::Svm {
+                c: Some(1.0),
+                gamma: Some(0.5),
+                grid_search: false,
+            },
+            &data,
+        );
+        let diags = audit_artifact(&a);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO026" && d.severity == Severity::Warning));
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn unreadable_json_is_nitro001() {
+        let json = svm_artifact().to_json().unwrap();
+        let truncated = &json[..json.len() / 2];
+        let diags = audit_artifact_json(truncated);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "NITRO001");
+        assert_eq!(diags[0].severity, Severity::Error);
+
+        assert!(audit_artifact_json(&json).is_empty());
+    }
+
+    #[test]
+    fn against_registration_reports_name_mismatches() {
+        use nitro_core::{Context, FnFeature, FnVariant};
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("spmv", &ctx);
+        cv.add_variant(FnVariant::new("csr", |&x: &f64| x));
+        cv.add_variant(FnVariant::new("ell", |&x: &f64| x)); // artifact says "dia"
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("nnz", |&x: &f64| x));
+        cv.add_input_feature(FnFeature::new("cols", |&x: &f64| x)); // artifact says "rows"
+
+        let diags = audit_artifact_against(&svm_artifact(), &cv);
+        assert!(diags.iter().any(|d| d.code == "NITRO021"));
+        assert!(diags.iter().any(|d| d.code == "NITRO022"));
+    }
+}

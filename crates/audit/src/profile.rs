@@ -1,0 +1,357 @@
+//! Profile-table / training-set analysis.
+//!
+//! Codes `NITRO030`–`NITRO039`. These findings are never fatal — a
+//! skewed training collection still tunes — but each one flags a way the
+//! resulting model can silently underperform: variants that never win
+//! (wasted profiling and a class the model can never learn), feature
+//! columns with no signal, near-tie labels that teach the classifier
+//! noise, and class imbalance that reduces tuning to "always pick the
+//! majority variant".
+//!
+//! The analyzer reads a [`ProfileView`] — a borrowed slice view of the
+//! profiling data — so it works on `nitro-tuner`'s `ProfileTable` (which
+//! depends on this crate's consumers, not vice versa) as well as on any
+//! ad-hoc dataset a harness assembles.
+
+use nitro_core::{Diagnostic, Objective};
+
+/// Borrowed view of exhaustive-profiling results.
+///
+/// `costs[input][variant]` is the objective value (with
+/// [`Objective::worst`] marking vetoed/failed runs) and
+/// `features[input]` the feature vector, exactly as `ProfileTable`
+/// stores them.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileView<'a> {
+    /// Function name used as the diagnostics' subject.
+    pub function: &'a str,
+    /// Objective direction the costs were recorded under.
+    pub objective: Objective,
+    /// Variant names, in index order.
+    pub variant_names: &'a [String],
+    /// Feature names, in vector order.
+    pub feature_names: &'a [String],
+    /// Per-input, per-variant objective values.
+    pub costs: &'a [Vec<f64>],
+    /// Per-input feature vectors.
+    pub features: &'a [Vec<f64>],
+}
+
+/// Thresholds for the profile analyzer.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileAuditConfig {
+    /// Relative win margin below which a label is considered decided by
+    /// noise (`NITRO034`): the best and second-best variant differ by
+    /// less than this fraction of the best cost.
+    pub noise_floor: f64,
+    /// Largest share of the labels one class may take before the set is
+    /// flagged as severely imbalanced (`NITRO033`).
+    pub imbalance_ratio: f64,
+}
+
+impl Default for ProfileAuditConfig {
+    fn default() -> Self {
+        Self {
+            noise_floor: 0.02,
+            imbalance_ratio: 0.9,
+        }
+    }
+}
+
+/// Analyze a profile table for training-set pathologies.
+pub fn analyze_profile(view: &ProfileView<'_>, config: &ProfileAuditConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let subject = view.function;
+    let n_inputs = view.costs.len();
+    let n_variants = view.variant_names.len();
+    if n_inputs == 0 || n_variants == 0 {
+        return out;
+    }
+    let worst = view.objective.worst();
+
+    // Best variant per input (None when every variant failed).
+    let labels: Vec<Option<usize>> = view
+        .costs
+        .iter()
+        .map(|row| {
+            let mut best: Option<(usize, f64)> = None;
+            for (v, &c) in row.iter().enumerate() {
+                if c == worst || c.is_nan() {
+                    continue;
+                }
+                if best.is_none_or(|(_, bc)| view.objective.better(c, bc)) {
+                    best = Some((v, c));
+                }
+            }
+            best.map(|(v, _)| v)
+        })
+        .collect();
+
+    // NITRO030: dead variants — profiled on every input, best on none.
+    let mut wins = vec![0usize; n_variants];
+    for label in labels.iter().flatten() {
+        wins[*label] += 1;
+    }
+    for (v, &w) in wins.iter().enumerate() {
+        if w == 0 {
+            out.push(Diagnostic::warning(
+                "NITRO030",
+                subject,
+                format!(
+                    "variant '{}' is never best on any of the {n_inputs} profiled inputs; \
+                     the model cannot learn to select it",
+                    view.variant_names[v]
+                ),
+            ));
+        }
+    }
+
+    // NITRO031 / NITRO032: feature columns with no or duplicated signal.
+    let n_features = view.feature_names.len();
+    let column = |j: usize| view.features.iter().map(move |row| row[j]);
+    for j in 0..n_features {
+        let first = view.features[0][j];
+        if column(j).all(|v| v == first) {
+            out.push(Diagnostic::warning(
+                "NITRO031",
+                subject,
+                format!(
+                    "feature '{}' is constant ({first}) across all profiled inputs",
+                    view.feature_names[j]
+                ),
+            ));
+        }
+    }
+    for a in 0..n_features {
+        for b in (a + 1)..n_features {
+            if column(a).zip(column(b)).all(|(x, y)| x == y) {
+                out.push(Diagnostic::warning(
+                    "NITRO032",
+                    subject,
+                    format!(
+                        "features '{}' and '{}' are identical on every profiled input; \
+                         one of them is redundant",
+                        view.feature_names[a], view.feature_names[b]
+                    ),
+                ));
+            }
+        }
+    }
+
+    // NITRO033: severe class imbalance.
+    let labeled = labels.iter().flatten().count();
+    if labeled >= 10 && n_variants > 1 {
+        if let Some((v, &w)) = wins.iter().enumerate().max_by_key(|(_, &w)| w) {
+            let share = w as f64 / labeled as f64;
+            if share > config.imbalance_ratio {
+                out.push(Diagnostic::warning(
+                    "NITRO033",
+                    subject,
+                    format!(
+                        "variant '{}' is best on {w} of {labeled} labeled inputs ({:.0}%); \
+                         the training set barely exercises the alternatives",
+                        view.variant_names[v],
+                        share * 100.0
+                    ),
+                ));
+            }
+        }
+    }
+
+    // NITRO034: labels decided within the noise floor.
+    let mut noisy = 0usize;
+    for (row, label) in view.costs.iter().zip(&labels) {
+        let Some(best) = *label else { continue };
+        let best_cost = row[best];
+        let second = row
+            .iter()
+            .enumerate()
+            .filter(|&(v, &c)| v != best && c != worst && !c.is_nan())
+            .map(|(_, &c)| c)
+            .fold(None::<f64>, |acc, c| {
+                Some(match acc {
+                    Some(s) if view.objective.better(s, c) => s,
+                    _ => c,
+                })
+            });
+        if let Some(second) = second {
+            // Margin relative to the best cost's magnitude.
+            let denom = best_cost.abs().max(f64::MIN_POSITIVE);
+            if (second - best_cost).abs() / denom < config.noise_floor {
+                noisy += 1;
+            }
+        }
+    }
+    if noisy > 0 {
+        out.push(Diagnostic::warning(
+            "NITRO034",
+            subject,
+            format!(
+                "{noisy} of {labeled} labels are decided by a win margin below \
+                 {:.1}% of the best cost; those labels may be measurement noise",
+                config.noise_floor * 100.0
+            ),
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// `(variant_names, feature_names, costs, features)` backing a view.
+    type ViewData = (Vec<String>, Vec<String>, Vec<Vec<f64>>, Vec<Vec<f64>>);
+
+    /// Two variants, clear winners alternating, two informative features.
+    fn clean_view_data() -> ViewData {
+        let variants = names(&["a", "b"]);
+        let features = names(&["x", "y"]);
+        let mut costs = Vec::new();
+        let mut feats = Vec::new();
+        for i in 0..20 {
+            let x = i as f64;
+            if i % 2 == 0 {
+                costs.push(vec![1.0, 2.0]);
+            } else {
+                costs.push(vec![2.0, 1.0]);
+            }
+            feats.push(vec![x, 100.0 - x]);
+        }
+        (variants, features, costs, feats)
+    }
+
+    fn view<'a>(
+        variants: &'a [String],
+        features: &'a [String],
+        costs: &'a [Vec<f64>],
+        feats: &'a [Vec<f64>],
+    ) -> ProfileView<'a> {
+        ProfileView {
+            function: "toy",
+            objective: Objective::Minimize,
+            variant_names: variants,
+            feature_names: features,
+            costs,
+            features: feats,
+        }
+    }
+
+    #[test]
+    fn clean_profile_has_no_findings() {
+        let (v, f, c, x) = clean_view_data();
+        let diags = analyze_profile(&view(&v, &f, &c, &x), &ProfileAuditConfig::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dead_variant_is_nitro030() {
+        let (v, f, mut c, x) = clean_view_data();
+        for row in c.iter_mut() {
+            row[1] = row[0] + 10.0; // variant b never wins
+        }
+        let diags = analyze_profile(&view(&v, &f, &c, &x), &ProfileAuditConfig::default());
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO030" && d.message.contains("'b'")));
+        // A variant that never wins also means total imbalance.
+        assert!(diags.iter().any(|d| d.code == "NITRO033"));
+    }
+
+    #[test]
+    fn constant_feature_is_nitro031() {
+        let (v, f, c, mut x) = clean_view_data();
+        for row in x.iter_mut() {
+            row[1] = 7.0;
+        }
+        let diags = analyze_profile(&view(&v, &f, &c, &x), &ProfileAuditConfig::default());
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO031" && d.message.contains("'y'")));
+    }
+
+    #[test]
+    fn duplicate_feature_columns_are_nitro032() {
+        let (v, f, c, mut x) = clean_view_data();
+        for row in x.iter_mut() {
+            row[1] = row[0];
+        }
+        let diags = analyze_profile(&view(&v, &f, &c, &x), &ProfileAuditConfig::default());
+        assert!(diags.iter().any(|d| d.code == "NITRO032"));
+        // Duplicated but not constant: no NITRO031.
+        assert!(!diags.iter().any(|d| d.code == "NITRO031"));
+    }
+
+    #[test]
+    fn imbalance_is_nitro033() {
+        let (v, f, mut c, x) = clean_view_data();
+        // Variant b wins exactly once: 19/20 = 95% > 90%.
+        for (i, row) in c.iter_mut().enumerate() {
+            *row = if i == 0 {
+                vec![2.0, 1.0]
+            } else {
+                vec![1.0, 2.0]
+            };
+        }
+        let diags = analyze_profile(&view(&v, &f, &c, &x), &ProfileAuditConfig::default());
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO033" && d.message.contains("'a'")));
+        assert!(!diags.iter().any(|d| d.code == "NITRO030"));
+    }
+
+    #[test]
+    fn noisy_margins_are_nitro034() {
+        let (v, f, mut c, x) = clean_view_data();
+        for row in c.iter_mut() {
+            *row = vec![1.000, 1.001]; // 0.1% margin, below the 2% floor
+        }
+        let diags = analyze_profile(&view(&v, &f, &c, &x), &ProfileAuditConfig::default());
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO034" && d.message.contains("20 of 20")));
+
+        // A larger floor flags clean data too; a tiny floor flags nothing.
+        let (v, f, c, x) = clean_view_data();
+        let strict = ProfileAuditConfig {
+            noise_floor: 2.0,
+            ..Default::default()
+        };
+        let diags = analyze_profile(&view(&v, &f, &c, &x), &strict);
+        assert!(diags.iter().any(|d| d.code == "NITRO034"));
+    }
+
+    #[test]
+    fn failed_variants_do_not_count_as_margins() {
+        let variants = names(&["a", "b"]);
+        let features = names(&["x"]);
+        // Variant b always fails: no second cost, so no NITRO034; but b is
+        // dead (NITRO030).
+        let costs: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![1.0 + i as f64, f64::INFINITY])
+            .collect();
+        let feats: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64]).collect();
+        let diags = analyze_profile(
+            &view(&variants, &features, &costs, &feats),
+            &ProfileAuditConfig::default(),
+        );
+        assert!(diags.iter().any(|d| d.code == "NITRO030"));
+        assert!(!diags.iter().any(|d| d.code == "NITRO034"));
+    }
+
+    #[test]
+    fn empty_table_is_silent() {
+        let variants = names(&["a"]);
+        let features = names(&["x"]);
+        let diags = analyze_profile(
+            &view(&variants, &features, &[], &[]),
+            &ProfileAuditConfig::default(),
+        );
+        assert!(diags.is_empty());
+    }
+}

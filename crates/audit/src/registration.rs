@@ -1,0 +1,352 @@
+//! Registration lint: static checks on a `CodeVariant` + `TuningPolicy`
+//! pair *before* any tuning work is spent on it.
+//!
+//! Codes `NITRO010`–`NITRO019`. The checks mirror the mistakes a library
+//! author can make through the permissive registration API: indices
+//! recorded before their targets exist, colliding names that would make a
+//! persisted artifact ambiguous, and policy settings that cannot produce
+//! a usable model.
+
+use nitro_core::{CodeVariant, Diagnostic};
+use nitro_ml::{ClassifierConfig, GridSearch};
+
+/// Lint a registered function against its own tuning policy.
+///
+/// `training_size` is the number of training inputs about to be used, when
+/// known — it powers the plausibility check on kNN's `k` (`NITRO018`).
+/// Pass `None` when linting outside a tuning run.
+///
+/// Returned diagnostics use the function's name as their subject. An
+/// empty vector means the registration is clean.
+pub fn lint_registration<I: ?Sized>(
+    cv: &CodeVariant<I>,
+    training_size: Option<usize>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let subject = cv.name();
+    let n_variants = cv.n_variants();
+    let variant_names = cv.variant_names();
+    let feature_names = cv.feature_names();
+
+    // NITRO010: nothing to select between.
+    if n_variants == 0 {
+        out.push(Diagnostic::error(
+            "NITRO010",
+            subject,
+            "no variants registered",
+        ));
+    } else if n_variants == 1 {
+        out.push(Diagnostic::info(
+            "NITRO010",
+            subject,
+            "only one variant registered; tuning is a no-op",
+        ));
+    }
+
+    // NITRO011 / NITRO012: name collisions make artifacts ambiguous.
+    for name in duplicate_names(&variant_names) {
+        out.push(Diagnostic::error(
+            "NITRO011",
+            subject,
+            format!("duplicate variant name '{name}'"),
+        ));
+    }
+    for name in duplicate_names(&feature_names) {
+        out.push(Diagnostic::error(
+            "NITRO012",
+            subject,
+            format!("duplicate feature name '{name}'"),
+        ));
+    }
+
+    // NITRO013 / NITRO014: the constraint-fallback target.
+    match cv.default_variant() {
+        None => out.push(Diagnostic::warning(
+            "NITRO013",
+            subject,
+            "no default variant set; dispatch fails until a model is installed, \
+             and constraint fallbacks use variant 0",
+        )),
+        Some(d) if d >= n_variants => out.push(Diagnostic::error(
+            "NITRO014",
+            subject,
+            format!("default variant {d} not registered (have {n_variants})"),
+        )),
+        Some(_) => {}
+    }
+
+    // NITRO015 / NITRO016: the policy's feature subset.
+    let n_features = cv.n_features();
+    if let Some(subset) = &cv.policy().feature_subset {
+        for &idx in subset {
+            if idx >= n_features {
+                out.push(Diagnostic::error(
+                    "NITRO015",
+                    subject,
+                    format!(
+                        "feature_subset index {idx} out of bounds (have {n_features} features)"
+                    ),
+                ));
+            }
+        }
+    }
+    if cv.policy().active_features(n_features).is_empty() {
+        let msg = if n_features == 0 {
+            "no input features registered; a model cannot be trained".to_string()
+        } else {
+            "feature_subset selects no valid features; a model cannot be trained".to_string()
+        };
+        out.push(Diagnostic::error("NITRO016", subject, msg));
+    }
+
+    // NITRO017: constraints that can never fire.
+    for target in cv.constraint_targets() {
+        if target >= n_variants {
+            out.push(Diagnostic::error(
+                "NITRO017",
+                subject,
+                format!("constraint references unknown variant {target} (have {n_variants})"),
+            ));
+        }
+    }
+
+    // NITRO018 / NITRO019: classifier configuration.
+    match &cv.policy().classifier {
+        ClassifierConfig::Knn { k } => {
+            if *k == 0 {
+                out.push(Diagnostic::error(
+                    "NITRO018",
+                    subject,
+                    "kNN k must be positive",
+                ));
+            } else if let Some(n) = training_size {
+                if *k > n {
+                    out.push(Diagnostic::warning(
+                        "NITRO018",
+                        subject,
+                        format!(
+                            "kNN k={k} exceeds the training-set size {n}; \
+                             every query votes over the whole set"
+                        ),
+                    ));
+                }
+            }
+        }
+        ClassifierConfig::Svm {
+            c: Some(_),
+            gamma: Some(_),
+            grid_search: true,
+        } => {
+            out.push(Diagnostic::info(
+                "NITRO019",
+                subject,
+                "grid search enabled but both C and gamma are fixed; the search is a no-op",
+            ));
+        }
+        _ => {}
+    }
+
+    out
+}
+
+/// Lint an explicit grid-search configuration (`NITRO019`). The
+/// registration linter cannot see the grid the trainer will build, so
+/// harnesses that construct a [`GridSearch`] directly run this first.
+pub fn lint_grid_search(grid: &GridSearch, subject: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if grid.c_values.is_empty() {
+        out.push(Diagnostic::error(
+            "NITRO019",
+            subject,
+            "grid search has no candidate C values",
+        ));
+    }
+    if grid.gamma_values.is_empty() {
+        out.push(Diagnostic::error(
+            "NITRO019",
+            subject,
+            "grid search has no candidate gamma values",
+        ));
+    }
+    if grid.folds < 2 {
+        out.push(Diagnostic::error(
+            "NITRO019",
+            subject,
+            format!(
+                "grid search needs at least 2 cross-validation folds (have {})",
+                grid.folds
+            ),
+        ));
+    }
+    out
+}
+
+/// Names appearing more than once, each reported a single time.
+fn duplicate_names(names: &[String]) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut reported = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for name in names {
+        if !seen.insert(name.as_str()) && reported.insert(name.as_str()) {
+            out.push(name.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::diag::has_errors;
+    use nitro_core::{Context, FnConstraint, FnFeature, FnVariant, Severity};
+
+    fn clean_cv() -> CodeVariant<f64> {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::new("toy", &ctx);
+        cv.add_variant(FnVariant::new("a", |&x: &f64| x));
+        cv.add_variant(FnVariant::new("b", |&x: &f64| 10.0 - x));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        cv
+    }
+
+    #[test]
+    fn clean_registration_has_no_findings() {
+        assert!(lint_registration(&clean_cv(), Some(100)).is_empty());
+    }
+
+    #[test]
+    fn empty_variant_set_is_nitro010() {
+        let ctx = Context::new();
+        let cv = CodeVariant::<f64>::new("empty", &ctx);
+        let diags = lint_registration(&cv, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO010" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn single_variant_is_informational() {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("solo", &ctx);
+        cv.add_variant(FnVariant::new("only", |&x: &f64| x));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        let diags = lint_registration(&cv, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO010" && d.severity == Severity::Info));
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn duplicate_names_are_reported_once_each() {
+        let mut cv = clean_cv();
+        cv.add_variant(FnVariant::new("a", |&x: &f64| x));
+        cv.add_variant(FnVariant::new("a", |&x: &f64| x));
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x * 2.0));
+        let diags = lint_registration(&cv, None);
+        assert_eq!(diags.iter().filter(|d| d.code == "NITRO011").count(), 1);
+        assert_eq!(diags.iter().filter(|d| d.code == "NITRO012").count(), 1);
+    }
+
+    #[test]
+    fn missing_default_warns_and_bad_default_errors() {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("d", &ctx);
+        cv.add_variant(FnVariant::new("a", |&x: &f64| x));
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        let diags = lint_registration(&cv, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO013" && d.severity == Severity::Warning));
+
+        cv.set_default(9);
+        let diags = lint_registration(&cv, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO014" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn feature_subset_out_of_bounds_is_nitro015() {
+        let mut cv = clean_cv();
+        cv.policy_mut().feature_subset = Some(vec![0, 7]);
+        let diags = lint_registration(&cv, None);
+        assert!(diags.iter().any(|d| d.code == "NITRO015"));
+        // Index 0 is still valid, so the active set is non-empty.
+        assert!(!diags.iter().any(|d| d.code == "NITRO016"));
+    }
+
+    #[test]
+    fn no_usable_features_is_nitro016() {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("featless", &ctx);
+        cv.add_variant(FnVariant::new("a", |&x: &f64| x));
+        cv.add_variant(FnVariant::new("b", |&x: &f64| -x));
+        cv.set_default(0);
+        let diags = lint_registration(&cv, None);
+        assert!(diags.iter().any(|d| d.code == "NITRO016"));
+
+        let mut cv = clean_cv();
+        cv.policy_mut().feature_subset = Some(vec![9]);
+        let diags = lint_registration(&cv, None);
+        assert!(diags.iter().any(|d| d.code == "NITRO016"));
+    }
+
+    #[test]
+    fn constraint_on_unknown_variant_is_nitro017() {
+        let mut cv = clean_cv();
+        cv.add_constraint(5, FnConstraint::new("never", |_: &f64| true));
+        let diags = lint_registration(&cv, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO017" && d.message.contains("5")));
+    }
+
+    #[test]
+    fn knn_k_checks_are_nitro018() {
+        let mut cv = clean_cv();
+        cv.policy_mut().classifier = ClassifierConfig::Knn { k: 0 };
+        let diags = lint_registration(&cv, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO018" && d.severity == Severity::Error));
+
+        cv.policy_mut().classifier = ClassifierConfig::Knn { k: 50 };
+        let diags = lint_registration(&cv, Some(10));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO018" && d.severity == Severity::Warning));
+        // Without a known training size the check cannot fire.
+        assert!(lint_registration(&cv, None).is_empty());
+    }
+
+    #[test]
+    fn pointless_grid_search_is_informational() {
+        let mut cv = clean_cv();
+        cv.policy_mut().classifier = ClassifierConfig::Svm {
+            c: Some(1.0),
+            gamma: Some(0.5),
+            grid_search: true,
+        };
+        let diags = lint_registration(&cv, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "NITRO019" && d.severity == Severity::Info));
+    }
+
+    #[test]
+    fn empty_grids_are_errors() {
+        let grid = GridSearch {
+            c_values: vec![],
+            gamma_values: vec![],
+            folds: 1,
+            ..Default::default()
+        };
+        let diags = lint_grid_search(&grid, "toy");
+        assert_eq!(diags.iter().filter(|d| d.code == "NITRO019").count(), 3);
+        assert!(has_errors(&diags));
+        assert!(lint_grid_search(&GridSearch::default(), "toy").is_empty());
+    }
+}

@@ -30,7 +30,14 @@ fn make_cv(parallel: bool) -> CodeVariant<Vec<f64>> {
 
 fn training_data() -> Dataset {
     let x: Vec<Vec<f64>> = (0..60)
-        .map(|i| vec![i as f64, (i * 3 % 17) as f64, (i * 7 % 11) as f64, (i % 5) as f64])
+        .map(|i| {
+            vec![
+                i as f64,
+                (i * 3 % 17) as f64,
+                (i * 7 % 11) as f64,
+                (i % 5) as f64,
+            ]
+        })
         .collect();
     let y: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
     Dataset::from_parts(x, y)
@@ -53,7 +60,11 @@ fn bench_feature_evaluation(c: &mut Criterion) {
 fn bench_model_prediction(c: &mut Criterion) {
     let data = training_data();
     let svm = TrainedModel::train(
-        &ClassifierConfig::Svm { c: Some(4.0), gamma: Some(0.5), grid_search: false },
+        &ClassifierConfig::Svm {
+            c: Some(4.0),
+            gamma: Some(0.5),
+            grid_search: false,
+        },
         &data,
     );
     let knn = TrainedModel::train(&ClassifierConfig::Knn { k: 3 }, &data);
@@ -62,9 +73,13 @@ fn bench_model_prediction(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("model_prediction");
     g.bench_function("svm_predict", |b| b.iter(|| svm.predict(black_box(&point))));
-    g.bench_function("svm_probabilities", |b| b.iter(|| svm.probabilities(black_box(&point))));
+    g.bench_function("svm_probabilities", |b| {
+        b.iter(|| svm.probabilities(black_box(&point)))
+    });
     g.bench_function("knn_predict", |b| b.iter(|| knn.predict(black_box(&point))));
-    g.bench_function("tree_predict", |b| b.iter(|| tree.predict(black_box(&point))));
+    g.bench_function("tree_predict", |b| {
+        b.iter(|| tree.predict(black_box(&point)))
+    });
     g.finish();
 }
 
@@ -85,13 +100,22 @@ fn bench_training(c: &mut Criterion) {
     g.bench_function("svm_fixed_params_60x4", |b| {
         b.iter(|| {
             TrainedModel::train(
-                &ClassifierConfig::Svm { c: Some(4.0), gamma: Some(0.5), grid_search: false },
+                &ClassifierConfig::Svm {
+                    c: Some(4.0),
+                    gamma: Some(0.5),
+                    grid_search: false,
+                },
                 black_box(&data),
             )
         })
     });
     g.bench_function("tree_60x4", |b| {
-        b.iter(|| TrainedModel::train(&ClassifierConfig::Tree(TreeParams::default()), black_box(&data)))
+        b.iter(|| {
+            TrainedModel::train(
+                &ClassifierConfig::Tree(TreeParams::default()),
+                black_box(&data),
+            )
+        })
     });
     g.finish();
 }

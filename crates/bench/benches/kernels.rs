@@ -40,12 +40,26 @@ fn bench_bfs_kernels(c: &mut Criterion) {
     g.sample_size(30);
     g.bench_function("ce_fused_grid_2500", |b| {
         b.iter(|| {
-            nitro_graph::run_bfs(black_box(&grid), 0, nitro_graph::Strategy::ContractExpand, true, &cfg, 1)
+            nitro_graph::run_bfs(
+                black_box(&grid),
+                0,
+                nitro_graph::Strategy::ContractExpand,
+                true,
+                &cfg,
+                1,
+            )
         })
     });
     g.bench_function("two_phase_rmat_1024", |b| {
         b.iter(|| {
-            nitro_graph::run_bfs(black_box(&rmat), 1, nitro_graph::Strategy::TwoPhase, true, &cfg, 1)
+            nitro_graph::run_bfs(
+                black_box(&rmat),
+                1,
+                nitro_graph::Strategy::TwoPhase,
+                true,
+                &cfg,
+                1,
+            )
         })
     });
     g.finish();

@@ -17,10 +17,14 @@ use nitro_tuner::{evaluate_fixed_variant, evaluate_model, Autotuner, ProfileTabl
 fn build(ctx: &Context, cfg: &nitro_simt::DeviceConfig) -> CodeVariant<SolverInput> {
     let mut cv = CodeVariant::new("solvers-blocksize", ctx);
     let cfg = cfg.clone();
-    cv.add_variant_family("CG-BJacobi", vec![2usize, 4, 8, 16, 32], move |&block, inp: &SolverInput| {
-        let p = BlockJacobi::new(&inp.a, block);
-        run_with_preconditioner(Method::Cg, &p, inp, &cfg, 0x5100 + block as u64).1
-    });
+    cv.add_variant_family(
+        "CG-BJacobi",
+        vec![2usize, 4, 8, 16, 32],
+        move |&block, inp: &SolverInput| {
+            let p = BlockJacobi::new(&inp.a, block);
+            run_with_preconditioner(Method::Cg, &p, inp, &cfg, 0x5100 + block as u64).1
+        },
+    );
     cv.set_default(2); // block size 8, the main benchmark's fixed choice
 
     cv.add_input_feature(FnFeature::new("Nrows", |i: &SolverInput| i.a.n_rows as f64));
@@ -43,14 +47,14 @@ fn systems(tag: &str, base: usize, count_per: usize, seed: u64) -> Vec<SolverInp
     for (g, block) in [(0usize, 4usize), (1, 8), (2, 16), (3, 32)] {
         for i in 0..count_per {
             let idx = base + g * 100 + i;
-            let inner = nitro_sparse::gen::block_diag(
-                600 + (idx % 5) * 150,
-                block,
-                0.7,
-                seed ^ idx as u64,
-            );
+            let inner =
+                nitro_sparse::gen::block_diag(600 + (idx % 5) * 150, block, 0.7, seed ^ idx as u64);
             let a = nitro_sparse::gen::make_spd(&inner, 1.05);
-            out.push(SolverInput::new(format!("{tag}/b{block}/{i}"), format!("b{block}"), a));
+            out.push(SolverInput::new(
+                format!("{tag}/b{block}/{i}"),
+                format!("b{block}"),
+                a,
+            ));
         }
     }
     out
@@ -63,15 +67,20 @@ fn main() {
 
     let ctx = Context::new();
     let mut cv = build(&ctx, &cfg);
-    cv.policy_mut().classifier =
-        ClassifierConfig::Svm { c: None, gamma: None, grid_search: true };
+    cv.policy_mut().classifier = ClassifierConfig::Svm {
+        c: None,
+        gamma: None,
+        grid_search: true,
+    };
 
     let per = if spec.small { 3 } else { 8 };
     let train = systems("train", 0, per, spec.seed);
     let test = systems("test", 1000, per + 4, spec.seed);
 
     let test_table = ProfileTable::build(&cv, &test);
-    Autotuner::new().tune(&mut cv, &train).expect("tuning succeeds");
+    Autotuner::new()
+        .tune(&mut cv, &train)
+        .expect("tuning succeeds");
     let model = cv.export_artifact().unwrap().model;
     let nitro = evaluate_model(&test_table, &model, cv.default_variant());
 
@@ -79,9 +88,17 @@ fn main() {
     println!("\n{:<16} {:>10}", "strategy", "% of best");
     for v in 0..cv.n_variants() {
         let s = evaluate_fixed_variant(&test_table, v);
-        println!("{:<16} {:>10}", cv.variant_names()[v], pct(s.mean_relative_perf));
+        println!(
+            "{:<16} {:>10}",
+            cv.variant_names()[v],
+            pct(s.mean_relative_perf)
+        );
     }
-    println!("{:<16} {:>10}   <- learned block size", "Nitro", pct(nitro.mean_relative_perf));
+    println!(
+        "{:<16} {:>10}   <- learned block size",
+        "Nitro",
+        pct(nitro.mean_relative_perf)
+    );
 
     // Which block size the model picks per structural group.
     println!("\nper-group selections:");
@@ -89,10 +106,17 @@ fn main() {
         let mut counts = vec![0usize; cv.n_variants()];
         for (i, inp) in test.iter().enumerate() {
             if inp.group == group {
-                counts[model.predict(&test_table.features[i]).min(cv.n_variants() - 1)] += 1;
+                counts[model
+                    .predict(&test_table.features[i])
+                    .min(cv.n_variants() - 1)] += 1;
             }
         }
-        let best = counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(v, _)| v).unwrap();
+        let best = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(v, _)| v)
+            .unwrap();
         println!(
             "  matrices with {}-blocks -> mostly {} ({:?})",
             &group[1..],

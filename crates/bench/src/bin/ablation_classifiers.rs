@@ -19,8 +19,22 @@ fn main() {
     }
 
     let configs: Vec<(&str, ClassifierConfig)> = vec![
-        ("svm+grid", ClassifierConfig::Svm { c: None, gamma: None, grid_search: true }),
-        ("svm-fixed", ClassifierConfig::Svm { c: Some(8.0), gamma: Some(0.5), grid_search: false }),
+        (
+            "svm+grid",
+            ClassifierConfig::Svm {
+                c: None,
+                gamma: None,
+                grid_search: true,
+            },
+        ),
+        (
+            "svm-fixed",
+            ClassifierConfig::Svm {
+                c: Some(8.0),
+                gamma: Some(0.5),
+                grid_search: false,
+            },
+        ),
         ("knn-3", ClassifierConfig::Knn { k: 3 }),
         ("tree", ClassifierConfig::Tree(TreeParams::default())),
         ("forest", ClassifierConfig::Forest(ForestParams::default())),

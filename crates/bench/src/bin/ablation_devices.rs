@@ -39,22 +39,38 @@ fn main() {
     for (d, cfg) in devices.iter().enumerate() {
         let ctx = Context::new();
         let mut cv = nitro_sparse::spmv::build_code_variant(&ctx, cfg);
-        let train_table =
-            cached_table(&format!("spmv-dev{d}-{scale}-train"), &cv, &train, spec.cache);
+        let train_table = cached_table(
+            &format!("spmv-dev{d}-{scale}-train"),
+            &cv,
+            &train,
+            spec.cache,
+        );
         let test_table = cached_table(&format!("spmv-dev{d}-{scale}-test"), &cv, &test, spec.cache);
-        Autotuner::new().tune_from_table(&mut cv, &train_table).expect("tuning succeeds");
+        Autotuner::new()
+            .tune_from_table(&mut cv, &train_table)
+            .expect("tuning succeeds");
         models.push(cv.export_artifact().unwrap().model);
         test_tables.push(test_table);
     }
 
-    println!("\n{:<28} {:>12} {:>12}", "model \\ deployed on", short(&devices[0]), short(&devices[1]));
+    println!(
+        "\n{:<28} {:>12} {:>12}",
+        "model \\ deployed on",
+        short(&devices[0]),
+        short(&devices[1])
+    );
     for (m, cfg) in devices.iter().enumerate() {
         let mut cells = Vec::new();
         for table in test_tables.iter() {
             let s = evaluate_model(table, &models[m], Some(0));
             cells.push(pct(s.mean_relative_perf));
         }
-        println!("{:<28} {:>12} {:>12}", format!("tuned for {}", short(cfg)), cells[0], cells[1]);
+        println!(
+            "{:<28} {:>12} {:>12}",
+            format!("tuned for {}", short(cfg)),
+            cells[0],
+            cells[1]
+        );
     }
     println!("\n(diagonal = retuned per device; off-diagonal = stale model from the other device)");
 }

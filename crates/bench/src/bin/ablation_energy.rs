@@ -34,17 +34,26 @@ fn main() {
     for (metric, tag) in [(SpmvMetric::Time, "time"), (SpmvMetric::Energy, "energy")] {
         let ctx = Context::new();
         let mut cv = build_code_variant_metric(&ctx, &cfg, metric);
-        let train_table =
-            cached_table(&format!("spmv-{tag}-{scale}-train"), &cv, &train, spec.cache);
+        let train_table = cached_table(
+            &format!("spmv-{tag}-{scale}-train"),
+            &cv,
+            &train,
+            spec.cache,
+        );
         let test_table = cached_table(&format!("spmv-{tag}-{scale}-test"), &cv, &test, spec.cache);
-        Autotuner::new().tune_from_table(&mut cv, &train_table).expect("tuning succeeds");
+        Autotuner::new()
+            .tune_from_table(&mut cv, &train_table)
+            .expect("tuning succeeds");
         tables.push((metric, test_table, cv.export_artifact().unwrap().model));
     }
     let (time_table, time_model) = (&tables[0].1, &tables[0].2);
     let (energy_table, energy_model) = (&tables[1].1, &tables[1].2);
 
     // Each model evaluated under each metric's ground truth.
-    println!("\n{:<24} {:>12} {:>12}", "model \\ judged on", "time", "energy");
+    println!(
+        "\n{:<24} {:>12} {:>12}",
+        "model \\ judged on", "time", "energy"
+    );
     for (name, model) in [("time-tuned", time_model), ("energy-tuned", energy_model)] {
         let on_time = evaluate_model(time_table, model, Some(0));
         let on_energy = evaluate_model(energy_table, model, Some(0));

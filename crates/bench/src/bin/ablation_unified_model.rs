@@ -30,9 +30,8 @@ fn device_features(cfg: &DeviceConfig) -> Vec<f64> {
 fn augment(table: &ProfileTable, cfg: &DeviceConfig) -> ProfileTable {
     let extra = device_features(cfg);
     let mut out = table.clone();
-    out.feature_names.extend(
-        ["dev_sms", "dev_bw", "dev_atomic", "dev_tex", "dev_launch"].map(String::from),
-    );
+    out.feature_names
+        .extend(["dev_sms", "dev_bw", "dev_atomic", "dev_tex", "dev_launch"].map(String::from));
     for row in out.features.iter_mut() {
         row.extend_from_slice(&extra);
     }
@@ -60,8 +59,18 @@ fn main() {
     for (d, cfg) in devices.iter().enumerate() {
         let ctx = Context::new();
         let cv = nitro_sparse::spmv::build_code_variant(&ctx, cfg);
-        train_tables.push(cached_table(&format!("spmv-dev{d}-{scale}-train"), &cv, &train, spec.cache));
-        test_tables.push(cached_table(&format!("spmv-dev{d}-{scale}-test"), &cv, &test, spec.cache));
+        train_tables.push(cached_table(
+            &format!("spmv-dev{d}-{scale}-train"),
+            &cv,
+            &train,
+            spec.cache,
+        ));
+        test_tables.push(cached_table(
+            &format!("spmv-dev{d}-{scale}-test"),
+            &cv,
+            &test,
+            spec.cache,
+        ));
     }
 
     // Unified training set: both devices' labeled examples, each row
@@ -73,7 +82,11 @@ fn main() {
             unified.push(aug.features[i].clone(), label);
         }
     }
-    let config = ClassifierConfig::Svm { c: None, gamma: None, grid_search: true };
+    let config = ClassifierConfig::Svm {
+        c: None,
+        gamma: None,
+        grid_search: true,
+    };
     let unified_model = TrainedModel::train(&config, &unified);
 
     // Per-device baselines.

@@ -1,0 +1,185 @@
+//! Audit every benchmark suite: registration lint, tuned-artifact audit
+//! and profile-table analysis, emitted as one JSON diagnostics report.
+//!
+//! ```text
+//! NITRO_SCALE=small cargo run -p nitro-bench --bin audit
+//! ```
+//!
+//! Writes the report to stdout and `target/nitro-audit.json`. Exits
+//! non-zero when any error-severity finding survives — which, for the
+//! in-tree suites, means a regression in either a benchmark registration
+//! or the audit subsystem itself.
+
+use nitro_audit::{
+    analyze_profile, audit_artifact_against, lint_registration, render_text, ProfileAuditConfig,
+    Severity,
+};
+use nitro_bench::{cached_table, device, SuiteSpec};
+use nitro_core::{CodeVariant, Context, Diagnostic};
+use nitro_tuner::Autotuner;
+use serde::Serialize;
+
+/// One suite's combined findings.
+#[derive(Serialize)]
+struct SuiteAudit {
+    suite: String,
+    errors: usize,
+    warnings: usize,
+    infos: usize,
+    diagnostics: Vec<Diagnostic>,
+}
+
+/// Lint the registration, tune an artifact off the (cached) training
+/// table, audit the artifact against the registration and analyze the
+/// profile table.
+fn audit_suite<I: Send + Sync>(
+    name: &str,
+    cv: &mut CodeVariant<I>,
+    train: &[I],
+    spec: SuiteSpec,
+) -> SuiteAudit {
+    let scale = if spec.small { "small" } else { "full" };
+    let mut diagnostics = lint_registration(cv, Some(train.len()));
+
+    let table = cached_table(&format!("{name}-{scale}-train"), cv, train, spec.cache);
+    diagnostics.extend(analyze_profile(
+        &table.audit_view(name),
+        &ProfileAuditConfig::default(),
+    ));
+
+    match Autotuner::new().tune_from_table(cv, &table) {
+        Ok(report) => {
+            // The tuner re-runs the registration lint internally; keep
+            // only the post-tune artifact findings it adds on top.
+            match cv.export_artifact() {
+                Ok(artifact) => diagnostics.extend(audit_artifact_against(&artifact, cv)),
+                Err(e) => diagnostics.push(Diagnostic::error(
+                    "NITRO001",
+                    name,
+                    format!("tuned model could not be exported: {e}"),
+                )),
+            }
+            drop(report);
+        }
+        Err(e) => {
+            // A refused tune carries its findings; surface them directly.
+            let carried = e.diagnostics().to_vec();
+            if carried.is_empty() {
+                diagnostics.push(Diagnostic::error(
+                    "NITRO001",
+                    name,
+                    format!("tuning failed: {e}"),
+                ));
+            } else {
+                diagnostics.extend(carried);
+            }
+        }
+    }
+
+    // The lint ran twice (here and inside the tuner); de-duplicate.
+    diagnostics.dedup();
+    let count = |s: Severity| diagnostics.iter().filter(|d| d.severity == s).count();
+    SuiteAudit {
+        suite: name.to_string(),
+        errors: count(Severity::Error),
+        warnings: count(Severity::Warning),
+        infos: count(Severity::Info),
+        diagnostics,
+    }
+}
+
+fn main() {
+    let spec = SuiteSpec::from_env();
+    let cfg = device();
+    let mut audits = Vec::new();
+
+    {
+        let ctx = Context::new();
+        let mut cv = nitro_sparse::spmv::build_code_variant(&ctx, &cfg);
+        let (train, _) = if spec.small {
+            nitro_sparse::collection::spmv_small_sets(spec.seed)
+        } else {
+            (
+                nitro_sparse::collection::spmv_training_set(spec.seed),
+                nitro_sparse::collection::spmv_test_set(spec.seed),
+            )
+        };
+        audits.push(audit_suite("spmv", &mut cv, &train, spec));
+    }
+    {
+        let ctx = Context::new();
+        let mut cv = nitro_solvers::variants::build_code_variant(&ctx, &cfg);
+        let (train, _) = if spec.small {
+            nitro_solvers::collection::solver_small_sets(spec.seed)
+        } else {
+            (
+                nitro_solvers::collection::solver_training_set(spec.seed),
+                nitro_solvers::collection::solver_test_set(spec.seed),
+            )
+        };
+        audits.push(audit_suite("solvers", &mut cv, &train, spec));
+    }
+    {
+        let ctx = Context::new();
+        let mut cv = nitro_graph::bfs::build_code_variant(&ctx, &cfg);
+        let (train, _) = if spec.small {
+            nitro_graph::collection::bfs_small_sets(spec.seed)
+        } else {
+            (
+                nitro_graph::collection::bfs_training_set(spec.seed),
+                nitro_graph::collection::bfs_test_set(spec.seed),
+            )
+        };
+        audits.push(audit_suite("bfs", &mut cv, &train, spec));
+    }
+    {
+        let ctx = Context::new();
+        let mut cv = nitro_histogram::variants::build_code_variant(&ctx, &cfg);
+        let (train, _) = if spec.small {
+            nitro_histogram::data::hist_small_sets(spec.seed)
+        } else {
+            (
+                nitro_histogram::data::hist_training_set(spec.seed),
+                nitro_histogram::data::hist_test_set(spec.seed),
+            )
+        };
+        audits.push(audit_suite("histogram", &mut cv, &train, spec));
+    }
+    {
+        let ctx = Context::new();
+        let mut cv = nitro_sort::variants::build_code_variant(&ctx, &cfg);
+        let (train, _) = if spec.small {
+            nitro_sort::keys::sort_small_sets(spec.seed)
+        } else {
+            (
+                nitro_sort::keys::sort_training_set(spec.seed),
+                nitro_sort::keys::sort_test_set(spec.seed),
+            )
+        };
+        audits.push(audit_suite("sort", &mut cv, &train, spec));
+    }
+
+    let json = serde_json::to_string_pretty(&audits).expect("report serializes");
+    println!("{json}");
+
+    let out = nitro_bench::cache_dir().join("../nitro-audit.json");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("warning: could not write {}: {e}", out.display());
+    } else {
+        eprintln!("report written to {}", out.display());
+    }
+
+    let mut total_errors = 0;
+    for audit in &audits {
+        eprintln!(
+            "\n== {} ({} error(s), {} warning(s), {} info(s)) ==",
+            audit.suite, audit.errors, audit.warnings, audit.infos
+        );
+        eprintln!("{}", render_text(&audit.diagnostics));
+        total_errors += audit.errors;
+    }
+    if total_errors > 0 {
+        eprintln!("\naudit failed: {total_errors} error-severity finding(s)");
+        std::process::exit(1);
+    }
+}

@@ -23,30 +23,45 @@ fn main() {
     let (train, test) = bfs_sets(spec);
     let test_table = cached_table(&format!("bfs-{scale}-test"), &cv, &test, spec.cache);
     let train_table = cached_table(&format!("bfs-{scale}-train"), &cv, &train, spec.cache);
-    Autotuner::new().tune_from_table(&mut cv, &train_table).expect("tuning succeeds");
+    Autotuner::new()
+        .tune_from_table(&mut cv, &train_table)
+        .expect("tuning succeeds");
     let model = cv.export_artifact().unwrap().model;
     let nitro = evaluate_model(&test_table, &model, cv.default_variant());
 
     // Hybrid relative performance per input: hybrid TEPS / best TEPS.
     let mut hybrid_rel = Vec::with_capacity(test.len());
     for (i, input) in test.iter().enumerate() {
-        let Some(best) = test_table.best_cost(i) else { continue };
+        let Some(best) = test_table.best_cost(i) else {
+            continue;
+        };
         let teps = input.hybrid_teps(&cfg);
         hybrid_rel.push((teps / best).clamp(0.0, 1.0));
     }
     let hybrid_mean = hybrid_rel.iter().sum::<f64>() / hybrid_rel.len().max(1) as f64;
 
     println!("\n  graphs evaluated: {}", hybrid_rel.len());
-    println!("  Nitro-tuned : {} of best   (paper: 97.92%)", pct(nitro.mean_relative_perf));
-    println!("  Hybrid      : {} of best   (paper: 88.14%)", pct(hybrid_mean));
+    println!(
+        "  Nitro-tuned : {} of best   (paper: 97.92%)",
+        pct(nitro.mean_relative_perf)
+    );
+    println!(
+        "  Hybrid      : {} of best   (paper: 88.14%)",
+        pct(hybrid_mean)
+    );
     let advantage = nitro.mean_relative_perf / hybrid_mean - 1.0;
-    println!("  Nitro beats Hybrid by {:.1}% on average (paper: ~11%)", advantage * 100.0);
+    println!(
+        "  Nitro beats Hybrid by {:.1}% on average (paper: ~11%)",
+        advantage * 100.0
+    );
 
     // Breakdown by group: which variant wins where.
     println!("\n  selected-variant breakdown:");
     let mut selection_counts = vec![0usize; test_table.n_variants()];
     for i in 0..test_table.len() {
-        let pred = model.predict(&test_table.features[i]).min(test_table.n_variants() - 1);
+        let pred = model
+            .predict(&test_table.features[i])
+            .min(test_table.n_variants() - 1);
         selection_counts[pred] += 1;
     }
     for (name, count) in test_table.variant_names.iter().zip(&selection_counts) {

@@ -25,12 +25,36 @@ fn main() {
     };
     row("streaming bandwidth", &|c| c.stream_gbps, "GB/s");
     row("random-gather useful bandwidth", &|c| c.gather_gbps, "GB/s");
-    row("coalescing gain (stream/gather)", &|c| c.coalescing_gain, "x");
-    row("texture speedup (resident set)", &|c| c.tex_resident_speedup, "x");
-    row("texture slowdown (streaming set)", &|c| c.tex_streaming_slowdown, "x");
-    row("shared atomics, conflict-free", &|c| c.shared_atomic_mops, "Mop");
-    row("shared atomics, same-address", &|c| c.contended_shared_atomic_mops, "Mop");
-    row("global atomics, same-address", &|c| c.contended_global_atomic_mops, "Mop");
+    row(
+        "coalescing gain (stream/gather)",
+        &|c| c.coalescing_gain,
+        "x",
+    );
+    row(
+        "texture speedup (resident set)",
+        &|c| c.tex_resident_speedup,
+        "x",
+    );
+    row(
+        "texture slowdown (streaming set)",
+        &|c| c.tex_streaming_slowdown,
+        "x",
+    );
+    row(
+        "shared atomics, conflict-free",
+        &|c| c.shared_atomic_mops,
+        "Mop",
+    );
+    row(
+        "shared atomics, same-address",
+        &|c| c.contended_shared_atomic_mops,
+        "Mop",
+    );
+    row(
+        "global atomics, same-address",
+        &|c| c.contended_global_atomic_mops,
+        "Mop",
+    );
     row("kernel launch overhead", &|c| c.launch_overhead_us, "us");
 
     println!("\nThese emergent rates are what make the paper's crossovers appear:");

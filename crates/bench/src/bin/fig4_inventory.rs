@@ -7,7 +7,10 @@ use nitro_core::Context;
 fn main() {
     let spec = SuiteSpec::from_env();
     let cfg = device();
-    println!("== Figure 4: benchmark inventory (device: {}) ==\n", cfg.name);
+    println!(
+        "== Figure 4: benchmark inventory (device: {}) ==\n",
+        cfg.name
+    );
     println!(
         "{:<10} {:>9} {:>9} {:>7} {:>7}  variants | features",
         "benchmark", "#variants", "#features", "#train", "#test"
@@ -25,7 +28,13 @@ fn main() {
                 nitro_sparse::collection::spmv_test_set(spec.seed),
             )
         };
-        row("SpMV", cv.variant_names(), cv.feature_names(), train.len(), test.len());
+        row(
+            "SpMV",
+            cv.variant_names(),
+            cv.feature_names(),
+            train.len(),
+            test.len(),
+        );
     }
     {
         let cv = nitro_solvers::variants::build_code_variant(&ctx, &cfg);
@@ -37,12 +46,24 @@ fn main() {
                 nitro_solvers::collection::solver_test_set(spec.seed),
             )
         };
-        row("Solvers", cv.variant_names(), cv.feature_names(), train.len(), test.len());
+        row(
+            "Solvers",
+            cv.variant_names(),
+            cv.feature_names(),
+            train.len(),
+            test.len(),
+        );
     }
     {
         let cv = nitro_graph::bfs::build_code_variant(&ctx, &cfg);
         let (train, test) = bfs_sets(spec);
-        row("BFS", cv.variant_names(), cv.feature_names(), train.len(), test.len());
+        row(
+            "BFS",
+            cv.variant_names(),
+            cv.feature_names(),
+            train.len(),
+            test.len(),
+        );
     }
     {
         let cv = nitro_histogram::variants::build_code_variant(&ctx, &cfg);
@@ -54,7 +75,13 @@ fn main() {
                 nitro_histogram::data::hist_test_set(spec.seed),
             )
         };
-        row("Histogram", cv.variant_names(), cv.feature_names(), train.len(), test.len());
+        row(
+            "Histogram",
+            cv.variant_names(),
+            cv.feature_names(),
+            train.len(),
+            test.len(),
+        );
     }
     {
         let cv = nitro_sort::variants::build_code_variant(&ctx, &cfg);
@@ -66,7 +93,13 @@ fn main() {
                 nitro_sort::keys::sort_test_set(spec.seed),
             )
         };
-        row("Sort", cv.variant_names(), cv.feature_names(), train.len(), test.len());
+        row(
+            "Sort",
+            cv.variant_names(),
+            cv.feature_names(),
+            train.len(),
+            test.len(),
+        );
     }
 
     println!("\npaper counts: SpMV (54,100)  Solvers (26,100)  BFS (20,148)  Histogram (200,1291)  Sort (120,600)");

@@ -11,7 +11,10 @@ fn main() {
         println!("(NITRO_SCALE=small — miniature collections)");
     }
     for suite in run_all(spec) {
-        println!("\n--- {} (test inputs: {}) ---", suite.name, suite.nitro.n_inputs);
+        println!(
+            "\n--- {} (test inputs: {}) ---",
+            suite.name, suite.nitro.n_inputs
+        );
         let mut rows: Vec<(String, f64)> = suite
             .variant_names
             .iter()
@@ -22,9 +25,16 @@ fn main() {
         for (name, perf) in rows {
             println!("  {:<22} {}", name, pct(perf));
         }
-        println!("  {:<22} {}   <- Nitro-tuned", "Nitro", pct(suite.nitro.mean_relative_perf));
-        let best_fixed =
-            suite.fixed.iter().map(|s| s.mean_relative_perf).fold(0.0f64, f64::max);
+        println!(
+            "  {:<22} {}   <- Nitro-tuned",
+            "Nitro",
+            pct(suite.nitro.mean_relative_perf)
+        );
+        let best_fixed = suite
+            .fixed
+            .iter()
+            .map(|s| s.mean_relative_perf)
+            .fold(0.0f64, f64::max);
         if suite.nitro.mean_relative_perf >= best_fixed {
             println!("  (Nitro beats every single variant, as in the paper)");
         } else {

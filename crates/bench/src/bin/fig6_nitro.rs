@@ -20,9 +20,15 @@ fn main() {
     if spec.small {
         println!("(NITRO_SCALE=small — miniature collections)");
     }
-    println!("\n{:<10} {:>10} {:>10} {:>8} {:>8} {:>8}", "benchmark", "nitro", "paper", ">=70%", ">=90%", "mispred");
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "benchmark", "nitro", "paper", ">=70%", ">=90%", "mispred"
+    );
     for suite in run_all(spec) {
-        let paper = PAPER.iter().find(|(n, _)| *n == suite.name).map(|(_, p)| *p);
+        let paper = PAPER
+            .iter()
+            .find(|(n, _)| *n == suite.name)
+            .map(|(_, p)| *p);
         println!(
             "{:<10} {:>10} {:>10} {:>8} {:>8} {:>7}",
             suite.name,

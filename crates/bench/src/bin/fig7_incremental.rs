@@ -6,7 +6,7 @@
 //! performance achieved without incremental tuning is roughly 25
 //! iterations. To match it, incremental tuning takes no more than 50.
 
-use nitro_bench::{cached_table, device, pct, incremental_curve, SuiteSpec};
+use nitro_bench::{cached_table, device, incremental_curve, pct, SuiteSpec};
 use nitro_core::Context;
 use nitro_tuner::{evaluate_model, Autotuner, ProfileTable};
 
@@ -98,13 +98,18 @@ fn report<I: Send + Sync>(
     // Baseline: full-training-set performance.
     cv.policy_mut().incremental = None;
     let train_table = ProfileTable::build(cv, train);
-    Autotuner::new().tune_from_table(cv, &train_table).expect("full tuning");
+    Autotuner::new()
+        .tune_from_table(cv, &train_table)
+        .expect("full tuning");
     let full_model = cv.export_artifact().unwrap().model;
     let full = evaluate_model(test_table, &full_model, cv.default_variant()).mean_relative_perf;
 
     let curve = incremental_curve(cv, train, test_table, max_iters);
 
-    println!("\n--- {name} (full-training performance: {}) ---", pct(full));
+    println!(
+        "\n--- {name} (full-training performance: {}) ---",
+        pct(full)
+    );
     println!("  iter  perf      % of full-training");
     let mut reached_90 = None;
     let mut reached_100 = None;

@@ -6,7 +6,7 @@
 //! overhead; SpMV and Solvers need their expensive features for peak
 //! performance, amortized over repeated executions.
 
-use nitro_bench::{device, feature_subset_sweep, cached_table, pct, SuiteSpec};
+use nitro_bench::{cached_table, device, feature_subset_sweep, pct, SuiteSpec};
 use nitro_core::Context;
 
 fn main() {
@@ -31,7 +31,10 @@ fn main() {
         };
         let train_table = cached_table(&format!("spmv-{scale}-train"), &cv, &train, spec.cache);
         let test_table = cached_table(&format!("spmv-{scale}-test"), &cv, &test, spec.cache);
-        report("spmv", feature_subset_sweep(&cv, &test, &train_table, &test_table));
+        report(
+            "spmv",
+            feature_subset_sweep(&cv, &test, &train_table, &test_table),
+        );
     }
     {
         let ctx = Context::new();
@@ -46,7 +49,10 @@ fn main() {
         };
         let train_table = cached_table(&format!("solvers-{scale}-train"), &cv, &train, spec.cache);
         let test_table = cached_table(&format!("solvers-{scale}-test"), &cv, &test, spec.cache);
-        report("solvers", feature_subset_sweep(&cv, &test, &train_table, &test_table));
+        report(
+            "solvers",
+            feature_subset_sweep(&cv, &test, &train_table, &test_table),
+        );
     }
     {
         let ctx = Context::new();
@@ -54,7 +60,10 @@ fn main() {
         let (train, test) = nitro_bench::bfs_sets(spec);
         let train_table = cached_table(&format!("bfs-{scale}-train"), &cv, &train, spec.cache);
         let test_table = cached_table(&format!("bfs-{scale}-test"), &cv, &test, spec.cache);
-        report("bfs", feature_subset_sweep(&cv, &test, &train_table, &test_table));
+        report(
+            "bfs",
+            feature_subset_sweep(&cv, &test, &train_table, &test_table),
+        );
     }
     {
         let ctx = Context::new();
@@ -67,16 +76,19 @@ fn main() {
                 nitro_histogram::data::hist_test_set(spec.seed),
             )
         };
-        let train_table = cached_table(&format!("histogram-{scale}-train"), &cv, &train, spec.cache);
+        let train_table =
+            cached_table(&format!("histogram-{scale}-train"), &cv, &train, spec.cache);
         let test_table = cached_table(&format!("histogram-{scale}-test"), &cv, &test, spec.cache);
-        report("histogram", feature_subset_sweep(&cv, &test, &train_table, &test_table));
+        report(
+            "histogram",
+            feature_subset_sweep(&cv, &test, &train_table, &test_table),
+        );
 
         // The §V-C sub-experiment: shrinking the SubSampleSD sample cuts
         // its overhead with only a small performance cost.
         println!("  SubSampleSD sample-size sensitivity:");
         for cap in [10_000usize, 2_000, 500] {
-            let cv2 =
-                nitro_histogram::variants::build_code_variant_with_subsample(&ctx, &cfg, cap);
+            let cv2 = nitro_histogram::variants::build_code_variant_with_subsample(&ctx, &cfg, cap);
             let inp = &test[0];
             let (_, cost) = cv2.evaluate_features(inp);
             println!("    cap {:>6}: feature cost {:>10.0} ns", cap, cost);
@@ -95,7 +107,10 @@ fn main() {
         };
         let train_table = cached_table(&format!("sort-{scale}-train"), &cv, &train, spec.cache);
         let test_table = cached_table(&format!("sort-{scale}-test"), &cv, &test, spec.cache);
-        report("sort", feature_subset_sweep(&cv, &test, &train_table, &test_table));
+        report(
+            "sort",
+            feature_subset_sweep(&cv, &test, &train_table, &test_table),
+        );
     }
 }
 

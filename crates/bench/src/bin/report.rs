@@ -16,14 +16,22 @@ fn main() {
     writeln!(
         w,
         "Scale: {} · seed {:#x} · device: {}\n",
-        if spec.small { "small" } else { "full (paper-sized)" },
+        if spec.small {
+            "small"
+        } else {
+            "full (paper-sized)"
+        },
         spec.seed,
         nitro_bench::device().name
     )
     .unwrap();
 
     writeln!(w, "## Nitro vs exhaustive search (Figure 6)\n").unwrap();
-    writeln!(w, "| benchmark | inputs | nitro | ≥70% | ≥90% | mispred | macro-F1 |").unwrap();
+    writeln!(
+        w,
+        "| benchmark | inputs | nitro | ≥70% | ≥90% | mispred | macro-F1 |"
+    )
+    .unwrap();
     writeln!(w, "|---|---|---|---|---|---|---|").unwrap();
 
     let suites = run_all(spec);
@@ -61,8 +69,12 @@ fn main() {
         for (name, perf) in rows {
             writeln!(w, "| {name} | {:.2}% |", perf * 100.0).unwrap();
         }
-        writeln!(w, "| **Nitro** | **{:.2}%** |\n", suite.nitro.mean_relative_perf * 100.0)
-            .unwrap();
+        writeln!(
+            w,
+            "| **Nitro** | **{:.2}%** |\n",
+            suite.nitro.mean_relative_perf * 100.0
+        )
+        .unwrap();
     }
 
     if let Some(solvers) = suites.iter().find(|s| s.name == "solvers") {

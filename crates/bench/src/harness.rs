@@ -5,7 +5,9 @@ use std::path::PathBuf;
 
 use nitro_core::{CodeVariant, Context, StoppingCriterion, TrainedModel};
 use nitro_simt::DeviceConfig;
-use nitro_tuner::{evaluate_fixed_variant, evaluate_model, Autotuner, EvalSummary, ProfileTable, TuneReport};
+use nitro_tuner::{
+    evaluate_fixed_variant, evaluate_model, Autotuner, EvalSummary, ProfileTable, TuneReport,
+};
 
 /// Seed every collection in the harness derives from — change it and all
 /// generated "UFL matrices", graphs and key sequences change together.
@@ -26,14 +28,24 @@ impl SuiteSpec {
     /// Read `NITRO_SCALE` (`small` | `full`, default `full`) and
     /// `NITRO_NO_CACHE`.
     pub fn from_env() -> Self {
-        let small = std::env::var("NITRO_SCALE").map(|v| v == "small").unwrap_or(false);
+        let small = std::env::var("NITRO_SCALE")
+            .map(|v| v == "small")
+            .unwrap_or(false);
         let cache = std::env::var("NITRO_NO_CACHE").is_err();
-        Self { small, seed: COLLECTION_SEED, cache }
+        Self {
+            small,
+            seed: COLLECTION_SEED,
+            cache,
+        }
     }
 
     /// Miniature configuration for tests.
     pub fn small() -> Self {
-        Self { small: true, seed: COLLECTION_SEED, cache: false }
+        Self {
+            small: true,
+            seed: COLLECTION_SEED,
+            cache: false,
+        }
     }
 }
 
@@ -106,10 +118,14 @@ pub fn run_suite<I: Send + Sync>(
     let train_table = cached_table(&format!("{name}-{scale}-train"), cv, train, spec.cache);
     let test_table = cached_table(&format!("{name}-{scale}-test"), cv, test, spec.cache);
 
-    let tune = Autotuner::new().tune_from_table(cv, &train_table).expect("tuning succeeds");
+    let tune = Autotuner::new()
+        .tune_from_table(cv, &train_table)
+        .expect("tuning succeeds");
     let model = cv.export_artifact().expect("model installed").model;
     let nitro = evaluate_model(&test_table, &model, cv.default_variant());
-    let fixed = (0..cv.n_variants()).map(|v| evaluate_fixed_variant(&test_table, v)).collect();
+    let fixed = (0..cv.n_variants())
+        .map(|v| evaluate_fixed_variant(&test_table, v))
+        .collect();
 
     SuiteOutcome {
         name: name.to_string(),
@@ -150,7 +166,11 @@ pub fn run_spmv_on(spec: SuiteSpec, cfg: &DeviceConfig) -> SuiteOutcome {
             nitro_sparse::collection::spmv_test_set(spec.seed),
         )
     };
-    let tag = if cfg.name.contains("Fermi") { "spmv" } else { "spmv-alt" };
+    let tag = if cfg.name.contains("Fermi") {
+        "spmv"
+    } else {
+        "spmv-alt"
+    };
     run_suite(tag, &mut cv, &train, &test, spec)
 }
 
@@ -320,9 +340,16 @@ pub fn feature_subset_sweep<I: Send + Sync>(
             let cost: f64 = subset.iter().map(|&j| avg_cost[j]).sum();
             FeatureSubsetRow {
                 k,
-                features: subset.iter().map(|&j| cv.feature_names()[j].clone()).collect(),
+                features: subset
+                    .iter()
+                    .map(|&j| cv.feature_names()[j].clone())
+                    .collect(),
                 perf: summary.mean_relative_perf,
-                overhead_frac: if mean_best > 0.0 { cost / mean_best } else { 0.0 },
+                overhead_frac: if mean_best > 0.0 {
+                    cost / mean_best
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -363,7 +390,9 @@ pub fn convergence_stats(
         }
         if failing > 0 {
             partially_failing += 1;
-            let mut chosen = model.predict(&table.features[i]).min(table.n_variants() - 1);
+            let mut chosen = model
+                .predict(&table.features[i])
+                .min(table.n_variants() - 1);
             if !table.allowed[i][chosen] {
                 chosen = default_variant.unwrap_or(0);
             }

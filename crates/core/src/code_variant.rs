@@ -157,10 +157,11 @@ impl<I: ?Sized> CodeVariant<I> {
     /// Mark the variant used when no model is installed or a constraint
     /// vetoes the prediction.
     ///
-    /// # Panics
-    /// Panics if `index` is out of range.
+    /// Out-of-range indices are accepted here (registration order is not
+    /// prescribed — a library may set the default before adding variants)
+    /// and reported by the `nitro-audit` registration linter; dispatch
+    /// refuses to run with an invalid default.
     pub fn set_default(&mut self, index: usize) {
-        assert!(index < self.variants.len(), "default variant {index} not registered");
         self.default_variant = Some(index);
     }
 
@@ -177,11 +178,18 @@ impl<I: ?Sized> CodeVariant<I> {
 
     /// Attach a constraint to one variant.
     ///
-    /// # Panics
-    /// Panics if `variant` is out of range.
+    /// Indices of not-yet-registered variants are accepted (the
+    /// constraint simply never fires) and flagged by the `nitro-audit`
+    /// registration linter.
     pub fn add_constraint(&mut self, variant: usize, c: impl Constraint<I> + 'static) {
-        assert!(variant < self.variants.len(), "constraint on unregistered variant {variant}");
         self.constraints.push((variant, Arc::new(c)));
+    }
+
+    /// Variant indices referenced by registered constraints, in
+    /// registration order (with repeats). Used by the registration linter
+    /// to find constraints on unknown variants.
+    pub fn constraint_targets(&self) -> Vec<usize> {
+        self.constraints.iter().map(|(v, _)| *v).collect()
     }
 
     /// Number of registered variants.
@@ -251,6 +259,7 @@ impl<I: ?Sized> CodeVariant<I> {
     pub fn export_artifact(&self) -> Result<ModelArtifact> {
         let model = self.model.clone().ok_or(NitroError::NoSelectionPossible)?;
         Ok(ModelArtifact {
+            schema_version: crate::model::MODEL_SCHEMA_VERSION,
             function: self.name.clone(),
             variant_names: self.variant_names(),
             feature_names: self.feature_names(),
@@ -266,12 +275,12 @@ impl<I: ?Sized> CodeVariant<I> {
 
     /// Load and install this function's model from the context.
     pub fn load_model(&mut self) -> Result<()> {
-        let artifact = self
-            .context
-            .fetch_model(&self.name)
-            .ok_or_else(|| NitroError::ModelMismatch {
-                detail: format!("no stored model for '{}'", self.name),
-            })?;
+        let artifact =
+            self.context
+                .fetch_model(&self.name)
+                .ok_or_else(|| NitroError::ModelMismatch {
+                    detail: format!("no stored model for '{}'", self.name),
+                })?;
         self.install_artifact(artifact)
     }
 
@@ -354,6 +363,20 @@ impl<I: ?Sized> CodeVariant<I> {
         self.dispatch(input, features, feature_cost_ns, false)
     }
 
+    /// Validate the (permissively stored) default variant index before
+    /// dispatching through it.
+    fn checked_default(&self, index: usize) -> Result<usize> {
+        if index < self.variants.len() {
+            Ok(index)
+        } else {
+            Err(NitroError::InvalidIndex {
+                what: "default variant",
+                index,
+                len: self.variants.len(),
+            })
+        }
+    }
+
     /// Shared dispatch tail for `call` and `call_fixed`.
     fn dispatch(
         &mut self,
@@ -366,11 +389,10 @@ impl<I: ?Sized> CodeVariant<I> {
             return Err(NitroError::NoVariants);
         }
         let predicted = match (&self.model, self.default_variant) {
-            (Some(m), _) => Some(m.predict(&features)),
-            (None, Some(d)) => Some(d),
-            (None, None) => None,
-        }
-        .ok_or(NitroError::NoSelectionPossible)?;
+            (Some(m), _) => m.predict(&features),
+            (None, Some(d)) => self.checked_default(d)?,
+            (None, None) => return Err(NitroError::NoSelectionPossible),
+        };
 
         // Online constraint handling: revert to the default variant when
         // the predicted one is vetoed (paper §II-B).
@@ -378,7 +400,10 @@ impl<I: ?Sized> CodeVariant<I> {
         let mut chosen = predicted.min(self.variants.len() - 1);
         if !self.constraints_satisfied(chosen, input) {
             fell_back = true;
-            chosen = self.default_variant.unwrap_or(0);
+            chosen = match self.default_variant {
+                Some(d) => self.checked_default(d)?,
+                None => 0,
+            };
         }
 
         let objective = self.variants[chosen].invoke(input);
@@ -415,8 +440,10 @@ impl<I: ?Sized + Send + Sync + 'static> CodeVariant<I> {
     /// no concurrency).
     pub fn fix_inputs(&mut self, input: Arc<I>) {
         let active = self.policy.active_features(self.features.len());
-        let feats: Vec<Arc<dyn InputFeature<I>>> =
-            active.iter().map(|&i| Arc::clone(&self.features[i])).collect();
+        let feats: Vec<Arc<dyn InputFeature<I>>> = active
+            .iter()
+            .map(|&i| Arc::clone(&self.features[i]))
+            .collect();
         let parallel = self.policy.parallel_feature_evaluation;
         let work = {
             let input = Arc::clone(&input);
@@ -455,7 +482,14 @@ impl<I: ?Sized + Send + Sync + 'static> CodeVariant<I> {
     /// dispatch on the fixed input.
     pub fn call_fixed(&mut self) -> Result<Invocation> {
         let Pending { input, handle } = self.pending.take().ok_or(NitroError::NoFixedInput)?;
-        let (features, cost) = handle.join().expect("feature evaluation thread panicked");
+        let (features, cost) = handle.join().map_err(|payload| {
+            let detail = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "asynchronous feature evaluation".to_string());
+            NitroError::Thread { detail }
+        })?;
         self.dispatch(&input, features, cost, true)
     }
 }
@@ -508,7 +542,10 @@ mod tests {
         let ctx = Context::new();
         let mut cv = CodeVariant::new("nodefault", &ctx);
         cv.add_variant(FnVariant::new("only", |&_x: &f64| 1.0));
-        assert!(matches!(cv.call(&1.0), Err(NitroError::NoSelectionPossible)));
+        assert!(matches!(
+            cv.call(&1.0),
+            Err(NitroError::NoSelectionPossible)
+        ));
     }
 
     #[test]
@@ -595,7 +632,7 @@ mod tests {
 
     #[test]
     fn artifact_round_trip_through_context() {
-        let dir = crate::context::temp_model_dir("cv-artifact");
+        let dir = crate::context::temp_model_dir("cv-artifact").unwrap();
         let ctx = Context::with_model_dir(&dir);
         let mut cv = CodeVariant::new("toy", &ctx);
         cv.add_variant(FnVariant::new("small", |&x: &f64| 1.0 + x));
@@ -621,19 +658,31 @@ mod tests {
         let ctx = Context::new();
         let mut cv = CodeVariant::<f64>::new("fam", &ctx);
         // Cost model: |x − p| — each parameter value wins near itself.
-        let ids =
-            cv.add_variant_family("tile", vec![2u32, 4, 8], |&p, &x: &f64| (x - p as f64).abs());
+        let ids = cv.add_variant_family("tile", vec![2u32, 4, 8], |&p, &x: &f64| {
+            (x - p as f64).abs()
+        });
         assert_eq!(ids, vec![0, 1, 2]);
         assert_eq!(
             cv.variant_names(),
-            vec!["tile@2".to_string(), "tile@4".to_string(), "tile@8".to_string()]
+            vec![
+                "tile@2".to_string(),
+                "tile@4".to_string(),
+                "tile@8".to_string()
+            ]
         );
         assert_eq!(cv.run_variant(1, &5.0), 1.0);
         // Families can be tuned like any other variant set.
         cv.set_default(0);
         cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
         let data = Dataset::from_parts(
-            vec![vec![2.0], vec![2.2], vec![4.1], vec![3.9], vec![7.8], vec![8.3]],
+            vec![
+                vec![2.0],
+                vec![2.2],
+                vec![4.1],
+                vec![3.9],
+                vec![7.8],
+                vec![8.3],
+            ],
             vec![0, 0, 1, 1, 2, 2],
         );
         cv.install_model(TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &data));

@@ -52,7 +52,8 @@ impl Context {
 
     /// File path a function's model persists to (requires a model dir).
     pub fn model_path(&self, function: &str) -> Option<PathBuf> {
-        self.model_dir().map(|d| d.join(format!("{function}.model.json")))
+        self.model_dir()
+            .map(|d| d.join(format!("{function}.model.json")))
     }
 
     /// Register a trained model in the in-memory registry and, when a
@@ -64,7 +65,10 @@ impl Context {
             }
             artifact.save(&path)?;
         }
-        self.inner.registry.lock().insert(artifact.function.clone(), artifact);
+        self.inner
+            .registry
+            .lock()
+            .insert(artifact.function.clone(), artifact);
         Ok(())
     }
 
@@ -76,7 +80,10 @@ impl Context {
         }
         let path = self.model_path(function)?;
         let artifact = ModelArtifact::load(&path).ok()?;
-        self.inner.registry.lock().insert(function.to_string(), artifact.clone());
+        self.inner
+            .registry
+            .lock()
+            .insert(function.to_string(), artifact.clone());
         Some(artifact)
     }
 
@@ -113,13 +120,12 @@ fn _assert_send_sync(ctx: Context) -> impl Send + Sync {
 }
 
 /// Helper for tests across the workspace: a unique temp directory.
-pub fn temp_model_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "nitro-models-{tag}-{}",
-        std::process::id()
-    ));
-    std::fs::create_dir_all(&dir).expect("create temp model dir");
-    dir
+/// Fails with [`crate::NitroError::Io`] when the directory cannot be
+/// created instead of panicking.
+pub fn temp_model_dir(tag: &str) -> Result<PathBuf> {
+    let dir = std::env::temp_dir().join(format!("nitro-models-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
 #[cfg(test)]
@@ -131,6 +137,7 @@ mod tests {
     fn artifact(name: &str) -> ModelArtifact {
         let data = Dataset::from_parts(vec![vec![0.0], vec![1.0]], vec![0, 1]);
         ModelArtifact {
+            schema_version: crate::model::MODEL_SCHEMA_VERSION,
             function: name.into(),
             variant_names: vec!["a".into(), "b".into()],
             feature_names: vec!["f".into()],
@@ -155,7 +162,7 @@ mod tests {
 
     #[test]
     fn persists_to_model_dir_and_reloads() {
-        let dir = temp_model_dir("ctx-persist");
+        let dir = temp_model_dir("ctx-persist").unwrap();
         let ctx = Context::with_model_dir(&dir);
         ctx.store_model(artifact("sort")).unwrap();
         assert!(ctx.model_path("sort").unwrap().exists());
@@ -169,7 +176,7 @@ mod tests {
 
     #[test]
     fn evict_removes_registry_and_file() {
-        let dir = temp_model_dir("ctx-evict");
+        let dir = temp_model_dir("ctx-evict").unwrap();
         let ctx = Context::with_model_dir(&dir);
         ctx.store_model(artifact("bfs")).unwrap();
         ctx.evict_model("bfs").unwrap();
@@ -183,6 +190,9 @@ mod tests {
         let ctx = Context::new();
         ctx.store_model(artifact("zeta")).unwrap();
         ctx.store_model(artifact("alpha")).unwrap();
-        assert_eq!(ctx.registered_functions(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(
+            ctx.registered_functions(),
+            vec!["alpha".to_string(), "zeta".to_string()]
+        );
     }
 }

@@ -1,0 +1,197 @@
+//! Structured diagnostics: the vocabulary of the `nitro-audit` analyzers.
+//!
+//! Every analyzer finding is a [`Diagnostic`] with a stable `NITRO0xx`
+//! code, a [`Severity`], the subject it refers to (a function, artifact
+//! or feature name) and a human-readable message. The type lives in
+//! `nitro-core` so that [`crate::NitroError::Audit`] can carry findings
+//! without a dependency cycle; the analyzers themselves live in the
+//! `nitro-audit` crate.
+//!
+//! Code ranges:
+//!
+//! * `NITRO001`           — unreadable artifact (unparseable JSON).
+//! * `NITRO010`–`NITRO019` — registration lint (variants, features,
+//!   default, constraints, policy).
+//! * `NITRO020`–`NITRO029` — model-artifact audit (schema, name lists,
+//!   numeric invariants of the trained model).
+//! * `NITRO030`–`NITRO039` — profile-table / training-set analysis.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: worth knowing, never blocks anything.
+    Info,
+    /// Suspicious but usable: tuning proceeds, the finding is reported.
+    Warning,
+    /// Broken: tuning or installation refuses to proceed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`NITRO0xx`).
+    pub code: String,
+    /// Finding severity.
+    pub severity: Severity,
+    /// What the finding is about (function, artifact, feature, variant…).
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a finding with explicit severity.
+    pub fn new(
+        code: impl Into<String>,
+        severity: Severity,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            code: code.into(),
+            severity,
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+
+    /// An [`Severity::Error`] finding.
+    pub fn error(
+        code: impl Into<String>,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self::new(code, Severity::Error, subject, message)
+    }
+
+    /// A [`Severity::Warning`] finding.
+    pub fn warning(
+        code: impl Into<String>,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self::new(code, Severity::Warning, subject, message)
+    }
+
+    /// A [`Severity::Info`] finding.
+    pub fn info(
+        code: impl Into<String>,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self::new(code, Severity::Info, subject, message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.code, self.subject, self.message
+        )
+    }
+}
+
+/// True when any finding has [`Severity::Error`].
+pub fn has_errors(diagnostics: &[Diagnostic]) -> bool {
+    diagnostics.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Split findings into `(errors, rest)`; `rest` keeps warnings and infos
+/// in their original order.
+pub fn partition_errors(diagnostics: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    diagnostics
+        .into_iter()
+        .partition(|d| d.severity == Severity::Error)
+}
+
+/// Render findings as one text line each, ordered most severe first
+/// (ties keep insertion order). Returns `"no findings"` when empty.
+pub fn render_text(diagnostics: &[Diagnostic]) -> String {
+    if diagnostics.is_empty() {
+        return "no findings".to_string();
+    }
+    let mut sorted: Vec<&Diagnostic> = diagnostics.iter().collect();
+    sorted.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    sorted
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Render findings as a pretty-printed JSON array.
+pub fn render_json(diagnostics: &[Diagnostic]) -> String {
+    serde_json::to_string_pretty(&diagnostics.to_vec()).expect("diagnostics always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_includes_code_and_subject() {
+        let d = Diagnostic::error("NITRO011", "histogram", "duplicate variant name 'Sort-ES'");
+        let s = d.to_string();
+        assert!(s.contains("NITRO011"));
+        assert!(s.contains("histogram"));
+        assert!(s.contains("error"));
+    }
+
+    #[test]
+    fn has_errors_detects_only_error_severity() {
+        let warn = vec![Diagnostic::warning("NITRO030", "t", "m")];
+        let err = vec![
+            Diagnostic::warning("NITRO030", "t", "m"),
+            Diagnostic::error("NITRO014", "t", "m"),
+        ];
+        assert!(!has_errors(&warn));
+        assert!(has_errors(&err));
+    }
+
+    #[test]
+    fn render_text_sorts_errors_first() {
+        let diags = vec![
+            Diagnostic::info("NITRO019", "a", "info msg"),
+            Diagnostic::error("NITRO010", "a", "error msg"),
+        ];
+        let text = render_text(&diags);
+        let error_pos = text.find("error msg").unwrap();
+        let info_pos = text.find("info msg").unwrap();
+        assert!(error_pos < info_pos);
+        assert_eq!(render_text(&[]), "no findings");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let diags = vec![
+            Diagnostic::error("NITRO023", "svm", "NaN support vector"),
+            Diagnostic::info("NITRO019", "svm", "degenerate grid"),
+        ];
+        let json = render_json(&diags);
+        let back: Vec<Diagnostic> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, diags);
+    }
+}

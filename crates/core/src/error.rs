@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::diag::{Diagnostic, Severity};
+
 /// Errors surfaced by the Nitro core library.
 #[derive(Debug)]
 pub enum NitroError {
@@ -17,10 +19,41 @@ pub enum NitroError {
         /// Explanation of what disagreed.
         detail: String,
     },
+    /// A registered index referred outside its table (default variant,
+    /// constraint target, feature-subset entry…).
+    InvalidIndex {
+        /// What kind of index was out of range.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Size of the table it indexed into.
+        len: usize,
+    },
+    /// An audit pass found error-severity findings; tuning or
+    /// installation refused to proceed.
+    Audit {
+        /// The full finding list (errors plus accompanying warnings).
+        diagnostics: Vec<Diagnostic>,
+    },
+    /// A worker thread panicked (asynchronous feature evaluation).
+    Thread {
+        /// What the thread was doing.
+        detail: String,
+    },
     /// Filesystem failure while persisting or loading a model.
     Io(std::io::Error),
     /// Serialization failure while persisting or loading a model.
     Serde(serde_json::Error),
+}
+
+impl NitroError {
+    /// The audit findings carried by an [`NitroError::Audit`], if any.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        match self {
+            NitroError::Audit { diagnostics } => diagnostics,
+            _ => &[],
+        }
+    }
 }
 
 impl fmt::Display for NitroError {
@@ -34,6 +67,25 @@ impl fmt::Display for NitroError {
                 write!(f, "call_fixed used without fix_inputs (no pending input)")
             }
             NitroError::ModelMismatch { detail } => write!(f, "model mismatch: {detail}"),
+            NitroError::InvalidIndex { what, index, len } => {
+                write!(f, "{what} index {index} out of range (have {len})")
+            }
+            NitroError::Audit { diagnostics } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .count();
+                write!(
+                    f,
+                    "audit found {errors} error(s) in {} finding(s):",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            NitroError::Thread { detail } => write!(f, "worker thread panicked: {detail}"),
             NitroError::Io(e) => write!(f, "io error: {e}"),
             NitroError::Serde(e) => write!(f, "serialization error: {e}"),
         }
@@ -73,8 +125,36 @@ mod tests {
     fn display_messages_are_informative() {
         assert!(NitroError::NoVariants.to_string().contains("variants"));
         assert!(NitroError::NoFixedInput.to_string().contains("fix_inputs"));
-        let e = NitroError::ModelMismatch { detail: "3 vs 4 variants".into() };
+        let e = NitroError::ModelMismatch {
+            detail: "3 vs 4 variants".into(),
+        };
         assert!(e.to_string().contains("3 vs 4"));
+    }
+
+    #[test]
+    fn audit_error_lists_findings() {
+        let e = NitroError::Audit {
+            diagnostics: vec![
+                Diagnostic::error("NITRO014", "toy", "default variant 9 not registered"),
+                Diagnostic::warning("NITRO030", "toy", "variant 'b' is never best"),
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("1 error(s)"));
+        assert!(s.contains("NITRO014"));
+        assert!(s.contains("NITRO030"));
+        assert_eq!(e.diagnostics().len(), 2);
+        assert!(NitroError::NoVariants.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn invalid_index_display_names_the_table() {
+        let e = NitroError::InvalidIndex {
+            what: "default variant",
+            index: 7,
+            len: 3,
+        };
+        assert!(e.to_string().contains("default variant index 7"));
     }
 
     #[test]

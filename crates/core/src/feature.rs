@@ -42,7 +42,12 @@ where
 {
     /// A feature with negligible (zero) evaluation cost.
     pub fn new(name: impl Into<String>, eval: F) -> Self {
-        Self { name: name.into(), eval, cost: None, _marker: std::marker::PhantomData }
+        Self {
+            name: name.into(),
+            eval,
+            cost: None,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -53,7 +58,12 @@ where
 {
     /// A feature with an explicit simulated cost function.
     pub fn with_cost(name: impl Into<String>, eval: F, cost: C) -> Self {
-        Self { name: name.into(), eval, cost: Some(cost), _marker: std::marker::PhantomData }
+        Self {
+            name: name.into(),
+            eval,
+            cost: Some(cost),
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -102,7 +112,11 @@ where
 {
     /// Wrap `f` as a named constraint.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        Self { name: name.into(), f, _marker: std::marker::PhantomData }
+        Self {
+            name: name.into(),
+            f,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -131,7 +145,9 @@ mod tests {
 
     #[test]
     fn fn_feature_evaluates() {
-        let f = FnFeature::new("nnz", |v: &Vec<f64>| v.iter().filter(|&&x| x != 0.0).count() as f64);
+        let f = FnFeature::new("nnz", |v: &Vec<f64>| {
+            v.iter().filter(|&&x| x != 0.0).count() as f64
+        });
         assert_eq!(f.evaluate(&vec![1.0, 0.0, 2.0]), 2.0);
         assert_eq!(f.cost_ns(&vec![1.0]), 0.0);
     }

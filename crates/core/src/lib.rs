@@ -43,6 +43,7 @@
 
 pub mod code_variant;
 pub mod context;
+pub mod diag;
 pub mod error;
 pub mod feature;
 pub mod model;
@@ -51,9 +52,10 @@ pub mod variant;
 
 pub use code_variant::{CallStats, CodeVariant, Invocation};
 pub use context::Context;
+pub use diag::{Diagnostic, Severity};
 pub use error::{NitroError, Result};
 pub use feature::{Constraint, FnConstraint, FnFeature, InputFeature};
-pub use model::ModelArtifact;
+pub use model::{ModelArtifact, MODEL_SCHEMA_VERSION};
 pub use policy::{StoppingCriterion, TuningPolicy};
 pub use variant::{FnVariant, Objective, Variant};
 

@@ -14,9 +14,21 @@ use serde::{Deserialize, Serialize};
 use crate::error::{NitroError, Result};
 use crate::policy::TuningPolicy;
 
+/// Artifact format version written by this build.
+///
+/// Version history: `0` — pre-versioned artifacts (the field is absent
+/// from their JSON and deserializes to 0); `1` — current format.
+/// Loading an artifact *newer* than this constant is an error; loading a
+/// legacy `0` artifact works but the auditor flags it.
+pub const MODEL_SCHEMA_VERSION: u32 = 1;
+
 /// A trained model plus the metadata needed to validate installation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelArtifact {
+    /// Artifact format version (see [`MODEL_SCHEMA_VERSION`]). Absent in
+    /// legacy artifacts, which read back as 0.
+    #[serde(default)]
+    pub schema_version: u32,
     /// Name of the tuned function (the `code_variant`'s name).
     pub function: String,
     /// Variant names, in registration order, at training time.
@@ -56,6 +68,14 @@ impl ModelArtifact {
     /// Check that this artifact matches a function's registered variant
     /// and feature names.
     pub fn validate(&self, function: &str, variants: &[String], features: &[String]) -> Result<()> {
+        if self.schema_version > MODEL_SCHEMA_VERSION {
+            return Err(NitroError::ModelMismatch {
+                detail: format!(
+                    "artifact schema version {} is newer than this build supports ({})",
+                    self.schema_version, MODEL_SCHEMA_VERSION
+                ),
+            });
+        }
         if self.function != function {
             return Err(NitroError::ModelMismatch {
                 detail: format!("artifact is for '{}', not '{function}'", self.function),
@@ -92,10 +112,15 @@ mod tests {
             vec![0, 0, 1, 1],
         );
         let model = TrainedModel::train(
-            &ClassifierConfig::Svm { c: Some(1.0), gamma: Some(1.0), grid_search: false },
+            &ClassifierConfig::Svm {
+                c: Some(1.0),
+                gamma: Some(1.0),
+                grid_search: false,
+            },
             &data,
         );
         ModelArtifact {
+            schema_version: MODEL_SCHEMA_VERSION,
             function: "spmv".into(),
             variant_names: vec!["csr".into(), "dia".into()],
             feature_names: vec!["nnz".into()],
@@ -135,10 +160,45 @@ mod tests {
     #[test]
     fn validate_rejects_wrong_function_or_lists() {
         let a = artifact();
-        assert!(a.validate("bfs", &["csr".into(), "dia".into()], &["nnz".into()]).is_err());
-        assert!(a.validate("spmv", &["csr".into()], &["nnz".into()]).is_err());
+        assert!(a
+            .validate("bfs", &["csr".into(), "dia".into()], &["nnz".into()])
+            .is_err());
+        assert!(a
+            .validate("spmv", &["csr".into()], &["nnz".into()])
+            .is_err());
         assert!(a
             .validate("spmv", &["csr".into(), "dia".into()], &["rows".into()])
             .is_err());
+    }
+
+    #[test]
+    fn legacy_artifact_without_schema_version_reads_as_zero() {
+        let a = artifact();
+        let json = a.to_json().unwrap();
+        let legacy = json.replacen(
+            &format!("\"schema_version\": {MODEL_SCHEMA_VERSION},"),
+            "",
+            1,
+        );
+        assert_ne!(
+            json, legacy,
+            "schema_version field not found in serialized artifact"
+        );
+        let back = ModelArtifact::from_json(&legacy).unwrap();
+        assert_eq!(back.schema_version, 0);
+        // Legacy artifacts still validate (the auditor warns instead).
+        assert!(back
+            .validate("spmv", &["csr".into(), "dia".into()], &["nnz".into()])
+            .is_ok());
+    }
+
+    #[test]
+    fn newer_schema_version_is_rejected() {
+        let mut a = artifact();
+        a.schema_version = MODEL_SCHEMA_VERSION + 1;
+        let err = a
+            .validate("spmv", &["csr".into(), "dia".into()], &["nnz".into()])
+            .unwrap_err();
+        assert!(err.to_string().contains("schema version"));
     }
 }

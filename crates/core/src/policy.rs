@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn active_features_filters_invalid_indices() {
-        let p = TuningPolicy { feature_subset: Some(vec![2, 0, 9]), ..Default::default() };
+        let p = TuningPolicy {
+            feature_subset: Some(vec![2, 0, 9]),
+            ..Default::default()
+        };
         assert_eq!(p.active_features(3), vec![2, 0]);
     }
 

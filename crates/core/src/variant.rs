@@ -82,7 +82,11 @@ where
 {
     /// Wrap `f` under the given variant name.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        Self { name: name.into(), f, _marker: std::marker::PhantomData }
+        Self {
+            name: name.into(),
+            f,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -122,7 +126,10 @@ mod tests {
 
     #[test]
     fn relative_handles_degenerate_values() {
-        assert_eq!(Objective::Minimize.relative(f64::INFINITY, f64::INFINITY), 0.0);
+        assert_eq!(
+            Objective::Minimize.relative(f64::INFINITY, f64::INFINITY),
+            0.0
+        );
         assert_eq!(Objective::Maximize.relative(0.0, 0.0), 0.0);
     }
 

@@ -73,7 +73,15 @@ pub fn run_bfs(
     cfg: &DeviceConfig,
     seed: u64,
 ) -> BfsRun {
-    run_dynamic(g, source, |_level, _edge_frontier| strategy, fused, cfg, seed, 0.0)
+    run_dynamic(
+        g,
+        source,
+        |_level, _edge_frontier| strategy,
+        fused,
+        cfg,
+        seed,
+        0.0,
+    )
 }
 
 /// Run the Hybrid baseline (Merrill et al.'s seventh variant): per level
@@ -156,7 +164,12 @@ fn run_dynamic(
     };
     let noise = SplitMix64::new(seed ^ 0xBF5).noise_factor(cfg.noise_rel_sigma);
 
-    BfsRun { depth, edges_traversed, levels, elapsed_ns: (busy_ns + overhead) * noise }
+    BfsRun {
+        depth,
+        edges_traversed,
+        levels,
+        elapsed_ns: (busy_ns + overhead) * noise,
+    }
 }
 
 /// Simulated busy time of one BFS level; returns `(ns, kernels_used)`.
@@ -171,7 +184,11 @@ fn level_cost(
 ) -> (f64, usize) {
     // Iterative launches are rebalanced by the runtime (dynamic blocks);
     // fused kernels keep their static assignment.
-    let schedule = if fused { Schedule::EvenShare } else { Schedule::Dynamic };
+    let schedule = if fused {
+        Schedule::EvenShare
+    } else {
+        Schedule::Dynamic
+    };
     let f = frontier.len();
     let e_next: usize = next.iter().map(|&v| g.degree(v as usize)).sum();
 
@@ -201,7 +218,11 @@ fn level_cost(
                 }
                 // Status checks for every expanded neighbour.
                 ctx.warp_gather(&status_addrs, 1);
-                ctx.bulk_atomic(status_addrs.len() as f64, nitro_simt::block::AtomicSpace::Shared, 1.2);
+                ctx.bulk_atomic(
+                    status_addrs.len() as f64,
+                    nitro_simt::block::AtomicSpace::Shared,
+                    1.2,
+                );
             });
             // Write the next vertex frontier.
             let write = gpu.launch("bfs_ec_write", 1, schedule, |_, ctx| {
@@ -229,27 +250,37 @@ fn level_cost(
                 let status_addrs: Vec<u64> = slice.iter().map(|&w| w as u64).collect();
                 ctx.warp_gather(&status_addrs, 1);
                 ctx.charge_ops(4 * (e1 - e0) as u64);
-                ctx.bulk_atomic((e1 - e0) as f64, nitro_simt::block::AtomicSpace::Shared, 1.1);
+                ctx.bulk_atomic(
+                    (e1 - e0) as f64,
+                    nitro_simt::block::AtomicSpace::Shared,
+                    1.1,
+                );
             });
             // Expansion of the newly visited vertices in the same kernel:
             // warp-cooperative gathering (cheap on short lists), but the
             // combined kernel serializes on degree skew and reads the
             // adjacency with worse coalescing than a dedicated expansion
             // phase — 2-Phase's advantage on high-degree graphs.
-            let expand = gpu.launch("bfs_ce_expand", next.len().div_ceil(256).max(1), schedule, |b, ctx| {
-                let v0 = b * 256;
-                let v1 = (v0 + 256).min(next.len());
-                if v0 >= v1 {
-                    return;
-                }
-                let slice = &next[v0..v1];
-                let row_addrs: Vec<u64> = slice.iter().map(|&v| v as u64 * 8).collect();
-                ctx.warp_gather(&row_addrs, 8);
-                let degs: Vec<u64> = slice.iter().map(|&v| g.degree(v as usize) as u64).collect();
-                ctx.warp_loop(&degs, 4.0);
-                let e_block: u64 = degs.iter().sum();
-                ctx.bulk_read(e_block as f64 * 4.0, 0.6);
-            });
+            let expand = gpu.launch(
+                "bfs_ce_expand",
+                next.len().div_ceil(256).max(1),
+                schedule,
+                |b, ctx| {
+                    let v0 = b * 256;
+                    let v1 = (v0 + 256).min(next.len());
+                    if v0 >= v1 {
+                        return;
+                    }
+                    let slice = &next[v0..v1];
+                    let row_addrs: Vec<u64> = slice.iter().map(|&v| v as u64 * 8).collect();
+                    ctx.warp_gather(&row_addrs, 8);
+                    let degs: Vec<u64> =
+                        slice.iter().map(|&v| g.degree(v as usize) as u64).collect();
+                    ctx.warp_loop(&degs, 4.0);
+                    let e_block: u64 = degs.iter().sum();
+                    ctx.bulk_read(e_block as f64 * 4.0, 0.6);
+                },
+            );
             let write = gpu.launch("bfs_ce_write", 1, schedule, |_, ctx| {
                 ctx.coalesced(e_next as u64, 4);
             });
@@ -258,40 +289,57 @@ fn level_cost(
         Strategy::TwoPhase => {
             // Phase 1: scan-based cooperative expansion — edge-frontier
             // traffic only, no per-vertex minimum, no divergence term.
-            let expand = gpu.launch("bfs_2p_expand", edge_frontier.div_ceil(256).max(1), schedule, |b, ctx| {
-                let e0 = b * 256;
-                let e1 = (e0 + 256).min(edge_frontier);
-                if e0 >= e1 {
-                    return;
-                }
-                let chunk = (e1 - e0) as u64;
-                ctx.coalesced(f.div_ceil(256).max(1) as u64, 4); // frontier slice
-                ctx.coalesced(chunk, 4); // gathered adjacency
-                ctx.charge_ops(3 * chunk);
-                ctx.coalesced(chunk, 4); // edge-frontier write
-            });
+            let expand = gpu.launch(
+                "bfs_2p_expand",
+                edge_frontier.div_ceil(256).max(1),
+                schedule,
+                |b, ctx| {
+                    let e0 = b * 256;
+                    let e1 = (e0 + 256).min(edge_frontier);
+                    if e0 >= e1 {
+                        return;
+                    }
+                    let chunk = (e1 - e0) as u64;
+                    ctx.coalesced(f.div_ceil(256).max(1) as u64, 4); // frontier slice
+                    ctx.coalesced(chunk, 4); // gathered adjacency
+                    ctx.charge_ops(3 * chunk);
+                    ctx.coalesced(chunk, 4); // edge-frontier write
+                },
+            );
             // Phase 2: contraction of the edge frontier.
             let mut targets: Vec<u32> = Vec::with_capacity(edge_frontier);
             for &u in frontier {
                 targets.extend_from_slice(g.neighbours(u as usize));
             }
-            let contract = gpu.launch("bfs_2p_contract", edge_frontier.div_ceil(256).max(1), schedule, |b, ctx| {
-                let e0 = b * 256;
-                let e1 = (e0 + 256).min(targets.len());
-                if e0 >= e1 {
-                    return;
-                }
-                let slice = &targets[e0..e1];
-                ctx.coalesced((e1 - e0) as u64, 4);
-                let status_addrs: Vec<u64> = slice.iter().map(|&w| w as u64).collect();
-                ctx.warp_gather(&status_addrs, 1);
-                ctx.bulk_atomic((e1 - e0) as f64, nitro_simt::block::AtomicSpace::Shared, 1.1);
-                ctx.charge_ops(2 * (e1 - e0) as u64);
-            });
+            let contract = gpu.launch(
+                "bfs_2p_contract",
+                edge_frontier.div_ceil(256).max(1),
+                schedule,
+                |b, ctx| {
+                    let e0 = b * 256;
+                    let e1 = (e0 + 256).min(targets.len());
+                    if e0 >= e1 {
+                        return;
+                    }
+                    let slice = &targets[e0..e1];
+                    ctx.coalesced((e1 - e0) as u64, 4);
+                    let status_addrs: Vec<u64> = slice.iter().map(|&w| w as u64).collect();
+                    ctx.warp_gather(&status_addrs, 1);
+                    ctx.bulk_atomic(
+                        (e1 - e0) as f64,
+                        nitro_simt::block::AtomicSpace::Shared,
+                        1.1,
+                    );
+                    ctx.charge_ops(2 * (e1 - e0) as u64);
+                },
+            );
             let write = gpu.launch("bfs_2p_write", 1, schedule, |_, ctx| {
                 ctx.coalesced(next.len() as u64, 4);
             });
-            (expand.elapsed_ns + contract.elapsed_ns + write.elapsed_ns, 2)
+            (
+                expand.elapsed_ns + contract.elapsed_ns + write.elapsed_ns,
+                2,
+            )
         }
     }
 }
@@ -338,7 +386,13 @@ impl BfsInput {
         if sources.is_empty() {
             sources.push(0);
         }
-        Self { name, group: group.into(), graph, sources, gpu_seed }
+        Self {
+            name,
+            group: group.into(),
+            graph,
+            sources,
+            gpu_seed,
+        }
     }
 
     /// Traversed-edges-per-second for a strategy over this input's
@@ -347,7 +401,14 @@ impl BfsInput {
         let mut edges = 0u64;
         let mut ns = 0.0;
         for (k, &s) in self.sources.iter().enumerate() {
-            let run = run_bfs(&self.graph, s as usize, strategy, fused, cfg, self.gpu_seed ^ k as u64);
+            let run = run_bfs(
+                &self.graph,
+                s as usize,
+                strategy,
+                fused,
+                cfg,
+                self.gpu_seed ^ k as u64,
+            );
             edges += run.edges_traversed;
             ns += run.elapsed_ns;
         }
@@ -363,7 +424,12 @@ impl BfsInput {
         let mut edges = 0u64;
         let mut ns = 0.0;
         for (k, &s) in self.sources.iter().enumerate() {
-            let run = run_hybrid(&self.graph, s as usize, cfg, self.gpu_seed ^ 0x44 ^ k as u64);
+            let run = run_hybrid(
+                &self.graph,
+                s as usize,
+                cfg,
+                self.gpu_seed ^ 0x44 ^ k as u64,
+            );
             edges += run.edges_traversed;
             ns += run.elapsed_ns;
         }
@@ -376,8 +442,14 @@ impl BfsInput {
 }
 
 /// The six variants, in registration order.
-pub const VARIANT_NAMES: [&str; 6] =
-    ["EC-Fused", "EC-Iter", "CE-Fused", "CE-Iter", "2Phase-Fused", "2Phase-Iter"];
+pub const VARIANT_NAMES: [&str; 6] = [
+    "EC-Fused",
+    "EC-Iter",
+    "CE-Fused",
+    "CE-Iter",
+    "2Phase-Fused",
+    "2Phase-Iter",
+];
 
 /// Assemble the BFS `code_variant`: 6 variants, 5 features, TEPS
 /// objective (maximize). Default: CE-Fused.
@@ -415,7 +487,11 @@ pub fn build_code_variant(ctx: &Context, cfg: &DeviceConfig) -> CodeVariant<BfsI
         |i: &BfsInput| i.graph.max_degree_deviation(),
         |i: &BfsInput| 8.0 + i.graph.n as f64 * 0.8,
     ));
-    cv.add_input_feature(FnFeature::with_cost("Nvertices", |i: &BfsInput| i.graph.n as f64, |_| 8.0));
+    cv.add_input_feature(FnFeature::with_cost(
+        "Nvertices",
+        |i: &BfsInput| i.graph.n as f64,
+        |_| 8.0,
+    ));
     cv.add_input_feature(FnFeature::with_cost(
         "Nedges",
         |i: &BfsInput| i.graph.n_edges() as f64,
@@ -437,7 +513,11 @@ mod tests {
     fn all_strategies_compute_correct_depths() {
         let g = gen::rmat(9, 8, 3);
         let reference = g.bfs_reference(1);
-        for strategy in [Strategy::ExpandContract, Strategy::ContractExpand, Strategy::TwoPhase] {
+        for strategy in [
+            Strategy::ExpandContract,
+            Strategy::ContractExpand,
+            Strategy::TwoPhase,
+        ] {
             for fused in [true, false] {
                 let run = run_bfs(&g, 1, strategy, fused, &cfg(), 7);
                 assert_eq!(run.depth, reference, "{strategy:?} fused={fused}");
@@ -455,7 +535,12 @@ mod tests {
         let g = gen::grid_2d(200, 10);
         let f = run_bfs(&g, 0, Strategy::ContractExpand, true, &cfg(), 1);
         let i = run_bfs(&g, 0, Strategy::ContractExpand, false, &cfg(), 1);
-        assert!(f.elapsed_ns < i.elapsed_ns, "fused {} iter {}", f.elapsed_ns, i.elapsed_ns);
+        assert!(
+            f.elapsed_ns < i.elapsed_ns,
+            "fused {} iter {}",
+            f.elapsed_ns,
+            i.elapsed_ns
+        );
     }
 
     #[test]
@@ -479,7 +564,10 @@ mod tests {
     #[test]
     fn hybrid_is_good_but_not_best() {
         let cfg = cfg();
-        for (g, tag) in [(gen::grid_2d(60, 60), "grid"), (gen::rmat(12, 24, 5), "rmat")] {
+        for (g, tag) in [
+            (gen::grid_2d(60, 60), "grid"),
+            (gen::rmat(12, 24, 5), "rmat"),
+        ] {
             let inp = BfsInput::new(format!("h/{tag}"), tag, g, 3);
             let best = VARIANT_NAMES
                 .iter()
@@ -494,8 +582,14 @@ mod tests {
                 .map(|(_, (s, f))| inp.teps(s, f, &cfg))
                 .fold(0.0f64, f64::max);
             let hybrid = inp.hybrid_teps(&cfg);
-            assert!(hybrid > best * 0.5, "{tag}: hybrid {hybrid} too weak vs best {best}");
-            assert!(hybrid < best, "{tag}: hybrid {hybrid} should trail the best {best}");
+            assert!(
+                hybrid > best * 0.5,
+                "{tag}: hybrid {hybrid} too weak vs best {best}"
+            );
+            assert!(
+                hybrid < best,
+                "{tag}: hybrid {hybrid} should trail the best {best}"
+            );
         }
     }
 

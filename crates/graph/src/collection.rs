@@ -9,8 +9,7 @@ use crate::gen;
 use crate::graph::CsrGraph;
 
 /// Group names (DIMACS10 regimes).
-pub const GROUPS: [&str; 6] =
-    ["grid2d", "grid3d", "road", "rmat", "regular", "small_world"];
+pub const GROUPS: [&str; 6] = ["grid2d", "grid3d", "road", "rmat", "regular", "small_world"];
 
 /// Sources per instance (the paper runs 100 random traversals; we use a
 /// smaller deterministic sample — the TEPS average is stable well before
@@ -35,10 +34,16 @@ pub fn group_graph(group: &str, idx: usize, seed: u64) -> CsrGraph {
             let nx = rng.random_range(40..100);
             gen::road_like(nx, nx, rng.random_range(10..60), rng.random())
         }
-        "rmat" => gen::rmat(rng.random_range(11..14), rng.random_range(8..32), rng.random()),
-        "regular" => {
-            gen::random_regular(rng.random_range(3_000..12_000), rng.random_range(4..40), rng.random())
-        }
+        "rmat" => gen::rmat(
+            rng.random_range(11..14),
+            rng.random_range(8..32),
+            rng.random(),
+        ),
+        "regular" => gen::random_regular(
+            rng.random_range(3_000..12_000),
+            rng.random_range(4..40),
+            rng.random(),
+        ),
         "small_world" => gen::small_world(
             rng.random_range(3_000..10_000),
             rng.random_range(2..6),
@@ -50,13 +55,21 @@ pub fn group_graph(group: &str, idx: usize, seed: u64) -> CsrGraph {
 }
 
 fn hash(s: &str) -> u64 {
-    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 /// Training set: 20 graphs (paper count), spread over all groups.
 pub fn bfs_training_set(seed: u64) -> Vec<BfsInput> {
-    let plan: [(&str, usize); 6] =
-        [("grid2d", 4), ("grid3d", 3), ("road", 3), ("rmat", 4), ("regular", 3), ("small_world", 3)];
+    let plan: [(&str, usize); 6] = [
+        ("grid2d", 4),
+        ("grid3d", 3),
+        ("road", 3),
+        ("rmat", 4),
+        ("regular", 3),
+        ("small_world", 3),
+    ];
     build("train", &plan, 0, seed)
 }
 
@@ -77,7 +90,10 @@ pub fn bfs_test_set(seed: u64) -> Vec<BfsInput> {
 pub fn bfs_small_sets(seed: u64) -> (Vec<BfsInput>, Vec<BfsInput>) {
     let train: [(&str, usize); 3] = [("grid2d", 3), ("rmat", 3), ("regular", 2)];
     let test: [(&str, usize); 3] = [("grid2d", 4), ("rmat", 4), ("regular", 3)];
-    (build_sized("train", &train, 0, seed, true), build_sized("test", &test, 500, seed, true))
+    (
+        build_sized("train", &train, 0, seed, true),
+        build_sized("test", &test, 500, seed, true),
+    )
 }
 
 fn build(tag: &str, plan: &[(&str, usize)], idx_base: usize, seed: u64) -> Vec<BfsInput> {
@@ -99,7 +115,12 @@ fn build_sized(
             } else {
                 group_graph(group, idx_base + idx, seed)
             };
-            out.push(BfsInput::new(format!("{tag}/{group}/{idx}"), group, g, SOURCES_PER_GRAPH));
+            out.push(BfsInput::new(
+                format!("{tag}/{group}/{idx}"),
+                group,
+                g,
+                SOURCES_PER_GRAPH,
+            ));
         }
     }
     out
@@ -110,8 +131,16 @@ fn small_graph(group: &str, idx: usize, seed: u64) -> CsrGraph {
         StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9) ^ hash(group));
     match group {
         "grid2d" => gen::grid_2d(rng.random_range(20..40), rng.random_range(20..40)),
-        "rmat" => gen::rmat(rng.random_range(8..10), rng.random_range(10..28), rng.random()),
-        _ => gen::random_regular(rng.random_range(400..1200), rng.random_range(4..32), rng.random()),
+        "rmat" => gen::rmat(
+            rng.random_range(8..10),
+            rng.random_range(10..28),
+            rng.random(),
+        ),
+        _ => gen::random_regular(
+            rng.random_range(400..1200),
+            rng.random_range(4..32),
+            rng.random(),
+        ),
     }
 }
 

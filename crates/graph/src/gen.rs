@@ -159,7 +159,10 @@ mod tests {
     fn rmat_is_skewed() {
         let g = rmat(10, 8, 42);
         assert_eq!(g.n, 1024);
-        assert!(g.degree_sd() > g.avg_out_degree(), "RMAT should be highly skewed");
+        assert!(
+            g.degree_sd() > g.avg_out_degree(),
+            "RMAT should be highly skewed"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl From<std::io::Error> for GraphIoError {
 }
 
 fn perr(line: usize, reason: impl Into<String>) -> GraphIoError {
-    GraphIoError::Parse { line, reason: reason.into() }
+    GraphIoError::Parse {
+        line,
+        reason: reason.into(),
+    }
 }
 
 /// Read a whitespace edge list (`u v` per line, 0-based, `#`/`%` comments).
@@ -73,8 +76,15 @@ pub fn read_edge_list<R: BufRead>(reader: R, n: Option<usize>) -> Result<CsrGrap
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
     }
-    let n = n.unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
-    if edges.iter().any(|&(u, v)| u as usize >= n || v as usize >= n) {
+    let n = n.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
+    if edges
+        .iter()
+        .any(|&(u, v)| u as usize >= n || v as usize >= n)
+    {
         return Err(perr(0, "edge references vertex beyond declared count"));
     }
     Ok(CsrGraph::from_edges(n, &edges))
@@ -102,7 +112,9 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
     if head.len() < 2 {
         return Err(perr(hline, "header must be 'n m [fmt]'"));
     }
-    let n: usize = head[0].parse().map_err(|_| perr(hline, "bad vertex count"))?;
+    let n: usize = head[0]
+        .parse()
+        .map_err(|_| perr(hline, "bad vertex count"))?;
     if head.len() >= 3 && head[2] != "0" && head[2] != "00" {
         return Err(perr(hline, "weighted DIMACS graphs are not supported"));
     }
@@ -124,7 +136,10 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
         vertex += 1;
     }
     if vertex != n {
-        return Err(perr(0, format!("expected {n} adjacency lines, found {vertex}")));
+        return Err(perr(
+            0,
+            format!("expected {n} adjacency lines, found {vertex}"),
+        ));
     }
     Ok(CsrGraph::from_edges(n, &edges))
 }
@@ -138,7 +153,12 @@ pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<CsrGraph, GraphIoEr
 /// Write a graph as a 0-based edge list.
 pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# nitro-graph edge list: {} vertices, {} edges", g.n, g.n_edges())?;
+    writeln!(
+        w,
+        "# nitro-graph edge list: {} vertices, {} edges",
+        g.n,
+        g.n_edges()
+    )?;
     for u in 0..g.n {
         for &v in g.neighbours(u) {
             writeln!(w, "{u} {v}")?;

@@ -22,8 +22,8 @@
 pub mod bfs;
 pub mod collection;
 pub mod gen;
-pub mod io;
 pub mod graph;
+pub mod io;
 
 pub use bfs::{build_code_variant, run_bfs, run_hybrid, BfsInput, BfsRun, Strategy};
 pub use graph::CsrGraph;

@@ -6,13 +6,17 @@ use nitro_simt::DeviceConfig;
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (2usize..60, prop::collection::vec((0u32..60, 0u32..60), 1..300)).prop_map(|(n, edges)| {
-        let clipped: Vec<(u32, u32)> = edges
-            .into_iter()
-            .map(|(u, v)| (u % n as u32, v % n as u32))
-            .collect();
-        CsrGraph::from_edges(n, &clipped)
-    })
+    (
+        2usize..60,
+        prop::collection::vec((0u32..60, 0u32..60), 1..300),
+    )
+        .prop_map(|(n, edges)| {
+            let clipped: Vec<(u32, u32)> = edges
+                .into_iter()
+                .map(|(u, v)| (u % n as u32, v % n as u32))
+                .collect();
+            CsrGraph::from_edges(n, &clipped)
+        })
 }
 
 proptest! {

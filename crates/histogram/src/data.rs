@@ -28,7 +28,12 @@ impl HistInput {
         let gpu_seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
             (h ^ c as u64).wrapping_mul(0x100_0000_01b3)
         });
-        Self { name, group: group.into(), data, gpu_seed }
+        Self {
+            name,
+            group: group.into(),
+            data,
+            gpu_seed,
+        }
     }
 
     /// The bin of one sample.
@@ -67,6 +72,23 @@ impl HistInput {
         let mean = sample.iter().sum::<f64>() / n;
         (sample.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt()
     }
+
+    /// Fraction of adjacent pairs in ascending order within the same
+    /// deterministic subsample as [`Self::subsample_sd`]. Near 1.0 for
+    /// (nearly) sorted inputs, near 0.5 for unordered ones — sortedness
+    /// controls per-block bin locality, which `SubSampleSD` cannot see
+    /// (a strided subsample of sorted data has the same SD as shuffled
+    /// data).
+    pub fn subsample_sortedness(&self, max_sample: usize) -> f64 {
+        let k = (self.len() / 4).min(max_sample).max(1);
+        let stride = (self.len() / k).max(1);
+        let sample: Vec<f64> = self.data.iter().step_by(stride).take(k).copied().collect();
+        if sample.len() < 2 {
+            return 1.0;
+        }
+        let ascending = sample.windows(2).filter(|w| w[0] <= w[1]).count();
+        ascending as f64 / (sample.len() - 1) as f64
+    }
 }
 
 /// Generate one instance of the named distribution family.
@@ -81,7 +103,9 @@ pub fn generate(family: &str, n: usize, seed: u64, name: &str) -> HistInput {
         // Zipf over bins: a few very hot bins.
         "zipf" => {
             let z = Zipf::new(N_BINS as f64, 1.3).expect("valid zipf");
-            (0..n).map(|_| ((z.sample(&mut rng) - 1.0) + rng.random::<f64>()) / N_BINS as f64).collect()
+            (0..n)
+                .map(|_| ((z.sample(&mut rng) - 1.0) + rng.random::<f64>()) / N_BINS as f64)
+                .collect()
         }
         // 90% of mass on one value: worst-case contention. The hot value
         // sits mid-range (peaked real-world distributions are normalized
@@ -90,7 +114,13 @@ pub fn generate(family: &str, n: usize, seed: u64, name: &str) -> HistInput {
         "spike" => {
             let hot: f64 = rng.random_range(0.25..0.75);
             (0..n)
-                .map(|_| if rng.random_bool(0.9) { hot } else { rng.random() })
+                .map(|_| {
+                    if rng.random_bool(0.9) {
+                        hot
+                    } else {
+                        rng.random()
+                    }
+                })
                 .collect()
         }
         // Uniform values but sorted: per-block bin locality differs
@@ -107,12 +137,20 @@ pub fn generate(family: &str, n: usize, seed: u64, name: &str) -> HistInput {
 
 fn normal_samples(rng: &mut StdRng, n: usize, sd: f64) -> Vec<f64> {
     let normal = Normal::new(0.5, sd).expect("valid normal");
-    (0..n).map(|_| normal.sample(rng).clamp(0.0, 1.0 - 1e-9)).collect()
+    (0..n)
+        .map(|_| normal.sample(rng).clamp(0.0, 1.0 - 1e-9))
+        .collect()
 }
 
 /// Distribution families in the collection.
-pub const FAMILIES: [&str; 6] =
-    ["uniform", "gaussian_wide", "gaussian_narrow", "zipf", "spike", "sorted_uniform"];
+pub const FAMILIES: [&str; 6] = [
+    "uniform",
+    "gaussian_wide",
+    "gaussian_narrow",
+    "zipf",
+    "spike",
+    "sorted_uniform",
+];
 
 /// Training set: 200 instances (paper count).
 pub fn hist_training_set(seed: u64) -> Vec<HistInput> {
@@ -126,7 +164,10 @@ pub fn hist_test_set(seed: u64) -> Vec<HistInput> {
 
 /// Small train/test pair for unit and integration tests.
 pub fn hist_small_sets(seed: u64) -> (Vec<HistInput>, Vec<HistInput>) {
-    (build_set("train", 24, 0, seed, 2_000..8_000), build_set("test", 30, 500, seed, 2_000..8_000))
+    (
+        build_set("train", 24, 0, seed, 2_000..8_000),
+        build_set("test", 30, 500, seed, 2_000..8_000),
+    )
 }
 
 fn build_set(

@@ -33,9 +33,17 @@ pub const VARIANTS: [(Method, Mapping, &str); 6] = [
     (Method::Sort, Mapping::EvenShare, "Sort-ES"),
     (Method::Sort, Mapping::Dynamic, "Sort-Dynamic"),
     (Method::SharedAtomic, Mapping::EvenShare, "SharedAtomic-ES"),
-    (Method::SharedAtomic, Mapping::Dynamic, "SharedAtomic-Dynamic"),
+    (
+        Method::SharedAtomic,
+        Mapping::Dynamic,
+        "SharedAtomic-Dynamic",
+    ),
     (Method::GlobalAtomic, Mapping::EvenShare, "GlobalAtomic-ES"),
-    (Method::GlobalAtomic, Mapping::Dynamic, "GlobalAtomic-Dynamic"),
+    (
+        Method::GlobalAtomic,
+        Mapping::Dynamic,
+        "GlobalAtomic-Dynamic",
+    ),
 ];
 
 /// Samples processed per thread block.
@@ -92,7 +100,11 @@ fn run_atomic(
     };
 
     let blocks = n.div_ceil(TILE).max(1);
-    let kernel = if space == AtomicSpace::Shared { "hist_shared" } else { "hist_global" };
+    let kernel = if space == AtomicSpace::Shared {
+        "hist_shared"
+    } else {
+        "hist_global"
+    };
     let mut addrs: Vec<u64> = Vec::with_capacity(32);
     let stats = gpu.launch(kernel, blocks, schedule, |b, ctx| {
         let s0 = b * TILE;
@@ -107,7 +119,11 @@ fn run_atomic(
         for w0 in (s0..s1).step_by(32) {
             let w1 = (w0 + 32).min(s1);
             addrs.clear();
-            addrs.extend(input.data[w0..w1].iter().map(|&v| (input.bin_of(v) * 4) as u64));
+            addrs.extend(
+                input.data[w0..w1]
+                    .iter()
+                    .map(|&v| (input.bin_of(v) * 4) as u64),
+            );
             ctx.warp_atomic(&addrs, space, hot_share);
         }
         if space == AtomicSpace::Shared {
@@ -151,8 +167,8 @@ fn run_sort_based(input: &HistInput, gpu: &Gpu, schedule: Schedule) -> (Vec<u64>
 }
 
 /// Assemble the Histogram `code_variant`: 6 variants + the 3 features of
-/// Figure 4 (`N`, `N/#bins`, `SubSampleSD`). Default: Sort-ES (always
-/// safe).
+/// Figure 4 (`N`, `N/#bins`, `SubSampleSD`) plus a sortedness probe over
+/// the same subsample. Default: Sort-ES (always safe).
 pub fn build_code_variant(ctx: &Context, cfg: &DeviceConfig) -> CodeVariant<HistInput> {
     build_code_variant_with_subsample(ctx, cfg, 10_000)
 }
@@ -174,7 +190,11 @@ pub fn build_code_variant_with_subsample(
     }
     cv.set_default(0); // Sort-ES
 
-    cv.add_input_feature(FnFeature::with_cost("N", |i: &HistInput| i.len() as f64, |_| 8.0));
+    cv.add_input_feature(FnFeature::with_cost(
+        "N",
+        |i: &HistInput| i.len() as f64,
+        |_| 8.0,
+    ));
     cv.add_input_feature(FnFeature::with_cost(
         "N_per_bin",
         |i: &HistInput| i.len() as f64 / N_BINS as f64,
@@ -187,6 +207,15 @@ pub fn build_code_variant_with_subsample(
             // Proportional to the elements actually sampled.
             8.0 + ((i.len() / 4).min(max_subsample)) as f64 * 0.8
         },
+    ));
+    // Beyond the paper's Figure 4 inventory: sorted and shuffled inputs
+    // have identical `SubSampleSD` but opposite grid-mapping preferences
+    // (per-block bin locality), so a sortedness probe over the same
+    // subsample is needed to tell them apart.
+    cv.add_input_feature(FnFeature::with_cost(
+        "SubSampleSortedness",
+        move |i: &HistInput| i.subsample_sortedness(max_subsample),
+        move |i: &HistInput| 8.0 + ((i.len() / 4).min(max_subsample)) as f64 * 0.4,
     ));
     cv
 }
@@ -240,8 +269,10 @@ mod tests {
             let (_, ns) = run_variant(m, Mapping::EvenShare, inp, &cfg());
             ns
         };
-        let global_slowdown = ratio(&narrow, Method::GlobalAtomic) / ratio(&uniform, Method::GlobalAtomic);
-        let shared_slowdown = ratio(&narrow, Method::SharedAtomic) / ratio(&uniform, Method::SharedAtomic);
+        let global_slowdown =
+            ratio(&narrow, Method::GlobalAtomic) / ratio(&uniform, Method::GlobalAtomic);
+        let shared_slowdown =
+            ratio(&narrow, Method::SharedAtomic) / ratio(&uniform, Method::SharedAtomic);
         assert!(
             global_slowdown > shared_slowdown,
             "global slowdown {global_slowdown} vs shared {shared_slowdown}"
@@ -254,7 +285,10 @@ mod tests {
         let spike = generate("spike", 60_000, 9, "s");
         let (_, a) = run_variant(Method::Sort, Mapping::EvenShare, &uniform, &cfg());
         let (_, b) = run_variant(Method::Sort, Mapping::EvenShare, &spike, &cfg());
-        assert!((a / b - 1.0).abs() < 0.05, "sort times {a} vs {b} should match");
+        assert!(
+            (a / b - 1.0).abs() < 0.05,
+            "sort times {a} vs {b} should match"
+        );
     }
 
     #[test]
@@ -262,8 +296,11 @@ mod tests {
         let ctx = Context::new();
         let cv = build_code_variant(&ctx, &cfg());
         assert_eq!(cv.n_variants(), 6);
-        assert_eq!(cv.n_features(), 3);
-        assert_eq!(cv.feature_names(), vec!["N", "N_per_bin", "SubSampleSD"]);
+        assert_eq!(cv.n_features(), 4);
+        assert_eq!(
+            cv.feature_names(),
+            vec!["N", "N_per_bin", "SubSampleSD", "SubSampleSortedness"]
+        );
     }
 
     #[test]

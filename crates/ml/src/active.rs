@@ -34,7 +34,11 @@ impl ActiveLearner {
     pub fn new(seed: Dataset, pool: Vec<(usize, Vec<f64>)>) -> Self {
         assert!(!seed.is_empty(), "active learning needs a labeled seed");
         let (pool_ids, pool_x) = pool.into_iter().unzip();
-        Self { labeled: seed, pool_x, pool_ids }
+        Self {
+            labeled: seed,
+            pool_x,
+            pool_ids,
+        }
     }
 
     /// Current labeled training set.
@@ -92,13 +96,20 @@ impl ActiveLearner {
     /// uncertain pool point, and label it via `oracle(original_index)`.
     /// Stops after `iterations` queries or when the pool empties, then
     /// returns the final model.
-    pub fn run<F>(&mut self, config: &ClassifierConfig, iterations: usize, mut oracle: F) -> TrainedModel
+    pub fn run<F>(
+        &mut self,
+        config: &ClassifierConfig,
+        iterations: usize,
+        mut oracle: F,
+    ) -> TrainedModel
     where
         F: FnMut(usize) -> usize,
     {
         let mut model = self.fit(config);
         for _ in 0..iterations {
-            let Some((pos, original)) = self.next_query(&model) else { break };
+            let Some((pos, original)) = self.next_query(&model) else {
+                break;
+            };
             let label = oracle(original);
             self.label(pos, label);
             model = self.fit(config);
@@ -133,7 +144,11 @@ mod tests {
     }
 
     fn cheap_svm() -> ClassifierConfig {
-        ClassifierConfig::Svm { c: Some(10.0), gamma: Some(1.0), grid_search: false }
+        ClassifierConfig::Svm {
+            c: Some(10.0),
+            gamma: Some(1.0),
+            grid_search: false,
+        }
     }
 
     #[test]
@@ -182,9 +197,17 @@ mod tests {
         let active_model = al.run(&config, 12, oracle);
 
         // Evaluate both on a fresh grid.
-        let test: Vec<Vec<f64>> = (0..100).map(|i| vec![-2.0 + i as f64 * 0.04, 0.2]).collect();
-        let full_acc = test.iter().filter(|x| full_model.predict(x) == truth(x)).count();
-        let active_acc = test.iter().filter(|x| active_model.predict(x) == truth(x)).count();
+        let test: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![-2.0 + i as f64 * 0.04, 0.2])
+            .collect();
+        let full_acc = test
+            .iter()
+            .filter(|x| full_model.predict(x) == truth(x))
+            .count();
+        let active_acc = test
+            .iter()
+            .filter(|x| active_model.predict(x) == truth(x))
+            .count();
         assert!(
             active_acc as f64 >= full_acc as f64 * 0.9,
             "active {active_acc}/100 vs full {full_acc}/100 with only 12 labels"

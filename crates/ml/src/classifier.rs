@@ -46,7 +46,11 @@ pub enum ClassifierConfig {
 impl Default for ClassifierConfig {
     /// The paper's default: SVM with RBF kernel and CV grid search.
     fn default() -> Self {
-        ClassifierConfig::Svm { c: None, gamma: None, grid_search: true }
+        ClassifierConfig::Svm {
+            c: None,
+            gamma: None,
+            grid_search: true,
+        }
     }
 }
 
@@ -105,7 +109,11 @@ impl TrainedModel {
     pub fn train(config: &ClassifierConfig, data: &Dataset) -> Self {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         match config {
-            ClassifierConfig::Svm { c, gamma, grid_search } => {
+            ClassifierConfig::Svm {
+                c,
+                gamma,
+                grid_search,
+            } => {
                 let scaler = Scaler::fit(&data.x);
                 let scaled = Dataset {
                     x: scaler.transform_all(&data.x),
@@ -124,16 +132,29 @@ impl TrainedModel {
                         if let Some(g) = gamma {
                             grid.gamma_values = vec![*g];
                         }
-                        let GridResult { c, gamma, cv_accuracy } = grid.search(&scaled);
+                        let GridResult {
+                            c,
+                            gamma,
+                            cv_accuracy,
+                        } = grid.search(&scaled);
                         (c, gamma, Some(cv_accuracy))
                     }
                 };
                 let model = SvmModel::train(
                     &scaled,
                     Kernel::Rbf { gamma: gamma_used },
-                    &SmoParams { c: c_used, ..Default::default() },
+                    &SmoParams {
+                        c: c_used,
+                        ..Default::default()
+                    },
                 );
-                TrainedModel::Svm { scaler, model, c: c_used, gamma: gamma_used, cv_accuracy: cv_acc }
+                TrainedModel::Svm {
+                    scaler,
+                    model,
+                    c: c_used,
+                    gamma: gamma_used,
+                    cv_accuracy: cv_acc,
+                }
             }
             ClassifierConfig::Knn { k } => {
                 let scaler = Scaler::fit(&data.x);
@@ -142,14 +163,17 @@ impl TrainedModel {
                     y: data.y.clone(),
                     n_classes: data.n_classes,
                 };
-                TrainedModel::Knn { scaler, model: KnnModel::train(&scaled, *k) }
+                TrainedModel::Knn {
+                    scaler,
+                    model: KnnModel::train(&scaled, *k),
+                }
             }
-            ClassifierConfig::Tree(params) => {
-                TrainedModel::Tree { model: TreeModel::train(data, params) }
-            }
-            ClassifierConfig::Forest(params) => {
-                TrainedModel::Forest { model: ForestModel::train(data, params) }
-            }
+            ClassifierConfig::Tree(params) => TrainedModel::Tree {
+                model: TreeModel::train(data, params),
+            },
+            ClassifierConfig::Forest(params) => TrainedModel::Forest {
+                model: ForestModel::train(data, params),
+            },
         }
     }
 
@@ -214,7 +238,11 @@ mod tests {
     fn svm_without_grid_search_learns_clusters() {
         let d = skewed_clusters();
         let m = TrainedModel::train(
-            &ClassifierConfig::Svm { c: Some(10.0), gamma: Some(1.0), grid_search: false },
+            &ClassifierConfig::Svm {
+                c: Some(10.0),
+                gamma: Some(1.0),
+                grid_search: false,
+            },
             &d,
         );
         assert!(m.accuracy_on(&d) > 0.95);
@@ -225,7 +253,10 @@ mod tests {
         let d = skewed_clusters();
         let m = TrainedModel::train(&ClassifierConfig::default(), &d);
         match m {
-            TrainedModel::Svm { cv_accuracy: Some(acc), .. } => assert!(acc > 0.8, "cv {acc}"),
+            TrainedModel::Svm {
+                cv_accuracy: Some(acc),
+                ..
+            } => assert!(acc > 0.8, "cv {acc}"),
             other => panic!("expected grid-searched SVM, got {other:?}"),
         }
     }
@@ -233,9 +264,10 @@ mod tests {
     #[test]
     fn knn_and_tree_learn_clusters() {
         let d = skewed_clusters();
-        for config in
-            [ClassifierConfig::Knn { k: 3 }, ClassifierConfig::Tree(TreeParams::default())]
-        {
+        for config in [
+            ClassifierConfig::Knn { k: 3 },
+            ClassifierConfig::Tree(TreeParams::default()),
+        ] {
             let m = TrainedModel::train(&config, &d);
             assert!(m.accuracy_on(&d) > 0.95, "{} failed", config.name());
         }
@@ -245,13 +277,21 @@ mod tests {
     fn probabilities_are_distributions_for_all_models() {
         let d = skewed_clusters();
         for config in [
-            ClassifierConfig::Svm { c: Some(1.0), gamma: Some(0.5), grid_search: false },
+            ClassifierConfig::Svm {
+                c: Some(1.0),
+                gamma: Some(0.5),
+                grid_search: false,
+            },
             ClassifierConfig::Knn { k: 3 },
             ClassifierConfig::Tree(TreeParams::default()),
         ] {
             let m = TrainedModel::train(&config, &d);
             let p = m.probabilities(&d.x[0]);
-            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{}", config.name());
+            assert!(
+                (p.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+                "{}",
+                config.name()
+            );
         }
     }
 
@@ -269,7 +309,11 @@ mod tests {
     fn serde_round_trip_preserves_predictions() {
         let d = skewed_clusters();
         let m = TrainedModel::train(
-            &ClassifierConfig::Svm { c: Some(1.0), gamma: Some(0.5), grid_search: false },
+            &ClassifierConfig::Svm {
+                c: Some(1.0),
+                gamma: Some(0.5),
+                grid_search: false,
+            },
             &d,
         );
         let j = serde_json::to_string(&m).unwrap();
@@ -283,7 +327,11 @@ mod tests {
     fn config_default_is_svm_with_grid_search() {
         assert_eq!(
             ClassifierConfig::default(),
-            ClassifierConfig::Svm { c: None, gamma: None, grid_search: true }
+            ClassifierConfig::Svm {
+                c: None,
+                gamma: None,
+                grid_search: true
+            }
         );
     }
 }

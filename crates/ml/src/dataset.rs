@@ -24,7 +24,11 @@ pub struct Dataset {
 impl Dataset {
     /// Create an empty dataset expecting the given number of classes.
     pub fn new(n_classes: usize) -> Self {
-        Self { x: Vec::new(), y: Vec::new(), n_classes }
+        Self {
+            x: Vec::new(),
+            y: Vec::new(),
+            n_classes,
+        }
     }
 
     /// Create a dataset from parallel arrays, inferring `n_classes` as
@@ -48,7 +52,11 @@ impl Dataset {
     /// Panics if the label is out of range or the dimension disagrees with
     /// existing rows.
     pub fn push(&mut self, features: Vec<f64>, label: usize) {
-        assert!(label < self.n_classes, "label {label} >= n_classes {}", self.n_classes);
+        assert!(
+            label < self.n_classes,
+            "label {label} >= n_classes {}",
+            self.n_classes
+        );
         if let Some(first) = self.x.first() {
             assert_eq!(first.len(), features.len(), "feature dimension mismatch");
         }
@@ -119,7 +127,11 @@ impl Dataset {
             return 0.0;
         }
         assert_eq!(predictions.len(), self.len());
-        let correct = predictions.iter().zip(&self.y).filter(|(p, y)| p == y).count();
+        let correct = predictions
+            .iter()
+            .zip(&self.y)
+            .filter(|(p, y)| p == y)
+            .count();
         correct as f64 / self.len() as f64
     }
 
@@ -140,7 +152,12 @@ mod tests {
 
     fn toy() -> Dataset {
         Dataset::from_parts(
-            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![2.0, 2.0],
+                vec![3.0, 3.0],
+            ],
             vec![0, 0, 1, 1],
         )
     }

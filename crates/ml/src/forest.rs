@@ -29,7 +29,12 @@ pub struct ForestParams {
 
 impl Default for ForestParams {
     fn default() -> Self {
-        Self { n_trees: 25, tree: TreeParams::default(), sample_fraction: 0.8, seed: 0xF0E5 }
+        Self {
+            n_trees: 25,
+            tree: TreeParams::default(),
+            sample_fraction: 0.8,
+            seed: 0xF0E5,
+        }
     }
 }
 
@@ -53,12 +58,16 @@ impl ForestModel {
             ((data.len() as f64 * params.sample_fraction).ceil() as usize).clamp(1, data.len());
         let trees = (0..params.n_trees)
             .map(|_| {
-                let indices: Vec<usize> =
-                    (0..sample_size).map(|_| rng.random_range(0..data.len())).collect();
+                let indices: Vec<usize> = (0..sample_size)
+                    .map(|_| rng.random_range(0..data.len()))
+                    .collect();
                 TreeModel::train(&data.subset(&indices), &params.tree)
             })
             .collect();
-        Self { trees, n_classes: data.n_classes }
+        Self {
+            trees,
+            n_classes: data.n_classes,
+        }
     }
 
     /// Mean leaf posterior across the ensemble.
@@ -102,7 +111,7 @@ mod tests {
     fn noisy_data(seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut d = Dataset::new(2);
-        for _ in 0..120 {
+        for _ in 0..240 {
             let x: f64 = rng.random_range(-2.0..2.0);
             let y: f64 = rng.random_range(-2.0..2.0);
             // True boundary: inside the unit circle vs outside, with 8%
@@ -153,13 +162,22 @@ mod tests {
                 n += 1;
             }
         }
-        assert!(forest_ok >= tree_ok, "forest {forest_ok} vs tree {tree_ok} of {n}");
+        assert!(
+            forest_ok >= tree_ok,
+            "forest {forest_ok} vs tree {tree_ok} of {n}"
+        );
     }
 
     #[test]
     fn probabilities_are_distributions() {
         let d = noisy_data(7);
-        let f = ForestModel::train(&d, &ForestParams { n_trees: 7, ..Default::default() });
+        let f = ForestModel::train(
+            &d,
+            &ForestParams {
+                n_trees: 7,
+                ..Default::default()
+            },
+        );
         let p = f.probabilities(&[0.3, -0.4]);
         assert_eq!(p.len(), 2);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -176,7 +194,13 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let d = noisy_data(11);
-        let f = ForestModel::train(&d, &ForestParams { n_trees: 3, ..Default::default() });
+        let f = ForestModel::train(
+            &d,
+            &ForestParams {
+                n_trees: 3,
+                ..Default::default()
+            },
+        );
         let j = serde_json::to_string(&f).unwrap();
         let back: ForestModel = serde_json::from_str(&j).unwrap();
         assert_eq!(f, back);

@@ -72,13 +72,21 @@ impl GridSearch {
             })
             .collect();
 
-        let mut best = GridResult { c: 1.0, gamma: 1.0, cv_accuracy: -1.0 };
+        let mut best = GridResult {
+            c: 1.0,
+            gamma: 1.0,
+            cv_accuracy: -1.0,
+        };
         for &(c, gamma, acc) in &scored {
             let better = acc > best.cv_accuracy + 1e-12
                 || (acc >= best.cv_accuracy - 1e-12
                     && (c < best.c || (c == best.c && gamma < best.gamma)));
             if acc > best.cv_accuracy + 1e-12 || (acc >= best.cv_accuracy - 1e-12 && better) {
-                best = GridResult { c, gamma, cv_accuracy: acc };
+                best = GridResult {
+                    c,
+                    gamma,
+                    cv_accuracy: acc,
+                };
             }
         }
         best
@@ -90,8 +98,12 @@ fn cv_accuracy(data: &Dataset, folds: &[Vec<usize>], c: f64, gamma: f64) -> f64 
     let mut correct = 0usize;
     let mut total = 0usize;
     for held in 0..folds.len() {
-        let train_idx: Vec<usize> =
-            folds.iter().enumerate().filter(|(i, _)| *i != held).flat_map(|(_, f)| f.iter().copied()).collect();
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != held)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
         if train_idx.is_empty() || folds[held].is_empty() {
             continue;
         }
@@ -99,7 +111,10 @@ fn cv_accuracy(data: &Dataset, folds: &[Vec<usize>], c: f64, gamma: f64) -> f64 
         let model = SvmModel::train(
             &train,
             Kernel::Rbf { gamma },
-            &SmoParams { c, ..Default::default() },
+            &SmoParams {
+                c,
+                ..Default::default()
+            },
         );
         for &i in &folds[held] {
             if model.predict(&data.x[i]) == data.y[i] {
@@ -133,14 +148,20 @@ mod tests {
     #[test]
     fn finds_parameters_that_separate_rings() {
         let data = rings();
-        let grid = GridSearch { folds: 4, ..Default::default() };
+        let grid = GridSearch {
+            folds: 4,
+            ..Default::default()
+        };
         let r = grid.search(&data);
         assert!(r.cv_accuracy > 0.9, "cv accuracy {}", r.cv_accuracy);
         // Train at the optimum and check training fit.
         let m = SvmModel::train(
             &data,
             Kernel::Rbf { gamma: r.gamma },
-            &SmoParams { c: r.c, ..Default::default() },
+            &SmoParams {
+                c: r.c,
+                ..Default::default()
+            },
         );
         let preds: Vec<usize> = data.x.iter().map(|x| m.predict(x)).collect();
         assert!(data.accuracy(&preds) > 0.95);
@@ -149,7 +170,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = rings();
-        let grid = GridSearch { folds: 3, ..Default::default() };
+        let grid = GridSearch {
+            folds: 3,
+            ..Default::default()
+        };
         let a = grid.search(&data);
         let b = grid.search(&data);
         assert_eq!(a, b);

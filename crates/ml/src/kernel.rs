@@ -41,7 +41,11 @@ impl Kernel {
                 (-gamma * d2).exp()
             }
             Kernel::Linear => dot(a, b),
-            Kernel::Poly { gamma, coef0, degree } => (gamma * dot(a, b) + coef0).powi(degree as i32),
+            Kernel::Poly {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * dot(a, b) + coef0).powi(degree as i32),
         }
     }
 }
@@ -84,7 +88,11 @@ mod tests {
 
     #[test]
     fn poly_expands_correctly() {
-        let k = Kernel::Poly { gamma: 1.0, coef0: 1.0, degree: 2 };
+        let k = Kernel::Poly {
+            gamma: 1.0,
+            coef0: 1.0,
+            degree: 2,
+        };
         // (1*2 + 1)^2 = 9
         assert_eq!(k.eval(&[1.0], &[2.0]), 9.0);
     }

@@ -27,7 +27,32 @@ impl KnnModel {
     pub fn train(data: &Dataset, k: usize) -> Self {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         assert!(k > 0, "k must be positive");
-        Self { k, x: data.x.clone(), y: data.y.clone(), n_classes: data.n_classes }
+        Self {
+            k,
+            x: data.x.clone(),
+            y: data.y.clone(),
+            n_classes: data.n_classes,
+        }
+    }
+
+    /// The configured neighbour count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of classes the model votes over.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Memorized training labels (for auditing label ranges).
+    pub fn labels(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// Number of memorized training points.
+    pub fn n_points(&self) -> usize {
+        self.x.len()
     }
 
     fn neighbours(&self, point: &[f64]) -> Vec<(f64, usize)> {

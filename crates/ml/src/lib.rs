@@ -42,8 +42,8 @@ pub mod dataset;
 pub mod forest;
 pub mod grid;
 pub mod kernel;
-pub mod metrics;
 pub mod knn;
+pub mod metrics;
 pub mod scale;
 pub mod svm;
 pub mod tree;
@@ -54,8 +54,8 @@ pub use dataset::Dataset;
 pub use forest::{ForestModel, ForestParams};
 pub use grid::{GridResult, GridSearch};
 pub use kernel::Kernel;
-pub use metrics::{classification_report, ClassificationReport};
 pub use knn::KnnModel;
+pub use metrics::{classification_report, ClassificationReport};
 pub use scale::Scaler;
-pub use svm::{BinarySvm, SvmModel};
+pub use svm::{BinarySvm, PairMachine, SvmModel};
 pub use tree::{TreeModel, TreeParams};

@@ -84,7 +84,11 @@ pub fn classification_report(data: &Dataset, predictions: &[usize]) -> Classific
         present.iter().map(|&c| f1[c]).sum::<f64>() / present.len() as f64
     };
     ClassificationReport {
-        accuracy: if data.is_empty() { 0.0 } else { correct as f64 / data.len() as f64 },
+        accuracy: if data.is_empty() {
+            0.0
+        } else {
+            correct as f64 / data.len() as f64
+        },
         precision,
         recall,
         f1,
@@ -99,7 +103,11 @@ mod tests {
 
     fn dataset(labels: &[usize], k: usize) -> Dataset {
         let x = labels.iter().map(|&l| vec![l as f64]).collect();
-        Dataset { x, y: labels.to_vec(), n_classes: k }
+        Dataset {
+            x,
+            y: labels.to_vec(),
+            n_classes: k,
+        }
     }
 
     #[test]

@@ -42,6 +42,16 @@ impl Scaler {
         self.mins.len()
     }
 
+    /// Per-dimension training minima (for auditing fitted ranges).
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Per-dimension training maxima (for auditing fitted ranges).
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+
     /// Scale one feature vector into `[-1, 1]` (training range).
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
         assert_eq!(row.len(), self.dim(), "dimension mismatch");

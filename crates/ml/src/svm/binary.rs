@@ -34,7 +34,12 @@ impl BinarySvm {
                 coef.push(a * y[i]);
             }
         }
-        Self { support_vectors, coef, rho: result.rho, kernel }
+        Self {
+            support_vectors,
+            coef,
+            rho: result.rho,
+            kernel,
+        }
     }
 
     /// Signed decision value; the predicted label is its sign.
@@ -59,6 +64,22 @@ impl BinarySvm {
     pub fn n_support(&self) -> usize {
         self.support_vectors.len()
     }
+
+    /// How far the retained coefficients are from satisfying the KKT box
+    /// and equality constraints: `max(|Σ coef_s|, max_s(|coef_s| − c))`,
+    /// clamped at zero. A sound solution for box bound `c` keeps every
+    /// `|coef_s| = α_s` within `[0, c]` and the coefficients summing to
+    /// zero, so residuals well above the solver tolerance indicate a
+    /// corrupt or mis-parameterized artifact.
+    pub fn kkt_residual(&self, c: f64) -> f64 {
+        let sum: f64 = self.coef.iter().sum();
+        let overflow = self
+            .coef
+            .iter()
+            .map(|&v| v.abs() - c)
+            .fold(0.0f64, f64::max);
+        sum.abs().max(overflow).max(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -67,7 +88,12 @@ mod tests {
 
     #[test]
     fn trains_and_predicts_separable_data() {
-        let x = vec![vec![-3.0, 0.0], vec![-2.0, 1.0], vec![2.0, -1.0], vec![3.0, 0.5]];
+        let x = vec![
+            vec![-3.0, 0.0],
+            vec![-2.0, 1.0],
+            vec![2.0, -1.0],
+            vec![3.0, 0.5],
+        ];
         let y = vec![-1.0, -1.0, 1.0, 1.0];
         let m = BinarySvm::train(&x, &y, Kernel::Linear, &SmoParams::default());
         assert_eq!(m.predict(&[-2.5, 0.0]), -1.0);
@@ -78,12 +104,7 @@ mod tests {
     #[test]
     fn discards_non_support_vectors() {
         // Points far behind the margin should not be support vectors.
-        let x = vec![
-            vec![-10.0],
-            vec![-1.0],
-            vec![1.0],
-            vec![10.0],
-        ];
+        let x = vec![vec![-10.0], vec![-1.0], vec![1.0], vec![10.0]];
         let y = vec![-1.0, -1.0, 1.0, 1.0];
         let m = BinarySvm::train(&x, &y, Kernel::Linear, &SmoParams::default());
         assert!(m.n_support() < 4, "expected the ±10 points to be dropped");
@@ -102,7 +123,12 @@ mod tests {
 
     #[test]
     fn serde_round_trip_preserves_decisions() {
-        let x = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let x = vec![
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ];
         let y = vec![-1.0, -1.0, 1.0, 1.0];
         let m = BinarySvm::train(&x, &y, Kernel::Rbf { gamma: 0.5 }, &SmoParams::default());
         let j = serde_json::to_string(&m).unwrap();

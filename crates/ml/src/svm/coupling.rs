@@ -16,7 +16,10 @@
 /// Panics if `r` is not square of size `k ≥ 1`.
 pub fn couple(r: &[Vec<f64>]) -> Vec<f64> {
     let k = r.len();
-    assert!(k >= 1 && r.iter().all(|row| row.len() == k), "r must be k×k");
+    assert!(
+        k >= 1 && r.iter().all(|row| row.len() == k),
+        "r must be k×k"
+    );
     if k == 1 {
         return vec![1.0];
     }
@@ -105,7 +108,12 @@ mod tests {
     fn dominant_class_wins() {
         let r = pairwise_from_scores(&[0.1, 0.1, 10.0]);
         let p = couple(&r);
-        let best = p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 2);
         assert!(p[2] > 0.8, "p = {p:?}");
     }

@@ -22,6 +22,6 @@ pub mod platt;
 pub mod smo;
 
 pub use binary::BinarySvm;
-pub use multiclass::SvmModel;
+pub use multiclass::{PairMachine, SvmModel};
 pub use platt::Platt;
 pub use smo::{solve, SmoParams, SmoResult};

@@ -11,13 +11,15 @@ use crate::svm::smo::SmoParams;
 
 /// One binary machine for an ordered class pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct PairMachine {
+pub struct PairMachine {
     /// Class mapped to the machine's `+1` label.
-    pos: usize,
+    pub pos: usize,
     /// Class mapped to the machine's `−1` label.
-    neg: usize,
-    svm: BinarySvm,
-    platt: Platt,
+    pub neg: usize,
+    /// The trained binary machine for this pair.
+    pub svm: BinarySvm,
+    /// Platt calibration mapping decision values to probabilities.
+    pub platt: Platt,
 }
 
 /// A trained one-vs-one multiclass SVM with probability outputs.
@@ -79,10 +81,20 @@ impl SvmModel {
                 let decisions: Vec<f64> = x.iter().map(|r| svm.decision(r)).collect();
                 let labels: Vec<bool> = y.iter().map(|&v| v > 0.0).collect();
                 let platt = Platt::fit(&decisions, &labels);
-                machines.push(PairMachine { pos: a, neg: b, svm, platt });
+                machines.push(PairMachine {
+                    pos: a,
+                    neg: b,
+                    svm,
+                    platt,
+                });
             }
         }
-        Self { n_classes: k, machines, present, fallback }
+        Self {
+            n_classes: k,
+            machines,
+            present,
+            fallback,
+        }
     }
 
     /// Number of classes this model separates.
@@ -93,6 +105,11 @@ impl SvmModel {
     /// Number of trained pair machines.
     pub fn n_machines(&self) -> usize {
         self.machines.len()
+    }
+
+    /// The trained pair machines (for auditing numeric invariants).
+    pub fn machines(&self) -> &[PairMachine] {
+        &self.machines
     }
 
     /// Predict the class of a (pre-scaled) point by pairwise voting.
@@ -109,8 +126,9 @@ impl SvmModel {
             }
         }
         let max_votes = *votes.iter().max().unwrap();
-        let tied: Vec<usize> =
-            (0..self.n_classes).filter(|&c| votes[c] == max_votes).collect();
+        let tied: Vec<usize> = (0..self.n_classes)
+            .filter(|&c| votes[c] == max_votes)
+            .collect();
         if tied.len() == 1 {
             return tied[0];
         }
@@ -124,8 +142,7 @@ impl SvmModel {
     /// Class posterior for a (pre-scaled) point, length `n_classes`.
     /// Classes absent from training receive probability 0.
     pub fn probabilities(&self, point: &[f64]) -> Vec<f64> {
-        let active: Vec<usize> =
-            (0..self.n_classes).filter(|&c| self.present[c]).collect();
+        let active: Vec<usize> = (0..self.n_classes).filter(|&c| self.present[c]).collect();
         if active.is_empty() {
             return vec![0.0; self.n_classes];
         }

@@ -31,8 +31,10 @@ impl Platt {
 
         let hi_target = (prior1 + 1.0) / (prior1 + 2.0);
         let lo_target = 1.0 / (prior0 + 2.0);
-        let t: Vec<f64> =
-            labels.iter().map(|&l| if l { hi_target } else { lo_target }).collect();
+        let t: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l { hi_target } else { lo_target })
+            .collect();
 
         // Newton with backtracking line search (Lin–Lin–Weng Algorithm 1).
         let max_iter = 100;

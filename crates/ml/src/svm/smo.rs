@@ -29,7 +29,11 @@ pub struct SmoParams {
 
 impl Default for SmoParams {
     fn default() -> Self {
-        Self { c: 1.0, tol: 1e-3, max_iter: 100_000 }
+        Self {
+            c: 1.0,
+            tol: 1e-3,
+            max_iter: 100_000,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ pub fn solve(x: &[Vec<f64>], y: &[f64], kernel: &Kernel, params: &SmoParams) -> 
     let n = x.len();
     assert!(n > 0, "empty training set");
     assert_eq!(y.len(), n, "label length mismatch");
-    assert!(y.iter().all(|&v| v == 1.0 || v == -1.0), "labels must be ±1");
+    assert!(
+        y.iter().all(|&v| v == 1.0 || v == -1.0),
+        "labels must be ±1"
+    );
 
     // Full Gram matrix (row-major, symmetric).
     let mut k = vec![0.0f64; n * n];
@@ -232,9 +239,18 @@ pub fn solve(x: &[Vec<f64>], y: &[f64], kernel: &Kernel, params: &SmoParams) -> 
             sum_free += yg;
         }
     }
-    let rho = if n_free > 0 { sum_free / n_free as f64 } else { (ub + lb) / 2.0 };
+    let rho = if n_free > 0 {
+        sum_free / n_free as f64
+    } else {
+        (ub + lb) / 2.0
+    };
 
-    SmoResult { alpha, rho, iterations, converged }
+    SmoResult {
+        alpha,
+        rho,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -253,7 +269,14 @@ mod tests {
 
     #[test]
     fn separable_problem_classifies_training_data() {
-        let x = vec![vec![-2.0], vec![-1.5], vec![-1.0], vec![1.0], vec![1.5], vec![2.0]];
+        let x = vec![
+            vec![-2.0],
+            vec![-1.5],
+            vec![-1.0],
+            vec![1.0],
+            vec![1.5],
+            vec![2.0],
+        ];
         let y = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
         let kernel = Kernel::Linear;
         let r = solve(&x, &y, &kernel, &SmoParams::default());
@@ -266,9 +289,12 @@ mod tests {
 
     #[test]
     fn equality_constraint_holds() {
-        let x: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![(i as f64) / 10.0, ((i * 7) % 13) as f64 / 13.0]).collect();
-        let y: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i as f64) / 10.0, ((i * 7) % 13) as f64 / 13.0])
+            .collect();
+        let y: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let kernel = Kernel::Rbf { gamma: 1.0 };
         let r = solve(&x, &y, &kernel, &SmoParams::default());
         let balance: f64 = r.alpha.iter().zip(&y).map(|(a, yi)| a * yi).sum();
@@ -278,21 +304,42 @@ mod tests {
     #[test]
     fn alphas_respect_box_constraints() {
         let x: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 10) as f64]).collect();
-        let y: Vec<f64> = (0..30).map(|i| if (i % 10) < 5 { -1.0 } else { 1.0 }).collect();
-        let params = SmoParams { c: 0.5, ..Default::default() };
+        let y: Vec<f64> = (0..30)
+            .map(|i| if (i % 10) < 5 { -1.0 } else { 1.0 })
+            .collect();
+        let params = SmoParams {
+            c: 0.5,
+            ..Default::default()
+        };
         let r = solve(&x, &y, &Kernel::Rbf { gamma: 0.5 }, &params);
         for &a in &r.alpha {
-            assert!((-1e-12..=0.5 + 1e-12).contains(&a), "alpha {a} outside [0, C]");
+            assert!(
+                (-1e-12..=0.5 + 1e-12).contains(&a),
+                "alpha {a} outside [0, C]"
+            );
         }
     }
 
     #[test]
     fn rbf_solves_xor() {
         // XOR is the canonical non-linearly-separable problem.
-        let x = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
         let y = vec![-1.0, 1.0, 1.0, -1.0];
         let kernel = Kernel::Rbf { gamma: 2.0 };
-        let r = solve(&x, &y, &kernel, &SmoParams { c: 10.0, ..Default::default() });
+        let r = solve(
+            &x,
+            &y,
+            &kernel,
+            &SmoParams {
+                c: 10.0,
+                ..Default::default()
+            },
+        );
         for (xi, &yi) in x.iter().zip(&y) {
             let f = decision(&x, &y, &r, &kernel, xi);
             assert!(f * yi > 0.0, "XOR point {xi:?} misclassified");
@@ -317,11 +364,24 @@ mod tests {
     #[test]
     fn noisy_labels_saturate_at_c() {
         // One flipped label inside the other class forces alpha = C there.
-        let x = vec![vec![-2.0], vec![-1.8], vec![-1.9], vec![2.0], vec![1.9], vec![-1.85]];
+        let x = vec![
+            vec![-2.0],
+            vec![-1.8],
+            vec![-1.9],
+            vec![2.0],
+            vec![1.9],
+            vec![-1.85],
+        ];
         let y = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0]; // last point is mislabeled
-        let params = SmoParams { c: 1.0, ..Default::default() };
+        let params = SmoParams {
+            c: 1.0,
+            ..Default::default()
+        };
         let r = solve(&x, &y, &Kernel::Linear, &params);
         assert!(r.converged);
-        assert!((r.alpha[5] - params.c).abs() < 1e-9, "outlier should hit the box bound");
+        assert!(
+            (r.alpha[5] - params.c).abs() < 1e-9,
+            "outlier should hit the box bound"
+        );
     }
 }

@@ -14,7 +14,12 @@ use crate::dataset::Dataset;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Node {
     /// Internal split: `feature <= threshold` goes left, else right.
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
     /// Leaf with a class-probability distribution.
     Leaf { probs: Vec<f64> },
 }
@@ -30,7 +35,10 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 8, min_split: 4 }
+        Self {
+            max_depth: 8,
+            min_split: 4,
+        }
     }
 }
 
@@ -48,14 +56,23 @@ impl TreeModel {
     /// Panics if the dataset is empty.
     pub fn train(data: &Dataset, params: &TreeParams) -> Self {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
-        let mut model = Self { nodes: Vec::new(), n_classes: data.n_classes };
+        let mut model = Self {
+            nodes: Vec::new(),
+            n_classes: data.n_classes,
+        };
         let indices: Vec<usize> = (0..data.len()).collect();
         model.grow(data, &indices, params, 0);
         model
     }
 
     /// Recursively grow and return the new node's index.
-    fn grow(&mut self, data: &Dataset, indices: &[usize], params: &TreeParams, depth: usize) -> usize {
+    fn grow(
+        &mut self,
+        data: &Dataset,
+        indices: &[usize],
+        params: &TreeParams,
+        depth: usize,
+    ) -> usize {
         let probs = class_distribution(data, indices, self.n_classes);
         let pure = probs.iter().any(|&p| p >= 1.0 - 1e-12);
         if depth >= params.max_depth || indices.len() < params.min_split || pure {
@@ -64,8 +81,9 @@ impl TreeModel {
         }
         match best_split(data, indices) {
             Some((feature, threshold)) => {
-                let (li, ri): (Vec<usize>, Vec<usize>) =
-                    indices.iter().partition(|&&i| data.x[i][feature] <= threshold);
+                let (li, ri): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| data.x[i][feature] <= threshold);
                 if li.is_empty() || ri.is_empty() {
                     self.nodes.push(Node::Leaf { probs });
                     return self.nodes.len() - 1;
@@ -75,7 +93,12 @@ impl TreeModel {
                 self.nodes.push(Node::Leaf { probs: Vec::new() }); // placeholder
                 let left = self.grow(data, &li, params, depth + 1);
                 let right = self.grow(data, &ri, params, depth + 1);
-                self.nodes[me] = Node::Split { feature, threshold, left, right };
+                self.nodes[me] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 me
             }
             None => {
@@ -90,8 +113,17 @@ impl TreeModel {
         let mut at = 0usize;
         loop {
             match &self.nodes[at] {
-                Node::Split { feature, threshold, left, right } => {
-                    at = if point[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if point[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
                 Node::Leaf { probs } => return probs.clone(),
             }
@@ -132,7 +164,10 @@ fn gini(counts: &[f64], total: f64) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|&c| (c / total) * (c / total))
+        .sum::<f64>()
 }
 
 /// Exhaustive best (feature, threshold) split by Gini gain, scanning sorted
@@ -201,7 +236,13 @@ mod tests {
     #[test]
     fn depth_limit_bounds_tree_size() {
         let d = stripes();
-        let shallow = TreeModel::train(&d, &TreeParams { max_depth: 1, min_split: 2 });
+        let shallow = TreeModel::train(
+            &d,
+            &TreeParams {
+                max_depth: 1,
+                min_split: 2,
+            },
+        );
         // Depth 1: one split, two leaves max.
         assert!(shallow.n_nodes() <= 3);
     }
@@ -220,7 +261,13 @@ mod tests {
     #[test]
     fn leaf_probabilities_are_distributions() {
         let d = stripes();
-        let m = TreeModel::train(&d, &TreeParams { max_depth: 2, min_split: 2 });
+        let m = TreeModel::train(
+            &d,
+            &TreeParams {
+                max_depth: 2,
+                min_split: 2,
+            },
+        );
         let p = m.probabilities(&[1.5, 0.0]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }

@@ -346,7 +346,11 @@ mod tests {
         let mut tex2 = TexCache::new(cfg.tex_cache_bytes, cfg.tex_line_bytes, cfg.tex_assoc);
         let mut ctx2 = BlockCtx::new(&cfg, &mut tex2);
         ctx2.warp_shared_access(&[64u64]); // single lane
-        assert_eq!(broadcast, ctx2.tally().compute_cycles, "broadcast must be free");
+        assert_eq!(
+            broadcast,
+            ctx2.tally().compute_cycles,
+            "broadcast must be free"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl TexCache {
     /// `assoc` ways. The set count is derived; a capacity smaller than one
     /// full set degenerates to a single set.
     pub fn new(capacity_bytes: usize, line_bytes: usize, assoc: usize) -> Self {
-        assert!(line_bytes > 0 && assoc > 0, "cache geometry must be nonzero");
+        assert!(
+            line_bytes > 0 && assoc > 0,
+            "cache geometry must be nonzero"
+        );
         let lines = (capacity_bytes / line_bytes).max(assoc);
         let num_sets = (lines / assoc).max(1);
         Self {

@@ -162,13 +162,25 @@ mod tests {
     fn fermi_calibration_is_plausible() {
         let cal = calibrate(&DeviceConfig::fermi_c2050());
         // Streaming should approach but not exceed the DRAM roofline.
-        assert!(cal.stream_gbps <= 144.0 + 1e-6, "stream {}", cal.stream_gbps);
+        assert!(
+            cal.stream_gbps <= 144.0 + 1e-6,
+            "stream {}",
+            cal.stream_gbps
+        );
         assert!(cal.stream_gbps > 60.0, "stream {}", cal.stream_gbps);
         // Random gathers waste most of each 128-byte transaction.
         assert!(cal.coalescing_gain > 8.0, "gain {}", cal.coalescing_gain);
         // Texture helps when resident, hurts when streaming.
-        assert!(cal.tex_resident_speedup > 1.5, "tex {}", cal.tex_resident_speedup);
-        assert!(cal.tex_streaming_slowdown > 1.0, "tex cold {}", cal.tex_streaming_slowdown);
+        assert!(
+            cal.tex_resident_speedup > 1.5,
+            "tex {}",
+            cal.tex_resident_speedup
+        );
+        assert!(
+            cal.tex_streaming_slowdown > 1.0,
+            "tex cold {}",
+            cal.tex_streaming_slowdown
+        );
         // Contention destroys atomic throughput, global worse than shared.
         assert!(cal.shared_atomic_mops > cal.contended_shared_atomic_mops * 4.0);
         assert!(cal.contended_shared_atomic_mops > cal.contended_global_atomic_mops);

@@ -44,7 +44,11 @@ impl Gpu {
     /// Create a device with an explicit noise seed, for reproducible
     /// experiment sweeps.
     pub fn with_seed(cfg: DeviceConfig, seed: u64) -> Self {
-        Self { cfg, seed, launch_counter: AtomicU64::new(0) }
+        Self {
+            cfg,
+            seed,
+            launch_counter: AtomicU64::new(0),
+        }
     }
 
     /// The device's configuration.
@@ -63,11 +67,21 @@ impl Gpu {
     /// ```
     ///
     /// where blocks are placed on SMs according to `schedule`.
-    pub fn launch<F>(&self, kernel: &str, blocks: usize, schedule: Schedule, mut body: F) -> LaunchStats
+    pub fn launch<F>(
+        &self,
+        kernel: &str,
+        blocks: usize,
+        schedule: Schedule,
+        mut body: F,
+    ) -> LaunchStats
     where
         F: FnMut(usize, &mut BlockCtx),
     {
-        let mut tex = TexCache::new(self.cfg.tex_cache_bytes, self.cfg.tex_line_bytes, self.cfg.tex_assoc);
+        let mut tex = TexCache::new(
+            self.cfg.tex_cache_bytes,
+            self.cfg.tex_line_bytes,
+            self.cfg.tex_assoc,
+        );
         let mut block_ns = Vec::with_capacity(blocks);
         let mut tally = KernelTally::default();
         let cycle_ns = self.cfg.cycle_ns();
@@ -155,11 +169,23 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     /// Start a session on the given device.
     pub fn new(gpu: &'a Gpu) -> Self {
-        Self { gpu, elapsed_ns: 0.0, energy_nj: 0.0, launches: 0, tally: KernelTally::default() }
+        Self {
+            gpu,
+            elapsed_ns: 0.0,
+            energy_nj: 0.0,
+            launches: 0,
+            tally: KernelTally::default(),
+        }
     }
 
     /// Launch a kernel and fold its time into the session.
-    pub fn launch<F>(&mut self, kernel: &str, blocks: usize, schedule: Schedule, body: F) -> LaunchStats
+    pub fn launch<F>(
+        &mut self,
+        kernel: &str,
+        blocks: usize,
+        schedule: Schedule,
+        body: F,
+    ) -> LaunchStats
     where
         F: FnMut(usize, &mut BlockCtx),
     {
@@ -217,8 +243,12 @@ mod tests {
     #[test]
     fn more_work_takes_longer() {
         let gpu = quiet_gpu();
-        let small = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(1_000.0));
-        let big = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(100_000.0));
+        let small = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(1_000.0)
+        });
+        let big = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(100_000.0)
+        });
         assert!(big.elapsed_ns > small.elapsed_ns);
     }
 
@@ -227,9 +257,13 @@ mod tests {
         let gpu = quiet_gpu();
         let sms = gpu.config().num_sms;
         // One block per SM: elapsed ≈ overhead + one block's time.
-        let one_wave = gpu.launch("k", sms, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(10_000.0));
+        let one_wave = gpu.launch("k", sms, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(10_000.0)
+        });
         // Two blocks per SM: twice the busy time.
-        let two_waves = gpu.launch("k", 2 * sms, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(10_000.0));
+        let two_waves = gpu.launch("k", 2 * sms, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(10_000.0)
+        });
         let busy1 = one_wave.elapsed_ns - gpu.config().launch_overhead_ns;
         let busy2 = two_waves.elapsed_ns - gpu.config().launch_overhead_ns;
         assert!((busy2 / busy1 - 2.0).abs() < 1e-9);
@@ -241,9 +275,19 @@ mod tests {
         let sms = gpu.config().num_sms;
         // Heavily skewed block costs landing on the same SM under round-robin:
         // every block with index % sms == 0 is 50x heavier.
-        let cost = move |b: usize| if b.is_multiple_of(sms) { 500_000.0 } else { 10_000.0 };
-        let es = gpu.launch("k", 8 * sms, Schedule::EvenShare, |b, ctx| ctx.charge_cycles(cost(b)));
-        let dy = gpu.launch("k", 8 * sms, Schedule::Dynamic, |b, ctx| ctx.charge_cycles(cost(b)));
+        let cost = move |b: usize| {
+            if b.is_multiple_of(sms) {
+                500_000.0
+            } else {
+                10_000.0
+            }
+        };
+        let es = gpu.launch("k", 8 * sms, Schedule::EvenShare, |b, ctx| {
+            ctx.charge_cycles(cost(b))
+        });
+        let dy = gpu.launch("k", 8 * sms, Schedule::Dynamic, |b, ctx| {
+            ctx.charge_cycles(cost(b))
+        });
         assert!(
             dy.elapsed_ns < es.elapsed_ns * 0.6,
             "dynamic {} vs even-share {}",
@@ -256,8 +300,12 @@ mod tests {
     #[test]
     fn even_share_is_cheaper_on_uniform_work() {
         let gpu = quiet_gpu();
-        let es = gpu.launch("k", 112, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(10_000.0));
-        let dy = gpu.launch("k", 112, Schedule::Dynamic, |_, ctx| ctx.charge_cycles(10_000.0));
+        let es = gpu.launch("k", 112, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(10_000.0)
+        });
+        let dy = gpu.launch("k", 112, Schedule::Dynamic, |_, ctx| {
+            ctx.charge_cycles(10_000.0)
+        });
         // Dynamic pays the dispatch cost and gains nothing on uniform work.
         assert!(dy.elapsed_ns >= es.elapsed_ns);
     }
@@ -280,7 +328,9 @@ mod tests {
         let cfg = DeviceConfig::fermi_c2050(); // 2% noise
         let run = |seed| {
             let gpu = Gpu::with_seed(cfg.clone(), seed);
-            let s = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(1e6));
+            let s = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| {
+                ctx.charge_cycles(1e6)
+            });
             s.elapsed_ns
         };
         assert_eq!(run(1), run(1));
@@ -290,16 +340,24 @@ mod tests {
     #[test]
     fn launch_counter_decorrelates_repeat_launches() {
         let gpu = Gpu::new(DeviceConfig::fermi_c2050());
-        let a = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(1e6));
-        let b = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(1e6));
+        let a = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(1e6)
+        });
+        let b = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(1e6)
+        });
         assert_ne!(a.elapsed_ns, b.elapsed_ns);
     }
 
     #[test]
     fn energy_grows_with_traffic_and_time() {
         let gpu = quiet_gpu();
-        let small = gpu.launch("e", 14, Schedule::EvenShare, |_, ctx| ctx.bulk_mem(1e4, 1.0));
-        let big = gpu.launch("e", 14, Schedule::EvenShare, |_, ctx| ctx.bulk_mem(1e6, 1.0));
+        let small = gpu.launch("e", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.bulk_mem(1e4, 1.0)
+        });
+        let big = gpu.launch("e", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.bulk_mem(1e6, 1.0)
+        });
         assert!(big.energy_nj > small.energy_nj);
         // An empty launch still pays the static floor over its duration.
         let idle = gpu.launch("idle", 0, Schedule::EvenShare, |_, _| {});
@@ -325,15 +383,22 @@ mod tests {
         });
         let time_gap = (wasteful.elapsed_ns - lean.elapsed_ns) / lean.elapsed_ns;
         assert!(time_gap < 0.05, "times should stay close (gap {time_gap})");
-        assert!(wasteful.energy_nj > lean.energy_nj, "energy must expose the waste");
+        assert!(
+            wasteful.energy_nj > lean.energy_nj,
+            "energy must expose the waste"
+        );
     }
 
     #[test]
     fn session_accumulates_launches() {
         let gpu = quiet_gpu();
         let mut sess = Session::new(&gpu);
-        sess.launch("a", 14, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(1e4));
-        sess.launch("b", 14, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(1e4));
+        sess.launch("a", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(1e4)
+        });
+        sess.launch("b", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(1e4)
+        });
         sess.host_ns(123.0);
         assert_eq!(sess.launches(), 2);
         let expected_overheads = 2.0 * gpu.config().launch_overhead_ns;
@@ -346,10 +411,14 @@ mod tests {
         // tiny launches lose to one fused launch doing the same work.
         let gpu = quiet_gpu();
         let mut fused = Session::new(&gpu);
-        fused.launch("fused", 14, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(10_000.0));
+        fused.launch("fused", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(10_000.0)
+        });
         let mut iter = Session::new(&gpu);
         for _ in 0..20 {
-            iter.launch("step", 14, Schedule::EvenShare, |_, ctx| ctx.charge_cycles(500.0));
+            iter.launch("step", 14, Schedule::EvenShare, |_, ctx| {
+                ctx.charge_cycles(500.0)
+            });
         }
         assert!(fused.elapsed_ns() < iter.elapsed_ns());
     }

@@ -53,16 +53,16 @@
 #![warn(missing_docs)]
 
 pub mod block;
-pub mod calibrate;
 pub mod cache;
+pub mod calibrate;
 pub mod config;
 pub mod gpu;
 pub mod noise;
 pub mod stats;
 
 pub use block::BlockCtx;
-pub use calibrate::{calibrate, Calibration};
 pub use cache::TexCache;
+pub use calibrate::{calibrate, Calibration};
 pub use config::DeviceConfig;
 pub use gpu::{Gpu, Schedule};
 pub use noise::SplitMix64;

@@ -15,8 +15,14 @@ use rand::{Rng, SeedableRng};
 use crate::variants::SolverInput;
 
 /// Group names for the solver collection.
-pub const GROUPS: [&str; 6] =
-    ["spd_dominant", "spd_marginal", "spd_weak", "nonsym_dominant", "block", "hopeless"];
+pub const GROUPS: [&str; 6] = [
+    "spd_dominant",
+    "spd_marginal",
+    "spd_weak",
+    "nonsym_dominant",
+    "block",
+    "hopeless",
+];
 
 /// Generate the `idx`-th system of a group.
 pub fn group_system(group: &str, idx: usize, seed: u64) -> CsrMatrix {
@@ -26,7 +32,10 @@ pub fn group_system(group: &str, idx: usize, seed: u64) -> CsrMatrix {
     match group {
         // Strongly dominant SPD: everything converges fast; the cheapest
         // preconditioner usually wins on time.
-        "spd_dominant" => gen::make_spd(&gen::random_uniform(n, rng.random_range(3..8), rng.random()), rng.random_range(1.5..3.0)),
+        "spd_dominant" => gen::make_spd(
+            &gen::random_uniform(n, rng.random_range(3..8), rng.random()),
+            rng.random_range(1.5..3.0),
+        ),
         // Marginally dominant SPD: many iterations; stronger
         // preconditioners pay off.
         "spd_marginal" => gen::make_spd(
@@ -36,9 +45,19 @@ pub fn group_system(group: &str, idx: usize, seed: u64) -> CsrMatrix {
         // Weak diagonals: Jacobi-family preconditioners misbehave, but a
         // sturdier combination usually still converges (the paper's "35 of
         // 94 systems had at least one non-converging variant").
-        "spd_weak" => gen::weak_diagonal(n, rng.random_range(3..8), rng.random_range(0.08..0.35), rng.random()),
+        "spd_weak" => gen::weak_diagonal(
+            n,
+            rng.random_range(3..8),
+            rng.random_range(0.08..0.35),
+            rng.random(),
+        ),
         // Nonsymmetric dominant: CG breaks down, BiCGStab succeeds.
-        "nonsym_dominant" => nonsym_dominant(n, rng.random_range(3..8), rng.random_range(1.2..2.0), rng.random()),
+        "nonsym_dominant" => nonsym_dominant(
+            n,
+            rng.random_range(3..8),
+            rng.random_range(1.2..2.0),
+            rng.random(),
+        ),
         // Block structure: Blocked Jacobi captures the coupling.
         "block" => {
             let b = gen::block_diag(n, 8, rng.random_range(0.5..0.9), rng.random());
@@ -60,8 +79,12 @@ fn nonsym_dominant(n: usize, k: usize, dominance: f64, seed: u64) -> CsrMatrix {
     let mut coo = CooMatrix::new(n, n);
     for r in 0..n {
         let (cols, vals) = base.row(r);
-        let off: f64 =
-            cols.iter().zip(vals).filter(|(&c, _)| c as usize != r).map(|(_, v)| v.abs()).sum();
+        let off: f64 = cols
+            .iter()
+            .zip(vals)
+            .filter(|(&c, _)| c as usize != r)
+            .map(|(_, v)| v.abs())
+            .sum();
         for (&c, &v) in cols.iter().zip(vals) {
             if c as usize != r {
                 coo.push(r, c as usize, v);
@@ -114,7 +137,9 @@ fn scale(a: &CsrMatrix, s: f64) -> CsrMatrix {
 }
 
 fn hash(s: &str) -> u64 {
-    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 /// Training set: 26 systems (paper count) spread over the solvable groups
@@ -147,11 +172,22 @@ pub fn solver_test_set(seed: u64) -> Vec<SolverInput> {
 
 /// A small train/test pair for unit and integration tests.
 pub fn solver_small_sets(seed: u64) -> (Vec<SolverInput>, Vec<SolverInput>) {
-    let train: [(&str, usize); 4] =
-        [("spd_dominant", 3), ("spd_marginal", 3), ("nonsym_dominant", 3), ("spd_weak", 3)];
-    let test: [(&str, usize); 4] =
-        [("spd_dominant", 4), ("spd_marginal", 4), ("nonsym_dominant", 4), ("spd_weak", 4)];
-    (build_set("train", &train, 0, seed), build_set("test", &test, 500, seed))
+    let train: [(&str, usize); 4] = [
+        ("spd_dominant", 3),
+        ("spd_marginal", 3),
+        ("nonsym_dominant", 3),
+        ("spd_weak", 3),
+    ];
+    let test: [(&str, usize); 4] = [
+        ("spd_dominant", 4),
+        ("spd_marginal", 4),
+        ("nonsym_dominant", 4),
+        ("spd_weak", 4),
+    ];
+    (
+        build_set("train", &train, 0, seed),
+        build_set("test", &test, 500, seed),
+    )
 }
 
 fn build_set(tag: &str, plan: &[(&str, usize)], idx_base: usize, seed: u64) -> Vec<SolverInput> {
@@ -193,7 +229,10 @@ mod tests {
         let inp = SolverInput::new("h", "hopeless", group_system("hopeless", 0, 3));
         for (m, p, name) in VARIANTS {
             let (out, _) = run_variant(m, p, &inp, &cfg);
-            assert!(!out.converged, "{name} unexpectedly solved a hopeless system");
+            assert!(
+                !out.converged,
+                "{name} unexpectedly solved a hopeless system"
+            );
         }
     }
 
@@ -214,7 +253,10 @@ mod tests {
         use crate::variants::{Method, Precond};
         let (cg_out, _) = run_variant(Method::Cg, Precond::Jacobi, &inp, &cfg);
         let (bi_out, _) = run_variant(Method::BiCgStab, Precond::Jacobi, &inp, &cfg);
-        assert!(bi_out.converged, "BiCGStab should handle nonsymmetric dominant");
+        assert!(
+            bi_out.converged,
+            "BiCGStab should handle nonsymmetric dominant"
+        );
         assert!(
             !cg_out.converged || cg_out.iterations > bi_out.iterations,
             "CG should struggle on nonsymmetric systems"

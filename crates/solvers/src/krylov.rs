@@ -56,10 +56,24 @@ pub fn cg(
     for it in 0..max_iterations {
         let rel = norm(&r) / norm_b;
         if !rel.is_finite() || rel > 1e8 {
-            return (x, SolveOutcome { converged: false, iterations: it, relative_residual: rel });
+            return (
+                x,
+                SolveOutcome {
+                    converged: false,
+                    iterations: it,
+                    relative_residual: rel,
+                },
+            );
         }
         if rel <= tolerance {
-            return (x, SolveOutcome { converged: true, iterations: it, relative_residual: rel });
+            return (
+                x,
+                SolveOutcome {
+                    converged: true,
+                    iterations: it,
+                    relative_residual: rel,
+                },
+            );
         }
         let ap = a.spmv_reference(&p);
         let pap = dot(&p, &ap);
@@ -67,7 +81,11 @@ pub fn cg(
             // Breakdown (A not SPD along p).
             return (
                 x,
-                SolveOutcome { converged: false, iterations: it, relative_residual: rel },
+                SolveOutcome {
+                    converged: false,
+                    iterations: it,
+                    relative_residual: rel,
+                },
             );
         }
         let alpha = rz / pap;
@@ -79,7 +97,11 @@ pub fn cg(
         if !beta.is_finite() {
             return (
                 x,
-                SolveOutcome { converged: false, iterations: it, relative_residual: rel },
+                SolveOutcome {
+                    converged: false,
+                    iterations: it,
+                    relative_residual: rel,
+                },
             );
         }
         rz = rz_new;
@@ -123,16 +145,34 @@ pub fn bicgstab(
     for it in 0..max_iterations {
         let rel = norm(&r) / norm_b;
         if !rel.is_finite() || rel > 1e8 {
-            return (x, SolveOutcome { converged: false, iterations: it, relative_residual: rel });
+            return (
+                x,
+                SolveOutcome {
+                    converged: false,
+                    iterations: it,
+                    relative_residual: rel,
+                },
+            );
         }
         if rel <= tolerance {
-            return (x, SolveOutcome { converged: true, iterations: it, relative_residual: rel });
+            return (
+                x,
+                SolveOutcome {
+                    converged: true,
+                    iterations: it,
+                    relative_residual: rel,
+                },
+            );
         }
         let rho_new = dot(&r_hat, &r);
         if rho_new.abs() < 1e-300 {
             return (
                 x,
-                SolveOutcome { converged: false, iterations: it, relative_residual: rel },
+                SolveOutcome {
+                    converged: false,
+                    iterations: it,
+                    relative_residual: rel,
+                },
             );
         }
         let beta = (rho_new / rho) * (alpha / omega);
@@ -146,7 +186,11 @@ pub fn bicgstab(
         if denom.abs() < 1e-300 {
             return (
                 x,
-                SolveOutcome { converged: false, iterations: it, relative_residual: rel },
+                SolveOutcome {
+                    converged: false,
+                    iterations: it,
+                    relative_residual: rel,
+                },
             );
         }
         alpha = rho / denom;
@@ -168,14 +212,22 @@ pub fn bicgstab(
         if tt.abs() < 1e-300 {
             return (
                 x,
-                SolveOutcome { converged: false, iterations: it, relative_residual: rel },
+                SolveOutcome {
+                    converged: false,
+                    iterations: it,
+                    relative_residual: rel,
+                },
             );
         }
         omega = dot(&t, &s) / tt;
         if omega.abs() < 1e-300 || !omega.is_finite() {
             return (
                 x,
-                SolveOutcome { converged: false, iterations: it, relative_residual: rel },
+                SolveOutcome {
+                    converged: false,
+                    iterations: it,
+                    relative_residual: rel,
+                },
             );
         }
         axpy(alpha, &phat, &mut x);

@@ -24,4 +24,6 @@ pub mod variants;
 
 pub use krylov::{bicgstab, cg, SolveOutcome};
 pub use precond::{ApproxInverse, BlockJacobi, Jacobi, Preconditioner};
-pub use variants::{build_code_variant, run_variant, run_with_preconditioner, Method, Precond, SolverInput};
+pub use variants::{
+    build_code_variant, run_variant, run_with_preconditioner, Method, Precond, SolverInput,
+};

@@ -108,7 +108,11 @@ impl BlockJacobi {
                 }
             }
         }
-        Self { n, block, inv_blocks }
+        Self {
+            n,
+            block,
+            inv_blocks,
+        }
     }
 }
 
@@ -270,7 +274,11 @@ mod tests {
         let mut z = vec![0.0; a.n_rows];
         p.apply(&b, &mut z);
         // Error after one step: ||1 − z|| / ||1||.
-        let err: f64 = z.iter().map(|&zi| (1.0 - zi) * (1.0 - zi)).sum::<f64>().sqrt();
+        let err: f64 = z
+            .iter()
+            .map(|&zi| (1.0 - zi) * (1.0 - zi))
+            .sum::<f64>()
+            .sqrt();
         err / (a.n_rows as f64).sqrt()
     }
 

@@ -53,10 +53,18 @@ impl SolverInput {
         let gpu_seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
             (h ^ c as u64).wrapping_mul(0x100_0000_01b3)
         });
-        let x_true: Vec<f64> =
-            (0..a.n_rows).map(|i| 1.0 + ((i as f64) * 0.37).sin() * 0.5).collect();
+        let x_true: Vec<f64> = (0..a.n_rows)
+            .map(|i| 1.0 + ((i as f64) * 0.37).sin() * 0.5)
+            .collect();
         let b = a.spmv_reference(&x_true);
-        Self { name, group: group.into(), a, b, gpu_seed, spmv_ns: OnceLock::new() }
+        Self {
+            name,
+            group: group.into(),
+            a,
+            b,
+            gpu_seed,
+            spmv_ns: OnceLock::new(),
+        }
     }
 
     /// Simulated time of one SpMV on this matrix (cached; the solver cost
@@ -152,7 +160,10 @@ pub fn run_with_preconditioner(
     let mut noise_rng = nitro_simt::SplitMix64::new(input.gpu_seed ^ salt);
     let noise = noise_rng.noise_factor(cfg.noise_rel_sigma);
 
-    (outcome, (setup + outcome.iterations as f64 * per_iter) * noise)
+    (
+        outcome,
+        (setup + outcome.iterations as f64 * per_iter) * noise,
+    )
 }
 
 /// Assemble the Solvers `code_variant`: 6 variants and the 8 numerical

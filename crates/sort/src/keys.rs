@@ -80,8 +80,11 @@ impl Keys {
             }
             let mut order: Vec<usize> = (0..v.len()).collect();
             order.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal));
-            let mut d: Vec<usize> =
-                order.iter().enumerate().map(|(rank, &i)| rank.abs_diff(i)).collect();
+            let mut d: Vec<usize> = order
+                .iter()
+                .enumerate()
+                .map(|(rank, &i)| rank.abs_diff(i))
+                .collect();
             let mid = d.len() / 2;
             *d.select_nth_unstable(mid).1 as f64
         }
@@ -112,12 +115,23 @@ impl SortInput {
         let gpu_seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
             (h ^ c as u64).wrapping_mul(0x100_0000_01b3)
         });
-        Self { name, group: group.into(), keys, gpu_seed }
+        Self {
+            name,
+            group: group.into(),
+            keys,
+            gpu_seed,
+        }
     }
 }
 
 /// Key-workload categories.
-pub const CATEGORIES: [&str; 5] = ["uniform", "reverse", "almost_sorted", "normal", "exponential"];
+pub const CATEGORIES: [&str; 5] = [
+    "uniform",
+    "reverse",
+    "almost_sorted",
+    "normal",
+    "exponential",
+];
 
 /// Generate a key sequence of the given category and width.
 pub fn generate(category: &str, n: usize, wide: bool, seed: u64, name: &str) -> SortInput {
@@ -156,8 +170,11 @@ pub fn generate(category: &str, n: usize, wide: bool, seed: u64, name: &str) -> 
         }
         other => panic!("unknown sort category '{other}'"),
     };
-    let keys =
-        if wide { Keys::F64(raw) } else { Keys::F32(raw.into_iter().map(|v| v as f32).collect()) };
+    let keys = if wide {
+        Keys::F64(raw)
+    } else {
+        Keys::F32(raw.into_iter().map(|v| v as f32).collect())
+    };
     SortInput::new(name, category, keys)
 }
 
@@ -172,7 +189,10 @@ pub fn sort_test_set(seed: u64) -> Vec<SortInput> {
     let mut out = Vec::with_capacity(600);
     for wide in [false, true] {
         let width = if wide { 64 } else { 32 };
-        for (c, category) in ["uniform", "reverse", "almost_sorted"].into_iter().enumerate() {
+        for (c, category) in ["uniform", "reverse", "almost_sorted"]
+            .into_iter()
+            .enumerate()
+        {
             for i in 0..100 {
                 let mut rng = StdRng::seed_from_u64(seed ^ ((width + c * 7 + i * 31) as u64) << 9);
                 let n = rng.random_range(10_000..200_000);
@@ -197,10 +217,17 @@ pub fn sort_small_sets(seed: u64) -> (Vec<SortInput>, Vec<SortInput>) {
             let width = if wide { 64 } else { 32 };
             for category in ["uniform", "reverse", "almost_sorted"] {
                 for i in 0..per {
-                    let mut rng =
-                        StdRng::seed_from_u64(seed ^ ((base + i * 13 + width) as u64) << 7 ^ h(category));
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ ((base + i * 13 + width) as u64) << 7 ^ h(category),
+                    );
                     let n = rng.random_range(3_000..12_000);
-                    out.push(generate(category, n, wide, rng.random(), &format!("{tag}/{category}/{width}/{i}")));
+                    out.push(generate(
+                        category,
+                        n,
+                        wide,
+                        rng.random(),
+                        &format!("{tag}/{category}/{width}/{i}"),
+                    ));
                 }
             }
         }
@@ -210,7 +237,9 @@ pub fn sort_small_sets(seed: u64) -> (Vec<SortInput>, Vec<SortInput>) {
 }
 
 fn h(s: &str) -> u64 {
-    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |a, b| (a ^ b as u64).wrapping_mul(0x100_0000_01b3))
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |a, b| {
+        (a ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 /// The paper's training mix: 60 sequences per width across the five
@@ -224,7 +253,13 @@ fn build_set(tag: &str, per_width: usize, idx_base: usize, seed: u64) -> Vec<Sor
             let mut rng =
                 StdRng::seed_from_u64(seed ^ ((idx_base + i) as u64) << 8 ^ (width as u64));
             let n = rng.random_range(10_000..200_000);
-            out.push(generate(category, n, wide, rng.random(), &format!("{tag}/{category}/{width}/{i}")));
+            out.push(generate(
+                category,
+                n,
+                wide,
+                rng.random(),
+                &format!("{tag}/{category}/{width}/{i}"),
+            ));
         }
     }
     out

@@ -75,7 +75,11 @@ pub trait RadixKey {
 impl RadixKey for f32 {
     fn to_bits_ordered(self) -> u64 {
         let b = self.to_bits();
-        let flipped = if b & 0x8000_0000 != 0 { !b } else { b ^ 0x8000_0000 };
+        let flipped = if b & 0x8000_0000 != 0 {
+            !b
+        } else {
+            b ^ 0x8000_0000
+        };
         flipped as u64
     }
     fn radix_bits() -> u32 {
@@ -102,8 +106,11 @@ fn radix_sort<T: Copy + RadixKey>(keys: &[T], key_bytes: u64, gpu: &Gpu) -> (Vec
     let n = keys.len();
     let passes = (T::radix_bits() / 8) as usize;
     // Functional LSD radix on (bits, original index) pairs.
-    let mut items: Vec<(u64, u32)> =
-        keys.iter().enumerate().map(|(i, &k)| (k.to_bits_ordered(), i as u32)).collect();
+    let mut items: Vec<(u64, u32)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k.to_bits_ordered(), i as u32))
+        .collect();
     let mut buffer = vec![(0u64, 0u32); n];
     for p in 0..passes {
         let shift = 8 * p;
@@ -224,7 +231,11 @@ fn merge_sort<T: Copy + PartialOrd>(
     let blocks = n.div_ceil(TILE).max(1);
     let sorted_tiles = n_tiles - presorted_tiles;
     let stats = gpu.launch(
-        if locality { "locality_sort" } else { "merge_sort" },
+        if locality {
+            "locality_sort"
+        } else {
+            "merge_sort"
+        },
         blocks,
         Schedule::EvenShare,
         |b, ctx| {
@@ -239,8 +250,8 @@ fn merge_sort<T: Copy + PartialOrd>(
             ctx.bulk_read(tile_elems * key_bytes as f64, 1.0);
             ctx.bulk_write(tile_elems * key_bytes as f64, 1.0);
             ctx.bulk_ops(tile_elems * 9.0, 1.0); // ~log2(TILE) compares
-            // Merge traffic: read + write every moved element, plus the
-            // stream of merge-path probes.
+                                                 // Merge traffic: read + write every moved element, plus the
+                                                 // stream of merge-path probes.
             let merged = share(moved);
             ctx.bulk_read(merged * key_bytes as f64, 0.9);
             ctx.bulk_write(merged * key_bytes as f64, 0.9);
@@ -255,9 +266,11 @@ fn merge_sort<T: Copy + PartialOrd>(
 /// `Nbits`, `NAscSeq` — Figure 4). Default: Merge (robust everywhere).
 pub fn build_code_variant(ctx: &Context, cfg: &DeviceConfig) -> CodeVariant<SortInput> {
     let mut cv = CodeVariant::new("sort", ctx);
-    for (method, name) in
-        [(Method::Merge, "Merge"), (Method::Locality, "Locality"), (Method::Radix, "Radix")]
-    {
+    for (method, name) in [
+        (Method::Merge, "Merge"),
+        (Method::Locality, "Locality"),
+        (Method::Radix, "Radix"),
+    ] {
         let cfg = cfg.clone();
         cv.add_variant(FnVariant::new(name, move |inp: &SortInput| {
             run_variant(method, inp, &cfg).1
@@ -265,7 +278,11 @@ pub fn build_code_variant(ctx: &Context, cfg: &DeviceConfig) -> CodeVariant<Sort
     }
     cv.set_default(0);
 
-    cv.add_input_feature(FnFeature::with_cost("N", |i: &SortInput| i.keys.len() as f64, |_| 8.0));
+    cv.add_input_feature(FnFeature::with_cost(
+        "N",
+        |i: &SortInput| i.keys.len() as f64,
+        |_| 8.0,
+    ));
     cv.add_input_feature(FnFeature::with_cost(
         "Nbits",
         |i: &SortInput| i.keys.bits() as f64,
@@ -295,7 +312,13 @@ mod tests {
     #[test]
     fn all_variants_sort_correctly() {
         for wide in [false, true] {
-            for category in ["uniform", "reverse", "almost_sorted", "normal", "exponential"] {
+            for category in [
+                "uniform",
+                "reverse",
+                "almost_sorted",
+                "normal",
+                "exponential",
+            ] {
                 let inp = generate(category, 5_000, wide, 11, "t");
                 for m in [Method::Merge, Method::Locality, Method::Radix] {
                     let (sorted, ns) = run_variant(m, &inp, &cfg());
@@ -353,7 +376,10 @@ mod tests {
         let (_, locality) = run_variant(Method::Locality, &inp, &cfg());
         let (_, merge) = run_variant(Method::Merge, &inp, &cfg());
         // Window accounting on random data covers nearly everything.
-        assert!((locality / merge) < 1.25, "locality {locality} vs merge {merge}");
+        assert!(
+            (locality / merge) < 1.25,
+            "locality {locality} vs merge {merge}"
+        );
     }
 
     #[test]

@@ -24,10 +24,16 @@ pub const GROUPS: [&str; 9] = [
 
 /// Generate the `idx`-th matrix of a group, deterministically.
 pub fn group_matrix(group: &str, idx: usize, seed: u64) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9) ^ hash(group));
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9) ^ hash(group));
     let n = rng.random_range(3_000..12_000);
     match group {
-        "banded" => gen::banded(n, rng.random_range(2..8), rng.random_range(0.6..1.0), rng.random()),
+        "banded" => gen::banded(
+            n,
+            rng.random_range(2..8),
+            rng.random_range(0.6..1.0),
+            rng.random(),
+        ),
         "stencil2d" => {
             let side = rng.random_range(55..110);
             gen::stencil_2d(side, side, rng.random_bool(0.5))
@@ -37,13 +43,32 @@ pub fn group_matrix(group: &str, idx: usize, seed: u64) -> CsrMatrix {
             gen::stencil_3d(side, side, side)
         }
         "uniform" => {
-            let window = if rng.random_bool(0.5) { n } else { rng.random_range(64..512) };
+            let window = if rng.random_bool(0.5) {
+                n
+            } else {
+                rng.random_range(64..512)
+            };
             gen::uniform_rows(n, rng.random_range(4..24), window, rng.random())
         }
-        "power_law" => gen::power_law(n, rng.random_range(4.0..16.0), rng.random_range(1.3..2.2), rng.random()),
+        "power_law" => gen::power_law(
+            n,
+            rng.random_range(4.0..16.0),
+            rng.random_range(1.3..2.2),
+            rng.random(),
+        ),
         "random" => gen::random_uniform(n, rng.random_range(3..20), rng.random()),
-        "clustered" => gen::clustered(n, rng.random_range(6..28), rng.random_range(32..128), rng.random()),
-        "block_diag" => gen::block_diag(n, rng.random_range(8..48), rng.random_range(0.3..0.9), rng.random()),
+        "clustered" => gen::clustered(
+            n,
+            rng.random_range(6..28),
+            rng.random_range(32..128),
+            rng.random(),
+        ),
+        "block_diag" => gen::block_diag(
+            n,
+            rng.random_range(8..48),
+            rng.random_range(0.3..0.9),
+            rng.random(),
+        ),
         "mixed" => {
             // A banded core plus scattered noise: between the regimes.
             let base = gen::banded(n, rng.random_range(1..4), 1.0, rng.random());
@@ -70,7 +95,9 @@ fn add(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
 }
 
 fn hash(s: &str) -> u64 {
-    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 /// The SpMV training collection: 54 matrices, 6 per group (paper: 54
@@ -108,7 +135,11 @@ pub fn spmv_test_set(seed: u64) -> Vec<SpmvInput> {
             let side = 13 + idx;
             gen::stencil_3d(side, side, side)
         };
-        out.push(SpmvInput::new(format!("test/stencil/{idx}"), "stencil_extra", m));
+        out.push(SpmvInput::new(
+            format!("test/stencil/{idx}"),
+            "stencil_extra",
+            m,
+        ));
     }
     out
 }
@@ -121,8 +152,7 @@ pub fn spmv_small_sets(seed: u64) -> (Vec<SpmvInput>, Vec<SpmvInput>) {
         let mut v = Vec::new();
         for group in groups {
             for idx in 0..count {
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ hash(group) ^ (idx_base + idx) as u64);
+                let mut rng = StdRng::seed_from_u64(seed ^ hash(group) ^ (idx_base + idx) as u64);
                 // Large enough that format choice matters (launch overhead
                 // dominates tiny matrices and collapses the labels).
                 let n = rng.random_range(2_500..6_000);
@@ -194,7 +224,10 @@ mod tests {
             // CSR invariant: sorted columns in each row.
             for r in 0..m.n_rows.min(50) {
                 let (cols, _) = m.row(r);
-                assert!(cols.windows(2).all(|w| w[0] < w[1]), "unsorted row in {group}");
+                assert!(
+                    cols.windows(2).all(|w| w[0] < w[1]),
+                    "unsorted row in {group}"
+                );
             }
         }
     }

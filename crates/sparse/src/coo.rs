@@ -22,7 +22,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Create an empty matrix of the given shape.
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        Self { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        Self {
+            n_rows,
+            n_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Append one entry.
@@ -30,7 +36,10 @@ impl CooMatrix {
     /// # Panics
     /// Panics if the indices are out of bounds.
     pub fn push(&mut self, row: usize, col: usize, val: f64) {
-        assert!(row < self.n_rows && col < self.n_cols, "entry ({row},{col}) out of bounds");
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "entry ({row},{col}) out of bounds"
+        );
         self.rows.push(row as u32);
         self.cols.push(col as u32);
         self.vals.push(val);

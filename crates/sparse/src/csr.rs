@@ -77,7 +77,10 @@ impl CsrMatrix {
         (0..self.n_rows)
             .map(|r| {
                 let (cols, vals) = self.row(r);
-                cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum()
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| v * x[c as usize])
+                    .sum()
             })
             .collect()
     }
@@ -105,7 +108,10 @@ impl CsrMatrix {
         if t.row_ptr != self.row_ptr || t.cols != self.cols {
             return false;
         }
-        self.vals.iter().zip(&t.vals).all(|(a, b)| (a - b).abs() <= tol)
+        self.vals
+            .iter()
+            .zip(&t.vals)
+            .all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 
@@ -118,7 +124,13 @@ mod tests {
         // [0 3 0]
         // [4 0 5]
         let mut coo = CooMatrix::new(3, 3);
-        for &(r, c, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(r, c, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             coo.push(r, c, v);
         }
         CsrMatrix::from_coo(&coo)

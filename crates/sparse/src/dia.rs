@@ -50,7 +50,12 @@ impl DiaMatrix {
                 data[d * csr.n_rows + r] = v;
             }
         }
-        Some(Self { n_rows: csr.n_rows, n_cols: csr.n_cols, offsets, data })
+        Some(Self {
+            n_rows: csr.n_rows,
+            n_cols: csr.n_cols,
+            offsets,
+            data,
+        })
     }
 
     /// Number of stored diagonals.

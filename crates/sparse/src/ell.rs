@@ -44,7 +44,13 @@ impl EllMatrix {
                 vals[k * csr.n_rows + r] = v;
             }
         }
-        Some(Self { n_rows: csr.n_rows, n_cols: csr.n_cols, width, cols, vals })
+        Some(Self {
+            n_rows: csr.n_rows,
+            n_cols: csr.n_cols,
+            width,
+            cols,
+            vals,
+        })
     }
 
     /// Fill ratio: padded cells over true nonzeros.

@@ -231,8 +231,12 @@ pub fn make_spd(a: &CsrMatrix, dominance: f64) -> CsrMatrix {
     let mut out = CooMatrix::new(sym.n_rows, sym.n_cols);
     for r in 0..sym.n_rows {
         let (cols, vals) = sym.row(r);
-        let off: f64 =
-            cols.iter().zip(vals).filter(|(&c, _)| c as usize != r).map(|(_, v)| v.abs()).sum();
+        let off: f64 = cols
+            .iter()
+            .zip(vals)
+            .filter(|(&c, _)| c as usize != r)
+            .map(|(_, v)| v.abs())
+            .sum();
         for (&c, &v) in cols.iter().zip(vals) {
             if c as usize != r {
                 out.push(r, c as usize, v);
@@ -286,7 +290,11 @@ mod tests {
     #[test]
     fn banded_is_dia_friendly() {
         let m = banded(500, 4, 1.0, 3);
-        assert!(features::dia_fill(&m) < 1.5, "fill {}", features::dia_fill(&m));
+        assert!(
+            features::dia_fill(&m) < 1.5,
+            "fill {}",
+            features::dia_fill(&m)
+        );
     }
 
     #[test]
@@ -311,7 +319,11 @@ mod tests {
     fn power_law_has_long_tail() {
         let m = power_law(2000, 8.0, 1.5, 13);
         assert!(features::max_row_deviation(&m) > 20.0);
-        assert!(features::ell_fill(&m) > 3.0, "ell fill {}", features::ell_fill(&m));
+        assert!(
+            features::ell_fill(&m) > 3.0,
+            "ell fill {}",
+            features::ell_fill(&m)
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl From<std::io::Error> for MtxError {
 }
 
 fn parse_err(line: usize, reason: impl Into<String>) -> MtxError {
-    MtxError::Parse { line, reason: reason.into() }
+    MtxError::Parse {
+        line,
+        reason: reason.into(),
+    }
 }
 
 /// Symmetry declared in the header.
@@ -83,10 +86,16 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MtxError> 
     let header_lc = header.to_ascii_lowercase();
     let tokens: Vec<&str> = header_lc.split_whitespace().collect();
     if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
-        return Err(parse_err(hline_no, "expected '%%MatrixMarket matrix ...' header"));
+        return Err(parse_err(
+            hline_no,
+            "expected '%%MatrixMarket matrix ...' header",
+        ));
     }
     if tokens[2] != "coordinate" {
-        return Err(parse_err(hline_no, format!("unsupported format '{}'", tokens[2])));
+        return Err(parse_err(
+            hline_no,
+            format!("unsupported format '{}'", tokens[2]),
+        ));
     }
     let field = match tokens[3] {
         "real" => Field::Real,
@@ -98,7 +107,12 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MtxError> 
         "general" => Symmetry::General,
         "symmetric" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
-        other => return Err(parse_err(hline_no, format!("unsupported symmetry '{other}'"))),
+        other => {
+            return Err(parse_err(
+                hline_no,
+                format!("unsupported symmetry '{other}'"),
+            ))
+        }
     };
 
     // --- Size line (after comments) ---
@@ -118,11 +132,15 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MtxError> 
     if dims.len() != 3 {
         return Err(parse_err(sline_no, "size line must be 'rows cols nnz'"));
     }
-    let n_rows: usize =
-        dims[0].parse().map_err(|_| parse_err(sline_no, "bad row count"))?;
-    let n_cols: usize =
-        dims[1].parse().map_err(|_| parse_err(sline_no, "bad column count"))?;
-    let nnz: usize = dims[2].parse().map_err(|_| parse_err(sline_no, "bad nnz count"))?;
+    let n_rows: usize = dims[0]
+        .parse()
+        .map_err(|_| parse_err(sline_no, "bad row count"))?;
+    let n_cols: usize = dims[1]
+        .parse()
+        .map_err(|_| parse_err(sline_no, "bad column count"))?;
+    let nnz: usize = dims[2]
+        .parse()
+        .map_err(|_| parse_err(sline_no, "bad nnz count"))?;
 
     // --- Entries ---
     let mut coo = CooMatrix::new(n_rows, n_cols);
@@ -138,15 +156,24 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MtxError> 
         if parts.len() < expected {
             return Err(parse_err(no + 1, format!("expected {expected} fields")));
         }
-        let r: usize = parts[0].parse().map_err(|_| parse_err(no + 1, "bad row index"))?;
-        let c: usize = parts[1].parse().map_err(|_| parse_err(no + 1, "bad column index"))?;
+        let r: usize = parts[0]
+            .parse()
+            .map_err(|_| parse_err(no + 1, "bad row index"))?;
+        let c: usize = parts[1]
+            .parse()
+            .map_err(|_| parse_err(no + 1, "bad column index"))?;
         if r == 0 || c == 0 || r > n_rows || c > n_cols {
-            return Err(parse_err(no + 1, "index out of range (Matrix Market is 1-based)"));
+            return Err(parse_err(
+                no + 1,
+                "index out of range (Matrix Market is 1-based)",
+            ));
         }
         let v: f64 = if field == Field::Pattern {
             1.0
         } else {
-            parts[2].parse().map_err(|_| parse_err(no + 1, "bad value"))?
+            parts[2]
+                .parse()
+                .map_err(|_| parse_err(no + 1, "bad value"))?
         };
         let (r, c) = (r - 1, c - 1);
         coo.push(r, c, v);
@@ -161,7 +188,10 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MtxError> 
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(0, format!("header declared {nnz} entries, file has {seen}")));
+        return Err(parse_err(
+            0,
+            format!("header declared {nnz} entries, file has {seen}"),
+        ));
     }
     Ok(CsrMatrix::from_coo(&coo))
 }
@@ -221,12 +251,12 @@ pub fn export_collection(
 /// collection — the Rust analog of the paper's
 /// `glob.glob("inputs/training/*.mtx")` (Figure 3). Files are loaded in
 /// sorted order for determinism; the group is the directory name.
-pub fn load_collection(
-    dir: impl AsRef<Path>,
-) -> Result<Vec<crate::spmv::SpmvInput>, MtxError> {
+pub fn load_collection(dir: impl AsRef<Path>) -> Result<Vec<crate::spmv::SpmvInput>, MtxError> {
     let dir = dir.as_ref();
-    let group =
-        dir.file_name().map(|s| s.to_string_lossy().to_string()).unwrap_or_else(|| "mtx".into());
+    let group = dir
+        .file_name()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "mtx".into());
     let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
@@ -236,7 +266,10 @@ pub fn load_collection(
     let mut out = Vec::with_capacity(paths.len());
     for path in paths {
         let csr = read_mtx_file(&path)?;
-        let name = path.file_stem().map(|s| s.to_string_lossy().to_string()).unwrap_or_default();
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().to_string())
+            .unwrap_or_default();
         out.push(crate::spmv::SpmvInput::new(name, group.clone(), csr));
     }
     Ok(out)

@@ -77,12 +77,16 @@ impl SpmvInput {
 
     /// The DIA form, if the matrix converts under [`MAX_DIAGS`].
     pub fn dia(&self) -> Option<&DiaMatrix> {
-        self.dia.get_or_init(|| DiaMatrix::from_csr(&self.csr, MAX_DIAGS)).as_ref()
+        self.dia
+            .get_or_init(|| DiaMatrix::from_csr(&self.csr, MAX_DIAGS))
+            .as_ref()
     }
 
     /// The ELL form, if padding stays under [`ELL_FILL_CUTOFF`].
     pub fn ell(&self) -> Option<&EllMatrix> {
-        self.ell.get_or_init(|| EllMatrix::from_csr(&self.csr, ELL_FILL_CUTOFF)).as_ref()
+        self.ell
+            .get_or_init(|| EllMatrix::from_csr(&self.csr, ELL_FILL_CUTOFF))
+            .as_ref()
     }
 
     /// Cached DIA fill-in feature.
@@ -107,10 +111,19 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// CSR-Vector SpMV: one warp per row (CUSP's `csr_vector`). Returns the
 /// product and the full launch statistics (time, energy, traffic).
-pub fn spmv_csr_vector(m: &CsrMatrix, x: &[f64], gpu: &Gpu, textured: bool) -> (Vec<f64>, nitro_simt::LaunchStats) {
+pub fn spmv_csr_vector(
+    m: &CsrMatrix,
+    x: &[f64],
+    gpu: &Gpu,
+    textured: bool,
+) -> (Vec<f64>, nitro_simt::LaunchStats) {
     let mut y = vec![0.0; m.n_rows];
     let mut addrs: Vec<u64> = Vec::new();
-    let name = if textured { "spmv_csr_vector_tx" } else { "spmv_csr_vector" };
+    let name = if textured {
+        "spmv_csr_vector_tx"
+    } else {
+        "spmv_csr_vector"
+    };
     let stats = gpu.launch(name, m.n_rows, Schedule::EvenShare, |r, ctx| {
         let (cols, vals) = m.row(r);
         let len = cols.len() as u64;
@@ -131,7 +144,11 @@ pub fn spmv_csr_vector(m: &CsrMatrix, x: &[f64], gpu: &Gpu, textured: bool) -> (
         // Write y[r].
         ctx.coalesced(1, 8);
         // Functional result.
-        y[r] = cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum();
+        y[r] = cols
+            .iter()
+            .zip(vals)
+            .map(|(&c, &v)| v * x[c as usize])
+            .sum();
     });
     (y, stats)
 }
@@ -140,7 +157,12 @@ pub fn spmv_csr_vector(m: &CsrMatrix, x: &[f64], gpu: &Gpu, textured: bool) -> (
 const ROWS_PER_BLOCK: usize = 256;
 
 /// DIA SpMV: one thread per row marching across stored diagonals.
-pub fn spmv_dia(m: &DiaMatrix, x: &[f64], gpu: &Gpu, textured: bool) -> (Vec<f64>, nitro_simt::LaunchStats) {
+pub fn spmv_dia(
+    m: &DiaMatrix,
+    x: &[f64],
+    gpu: &Gpu,
+    textured: bool,
+) -> (Vec<f64>, nitro_simt::LaunchStats) {
     let mut y = vec![0.0; m.n_rows];
     let blocks = m.n_rows.div_ceil(ROWS_PER_BLOCK);
     let name = if textured { "spmv_dia_tx" } else { "spmv_dia" };
@@ -184,7 +206,12 @@ pub fn spmv_dia(m: &DiaMatrix, x: &[f64], gpu: &Gpu, textured: bool) -> (Vec<f64
 }
 
 /// ELL SpMV: one thread per row, column-major padded storage.
-pub fn spmv_ell(m: &EllMatrix, x: &[f64], gpu: &Gpu, textured: bool) -> (Vec<f64>, nitro_simt::LaunchStats) {
+pub fn spmv_ell(
+    m: &EllMatrix,
+    x: &[f64],
+    gpu: &Gpu,
+    textured: bool,
+) -> (Vec<f64>, nitro_simt::LaunchStats) {
     let mut y = vec![0.0; m.n_rows];
     let blocks = m.n_rows.div_ceil(ROWS_PER_BLOCK);
     let name = if textured { "spmv_ell_tx" } else { "spmv_ell" };
@@ -234,8 +261,7 @@ pub fn spmv_ell(m: &EllMatrix, x: &[f64], gpu: &Gpu, textured: bool) -> (Vec<f64
 }
 
 /// Names of the six SpMV variants, in registration order.
-pub const VARIANT_NAMES: [&str; 6] =
-    ["CSR-Vec", "DIA", "ELL", "CSR-Vec-Tx", "DIA-Tx", "ELL-Tx"];
+pub const VARIANT_NAMES: [&str; 6] = ["CSR-Vec", "DIA", "ELL", "CSR-Vec-Tx", "DIA-Tx", "ELL-Tx"];
 
 /// Which scalar a variant reports as its objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -345,8 +371,7 @@ pub fn build_code_variant_metric(
     ));
 
     // The paper's `__dia_cutoff`-style constraints.
-    let dia_ok =
-        |i: &SpmvInput| i.dia_fill() <= DIA_FILL_CUTOFF && i.dia().is_some();
+    let dia_ok = |i: &SpmvInput| i.dia_fill() <= DIA_FILL_CUTOFF && i.dia().is_some();
     cv.add_constraint(dia_idx, FnConstraint::new("dia_cutoff", dia_ok));
     cv.add_constraint(dia_tx_idx, FnConstraint::new("dia_cutoff_tx", dia_ok));
     let ell_ok = |i: &SpmvInput| i.ell_fill() <= ELL_FILL_CUTOFF && i.ell().is_some();
@@ -424,7 +449,10 @@ mod tests {
         let gpu = quiet();
         let (_, plain) = spmv_csr_vector(&inp.csr, &inp.x, &gpu, false);
         let (_, tx) = spmv_csr_vector(&inp.csr, &inp.x, &gpu, true);
-        assert!(tx.elapsed_ns > plain.elapsed_ns, "Tx should lose to plain on random columns");
+        assert!(
+            tx.elapsed_ns > plain.elapsed_ns,
+            "Tx should lose to plain on random columns"
+        );
     }
 
     #[test]
@@ -442,7 +470,10 @@ mod tests {
         let ctx = Context::new();
         let cv = build_code_variant(&ctx, &DeviceConfig::fermi_c2050().noiseless());
         let scattered = SpmvInput::new("pl", "power_law", gen::power_law(2000, 8.0, 1.5, 3));
-        assert!(!cv.constraints_satisfied(1, &scattered), "DIA should be vetoed");
+        assert!(
+            !cv.constraints_satisfied(1, &scattered),
+            "DIA should be vetoed"
+        );
         let banded = SpmvInput::new("band", "banded", gen::banded(2000, 3, 1.0, 3));
         assert!(cv.constraints_satisfied(1, &banded));
     }

@@ -11,10 +11,7 @@ use proptest::prelude::*;
 /// Arbitrary small matrix as a set of triplets.
 fn arb_matrix() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
     (2usize..40).prop_flat_map(|n| {
-        let entries = prop::collection::vec(
-            ((0..n), (0..n), -10.0f64..10.0),
-            1..120,
-        );
+        let entries = prop::collection::vec(((0..n), (0..n), -10.0f64..10.0), 1..120);
         (Just(n), entries)
     })
 }
@@ -29,7 +26,9 @@ fn build(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
 
 fn close(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-9 * x.abs().max(1.0))
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= 1e-9 * x.abs().max(1.0))
 }
 
 proptest! {

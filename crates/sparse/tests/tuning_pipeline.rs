@@ -13,8 +13,11 @@ fn nitro_tuned_spmv_beats_every_fixed_variant() {
     let mut cv = build_code_variant(&ctx, &cfg);
     // Cheap fixed-parameter SVM keeps this test fast; the full harness
     // grid-searches.
-    cv.policy_mut().classifier =
-        ClassifierConfig::Svm { c: Some(32.0), gamma: Some(2.0), grid_search: false };
+    cv.policy_mut().classifier = ClassifierConfig::Svm {
+        c: Some(32.0),
+        gamma: Some(2.0),
+        grid_search: false,
+    };
 
     let (train, test) = spmv_small_sets(0xBEEF);
     let test_table = ProfileTable::build(&cv, &test);
@@ -52,7 +55,12 @@ fn trained_model_round_trips_through_disk() {
     let mut cv = build_code_variant(&ctx, &cfg);
     cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
     let (train, test) = spmv_small_sets(0xF00D);
-    Autotuner { save_model: true, ..Default::default() }.tune(&mut cv, &train).unwrap();
+    Autotuner {
+        save_model: true,
+        ..Default::default()
+    }
+    .tune(&mut cv, &train)
+    .unwrap();
 
     // A fresh library instance (fresh process in real life) reloads it.
     let mut cv2 = build_code_variant(&ctx, &cfg);
@@ -60,6 +68,10 @@ fn trained_model_round_trips_through_disk() {
     let table = ProfileTable::build(&cv2, &test);
     let model = cv2.export_artifact().unwrap().model;
     let s = evaluate_model(&table, &model, cv2.default_variant());
-    assert!(s.mean_relative_perf > 0.8, "reloaded model at {:.2}", s.mean_relative_perf);
+    assert!(
+        s.mean_relative_perf > 0.8,
+        "reloaded model at {:.2}",
+        s.mean_relative_perf
+    );
     std::fs::remove_dir_all(dir).ok();
 }

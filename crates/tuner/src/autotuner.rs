@@ -7,7 +7,11 @@
 //! (`itune`), only a fraction of the training inputs is exhaustively
 //! profiled, chosen by Best-vs-Second-Best active learning (§III-B).
 
-use nitro_core::{CodeVariant, NitroError, Result, StoppingCriterion, TrainedModel};
+use nitro_audit::{audit_artifact_against, lint_registration};
+use nitro_core::{
+    diag::{has_errors, Diagnostic},
+    CodeVariant, NitroError, Result, StoppingCriterion, TrainedModel,
+};
 use nitro_ml::{ActiveLearner, Dataset};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -35,13 +39,17 @@ pub struct Autotuner {
 
 impl Default for Autotuner {
     fn default() -> Self {
-        Self { seed: 0x417, max_seed_probes: 16, max_incremental_iterations: 200, save_model: false }
+        Self {
+            seed: 0x417,
+            max_seed_probes: 16,
+            max_incremental_iterations: 200,
+            save_model: false,
+        }
     }
 }
 
 /// What a tuning run did.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct TuneReport {
     /// Total training inputs supplied.
     pub training_inputs: usize,
@@ -65,6 +73,11 @@ pub struct TuneReport {
     /// single tuning run.
     #[serde(skip)]
     pub model_history: Vec<TrainedModel>,
+    /// Non-fatal findings from the pre-tuning registration lint and the
+    /// post-tuning artifact audit. Error-severity findings never land
+    /// here — they abort tuning as [`NitroError::Audit`] instead.
+    #[serde(default)]
+    pub audit_warnings: Vec<Diagnostic>,
 }
 
 impl Autotuner {
@@ -100,7 +113,27 @@ impl Autotuner {
 
     /// Full (non-incremental) tuning from an existing profile table.
     /// Useful when the caller already paid for exhaustive profiling.
-    pub fn tune_from_table<I>(&self, cv: &mut CodeVariant<I>, table: &ProfileTable) -> Result<TuneReport>
+    pub fn tune_from_table<I>(
+        &self,
+        cv: &mut CodeVariant<I>,
+        table: &ProfileTable,
+    ) -> Result<TuneReport>
+    where
+        I: Send + Sync,
+    {
+        let audit_warnings = preflight(cv, table.len())?;
+        self.finish_from_table(cv, table, audit_warnings)
+    }
+
+    /// The table-training tail shared by [`Autotuner::tune_from_table`]
+    /// and the non-incremental [`Autotuner::tune`] path (which has
+    /// already run the registration lint).
+    fn finish_from_table<I>(
+        &self,
+        cv: &mut CodeVariant<I>,
+        table: &ProfileTable,
+        mut audit_warnings: Vec<Diagnostic>,
+    ) -> Result<TuneReport>
     where
         I: Send + Sync,
     {
@@ -113,6 +146,7 @@ impl Autotuner {
         let model = TrainedModel::train(&cv.policy().classifier, &data);
         let cv_accuracy = grid_cv_accuracy(&model);
         cv.install_model(model);
+        audit_warnings.extend(postflight(cv));
         if self.save_model {
             cv.save_model()?;
         }
@@ -125,6 +159,7 @@ impl Autotuner {
             incremental_iterations: 0,
             accuracy_history: Vec::new(),
             model_history: Vec::new(),
+            audit_warnings,
         })
     }
 
@@ -137,15 +172,15 @@ impl Autotuner {
     where
         I: Send + Sync,
     {
-        if cv.n_variants() == 0 {
-            return Err(NitroError::NoVariants);
-        }
+        // Pre-flight: refuse to spend profiling time on a registration
+        // the linter can already prove broken.
+        let audit_warnings = preflight(cv, inputs.len())?;
         match cv.policy().incremental {
             None => {
                 let table = ProfileTable::build(cv, inputs);
-                self.tune_from_table(cv, &table)
+                self.finish_from_table(cv, &table, audit_warnings)
             }
-            Some(criterion) => self.itune(cv, inputs, criterion, test),
+            Some(criterion) => self.itune(cv, inputs, criterion, test, audit_warnings),
         }
     }
 
@@ -157,6 +192,7 @@ impl Autotuner {
         inputs: &[I],
         criterion: StoppingCriterion,
         test: Option<&ProfileTable>,
+        mut audit_warnings: Vec<Diagnostic>,
     ) -> Result<TuneReport>
     where
         I: Send + Sync,
@@ -164,8 +200,10 @@ impl Autotuner {
         // Feature vectors for the whole pool are cheap (§III-B: "the
         // execution time required to derive feature vectors is typically
         // far lower than the cost of actually executing variants").
-        let features: Vec<Vec<f64>> =
-            inputs.par_iter().map(|i| cv.evaluate_features(i).0).collect();
+        let features: Vec<Vec<f64>> = inputs
+            .par_iter()
+            .map(|i| cv.evaluate_features(i).0)
+            .collect();
 
         // Deterministically shuffled probe order for the seed.
         let mut order: Vec<usize> = (0..inputs.len()).collect();
@@ -211,10 +249,11 @@ impl Autotuner {
         let mut accuracy_history = Vec::new();
         let record_accuracy = |model: &TrainedModel, history: &mut Vec<f64>| {
             if let Some(t) = test {
-                let preds: Vec<usize> = (0..t.len()).map(|i| model.predict(&t.features[i])).collect();
+                let preds: Vec<usize> = (0..t.len())
+                    .map(|i| model.predict(&t.features[i]))
+                    .collect();
                 let labeled = t.labels();
-                let correct =
-                    labeled.iter().filter(|&&(i, l)| preds[i] == l).count();
+                let correct = labeled.iter().filter(|&&(i, l)| preds[i] == l).count();
                 history.push(if labeled.is_empty() {
                     0.0
                 } else {
@@ -237,7 +276,9 @@ impl Autotuner {
                     break;
                 }
             }
-            let Some((pos, original)) = learner.next_query(&model) else { break };
+            let Some((pos, original)) = learner.next_query(&model) else {
+                break;
+            };
             let (_, _, costs, _) = ProfileTable::profile_one(cv, &inputs[original]);
             profiled += 1;
             match best_of(&costs, cv) {
@@ -257,6 +298,7 @@ impl Autotuner {
         let class_counts = learner.labeled().class_counts();
         let cv_accuracy = grid_cv_accuracy(&model);
         cv.install_model(model);
+        audit_warnings.extend(postflight(cv));
         if self.save_model {
             cv.save_model()?;
         }
@@ -269,6 +311,7 @@ impl Autotuner {
             incremental_iterations: iterations,
             accuracy_history,
             model_history,
+            audit_warnings,
         })
     }
 
@@ -284,12 +327,33 @@ impl Autotuner {
         I: Send + Sync,
     {
         let report = self.tune(cv, train_inputs)?;
-        let model = cv
-            .export_artifact()
-            .expect("tune() always installs a model on success")
-            .model;
+        let model = cv.export_artifact()?.model;
         let summary = evaluate_model(test_table, &model, cv.default_variant());
         Ok((report, summary))
+    }
+}
+
+/// Pre-tuning registration lint: error findings abort as
+/// [`NitroError::Audit`]; warnings and infos are returned for the report.
+fn preflight<I: ?Sized>(cv: &CodeVariant<I>, training_size: usize) -> Result<Vec<Diagnostic>> {
+    let diagnostics = lint_registration(cv, Some(training_size));
+    if has_errors(&diagnostics) {
+        return Err(NitroError::Audit { diagnostics });
+    }
+    Ok(diagnostics)
+}
+
+/// Post-tuning artifact audit: a freshly exported artifact is audited
+/// against the registration it came from, and any findings (warnings like
+/// constant training features) ride along in the report.
+fn postflight<I: ?Sized>(cv: &CodeVariant<I>) -> Vec<Diagnostic> {
+    match cv.export_artifact() {
+        Ok(artifact) => audit_artifact_against(&artifact, cv),
+        Err(e) => vec![Diagnostic::error(
+            "NITRO001",
+            cv.name(),
+            format!("freshly tuned model could not be exported for audit: {e}"),
+        )],
     }
 }
 
@@ -317,7 +381,6 @@ fn grid_cv_accuracy(model: &TrainedModel) -> Option<f64> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,8 +393,11 @@ mod tests {
         cv.add_variant(FnVariant::new("falling", |&x: &f64| 11.0 - x));
         cv.set_default(0);
         cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
-        cv.policy_mut().classifier =
-            ClassifierConfig::Svm { c: Some(10.0), gamma: Some(1.0), grid_search: false };
+        cv.policy_mut().classifier = ClassifierConfig::Svm {
+            c: Some(10.0),
+            gamma: Some(1.0),
+            grid_search: false,
+        };
         cv
     }
 
@@ -375,7 +441,9 @@ mod tests {
         cv.policy_mut().incremental = Some(StoppingCriterion::Accuracy(0.9));
         let inputs = training_inputs();
         let test_table = ProfileTable::build(&toy(&ctx), &inputs);
-        let report = Autotuner::new().tune_with_test(&mut cv, &inputs, &test_table).unwrap();
+        let report = Autotuner::new()
+            .tune_with_test(&mut cv, &inputs, &test_table)
+            .unwrap();
         assert!(report.accuracy_history.last().copied().unwrap_or(0.0) >= 0.9);
         assert!(report.incremental_iterations < inputs.len());
     }
@@ -387,24 +455,82 @@ mod tests {
         let train = training_inputs();
         let test: Vec<f64> = (0..100).map(|i| 0.05 + i as f64 * 0.1).collect();
         let test_table = ProfileTable::build(&toy(&ctx), &test);
-        let (_, summary) =
-            Autotuner::new().tune_and_evaluate(&mut cv, &train, &test_table).unwrap();
-        assert!(summary.mean_relative_perf > 0.95, "perf {}", summary.mean_relative_perf);
+        let (_, summary) = Autotuner::new()
+            .tune_and_evaluate(&mut cv, &train, &test_table)
+            .unwrap();
+        assert!(
+            summary.mean_relative_perf > 0.95,
+            "perf {}",
+            summary.mean_relative_perf
+        );
     }
 
     #[test]
     fn empty_variants_is_an_error() {
         let ctx = Context::new();
         let mut cv: CodeVariant<f64> = CodeVariant::new("none", &ctx);
-        assert!(Autotuner::new().tune(&mut cv, &[1.0]).is_err());
+        let err = Autotuner::new().tune(&mut cv, &[1.0]).unwrap_err();
+        assert!(
+            err.diagnostics().iter().any(|d| d.code == "NITRO010"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn invalid_registration_is_refused_with_audit_error() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.set_default(9); // not a registered variant
+        let err = Autotuner::new()
+            .tune(&mut cv, &training_inputs())
+            .unwrap_err();
+        assert!(matches!(err, NitroError::Audit { .. }), "{err}");
+        assert!(err.diagnostics().iter().any(|d| d.code == "NITRO014"));
+        assert!(
+            !cv.has_model(),
+            "no model may be installed after a refused tune"
+        );
+    }
+
+    #[test]
+    fn registration_warnings_ride_in_the_report() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.policy_mut().classifier = ClassifierConfig::Knn { k: 500 }; // > training size
+        let report = Autotuner::new().tune(&mut cv, &training_inputs()).unwrap();
+        assert!(
+            report.audit_warnings.iter().any(|d| d.code == "NITRO018"),
+            "{:?}",
+            report.audit_warnings
+        );
+        assert!(cv.has_model());
+    }
+
+    #[test]
+    fn fresh_tune_produces_no_error_findings() {
+        use nitro_core::Severity;
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        let report = Autotuner::new().tune(&mut cv, &training_inputs()).unwrap();
+        assert!(
+            !report
+                .audit_warnings
+                .iter()
+                .any(|d| d.severity == Severity::Error),
+            "{:?}",
+            report.audit_warnings
+        );
     }
 
     #[test]
     fn save_model_persists_through_context() {
-        let dir = nitro_core::context::temp_model_dir("tuner-save");
+        let dir = nitro_core::context::temp_model_dir("tuner-save").unwrap();
         let ctx = Context::with_model_dir(&dir);
         let mut cv = toy(&ctx);
-        let tuner = Autotuner { save_model: true, ..Default::default() };
+        let tuner = Autotuner {
+            save_model: true,
+            ..Default::default()
+        };
         tuner.tune(&mut cv, &training_inputs()).unwrap();
         assert!(ctx.model_path("toy").unwrap().exists());
 

@@ -89,12 +89,12 @@ impl<I: Send + Sync> OnlineCodeVariant<I> {
     /// calls behave exactly like [`CodeVariant::call`].
     pub fn call(&mut self, input: &I) -> Result<Invocation> {
         self.stats.calls += 1;
-        let explore = !self.inner.has_model()
-            || self.coin.random::<f64>() < self.explore_probability;
+        let explore =
+            !self.inner.has_model() || self.coin.random::<f64>() < self.explore_probability;
         if explore {
             self.stats.explorations += 1;
-            self.explore_probability =
-                (self.explore_probability * self.options.explore_decay).max(self.options.explore_floor);
+            self.explore_probability = (self.explore_probability * self.options.explore_decay)
+                .max(self.options.explore_floor);
             return self.explore(input);
         }
         self.inner.call(input)
@@ -119,7 +119,12 @@ impl<I: Send + Sync> OnlineCodeVariant<I> {
 
         self.labeled.push(features.clone(), variant);
         self.since_retrain += 1;
-        let classes_seen = self.labeled.class_counts().iter().filter(|&&c| c > 0).count();
+        let classes_seen = self
+            .labeled
+            .class_counts()
+            .iter()
+            .filter(|&&c| c > 0)
+            .count();
         if self.since_retrain >= self.options.retrain_every && classes_seen >= 1 {
             let model = TrainedModel::train(&self.inner.policy().classifier, &self.labeled);
             self.inner.install_model(model);
@@ -219,7 +224,11 @@ mod tests {
         let ctx = Context::new();
         let mut online = OnlineCodeVariant::new(
             toy(&ctx),
-            OnlineOptions { explore_probability: 1.0, explore_decay: 0.5, ..Default::default() },
+            OnlineOptions {
+                explore_probability: 1.0,
+                explore_decay: 0.5,
+                ..Default::default()
+            },
         );
         for x in stream(200) {
             online.call(&x).unwrap();

@@ -132,13 +132,17 @@ impl ProfileTable {
     /// Exhaustive-search labels for all inputs (inputs where no variant
     /// succeeded are dropped; the returned pairs are `(input, label)`).
     pub fn labels(&self) -> Vec<(usize, usize)> {
-        (0..self.len()).filter_map(|i| self.best_variant(i).map(|v| (i, v))).collect()
+        (0..self.len())
+            .filter_map(|i| self.best_variant(i).map(|v| (i, v)))
+            .collect()
     }
 
     /// Relative performance (paper's "% of best") of running `variant` on
     /// `input`: 1.0 = matched exhaustive search, 0.0 = failed/vetoed.
     pub fn relative_perf(&self, input: usize, variant: usize) -> f64 {
-        let Some(best) = self.best_cost(input) else { return 0.0 };
+        let Some(best) = self.best_cost(input) else {
+            return 0.0;
+        };
         let c = self.costs[input][variant];
         if c == self.objective.worst() || c.is_nan() {
             return 0.0;
@@ -165,13 +169,30 @@ impl ProfileTable {
     /// Panics if any index is out of range.
     pub fn with_feature_subset(&self, indices: &[usize]) -> ProfileTable {
         let mut out = self.clone();
-        out.feature_names = indices.iter().map(|&i| self.feature_names[i].clone()).collect();
+        out.feature_names = indices
+            .iter()
+            .map(|&i| self.feature_names[i].clone())
+            .collect();
         out.features = self
             .features
             .iter()
             .map(|row| indices.iter().map(|&i| row[i]).collect())
             .collect();
         out
+    }
+
+    /// Borrow this table as a [`nitro_audit::ProfileView`] for the
+    /// profile analyzer. `function` names the diagnostics' subject (the
+    /// table itself doesn't record which function it profiled).
+    pub fn audit_view<'a>(&'a self, function: &'a str) -> nitro_audit::ProfileView<'a> {
+        nitro_audit::ProfileView {
+            function,
+            objective: self.objective,
+            variant_names: &self.variant_names,
+            feature_names: &self.feature_names,
+            costs: &self.costs,
+            features: &self.features,
+        }
     }
 
     /// Serialize to JSON (experiment harnesses cache profiles to disk).

@@ -32,7 +32,9 @@ pub fn evaluate_selection(table: &ProfileTable, chosen: &[usize]) -> EvalSummary
     let mut mispredictions = 0;
     let mut failures = 0;
     for (i, &choice) in chosen.iter().enumerate() {
-        let Some(best) = table.best_variant(i) else { continue };
+        let Some(best) = table.best_variant(i) else {
+            continue;
+        };
         let p = table.relative_perf(i, choice);
         if choice != best {
             mispredictions += 1;
@@ -55,7 +57,9 @@ pub fn evaluate_model(
 ) -> EvalSummary {
     let chosen: Vec<usize> = (0..table.len())
         .map(|i| {
-            let pred = model.predict(&table.features[i]).min(table.n_variants() - 1);
+            let pred = model
+                .predict(&table.features[i])
+                .min(table.n_variants() - 1);
             if table.allowed[i][pred] {
                 pred
             } else {

@@ -19,7 +19,9 @@ fn main() {
     let mut bfs = build_code_variant(&ctx, &cfg);
 
     let training = bfs_training_set(0x6AF);
-    let report = Autotuner::new().tune(&mut bfs, &training).expect("tuning succeeds");
+    let report = Autotuner::new()
+        .tune(&mut bfs, &training)
+        .expect("tuning succeeds");
     println!("tuned BFS on {} graphs\n", report.training_inputs);
 
     // Three very different topologies.

@@ -23,8 +23,12 @@ struct Input {
 
 fn build(ctx: &Context) -> CodeVariant<Input> {
     let mut cv = CodeVariant::new("custom", ctx);
-    cv.add_variant(FnVariant::new("host", |i: &Input| 100.0 + i.data.len() as f64));
-    cv.add_variant(FnVariant::new("device", |i: &Input| 5_000.0 + i.data.len() as f64 * 0.1));
+    cv.add_variant(FnVariant::new("host", |i: &Input| {
+        100.0 + i.data.len() as f64
+    }));
+    cv.add_variant(FnVariant::new("device", |i: &Input| {
+        5_000.0 + i.data.len() as f64 * 0.1
+    }));
     cv.set_default(0);
     cv.add_input_feature(FnFeature::new("n", |i: &Input| i.data.len() as f64));
     cv.add_input_feature(FnFeature::with_cost(
@@ -39,7 +43,10 @@ fn build(ctx: &Context) -> CodeVariant<Input> {
 
 fn inputs(n: usize) -> Vec<Input> {
     (1..=n)
-        .map(|i| Input { data: vec![1.0; i * 700], gpu_resident: i % 3 != 0 })
+        .map(|i| Input {
+            data: vec![1.0; i * 700],
+            gpu_resident: i % 3 != 0,
+        })
         .collect()
 }
 
@@ -55,7 +62,9 @@ fn main() {
     ] {
         let mut cv = build(&ctx);
         cv.policy_mut().classifier = config.1.clone();
-        let report = Autotuner::new().tune(&mut cv, &train).expect("tuning succeeds");
+        let report = Autotuner::new()
+            .tune(&mut cv, &train)
+            .expect("tuning succeeds");
         println!(
             "classifier {:<9} -> class counts {:?}, cv accuracy {:?}",
             config.0, report.class_counts, report.cv_accuracy
@@ -66,7 +75,9 @@ fn main() {
     let mut cv = build(&ctx);
     cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
     cv.policy_mut().incremental = Some(StoppingCriterion::Iterations(6));
-    let report = Autotuner::new().tune(&mut cv, &train).expect("tuning succeeds");
+    let report = Autotuner::new()
+        .tune(&mut cv, &train)
+        .expect("tuning succeeds");
     println!(
         "\nincremental: profiled only {}/{} inputs ({} BvSB queries)",
         report.profiled_inputs, report.training_inputs, report.incremental_iterations
@@ -76,7 +87,10 @@ fn main() {
     let mut constrained = build(&ctx);
     constrained.policy_mut().classifier = ClassifierConfig::Knn { k: 1 };
     Autotuner::new().tune(&mut constrained, &train).unwrap();
-    let non_resident = Input { data: vec![1.0; 20_300], gpu_resident: false };
+    let non_resident = Input {
+        data: vec![1.0; 20_300],
+        gpu_resident: false,
+    };
     let with = constrained.call(&non_resident).unwrap();
     constrained.policy_mut().constraints = false;
     let without = constrained.call(&non_resident).unwrap();
@@ -102,9 +116,12 @@ fn main() {
     Autotuner::new().tune(&mut cv, &train).unwrap();
     cv.policy_mut().parallel_feature_evaluation = true;
     cv.policy_mut().async_feature_eval = true;
-    let big = Arc::new(Input { data: vec![2.0; 50_000], gpu_resident: true });
+    let big = Arc::new(Input {
+        data: vec![2.0; 50_000],
+        gpu_resident: true,
+    });
     cv.fix_inputs(Arc::clone(&big)); // features start in the background
-    // ... overlap other work here (paper §III-C) ...
+                                     // ... overlap other work here (paper §III-C) ...
     let outcome = cv.call_fixed().unwrap(); // implicit barrier + dispatch
     println!(
         "\nasync call selected {} (feature cost charged: {:.0} ns, max not sum — parallel)",

@@ -21,15 +21,23 @@ fn main() {
     let mut online = OnlineCodeVariant::new(sort, OnlineOptions::default());
 
     // Production traffic: a mix of workloads arriving over time.
-    let workloads =
-        [("uniform", false), ("uniform", true), ("almost_sorted", true), ("reverse", false)];
+    let workloads = [
+        ("uniform", false),
+        ("uniform", true),
+        ("almost_sorted", true),
+        ("reverse", false),
+    ];
     println!("{:<8} {:<22} {:<10} selected", "call", "workload", "mode");
     for call in 0..60 {
         let (category, wide) = workloads[call % workloads.len()];
         let input = generate(category, 4_000, wide, call as u64, &format!("live/{call}"));
         let before = online.stats().explorations;
         let outcome = online.call(&input).expect("dispatch succeeds");
-        let mode = if online.stats().explorations > before { "explore" } else { "exploit" };
+        let mode = if online.stats().explorations > before {
+            "explore"
+        } else {
+            "exploit"
+        };
         if !(8..56).contains(&call) {
             println!(
                 "{:<8} {:<22} {:<10} {}",

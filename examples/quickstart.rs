@@ -32,7 +32,9 @@ fn main() {
 
     // 4. Train on representative inputs (exhaustive search + SVM).
     let training: Vec<Vec<f64>> = (1..40).map(|i| vec![0.0; i * 128]).collect();
-    let report = Autotuner::new().tune(&mut compute, &training).expect("tuning succeeds");
+    let report = Autotuner::new()
+        .tune(&mut compute, &training)
+        .expect("tuning succeeds");
     println!(
         "trained on {} inputs (classes: {:?}, cv accuracy: {:?})",
         report.training_inputs, report.class_counts, report.cv_accuracy
@@ -51,5 +53,8 @@ fn main() {
     // The crossover (40 + n = 2000 + n/4 at n ≈ 2613) is learned, not
     // hard-coded.
     let stats = compute.stats();
-    println!("dispatches: {} (per-variant: {:?})", stats.calls, stats.selections);
+    println!(
+        "dispatches: {} (per-variant: {:?})",
+        stats.calls, stats.selections
+    );
 }

@@ -21,7 +21,10 @@ fn main() {
         let ctx = Context::with_model_dir(&model_dir);
         let mut sort = build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
         let (training, _) = sort_small_sets(0xD1CE);
-        let tuner = Autotuner { save_model: true, ..Default::default() };
+        let tuner = Autotuner {
+            save_model: true,
+            ..Default::default()
+        };
         let report = tuner.tune(&mut sort, &training).expect("tuning succeeds");
         println!(
             "offline: tuned on {} sequences, model saved to {}",
@@ -44,7 +47,13 @@ fn main() {
         ("reverse", true),
         ("normal", false),
     ] {
-        let input = generate(category, 6_000, wide, 0xACE, &format!("svc/{category}/{wide}"));
+        let input = generate(
+            category,
+            6_000,
+            wide,
+            0xACE,
+            &format!("svc/{category}/{wide}"),
+        );
         let outcome = sort.call(&input).expect("dispatch succeeds");
         println!(
             "{:<26} {:>7} {:>6}  {}",

@@ -34,12 +34,16 @@ mod my_sparse {
             let mut spmv = build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
 
             let (training, _) = spmv_small_sets(0x5EED);
-            let report = Autotuner::new().tune(&mut spmv, &training).expect("tuning succeeds");
+            let report = Autotuner::new()
+                .tune(&mut spmv, &training)
+                .expect("tuning succeeds");
             eprintln!(
                 "[my_sparse] tuned 'spmv' on {} matrices; class counts {:?}",
                 report.training_inputs, report.class_counts
             );
-            Self { spmv: Mutex::new(spmv) }
+            Self {
+                spmv: Mutex::new(spmv),
+            }
         }
 
         /// The public entry point: computes `y = A x` with the
@@ -63,7 +67,12 @@ fn main() {
     println!("\nmatrix                          selected variant");
     for m in test_matrices.iter().take(12) {
         let (y, variant) = lib.sparse_mat_vec(m);
-        println!("{:<30}  {:<12} (‖y‖₁ = {:.1})", m.name, variant, y.iter().map(|v| v.abs()).sum::<f64>());
+        println!(
+            "{:<30}  {:<12} (‖y‖₁ = {:.1})",
+            m.name,
+            variant,
+            y.iter().map(|v| v.abs()).sum::<f64>()
+        );
     }
     println!("\nBanded matrices route to DIA, uniform rows to ELL, scattered to CSR-Vec —");
     println!("all selected by the trained model, none hard-coded.");

@@ -30,15 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // .mtx files, as if downloaded from the UFL collection.
     let (train, _) = collection::spmv_small_sets(0xF163);
     io::export_collection(&train, &mtx_dir)?;
-    println!("wrote {} training matrices to {}", train.len(), mtx_dir.display());
+    println!(
+        "wrote {} training matrices to {}",
+        train.len(),
+        mtx_dir.display()
+    );
 
     // --- The tuning script proper (paper Figure 3) ---
     let ctx = Context::with_model_dir(&model_dir);
     let mut spmv = spmv::build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
 
     // Set tuning properties for spmv.
-    spmv.policy_mut().classifier =
-        ClassifierConfig::Svm { c: None, gamma: None, grid_search: true };
+    spmv.policy_mut().classifier = ClassifierConfig::Svm {
+        c: None,
+        gamma: None,
+        grid_search: true,
+    };
     spmv.policy_mut().constraints = true;
     spmv.policy_mut().parallel_feature_evaluation = false;
     spmv.policy_mut().async_feature_eval = false;
@@ -48,13 +55,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("loaded {} matrices back from disk", matrices.len());
 
     // Tune.
-    let tuner = Autotuner { save_model: true, ..Default::default() };
+    let tuner = Autotuner {
+        save_model: true,
+        ..Default::default()
+    };
     let report = tuner.tune(&mut spmv, &matrices)?;
     println!(
         "tuned: {} inputs, per-class counts {:?}, cv accuracy {:?}",
         report.training_inputs, report.class_counts, report.cv_accuracy
     );
-    println!("model written to {}", ctx.model_path("spmv").unwrap().display());
+    println!(
+        "model written to {}",
+        ctx.model_path("spmv").unwrap().display()
+    );
 
     // --- Deployment: the application loads the model and dispatches. ---
     let mut deployed = spmv::build_code_variant(&ctx, &DeviceConfig::fermi_c2050());

@@ -5,11 +5,14 @@
 //!
 //! * [`nitro_core`] — the library interface (variants, features, constraints).
 //! * [`nitro_ml`] — SVM/SMO, scaling, cross-validation, active learning.
+//! * [`nitro_audit`] — static analysis of registrations, artifacts and
+//!   profile tables (`NITRO0xx` diagnostics).
 //! * [`nitro_tuner`] — the offline autotuner.
 //! * [`nitro_simt`] — the simulated GPU substrate.
 //! * Benchmarks: [`nitro_sparse`], [`nitro_solvers`], [`nitro_graph`],
 //!   [`nitro_histogram`], [`nitro_sort`].
 
+pub use nitro_audit as audit;
 pub use nitro_core as core;
 pub use nitro_graph as graph;
 pub use nitro_histogram as histogram;

@@ -6,7 +6,11 @@ use nitro::simt::DeviceConfig;
 use nitro::tuner::{evaluate_fixed_variant, evaluate_model, Autotuner, ProfileTable};
 
 fn fast_svm() -> ClassifierConfig {
-    ClassifierConfig::Svm { c: Some(32.0), gamma: Some(1.0), grid_search: false }
+    ClassifierConfig::Svm {
+        c: Some(32.0),
+        gamma: Some(1.0),
+        grid_search: false,
+    }
 }
 
 #[test]
@@ -16,7 +20,9 @@ fn sort_pipeline_beats_every_fixed_variant() {
     cv.policy_mut().classifier = fast_svm();
     let (train, test) = nitro::sort::keys::sort_small_sets(0xE2E);
     let table = ProfileTable::build(&cv, &test);
-    let (_, nitro) = Autotuner::new().tune_and_evaluate(&mut cv, &train, &table).unwrap();
+    let (_, nitro) = Autotuner::new()
+        .tune_and_evaluate(&mut cv, &train, &table)
+        .unwrap();
     assert!(nitro.mean_relative_perf > 0.9, "{nitro:?}");
     for v in 0..cv.n_variants() {
         let fixed = evaluate_fixed_variant(&table, v);
@@ -27,12 +33,13 @@ fn sort_pipeline_beats_every_fixed_variant() {
 #[test]
 fn histogram_pipeline_handles_skewed_distributions() {
     let ctx = Context::new();
-    let mut cv =
-        nitro::histogram::variants::build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
+    let mut cv = nitro::histogram::variants::build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
     cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
     let (train, test) = nitro::histogram::data::hist_small_sets(0xE2E);
     let table = ProfileTable::build(&cv, &test);
-    let (_, nitro) = Autotuner::new().tune_and_evaluate(&mut cv, &train, &table).unwrap();
+    let (_, nitro) = Autotuner::new()
+        .tune_and_evaluate(&mut cv, &train, &table)
+        .unwrap();
     assert!(nitro.mean_relative_perf > 0.85, "{nitro:?}");
 }
 
@@ -44,7 +51,9 @@ fn bfs_pipeline_selects_per_topology() {
     cv.policy_mut().classifier = fast_svm();
     let (train, test) = nitro::graph::collection::bfs_small_sets(0xE2E);
     let table = ProfileTable::build(&cv, &test);
-    let (_, nitro) = Autotuner::new().tune_and_evaluate(&mut cv, &train, &table).unwrap();
+    let (_, nitro) = Autotuner::new()
+        .tune_and_evaluate(&mut cv, &train, &table)
+        .unwrap();
     assert!(nitro.mean_relative_perf > 0.85, "{nitro:?}");
 
     // The tuned dispatcher should not collapse to one variant across the
@@ -54,7 +63,10 @@ fn bfs_pipeline_selects_per_topology() {
     for i in 0..table.len() {
         distinct.insert(model.predict(&table.features[i]));
     }
-    assert!(distinct.len() >= 2, "model collapsed to one variant: {distinct:?}");
+    assert!(
+        distinct.len() >= 2,
+        "model collapsed to one variant: {distinct:?}"
+    );
 }
 
 #[test]
@@ -71,7 +83,10 @@ fn solver_pipeline_avoids_non_converging_variants() {
     assert!(s.mean_relative_perf > 0.6, "{s:?}");
     // On inputs where some variant fails, the pipeline should rarely pick
     // a failing one (failures => relative perf 0).
-    assert!(s.failures <= s.n_inputs / 4, "too many failing selections: {s:?}");
+    assert!(
+        s.failures <= s.n_inputs / 4,
+        "too many failing selections: {s:?}"
+    );
 }
 
 #[test]
@@ -86,7 +101,12 @@ fn model_artifacts_round_trip_between_library_instances() {
         let mut cv = nitro::sort::variants::build_code_variant(&ctx, &cfg);
         cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
         let (train, _) = nitro::sort::keys::sort_small_sets(0xAB);
-        Autotuner { save_model: true, ..Default::default() }.tune(&mut cv, &train).unwrap();
+        Autotuner {
+            save_model: true,
+            ..Default::default()
+        }
+        .tune(&mut cv, &train)
+        .unwrap();
     }
 
     // Process 2: fresh context over the same directory.
@@ -95,6 +115,9 @@ fn model_artifacts_round_trip_between_library_instances() {
     cv.load_model().expect("artifact loads");
     let input = nitro::sort::keys::generate("uniform", 4_000, false, 3, "rt");
     let outcome = cv.call(&input).unwrap();
-    assert_eq!(outcome.variant_name, "Radix", "32-bit uniform keys should go to radix");
+    assert_eq!(
+        outcome.variant_name, "Radix",
+        "32-bit uniform keys should go to radix"
+    );
     std::fs::remove_dir_all(dir).ok();
 }

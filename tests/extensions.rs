@@ -16,9 +16,12 @@ fn online_tuning_learns_sort_selection_in_production() {
     // Live traffic alternating between regimes.
     for i in 0..48 {
         let wide = i % 2 == 0;
-        let category = if i % 3 == 0 { "almost_sorted" } else { "uniform" };
-        let input =
-            nitro::sort::keys::generate(category, 3_000, wide, i as u64, &format!("t/{i}"));
+        let category = if i % 3 == 0 {
+            "almost_sorted"
+        } else {
+            "uniform"
+        };
+        let input = nitro::sort::keys::generate(category, 3_000, wide, i as u64, &format!("t/{i}"));
         online.call(&input).unwrap();
     }
     assert!(online.inner().has_model());
@@ -68,7 +71,10 @@ fn energy_and_time_objectives_produce_valid_tables() {
                 assert!(t > 0.0 && e > 0.0);
                 // Energy is never cheaper than the static floor over the
                 // elapsed time.
-                assert!(e >= t * cfg.static_watts * 0.99, "input {i} variant {v}: {e} vs {t}");
+                assert!(
+                    e >= t * cfg.static_watts * 0.99,
+                    "input {i} variant {v}: {e} vs {t}"
+                );
             }
         }
     }
@@ -78,7 +84,9 @@ fn energy_and_time_objectives_produce_valid_tables() {
 fn variant_family_tunes_through_public_api() {
     let ctx = Context::new();
     let mut cv = nitro::core::CodeVariant::<f64>::new("family", &ctx);
-    cv.add_variant_family("poly", vec![1u32, 2, 3], |&p, &x: &f64| (x - p as f64 * 3.0).abs());
+    cv.add_variant_family("poly", vec![1u32, 2, 3], |&p, &x: &f64| {
+        (x - p as f64 * 3.0).abs()
+    });
     cv.set_default(0);
     cv.add_input_feature(nitro::core::FnFeature::new("x", |&x: &f64| x));
     cv.policy_mut().classifier = ClassifierConfig::Knn { k: 1 };

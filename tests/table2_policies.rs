@@ -27,8 +27,16 @@ fn train_inputs() -> Vec<f64> {
 #[test]
 fn every_classifier_family_learns_the_toy_boundary() {
     for config in [
-        ClassifierConfig::Svm { c: Some(8.0), gamma: Some(1.0), grid_search: false },
-        ClassifierConfig::Svm { c: None, gamma: None, grid_search: true },
+        ClassifierConfig::Svm {
+            c: Some(8.0),
+            gamma: Some(1.0),
+            grid_search: false,
+        },
+        ClassifierConfig::Svm {
+            c: None,
+            gamma: None,
+            grid_search: true,
+        },
         ClassifierConfig::Knn { k: 3 },
         ClassifierConfig::Tree(TreeParams::default()),
     ] {

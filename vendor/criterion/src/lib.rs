@@ -1,0 +1,138 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides just enough of the criterion harness API for the workspace's
+//! `harness = false` bench targets to compile and run: `Criterion`,
+//! benchmark groups, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. There is no statistics engine — each
+//! benchmark runs a small fixed number of timed iterations and prints a
+//! mean per-iteration time, which keeps `cargo test` (which executes
+//! `harness = false` bench binaries) fast while still exercising every
+//! benchmarked code path. Passing `--test` (as `cargo test` does) runs
+//! each benchmark exactly once as a smoke test.
+
+use std::time::Instant;
+
+/// How many timed iterations to run per benchmark (smoke mode: 1).
+fn iterations(smoke: bool) -> u64 {
+    if smoke {
+        1
+    } else {
+        std::env::var("CRITERION_ITERATIONS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10)
+    }
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Criterion {
+    /// Build from process arguments (`--test` selects smoke mode).
+    pub fn from_args() -> Self {
+        Self {
+            smoke: std::env::args().any(|a| a == "--test"),
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: iterations(self.smoke),
+            elapsed_ns: 0.0,
+            measured: 0,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finish the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+    measured: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, preventing the result from being optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed_ns += start.elapsed().as_nanos() as f64;
+            self.measured += 1;
+            std::hint::black_box(out);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.measured == 0 {
+            println!("{name}: no iterations measured");
+        } else {
+            println!(
+                "{name}: {:.1} ns/iter (n={})",
+                self.elapsed_ns / self.measured as f64,
+                self.measured
+            );
+        }
+    }
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($group, $($rest)*);
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Implements the three distributions the benchmark-input generators
+//! draw from — [`Normal`] (Box–Muller), [`Exp`] (inverse CDF) and
+//! [`Zipf`] (rejection sampling) — behind the upstream
+//! [`Distribution`] trait shape.
+
+use rand::Rng;
+
+/// A distribution over values of `T` sampled with an external RNG.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// 53-bit uniform draw in `(0, 1]`, safe to pass through `ln`.
+fn unit_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    1.0 - u // (0, 1]
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create from mean and standard deviation (`std_dev >= 0`, finite).
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError("normal std_dev must be finite and non-negative"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; one draw per call keeps the generator stateless.
+        let u1 = unit_open(rng);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Create from rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        // NaN is rejected by the `!is_finite()` arm.
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(ParamError("exp rate must be finite and positive"));
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.lambda
+    }
+}
+
+/// Zipf distribution over `{1, 2, …, n}` with exponent `s`.
+///
+/// Sampled by the standard two-region rejection scheme (uniform head,
+/// Pareto tail), which stays O(1) for any `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    t: f64,
+}
+
+impl Zipf {
+    /// Create over `{1, …, n}` (n ≥ 1) with exponent `s > 0`.
+    pub fn new(n: f64, s: f64) -> Result<Self, ParamError> {
+        // NaN is rejected by the `!is_finite()` arms.
+        if n < 1.0 || !n.is_finite() {
+            return Err(ParamError("zipf n must be >= 1"));
+        }
+        if s <= 0.0 || !s.is_finite() {
+            return Err(ParamError("zipf exponent must be positive"));
+        }
+        let n = n.floor();
+        // Normalizer of the dominating density.
+        let t = if (s - 1.0).abs() < 1e-12 {
+            1.0 + n.ln()
+        } else {
+            (n.powf(1.0 - s) - s) / (1.0 - s)
+        };
+        Ok(Self { n, s, t })
+    }
+
+    /// Inverse of the dominating CDF (uniform head over `(0, 1]`, then
+    /// the `x^{-s}` tail), mapping `p ∈ (0, 1]` to `(0, n]`.
+    fn inv_cdf(&self, p: f64) -> f64 {
+        let pt = p * self.t;
+        if pt <= 1.0 {
+            pt
+        } else if (self.s - 1.0).abs() < 1e-12 {
+            (pt - 1.0).exp()
+        } else {
+            (pt * (1.0 - self.s) + self.s).powf(1.0 / (1.0 - self.s))
+        }
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Hörmann–Derflinger rejection-inversion: invert the envelope,
+        // round down to the next rank, accept with pmf/envelope ratio.
+        loop {
+            let x = self.inv_cdf(unit_open(rng));
+            let k = (x + 1.0).floor().min(self.n);
+            let mut ratio = k.powf(-self.s);
+            if k > 1.0 {
+                ratio *= x.powf(self.s);
+            }
+            if unit_open(rng) < ratio {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_match() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!((0..100).all(|_| d.sample(&mut rng) >= 0.0));
+    }
+
+    #[test]
+    fn zipf_stays_in_support_and_skews_low() {
+        let d = Zipf::new(256.0, 1.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut ones = 0usize;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=256.0).contains(&v), "out of support: {v}");
+            assert_eq!(v.fract(), 0.0, "non-integral rank: {v}");
+            if v == 1.0 {
+                ones += 1;
+            }
+        }
+        // Rank 1 dominates a Zipf(1.3): well over a quarter of the mass.
+        assert!(
+            ones as f64 / n as f64 > 0.25,
+            "p(1) = {}",
+            ones as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Zipf::new(0.5, 1.0).is_err());
+        assert!(Zipf::new(10.0, 0.0).is_err());
+    }
+}

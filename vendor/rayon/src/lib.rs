@@ -1,0 +1,124 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace uses exactly one parallel pattern —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — so this crate
+//! implements that pipeline directly on scoped OS threads: the input is
+//! chunked across `std::thread::available_parallelism()` workers and the
+//! per-chunk results are concatenated in order, preserving rayon's
+//! ordering guarantee. No work stealing, no global pool; for Nitro's
+//! fan-out shapes (profiling dozens-to-thousands of independent inputs)
+//! even this coarse split keeps all cores busy.
+
+/// Parallel iterator over the elements of a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct Map<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// Conversion into a by-reference parallel iterator (rayon's
+/// `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: 'a;
+
+    /// A parallel iterator borrowing the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f` (evaluated in parallel at collect).
+    pub fn map<R, F>(self, f: F) -> Map<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> Map<'a, T, F> {
+    /// Evaluate the map across worker threads and collect the results in
+    /// input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.items.len();
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(n);
+        if workers <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon worker panicked"))
+                .collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude::*` call sites.
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_slices_and_tiny_inputs() {
+        let v = [3.5f64];
+        let out: Vec<f64> = v[..].par_iter().map(|&x| x + 1.0).collect();
+        assert_eq!(out, vec![4.5]);
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn closures_may_borrow_environment() {
+        let offset = 10usize;
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x + offset).collect();
+        assert_eq!(out[99], 109);
+    }
+}

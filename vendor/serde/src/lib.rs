@@ -1,0 +1,415 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of upstream serde's visitor architecture, this implementation
+//! round-trips every serializable type through an in-memory JSON value
+//! tree ([`Value`]): `Serialize` renders a type *to* a [`Value`] and
+//! `Deserialize` rebuilds it *from* one. The companion `serde_json`
+//! stand-in handles the text encoding, and the `serde_derive` stand-in
+//! generates these impls for the workspace's concrete structs and enums
+//! with upstream-compatible JSON shapes (externally tagged enums,
+//! objects with field names, `#[serde(skip)]` honoured).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating-point number (may be non-finite in memory; encoders
+    /// write non-finite values as `null`, matching upstream serde_json).
+    Float(f64),
+}
+
+impl Number {
+    /// The number as an `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(u) => u as f64,
+            Number::NegInt(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+/// An in-memory JSON document.
+///
+/// Objects preserve insertion order (`Vec` of pairs rather than a map),
+/// so encoded artifacts keep their field order stable across round trips.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the key/value pairs if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow the text if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Look up a field by name, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a caller-supplied message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// "expected X, found Y" mismatch against a concrete value.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self::custom(format!("expected {what}, found {}", got.kind()))
+    }
+
+    /// A required struct field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::custom(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// An enum tag did not name a known variant.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Self::custom(format!("unknown variant `{variant}` for enum {ty}"))
+    }
+
+    /// Wrap with the field being deserialized, for error context.
+    pub fn in_field(self, ty: &str, field: &str) -> Self {
+        Self::custom(format!("{ty}.{field}: {}", self.msg))
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable to a JSON [`Value`].
+pub trait Serialize {
+    /// Render to an in-memory JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from an in-memory JSON value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Fetch and deserialize a required object field (used by derived code).
+pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &str, ty: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| e.in_field(ty, name)),
+        None => Err(Error::missing_field(ty, name)),
+    }
+}
+
+/// Fetch an optional object field, falling back to `Default` (used by
+/// derived code for `#[serde(default)]`).
+pub fn __field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| e.in_field(ty, name)),
+        None => Ok(T::default()),
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("a boolean", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let out = match v {
+                    Value::Number(Number::PosInt(u)) => <$t>::try_from(*u).ok(),
+                    Value::Number(Number::NegInt(_)) => None,
+                    other => return Err(Error::expected("an unsigned integer", other)),
+                };
+                out.ok_or_else(|| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 {
+                    Value::Number(Number::PosInt(x as u64))
+                } else {
+                    Value::Number(Number::NegInt(x))
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let out = match v {
+                    Value::Number(Number::PosInt(u)) => <$t>::try_from(*u).ok(),
+                    Value::Number(Number::NegInt(i)) => <$t>::try_from(*i).ok(),
+                    other => return Err(Error::expected("an integer", other)),
+                };
+                out.ok_or_else(|| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(Error::expected("a number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("a string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("an array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::expected("an array of length 2", v)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::expected("an array of length 3", v)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<Option<u8>> = vec![Some(1), None];
+        assert_eq!(Vec::<Option<u8>>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u8::from_value(&Value::Number(Number::PosInt(300))).is_err());
+        assert!(u64::from_value(&Value::Number(Number::NegInt(-1))).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+        assert!(f64::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn integers_widen_into_f64() {
+        assert_eq!(
+            f64::from_value(&Value::Number(Number::PosInt(3))).unwrap(),
+            3.0
+        );
+        assert_eq!(
+            f64::from_value(&Value::Number(Number::NegInt(-3))).unwrap(),
+            -3.0
+        );
+    }
+}

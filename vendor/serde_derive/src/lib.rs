@@ -1,0 +1,482 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Generates `Serialize` / `Deserialize` impls against the value-tree
+//! traits of the vendored `serde` crate. The parser is hand-rolled over
+//! `proc_macro::TokenTree` (no syn/quote available offline) and supports
+//! exactly the shapes this workspace derives on: non-generic structs
+//! with named fields and non-generic enums with unit, tuple, or
+//! struct-like variants. `#[serde(skip)]` and `#[serde(default)]` are
+//! honoured; any other serde attribute is a compile-time panic rather
+//! than a silently wrong encoding.
+//!
+//! Encodings match upstream serde_json: structs become objects, unit
+//! enum variants become strings, and non-unit variants are externally
+//! tagged (`{"Variant": ...}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// One named field of a struct or struct-like enum variant.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// The shape of one enum variant.
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("derived Serialize impl should parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("derived Deserialize impl should parse")
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume leading attributes, returning whether `#[serde(skip)]` /
+/// `#[serde(default)]` were among them. Unknown serde attributes panic.
+fn take_attrs(it: &mut Tokens) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        let Some(TokenTree::Group(attr)) = it.next() else {
+            panic!("expected [...] after # in attribute");
+        };
+        let mut inner = attr.stream().into_iter();
+        if let Some(TokenTree::Ident(id)) = inner.next() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    for tok in args.stream() {
+                        if let TokenTree::Ident(word) = tok {
+                            match word.to_string().as_str() {
+                                "skip" => skip = true,
+                                "default" => default = true,
+                                other => panic!(
+                                    "unsupported serde attribute `{other}` (offline serde_derive \
+                                     supports only `skip` and `default`)"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (skip, default)
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn take_visibility(it: &mut Tokens) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+/// Skip one field type: consume tokens until a comma at angle-bracket
+/// depth zero (commas inside `Vec<(A, B)>` are hidden inside groups;
+/// commas inside `HashMap<K, V>` are guarded by the depth counter).
+fn skip_type(it: &mut Tokens) {
+    let mut depth = 0i64;
+    while let Some(tok) = it.peek() {
+        if depth == 0 {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    it.next();
+                    return;
+                }
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields from a brace-group stream.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (skip, default) = take_attrs(&mut it);
+        take_visibility(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected field name, found `{other}`"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut it);
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+/// Count elements of a tuple-variant payload (top-level commas, ignoring
+/// a trailing one).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth = 0i64;
+    let mut commas = 0usize;
+    let mut trailing = false;
+    let mut any = false;
+    for tok in stream {
+        any = true;
+        trailing = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1 - usize::from(trailing)
+    }
+}
+
+/// Parse the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected variant name, found `{other}`"),
+        };
+        let kind = match it.peek().cloned() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                it.next();
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                it.next();
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(Variant { name, kind });
+                break;
+            }
+            Some(other) => panic!("expected `,` after variant, found `{other}`"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Parse the derive input into an [`Item`].
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let (_, _) = take_attrs(&mut it);
+    take_visibility(&mut it);
+    let keyword = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("offline serde_derive does not support generic type `{name}`");
+    }
+    let Some(TokenTree::Group(body)) = it.next() else {
+        panic!("offline serde_derive requires a braced body on `{name}` (no tuple/unit structs)");
+    };
+    if body.delimiter() != Delimiter::Brace {
+        panic!("offline serde_derive requires named fields on `{name}`");
+    }
+    let body = match keyword.as_str() {
+        "struct" => Body::Struct(parse_fields(body.stream())),
+        "enum" => Body::Enum(parse_variants(body.stream())),
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    };
+    Item { name, body }
+}
+
+/// Attributes prepended to every generated impl block.
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n    \
+         fn to_value(&self) -> ::serde::Value {{\n"
+    );
+    match &item.body {
+        Body::Struct(fields) => {
+            out.push_str(&serialize_fields_to_object(fields, "self.", "        "));
+            out.push_str("        ::serde::Value::Object(__fields)\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            out,
+                            "            Self::{vname} => \
+                             ::serde::Value::String(\"{vname}\".to_string()),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            out,
+                            "            Self::{vname}(__f0) => \
+                             ::serde::Value::Object(::std::vec![(\"{vname}\".to_string(), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "            Self::{vname}({}) => \
+                             ::serde::Value::Object(::std::vec![(\"{vname}\".to_string(), \
+                             ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let bound: Vec<&str> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.as_str())
+                            .collect();
+                        let rest = if bound.len() < fields.len() {
+                            ", .."
+                        } else {
+                            ""
+                        };
+                        let _ = writeln!(
+                            out,
+                            "            Self::{vname} {{ {}{rest} }} => {{",
+                            bound.join(", ")
+                        );
+                        out.push_str(&serialize_fields_to_object(fields, "", "                "));
+                        let _ = writeln!(
+                            out,
+                            "                \
+                             ::serde::Value::Object(::std::vec![(\"{vname}\".to_string(), \
+                             ::serde::Value::Object(__fields))])\n            }}"
+                        );
+                    }
+                }
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+/// Emit `let mut __fields = ...; __fields.push(...)` lines for the
+/// non-skipped fields, reading each through `{access}{field}`.
+fn serialize_fields_to_object(fields: &[Field], access: &str, indent: &str) -> String {
+    let mut out = format!(
+        "{indent}let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n"
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        let fname = &f.name;
+        // In struct context fields are read via `&self.name`; in a match
+        // arm the bindings are already references.
+        let amp = if access.is_empty() { "" } else { "&" };
+        let _ = writeln!(
+            out,
+            "{indent}__fields.push((\"{fname}\".to_string(), \
+             ::serde::Serialize::to_value({amp}{access}{fname})));"
+        );
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n    \
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+    );
+    match &item.body {
+        Body::Struct(fields) => {
+            let _ = writeln!(
+                out,
+                "        let __obj = match __v.as_object() {{\n            \
+                 ::std::option::Option::Some(o) => o,\n            \
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"an object for struct {name}\", __v)),\n        }};"
+            );
+            let _ = writeln!(out, "        ::std::result::Result::Ok(Self {{");
+            out.push_str(&deserialize_field_inits(fields, name, "            "));
+            out.push_str("        })\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str("        match __v {\n");
+            // Unit variants arrive as bare strings.
+            out.push_str("            ::serde::Value::String(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vname = &v.name;
+                    let _ = writeln!(
+                        out,
+                        "                \"{vname}\" => ::std::result::Result::Ok(Self::{vname}),"
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "                __other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(\"{name}\", __other)),\n            }},"
+            );
+            // Non-unit variants arrive externally tagged.
+            out.push_str(
+                "            ::serde::Value::Object(__o) if __o.len() == 1 => {\n                \
+                 let (__tag, __inner) = &__o[0];\n                match __tag.as_str() {\n",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            out,
+                            "                    \"{vname}\" => ::std::result::Result::Ok(\
+                             Self::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__e{i}")).collect();
+                        let reads: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Deserialize::from_value({b})?"))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "                    \"{vname}\" => match __inner.as_array() {{\n                        \
+                             ::std::option::Option::Some([{}]) => ::std::result::Result::Ok(\
+                             Self::{vname}({})),\n                        \
+                             _ => ::std::result::Result::Err(::serde::Error::expected(\
+                             \"an array of length {n} for variant {name}::{vname}\", __inner)),\n                    \
+                             }},",
+                            binds.join(", "),
+                            reads.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let _ = writeln!(
+                            out,
+                            "                    \"{vname}\" => {{\n                        \
+                             let __obj = match __inner.as_object() {{\n                            \
+                             ::std::option::Option::Some(o) => o,\n                            \
+                             ::std::option::Option::None => return ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"an object for variant {name}::{vname}\", \
+                             __inner)),\n                        }};\n                        \
+                             ::std::result::Result::Ok(Self::{vname} {{"
+                        );
+                        out.push_str(&deserialize_field_inits(
+                            fields,
+                            &format!("{name}::{vname}"),
+                            "                            ",
+                        ));
+                        out.push_str("                        })\n                    }\n");
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "                    __other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(\"{name}\", __other)),\n                \
+                 }}\n            }},"
+            );
+            let _ = writeln!(
+                out,
+                "            __other => ::std::result::Result::Err(::serde::Error::expected(\
+                 \"a string or single-key object for enum {name}\", __other)),\n        }}"
+            );
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+/// Emit `field: <expr>,` initializers for a struct or struct-variant
+/// constructor, honouring skip/default.
+fn deserialize_field_inits(fields: &[Field], ty_label: &str, indent: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let expr = if f.skip {
+            "::std::default::Default::default()".to_string()
+        } else if f.default {
+            format!("::serde::__field_or_default(__obj, \"{fname}\", \"{ty_label}\")?")
+        } else {
+            format!("::serde::__field(__obj, \"{fname}\", \"{ty_label}\")?")
+        };
+        let _ = writeln!(out, "{indent}{fname}: {expr},");
+    }
+    out
+}

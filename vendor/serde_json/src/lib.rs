@@ -1,0 +1,486 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Text encoding/decoding for the value-tree serde stand-in: a
+//! recursive-descent JSON parser (full string escapes, surrogate pairs,
+//! depth-limited) and compact + pretty writers. Behaviour mirrors
+//! upstream where the workspace can observe it: non-finite floats encode
+//! as `null`, floats print via Rust's shortest round-trip `Display`,
+//! pretty output indents by two spaces, objects keep field order.
+
+use serde::{Deserialize, Serialize};
+
+pub use serde::{Error, Number, Value};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse(s)?;
+    T::from_value(&value)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Rebuild a `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_value(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    use std::fmt::Write as _;
+    match n {
+        Number::PosInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::NegInt(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::Float(f) if !f.is_finite() => out.push_str("null"),
+        Number::Float(f) => {
+            // Rust's float Display is the shortest string that parses
+            // back to the same f64, so text round trips are lossless.
+            let _ = write!(out, "{f}");
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Recursion guard: plenty for model artifacts, small enough that a
+/// hostile input cannot overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse a complete JSON document.
+fn parse(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value> {
+        self.eat(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value> {
+        self.eat(b'{', "expected `{`")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected `:` after object key")?;
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                self.eat(b'\\', "expected low surrogate")?;
+                                self.eat(b'u', "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 character (input is a &str, so the
+                    // byte sequence is valid by construction).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input was a valid &str"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("unterminated unicode escape"))?;
+            let digit = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a') as u32 + 10,
+                b'A'..=b'F' => (b - b'A') as u32 + 10,
+                _ => return Err(self.err("invalid hex digit in unicode escape")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        if is_float {
+            let f: f64 = text
+                .parse()
+                .map_err(|_| Error::custom(format!("invalid number `{text}`")))?;
+            return Ok(Value::Number(Number::Float(f)));
+        }
+        if let Some(stripped) = text.strip_prefix('-') {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(i)));
+            }
+            // Magnitude overflow: fall back to f64 like upstream.
+            let f: f64 = stripped
+                .parse()
+                .map(|m: f64| -m)
+                .map_err(|_| Error::custom(format!("invalid number `{text}`")))?;
+            return Ok(Value::Number(Number::Float(f)));
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::PosInt(u)));
+        }
+        let f: f64 = text
+            .parse()
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))?;
+        Ok(Value::Number(Number::Float(f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip() {
+        let v = Value::Object(vec![
+            (
+                "name".to_string(),
+                Value::String("nitro \"fast\"\n".to_string()),
+            ),
+            (
+                "xs".to_string(),
+                Value::Array(vec![
+                    Value::Number(Number::PosInt(1)),
+                    Value::Number(Number::Float(-2.5)),
+                    Value::Null,
+                    Value::Bool(true),
+                ]),
+            ),
+        ]);
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &f in &[
+            0.1,
+            1.0 / 3.0,
+            1e-300,
+            2.2250738585072014e-308,
+            9007199254740993.1,
+            -123.456e78,
+        ] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f, "text was {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").is_err());
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = Value::Object(vec![(
+            "a".to_string(),
+            Value::Array(vec![Value::Bool(false)]),
+        )]);
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    false\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        let s: String = from_str(r#""Aé😀\t\\""#).unwrap();
+        assert_eq!(s, "Aé😀\t\\");
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(from_str::<Value>("{\"a\": ").is_err()); // truncated
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("01x").is_err());
+        assert!(from_str::<Value>("{\"a\": 1} extra").is_err());
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str::<Value>(&deep).is_err());
+    }
+
+    #[test]
+    fn integer_widths() {
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<i64>("-9223372036854775808").unwrap(), i64::MIN);
+        assert_eq!(from_str::<f64>("1e3").unwrap(), 1000.0);
+    }
+}
