@@ -14,6 +14,9 @@
 //!   models (`NITRO001`, `NITRO020`–`NITRO029`).
 //! * [`analyze_profile`] — training-set pathologies in exhaustive
 //!   profiling results (`NITRO030`–`NITRO039`).
+//! * [`analyze_metrics`] / [`analyze_metrics_json`] — suspicious runtime
+//!   behavior in an exported `nitro-trace` metrics snapshot
+//!   (`NITRO040`–`NITRO049`).
 //!
 //! Findings are [`nitro_core::Diagnostic`]s: a stable `NITRO0xx` code, a
 //! severity, a subject and a message, rendered with
@@ -38,10 +41,12 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod metrics;
 pub mod profile;
 pub mod registration;
 
 pub use artifact::{audit_artifact, audit_artifact_against, audit_artifact_json};
+pub use metrics::{analyze_metrics, analyze_metrics_json, MetricsAuditConfig};
 pub use profile::{analyze_profile, ProfileAuditConfig, ProfileView};
 pub use registration::{lint_grid_search, lint_registration};
 

@@ -6,7 +6,9 @@
 //! performance achieved without incremental tuning is roughly 25
 //! iterations. To match it, incremental tuning takes no more than 50.
 
-use nitro_bench::{cached_table, device, incremental_curve, pct, SuiteSpec};
+use nitro_bench::{
+    cached_table, device, incremental_curve_with_report, pct, phase_breakdown, SuiteSpec,
+};
 use nitro_core::Context;
 use nitro_tuner::{evaluate_model, Autotuner, ProfileTable};
 
@@ -104,7 +106,7 @@ fn report<I: Send + Sync>(
     let full_model = cv.export_artifact().unwrap().model;
     let full = evaluate_model(test_table, &full_model, cv.default_variant()).mean_relative_perf;
 
-    let curve = incremental_curve(cv, train, test_table, max_iters);
+    let (curve, tune) = incremental_curve_with_report(cv, train, test_table, max_iters);
 
     println!(
         "\n--- {name} (full-training performance: {}) ---",
@@ -130,4 +132,8 @@ fn report<I: Send + Sync>(
         "  reached 90% of full-training at iteration {:?}; matched it at {:?} (paper: ~25 and <=50)",
         reached_90, reached_100
     );
+    let breakdown = phase_breakdown(&tune, "    ");
+    if !breakdown.is_empty() {
+        println!("  incremental tuning time by phase:\n{breakdown}");
+    }
 }

@@ -265,11 +265,22 @@ pub fn incremental_curve<I: Send + Sync>(
     test_table: &ProfileTable,
     max_iterations: usize,
 ) -> Vec<(usize, f64)> {
+    incremental_curve_with_report(cv, train, test_table, max_iterations).0
+}
+
+/// Like [`incremental_curve`], but also returns the tune report so
+/// callers can inspect phase timings and accuracy history.
+pub fn incremental_curve_with_report<I: Send + Sync>(
+    cv: &mut CodeVariant<I>,
+    train: &[I],
+    test_table: &ProfileTable,
+    max_iterations: usize,
+) -> (Vec<(usize, f64)>, TuneReport) {
     cv.policy_mut().incremental = Some(StoppingCriterion::Iterations(max_iterations));
     let report = Autotuner::new()
         .tune_with_test(cv, train, test_table)
         .expect("incremental tuning succeeds");
-    report
+    let curve = report
         .model_history
         .iter()
         .enumerate()
@@ -277,7 +288,30 @@ pub fn incremental_curve<I: Send + Sync>(
             let summary = evaluate_model(test_table, model, cv.default_variant());
             (i, summary.mean_relative_perf)
         })
-        .collect()
+        .collect();
+    (curve, report)
+}
+
+/// Render a [`TuneReport`]'s phase-timing breakdown as indented lines
+/// (empty string when no timings were recorded).
+pub fn phase_breakdown(report: &TuneReport, indent: &str) -> String {
+    let total: f64 = report.phase_timings.iter().map(|p| p.wall_ns).sum();
+    if total <= 0.0 {
+        return String::new();
+    }
+    report
+        .phase_timings
+        .iter()
+        .map(|p| {
+            format!(
+                "{indent}{:<12} {:>10.3} ms  {}",
+                p.phase,
+                p.wall_ns / 1e6,
+                pct(p.wall_ns / total)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// One row of the Figure-8 study: the features used, the achieved

@@ -377,6 +377,21 @@ impl<I: ?Sized> CodeVariant<I> {
         }
     }
 
+    /// Pre-register this function's dispatch metrics (calls, fallback,
+    /// and per-variant win/veto counters) in a tracer's registry, so an
+    /// exported metrics JSON distinguishes "variant never won" from
+    /// "variant never registered" — the signal the `nitro-audit`
+    /// metrics analyzer keys on.
+    pub fn declare_tracer_metrics(&self, tracer: &nitro_trace::Tracer) {
+        let m = tracer.metrics();
+        m.declare_counter(&format!("dispatch.{}.calls", self.name));
+        m.declare_counter(&format!("dispatch.{}.fallback", self.name));
+        for v in &self.variants {
+            m.declare_counter(&format!("dispatch.{}.win.{}", self.name, v.name()));
+            m.declare_counter(&format!("dispatch.{}.veto.{}", self.name, v.name()));
+        }
+    }
+
     /// Shared dispatch tail for `call` and `call_fixed`.
     fn dispatch(
         &mut self,
@@ -385,19 +400,40 @@ impl<I: ?Sized> CodeVariant<I> {
         feature_cost_ns: f64,
         via_async: bool,
     ) -> Result<Invocation> {
+        // One cheap clone of the installed tracer (a reference-count
+        // bump); `None` on the untraced hot path, which allocates
+        // nothing below this point.
+        let tracer = self.context.tracer();
+        let mut span = tracer.as_ref().map(|t| {
+            t.span(
+                &format!("dispatch:{}", self.name),
+                "dispatch",
+                vec![
+                    nitro_trace::arg("features", &features),
+                    nitro_trace::arg("feature_cost_ns", &feature_cost_ns),
+                ],
+            )
+        });
+
         if self.variants.is_empty() {
             return Err(NitroError::NoVariants);
         }
+        let predict_start = tracer.as_ref().map(|t| t.now_ns());
         let predicted = match (&self.model, self.default_variant) {
             (Some(m), _) => m.predict(&features),
             (None, Some(d)) => self.checked_default(d)?,
             (None, None) => return Err(NitroError::NoSelectionPossible),
         };
+        let predict_ns = tracer
+            .as_ref()
+            .zip(predict_start)
+            .map(|(t, start)| t.now_ns().saturating_sub(start));
 
         // Online constraint handling: revert to the default variant when
         // the predicted one is vetoed (paper §II-B).
         let mut fell_back = false;
-        let mut chosen = predicted.min(self.variants.len() - 1);
+        let intended = predicted.min(self.variants.len() - 1);
+        let mut chosen = intended;
         if !self.constraints_satisfied(chosen, input) {
             fell_back = true;
             chosen = match self.default_variant {
@@ -416,6 +452,37 @@ impl<I: ?Sized> CodeVariant<I> {
         }
         if via_async {
             self.stats.async_calls += 1;
+        }
+
+        if let Some(t) = &tracer {
+            let m = t.metrics();
+            m.inc(&format!("dispatch.{}.calls", self.name));
+            m.inc(&format!(
+                "dispatch.{}.win.{}",
+                self.name,
+                self.variants[chosen].name()
+            ));
+            if fell_back {
+                m.inc(&format!("dispatch.{}.fallback", self.name));
+                m.inc(&format!(
+                    "dispatch.{}.veto.{}",
+                    self.name,
+                    self.variants[intended].name()
+                ));
+            }
+            m.observe(
+                &format!("dispatch.{}.feature_ns", self.name),
+                feature_cost_ns,
+            );
+            if let Some(ns) = predict_ns {
+                m.observe(&format!("dispatch.{}.predict_ns", self.name), ns as f64);
+            }
+            if let Some(s) = span.as_mut() {
+                s.end_arg("predicted", nitro_trace::val(&predicted));
+                s.end_arg("chosen", nitro_trace::val(&chosen));
+                s.end_arg("vetoed", nitro_trace::val(&fell_back));
+                s.end_arg("objective_ns", nitro_trace::val(&objective));
+            }
         }
 
         Ok(Invocation {
@@ -687,6 +754,66 @@ mod tests {
         );
         cv.install_model(TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &data));
         assert_eq!(cv.call(&7.9).unwrap().variant_name, "tile@8");
+    }
+
+    #[test]
+    fn traced_dispatch_emits_span_and_metrics() {
+        let mut cv = toy();
+        cv.install_model(toy_model());
+        cv.add_constraint(1, FnConstraint::new("never", |_: &f64| false));
+        let sink = Arc::new(nitro_trace::RingSink::new(64));
+        let tracer = nitro_trace::Tracer::new(sink.clone());
+        cv.declare_tracer_metrics(&tracer);
+        cv.context().install_tracer(tracer.clone());
+
+        cv.call(&1.0).unwrap(); // predicted 0, runs 0
+        cv.call(&9.0).unwrap(); // predicted 1, vetoed, falls back to 0
+
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 4, "two spans = four boundary events");
+        assert_eq!(events[0].name, "dispatch:toy");
+        assert_eq!(events[0].cat, "dispatch");
+        assert_eq!(events[0].phase, nitro_trace::Phase::Begin);
+        let vetoed_end = &events[3];
+        assert_eq!(vetoed_end.phase, nitro_trace::Phase::End);
+        let vetoed = vetoed_end
+            .args
+            .iter()
+            .find(|(k, _)| k == "vetoed")
+            .expect("end event carries outcome");
+        assert_eq!(vetoed.1, nitro_trace::Value::Bool(true));
+
+        let m = tracer.metrics();
+        assert_eq!(m.counter("dispatch.toy.calls"), Some(2));
+        assert_eq!(m.counter("dispatch.toy.win.small"), Some(2));
+        assert_eq!(m.counter("dispatch.toy.win.large"), Some(0));
+        assert_eq!(m.counter("dispatch.toy.veto.large"), Some(1));
+        assert_eq!(m.counter("dispatch.toy.fallback"), Some(1));
+
+        // Dispatch behavior itself is unchanged by tracing.
+        assert_eq!(cv.stats().calls, 2);
+        assert_eq!(cv.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn traced_error_path_still_closes_span() {
+        let ctx = Context::new();
+        let sink = Arc::new(nitro_trace::RingSink::new(8));
+        ctx.install_tracer(nitro_trace::Tracer::new(sink.clone()));
+        let mut cv = CodeVariant::new("nodefault", &ctx);
+        cv.add_variant(FnVariant::new("only", |&_x: &f64| 1.0));
+        assert!(cv.call(&1.0).is_err());
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].phase, nitro_trace::Phase::End);
+    }
+
+    #[test]
+    fn untraced_dispatch_emits_nothing() {
+        let mut cv = toy();
+        cv.install_model(toy_model());
+        cv.call(&1.0).unwrap();
+        assert!(cv.context().tracer().is_none());
     }
 
     #[test]

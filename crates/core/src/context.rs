@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use nitro_trace::Tracer;
 use parking_lot::Mutex;
 
 use crate::error::Result;
@@ -19,6 +20,7 @@ use crate::model::ModelArtifact;
 struct ContextInner {
     model_dir: Mutex<Option<PathBuf>>,
     registry: Mutex<HashMap<String, ModelArtifact>>,
+    tracer: Mutex<Option<Tracer>>,
 }
 
 /// Shared tuning state. Clones refer to the same underlying context.
@@ -92,6 +94,24 @@ impl Context {
         let mut names: Vec<String> = self.inner.registry.lock().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Install a tracer: dispatch, tuning and profiling through this
+    /// context emit spans/metrics into it. Replaces any previous tracer.
+    pub fn install_tracer(&self, tracer: Tracer) {
+        *self.inner.tracer.lock() = Some(tracer);
+    }
+
+    /// Remove the installed tracer, returning it if one was present.
+    pub fn clear_tracer(&self) -> Option<Tracer> {
+        self.inner.tracer.lock().take()
+    }
+
+    /// The installed tracer, if any. Cloning a `Tracer` is one
+    /// reference-count bump, so this allocates nothing either way —
+    /// instrumentation sites call it per operation.
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.inner.tracer.lock().clone()
     }
 
     /// Remove a function's model from the registry (and its on-disk file,
@@ -183,6 +203,23 @@ mod tests {
         assert!(ctx.fetch_model("bfs").is_none());
         assert!(!ctx.model_path("bfs").unwrap().exists());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn tracer_installs_shares_and_clears() {
+        let ctx = Context::new();
+        assert!(ctx.tracer().is_none());
+        let sink = std::sync::Arc::new(nitro_trace::RingSink::new(8));
+        ctx.install_tracer(nitro_trace::Tracer::new(sink.clone()));
+        // Clones of the context see the same tracer.
+        let clone = ctx.clone();
+        clone
+            .tracer()
+            .expect("installed")
+            .instant("e", "test", vec![]);
+        assert_eq!(sink.len(), 1);
+        assert!(ctx.clear_tracer().is_some());
+        assert!(clone.tracer().is_none());
     }
 
     #[test]

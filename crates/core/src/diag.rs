@@ -15,6 +15,8 @@
 //! * `NITRO020`–`NITRO029` — model-artifact audit (schema, name lists,
 //!   numeric invariants of the trained model).
 //! * `NITRO030`–`NITRO039` — profile-table / training-set analysis.
+//! * `NITRO040`–`NITRO049` — runtime-metrics analysis (exported
+//!   `nitro-trace` snapshots: fallback rates, dead variants).
 
 use std::fmt;
 

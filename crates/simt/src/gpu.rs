@@ -90,7 +90,7 @@ impl Gpu {
             let mut ctx = BlockCtx::new(&self.cfg, &mut tex);
             body(b, &mut ctx);
             let t = ctx.into_tally();
-            let mut cycles = t.total_cycles();
+            let mut cycles = t.work_cycles();
             if schedule == Schedule::Dynamic {
                 cycles += DYNAMIC_DISPATCH_CYCLES;
             }
@@ -109,12 +109,20 @@ impl Gpu {
 
         let elapsed_ns = self.cfg.launch_overhead_ns + busy * noise;
         // Energy: DRAM pin energy + dynamic SM energy + static power over
-        // the launch duration (1 W × 1 ns = 1 nJ).
+        // the launch duration (1 W × 1 ns = 1 nJ). Dynamic energy charges
+        // work cycles only; overhead time is covered by the static floor.
         let energy_nj = tally.dram_bytes * self.cfg.pj_per_dram_byte / 1000.0
-            + tally.total_cycles() * self.cfg.pj_per_cycle / 1000.0
+            + tally.work_cycles() * self.cfg.pj_per_cycle / 1000.0
             + elapsed_ns * self.cfg.static_watts;
 
-        LaunchStats {
+        // Attribute the fixed launch overhead to the tally so cumulative
+        // (merged) tallies account for the same cycles the elapsed-time
+        // model charged.
+        if cycle_ns > 0.0 {
+            tally.launch_cycles = self.cfg.launch_overhead_ns / cycle_ns;
+        }
+
+        let stats = LaunchStats {
             kernel: kernel.to_string(),
             blocks,
             elapsed_ns,
@@ -122,7 +130,49 @@ impl Gpu {
             bandwidth_bound,
             energy_nj,
             tally,
+        };
+
+        if let Some(tracer) = nitro_trace::global() {
+            self.emit_launch_trace(&tracer, &stats);
         }
+
+        stats
+    }
+
+    /// Emit one instant event + metrics for a completed launch into the
+    /// process-global tracer (substrates construct their `Gpu`s
+    /// internally, so the simulator layer cannot be handed a `Context`).
+    fn emit_launch_trace(&self, tracer: &nitro_trace::Tracer, stats: &LaunchStats) {
+        use nitro_trace::arg;
+        let t = &stats.tally;
+        tracer.instant(
+            &format!("launch:{}", stats.kernel),
+            "simt",
+            vec![
+                arg("blocks", &stats.blocks),
+                arg("elapsed_ns", &stats.elapsed_ns),
+                arg("energy_nj", &stats.energy_nj),
+                arg("imbalance", &stats.imbalance),
+                arg("bandwidth_bound", &stats.bandwidth_bound),
+                arg("transactions", &t.transactions),
+                arg("dram_bytes", &t.dram_bytes),
+                arg("tex_hits", &t.tex_hits),
+                arg("tex_misses", &t.tex_misses),
+                arg("atomic_cycles", &t.atomic_cycles),
+                arg("compute_cycles", &t.compute_cycles),
+                arg("memory_cycles", &t.memory_cycles),
+                arg("launch_cycles", &t.launch_cycles),
+            ],
+        );
+        let m = tracer.metrics();
+        m.inc("simt.launches");
+        m.inc(&format!("simt.kernel.{}.launches", stats.kernel));
+        m.observe("simt.launch.elapsed_ns", stats.elapsed_ns);
+        m.observe_with(
+            "simt.launch.dram_bytes",
+            t.dram_bytes,
+            &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10],
+        );
     }
 
     /// Place per-block times onto SMs; returns (busiest SM time, imbalance).
@@ -403,6 +453,86 @@ mod tests {
         assert_eq!(sess.launches(), 2);
         let expected_overheads = 2.0 * gpu.config().launch_overhead_ns;
         assert!(sess.elapsed_ns() > expected_overheads + 123.0);
+    }
+
+    #[test]
+    fn launch_tally_carries_overhead_and_session_merge_agrees() {
+        let gpu = quiet_gpu();
+        let overhead_cycles = gpu.config().launch_overhead_ns / gpu.config().cycle_ns();
+        let mut sess = Session::new(&gpu);
+        let a = sess.launch("a", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(1e4)
+        });
+        let b = sess.launch("b", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(2e4)
+        });
+        assert!((a.tally.launch_cycles - overhead_cycles).abs() < 1e-9);
+        // Satellite invariant: cumulative total equals sum of per-launch
+        // totals — launch overhead is no longer dropped by merging.
+        assert!(
+            (sess.tally().total_cycles() - (a.tally.total_cycles() + b.tally.total_cycles())).abs()
+                < 1e-9
+        );
+        assert!((sess.tally().launch_cycles - 2.0 * overhead_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_tracer_sees_launch_events_and_metrics() {
+        let sink = std::sync::Arc::new(nitro_trace::RingSink::new(256));
+        let tracer = nitro_trace::Tracer::new(sink.clone());
+        nitro_trace::install_global(tracer.clone());
+        let gpu = quiet_gpu();
+        gpu.launch("traced_kernel_xyz", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(1e4);
+            ctx.bulk_mem(1e5, 1.0);
+        });
+        nitro_trace::uninstall_global();
+
+        // The global slot is process-wide and other tests launch kernels
+        // concurrently, so filter by our unique kernel name.
+        let events = sink.snapshot();
+        let ev = events
+            .iter()
+            .find(|e| e.name == "launch:traced_kernel_xyz")
+            .expect("launch instant emitted");
+        assert_eq!(ev.cat, "simt");
+        let get = |k: &str| {
+            ev.args
+                .iter()
+                .find(|(n, _)| n == k)
+                .unwrap_or_else(|| panic!("arg {k}"))
+                .1
+                .clone()
+        };
+        assert!(get("elapsed_ns").as_f64().unwrap() > 0.0);
+        assert!(get("dram_bytes").as_f64().unwrap() >= 1e5);
+        assert!(get("launch_cycles").as_f64().unwrap() > 0.0);
+        assert_eq!(
+            tracer
+                .metrics()
+                .counter("simt.kernel.traced_kernel_xyz.launches"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn untraced_launch_matches_traced_launch_numbers() {
+        // Tracing must observe, not perturb: identical seeds give
+        // identical stats with and without a tracer installed.
+        let run = || {
+            let gpu = Gpu::with_seed(DeviceConfig::fermi_c2050(), 42);
+            let s = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| {
+                ctx.charge_cycles(1e6);
+                ctx.bulk_mem(1e4, 0.5);
+            });
+            (s.elapsed_ns, s.energy_nj, s.tally)
+        };
+        let untraced = run();
+        let sink = std::sync::Arc::new(nitro_trace::RingSink::new(16));
+        nitro_trace::install_global(nitro_trace::Tracer::new(sink));
+        let traced = run();
+        nitro_trace::uninstall_global();
+        assert_eq!(untraced, traced);
     }
 
     #[test]

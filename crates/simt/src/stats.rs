@@ -20,11 +20,26 @@ pub struct KernelTally {
     pub compute_cycles: f64,
     /// Cycles spent issuing memory transactions.
     pub memory_cycles: f64,
+    /// Cycles attributed to fixed launch overhead (driver + scheduling
+    /// setup). Per-*block* tallies carry 0 here; [`crate::Gpu::launch`]
+    /// charges the device's launch overhead once per launch, so merging
+    /// per-launch tallies keeps `total_cycles` consistent with the sum
+    /// of the individual totals. `#[serde(default)]` keeps tallies
+    /// persisted before this field existed loadable.
+    #[serde(default)]
+    pub launch_cycles: f64,
 }
 
 impl KernelTally {
-    /// Total SM-side cycles this tally represents.
+    /// Total cycles this tally represents, including launch overhead.
     pub fn total_cycles(&self) -> f64 {
+        self.work_cycles() + self.launch_cycles
+    }
+
+    /// SM-side *work* cycles only (atomic + compute + memory), excluding
+    /// launch overhead. This is the term dynamic-energy accounting uses:
+    /// overhead time burns static power, not per-cycle switching energy.
+    pub fn work_cycles(&self) -> f64 {
         self.atomic_cycles + self.compute_cycles + self.memory_cycles
     }
 
@@ -37,6 +52,7 @@ impl KernelTally {
         self.atomic_cycles += other.atomic_cycles;
         self.compute_cycles += other.compute_cycles;
         self.memory_cycles += other.memory_cycles;
+        self.launch_cycles += other.launch_cycles;
     }
 
     /// Texture hit rate over all texture accesses (0 when none occurred).
@@ -87,6 +103,7 @@ mod tests {
             atomic_cycles: 4.0,
             compute_cycles: 5.0,
             memory_cycles: 6.0,
+            launch_cycles: 7.0,
         };
         let mut b = a;
         b.merge(&a);
@@ -94,7 +111,47 @@ mod tests {
         assert_eq!(b.dram_bytes, 256.0);
         assert_eq!(b.tex_hits, 4);
         assert_eq!(b.tex_misses, 6);
-        assert_eq!(b.total_cycles(), 30.0);
+        assert_eq!(b.work_cycles(), 30.0);
+        assert_eq!(b.launch_cycles, 14.0);
+        assert_eq!(b.total_cycles(), 44.0);
+    }
+
+    #[test]
+    fn merge_then_total_equals_sum_of_totals() {
+        let a = KernelTally {
+            transactions: 10,
+            dram_bytes: 512.0,
+            tex_hits: 1,
+            tex_misses: 2,
+            atomic_cycles: 3.5,
+            compute_cycles: 100.0,
+            memory_cycles: 40.0,
+            launch_cycles: 25.0,
+        };
+        let b = KernelTally {
+            transactions: 7,
+            dram_bytes: 64.0,
+            tex_hits: 9,
+            tex_misses: 0,
+            atomic_cycles: 0.0,
+            compute_cycles: 250.0,
+            memory_cycles: 12.0,
+            launch_cycles: 25.0,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.total_cycles(), a.total_cycles() + b.total_cycles());
+        assert_eq!(merged.work_cycles(), a.work_cycles() + b.work_cycles());
+    }
+
+    #[test]
+    fn legacy_tally_json_without_launch_cycles_loads() {
+        let json = r#"{"transactions": 3, "dram_bytes": 128.0, "tex_hits": 0,
+            "tex_misses": 0, "atomic_cycles": 0.0, "compute_cycles": 10.0,
+            "memory_cycles": 5.0}"#;
+        let t: KernelTally = serde_json::from_str(json).unwrap();
+        assert_eq!(t.launch_cycles, 0.0);
+        assert_eq!(t.total_cycles(), 15.0);
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Validator for Chrome `trace_event` documents.
+//!
+//! `trace_report` (and CI) run every exported trace through
+//! [`validate_chrome_trace`] before declaring success: the document must
+//! parse, every event must carry the required fields with a known `ph`
+//! code, `B`/`E` events must nest strictly (name-matched, per
+//! `(pid, tid)` lane) with every span closed by end-of-trace, and
+//! timestamps must be non-decreasing within each lane.
+
+use serde::Value;
+
+/// Summary of a validated trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChromeTraceStats {
+    /// Total events in the document.
+    pub events: usize,
+    /// Completed `B`/`E` span pairs.
+    pub spans: usize,
+    /// Instant (`i`) events.
+    pub instants: usize,
+    /// Distinct `(pid, tid)` lanes seen.
+    pub lanes: usize,
+}
+
+fn field<'a>(event: &'a Value, name: &str, idx: usize) -> Result<&'a Value, String> {
+    event
+        .get(name)
+        .ok_or_else(|| format!("event {idx}: missing required field `{name}`"))
+}
+
+fn str_field<'a>(event: &'a Value, name: &str, idx: usize) -> Result<&'a str, String> {
+    field(event, name, idx)?
+        .as_str()
+        .ok_or_else(|| format!("event {idx}: field `{name}` is not a string"))
+}
+
+fn num_field(event: &Value, name: &str, idx: usize) -> Result<f64, String> {
+    field(event, name, idx)?
+        .as_f64()
+        .ok_or_else(|| format!("event {idx}: field `{name}` is not a number"))
+}
+
+/// Validate a Chrome trace document (the `{"traceEvents": [...]}` JSON
+/// object form). Returns summary statistics, or a message naming the
+/// first violation.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| format!("document not JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("document has no `traceEvents` field")?
+        .as_array()
+        .ok_or("`traceEvents` is not an array")?;
+
+    let mut stats = ChromeTraceStats {
+        events: events.len(),
+        ..Default::default()
+    };
+    // Per-(pid,tid) lane: stack of open span names + last timestamp.
+    let mut lanes: Vec<((u64, u64), Vec<String>, f64)> = Vec::new();
+
+    for (idx, event) in events.iter().enumerate() {
+        let name = str_field(event, "name", idx)?;
+        str_field(event, "cat", idx)?;
+        let ph = str_field(event, "ph", idx)?;
+        let ts = num_field(event, "ts", idx)?;
+        let pid = num_field(event, "pid", idx)? as u64;
+        let tid = num_field(event, "tid", idx)? as u64;
+
+        let lane = match lanes.iter_mut().find(|(key, _, _)| *key == (pid, tid)) {
+            Some(lane) => lane,
+            None => {
+                lanes.push(((pid, tid), Vec::new(), f64::NEG_INFINITY));
+                lanes.last_mut().expect("just pushed")
+            }
+        };
+        if ts < lane.2 {
+            return Err(format!(
+                "event {idx} (`{name}`): timestamp {ts} precedes {} on pid {pid} tid {tid}",
+                lane.2
+            ));
+        }
+        lane.2 = ts;
+
+        match ph {
+            "B" => lane.1.push(name.to_string()),
+            "E" => match lane.1.pop() {
+                Some(open) if open == name => stats.spans += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "event {idx}: `E` for `{name}` but innermost open span \
+                         on pid {pid} tid {tid} is `{open}`"
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "event {idx}: `E` for `{name}` with no open span on pid {pid} tid {tid}"
+                    ));
+                }
+            },
+            "i" => stats.instants += 1,
+            other => return Err(format!("event {idx}: unknown ph code `{other}`")),
+        }
+    }
+
+    for ((pid, tid), stack, _) in &lanes {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "span `{open}` on pid {pid} tid {tid} never closed ({} open at end of trace)",
+                stack.len()
+            ));
+        }
+    }
+    stats.lanes = lanes.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::chrome_trace_json;
+    use crate::{Phase, TraceEvent};
+
+    fn ev(name: &str, ph: Phase, ts_ns: u64, tid: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: "test".into(),
+            phase: ph,
+            ts_ns,
+            pid: 1,
+            tid,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn accepts_well_nested_trace() {
+        let json = chrome_trace_json(&[
+            ev("outer", Phase::Begin, 0, 1),
+            ev("inner", Phase::Begin, 10, 1),
+            ev("mark", Phase::Instant, 20, 1),
+            ev("inner", Phase::End, 30, 1),
+            ev("outer", Phase::End, 40, 1),
+        ]);
+        let stats = validate_chrome_trace(&json).unwrap();
+        assert_eq!(stats.events, 5);
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.lanes, 1);
+    }
+
+    #[test]
+    fn rejects_cross_nested_spans() {
+        let json = chrome_trace_json(&[
+            ev("a", Phase::Begin, 0, 1),
+            ev("b", Phase::Begin, 1, 1),
+            ev("a", Phase::End, 2, 1),
+        ]);
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("innermost open span"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unclosed_span() {
+        let json = chrome_trace_json(&[ev("a", Phase::Begin, 0, 1)]);
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("never closed"), "{err}");
+    }
+
+    #[test]
+    fn rejects_end_without_begin() {
+        let json = chrome_trace_json(&[ev("a", Phase::End, 0, 1)]);
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("no open span"), "{err}");
+    }
+
+    #[test]
+    fn rejects_time_travel_within_a_lane() {
+        let json = chrome_trace_json(&[
+            ev("a", Phase::Instant, 5000, 1),
+            ev("b", Phase::Instant, 1000, 1),
+        ]);
+        assert!(validate_chrome_trace(&json).is_err());
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let json = chrome_trace_json(&[
+            ev("a", Phase::Begin, 0, 1),
+            ev("b", Phase::Begin, 1, 2),
+            ev("a", Phase::End, 2, 1),
+            ev("b", Phase::End, 3, 2),
+        ]);
+        let stats = validate_chrome_trace(&json).unwrap();
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.lanes, 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! The trace event model: one record per span boundary or instant.
+//!
+//! Events serialize to the Chrome `trace_event` JSON shape (the format
+//! `chrome://tracing` and Perfetto ingest): `name`, `cat`, `ph`, `ts`
+//! (microseconds), `pid`, `tid` and an `args` object. The JSONL sink
+//! writes one such object per line; the Chrome sink wraps them in a
+//! `{"traceEvents": [...]}` document.
+
+use serde::{Number, Serialize, Value};
+
+/// Span boundary / event kind, mirroring the Chrome `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Thread-scoped instant (`"i"`).
+    Instant,
+}
+
+impl Phase {
+    /// The Chrome `ph` code for this phase.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (span name, kernel name, …).
+    pub name: String,
+    /// Category: `dispatch`, `tuning`, `profile` or `simt`.
+    pub cat: String,
+    /// Span boundary / instant marker.
+    pub phase: Phase,
+    /// Nanoseconds since the owning tracer's epoch.
+    pub ts_ns: u64,
+    /// Process id (always 1 — one simulated process per run).
+    pub pid: u64,
+    /// Small per-thread id assigned on first use.
+    pub tid: u64,
+    /// Event arguments, in insertion order.
+    pub args: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// Render as a Chrome `trace_event` object. Timestamps convert to
+    /// microseconds (the unit the Trace Event Format prescribes);
+    /// instants carry the thread scope marker `"s": "t"`.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), Value::String(self.name.clone())),
+            ("cat".to_string(), Value::String(self.cat.clone())),
+            (
+                "ph".to_string(),
+                Value::String(self.phase.code().to_string()),
+            ),
+            (
+                "ts".to_string(),
+                Value::Number(Number::Float(self.ts_ns as f64 / 1000.0)),
+            ),
+            ("pid".to_string(), Value::Number(Number::PosInt(self.pid))),
+            ("tid".to_string(), Value::Number(Number::PosInt(self.tid))),
+        ];
+        if self.phase == Phase::Instant {
+            fields.push(("s".to_string(), Value::String("t".to_string())));
+        }
+        if !self.args.is_empty() {
+            fields.push(("args".to_string(), Value::Object(self.args.clone())));
+        }
+        Value::Object(fields)
+    }
+
+    /// Render as one compact JSON line (the JSONL sink's format).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("trace events always serialize")
+    }
+}
+
+/// Convert any serializable value into a trace-argument [`Value`].
+///
+/// This is the one helper instrumentation sites need:
+/// `("features", val(&features))`, `("vetoed", val(&true))`, ….
+pub fn val<T: Serialize + ?Sized>(x: &T) -> Value {
+    x.to_value()
+}
+
+/// Build an owned argument pair from a name and any serializable value.
+pub fn arg<T: Serialize + ?Sized>(name: &str, x: &T) -> (String, Value) {
+    (name.to_string(), x.to_value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_object_shape() {
+        let e = TraceEvent {
+            name: "spmv".into(),
+            cat: "dispatch".into(),
+            phase: Phase::Begin,
+            ts_ns: 1500,
+            pid: 1,
+            tid: 2,
+            args: vec![arg("x", &3.0f64)],
+        };
+        let v = e.to_value();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("spmv"));
+        assert_eq!(v.get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(v.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("args").unwrap().get("x").unwrap().as_f64(), Some(3.0));
+        assert!(v.get("s").is_none(), "scope marker is instant-only");
+    }
+
+    #[test]
+    fn instants_carry_thread_scope() {
+        let e = TraceEvent {
+            name: "kernel".into(),
+            cat: "simt".into(),
+            phase: Phase::Instant,
+            ts_ns: 0,
+            pid: 1,
+            tid: 1,
+            args: vec![],
+        };
+        assert_eq!(e.to_value().get("s").unwrap().as_str(), Some("t"));
+        assert!(e.to_value().get("args").is_none(), "empty args omitted");
+    }
+
+    #[test]
+    fn json_line_is_one_compact_object() {
+        let e = TraceEvent {
+            name: "n".into(),
+            cat: "c".into(),
+            phase: Phase::End,
+            ts_ns: 2000,
+            pid: 1,
+            tid: 1,
+            args: vec![],
+        };
+        let line = e.to_json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"ph\":\"E\""));
+    }
+}

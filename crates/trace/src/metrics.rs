@@ -1,0 +1,346 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Metric names are flat dotted strings assembled by the instrumentation
+//! sites (`dispatch.<fn>.calls`, `dispatch.<fn>.win.<variant>`,
+//! `regret.<fn>.ns`, `simt.launch.elapsed_ns`, …). The registry is
+//! thread-safe and cheap to share; [`MetricsRegistry::snapshot`] freezes
+//! it into a serializable [`MetricsSnapshot`] whose JSON form is what
+//! `trace_report` exports and `nitro-audit` analyzes.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Default histogram bucket bounds for nanosecond-scale observations:
+/// decades from 100 ns to 10 s (an over-bucket catches the rest).
+pub const DEFAULT_NS_BOUNDS: [f64; 9] = [1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+/// One fixed-bucket histogram. `counts[i]` counts observations `v`
+/// with `v <= bounds[i]` (and greater than the previous bound);
+/// `counts[bounds.len()]` is the overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+            // Non-finite floats encode as JSON null, so an empty
+            // histogram reports 0 rather than ±∞ sentinels.
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// Serializable freeze of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (inclusive), ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; the final entry is the overflow
+    /// bucket for values above the last bound.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsInner {
+    fn counter_mut(&mut self, name: &str) -> &mut u64 {
+        if let Some(i) = self.counters.iter().position(|(k, _)| k == name) {
+            &mut self.counters[i].1
+        } else {
+            self.counters.push((name.to_string(), 0));
+            &mut self.counters.last_mut().expect("just pushed").1
+        }
+    }
+
+    fn histogram_mut(&mut self, name: &str, bounds: &[f64]) -> &mut Histogram {
+        if let Some(i) = self.histograms.iter().position(|(k, _)| k == name) {
+            &mut self.histograms[i].1
+        } else {
+            self.histograms
+                .push((name.to_string(), Histogram::new(bounds)));
+            &mut self.histograms.last_mut().expect("just pushed").1
+        }
+    }
+}
+
+/// Thread-safe registry of named counters, gauges and histograms.
+/// Metrics are created lazily on first touch (or eagerly via the
+/// `declare_*` methods, so "never incremented" is distinguishable from
+/// "never registered" in exports).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<MetricsInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment a counter by 1, creating it at 0 first if absent.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `delta`.
+    pub fn add(&self, name: &str, delta: u64) {
+        *self.inner.lock().counter_mut(name) += delta;
+    }
+
+    /// Ensure a counter exists (at 0) without incrementing it.
+    pub fn declare_counter(&self, name: &str) {
+        self.inner.lock().counter_mut(name);
+    }
+
+    /// Set a gauge to an absolute value, creating it if absent.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock();
+        if let Some(i) = inner.gauges.iter().position(|(k, _)| k == name) {
+            inner.gauges[i].1 = value;
+        } else {
+            inner.gauges.push((name.to_string(), value));
+        }
+    }
+
+    /// Record an observation into a histogram with the default
+    /// nanosecond decade buckets ([`DEFAULT_NS_BOUNDS`]).
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_with(name, value, &DEFAULT_NS_BOUNDS);
+    }
+
+    /// Record an observation, creating the histogram with the given
+    /// bucket bounds if absent (existing histograms keep their bounds).
+    pub fn observe_with(&self, name: &str, value: f64, bounds: &[f64]) {
+        self.inner.lock().histogram_mut(name, bounds).observe(value);
+    }
+
+    /// Current value of a counter, if it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.lock();
+        inner
+            .counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Current value of a gauge, if it exists.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock();
+        inner
+            .gauges
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Freeze the registry into a serializable snapshot, names sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        let mut snap = MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        };
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+}
+
+/// Serializable freeze of a [`MetricsRegistry`]: sorted name/value
+/// pairs, ready for JSON export and offline analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Serialize as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics snapshots always serialize")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_declare_at_zero() {
+        let m = MetricsRegistry::new();
+        m.declare_counter("wins");
+        m.inc("calls");
+        m.add("calls", 2);
+        assert_eq!(m.counter("calls"), Some(3));
+        assert_eq!(m.counter("wins"), Some(0));
+        assert_eq!(m.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("phase_ns", 10.0);
+        m.set_gauge("phase_ns", 25.0);
+        assert_eq!(m.gauge("phase_ns"), Some(25.0));
+    }
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        let m = MetricsRegistry::new();
+        for v in [5.0, 50.0, 500.0, 1e12] {
+            m.observe_with("lat", v, &[10.0, 100.0, 1000.0]);
+        }
+        let snap = m.snapshot();
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.counts, vec![1, 1, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 5.0);
+        assert_eq!(h.max, 1e12);
+        assert!((h.mean() - (5.0 + 50.0 + 500.0 + 1e12) / 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_histogram_reports_finite_min_max() {
+        let h = Histogram::new(&DEFAULT_NS_BOUNDS).snapshot();
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let m = MetricsRegistry::new();
+        m.inc("dispatch.spmv.calls");
+        m.set_gauge("tune.spmv.training_ns", 1234.5);
+        m.observe("dispatch.spmv.feature_ns", 420.0);
+        let snap = m.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_sorts_names() {
+        let m = MetricsRegistry::new();
+        m.inc("zeta");
+        m.inc("alpha");
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let m = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        m.inc("calls");
+                        m.observe("lat", 1000.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("calls"), Some(400));
+        assert_eq!(m.snapshot().histogram("lat").unwrap().count, 400);
+    }
+}

@@ -1,0 +1,194 @@
+//! Regret accounting: how much runtime the dispatcher's choices cost
+//! versus an oracle that always picks the cheapest variant.
+//!
+//! Regret is only measurable when ground truth exists — i.e. when a
+//! profile table records every variant's cost for an input. The ledger
+//! keeps aggregate statistics plus the top-K worst decisions so a
+//! report can name its biggest regret contributors.
+
+use serde::{Deserialize, Serialize};
+
+/// One selection decision measured against the oracle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegretEntry {
+    /// Input label (whatever identifies the input in the suite).
+    pub label: String,
+    /// Variant index the dispatcher executed.
+    pub chosen: usize,
+    /// Oracle-best variant index for this input.
+    pub best: usize,
+    /// Cost of the chosen variant (ns or simulator cost units).
+    pub chosen_cost: f64,
+    /// Cost of the best variant, same units.
+    pub best_cost: f64,
+    /// `chosen_cost - best_cost` (0 when the dispatcher was optimal).
+    pub regret: f64,
+}
+
+/// Accumulates regret over a run, retaining the `top_k` worst entries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegretLedger {
+    top_k: usize,
+    /// Worst decisions, sorted by descending regret, at most `top_k`.
+    entries: Vec<RegretEntry>,
+    /// Total decisions recorded.
+    pub count: u64,
+    /// Decisions where chosen != best.
+    pub mispredicts: u64,
+    /// Sum of regret over all decisions.
+    pub total_regret: f64,
+    /// Largest single-decision regret.
+    pub max_regret: f64,
+    /// Sum of best-variant costs (the oracle's total runtime).
+    pub oracle_cost: f64,
+    /// Sum of chosen-variant costs (the dispatcher's total runtime).
+    pub chosen_cost: f64,
+}
+
+impl Default for RegretLedger {
+    fn default() -> Self {
+        Self::new(10)
+    }
+}
+
+impl RegretLedger {
+    /// A ledger retaining the `top_k` worst decisions.
+    pub fn new(top_k: usize) -> Self {
+        Self {
+            top_k,
+            entries: Vec::new(),
+            count: 0,
+            mispredicts: 0,
+            total_regret: 0.0,
+            max_regret: 0.0,
+            oracle_cost: 0.0,
+            chosen_cost: 0.0,
+        }
+    }
+
+    /// Record one decision given the full per-variant cost vector for
+    /// the input. Ignores empty or non-finite cost vectors.
+    pub fn record(&mut self, label: &str, chosen: usize, costs: &[f64]) {
+        if costs.is_empty() || costs.iter().any(|c| !c.is_finite()) {
+            return;
+        }
+        let chosen = chosen.min(costs.len() - 1);
+        let best = costs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs compare"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let entry = RegretEntry {
+            label: label.to_string(),
+            chosen,
+            best,
+            chosen_cost: costs[chosen],
+            best_cost: costs[best],
+            regret: costs[chosen] - costs[best],
+        };
+        self.count += 1;
+        if chosen != best {
+            self.mispredicts += 1;
+        }
+        self.total_regret += entry.regret;
+        self.max_regret = self.max_regret.max(entry.regret);
+        self.oracle_cost += entry.best_cost;
+        self.chosen_cost += entry.chosen_cost;
+        if entry.regret > 0.0 {
+            self.entries.push(entry);
+            self.entries
+                .sort_by(|a, b| b.regret.partial_cmp(&a.regret).expect("finite regret"));
+            self.entries.truncate(self.top_k);
+        }
+    }
+
+    /// The retained worst decisions, descending by regret.
+    pub fn top(&self) -> &[RegretEntry] {
+        &self.entries
+    }
+
+    /// Mean regret per decision (0 when empty).
+    pub fn mean_regret(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_regret / self.count as f64
+        }
+    }
+
+    /// Achieved fraction of oracle performance: `oracle_cost /
+    /// chosen_cost` (1.0 = optimal; 0 when nothing was recorded).
+    pub fn oracle_fraction(&self) -> f64 {
+        if self.chosen_cost <= 0.0 {
+            0.0
+        } else {
+            self.oracle_cost / self.chosen_cost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_choice_has_zero_regret() {
+        let mut ledger = RegretLedger::new(4);
+        ledger.record("a", 1, &[5.0, 2.0, 9.0]);
+        assert_eq!(ledger.count, 1);
+        assert_eq!(ledger.mispredicts, 0);
+        assert_eq!(ledger.total_regret, 0.0);
+        assert!(ledger.top().is_empty());
+        assert_eq!(ledger.oracle_fraction(), 1.0);
+    }
+
+    #[test]
+    fn suboptimal_choice_accrues_regret() {
+        let mut ledger = RegretLedger::new(4);
+        ledger.record("a", 0, &[5.0, 2.0]);
+        assert_eq!(ledger.mispredicts, 1);
+        assert_eq!(ledger.total_regret, 3.0);
+        assert_eq!(ledger.max_regret, 3.0);
+        let top = ledger.top();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].chosen, 0);
+        assert_eq!(top[0].best, 1);
+        assert!((ledger.oracle_fraction() - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_keeps_only_top_k_worst() {
+        let mut ledger = RegretLedger::new(2);
+        ledger.record("small", 1, &[1.0, 2.0]); // regret 1
+        ledger.record("big", 1, &[1.0, 9.0]); // regret 8
+        ledger.record("mid", 1, &[1.0, 5.0]); // regret 4
+        let top = ledger.top();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].label, "big");
+        assert_eq!(top[1].label, "mid");
+        assert_eq!(ledger.count, 3);
+        assert_eq!(ledger.total_regret, 13.0);
+    }
+
+    #[test]
+    fn out_of_range_chosen_is_clamped_and_bad_costs_ignored() {
+        let mut ledger = RegretLedger::new(2);
+        ledger.record("clamped", 7, &[1.0, 3.0]);
+        assert_eq!(ledger.top()[0].chosen, 1);
+        assert_eq!(ledger.top()[0].best, 0);
+        ledger.record("nan", 0, &[f64::NAN, 1.0]);
+        ledger.record("empty", 0, &[]);
+        assert_eq!(ledger.count, 1);
+    }
+
+    #[test]
+    fn ledger_serializes_round_trip() {
+        let mut ledger = RegretLedger::new(3);
+        ledger.record("x", 0, &[4.0, 2.0]);
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: RegretLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count, ledger.count);
+        assert_eq!(back.top(), ledger.top());
+    }
+}

@@ -1,0 +1,284 @@
+//! Trace sinks: where emitted events go.
+//!
+//! A [`TraceSink`] receives every [`TraceEvent`] a tracer emits. Three
+//! production sinks are provided — a bounded in-memory ring
+//! ([`RingSink`]), a streaming JSONL writer ([`JsonlSink`]) and a
+//! collect-then-export Chrome `trace_event` sink ([`ChromeSink`]) — plus
+//! a [`MultiSink`] fan-out so one tracer can feed several of them.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Value;
+
+use crate::event::TraceEvent;
+
+/// Receiver of trace events. Implementations must be thread-safe: the
+/// simulator emits from rayon worker threads while dispatch emits from
+/// the caller's thread.
+pub trait TraceSink: Send + Sync {
+    /// Record one event. Called in emission order per thread.
+    fn record(&self, event: &TraceEvent);
+
+    /// Flush any buffered output (no-op for in-memory sinks).
+    fn flush(&self) {}
+}
+
+/// Bounded in-memory ring buffer: keeps the most recent `capacity`
+/// events and counts the ones it had to drop. The always-on choice for
+/// production-style deployments — a crashed run still has its tail.
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (capacity 0 drops all).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+
+    /// Events evicted (or refused, for capacity 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Streaming sink writing one compact JSON object per line — the format
+/// `jq`, log shippers and the golden-file tests consume. Lines follow
+/// the Chrome `trace_event` field shape, so a JSONL file wraps into a
+/// loadable Chrome trace with `{"traceEvents": [<lines joined by ,>]}`.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap any writer (a `File`, a `Vec<u8>` buffer, …).
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Consume the sink, returning the writer (flushing it first).
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner();
+        w.flush().ok();
+        w
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Stream to a file, creating (or truncating) it.
+    pub fn to_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        let mut w = self.writer.lock();
+        // A full disk mid-trace must not take down the traced program;
+        // the line is simply lost.
+        let _ = writeln!(w, "{}", event.to_json_line());
+    }
+
+    fn flush(&self) {
+        self.writer.lock().flush().ok();
+    }
+}
+
+/// Collects every event and exports a complete Chrome `trace_event`
+/// document — the JSON-object form `{"traceEvents": [...]}` that
+/// `chrome://tracing` and Perfetto open directly.
+#[derive(Default)]
+pub struct ChromeSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl ChromeSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of the collected events in emission order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when no events were collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Render the collected events as a Chrome trace document.
+    pub fn to_chrome_json(&self) -> String {
+        chrome_trace_json(&self.events.lock())
+    }
+}
+
+impl TraceSink for ChromeSink {
+    fn record(&self, event: &TraceEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Fan-out: forwards every event to each inner sink in order.
+pub struct MultiSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl MultiSink {
+    /// Forward to all of `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl TraceSink for MultiSink {
+    fn record(&self, event: &TraceEvent) {
+        for s in &self.sinks {
+            s.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+/// Render a slice of events as a Chrome `trace_event` JSON document:
+/// `{"displayTimeUnit": "ns", "traceEvents": [...]}`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let doc = Value::Object(vec![
+        (
+            "displayTimeUnit".to_string(),
+            Value::String("ns".to_string()),
+        ),
+        (
+            "traceEvents".to_string(),
+            Value::Array(events.iter().map(TraceEvent::to_value).collect()),
+        ),
+    ]);
+    serde_json::to_string(&doc).expect("trace documents always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    fn ev(name: &str, ts_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: "test".into(),
+            phase: Phase::Instant,
+            ts_ns,
+            pid: 1,
+            tid: 1,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let ring = RingSink::new(2);
+        for i in 0..5 {
+            ring.record(&ev(&format!("e{i}"), i));
+        }
+        let kept = ring.snapshot();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].name, "e3");
+        assert_eq!(kept[1].name, "e4");
+        assert_eq!(ring.dropped(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let ring = RingSink::new(0);
+        ring.record(&ev("e", 0));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(&ev("a", 1000));
+        sink.record(&ev("b", 2000));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: Value = serde_json::from_str(line).expect("each line parses");
+            assert!(v.get("name").is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_document_parses_and_carries_events() {
+        let sink = ChromeSink::new();
+        sink.record(&ev("a", 1000));
+        let doc: Value = serde_json::from_str(&sink.to_chrome_json()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("a"));
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let a = Arc::new(ChromeSink::new());
+        let b = Arc::new(RingSink::new(8));
+        let multi = MultiSink::new(vec![a.clone(), b.clone()]);
+        multi.record(&ev("x", 0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property: any sequence of span operations driven through a
+//! [`Tracer`] exports a well-formed Chrome trace — valid JSON whose
+//! `B`/`E` events nest strictly per thread lane.
+
+use std::sync::Arc;
+
+use nitro_trace::{arg, chrome_trace_json, validate_chrome_trace, ChromeSink, SpanGuard, Tracer};
+use proptest::prelude::*;
+
+/// Interpret a random op script against a tracer: 0 opens a span,
+/// 1 closes the innermost open span, 2 emits an instant, 3 advances the
+/// manual clock. Leftover spans drop (innermost first) at the end.
+fn run_script(ops: &[u8]) -> String {
+    let sink = Arc::new(ChromeSink::new());
+    let tracer = Tracer::with_manual_clock(sink.clone());
+    let mut open: Vec<SpanGuard> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op % 4 {
+            0 => {
+                let name = format!("span{}", open.len());
+                open.push(tracer.span(&name, "test", vec![arg("op", &i)]));
+            }
+            1 => {
+                open.pop();
+            }
+            2 => tracer.instant(&format!("mark{i}"), "test", vec![]),
+            _ => tracer.advance(17),
+        }
+    }
+    while open.pop().is_some() {}
+    sink.to_chrome_json()
+}
+
+proptest! {
+    #[test]
+    fn any_span_script_exports_valid_chrome_trace(
+        ops in prop::collection::vec(0u8..8, 0..200)
+    ) {
+        let json = run_script(&ops);
+        let stats = validate_chrome_trace(&json).map_err(TestCaseError::fail)?;
+        let opens = ops.iter().filter(|&&o| o % 4 == 0).count();
+        prop_assert_eq!(stats.spans, opens, "every opened span closes exactly once");
+    }
+}
+
+/// Spans emitted from several threads still validate: each thread gets
+/// its own lane, and nesting is checked per lane.
+#[test]
+fn concurrent_emission_stays_valid_per_lane() {
+    let sink = Arc::new(ChromeSink::new());
+    let tracer = Tracer::new(sink.clone());
+    std::thread::scope(|s| {
+        for w in 0..4 {
+            let tracer = tracer.clone();
+            s.spawn(move || {
+                for i in 0..25 {
+                    let _outer = tracer.span(&format!("outer{w}"), "test", vec![]);
+                    let _inner = tracer.span(&format!("inner{w}-{i}"), "test", vec![]);
+                    tracer.instant("tick", "test", vec![]);
+                    // Locals drop in reverse declaration order: inner
+                    // closes before outer, keeping the lane nested.
+                }
+            });
+        }
+    });
+    let json = chrome_trace_json(&sink.snapshot());
+    let stats = validate_chrome_trace(&json).expect("concurrent trace validates");
+    assert_eq!(stats.spans, 4 * 25 * 2);
+    assert_eq!(stats.lanes, 4);
+}

@@ -1,0 +1,55 @@
+//! Golden-file test for the JSONL sink: a fixed span/instant sequence
+//! driven by the manual clock must serialize byte-for-byte identically
+//! to the checked-in fixture. Catches accidental schema drift in the
+//! event shape (field names, ordering, timestamp units).
+
+use std::sync::Arc;
+
+use nitro_trace::{arg, JsonlSink, Tracer, Value};
+
+const GOLDEN: &str = include_str!("golden/trace.jsonl");
+
+fn emit_fixture_sequence(tracer: &Tracer) {
+    let mut dispatch = tracer.span(
+        "dispatch:spmv",
+        "dispatch",
+        vec![arg("features", &vec![128.0f64, 0.25])],
+    );
+    tracer.advance(1_500);
+    tracer.instant("predict", "dispatch", vec![arg("label", &2u64)]);
+    tracer.advance(500);
+    dispatch.end_arg("chosen", Value::Number(nitro_trace::Number::PosInt(2)));
+    dispatch.end_arg("fallback", Value::Bool(false));
+    drop(dispatch);
+
+    tracer.advance(1_000);
+    let phase = tracer.span("phase:training", "tuning", vec![]);
+    tracer.advance(250_000);
+    drop(phase);
+}
+
+#[test]
+fn jsonl_output_matches_golden_file() {
+    let sink = Arc::new(JsonlSink::new(Vec::new()));
+    let tracer = Tracer::with_manual_clock(sink.clone());
+    emit_fixture_sequence(&tracer);
+    drop(tracer);
+    let bytes = Arc::into_inner(sink).expect("sole owner").into_inner();
+    let actual = String::from_utf8(bytes).expect("utf8");
+    assert_eq!(
+        actual, GOLDEN,
+        "JSONL sink output drifted from the golden file; if the change \
+         is intentional, regenerate crates/trace/tests/golden/trace.jsonl"
+    );
+}
+
+/// The same fixture, wrapped as a Chrome document, passes validation —
+/// i.e. the golden file itself is a loadable trace.
+#[test]
+fn golden_file_lines_form_a_valid_trace() {
+    let joined = GOLDEN.lines().collect::<Vec<_>>().join(",");
+    let doc = format!("{{\"traceEvents\": [{joined}]}}");
+    let stats = nitro_trace::validate_chrome_trace(&doc).expect("golden trace validates");
+    assert_eq!(stats.spans, 2);
+    assert_eq!(stats.instants, 1);
+}

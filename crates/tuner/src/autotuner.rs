@@ -22,6 +22,67 @@ use serde::{Deserialize, Serialize};
 use crate::profile::ProfileTable;
 use crate::report::evaluate_model;
 
+/// Wall-clock time one tuning phase took (serialized in [`TuneReport`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase name: `profiling`, `labeling`, `training` or `evaluation`.
+    pub phase: String,
+    /// Accumulated wall-clock nanoseconds spent in the phase.
+    pub wall_ns: f64,
+}
+
+/// Phase accounting for one tuning run: emits a `phase:<name>` span per
+/// section when a tracer is installed, and always accumulates wall-clock
+/// per phase so [`TuneReport::phase_timings`] is populated either way.
+struct Phases {
+    tracer: Option<nitro_trace::Tracer>,
+    function: String,
+    timings: Vec<PhaseTiming>,
+}
+
+impl Phases {
+    fn new<I: ?Sized>(cv: &CodeVariant<I>) -> Self {
+        Self {
+            tracer: cv.context().tracer(),
+            function: cv.name().to_string(),
+            timings: Vec::new(),
+        }
+    }
+
+    /// Run `f` attributed to `phase`. Repeated sections under the same
+    /// name (e.g. each incremental re-fit) accumulate into one timing.
+    fn run<T>(&mut self, phase: &str, f: impl FnOnce() -> T) -> T {
+        let span = self
+            .tracer
+            .as_ref()
+            .map(|t| t.span(&format!("phase:{phase}"), "tuning", vec![]));
+        let start = std::time::Instant::now();
+        let out = f();
+        let wall_ns = start.elapsed().as_nanos() as f64;
+        drop(span);
+        match self.timings.iter_mut().find(|p| p.phase == phase) {
+            Some(p) => p.wall_ns += wall_ns,
+            None => self.timings.push(PhaseTiming {
+                phase: phase.to_string(),
+                wall_ns,
+            }),
+        }
+        out
+    }
+
+    /// Export the accumulated timings (also published as
+    /// `tune.<fn>.<phase>_ns` gauges when a tracer is installed).
+    fn finish(self) -> Vec<PhaseTiming> {
+        if let Some(t) = &self.tracer {
+            for p in &self.timings {
+                t.metrics()
+                    .set_gauge(&format!("tune.{}.{}_ns", self.function, p.phase), p.wall_ns);
+            }
+        }
+        self.timings
+    }
+}
+
 /// Global autotuner options (the per-function options live in the
 /// `CodeVariant`'s [`nitro_core::TuningPolicy`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -78,6 +139,10 @@ pub struct TuneReport {
     /// here — they abort tuning as [`NitroError::Audit`] instead.
     #[serde(default)]
     pub audit_warnings: Vec<Diagnostic>,
+    /// Per-phase wall-clock breakdown of the tuning run (profiling /
+    /// labeling / training / evaluation), in execution order.
+    #[serde(default)]
+    pub phase_timings: Vec<PhaseTiming>,
 }
 
 impl Autotuner {
@@ -122,7 +187,8 @@ impl Autotuner {
         I: Send + Sync,
     {
         let audit_warnings = preflight(cv, table.len())?;
-        self.finish_from_table(cv, table, audit_warnings)
+        let phases = Phases::new(cv);
+        self.finish_from_table(cv, table, audit_warnings, phases)
     }
 
     /// The table-training tail shared by [`Autotuner::tune_from_table`]
@@ -133,20 +199,24 @@ impl Autotuner {
         cv: &mut CodeVariant<I>,
         table: &ProfileTable,
         mut audit_warnings: Vec<Diagnostic>,
+        mut phases: Phases,
     ) -> Result<TuneReport>
     where
         I: Send + Sync,
     {
-        let data = table.dataset();
+        let data = phases.run("labeling", || table.dataset());
         if data.is_empty() {
             return Err(NitroError::ModelMismatch {
                 detail: "no training input produced a valid label".into(),
             });
         }
-        let model = TrainedModel::train(&cv.policy().classifier, &data);
+        let model = phases.run("training", || {
+            TrainedModel::train(&cv.policy().classifier, &data)
+        });
         let cv_accuracy = grid_cv_accuracy(&model);
         cv.install_model(model);
-        audit_warnings.extend(postflight(cv));
+        let findings = phases.run("evaluation", || postflight(cv));
+        audit_warnings.extend(findings);
         if self.save_model {
             cv.save_model()?;
         }
@@ -160,6 +230,7 @@ impl Autotuner {
             accuracy_history: Vec::new(),
             model_history: Vec::new(),
             audit_warnings,
+            phase_timings: phases.finish(),
         })
     }
 
@@ -175,12 +246,13 @@ impl Autotuner {
         // Pre-flight: refuse to spend profiling time on a registration
         // the linter can already prove broken.
         let audit_warnings = preflight(cv, inputs.len())?;
+        let mut phases = Phases::new(cv);
         match cv.policy().incremental {
             None => {
-                let table = ProfileTable::build(cv, inputs);
-                self.finish_from_table(cv, &table, audit_warnings)
+                let table = phases.run("profiling", || ProfileTable::build(cv, inputs));
+                self.finish_from_table(cv, &table, audit_warnings, phases)
             }
-            Some(criterion) => self.itune(cv, inputs, criterion, test, audit_warnings),
+            Some(criterion) => self.itune(cv, inputs, criterion, test, audit_warnings, phases),
         }
     }
 
@@ -193,6 +265,7 @@ impl Autotuner {
         criterion: StoppingCriterion,
         test: Option<&ProfileTable>,
         mut audit_warnings: Vec<Diagnostic>,
+        mut phases: Phases,
     ) -> Result<TuneReport>
     where
         I: Send + Sync,
@@ -200,10 +273,12 @@ impl Autotuner {
         // Feature vectors for the whole pool are cheap (§III-B: "the
         // execution time required to derive feature vectors is typically
         // far lower than the cost of actually executing variants").
-        let features: Vec<Vec<f64>> = inputs
-            .par_iter()
-            .map(|i| cv.evaluate_features(i).0)
-            .collect();
+        let features: Vec<Vec<f64>> = phases.run("profiling", || {
+            inputs
+                .par_iter()
+                .map(|i| cv.evaluate_features(i).0)
+                .collect()
+        });
 
         // Deterministically shuffled probe order for the seed.
         let mut order: Vec<usize> = (0..inputs.len()).collect();
@@ -219,10 +294,11 @@ impl Autotuner {
             if profiled >= self.max_seed_probes || seen_labels.iter().all(|&s| s) {
                 break;
             }
-            let (_, _, costs, _) = ProfileTable::profile_one(cv, &inputs[idx]);
+            let (_, _, costs, _) =
+                phases.run("profiling", || ProfileTable::profile_one(cv, &inputs[idx]));
             profiled += 1;
             in_seed[idx] = true;
-            let label = best_of(&costs, cv);
+            let label = phases.run("labeling", || best_of(&costs, cv));
             match label {
                 Some(l) => {
                     seen_labels[l] = true;
@@ -243,7 +319,7 @@ impl Autotuner {
             .collect();
         let mut learner = ActiveLearner::new(seed, pool);
         let config = cv.policy().classifier.clone();
-        let mut model = learner.fit(&config);
+        let mut model = phases.run("training", || learner.fit(&config));
         let mut model_history = vec![model.clone()];
 
         let mut accuracy_history = Vec::new();
@@ -261,7 +337,9 @@ impl Autotuner {
                 });
             }
         };
-        record_accuracy(&model, &mut accuracy_history);
+        phases.run("evaluation", || {
+            record_accuracy(&model, &mut accuracy_history)
+        });
 
         let max_iters = match criterion {
             StoppingCriterion::Iterations(n) => n,
@@ -279,9 +357,11 @@ impl Autotuner {
             let Some((pos, original)) = learner.next_query(&model) else {
                 break;
             };
-            let (_, _, costs, _) = ProfileTable::profile_one(cv, &inputs[original]);
+            let (_, _, costs, _) = phases.run("profiling", || {
+                ProfileTable::profile_one(cv, &inputs[original])
+            });
             profiled += 1;
-            match best_of(&costs, cv) {
+            match phases.run("labeling", || best_of(&costs, cv)) {
                 Some(label) => learner.label(pos, label),
                 None => {
                     dropped += 1;
@@ -289,10 +369,12 @@ impl Autotuner {
                     continue; // an unlabelable input doesn't count as an iteration
                 }
             }
-            model = learner.fit(&config);
+            model = phases.run("training", || learner.fit(&config));
             model_history.push(model.clone());
             iterations += 1;
-            record_accuracy(&model, &mut accuracy_history);
+            phases.run("evaluation", || {
+                record_accuracy(&model, &mut accuracy_history)
+            });
         }
 
         let class_counts = learner.labeled().class_counts();
@@ -312,6 +394,7 @@ impl Autotuner {
             accuracy_history,
             model_history,
             audit_warnings,
+            phase_timings: phases.finish(),
         })
     }
 
@@ -520,6 +603,86 @@ mod tests {
             "{:?}",
             report.audit_warnings
         );
+    }
+
+    #[test]
+    fn full_tuning_reports_phase_timings() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        let report = Autotuner::new().tune(&mut cv, &training_inputs()).unwrap();
+        let names: Vec<&str> = report
+            .phase_timings
+            .iter()
+            .map(|p| p.phase.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["profiling", "labeling", "training", "evaluation"]
+        );
+        assert!(report.phase_timings.iter().all(|p| p.wall_ns >= 0.0));
+        // phase_timings survive serialization (fig7-style reporting).
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TuneReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.phase_timings, report.phase_timings);
+    }
+
+    #[test]
+    fn traced_tuning_emits_phase_spans_profile_instants_and_gauges() {
+        let ctx = Context::new();
+        let sink = std::sync::Arc::new(nitro_trace::RingSink::new(4096));
+        let tracer = nitro_trace::Tracer::new(sink.clone());
+        ctx.install_tracer(tracer.clone());
+        let mut cv = toy(&ctx);
+        let report = Autotuner::new().tune(&mut cv, &training_inputs()).unwrap();
+
+        let events = sink.snapshot();
+        let phase_names: std::collections::HashSet<&str> = events
+            .iter()
+            .filter(|e| e.cat == "tuning")
+            .map(|e| e.name.as_str())
+            .collect();
+        for expected in [
+            "phase:profiling",
+            "phase:labeling",
+            "phase:training",
+            "phase:evaluation",
+        ] {
+            assert!(phase_names.contains(expected), "missing {expected}");
+        }
+        // One per-input profiling instant per training input, carrying
+        // the ground-truth cost vector.
+        let profile_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.cat == "profile" && e.name == "profile:toy")
+            .collect();
+        assert_eq!(profile_events.len(), training_inputs().len());
+        assert!(profile_events[0].args.iter().any(|(k, _)| k == "costs"));
+        assert_eq!(
+            tracer.metrics().counter("profile.toy.inputs"),
+            Some(training_inputs().len() as u64)
+        );
+        for p in &report.phase_timings {
+            let gauge = tracer
+                .metrics()
+                .gauge(&format!("tune.toy.{}_ns", p.phase))
+                .unwrap_or_else(|| panic!("gauge for {}", p.phase));
+            assert_eq!(gauge, p.wall_ns);
+        }
+    }
+
+    #[test]
+    fn incremental_tuning_reports_phase_timings_too() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.policy_mut().incremental = Some(StoppingCriterion::Iterations(4));
+        let report = Autotuner::new().tune(&mut cv, &training_inputs()).unwrap();
+        let names: Vec<&str> = report
+            .phase_timings
+            .iter()
+            .map(|p| p.phase.as_str())
+            .collect();
+        assert!(names.contains(&"profiling"));
+        assert!(names.contains(&"training"));
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod online;
 pub mod profile;
 pub mod report;
 
-pub use autotuner::{Autotuner, TuneReport};
+pub use autotuner::{Autotuner, PhaseTiming, TuneReport};
 pub use online::{OnlineCodeVariant, OnlineOptions, OnlineStats};
 pub use profile::ProfileTable;
 pub use report::{evaluate_fixed_variant, evaluate_model, evaluate_selection, EvalSummary};

@@ -90,6 +90,23 @@ impl ProfileTable {
                 costs.push(objective.worst());
             }
         }
+        if let Some(tracer) = cv.context().tracer() {
+            // One instant per profiled input carrying the full ground
+            // truth — vetoed variants show as null (∞ has no JSON form).
+            tracer.instant(
+                &format!("profile:{}", cv.name()),
+                "profile",
+                vec![
+                    nitro_trace::arg("features", &features),
+                    nitro_trace::arg("feature_cost_ns", &fcost),
+                    nitro_trace::arg("costs", &costs),
+                    nitro_trace::arg("allowed", &allowed),
+                ],
+            );
+            tracer
+                .metrics()
+                .inc(&format!("profile.{}.inputs", cv.name()));
+        }
         (features, fcost, costs, allowed)
     }
 

@@ -8,6 +8,7 @@
 //! * [`nitro_audit`] — static analysis of registrations, artifacts and
 //!   profile tables (`NITRO0xx` diagnostics).
 //! * [`nitro_tuner`] — the offline autotuner.
+//! * [`nitro_trace`] — structured tracing, metrics and regret accounting.
 //! * [`nitro_simt`] — the simulated GPU substrate.
 //! * Benchmarks: [`nitro_sparse`], [`nitro_solvers`], [`nitro_graph`],
 //!   [`nitro_histogram`], [`nitro_sort`].
@@ -21,4 +22,5 @@ pub use nitro_simt as simt;
 pub use nitro_solvers as solvers;
 pub use nitro_sort as sort;
 pub use nitro_sparse as sparse;
+pub use nitro_trace as trace;
 pub use nitro_tuner as tuner;

@@ -1,0 +1,90 @@
+//! End-to-end observability: a tracer installed through the facade sees
+//! every layer — tuner phases, profiling instants, dispatch spans and
+//! simulator launches — and the exported artifacts are well-formed.
+
+use std::sync::Arc;
+
+use nitro::core::{ClassifierConfig, Context};
+use nitro::simt::DeviceConfig;
+use nitro::trace::{validate_chrome_trace, ChromeSink, MetricsSnapshot, RegretLedger, Tracer};
+use nitro::tuner::{Autotuner, ProfileTable};
+
+/// One test exercises the whole traced pipeline: the process-global slot
+/// (which the simulator layer reads) is shared state, so the simt
+/// assertions must not race with other traced tests in this binary.
+#[test]
+fn traced_sort_pipeline_emits_valid_artifacts() {
+    let ctx = Context::new();
+    let mut cv = nitro::sort::variants::build_code_variant(&ctx, &DeviceConfig::fermi_c2050());
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
+    let (train, test) = nitro::sort::keys::sort_small_sets(0x0B5);
+
+    let sink = Arc::new(ChromeSink::new());
+    let tracer = Tracer::new(sink.clone());
+    ctx.install_tracer(tracer.clone());
+    cv.declare_tracer_metrics(&tracer);
+    nitro::trace::install_global(tracer.clone());
+
+    let report = Autotuner::new().tune(&mut cv, &train).unwrap();
+    let phases: Vec<&str> = report
+        .phase_timings
+        .iter()
+        .map(|p| p.phase.as_str())
+        .collect();
+    assert_eq!(
+        phases,
+        vec!["profiling", "labeling", "training", "evaluation"]
+    );
+
+    // Ground truth for regret accounting, then dispatch every test input.
+    let table = ProfileTable::build(&cv, &test);
+    let mut ledger = RegretLedger::new(3);
+    for (i, input) in test.iter().enumerate() {
+        let inv = cv.call(input).unwrap();
+        ledger.record(&format!("sort[{i}]"), inv.variant, &table.costs[i]);
+    }
+    assert_eq!(ledger.count as usize, test.len());
+    assert!(
+        ledger.oracle_fraction() > 0.5,
+        "{}",
+        ledger.oracle_fraction()
+    );
+
+    nitro::trace::uninstall_global();
+    ctx.clear_tracer();
+
+    // The Chrome document passes the strict-nesting validator and saw
+    // all three instrumented layers.
+    let stats = validate_chrome_trace(&sink.to_chrome_json()).expect("valid chrome trace");
+    assert!(stats.spans > 0, "no spans recorded");
+    assert!(stats.instants > 0, "no instants recorded");
+    let events = sink.snapshot();
+    for cat in ["dispatch", "tuning", "profile", "simt"] {
+        assert!(
+            events.iter().any(|e| e.cat == cat),
+            "no '{cat}' events in trace"
+        );
+    }
+
+    // Metrics cover dispatch, profiling and the simulator, and the
+    // snapshot round-trips through its JSON form.
+    let snap = tracer.metrics().snapshot();
+    assert_eq!(snap.counter("dispatch.sort.calls"), Some(test.len() as u64));
+    assert!(snap.counter("profile.sort.inputs").unwrap_or(0) > 0);
+    assert!(snap.counter("simt.launches").unwrap_or(0) > 0);
+    assert!(snap.gauge("tune.sort.training_ns").is_some());
+    assert!(snap.histogram("dispatch.sort.predict_ns").is_some());
+
+    let back = MetricsSnapshot::from_json(&snap.to_json()).expect("metrics round-trip");
+    assert_eq!(back.counters, snap.counters);
+    assert_eq!(back.gauges.len(), snap.gauges.len());
+
+    // The runtime-metrics audit accepts the snapshot (no error-severity
+    // findings on a healthy run).
+    let diags = nitro::audit::analyze_metrics(&snap, &nitro::audit::MetricsAuditConfig::default());
+    assert!(
+        !nitro::audit::has_errors(&diags),
+        "{}",
+        nitro::audit::render_text(&diags)
+    );
+}

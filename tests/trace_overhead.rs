@@ -1,0 +1,94 @@
+//! Disabled-tracer overhead: with no tracer installed, the dispatch hot
+//! path must not allocate on account of the instrumentation.
+//!
+//! A counting global allocator measures allocations across identical
+//! dispatch batches. Dispatch itself allocates (the returned
+//! `Invocation` owns a name and a feature vector), so the test compares
+//! *identical* batches — their counts must match exactly, proving the
+//! tracer check adds nothing nondeterministic — and separately asserts
+//! the bare `Context::tracer()` probe allocates zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Count allocations during `f`. Only valid while nothing else runs —
+/// which is why this file holds exactly one test.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn untraced_dispatch_adds_no_allocations() {
+    use nitro::core::{CodeVariant, Context, FnFeature, FnVariant};
+    use nitro::trace::{RingSink, Tracer};
+
+    let ctx = Context::new();
+    let mut cv = CodeVariant::<f64>::new("overhead", &ctx);
+    cv.add_variant(FnVariant::new("a", |&x: &f64| x + 1.0));
+    cv.add_variant(FnVariant::new("b", |&x: &f64| 10.0 - x));
+    cv.set_default(0);
+    cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+
+    const BATCH: usize = 64;
+    let run_batch = |cv: &mut CodeVariant<f64>| {
+        for i in 0..BATCH {
+            cv.call(&(i as f64)).unwrap();
+        }
+    };
+
+    // Warm up lazily-initialized state (stats maps, thread-ids, …).
+    run_batch(&mut cv);
+
+    // Steady state: two identical untraced batches allocate identically.
+    let first = allocations_during(|| run_batch(&mut cv));
+    let second = allocations_during(|| run_batch(&mut cv));
+    assert_eq!(
+        first, second,
+        "untraced dispatch batches must allocate deterministically"
+    );
+
+    // The disabled-path probe itself: checking for a tracer is free.
+    let probe = allocations_during(|| {
+        for _ in 0..BATCH {
+            assert!(ctx.tracer().is_none());
+        }
+    });
+    assert_eq!(probe, 0, "tracer probe must not allocate when disabled");
+
+    // Sanity check the measurement: with a tracer installed, the same
+    // batch must allocate strictly more (spans, args, ring entries).
+    let tracer = Tracer::new(Arc::new(RingSink::new(4096)));
+    ctx.install_tracer(tracer);
+    let traced = allocations_during(|| run_batch(&mut cv));
+    assert!(
+        traced > second,
+        "traced batch ({traced}) should allocate more than untraced ({second})"
+    );
+    ctx.clear_tracer();
+}
