@@ -8,6 +8,7 @@
 //! block size per input, exactly the "parameterized templates generate
 //! variants" integration the paper describes (§VI).
 
+use nitro_bench::error::{exit_on_error, BenchResult};
 use nitro_bench::{pct, SuiteSpec};
 use nitro_core::{ClassifierConfig, CodeVariant, Context, FnFeature};
 use nitro_solvers::{run_with_preconditioner, BlockJacobi, Method, SolverInput};
@@ -61,6 +62,10 @@ fn systems(tag: &str, base: usize, count_per: usize, seed: u64) -> Vec<SolverInp
 }
 
 fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
     let spec = SuiteSpec::from_env();
     let cfg = nitro_bench::device();
     println!("== Extension: block-size tuning as a variant family ==");
@@ -78,10 +83,8 @@ fn main() {
     let test = systems("test", 1000, per + 4, spec.seed);
 
     let test_table = ProfileTable::build(&cv, &test);
-    Autotuner::new()
-        .tune(&mut cv, &train)
-        .expect("tuning succeeds");
-    let model = cv.export_artifact().unwrap().model;
+    Autotuner::new().tune(&mut cv, &train)?;
+    let model = cv.export_artifact()?.model;
     let nitro = evaluate_model(&test_table, &model, cv.default_variant());
 
     println!("\nvariant family: {}", cv.variant_names().join(", "));
@@ -124,4 +127,5 @@ fn main() {
             counts
         );
     }
+    Ok(())
 }

@@ -6,12 +6,17 @@
 //! without grid search), kNN and a decision tree, and reports the test
 //! performance of each.
 
+use nitro_bench::error::{exit_on_error, BenchResult};
 use nitro_bench::{pct, run_all, SuiteSpec};
 use nitro_core::{ClassifierConfig, TrainedModel};
 use nitro_ml::{ForestParams, TreeParams};
 use nitro_tuner::evaluate_model;
 
 fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
     let spec = SuiteSpec::from_env();
     println!("== Ablation: classifier choice (Table II `classifier`) ==");
     if spec.small {
@@ -44,7 +49,7 @@ fn main() {
         "\n{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "benchmark", "svm+grid", "svm-fixed", "knn-3", "tree", "forest"
     );
-    for suite in run_all(spec) {
+    for suite in run_all(spec)? {
         let data = suite.train_table.dataset();
         let mut cells = Vec::new();
         for (_, config) in &configs {
@@ -58,4 +63,5 @@ fn main() {
         );
     }
     println!("\n(100% = always selecting the exhaustive-search winner)");
+    Ok(())
 }

@@ -6,6 +6,7 @@
 //! model trained on the *wrong* device costs — the portability argument
 //! for per-device tuning, quantified.
 
+use nitro_bench::error::{exit_on_error, BenchResult};
 use nitro_bench::{cached_table, pct, SuiteSpec};
 use nitro_core::Context;
 use nitro_simt::DeviceConfig;
@@ -17,6 +18,10 @@ fn short(cfg: &DeviceConfig) -> String {
 }
 
 fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
     let spec = SuiteSpec::from_env();
     println!("== Ablation: per-device tuning (Fermi vs Kepler) ==");
     if spec.small {
@@ -46,10 +51,8 @@ fn main() {
             spec.cache,
         );
         let test_table = cached_table(&format!("spmv-dev{d}-{scale}-test"), &cv, &test, spec.cache);
-        Autotuner::new()
-            .tune_from_table(&mut cv, &train_table)
-            .expect("tuning succeeds");
-        models.push(cv.export_artifact().unwrap().model);
+        Autotuner::new().tune_from_table(&mut cv, &train_table)?;
+        models.push(cv.export_artifact()?.model);
         test_tables.push(test_table);
     }
 
@@ -73,4 +76,5 @@ fn main() {
         );
     }
     println!("\n(diagonal = retuned per device; off-diagonal = stale model from the other device)");
+    Ok(())
 }

@@ -8,12 +8,17 @@
 //! bytes can win on energy). This harness tunes SpMV both ways and
 //! reports what each model trades away.
 
+use nitro_bench::error::{exit_on_error, BenchResult};
 use nitro_bench::{cached_table, pct, SuiteSpec};
 use nitro_core::Context;
 use nitro_sparse::spmv::{build_code_variant_metric, SpmvMetric};
 use nitro_tuner::{evaluate_model, Autotuner, ProfileTable};
 
 fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
     let spec = SuiteSpec::from_env();
     let cfg = nitro_bench::device();
     println!("== Extension: energy-objective tuning (paper §II-B) ==");
@@ -41,10 +46,8 @@ fn main() {
             spec.cache,
         );
         let test_table = cached_table(&format!("spmv-{tag}-{scale}-test"), &cv, &test, spec.cache);
-        Autotuner::new()
-            .tune_from_table(&mut cv, &train_table)
-            .expect("tuning succeeds");
-        tables.push((metric, test_table, cv.export_artifact().unwrap().model));
+        Autotuner::new().tune_from_table(&mut cv, &train_table)?;
+        tables.push((metric, test_table, cv.export_artifact()?.model));
     }
     let (time_table, time_model) = (&tables[0].1, &tables[0].2);
     let (energy_table, energy_model) = (&tables[1].1, &tables[1].2);
@@ -80,4 +83,5 @@ fn main() {
         "\ntime-optimal and energy-optimal variants differ on {disagreements}/{considered} test inputs"
     );
     println!("(diagonal dominance = each objective needs its own model, as §II-B anticipates)");
+    Ok(())
 }

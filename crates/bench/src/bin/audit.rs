@@ -14,6 +14,7 @@ use nitro_audit::{
     analyze_profile, audit_artifact_against, lint_registration, render_text, ProfileAuditConfig,
     Severity,
 };
+use nitro_bench::error::{exit_on_error, to_json_pretty, write_file, BenchResult};
 use nitro_bench::{cached_table, device, SuiteSpec};
 use nitro_core::{CodeVariant, Context, Diagnostic};
 use nitro_tuner::Autotuner;
@@ -89,6 +90,10 @@ fn audit_suite<I: Send + Sync>(
 }
 
 fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
     let spec = SuiteSpec::from_env();
     let cfg = device();
     let mut audits = Vec::new();
@@ -159,15 +164,12 @@ fn main() {
         audits.push(audit_suite("sort", &mut cv, &train, spec));
     }
 
-    let json = serde_json::to_string_pretty(&audits).expect("report serializes");
+    let json = to_json_pretty("audit report", &audits)?;
     println!("{json}");
 
     let out = nitro_bench::cache_dir().join("../nitro-audit.json");
-    if let Err(e) = std::fs::write(&out, &json) {
-        eprintln!("warning: could not write {}: {e}", out.display());
-    } else {
-        eprintln!("report written to {}", out.display());
-    }
+    write_file(&out, &json)?;
+    eprintln!("report written to {}", out.display());
 
     let mut total_errors = 0;
     for audit in &audits {
@@ -182,4 +184,5 @@ fn main() {
         eprintln!("\naudit failed: {total_errors} error-severity finding(s)");
         std::process::exit(1);
     }
+    Ok(())
 }

@@ -5,11 +5,16 @@
 //! the Hybrid version by 11% on average … [Hybrid's] average performance
 //! was 88.14% of the best variant."
 
+use nitro_bench::error::{exit_on_error, BenchResult};
 use nitro_bench::{bfs_sets, cached_table, device, pct, SuiteSpec};
 use nitro_core::Context;
 use nitro_tuner::{evaluate_model, Autotuner};
 
 fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
     let spec = SuiteSpec::from_env();
     let cfg = device();
     println!("== BFS: Nitro-tuned vs the dynamic Hybrid variant (paper §V-A) ==");
@@ -23,10 +28,8 @@ fn main() {
     let (train, test) = bfs_sets(spec);
     let test_table = cached_table(&format!("bfs-{scale}-test"), &cv, &test, spec.cache);
     let train_table = cached_table(&format!("bfs-{scale}-train"), &cv, &train, spec.cache);
-    Autotuner::new()
-        .tune_from_table(&mut cv, &train_table)
-        .expect("tuning succeeds");
-    let model = cv.export_artifact().unwrap().model;
+    Autotuner::new().tune_from_table(&mut cv, &train_table)?;
+    let model = cv.export_artifact()?.model;
     let nitro = evaluate_model(&test_table, &model, cv.default_variant());
 
     // Hybrid relative performance per input: hybrid TEPS / best TEPS.
@@ -70,4 +73,5 @@ fn main() {
         }
     }
     println!("  (paper: \"one of CE-Fused or 2-Phase-Fused was almost always selected\")");
+    Ok(())
 }

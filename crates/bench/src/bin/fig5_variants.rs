@@ -2,15 +2,20 @@
 //! the Nitro-tuned selector, relative to the per-input best variant
 //! ("100%" = always running the exhaustive-search winner).
 
+use nitro_bench::error::{exit_on_error, BenchResult};
 use nitro_bench::{pct, run_all, SuiteSpec};
 
 fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
     let spec = SuiteSpec::from_env();
     println!("== Figure 5: variant performance relative to exhaustive best ==");
     if spec.small {
         println!("(NITRO_SCALE=small — miniature collections)");
     }
-    for suite in run_all(spec) {
+    for suite in run_all(spec)? {
         println!(
             "\n--- {} (test inputs: {}) ---",
             suite.name, suite.nitro.n_inputs
@@ -44,4 +49,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

@@ -3,6 +3,7 @@
 //! SpMV ≥70%/≥90% input fractions and the solver convergence-selection
 //! statistics.
 
+use nitro_bench::error::{exit_on_error, BenchResult};
 use nitro_bench::{convergence_stats, pct, run_all, SuiteSpec};
 
 /// The paper's Figure-6 numbers, for side-by-side comparison.
@@ -15,6 +16,10 @@ const PAPER: [(&str, f64); 5] = [
 ];
 
 fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
     let spec = SuiteSpec::from_env();
     println!("== Figure 6: Nitro vs exhaustive search ==");
     if spec.small {
@@ -24,7 +29,7 @@ fn main() {
         "\n{:<10} {:>10} {:>10} {:>8} {:>8} {:>8}",
         "benchmark", "nitro", "paper", ">=70%", ">=90%", "mispred"
     );
-    for suite in run_all(spec) {
+    for suite in run_all(spec)? {
         let paper = PAPER
             .iter()
             .find(|(n, _)| *n == suite.name)
@@ -55,4 +60,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

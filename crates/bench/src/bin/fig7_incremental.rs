@@ -6,6 +6,7 @@
 //! performance achieved without incremental tuning is roughly 25
 //! iterations. To match it, incremental tuning takes no more than 50.
 
+use nitro_bench::error::{exit_on_error, BenchResult};
 use nitro_bench::{
     cached_table, device, incremental_curve_with_report, pct, phase_breakdown, SuiteSpec,
 };
@@ -15,6 +16,10 @@ use nitro_tuner::{evaluate_model, Autotuner, ProfileTable};
 const MAX_ITERS: usize = 50;
 
 fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
     let spec = SuiteSpec::from_env();
     let cfg = device();
     println!("== Figure 7: incremental tuning (BvSB active learning) ==");
@@ -37,7 +42,7 @@ fn main() {
             )
         };
         let test_table = cached_table(&format!("spmv-{scale}-test"), &cv, &test, spec.cache);
-        report("spmv", &mut cv, &train, &test_table, max_iters);
+        report("spmv", &mut cv, &train, &test_table, max_iters)?;
     }
     {
         let ctx = Context::new();
@@ -51,14 +56,14 @@ fn main() {
             )
         };
         let test_table = cached_table(&format!("solvers-{scale}-test"), &cv, &test, spec.cache);
-        report("solvers", &mut cv, &train, &test_table, max_iters);
+        report("solvers", &mut cv, &train, &test_table, max_iters)?;
     }
     {
         let ctx = Context::new();
         let mut cv = nitro_graph::bfs::build_code_variant(&ctx, &cfg);
         let (train, test) = nitro_bench::bfs_sets(spec);
         let test_table = cached_table(&format!("bfs-{scale}-test"), &cv, &test, spec.cache);
-        report("bfs", &mut cv, &train, &test_table, max_iters);
+        report("bfs", &mut cv, &train, &test_table, max_iters)?;
     }
     {
         let ctx = Context::new();
@@ -72,7 +77,7 @@ fn main() {
             )
         };
         let test_table = cached_table(&format!("histogram-{scale}-test"), &cv, &test, spec.cache);
-        report("histogram", &mut cv, &train, &test_table, max_iters);
+        report("histogram", &mut cv, &train, &test_table, max_iters)?;
     }
     {
         let ctx = Context::new();
@@ -86,8 +91,9 @@ fn main() {
             )
         };
         let test_table = cached_table(&format!("sort-{scale}-test"), &cv, &test, spec.cache);
-        report("sort", &mut cv, &train, &test_table, max_iters);
+        report("sort", &mut cv, &train, &test_table, max_iters)?;
     }
+    Ok(())
 }
 
 fn report<I: Send + Sync>(
@@ -96,17 +102,15 @@ fn report<I: Send + Sync>(
     train: &[I],
     test_table: &ProfileTable,
     max_iters: usize,
-) {
+) -> BenchResult<()> {
     // Baseline: full-training-set performance.
     cv.policy_mut().incremental = None;
     let train_table = ProfileTable::build(cv, train);
-    Autotuner::new()
-        .tune_from_table(cv, &train_table)
-        .expect("full tuning");
-    let full_model = cv.export_artifact().unwrap().model;
+    Autotuner::new().tune_from_table(cv, &train_table)?;
+    let full_model = cv.export_artifact()?.model;
     let full = evaluate_model(test_table, &full_model, cv.default_variant()).mean_relative_perf;
 
-    let (curve, tune) = incremental_curve_with_report(cv, train, test_table, max_iters);
+    let (curve, tune) = incremental_curve_with_report(cv, train, test_table, max_iters)?;
 
     println!(
         "\n--- {name} (full-training performance: {}) ---",
@@ -136,4 +140,5 @@ fn report<I: Send + Sync>(
     if !breakdown.is_empty() {
         println!("  incremental tuning time by phase:\n{breakdown}");
     }
+    Ok(())
 }

@@ -4,16 +4,21 @@
 
 use std::fmt::Write as _;
 
+use nitro_bench::error::{exit_on_error, write_file, BenchResult};
 use nitro_bench::{convergence_stats, run_all, SuiteSpec};
 use nitro_ml::classification_report;
 
 fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
     let spec = SuiteSpec::from_env();
     let mut md = String::new();
     let w = &mut md;
 
-    writeln!(w, "# Nitro reproduction report\n").unwrap();
-    writeln!(
+    let _ = writeln!(w, "# Nitro reproduction report\n");
+    let _ = writeln!(
         w,
         "Scale: {} · seed {:#x} · device: {}\n",
         if spec.small {
@@ -23,24 +28,22 @@ fn main() {
         },
         spec.seed,
         nitro_bench::device().name
-    )
-    .unwrap();
+    );
 
-    writeln!(w, "## Nitro vs exhaustive search (Figure 6)\n").unwrap();
-    writeln!(
+    let _ = writeln!(w, "## Nitro vs exhaustive search (Figure 6)\n");
+    let _ = writeln!(
         w,
         "| benchmark | inputs | nitro | ≥70% | ≥90% | mispred | macro-F1 |"
-    )
-    .unwrap();
-    writeln!(w, "|---|---|---|---|---|---|---|").unwrap();
+    );
+    let _ = writeln!(w, "|---|---|---|---|---|---|---|");
 
-    let suites = run_all(spec);
+    let suites = run_all(spec)?;
     for suite in &suites {
         // Selection-quality diagnostics on the test set's labeled subset.
         let test_data = suite.test_table.dataset();
         let preds: Vec<usize> = test_data.x.iter().map(|x| suite.model.predict(x)).collect();
         let report = classification_report(&test_data, &preds);
-        writeln!(
+        let _ = writeln!(
             w,
             "| {} | {} | {:.2}% | {:.1}% | {:.1}% | {} | {:.3} |",
             suite.name,
@@ -50,15 +53,14 @@ fn main() {
             suite.nitro.frac_ge_90 * 100.0,
             suite.nitro.mispredictions,
             report.macro_f1,
-        )
-        .unwrap();
+        );
     }
 
-    writeln!(w, "\n## Per-variant performance (Figure 5)\n").unwrap();
+    let _ = writeln!(w, "\n## Per-variant performance (Figure 5)\n");
     for suite in &suites {
-        writeln!(w, "### {}\n", suite.name).unwrap();
-        writeln!(w, "| variant | % of best |").unwrap();
-        writeln!(w, "|---|---|").unwrap();
+        let _ = writeln!(w, "### {}\n", suite.name);
+        let _ = writeln!(w, "| variant | % of best |");
+        let _ = writeln!(w, "|---|---|");
         let mut rows: Vec<(String, f64)> = suite
             .variant_names
             .iter()
@@ -67,37 +69,34 @@ fn main() {
             .collect();
         rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         for (name, perf) in rows {
-            writeln!(w, "| {name} | {:.2}% |", perf * 100.0).unwrap();
+            let _ = writeln!(w, "| {name} | {:.2}% |", perf * 100.0);
         }
-        writeln!(
+        let _ = writeln!(
             w,
             "| **Nitro** | **{:.2}%** |\n",
             suite.nitro.mean_relative_perf * 100.0
-        )
-        .unwrap();
+        );
     }
 
     if let Some(solvers) = suites.iter().find(|s| s.name == "solvers") {
         let stats = convergence_stats(&solvers.test_table, &solvers.model, solvers.default_variant);
-        writeln!(w, "## Solver convergence (§V-A)\n").unwrap();
-        writeln!(w, "- unsolvable systems: {} (paper: 6)", stats.unsolvable).unwrap();
-        writeln!(
+        let _ = writeln!(w, "## Solver convergence (§V-A)\n");
+        let _ = writeln!(w, "- unsolvable systems: {} (paper: 6)", stats.unsolvable);
+        let _ = writeln!(
             w,
             "- systems with ≥1 failing variant: {} (paper: 35)",
             stats.partially_failing
-        )
-        .unwrap();
-        writeln!(
+        );
+        let _ = writeln!(
             w,
             "- Nitro picked a converging variant {}/{} times (paper: 33/35)\n",
             stats.nitro_picked_converging, stats.partially_failing
-        )
-        .unwrap();
+        );
     }
 
     print!("{md}");
     let path = nitro_bench::cache_dir().join("../nitro-report.md");
-    if std::fs::write(&path, &md).is_ok() {
-        eprintln!("(report written to {})", path.display());
-    }
+    write_file(&path, &md)?;
+    eprintln!("(report written to {})", path.display());
+    Ok(())
 }

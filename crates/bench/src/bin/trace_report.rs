@@ -26,6 +26,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use nitro_audit::{analyze_metrics_json, render_text, MetricsAuditConfig};
+use nitro_bench::error::{exit_on_error, BenchResult};
 use nitro_bench::{device, pct, SuiteSpec};
 use nitro_core::{CodeVariant, Context};
 use nitro_trace::{
@@ -62,7 +63,7 @@ fn trace_suite<I: Send + Sync>(
     train: &[I],
     test: &[I],
     dir: &Path,
-) -> SuiteTrace {
+) -> BenchResult<SuiteTrace> {
     let mut failures = Vec::new();
 
     let chrome = Arc::new(ChromeSink::new());
@@ -81,7 +82,7 @@ fn trace_suite<I: Send + Sync>(
     nitro_trace::install_global(tracer.clone());
 
     // Tune without the profile cache so the profiling phase is traced.
-    let tune = Autotuner::new().tune(cv, train).expect("tuning succeeds");
+    let tune = Autotuner::new().tune(cv, train)?;
 
     // Ground truth for the test set (also traced, as profile instants).
     let test_table = ProfileTable::build(cv, test);
@@ -91,7 +92,13 @@ fn trace_suite<I: Send + Sync>(
     let mut ledger = RegretLedger::new(5);
     let mut confusion: BTreeMap<(String, String), u64> = BTreeMap::new();
     for (i, input) in test.iter().enumerate() {
-        let inv = cv.call(input).expect("dispatch succeeds");
+        let inv = match cv.call(input) {
+            Ok(inv) => inv,
+            Err(e) => {
+                failures.push(format!("dispatch failed on {name}[{i}]: {e}"));
+                continue;
+            }
+        };
         let costs = &test_table.costs[i];
         ledger.record(&format!("{name}[{i}]"), inv.variant, costs);
         if let Some(best) = test_table.best_variant(i) {
@@ -143,7 +150,7 @@ fn trace_suite<I: Send + Sync>(
         Err(e) => failures.push(format!("{name}.metrics.json does not round-trip: {e}")),
     }
 
-    SuiteTrace {
+    Ok(SuiteTrace {
         name: name.to_string(),
         tune,
         ledger,
@@ -151,7 +158,7 @@ fn trace_suite<I: Send + Sync>(
         metrics,
         failures,
         trace_shape,
-    }
+    })
 }
 
 fn summarize(s: &SuiteTrace) {
@@ -213,6 +220,10 @@ fn summarize(s: &SuiteTrace) {
 }
 
 fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
     let spec = SuiteSpec::from_env();
     let cfg = device();
     let dir = out_dir();
@@ -234,7 +245,7 @@ fn main() {
                 nitro_sparse::collection::spmv_test_set(spec.seed),
             )
         };
-        suites.push(trace_suite("spmv", &mut cv, &train, &test, &dir));
+        suites.push(trace_suite("spmv", &mut cv, &train, &test, &dir)?);
     }
     {
         let ctx = Context::new();
@@ -247,13 +258,13 @@ fn main() {
                 nitro_solvers::collection::solver_test_set(spec.seed),
             )
         };
-        suites.push(trace_suite("solvers", &mut cv, &train, &test, &dir));
+        suites.push(trace_suite("solvers", &mut cv, &train, &test, &dir)?);
     }
     {
         let ctx = Context::new();
         let mut cv = nitro_graph::bfs::build_code_variant(&ctx, &cfg);
         let (train, test) = nitro_bench::bfs_sets(spec);
-        suites.push(trace_suite("bfs", &mut cv, &train, &test, &dir));
+        suites.push(trace_suite("bfs", &mut cv, &train, &test, &dir)?);
     }
     {
         let ctx = Context::new();
@@ -266,7 +277,7 @@ fn main() {
                 nitro_histogram::data::hist_test_set(spec.seed),
             )
         };
-        suites.push(trace_suite("histogram", &mut cv, &train, &test, &dir));
+        suites.push(trace_suite("histogram", &mut cv, &train, &test, &dir)?);
     }
     {
         let ctx = Context::new();
@@ -279,7 +290,7 @@ fn main() {
                 nitro_sort::keys::sort_test_set(spec.seed),
             )
         };
-        suites.push(trace_suite("sort", &mut cv, &train, &test, &dir));
+        suites.push(trace_suite("sort", &mut cv, &train, &test, &dir)?);
     }
 
     for s in &suites {
@@ -307,4 +318,5 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nall trace artifacts validated");
+    Ok(())
 }

@@ -1,0 +1,126 @@
+//! Typed errors for the experiment binaries.
+//!
+//! The figure binaries are batch jobs: on any failure they should print
+//! one diagnosable line to stderr and exit nonzero, not panic with an
+//! `unwrap` backtrace. [`BenchError`] wraps the three failure domains a
+//! harness hits — the framework itself ([`NitroError`]), filesystem I/O
+//! (annotated with the offending path) and JSON (de)serialization — and
+//! every binary funnels through a `fn run() -> BenchResult<()>` whose
+//! error lands in `main`'s `exit(1)` path.
+
+use std::fmt;
+use std::path::Path;
+
+use nitro_core::NitroError;
+
+/// Result alias used across the bench binaries.
+pub type BenchResult<T> = std::result::Result<T, BenchError>;
+
+/// Everything that can go wrong in an experiment binary.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Tuning, dispatch, audit or artifact handling failed.
+    Nitro(NitroError),
+    /// A filesystem operation failed; `path` says where.
+    Io {
+        /// What the harness was doing ("write", "read", "create dir").
+        action: &'static str,
+        /// The file or directory involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// JSON encoding/decoding failed.
+    Json {
+        /// What was being (de)serialized.
+        what: &'static str,
+        /// The underlying error.
+        source: serde_json::Error,
+    },
+    /// A report or export failed an internal consistency check.
+    Invalid(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Nitro(e) => write!(f, "{e}"),
+            BenchError::Io {
+                action,
+                path,
+                source,
+            } => write!(f, "failed to {action} '{path}': {source}"),
+            BenchError::Json { what, source } => {
+                write!(f, "failed to serialize {what}: {source}")
+            }
+            BenchError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Nitro(e) => Some(e),
+            BenchError::Io { source, .. } => Some(source),
+            BenchError::Json { source, .. } => Some(source),
+            BenchError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<NitroError> for BenchError {
+    fn from(e: NitroError) -> Self {
+        BenchError::Nitro(e)
+    }
+}
+
+/// Write a file, annotating failures with the destination path.
+pub fn write_file(path: &Path, contents: &str) -> BenchResult<()> {
+    std::fs::write(path, contents).map_err(|source| BenchError::Io {
+        action: "write",
+        path: path.display().to_string(),
+        source,
+    })
+}
+
+/// Create a directory tree, annotating failures with the path.
+pub fn ensure_dir(path: &Path) -> BenchResult<()> {
+    std::fs::create_dir_all(path).map_err(|source| BenchError::Io {
+        action: "create directory",
+        path: path.display().to_string(),
+        source,
+    })
+}
+
+/// Serialize a value to pretty JSON with a named context.
+pub fn to_json_pretty<T: serde::Serialize>(what: &'static str, value: &T) -> BenchResult<String> {
+    serde_json::to_string_pretty(value).map_err(|source| BenchError::Json { what, source })
+}
+
+/// The shared `main` tail: report the error and exit nonzero.
+pub fn exit_on_error(result: BenchResult<()>) {
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_name_the_path() {
+        let err = write_file(Path::new("/nonexistent-dir/x.json"), "{}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("/nonexistent-dir/x.json"), "{msg}");
+        assert!(msg.contains("write"), "{msg}");
+    }
+
+    #[test]
+    fn nitro_errors_pass_through() {
+        let err = BenchError::from(NitroError::NoVariants);
+        assert_eq!(err.to_string(), NitroError::NoVariants.to_string());
+    }
+}

@@ -9,6 +9,8 @@ use nitro_tuner::{
     evaluate_fixed_variant, evaluate_model, Autotuner, EvalSummary, ProfileTable, TuneReport,
 };
 
+use crate::error::BenchResult;
+
 /// Seed every collection in the harness derives from — change it and all
 /// generated "UFL matrices", graphs and key sequences change together.
 pub const COLLECTION_SEED: u64 = 0x0417_2014;
@@ -113,21 +115,19 @@ pub fn run_suite<I: Send + Sync>(
     train: &[I],
     test: &[I],
     spec: SuiteSpec,
-) -> SuiteOutcome {
+) -> BenchResult<SuiteOutcome> {
     let scale = if spec.small { "small" } else { "full" };
     let train_table = cached_table(&format!("{name}-{scale}-train"), cv, train, spec.cache);
     let test_table = cached_table(&format!("{name}-{scale}-test"), cv, test, spec.cache);
 
-    let tune = Autotuner::new()
-        .tune_from_table(cv, &train_table)
-        .expect("tuning succeeds");
-    let model = cv.export_artifact().expect("model installed").model;
+    let tune = Autotuner::new().tune_from_table(cv, &train_table)?;
+    let model = cv.export_artifact()?.model;
     let nitro = evaluate_model(&test_table, &model, cv.default_variant());
     let fixed = (0..cv.n_variants())
         .map(|v| evaluate_fixed_variant(&test_table, v))
         .collect();
 
-    SuiteOutcome {
+    Ok(SuiteOutcome {
         name: name.to_string(),
         variant_names: cv.variant_names(),
         fixed,
@@ -137,7 +137,7 @@ pub fn run_suite<I: Send + Sync>(
         model,
         default_variant: cv.default_variant(),
         train_table,
-    }
+    })
 }
 
 /// The simulated device all harnesses use (the paper's Tesla C2050).
@@ -150,12 +150,12 @@ pub fn device() -> DeviceConfig {
 // ---------------------------------------------------------------------
 
 /// SpMV suite (paper benchmark 1).
-pub fn run_spmv(spec: SuiteSpec) -> SuiteOutcome {
+pub fn run_spmv(spec: SuiteSpec) -> BenchResult<SuiteOutcome> {
     run_spmv_on(spec, &device())
 }
 
 /// SpMV suite on an explicit device (used by the device ablation).
-pub fn run_spmv_on(spec: SuiteSpec, cfg: &DeviceConfig) -> SuiteOutcome {
+pub fn run_spmv_on(spec: SuiteSpec, cfg: &DeviceConfig) -> BenchResult<SuiteOutcome> {
     let ctx = Context::new();
     let mut cv = nitro_sparse::spmv::build_code_variant(&ctx, cfg);
     let (train, test) = if spec.small {
@@ -175,7 +175,7 @@ pub fn run_spmv_on(spec: SuiteSpec, cfg: &DeviceConfig) -> SuiteOutcome {
 }
 
 /// Solvers suite (paper benchmark 2).
-pub fn run_solvers(spec: SuiteSpec) -> SuiteOutcome {
+pub fn run_solvers(spec: SuiteSpec) -> BenchResult<SuiteOutcome> {
     let ctx = Context::new();
     let mut cv = nitro_solvers::variants::build_code_variant(&ctx, &device());
     let (train, test) = if spec.small {
@@ -190,7 +190,7 @@ pub fn run_solvers(spec: SuiteSpec) -> SuiteOutcome {
 }
 
 /// BFS suite (paper benchmark 3).
-pub fn run_bfs(spec: SuiteSpec) -> SuiteOutcome {
+pub fn run_bfs(spec: SuiteSpec) -> BenchResult<SuiteOutcome> {
     let ctx = Context::new();
     let mut cv = nitro_graph::bfs::build_code_variant(&ctx, &device());
     let (train, test) = bfs_sets(spec);
@@ -211,7 +211,7 @@ pub fn bfs_sets(spec: SuiteSpec) -> (Vec<nitro_graph::BfsInput>, Vec<nitro_graph
 }
 
 /// Histogram suite (paper benchmark 4).
-pub fn run_histogram(spec: SuiteSpec) -> SuiteOutcome {
+pub fn run_histogram(spec: SuiteSpec) -> BenchResult<SuiteOutcome> {
     let ctx = Context::new();
     let mut cv = nitro_histogram::variants::build_code_variant(&ctx, &device());
     let (train, test) = if spec.small {
@@ -226,7 +226,7 @@ pub fn run_histogram(spec: SuiteSpec) -> SuiteOutcome {
 }
 
 /// Sort suite (paper benchmark 5).
-pub fn run_sort(spec: SuiteSpec) -> SuiteOutcome {
+pub fn run_sort(spec: SuiteSpec) -> BenchResult<SuiteOutcome> {
     let ctx = Context::new();
     let mut cv = nitro_sort::variants::build_code_variant(&ctx, &device());
     let (train, test) = if spec.small {
@@ -241,14 +241,14 @@ pub fn run_sort(spec: SuiteSpec) -> SuiteOutcome {
 }
 
 /// All five suites, in the paper's order.
-pub fn run_all(spec: SuiteSpec) -> Vec<SuiteOutcome> {
-    vec![
-        run_spmv(spec),
-        run_solvers(spec),
-        run_bfs(spec),
-        run_histogram(spec),
-        run_sort(spec),
-    ]
+pub fn run_all(spec: SuiteSpec) -> BenchResult<Vec<SuiteOutcome>> {
+    Ok(vec![
+        run_spmv(spec)?,
+        run_solvers(spec)?,
+        run_bfs(spec)?,
+        run_histogram(spec)?,
+        run_sort(spec)?,
+    ])
 }
 
 // ---------------------------------------------------------------------
@@ -264,8 +264,8 @@ pub fn incremental_curve<I: Send + Sync>(
     train: &[I],
     test_table: &ProfileTable,
     max_iterations: usize,
-) -> Vec<(usize, f64)> {
-    incremental_curve_with_report(cv, train, test_table, max_iterations).0
+) -> BenchResult<Vec<(usize, f64)>> {
+    Ok(incremental_curve_with_report(cv, train, test_table, max_iterations)?.0)
 }
 
 /// Like [`incremental_curve`], but also returns the tune report so
@@ -275,11 +275,9 @@ pub fn incremental_curve_with_report<I: Send + Sync>(
     train: &[I],
     test_table: &ProfileTable,
     max_iterations: usize,
-) -> (Vec<(usize, f64)>, TuneReport) {
+) -> BenchResult<(Vec<(usize, f64)>, TuneReport)> {
     cv.policy_mut().incremental = Some(StoppingCriterion::Iterations(max_iterations));
-    let report = Autotuner::new()
-        .tune_with_test(cv, train, test_table)
-        .expect("incremental tuning succeeds");
+    let report = Autotuner::new().tune_with_test(cv, train, test_table)?;
     let curve = report
         .model_history
         .iter()
@@ -289,7 +287,7 @@ pub fn incremental_curve_with_report<I: Send + Sync>(
             (i, summary.mean_relative_perf)
         })
         .collect();
-    (curve, report)
+    Ok((curve, report))
 }
 
 /// Render a [`TuneReport`]'s phase-timing breakdown as indented lines
@@ -453,7 +451,7 @@ mod tests {
 
     #[test]
     fn small_spmv_suite_runs_end_to_end() {
-        let out = run_spmv(SuiteSpec::small());
+        let out = run_spmv(SuiteSpec::small()).unwrap();
         assert_eq!(out.variant_names.len(), 6);
         assert!(out.nitro.mean_relative_perf > 0.7, "nitro {:?}", out.nitro);
         assert_eq!(out.fixed.len(), 6);
@@ -465,7 +463,7 @@ mod tests {
         let mut cv = nitro_sort::variants::build_code_variant(&ctx, &device());
         let (train, test) = nitro_sort::keys::sort_small_sets(COLLECTION_SEED);
         let test_table = ProfileTable::build(&cv, &test);
-        let curve = incremental_curve(&mut cv, &train, &test_table, 8);
+        let curve = incremental_curve(&mut cv, &train, &test_table, 8).unwrap();
         assert!(curve.len() >= 2);
         assert!(curve.last().unwrap().1 > 0.6, "{curve:?}");
     }
@@ -485,7 +483,7 @@ mod tests {
 
     #[test]
     fn convergence_stats_count_failures() {
-        let out = run_solvers(SuiteSpec::small());
+        let out = run_solvers(SuiteSpec::small()).unwrap();
         let stats = convergence_stats(&out.test_table, &out.model, out.default_variant);
         // The small solver sets include weak-diagonal systems where some
         // variants fail.

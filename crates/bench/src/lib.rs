@@ -24,6 +24,8 @@
 //! (feature evaluation, model prediction, dispatch) and per-kernel
 //! simulator throughput.
 
+pub mod error;
 pub mod harness;
 
+pub use error::{BenchError, BenchResult};
 pub use harness::*;

@@ -348,9 +348,84 @@ impl<I: ?Sized> CodeVariant<I> {
         self.variants[variant].invoke(input)
     }
 
+    /// Execute one variant with failure isolation: a panic inside the
+    /// variant (e.g. an injected launch failure from the simulator's
+    /// fault plan) or a non-finite objective value becomes a typed
+    /// [`NitroError::VariantFailed`] instead of unwinding into the
+    /// caller. Failure-tolerant profiling and the `nitro-guard`
+    /// retry/quarantine dispatch build on this.
+    pub fn try_run_variant(&self, variant: usize, input: &I) -> Result<f64> {
+        let Some(v) = self.variants.get(variant) else {
+            return Err(NitroError::InvalidIndex {
+                what: "variant",
+                index: variant,
+                len: self.variants.len(),
+            });
+        };
+        // AssertUnwindSafe: on Err we only read the variant's name (the
+        // shared-variant table is not mutated across the unwind), and
+        // variants are required to leave `input` consistent on failure —
+        // the same contract a real launch failure imposes.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| v.invoke(input))) {
+            Ok(objective) if objective.is_finite() => Ok(objective),
+            Ok(objective) => Err(NitroError::VariantFailed {
+                variant,
+                name: v.name().to_string(),
+                attempts: 1,
+                detail: format!("non-finite objective value {objective}"),
+            }),
+            Err(payload) => {
+                let detail = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "variant panicked".to_string());
+                Err(NitroError::VariantFailed {
+                    variant,
+                    name: v.name().to_string(),
+                    attempts: 1,
+                    detail,
+                })
+            }
+        }
+    }
+
+    /// Shared handle to a registered variant, or `None` if out of range.
+    pub fn variant(&self, index: usize) -> Option<Arc<dyn Variant<I>>> {
+        self.variants.get(index).cloned()
+    }
+
+    /// Replace a registered variant in place, returning the old one. The
+    /// index keeps its model label and statistics slot, so the
+    /// replacement must be functionally equivalent (chaos harnesses use
+    /// this to wrap a variant in a fault-injecting decorator that keeps
+    /// the inner variant's name).
+    pub fn replace_variant(
+        &mut self,
+        index: usize,
+        v: Arc<dyn Variant<I>>,
+    ) -> Result<Arc<dyn Variant<I>>> {
+        if index >= self.variants.len() {
+            return Err(NitroError::InvalidIndex {
+                what: "variant",
+                index,
+                len: self.variants.len(),
+            });
+        }
+        Ok(std::mem::replace(&mut self.variants[index], v))
+    }
+
     /// Model prediction for a feature vector (no constraint handling).
     pub fn select(&self, features: &[f64]) -> Option<usize> {
         self.model.as_ref().map(|m| m.predict(features))
+    }
+
+    /// Model ranking for a feature vector: every variant index, ordered
+    /// from most to least preferred by the model's class posterior.
+    /// `None` without a model. The `nitro-guard` fallback cascade walks
+    /// this ranking when preferred variants are quarantined or vetoed.
+    pub fn predict_ranked(&self, features: &[f64]) -> Option<Vec<usize>> {
+        self.model.as_ref().map(|m| m.rank(features))
     }
 
     /// The full dispatch pipeline: evaluate features, consult the model,
@@ -814,6 +889,79 @@ mod tests {
         cv.install_model(toy_model());
         cv.call(&1.0).unwrap();
         assert!(cv.context().tracer().is_none());
+    }
+
+    #[test]
+    fn try_run_variant_isolates_panics_and_bad_objectives() {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("fragile", &ctx);
+        cv.add_variant(FnVariant::new("ok", |&x: &f64| x + 1.0));
+        cv.add_variant(FnVariant::new("panics", |_: &f64| -> f64 {
+            panic!("injected launch failure: kernel 'k' (launch 0)")
+        }));
+        cv.add_variant(FnVariant::new("nan", |_: &f64| f64::NAN));
+        cv.add_variant(FnVariant::new("inf", |_: &f64| f64::INFINITY));
+
+        assert_eq!(cv.try_run_variant(0, &1.0).unwrap(), 2.0);
+        match cv.try_run_variant(1, &1.0) {
+            Err(NitroError::VariantFailed {
+                variant,
+                name,
+                attempts,
+                detail,
+            }) => {
+                assert_eq!((variant, attempts), (1, 1));
+                assert_eq!(name, "panics");
+                assert!(detail.contains("injected launch failure"), "{detail}");
+            }
+            other => panic!("expected VariantFailed, got {other:?}"),
+        }
+        assert!(matches!(
+            cv.try_run_variant(2, &1.0),
+            Err(NitroError::VariantFailed { .. })
+        ));
+        assert!(matches!(
+            cv.try_run_variant(3, &1.0),
+            Err(NitroError::VariantFailed { .. })
+        ));
+        assert!(matches!(
+            cv.try_run_variant(9, &1.0),
+            Err(NitroError::InvalidIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_ranked_starts_at_prediction_and_covers_all_variants() {
+        let mut cv = toy();
+        assert!(cv.predict_ranked(&[1.0]).is_none());
+        cv.install_model(toy_model());
+        for x in [1.0, 9.0] {
+            let (features, _) = cv.evaluate_features(&x);
+            let order = cv.predict_ranked(&features).unwrap();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1]);
+            assert_eq!(order[0], cv.select(&features).unwrap());
+        }
+    }
+
+    #[test]
+    fn replace_variant_keeps_index_and_returns_old() {
+        let mut cv = toy();
+        let old = cv
+            .replace_variant(0, Arc::new(FnVariant::new("small", |&x: &f64| 100.0 + x)))
+            .unwrap();
+        assert_eq!(old.name(), "small");
+        assert_eq!(cv.run_variant(0, &1.0), 101.0);
+        assert_eq!(
+            cv.variant_names(),
+            vec!["small".to_string(), "large".to_string()]
+        );
+        assert!(cv
+            .replace_variant(5, Arc::new(FnVariant::new("x", |&x: &f64| x)))
+            .is_err());
+        assert!(cv.variant(1).is_some());
+        assert!(cv.variant(7).is_none());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * `NITRO030`–`NITRO039` — profile-table / training-set analysis.
 //! * `NITRO040`–`NITRO049` — runtime-metrics analysis (exported
 //!   `nitro-trace` snapshots: fallback rates, dead variants).
+//! * `NITRO050`–`NITRO059` — resilience configuration (guard policies
+//!   and fault plans; these analyzers live in `nitro-guard`, which sits
+//!   above `nitro-audit` in the crate graph).
 
 use std::fmt;
 

@@ -35,6 +35,29 @@ pub enum NitroError {
         /// The full finding list (errors plus accompanying warnings).
         diagnostics: Vec<Diagnostic>,
     },
+    /// A variant execution failed at dispatch time: it panicked or
+    /// returned a non-finite objective. Produced by
+    /// `CodeVariant::try_run_variant`, which isolates the failure
+    /// instead of unwinding into the caller.
+    VariantFailed {
+        /// Index of the failing variant.
+        variant: usize,
+        /// Name of the failing variant.
+        name: String,
+        /// Execution attempts made (1 without retries; resilient
+        /// dispatch layers raise it when a retry budget was spent).
+        attempts: u32,
+        /// The panic payload or a description of the bad objective.
+        detail: String,
+    },
+    /// Resilient dispatch exhausted its fallback cascade: every candidate
+    /// variant was quarantined, vetoed or failed its execution attempts.
+    NoHealthyVariant {
+        /// The `code_variant` that could not be served.
+        function: String,
+        /// What happened to the last candidate tried (or why none were).
+        detail: String,
+    },
     /// A worker thread panicked (asynchronous feature evaluation).
     Thread {
         /// What the thread was doing.
@@ -84,6 +107,18 @@ impl fmt::Display for NitroError {
                     write!(f, "\n  {d}")?;
                 }
                 Ok(())
+            }
+            NitroError::VariantFailed {
+                variant,
+                name,
+                attempts,
+                detail,
+            } => write!(
+                f,
+                "variant {variant} '{name}' failed after {attempts} attempt(s): {detail}"
+            ),
+            NitroError::NoHealthyVariant { function, detail } => {
+                write!(f, "no healthy variant for '{function}': {detail}")
             }
             NitroError::Thread { detail } => write!(f, "worker thread panicked: {detail}"),
             NitroError::Io(e) => write!(f, "io error: {e}"),
@@ -155,6 +190,20 @@ mod tests {
             len: 3,
         };
         assert!(e.to_string().contains("default variant index 7"));
+    }
+
+    #[test]
+    fn variant_failed_display_names_the_variant() {
+        let e = NitroError::VariantFailed {
+            variant: 2,
+            name: "CSR-Vector".into(),
+            attempts: 3,
+            detail: "injected launch failure: kernel 'spmv_csr_vector' (launch 7)".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("'CSR-Vector'"));
+        assert!(s.contains("3 attempt(s)"));
+        assert!(s.contains("injected launch failure"));
     }
 
     #[test]

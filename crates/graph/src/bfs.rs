@@ -73,6 +73,14 @@ pub fn run_bfs(
     cfg: &DeviceConfig,
     seed: u64,
 ) -> BfsRun {
+    let fault_kernel = match (strategy, fused) {
+        (Strategy::ExpandContract, true) => "bfs_ec_fused",
+        (Strategy::ExpandContract, false) => "bfs_ec_iter",
+        (Strategy::ContractExpand, true) => "bfs_ce_fused",
+        (Strategy::ContractExpand, false) => "bfs_ce_iter",
+        (Strategy::TwoPhase, true) => "bfs_2p_fused",
+        (Strategy::TwoPhase, false) => "bfs_2p_iter",
+    };
     run_dynamic(
         g,
         source,
@@ -81,6 +89,7 @@ pub fn run_bfs(
         cfg,
         seed,
         0.0,
+        fault_kernel,
     )
 }
 
@@ -102,9 +111,11 @@ pub fn run_hybrid(g: &CsrGraph, source: usize, cfg: &DeviceConfig, seed: u64) ->
         cfg,
         seed,
         HYBRID_DECISION_NS,
+        "bfs_hybrid",
     )
 }
 
+#[allow(clippy::too_many_arguments)] // private driver shared by the six variants + Hybrid
 fn run_dynamic(
     g: &CsrGraph,
     source: usize,
@@ -113,13 +124,29 @@ fn run_dynamic(
     cfg: &DeviceConfig,
     seed: u64,
     per_level_host_ns: f64,
+    fault_kernel: &str,
 ) -> BfsRun {
     // Per-level kernels are costed noiselessly with zero launch overhead;
     // overheads and one multiplicative noise factor are applied at the end
-    // so fused/iter differ only in launch accounting.
+    // so fused/iter differ only in launch accounting. These launches are
+    // cost probes, not launch boundaries, so they are fault-exempt.
     let mut level_cfg = cfg.clone().noiseless();
     level_cfg.launch_overhead_ns = 0.0;
-    let gpu = Gpu::with_seed(level_cfg, seed);
+    let gpu = Gpu::with_seed(level_cfg.clone(), seed).fault_exempt();
+
+    // Fault injection follows *real* launch boundaries instead: a fused
+    // variant is one device launch (its kernel boundaries are in-kernel
+    // global barriers), an iterative one pays a real launch per level
+    // kernel. The launcher's empty launches roll the fault dice without
+    // contributing cost; `fault_kernel` names the variant so each variant
+    // is its own fault domain rather than all sharing one dice stream.
+    let launcher = Gpu::with_seed(level_cfg, seed ^ 0xFA);
+    let real_launch = || {
+        launcher.launch(fault_kernel, 1, Schedule::EvenShare, |_, _| {});
+    };
+    if fused {
+        real_launch();
+    }
 
     let mut depth = vec![usize::MAX; g.n];
     depth[source] = 0;
@@ -151,6 +178,11 @@ fn run_dynamic(
             level_cost(g, &frontier, &next, edge_frontier, strategy, fused, &gpu);
         busy_ns += ns + kernel_count as f64 * KERNEL_MIN_NS + per_level_host_ns;
         launches += kernel_count;
+        if !fused {
+            for _ in 0..kernel_count {
+                real_launch();
+            }
+        }
 
         frontier = next;
         levels += 1;

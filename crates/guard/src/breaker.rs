@@ -1,0 +1,264 @@
+//! The per-variant circuit breaker: Closed → Open → HalfOpen.
+//!
+//! Each variant of a guarded `code_variant` owns one [`CircuitBreaker`].
+//! Consecutive execution failures trip it **Open** (the variant is
+//! quarantined and skipped by the fallback cascade); after a cooldown
+//! measured in guarded calls it moves to **HalfOpen**, where the variant
+//! is dispatchable again as a probe — one more failure re-opens it, enough
+//! successes close it. All thresholds come from [`GuardPolicy`].
+//!
+//! The clock is *guarded calls*, not wall time: the simulator's time is
+//! virtual, and call-counted cooldowns keep chaos tests deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable knobs of the resilience layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardPolicy {
+    /// Retries after the first failed attempt of a candidate variant
+    /// (so a candidate gets `1 + retry_budget` attempts per call).
+    pub retry_budget: u32,
+    /// Simulated backoff charged before the first retry, in nanoseconds;
+    /// doubles on each further retry.
+    pub backoff_base_ns: f64,
+    /// Consecutive failures that trip a variant's breaker Open.
+    pub quarantine_threshold: u32,
+    /// Guarded calls an Open breaker waits before probing (HalfOpen).
+    pub cooldown_calls: u64,
+    /// Successful HalfOpen probes required to close the breaker.
+    pub half_open_probes: u32,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        Self {
+            retry_budget: 2,
+            backoff_base_ns: 1_000.0,
+            quarantine_threshold: 3,
+            cooldown_calls: 16,
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// Where a breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: the variant is dispatchable.
+    Closed {
+        /// Failures seen since the last success.
+        consecutive_failures: u32,
+    },
+    /// Quarantined: the variant is skipped by dispatch.
+    Open {
+        /// Guarded calls left before the breaker half-opens.
+        remaining_cooldown: u64,
+    },
+    /// Probing: dispatchable again, one failure away from re-opening.
+    HalfOpen {
+        /// Successful probes so far.
+        successes: u32,
+    },
+}
+
+/// A state transition worth counting (and tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Closed → Open: the variant entered quarantine.
+    Opened,
+    /// HalfOpen → Open: the probe failed, back to quarantine.
+    Reopened,
+    /// HalfOpen → Closed: the variant recovered.
+    Recovered,
+}
+
+/// One variant's breaker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: u64,
+    probes_to_close: u32,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    /// A Closed breaker configured from the policy.
+    pub fn new(policy: &GuardPolicy) -> Self {
+        Self {
+            // A zero threshold would quarantine on sight; the policy
+            // audit (NITRO050) refuses it, but the breaker itself stays
+            // total by clamping.
+            threshold: policy.quarantine_threshold.max(1),
+            cooldown: policy.cooldown_calls,
+            probes_to_close: policy.half_open_probes.max(1),
+            state: BreakerState::Closed {
+                consecutive_failures: 0,
+            },
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether dispatch may run this variant (Closed or HalfOpen).
+    pub fn is_available(&self) -> bool {
+        !matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// Whether the variant is quarantined (Open).
+    pub fn is_quarantined(&self) -> bool {
+        !self.is_available()
+    }
+
+    /// Advance the cooldown clock by one guarded call. Returns `true`
+    /// when this tick moved the breaker from Open to HalfOpen.
+    pub fn tick(&mut self) -> bool {
+        if let BreakerState::Open { remaining_cooldown } = self.state {
+            if remaining_cooldown <= 1 {
+                self.state = BreakerState::HalfOpen { successes: 0 };
+                return true;
+            }
+            self.state = BreakerState::Open {
+                remaining_cooldown: remaining_cooldown - 1,
+            };
+        }
+        false
+    }
+
+    /// Record a successful execution of this variant.
+    pub fn on_success(&mut self) -> Option<Transition> {
+        match self.state {
+            BreakerState::Closed { .. } => {
+                self.state = BreakerState::Closed {
+                    consecutive_failures: 0,
+                };
+                None
+            }
+            BreakerState::HalfOpen { successes } => {
+                if successes + 1 >= self.probes_to_close {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures: 0,
+                    };
+                    Some(Transition::Recovered)
+                } else {
+                    self.state = BreakerState::HalfOpen {
+                        successes: successes + 1,
+                    };
+                    None
+                }
+            }
+            // Dispatch never runs an Open variant, but stay total.
+            BreakerState::Open { .. } => None,
+        }
+    }
+
+    /// Record a failed execution of this variant.
+    pub fn on_failure(&mut self) -> Option<Transition> {
+        match self.state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.threshold {
+                    self.state = BreakerState::Open {
+                        remaining_cooldown: self.cooldown,
+                    };
+                    Some(Transition::Opened)
+                } else {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures: failures,
+                    };
+                    None
+                }
+            }
+            BreakerState::HalfOpen { .. } => {
+                self.state = BreakerState::Open {
+                    remaining_cooldown: self.cooldown,
+                };
+                Some(Transition::Reopened)
+            }
+            BreakerState::Open { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> GuardPolicy {
+        GuardPolicy {
+            quarantine_threshold: 3,
+            cooldown_calls: 2,
+            half_open_probes: 2,
+            ..GuardPolicy::default()
+        }
+    }
+
+    #[test]
+    fn trips_open_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(&policy());
+        assert_eq!(b.on_failure(), None);
+        assert_eq!(b.on_failure(), None);
+        assert!(b.is_available());
+        assert_eq!(b.on_failure(), Some(Transition::Opened));
+        assert!(b.is_quarantined());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(&policy());
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert!(b.is_available(), "streak was reset by the success");
+    }
+
+    #[test]
+    fn cooldown_ticks_to_half_open_then_probes_close() {
+        let mut b = CircuitBreaker::new(&policy());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        assert!(b.is_quarantined());
+        assert!(!b.tick(), "cooldown 2 → 1");
+        assert!(b.tick(), "cooldown 1 → HalfOpen");
+        assert!(b.is_available());
+        assert_eq!(b.on_success(), None, "first of two probes");
+        assert_eq!(b.on_success(), Some(Transition::Recovered));
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed {
+                consecutive_failures: 0
+            }
+        );
+    }
+
+    #[test]
+    fn half_open_failure_reopens_with_full_cooldown() {
+        let mut b = CircuitBreaker::new(&policy());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        b.tick();
+        b.tick();
+        assert_eq!(b.on_failure(), Some(Transition::Reopened));
+        assert_eq!(
+            b.state(),
+            BreakerState::Open {
+                remaining_cooldown: 2
+            }
+        );
+    }
+
+    #[test]
+    fn ticking_a_closed_breaker_is_a_no_op() {
+        let mut b = CircuitBreaker::new(&policy());
+        assert!(!b.tick());
+        assert!(b.is_available());
+    }
+}

@@ -1,0 +1,98 @@
+//! Chaos decorators: make any registered variant fail on command.
+//!
+//! [`ChaosVariant`] wraps an existing [`Variant`] and panics with an
+//! `"injected variant failure"` payload while its shared flag is set,
+//! delegating to the inner variant otherwise. Combined with
+//! [`CodeVariant::replace_variant`](nitro_core::CodeVariant::replace_variant)
+//! this sabotages a variant *in place* — same index, same name — so
+//! chaos harnesses exercise the guard layer without touching the suite's
+//! kernels or models. The payload carries
+//! [`nitro_simt::INJECTED_PANIC_PREFIX`], so
+//! [`nitro_simt::silence_injected_panics`] suppresses the hook spam.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use nitro_core::{CodeVariant, Result, Variant};
+
+/// A variant that fails (panics) while its flag is raised.
+pub struct ChaosVariant<I: ?Sized> {
+    inner: Arc<dyn Variant<I>>,
+    failing: Arc<AtomicBool>,
+}
+
+impl<I: ?Sized> ChaosVariant<I> {
+    /// Wrap `inner`, failing whenever `failing` is `true`.
+    pub fn new(inner: Arc<dyn Variant<I>>, failing: Arc<AtomicBool>) -> Self {
+        Self { inner, failing }
+    }
+
+    /// Wrap `inner` with the flag permanently raised.
+    pub fn always_failing(inner: Arc<dyn Variant<I>>) -> Self {
+        Self::new(inner, Arc::new(AtomicBool::new(true)))
+    }
+
+    /// The shared outage flag (store `false` to end the outage).
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        self.failing.clone()
+    }
+}
+
+impl<I: ?Sized> Variant<I> for ChaosVariant<I> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn invoke(&self, input: &I) -> f64 {
+        if self.failing.load(Ordering::Relaxed) {
+            panic!("injected variant failure: '{}'", self.inner.name());
+        }
+        self.inner.invoke(input)
+    }
+}
+
+/// Sabotage one variant of a code variant in place: the slot at `index`
+/// is replaced with a [`ChaosVariant`] wrapping the original. Returns
+/// the shared outage flag, initially set to `failing`.
+pub fn inject_failures<I: ?Sized + 'static>(
+    cv: &mut CodeVariant<I>,
+    index: usize,
+    failing: bool,
+) -> Result<Arc<AtomicBool>> {
+    let flag = Arc::new(AtomicBool::new(failing));
+    let original = cv
+        .variant(index)
+        .ok_or(nitro_core::NitroError::InvalidIndex {
+            what: "variant",
+            index,
+            len: cv.n_variants(),
+        })?;
+    cv.replace_variant(index, Arc::new(ChaosVariant::new(original, flag.clone())))?;
+    Ok(flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::{Context, FnVariant};
+
+    #[test]
+    fn chaos_variant_keeps_the_inner_name_and_toggles() {
+        nitro_simt::silence_injected_panics();
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("toy", &ctx);
+        cv.add_variant(FnVariant::new("steady", |&x: &f64| x * 2.0));
+        let flag = inject_failures(&mut cv, 0, true).unwrap();
+        assert_eq!(cv.variant(0).unwrap().name(), "steady");
+        assert!(cv.try_run_variant(0, &3.0).is_err());
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(cv.try_run_variant(0, &3.0).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn injecting_out_of_range_is_a_typed_error() {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("toy", &ctx);
+        assert!(inject_failures(&mut cv, 0, true).is_err());
+    }
+}

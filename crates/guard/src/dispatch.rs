@@ -1,0 +1,708 @@
+//! Resilient dispatch: retry, quarantine, fallback cascade, degradation.
+//!
+//! [`GuardedVariant`] wraps a [`CodeVariant`] and replaces its
+//! single-step veto fallback with a full recovery pipeline:
+//!
+//! 1. **Fallback cascade** — candidates are the model's full posterior
+//!    ranking (best first), constraint-vetoed entries dropped, the
+//!    default variant always appended last. In degraded mode the cascade
+//!    is just the default variant.
+//! 2. **Quarantine** — each variant owns a [`CircuitBreaker`];
+//!    candidates whose breaker is Open are skipped. Breakers tick on
+//!    every guarded call, so quarantined variants are probed back in
+//!    (HalfOpen) after `cooldown_calls`.
+//! 3. **Retry with backoff** — each candidate gets `1 + retry_budget`
+//!    failure-isolated attempts ([`CodeVariant::try_run_variant`]), with
+//!    an exponentially-doubling simulated backoff charged to the
+//!    invocation.
+//! 4. **Graceful degradation** — when the model artifact is missing or
+//!    fails the `nitro-audit` artifact audit, the guard downgrades to
+//!    default-variant dispatch and reports [`HealthStatus::Degraded`]
+//!    instead of erroring.
+//!
+//! Every recovery decision is visible to `nitro-trace`:
+//! `guard.<fn>.quarantine`, `guard.<fn>.retry`, `guard.<fn>.degraded`,
+//! plus `guard.<fn>.{calls,failure,fallback,recovered}` counters and a
+//! `guard:<fn>` instant per state transition.
+
+use nitro_audit::AuditedInstall;
+use nitro_core::{CodeVariant, ModelArtifact, NitroError, Result};
+
+use crate::audit::audit_guard_policy;
+use crate::breaker::{BreakerState, CircuitBreaker, GuardPolicy, Transition};
+
+/// Whether the guard is serving model-driven or degraded traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Model-driven dispatch.
+    Healthy,
+    /// Default-variant dispatch; the reason says why.
+    Degraded {
+        /// Why the guard downgraded (missing artifact, failed audit…).
+        reason: String,
+    },
+}
+
+impl HealthStatus {
+    /// True when the guard is in degraded (default-variant) mode.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, HealthStatus::Degraded { .. })
+    }
+}
+
+/// Cumulative guard statistics (the counter mirror of the trace metrics,
+/// available without a tracer).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GuardStats {
+    /// Guarded calls served (success or error).
+    pub calls: u64,
+    /// Retry attempts across all calls and candidates.
+    pub retries: u64,
+    /// Failed execution attempts observed.
+    pub failures: u64,
+    /// Breaker trips (Closed→Open and HalfOpen→Open).
+    pub quarantines: u64,
+    /// Breakers probed back to Closed (HalfOpen→Closed).
+    pub recoveries: u64,
+    /// Calls served while degraded.
+    pub degraded_calls: u64,
+    /// Calls where the executed variant was not the first preference.
+    pub fallbacks: u64,
+    /// Total simulated backoff charged, in nanoseconds.
+    pub backoff_ns: f64,
+}
+
+/// Outcome of one guarded call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedInvocation {
+    /// Index of the variant that finally executed.
+    pub variant: usize,
+    /// Its name.
+    pub variant_name: String,
+    /// Objective value it returned.
+    pub objective: f64,
+    /// Feature vector used for selection.
+    pub features: Vec<f64>,
+    /// Simulated feature-evaluation cost (ns).
+    pub feature_cost_ns: f64,
+    /// Execution attempts across the whole cascade (≥ 1).
+    pub attempts: u32,
+    /// Retries among those attempts.
+    pub retries: u32,
+    /// Simulated backoff charged to this call (ns).
+    pub backoff_ns: f64,
+    /// The candidate order this call considered (before breaker skips).
+    pub cascade: Vec<usize>,
+    /// True when the executed variant was not the cascade's head.
+    pub fell_back: bool,
+    /// True when the call was served in degraded mode.
+    pub degraded: bool,
+}
+
+/// A [`CodeVariant`] wrapped in the resilience layer.
+pub struct GuardedVariant<I: ?Sized> {
+    cv: CodeVariant<I>,
+    policy: GuardPolicy,
+    breakers: Vec<CircuitBreaker>,
+    health: HealthStatus,
+    stats: GuardStats,
+}
+
+impl<I: ?Sized> std::fmt::Debug for GuardedVariant<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuardedVariant")
+            .field("function", &self.cv.name())
+            .field("health", &self.health)
+            .field("stats", &self.stats)
+            .field("breakers", &self.breaker_states())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<I: ?Sized> GuardedVariant<I> {
+    /// Wrap a code variant. Fails with [`NitroError::Audit`] when the
+    /// policy audit (`NITRO05x`) finds error-severity problems. A
+    /// wrapped function without an installed model starts out
+    /// [`HealthStatus::Degraded`] (default-variant mode) — load one via
+    /// [`GuardedVariant::load_model_or_degrade`].
+    pub fn new(cv: CodeVariant<I>, policy: GuardPolicy) -> Result<Self> {
+        let diagnostics = audit_guard_policy(cv.name(), &policy);
+        if nitro_audit::has_errors(&diagnostics) {
+            return Err(NitroError::Audit { diagnostics });
+        }
+        let breakers = (0..cv.n_variants())
+            .map(|_| CircuitBreaker::new(&policy))
+            .collect();
+        let health = if cv.has_model() {
+            HealthStatus::Healthy
+        } else {
+            HealthStatus::Degraded {
+                reason: "no trained model installed; serving the default variant".into(),
+            }
+        };
+        let guard = Self {
+            cv,
+            policy,
+            breakers,
+            health,
+            stats: GuardStats::default(),
+        };
+        if let Some(tracer) = guard.cv.context().tracer() {
+            guard.declare_tracer_metrics(&tracer);
+        }
+        Ok(guard)
+    }
+
+    /// Wrap with the default policy.
+    pub fn with_default_policy(cv: CodeVariant<I>) -> Result<Self> {
+        Self::new(cv, GuardPolicy::default())
+    }
+
+    /// The wrapped code variant.
+    pub fn inner(&self) -> &CodeVariant<I> {
+        &self.cv
+    }
+
+    /// Mutable access to the wrapped code variant. Registering more
+    /// variants afterwards extends the breaker table on the next call.
+    pub fn inner_mut(&mut self) -> &mut CodeVariant<I> {
+        &mut self.cv
+    }
+
+    /// Unwrap, discarding guard state.
+    pub fn into_inner(self) -> CodeVariant<I> {
+        self.cv
+    }
+
+    /// The active guard policy.
+    pub fn policy(&self) -> &GuardPolicy {
+        &self.policy
+    }
+
+    /// Current health status.
+    pub fn health(&self) -> &HealthStatus {
+        &self.health
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &GuardStats {
+        &self.stats
+    }
+
+    /// One variant's breaker state, if the index is in range.
+    pub fn breaker_state(&self, variant: usize) -> Option<BreakerState> {
+        self.breakers.get(variant).map(|b| b.state())
+    }
+
+    /// All breaker states, in variant order.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.breakers.iter().map(|b| b.state()).collect()
+    }
+
+    /// Whether a variant is currently quarantined.
+    pub fn is_quarantined(&self, variant: usize) -> bool {
+        self.breakers
+            .get(variant)
+            .is_some_and(|b| b.is_quarantined())
+    }
+
+    /// Pre-register this guard's counters in a tracer's registry so an
+    /// exported snapshot distinguishes "never happened" from "never
+    /// instrumented" (same contract as
+    /// [`CodeVariant::declare_tracer_metrics`]).
+    pub fn declare_tracer_metrics(&self, tracer: &nitro_trace::Tracer) {
+        let m = tracer.metrics();
+        for suffix in [
+            "calls",
+            "retry",
+            "failure",
+            "quarantine",
+            "recovered",
+            "degraded",
+            "fallback",
+        ] {
+            m.declare_counter(&format!("guard.{}.{suffix}", self.cv.name()));
+        }
+    }
+
+    /// Load and audit this function's model from the context, degrading
+    /// (instead of erroring) when it is missing, mismatched or fails the
+    /// artifact audit. Returns the resulting health status.
+    pub fn load_model_or_degrade(&mut self) -> &HealthStatus {
+        let name = self.cv.name().to_string();
+        let result = match self.cv.context().fetch_model(&name) {
+            None => Err(NitroError::ModelMismatch {
+                detail: format!("no stored model for '{name}'"),
+            }),
+            Some(artifact) => self.cv.install_artifact_audited(artifact).map(|_| ()),
+        };
+        self.absorb_model_result(result);
+        &self.health
+    }
+
+    /// Install and audit an explicit artifact, degrading on any failure.
+    pub fn install_artifact_or_degrade(&mut self, artifact: ModelArtifact) -> &HealthStatus {
+        let result = self.cv.install_artifact_audited(artifact).map(|_| ());
+        self.absorb_model_result(result);
+        &self.health
+    }
+
+    fn absorb_model_result(&mut self, result: Result<()>) {
+        match result {
+            Ok(()) => self.health = HealthStatus::Healthy,
+            Err(e) => self.degrade(format!("model unavailable: {e}")),
+        }
+    }
+
+    /// Enter degraded mode explicitly (also used by the model paths).
+    pub fn degrade(&mut self, reason: impl Into<String>) {
+        let reason = reason.into();
+        if let Some(tracer) = self.cv.context().tracer() {
+            tracer.instant(
+                &format!("guard:{}", self.cv.name()),
+                "guard",
+                vec![
+                    nitro_trace::arg("event", &"degraded"),
+                    nitro_trace::arg("reason", &reason),
+                ],
+            );
+        }
+        self.health = HealthStatus::Degraded { reason };
+    }
+
+    /// The candidate order a call with these features would consider:
+    /// the model's posterior ranking (prediction first), constraint-
+    /// vetoed candidates dropped, the default variant moved to the
+    /// terminal position — unless the model predicts the default, in
+    /// which case it leads. Degraded mode plans `[default]` only.
+    /// Breaker availability is *not* applied here — quarantine is a
+    /// dispatch-time decision (see [`GuardedVariant::call`]).
+    pub fn plan_cascade(&self, features: &[f64], input: &I) -> Vec<usize> {
+        let n = self.cv.n_variants();
+        if n == 0 {
+            return Vec::new();
+        }
+        let default = self.cv.default_variant().filter(|&d| d < n);
+        if self.health.is_degraded() {
+            return default.into_iter().collect();
+        }
+        let mut cascade = Vec::with_capacity(n + 1);
+        if let Some(pred) = self.cv.select(features) {
+            let pred = pred.min(n - 1);
+            let ranked = self
+                .cv
+                .predict_ranked(features)
+                .unwrap_or_else(|| (0..n).collect());
+            for v in std::iter::once(pred).chain(ranked) {
+                if cascade.contains(&v) {
+                    continue;
+                }
+                if Some(v) == default && v != pred {
+                    // Reserve the default for the terminal slot unless
+                    // the model predicts it outright.
+                    continue;
+                }
+                if Some(v) == default || self.cv.constraints_satisfied(v, input) {
+                    cascade.push(v);
+                }
+            }
+        }
+        // The default terminates every cascade (the paper's veto
+        // fallback target), even when constraints disfavor it — matching
+        // CodeVariant::dispatch, which runs the default on veto. The one
+        // exception: when the default IS the prediction it leads instead.
+        if cascade.first() != default.as_ref() {
+            cascade.extend(default);
+        }
+        cascade
+    }
+
+    /// The full resilient dispatch pipeline.
+    ///
+    /// Returns [`NitroError::NoHealthyVariant`] when the cascade is
+    /// exhausted (every candidate quarantined or out of attempts), and
+    /// [`NitroError::NoSelectionPossible`] when there is nothing to plan
+    /// (no model and no default).
+    pub fn call(&mut self, input: &I) -> Result<GuardedInvocation>
+    where
+        I: Sync,
+    {
+        if self.cv.n_variants() == 0 {
+            return Err(NitroError::NoVariants);
+        }
+        // Late-registered variants get breakers on their first call.
+        while self.breakers.len() < self.cv.n_variants() {
+            self.breakers.push(CircuitBreaker::new(&self.policy));
+        }
+        // Advance every quarantine clock by one guarded call.
+        for b in &mut self.breakers {
+            b.tick();
+        }
+
+        let tracer = self.cv.context().tracer();
+        let name = self.cv.name().to_string();
+        let (features, feature_cost_ns) = self.cv.evaluate_features(input);
+        let cascade = self.plan_cascade(&features, input);
+        let degraded = self.health.is_degraded();
+
+        let mut span = tracer.as_ref().map(|t| {
+            t.span(
+                &format!("guard:{name}"),
+                "guard",
+                vec![
+                    nitro_trace::arg("cascade", &cascade),
+                    nitro_trace::arg("degraded", &degraded),
+                ],
+            )
+        });
+
+        self.stats.calls += 1;
+        if let Some(t) = &tracer {
+            t.metrics().inc(&format!("guard.{name}.calls"));
+        }
+        if degraded {
+            self.stats.degraded_calls += 1;
+            if let Some(t) = &tracer {
+                t.metrics().inc(&format!("guard.{name}.degraded"));
+            }
+        }
+        if cascade.is_empty() {
+            return Err(NitroError::NoSelectionPossible);
+        }
+
+        let mut attempts = 0u32;
+        let mut retries = 0u32;
+        let mut backoff_ns = 0.0f64;
+        let mut last_failure: Option<NitroError> = None;
+
+        for &candidate in &cascade {
+            if !self.breakers[candidate].is_available() {
+                continue;
+            }
+            let max_attempts = 1 + self.policy.retry_budget;
+            for attempt in 0..max_attempts {
+                if attempt > 0 {
+                    retries += 1;
+                    self.stats.retries += 1;
+                    let pause = self.policy.backoff_base_ns * f64::from(1u32 << (attempt - 1));
+                    backoff_ns += pause;
+                    self.stats.backoff_ns += pause;
+                    if let Some(t) = &tracer {
+                        t.metrics().inc(&format!("guard.{name}.retry"));
+                    }
+                }
+                attempts += 1;
+                match self.cv.try_run_variant(candidate, input) {
+                    Ok(objective) => {
+                        if self.breakers[candidate].on_success() == Some(Transition::Recovered) {
+                            self.stats.recoveries += 1;
+                            if let Some(t) = &tracer {
+                                t.metrics().inc(&format!("guard.{name}.recovered"));
+                                t.instant(
+                                    &format!("guard:{name}"),
+                                    "guard",
+                                    vec![
+                                        nitro_trace::arg("event", &"recovered"),
+                                        nitro_trace::arg("variant", &candidate),
+                                    ],
+                                );
+                            }
+                        }
+                        let fell_back = candidate != cascade[0];
+                        if fell_back {
+                            self.stats.fallbacks += 1;
+                            if let Some(t) = &tracer {
+                                t.metrics().inc(&format!("guard.{name}.fallback"));
+                            }
+                        }
+                        if let Some(s) = span.as_mut() {
+                            s.end_arg("chosen", nitro_trace::val(&candidate));
+                            s.end_arg("attempts", nitro_trace::val(&attempts));
+                            s.end_arg("objective", nitro_trace::val(&objective));
+                        }
+                        return Ok(GuardedInvocation {
+                            variant: candidate,
+                            variant_name: self
+                                .cv
+                                .variant(candidate)
+                                .map(|v| v.name().to_string())
+                                .unwrap_or_default(),
+                            objective,
+                            features,
+                            feature_cost_ns,
+                            attempts,
+                            retries,
+                            backoff_ns,
+                            cascade: cascade.clone(),
+                            fell_back,
+                            degraded,
+                        });
+                    }
+                    Err(e) => {
+                        self.stats.failures += 1;
+                        if let Some(t) = &tracer {
+                            t.metrics().inc(&format!("guard.{name}.failure"));
+                        }
+                        let tripped = self.breakers[candidate].on_failure();
+                        last_failure = Some(match e {
+                            NitroError::VariantFailed {
+                                variant,
+                                name,
+                                detail,
+                                ..
+                            } => NitroError::VariantFailed {
+                                variant,
+                                name,
+                                attempts: attempt + 1,
+                                detail,
+                            },
+                            other => other,
+                        });
+                        if let Some(transition) = tripped {
+                            self.stats.quarantines += 1;
+                            if let Some(t) = &tracer {
+                                t.metrics().inc(&format!("guard.{name}.quarantine"));
+                                t.instant(
+                                    &format!("guard:{name}"),
+                                    "guard",
+                                    vec![
+                                        nitro_trace::arg("event", &"quarantine"),
+                                        nitro_trace::arg("variant", &candidate),
+                                        nitro_trace::arg(
+                                            "reopened",
+                                            &(transition == Transition::Reopened),
+                                        ),
+                                    ],
+                                );
+                            }
+                            // The breaker just opened: stop burning the
+                            // retry budget on a quarantined variant.
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(s) = span.as_mut() {
+            s.end_arg("exhausted", nitro_trace::val(&true));
+            s.end_arg("attempts", nitro_trace::val(&attempts));
+        }
+        let detail = match last_failure {
+            Some(e) => format!("cascade {cascade:?} exhausted; last failure: {e}"),
+            None => format!("cascade {cascade:?} entirely quarantined"),
+        };
+        Err(NitroError::NoHealthyVariant {
+            function: name,
+            detail,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::{Context, FnFeature, FnVariant};
+    use nitro_ml::{ClassifierConfig, Dataset, TrainedModel};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// Toy function: variant 0 wins for x < 5, variant 1 for x ≥ 5.
+    fn toy(ctx: &Context) -> CodeVariant<f64> {
+        let mut cv = CodeVariant::new("toy", ctx);
+        cv.add_variant(FnVariant::new("small", |&x: &f64| 1.0 + x));
+        cv.add_variant(FnVariant::new("large", |&x: &f64| 10.0 - x * 0.5));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        cv
+    }
+
+    fn toy_model() -> TrainedModel {
+        let data = Dataset::from_parts(
+            (0..10).map(|i| vec![i as f64]).collect(),
+            (0..10).map(|i| usize::from(i >= 5)).collect(),
+        );
+        TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &data)
+    }
+
+    fn quick_policy() -> GuardPolicy {
+        GuardPolicy {
+            retry_budget: 1,
+            quarantine_threshold: 2,
+            cooldown_calls: 3,
+            half_open_probes: 1,
+            ..GuardPolicy::default()
+        }
+    }
+
+    #[test]
+    fn bad_policy_is_refused_with_nitro050() {
+        let ctx = Context::new();
+        let cv = toy(&ctx);
+        let err = GuardedVariant::new(
+            cv,
+            GuardPolicy {
+                quarantine_threshold: 0,
+                ..GuardPolicy::default()
+            },
+        )
+        .expect_err("zero-trip breaker must be refused");
+        assert!(err.diagnostics().iter().any(|d| d.code == "NITRO050"));
+    }
+
+    #[test]
+    fn healthy_dispatch_follows_the_model() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.install_model(toy_model());
+        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        assert_eq!(guard.health(), &HealthStatus::Healthy);
+        assert_eq!(guard.call(&1.0).unwrap().variant, 0);
+        let inv = guard.call(&9.0).unwrap();
+        assert_eq!(inv.variant, 1);
+        assert!(!inv.fell_back);
+        assert!(!inv.degraded);
+        assert_eq!(inv.attempts, 1);
+    }
+
+    #[test]
+    fn missing_model_degrades_to_default_dispatch() {
+        let ctx = Context::new();
+        let mut guard = GuardedVariant::new(toy(&ctx), quick_policy()).unwrap();
+        assert!(guard.health().is_degraded());
+        guard.load_model_or_degrade();
+        assert!(guard.health().is_degraded(), "registry is empty");
+        // Degraded dispatch serves the default variant, even where the
+        // model would have picked the other one.
+        let inv = guard.call(&9.0).unwrap();
+        assert_eq!(inv.variant, 0);
+        assert!(inv.degraded);
+        assert_eq!(guard.stats().degraded_calls, 1);
+        // A model showing up in the registry restores health.
+        let mut tuned = toy(&ctx);
+        tuned.install_model(toy_model());
+        tuned.save_model().unwrap();
+        guard.load_model_or_degrade();
+        assert_eq!(guard.health(), &HealthStatus::Healthy);
+        assert_eq!(guard.call(&9.0).unwrap().variant, 1);
+    }
+
+    #[test]
+    fn panicking_variant_is_retried_quarantined_and_recovered() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        let failing = Arc::new(AtomicBool::new(true));
+        let flag = failing.clone();
+        cv.replace_variant(
+            1,
+            Arc::new(FnVariant::new("large", move |&x: &f64| {
+                if flag.load(Ordering::Relaxed) {
+                    panic!("injected variant failure: 'large'");
+                }
+                10.0 - x * 0.5
+            })),
+        )
+        .unwrap();
+        cv.install_model(toy_model());
+        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+
+        // First call at x=9 predicts the failing variant: both attempts
+        // fail (threshold 2 → quarantine) and the cascade falls back.
+        let inv = guard.call(&9.0).unwrap();
+        assert_eq!(inv.variant, 0);
+        assert!(inv.fell_back);
+        assert_eq!(inv.retries, 1);
+        assert!(inv.backoff_ns > 0.0);
+        assert!(guard.is_quarantined(1));
+        assert_eq!(guard.stats().quarantines, 1);
+
+        // While quarantined, the variant is never attempted.
+        for _ in 0..2 {
+            let inv = guard.call(&9.0).unwrap();
+            assert_eq!(inv.variant, 0);
+        }
+        // The outage ends; after the cooldown the half-open probe
+        // succeeds and the variant recovers.
+        failing.store(false, Ordering::Relaxed);
+        let inv = guard.call(&9.0).unwrap();
+        assert_eq!(inv.variant, 1, "half-open probe serves the variant");
+        assert_eq!(guard.stats().recoveries, 1);
+        assert_eq!(
+            guard.breaker_state(1),
+            Some(BreakerState::Closed {
+                consecutive_failures: 0
+            })
+        );
+    }
+
+    #[test]
+    fn exhausted_cascade_is_a_typed_error() {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("doomed", &ctx);
+        cv.add_variant(FnVariant::new("only", |_: &f64| -> f64 {
+            panic!("injected variant failure: 'only'")
+        }));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        match guard.call(&1.0) {
+            Err(NitroError::NoHealthyVariant { function, detail }) => {
+                assert_eq!(function, "doomed");
+                assert!(detail.contains("injected variant failure"), "{detail}");
+            }
+            other => panic!("expected NoHealthyVariant, got {other:?}"),
+        }
+        // Once quarantined, the error is immediate (entirely quarantined).
+        match guard.call(&1.0) {
+            Err(NitroError::NoHealthyVariant { detail, .. }) => {
+                assert!(detail.contains("quarantined"), "{detail}");
+            }
+            other => panic!("expected NoHealthyVariant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constraint_vetoed_prediction_cascades_to_default() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.add_constraint(1, nitro_core::FnConstraint::new("never", |_: &f64| false));
+        cv.install_model(toy_model());
+        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        let (features, _) = guard.inner().evaluate_features(&9.0);
+        assert_eq!(guard.plan_cascade(&features, &9.0), vec![0]);
+        assert_eq!(guard.call(&9.0).unwrap().variant, 0);
+    }
+
+    #[test]
+    fn guard_metrics_reach_the_tracer() {
+        let ctx = Context::new();
+        let sink = Arc::new(nitro_trace::RingSink::new(256));
+        let tracer = nitro_trace::Tracer::new(sink.clone());
+        ctx.install_tracer(tracer.clone());
+        let mut cv = toy(&ctx);
+        cv.replace_variant(
+            1,
+            Arc::new(FnVariant::new("large", |_: &f64| -> f64 {
+                panic!("injected variant failure: 'large'")
+            })),
+        )
+        .unwrap();
+        cv.install_model(toy_model());
+        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        guard.call(&9.0).unwrap();
+
+        let m = tracer.metrics();
+        assert_eq!(m.counter("guard.toy.calls"), Some(1));
+        assert_eq!(m.counter("guard.toy.retry"), Some(1));
+        assert_eq!(m.counter("guard.toy.failure"), Some(2));
+        assert_eq!(m.counter("guard.toy.quarantine"), Some(1));
+        assert_eq!(m.counter("guard.toy.fallback"), Some(1));
+        // Declared-but-untouched counters exist at zero.
+        assert_eq!(m.counter("guard.toy.degraded"), Some(0));
+        assert_eq!(m.counter("guard.toy.recovered"), Some(0));
+        let events = sink.snapshot();
+        assert!(events
+            .iter()
+            .any(|e| e.name == "guard:toy" && e.args.iter().any(|(k, _)| k == "event")));
+    }
+}

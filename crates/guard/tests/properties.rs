@@ -1,0 +1,184 @@
+//! Property tests for the resilience layer (ISSUE 3 satellite):
+//!
+//! 1. the breaker never dispatches a quarantined variant,
+//! 2. the fallback cascade always reaches the default variant
+//!    (terminal slot, or head when the model predicts the default),
+//! 3. guarded dispatch under a seeded `FaultPlan` is deterministic
+//!    across runs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nitro_core::{CodeVariant, Context, FnFeature, FnVariant};
+use nitro_guard::{BreakerState, GuardPolicy, GuardedVariant};
+use nitro_ml::{ClassifierConfig, Dataset, TrainedModel};
+use nitro_simt::{DeviceConfig, FaultPlan, Gpu, Schedule};
+use proptest::prelude::*;
+
+fn quick_policy() -> GuardPolicy {
+    GuardPolicy {
+        retry_budget: 1,
+        quarantine_threshold: 2,
+        cooldown_calls: 3,
+        half_open_probes: 1,
+        ..GuardPolicy::default()
+    }
+}
+
+/// k=1 KNN: x < 5 → variant 0, x ≥ 5 → variant 1.
+fn two_class_model() -> TrainedModel {
+    let data = Dataset::from_parts(
+        (0..10).map(|i| vec![i as f64]).collect(),
+        (0..10).map(|i| usize::from(i >= 5)).collect(),
+    );
+    TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &data)
+}
+
+proptest! {
+    /// Whatever the outage schedule, a variant whose breaker is Open
+    /// (and stays Open through this call's cooldown tick) is never
+    /// invoked.
+    #[test]
+    fn quarantined_variant_is_never_invoked(
+        schedule in prop::collection::vec((0.0f64..10.0, (0u32..2).prop_map(|b| b == 1)), 1..40)
+    ) {
+        nitro_simt::silence_injected_panics();
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("guarded", &ctx);
+        let counts = [Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0))];
+        let outage = Arc::new(AtomicBool::new(false));
+        {
+            let c = counts[0].clone();
+            cv.add_variant(FnVariant::new("steady", move |&x: &f64| {
+                c.fetch_add(1, Ordering::Relaxed);
+                1.0 + x
+            }));
+        }
+        {
+            let c = counts[1].clone();
+            let flag = outage.clone();
+            cv.add_variant(FnVariant::new("flaky", move |&x: &f64| {
+                c.fetch_add(1, Ordering::Relaxed);
+                if flag.load(Ordering::Relaxed) {
+                    panic!("injected variant failure: 'flaky'");
+                }
+                10.0 - x * 0.5
+            }));
+        }
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        cv.install_model(two_class_model());
+        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+
+        for (x, failing) in schedule {
+            outage.store(failing, Ordering::Relaxed);
+            let pre_states = guard.breaker_states();
+            let pre_counts: Vec<u64> =
+                counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+            // Variant 0 (the default) never fails, so the call succeeds.
+            let inv = guard.call(&x).unwrap();
+            prop_assert!(inv.variant < 2);
+            for (v, state) in pre_states.iter().enumerate() {
+                // A breaker Open with more than one call of cooldown left
+                // is still Open after this call's tick: the variant must
+                // not have run.
+                if let BreakerState::Open { remaining_cooldown } = state {
+                    if *remaining_cooldown > 1 {
+                        prop_assert_eq!(
+                            counts[v].load(Ordering::Relaxed), pre_counts[v],
+                            "variant {} ran while quarantined", v
+                        );
+                        prop_assert!(inv.variant != v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The planned cascade always reaches the default variant: the
+    /// default appears exactly once, in the terminal slot — or at the
+    /// head when the model predicts it — and no candidate repeats.
+    #[test]
+    fn cascade_always_reaches_the_default(
+        (n, default, x) in (2usize..6).prop_flat_map(|n|
+            (Just(n), 0usize..n, 0.0f64..24.0))
+    ) {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("cascade", &ctx);
+        for v in 0..n {
+            cv.add_variant(FnVariant::new(format!("v{v}"), move |&x: &f64| x + v as f64));
+        }
+        cv.set_default(default);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+
+        // Degraded (no model): the cascade is exactly [default].
+        let guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        let (features, _) = guard.inner().evaluate_features(&x);
+        prop_assert_eq!(guard.plan_cascade(&features, &x), vec![default]);
+
+        // Healthy: train an n-class model over x ∈ [0, 24).
+        let data = Dataset::from_parts(
+            (0..4 * n).map(|i| vec![i as f64]).collect(),
+            (0..4 * n).map(|i| i % n).collect(),
+        );
+        let mut cv = guard.into_inner();
+        cv.install_model(TrainedModel::train(&ClassifierConfig::Knn { k: 1 }, &data));
+        let guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        let cascade = guard.plan_cascade(&features, &x);
+
+        prop_assert!(!cascade.is_empty());
+        prop_assert!(cascade.iter().all(|&v| v < n));
+        let mut seen = std::collections::HashSet::new();
+        prop_assert!(cascade.iter().all(|v| seen.insert(*v)), "duplicate candidate");
+        prop_assert_eq!(
+            cascade.iter().filter(|&&v| v == default).count(), 1,
+            "default must appear exactly once"
+        );
+        prop_assert!(
+            *cascade.last().unwrap() == default || cascade[0] == default,
+            "default must terminate (or lead) the cascade: {:?}", &cascade
+        );
+    }
+
+    /// Two identical guards replaying the same inputs under the same
+    /// seeded fault plan agree on every outcome, every statistic and
+    /// every breaker state.
+    #[test]
+    fn dispatch_under_a_seeded_fault_plan_is_deterministic(
+        (plan_seed, gpu_seeds) in (0u64..u64::MAX, prop::collection::vec(0u64..u64::MAX, 1..24))
+    ) {
+        nitro_simt::silence_injected_panics();
+        let plan = FaultPlan::with_failure_prob(plan_seed, 0.3);
+
+        let build = || {
+            let ctx = Context::new();
+            let mut cv = CodeVariant::<u64>::new("faulty", &ctx);
+            for (v, kernel) in ["alpha", "beta"].into_iter().enumerate() {
+                let plan = plan.clone();
+                cv.add_variant(FnVariant::new(kernel, move |&seed: &u64| {
+                    let gpu = Gpu::with_seed(DeviceConfig::fermi_c2050(), seed ^ (v as u64))
+                        .with_fault_plan(plan.clone());
+                    gpu.launch(kernel, 8, Schedule::EvenShare, |_, _| {}).elapsed_ns
+                }));
+            }
+            cv.set_default(0);
+            cv.add_input_feature(FnFeature::new("bucket", |&s: &u64| (s % 10) as f64));
+            cv.install_model(two_class_model());
+            GuardedVariant::new(cv, quick_policy()).unwrap()
+        };
+        let mut a = build();
+        let mut b = build();
+
+        for seed in gpu_seeds {
+            let ra = a.call(&seed);
+            let rb = b.call(&seed);
+            match (ra, rb) {
+                (Ok(ia), Ok(ib)) => prop_assert_eq!(ia, ib),
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea.to_string(), eb.to_string()),
+                (ra, rb) => prop_assert!(false, "runs diverged: {:?} vs {:?}", ra, rb),
+            }
+            prop_assert_eq!(a.breaker_states(), b.breaker_states());
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}

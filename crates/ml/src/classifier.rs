@@ -199,6 +199,21 @@ impl TrainedModel {
         }
     }
 
+    /// Classes ordered from most to least probable for a raw feature
+    /// vector (ties break toward the lower class index). The first entry
+    /// is the posterior argmax; resilient dispatch walks the rest as its
+    /// fallback order when preferred variants are unavailable.
+    pub fn rank(&self, features: &[f64]) -> Vec<usize> {
+        let p = self.probabilities(features);
+        let mut order: Vec<usize> = (0..p.len()).collect();
+        order.sort_by(|&a, &b| {
+            p[b].partial_cmp(&p[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
     /// Best-vs-Second-Best margin (small = uncertain), the active-learning
     /// query criterion.
     pub fn bvsb_margin(&self, features: &[f64]) -> f64 {
@@ -302,6 +317,34 @@ mod tests {
         for x in &d.x {
             let margin = m.bvsb_margin(x);
             assert!((0.0..=1.0).contains(&margin));
+        }
+    }
+
+    #[test]
+    fn rank_is_a_permutation_ordered_by_posterior() {
+        let d = skewed_clusters();
+        for config in [
+            ClassifierConfig::Svm {
+                c: Some(1.0),
+                gamma: Some(0.5),
+                grid_search: false,
+            },
+            ClassifierConfig::Knn { k: 3 },
+            ClassifierConfig::Tree(TreeParams::default()),
+        ] {
+            let m = TrainedModel::train(&config, &d);
+            for x in &d.x {
+                let order = m.rank(x);
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1], "{} not a permutation", config.name());
+                let p = m.probabilities(x);
+                assert!(
+                    p[order[0]] >= p[order[1]],
+                    "{} rank not descending",
+                    config.name()
+                );
+            }
         }
     }
 

@@ -1,10 +1,12 @@
 //! The simulated device: kernel launches, block scheduling and timing.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::block::BlockCtx;
 use crate::cache::TexCache;
 use crate::config::DeviceConfig;
+use crate::fault::{FaultOutcome, FaultPlan};
 use crate::noise::SplitMix64;
 use crate::stats::{KernelTally, LaunchStats};
 
@@ -33,6 +35,8 @@ pub struct Gpu {
     cfg: DeviceConfig,
     seed: u64,
     launch_counter: AtomicU64,
+    fault_plan: Option<Arc<FaultPlan>>,
+    fault_exempt: bool,
 }
 
 impl Gpu {
@@ -48,7 +52,30 @@ impl Gpu {
             cfg,
             seed,
             launch_counter: AtomicU64::new(0),
+            fault_plan: None,
+            fault_exempt: false,
         }
+    }
+
+    /// Attach a per-device fault plan, overriding any process-global plan
+    /// installed via [`crate::fault::install_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Opt this device out of fault injection entirely (per-device and
+    /// process-global plans alike).
+    ///
+    /// Meant for *cost probes*: launches a substrate issues purely to
+    /// price sub-kernel work that is not a real launch boundary — e.g.
+    /// the per-level segments of a fused BFS, which on hardware run
+    /// inside one kernel separated by global barriers. Fault plans model
+    /// events at launch boundaries, so such probes must not roll the
+    /// fault dice; the caller accounts real launches separately.
+    pub fn fault_exempt(mut self) -> Self {
+        self.fault_exempt = true;
+        self
     }
 
     /// The device's configuration.
@@ -77,6 +104,29 @@ impl Gpu {
     where
         F: FnMut(usize, &mut BlockCtx),
     {
+        // One index drives both the noise stream and the fault stream, so
+        // fault decisions never perturb timings (and vice versa).
+        let idx = self.launch_counter.fetch_add(1, Ordering::Relaxed);
+        let fault = if self.fault_exempt {
+            FaultOutcome::None
+        } else {
+            match self.fault_plan.clone().or_else(crate::fault::fault_plan) {
+                Some(plan) => plan.decide(self.seed, kernel, idx),
+                None => FaultOutcome::None,
+            }
+        };
+        if fault == FaultOutcome::Fail {
+            if let Some(tracer) = nitro_trace::global() {
+                tracer.metrics().inc("simt.fault.failures");
+                tracer
+                    .metrics()
+                    .inc(&format!("simt.fault.kernel.{kernel}.failures"));
+            }
+            // The body never runs: a failed launch leaves the caller's
+            // data untouched, like a lost kernel on real hardware.
+            panic!("injected launch failure: kernel '{kernel}' (launch {idx})");
+        }
+
         let mut tex = TexCache::new(
             self.cfg.tex_cache_bytes,
             self.cfg.tex_line_bytes,
@@ -103,17 +153,41 @@ impl Gpu {
         let bandwidth_bound = mem_time > sm_time;
         let busy = sm_time.max(mem_time);
 
-        let idx = self.launch_counter.fetch_add(1, Ordering::Relaxed);
         let noise = SplitMix64::new(self.seed ^ idx.wrapping_mul(0x9E37_79B9))
             .noise_factor(self.cfg.noise_rel_sigma);
 
-        let elapsed_ns = self.cfg.launch_overhead_ns + busy * noise;
+        // A transient slowdown stretches the busy time; overhead is fixed.
+        let slow = match fault {
+            FaultOutcome::Slow(factor) => factor,
+            _ => 1.0,
+        };
+        let mut elapsed_ns = self.cfg.launch_overhead_ns + busy * noise * slow;
         // Energy: DRAM pin energy + dynamic SM energy + static power over
         // the launch duration (1 W × 1 ns = 1 nJ). Dynamic energy charges
         // work cycles only; overhead time is covered by the static floor.
-        let energy_nj = tally.dram_bytes * self.cfg.pj_per_dram_byte / 1000.0
+        let mut energy_nj = tally.dram_bytes * self.cfg.pj_per_dram_byte / 1000.0
             + tally.work_cycles() * self.cfg.pj_per_cycle / 1000.0
             + elapsed_ns * self.cfg.static_watts;
+
+        match fault {
+            FaultOutcome::Slow(_) => {
+                if let Some(tracer) = nitro_trace::global() {
+                    tracer.metrics().inc("simt.fault.slowdowns");
+                }
+            }
+            FaultOutcome::Corrupt => {
+                // A corrupted measurement: the work happened but the
+                // reported numbers are garbage. NaN propagates into any
+                // objective built on them, which resilient dispatch
+                // layers treat as a failed execution.
+                elapsed_ns = f64::NAN;
+                energy_nj = f64::NAN;
+                if let Some(tracer) = nitro_trace::global() {
+                    tracer.metrics().inc("simt.fault.corruptions");
+                }
+            }
+            _ => {}
+        }
 
         // Attribute the fixed launch overhead to the tally so cumulative
         // (merged) tallies account for the same cycles the elapsed-time
@@ -533,6 +607,122 @@ mod tests {
         let traced = run();
         nitro_trace::uninstall_global();
         assert_eq!(untraced, traced);
+    }
+
+    #[test]
+    fn fault_plan_with_zero_probabilities_changes_nothing() {
+        // Like tracing, fault injection must observe, not perturb: an
+        // installed all-zero plan leaves timings bit-identical.
+        let run = |plan: Option<FaultPlan>| {
+            let mut gpu = Gpu::with_seed(DeviceConfig::fermi_c2050(), 42);
+            if let Some(p) = plan {
+                gpu = gpu.with_fault_plan(p);
+            }
+            let s = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| {
+                ctx.charge_cycles(1e6);
+                ctx.bulk_mem(1e4, 0.5);
+            });
+            (s.elapsed_ns, s.energy_nj)
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::default())));
+    }
+
+    #[test]
+    fn failing_kernel_panics_with_injected_payload() {
+        crate::fault::silence_injected_panics();
+        let gpu =
+            Gpu::with_seed(DeviceConfig::fermi_c2050().noiseless(), 1).with_fault_plan(FaultPlan {
+                fail_kernels: vec!["victim".into()],
+                ..FaultPlan::default()
+            });
+        // Non-victim kernels are untouched.
+        gpu.launch("fine", 1, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(10.0)
+        });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gpu.launch("victim", 1, Schedule::EvenShare, |_, ctx| {
+                ctx.charge_cycles(10.0)
+            })
+        }))
+        .expect_err("victim launch must fail");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(
+            msg.starts_with(crate::fault::INJECTED_PANIC_PREFIX),
+            "{msg}"
+        );
+        assert!(msg.contains("victim"), "{msg}");
+    }
+
+    #[test]
+    fn fault_exempt_devices_never_roll_the_dice() {
+        // A cost-probe device ignores even a certain-failure plan.
+        let gpu = Gpu::with_seed(DeviceConfig::fermi_c2050().noiseless(), 1)
+            .with_fault_plan(FaultPlan::with_failure_prob(7, 1.0))
+            .fault_exempt();
+        for _ in 0..20 {
+            gpu.launch("probe", 1, Schedule::EvenShare, |_, ctx| {
+                ctx.charge_cycles(10.0)
+            });
+        }
+    }
+
+    #[test]
+    fn slowdown_multiplies_busy_time_only() {
+        let slow_plan = FaultPlan {
+            slowdown_prob: 1.0,
+            slowdown_factor: 4.0,
+            ..FaultPlan::default()
+        };
+        let run = |plan: FaultPlan| {
+            let gpu =
+                Gpu::with_seed(DeviceConfig::fermi_c2050().noiseless(), 3).with_fault_plan(plan);
+            gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| {
+                ctx.charge_cycles(1e6)
+            })
+            .elapsed_ns
+        };
+        let clean = run(FaultPlan::default());
+        let slowed = run(slow_plan);
+        let overhead = DeviceConfig::fermi_c2050().launch_overhead_ns;
+        assert!(((slowed - overhead) / (clean - overhead) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corruption_reports_nan_measurements() {
+        let gpu =
+            Gpu::with_seed(DeviceConfig::fermi_c2050().noiseless(), 3).with_fault_plan(FaultPlan {
+                corruption_prob: 1.0,
+                ..FaultPlan::default()
+            });
+        let s = gpu.launch("k", 14, Schedule::EvenShare, |_, ctx| {
+            ctx.charge_cycles(1e6)
+        });
+        assert!(s.elapsed_ns.is_nan());
+        assert!(s.energy_nj.is_nan());
+    }
+
+    #[test]
+    fn injected_failures_are_deterministic_across_devices() {
+        crate::fault::silence_injected_panics();
+        let plan = FaultPlan::with_failure_prob(0xFA_17, 0.2);
+        let pattern = || -> Vec<bool> {
+            let gpu = Gpu::with_seed(DeviceConfig::fermi_c2050().noiseless(), 77)
+                .with_fault_plan(plan.clone());
+            (0..50)
+                .map(|_| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        gpu.launch("k", 1, Schedule::EvenShare, |_, ctx| {
+                            ctx.charge_cycles(10.0)
+                        })
+                    }))
+                    .is_err()
+                })
+                .collect()
+        };
+        let a = pattern();
+        assert_eq!(a, pattern());
+        assert!(a.iter().any(|&f| f), "some launches fail");
+        assert!(a.iter().any(|&f| !f), "some launches survive");
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   over device bandwidth.
 //! * **Launch overhead** — every kernel launch pays a fixed cost, which is
 //!   what distinguishes the paper's "Fused" from "Iterative" BFS variants.
+//! * **Fault injection** — a seeded [`FaultPlan`] makes launches fail,
+//!   slow down or corrupt their measurements *reproducibly* ([`fault`]),
+//!   the substrate for the `nitro-guard` resilience layer's chaos tests.
 //!
 //! The model is deliberately analytic, not cycle-accurate: Nitro's
 //! experiments only require that variant costs vary with input
@@ -56,6 +59,7 @@ pub mod block;
 pub mod cache;
 pub mod calibrate;
 pub mod config;
+pub mod fault;
 pub mod gpu;
 pub mod noise;
 pub mod stats;
@@ -64,6 +68,10 @@ pub use block::BlockCtx;
 pub use cache::TexCache;
 pub use calibrate::{calibrate, Calibration};
 pub use config::DeviceConfig;
+pub use fault::{
+    fault_plan, install_fault_plan, silence_injected_panics, uninstall_fault_plan, FaultOutcome,
+    FaultPlan, INJECTED_PANIC_PREFIX,
+};
 pub use gpu::{Gpu, Schedule};
 pub use noise::SplitMix64;
 pub use stats::{KernelTally, LaunchStats};

@@ -79,18 +79,40 @@ impl ProfileTable {
         let objective = cv.policy().objective;
         let mut costs = Vec::with_capacity(cv.n_variants());
         let mut allowed = Vec::with_capacity(cv.n_variants());
+        let mut failures = 0u64;
         for v in 0..cv.n_variants() {
             let ok = cv.constraints_satisfied(v, input);
-            allowed.push(ok);
-            if ok {
-                costs.push(cv.run_variant(v, input));
-            } else {
+            if !ok {
                 // Paper §II-B: constraints "force the variant to return an
                 // ∞ value during the offline training phase".
+                allowed.push(false);
                 costs.push(objective.worst());
+                continue;
+            }
+            // Failure-isolated execution: a variant that panics (or
+            // reports a non-finite objective) on this input is recorded
+            // like a vetoed one — worst cost, not allowed — so labels
+            // come from the surviving variants and an input where every
+            // variant fails simply drops out of the training set
+            // (see [`ProfileTable::labels`]).
+            match cv.try_run_variant(v, input) {
+                Ok(c) => {
+                    allowed.push(true);
+                    costs.push(c);
+                }
+                Err(_) => {
+                    failures += 1;
+                    allowed.push(false);
+                    costs.push(objective.worst());
+                }
             }
         }
         if let Some(tracer) = cv.context().tracer() {
+            if failures > 0 {
+                tracer
+                    .metrics()
+                    .add(&format!("profile.{}.failures", cv.name()), failures);
+            }
             // One instant per profiled input carrying the full ground
             // truth — vetoed variants show as null (∞ has no JSON form).
             tracer.instant(
@@ -259,6 +281,60 @@ mod tests {
         assert_eq!(t.costs[0][1], f64::INFINITY);
         assert!(!t.allowed[0][1]);
         assert_eq!(t.best_variant(0), Some(0));
+    }
+
+    #[test]
+    fn failing_variant_is_labeled_from_survivors() {
+        // Variant 1 panics for x > 5 (a "crashes on large inputs" bug):
+        // profiling must survive and label those inputs from variant 0.
+        let ctx = Context::new();
+        let mut cv = CodeVariant::new("fragile", &ctx);
+        cv.add_variant(FnVariant::new("steady", |&x: &f64| x));
+        cv.add_variant(FnVariant::new("crashy", |&x: &f64| {
+            if x > 5.0 {
+                panic!("injected variant failure: 'crashy'");
+            }
+            x * 0.5
+        }));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+
+        let t = ProfileTable::build(&cv, &[2.0, 4.0, 8.0, 9.0]);
+        // Small inputs: crashy executed and won.
+        assert!(t.allowed[0][1] && t.allowed[1][1]);
+        assert_eq!(t.best_variant(0), Some(1));
+        // Large inputs: crashy failed — worst cost, not allowed, label
+        // comes from the surviving variant.
+        assert_eq!(t.costs[2][1], f64::INFINITY);
+        assert!(!t.allowed[2][1]);
+        assert_eq!(t.best_variant(2), Some(0));
+        let labels: Vec<usize> = t.labels().into_iter().map(|(_, l)| l).collect();
+        assert_eq!(labels, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn input_where_every_variant_fails_is_dropped() {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::new("doomed", &ctx);
+        cv.add_variant(FnVariant::new("a", |&x: &f64| {
+            if x > 5.0 {
+                panic!("injected variant failure: 'a'");
+            }
+            x
+        }));
+        cv.add_variant(FnVariant::new("b", |&_x: &f64| f64::NAN));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+
+        let t = ProfileTable::build(&cv, &[1.0, 9.0]);
+        assert_eq!(t.best_variant(1), None, "no survivor on input 1");
+        assert_eq!(t.labels(), vec![(0, 0)]);
+        // The failure counter reaches the tracer when one is installed.
+        let tracer = nitro_trace::Tracer::new(std::sync::Arc::new(nitro_trace::RingSink::new(64)));
+        cv.context().install_tracer(tracer.clone());
+        ProfileTable::profile_one(&cv, &9.0);
+        assert_eq!(tracer.metrics().counter("profile.doomed.failures"), Some(2));
+        cv.context().clear_tracer();
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Resilient service: what a production tuning service does when things
+//! go wrong — a missing model artifact, then a variant outage.
+//!
+//! ```text
+//! cargo run --release --example resilient_service
+//! ```
+//!
+//! Demonstrates the `nitro-guard` layer end to end:
+//!
+//! 1. **Degraded mode** — wrapping an untuned `code_variant` yields a
+//!    guard that reports `Degraded` and serves the default variant
+//!    instead of erroring.
+//! 2. **Recovery by install** — tuning and installing the artifact
+//!    through the audited path flips the guard back to `Healthy`.
+//! 3. **Quarantine** — an injected outage makes the model's favourite
+//!    variant panic; the guard retries, trips its circuit breaker and
+//!    falls back to the next candidate while the outage lasts.
+//! 4. **Half-open probing** — after the call-counted cooldown, the guard
+//!    probes the quarantined variant and closes the breaker once the
+//!    outage is over.
+
+use nitro::core::{CodeVariant, Context, FnFeature, FnVariant};
+use nitro::guard::{inject_failures, GuardPolicy, GuardedVariant};
+use nitro::simt::silence_injected_panics;
+use nitro::tuner::Autotuner;
+
+fn service() -> (Context, CodeVariant<Vec<f64>>) {
+    let ctx = Context::new();
+    let mut compute = CodeVariant::<Vec<f64>>::new("compute", &ctx);
+    compute.add_variant(FnVariant::new("linear-scan", |v: &Vec<f64>| {
+        40.0 + v.len() as f64 * 1.0
+    }));
+    compute.add_variant(FnVariant::new("blocked", |v: &Vec<f64>| {
+        2_000.0 + v.len() as f64 * 0.25
+    }));
+    compute.set_default(0);
+    compute.add_input_feature(FnFeature::new("n", |v: &Vec<f64>| v.len() as f64));
+    (ctx, compute)
+}
+
+fn main() {
+    // The injected panics below are caught by the guard; keep their
+    // backtraces out of the demo output.
+    silence_injected_panics();
+    let (_ctx, compute) = service();
+
+    // Aggressive thresholds so every state transition shows up in a
+    // short demo; production policies would be more patient.
+    let policy = GuardPolicy {
+        retry_budget: 1,
+        quarantine_threshold: 2,
+        cooldown_calls: 3,
+        half_open_probes: 1,
+        ..GuardPolicy::default()
+    };
+
+    // 1. No model artifact exists yet: the guard starts degraded and
+    //    serves the default variant rather than failing the service.
+    let mut guard = GuardedVariant::new(compute, policy).expect("policy passes audit");
+    println!("health at startup: {:?}", guard.health());
+    let input = vec![0.0; 8_192];
+    let inv = guard.call(&input).expect("degraded dispatch still serves");
+    println!(
+        "degraded dispatch: n = {:>5} -> {:<12} (default, no model)\n",
+        input.len(),
+        inv.variant_name
+    );
+
+    // 2. Tune and install the artifact through the audited path.
+    let training: Vec<Vec<f64>> = (1..40).map(|i| vec![0.0; i * 128]).collect();
+    Autotuner::new()
+        .tune(guard.inner_mut(), &training)
+        .expect("tuning succeeds");
+    let artifact = guard.inner().export_artifact().expect("model was trained");
+    guard.install_artifact_or_degrade(artifact);
+    println!("health after audited install: {:?}", guard.health());
+    let inv = guard.call(&input).expect("healthy dispatch");
+    println!(
+        "healthy dispatch:  n = {:>5} -> {:<12} (model-predicted)\n",
+        input.len(),
+        inv.variant_name
+    );
+
+    // 3. Outage: the predicted variant starts panicking. The guard
+    //    isolates the panic, retries once, quarantines the variant and
+    //    falls back — callers keep getting answers.
+    let blocked = 1;
+    let outage = inject_failures(guard.inner_mut(), blocked, true).expect("variant exists");
+    println!("-- outage begins: 'blocked' panics on every call --");
+    for call in 0..2 {
+        let inv = guard.call(&input).expect("fallback cascade serves");
+        println!(
+            "outage dispatch {}: -> {:<12} (attempts: {}, fell back: {}, breaker: {:?})",
+            call,
+            inv.variant_name,
+            inv.attempts,
+            inv.fell_back,
+            guard.breaker_state(blocked).expect("breaker exists")
+        );
+    }
+
+    // 4. The outage ends. After `cooldown_calls` guarded calls the
+    //    breaker half-opens; the next prediction probes the variant and
+    //    a single success closes it again.
+    outage.store(false, std::sync::atomic::Ordering::SeqCst);
+    println!("-- outage ends: waiting out the cooldown --");
+    loop {
+        let inv = guard.call(&input).expect("dispatch during cooldown");
+        println!(
+            "recovery dispatch: -> {:<12} (breaker: {:?})",
+            inv.variant_name,
+            guard.breaker_state(blocked).expect("breaker exists")
+        );
+        if !inv.fell_back {
+            break;
+        }
+    }
+    println!("\nhealth at shutdown: {:?}", guard.health());
+
+    let stats = guard.stats();
+    println!(
+        "guard stats: {} calls, {} retries, {} quarantines, {} recoveries, {} fallbacks, {} degraded",
+        stats.calls, stats.retries, stats.quarantines, stats.recoveries, stats.fallbacks,
+        stats.degraded_calls
+    );
+    assert_eq!(stats.quarantines, 1, "the outage tripped the breaker once");
+    assert_eq!(stats.recoveries, 1, "the probe closed the breaker again");
+}

@@ -7,6 +7,8 @@
 //! * [`nitro_ml`] — SVM/SMO, scaling, cross-validation, active learning.
 //! * [`nitro_audit`] — static analysis of registrations, artifacts and
 //!   profile tables (`NITRO0xx` diagnostics).
+//! * [`nitro_guard`] — resilient dispatch: retry with backoff, variant
+//!   quarantine, fallback cascades and graceful degradation.
 //! * [`nitro_tuner`] — the offline autotuner.
 //! * [`nitro_trace`] — structured tracing, metrics and regret accounting.
 //! * [`nitro_simt`] — the simulated GPU substrate.
@@ -16,6 +18,7 @@
 pub use nitro_audit as audit;
 pub use nitro_core as core;
 pub use nitro_graph as graph;
+pub use nitro_guard as guard;
 pub use nitro_histogram as histogram;
 pub use nitro_ml as ml;
 pub use nitro_simt as simt;
