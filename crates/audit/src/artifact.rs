@@ -296,6 +296,7 @@ mod tests {
                 c: Some(1.0),
                 gamma: Some(0.5),
                 grid_search: false,
+                cache_bytes: None,
             },
             &data,
         );
@@ -417,6 +418,7 @@ mod tests {
                 c: Some(1.0),
                 gamma: Some(0.5),
                 grid_search: false,
+                cache_bytes: None,
             },
             &data,
         );

@@ -17,6 +17,9 @@
 //! * [`analyze_metrics`] / [`analyze_metrics_json`] — suspicious runtime
 //!   behavior in an exported `nitro-trace` metrics snapshot
 //!   (`NITRO040`–`NITRO049`).
+//! * [`audit_fastpath`] / [`lint_cache_budget`] — compiled-prediction
+//!   and kernel-cache health of a trained model against its training set
+//!   (`NITRO060`–`NITRO062`).
 //!
 //! Findings are [`nitro_core::Diagnostic`]s: a stable `NITRO0xx` code, a
 //! severity, a subject and a message, rendered with
@@ -41,11 +44,13 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod fastpath;
 pub mod metrics;
 pub mod profile;
 pub mod registration;
 
 pub use artifact::{audit_artifact, audit_artifact_against, audit_artifact_json};
+pub use fastpath::{audit_fastpath, lint_cache_budget};
 pub use metrics::{analyze_metrics, analyze_metrics_json, MetricsAuditConfig};
 pub use profile::{analyze_profile, ProfileAuditConfig, ProfileView};
 pub use registration::{lint_grid_search, lint_registration};

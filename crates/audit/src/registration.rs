@@ -136,6 +136,7 @@ pub fn lint_registration<I: ?Sized>(
             c: Some(_),
             gamma: Some(_),
             grid_search: true,
+            ..
         } => {
             out.push(Diagnostic::info(
                 "NITRO019",
@@ -329,6 +330,7 @@ mod tests {
             c: Some(1.0),
             gamma: Some(0.5),
             grid_search: true,
+            cache_bytes: None,
         };
         let diags = lint_registration(&cv, None);
         assert!(diags

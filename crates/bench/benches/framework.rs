@@ -64,6 +64,7 @@ fn bench_model_prediction(c: &mut Criterion) {
             c: Some(4.0),
             gamma: Some(0.5),
             grid_search: false,
+            cache_bytes: None,
         },
         &data,
     );
@@ -104,6 +105,7 @@ fn bench_training(c: &mut Criterion) {
                     c: Some(4.0),
                     gamma: Some(0.5),
                     grid_search: false,
+                    cache_bytes: None,
                 },
                 black_box(&data),
             )

@@ -1,0 +1,118 @@
+//! Criterion benches of the model fast path: the compiled SVM prediction
+//! engine against the reference one-vs-one walk, and kernel-cached SMO
+//! training against the full-Gram reference solver.
+//!
+//! These are the numbers the `perf_report` binary exports as
+//! `target/BENCH_ml.json`; the benches here give them criterion's
+//! statistical rigor for local comparisons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nitro_ml::svm::smo::{solve, solve_reference, SmoParams};
+use nitro_ml::{Dataset, Kernel, PredictScratch, SvmModel, TrainedModel};
+use std::hint::black_box;
+
+/// Three interleaved clusters, large enough that pair machines share
+/// many support vectors (the case the compiled engine's dedup targets).
+fn clustered(n_per_class: usize) -> Dataset {
+    let mut d = Dataset::new(3);
+    for i in 0..n_per_class {
+        let j = i as f64 * 0.37;
+        d.push(vec![j.sin() * 0.8, j.cos() * 0.8, j % 1.3], 0);
+        d.push(vec![3.0 + j.sin(), 3.0 + j.cos(), (j * 1.7) % 1.1], 1);
+        d.push(vec![j.cos() - 3.0, j.sin() + 3.0, (j * 0.9) % 0.7], 2);
+    }
+    d
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = clustered(40);
+    let model = SvmModel::train(
+        &data,
+        Kernel::Rbf { gamma: 1.0 },
+        &SmoParams {
+            c: 10.0,
+            ..Default::default()
+        },
+    );
+    let compiled = model.compiled();
+    let mut scratch = nitro_ml::SvmScratch::default();
+    let point = vec![1.5, 1.5, 0.5];
+
+    let mut g = c.benchmark_group("svm_predict");
+    g.bench_function("reference", |b| b.iter(|| model.predict(black_box(&point))));
+    g.bench_function("compiled", |b| {
+        b.iter(|| compiled.predict_with(black_box(&point), &mut scratch))
+    });
+    g.bench_function("reference_probabilities", |b| {
+        b.iter(|| model.probabilities(black_box(&point)))
+    });
+    g.bench_function("compiled_probabilities", |b| {
+        b.iter(|| {
+            compiled
+                .probabilities_with(black_box(&point), &mut scratch)
+                .len()
+        })
+    });
+    g.finish();
+
+    // The full dispatch-facing path, scaler included.
+    let trained = TrainedModel::train(
+        &nitro_ml::ClassifierConfig::Svm {
+            c: Some(10.0),
+            gamma: Some(1.0),
+            grid_search: false,
+            cache_bytes: None,
+        },
+        &data,
+    );
+    let mut pscratch = PredictScratch::default();
+    c.bench_function("trained_model_predict_into", |b| {
+        b.iter(|| trained.predict_into(black_box(&point), &mut pscratch))
+    });
+}
+
+fn bench_train(c: &mut Criterion) {
+    let data = clustered(40); // 120 rows, 3 classes → 3 pair machines
+    let (x, y): (Vec<Vec<f64>>, Vec<f64>) = {
+        // One binary problem out of the multiclass set (classes 0 vs 1).
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (row, &label) in data.x.iter().zip(&data.y) {
+            if label < 2 {
+                x.push(row.clone());
+                y.push(if label == 0 { 1.0 } else { -1.0 });
+            }
+        }
+        (x, y)
+    };
+    let kernel = Kernel::Rbf { gamma: 1.0 };
+
+    let mut g = c.benchmark_group("smo_train");
+    g.sample_size(20);
+    g.bench_function("full_gram_reference", |b| {
+        b.iter(|| solve_reference(black_box(&x), &y, &kernel, &SmoParams::default()))
+    });
+    g.bench_function("cached_unbounded", |b| {
+        b.iter(|| solve(black_box(&x), &y, &kernel, &SmoParams::default()))
+    });
+    g.bench_function("cached_8_columns", |b| {
+        b.iter(|| {
+            solve(
+                black_box(&x),
+                &y,
+                &kernel,
+                &SmoParams {
+                    cache_bytes: 8 * x.len() * 8,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.bench_function("multiclass_parallel_ovo", |b| {
+        b.iter(|| SvmModel::train(black_box(&data), kernel, &SmoParams::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_train);
+criterion_main!(benches);

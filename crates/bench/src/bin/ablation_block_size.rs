@@ -76,6 +76,7 @@ fn run() -> BenchResult<()> {
         c: None,
         gamma: None,
         grid_search: true,
+        cache_bytes: None,
     };
 
     let per = if spec.small { 3 } else { 8 };

@@ -30,6 +30,7 @@ fn run() -> BenchResult<()> {
                 c: None,
                 gamma: None,
                 grid_search: true,
+                cache_bytes: None,
             },
         ),
         (
@@ -38,6 +39,7 @@ fn run() -> BenchResult<()> {
                 c: Some(8.0),
                 gamma: Some(0.5),
                 grid_search: false,
+                cache_bytes: None,
             },
         ),
         ("knn-3", ClassifierConfig::Knn { k: 3 }),

@@ -86,6 +86,7 @@ fn main() {
         c: None,
         gamma: None,
         grid_search: true,
+        cache_bytes: None,
     };
     let unified_model = TrainedModel::train(&config, &unified);
 

@@ -1,0 +1,163 @@
+//! Model fast-path performance report: measures the compiled SVM
+//! prediction engine against the reference one-vs-one path on every
+//! benchmark suite and exports machine-readable numbers.
+//!
+//! Writes `target/BENCH_ml.json` (uploaded as a CI artifact) with, per
+//! suite: predict ns/call for both engines, the speedup, kernel
+//! evaluations per prediction, support-vector compression, training
+//! wall-clock and the SMO kernel-cache hit rate. Honours `NITRO_SCALE`
+//! (`small` for the CI smoke run).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use nitro_bench::error::{exit_on_error, write_file, BenchResult};
+use nitro_bench::{run_all, SuiteOutcome, SuiteSpec};
+use nitro_ml::{PredictScratch, TrainedModel};
+use serde::Serialize;
+
+/// Enough repetitions for stable ns/call without criterion's runtime.
+const REPS: usize = 50;
+
+#[derive(Debug, Serialize)]
+struct SuitePerf {
+    name: String,
+    test_inputs: usize,
+    reference_predict_ns: f64,
+    compiled_predict_ns: f64,
+    speedup: f64,
+    kernel_evals_per_predict: f64,
+    unique_svs: usize,
+    total_sv_refs: usize,
+    train_wall_ns: f64,
+    train_kernel_evals: u64,
+    train_cache_hit_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PerfReport {
+    scale: String,
+    reps: usize,
+    suites: Vec<SuitePerf>,
+}
+
+fn main() {
+    exit_on_error(run());
+}
+
+fn run() -> BenchResult<()> {
+    let spec = SuiteSpec::from_env();
+    let suites = run_all(spec)?;
+    let report = PerfReport {
+        scale: if spec.small { "small" } else { "full" }.to_string(),
+        reps: REPS,
+        suites: suites.iter().filter_map(measure).collect(),
+    };
+
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>8} {:>10} {:>9}",
+        "suite", "inputs", "ref ns/call", "fast ns/call", "speedup", "kevals", "hit rate"
+    );
+    for s in &report.suites {
+        println!(
+            "{:<10} {:>8} {:>12.0} {:>12.0} {:>7.1}x {:>10.1} {:>8.1}%",
+            s.name,
+            s.test_inputs,
+            s.reference_predict_ns,
+            s.compiled_predict_ns,
+            s.speedup,
+            s.kernel_evals_per_predict,
+            s.train_cache_hit_rate * 100.0,
+        );
+    }
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_ml.json");
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|source| nitro_bench::BenchError::Json {
+            what: "perf report",
+            source,
+        })?;
+    write_file(&path, &json)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}
+
+/// Measure one suite's model fast path; non-SVM suites are skipped.
+fn measure(out: &SuiteOutcome) -> Option<SuitePerf> {
+    let TrainedModel::Svm {
+        ref scaler,
+        model: ref svm,
+        ..
+    } = out.model
+    else {
+        return None;
+    };
+    let compiled = svm.compiled();
+    let probes: Vec<Vec<f64>> = out
+        .test_table
+        .features
+        .iter()
+        .map(|raw| scaler.transform(raw))
+        .collect();
+    if probes.is_empty() {
+        return None;
+    }
+
+    // Reference: the full one-vs-one walk, every SV evaluated per machine.
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..REPS {
+        for p in &probes {
+            sink = sink.wrapping_add(svm.predict(std::hint::black_box(p)));
+        }
+    }
+    let reference_ns = start.elapsed().as_nanos() as f64 / (REPS * probes.len()) as f64;
+
+    // Compiled: shared kernel values, scratch reuse, zero allocations.
+    let mut scratch = nitro_ml::SvmScratch::default();
+    compiled.predict_with(&probes[0], &mut scratch); // warm buffers
+    let _ = scratch.kernel_evals;
+    let start = Instant::now();
+    for _ in 0..REPS {
+        for p in &probes {
+            sink = sink.wrapping_add(compiled.predict_with(std::hint::black_box(p), &mut scratch));
+        }
+    }
+    let compiled_ns = start.elapsed().as_nanos() as f64 / (REPS * probes.len()) as f64;
+    std::hint::black_box(sink);
+
+    // Kernel work per prediction, via the dispatch-facing scratch path.
+    let mut pscratch = PredictScratch::default();
+    for raw in &out.test_table.features {
+        out.model.predict_into(raw, &mut pscratch);
+    }
+    let kernel_evals_per_predict =
+        pscratch.take_kernel_evals() as f64 / out.test_table.features.len() as f64;
+
+    let train_wall_ns = out
+        .tune
+        .phase_timings
+        .iter()
+        .find(|p| p.phase == "training")
+        .map(|p| p.wall_ns)
+        .unwrap_or(0.0);
+    let stats = out.tune.svm_train_stats.unwrap_or_default();
+
+    Some(SuitePerf {
+        name: out.name.clone(),
+        test_inputs: probes.len(),
+        reference_predict_ns: reference_ns,
+        compiled_predict_ns: compiled_ns,
+        speedup: if compiled_ns > 0.0 {
+            reference_ns / compiled_ns
+        } else {
+            0.0
+        },
+        kernel_evals_per_predict,
+        unique_svs: compiled.n_unique_svs(),
+        total_sv_refs: compiled.total_sv_refs(),
+        train_wall_ns,
+        train_kernel_evals: stats.kernel_evals,
+        train_cache_hit_rate: stats.cache_hit_rate(),
+    })
+}

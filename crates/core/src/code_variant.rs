@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use nitro_ml::TrainedModel;
+use nitro_ml::{PredictScratch, TrainedModel};
 use rayon::prelude::*;
 
 use crate::context::Context;
@@ -84,6 +84,7 @@ pub struct CodeVariant<I: ?Sized> {
     policy: TuningPolicy,
     stats: CallStats,
     pending: Option<Pending<I>>,
+    scratch: PredictScratch,
 }
 
 impl<I: ?Sized> CodeVariant<I> {
@@ -100,6 +101,7 @@ impl<I: ?Sized> CodeVariant<I> {
             policy: TuningPolicy::default(),
             stats: CallStats::default(),
             pending: None,
+            scratch: PredictScratch::default(),
         }
     }
 
@@ -461,6 +463,7 @@ impl<I: ?Sized> CodeVariant<I> {
         let m = tracer.metrics();
         m.declare_counter(&format!("dispatch.{}.calls", self.name));
         m.declare_counter(&format!("dispatch.{}.fallback", self.name));
+        m.declare_counter("ml.predict.kernel_evals");
         for v in &self.variants {
             m.declare_counter(&format!("dispatch.{}.win.{}", self.name, v.name()));
             m.declare_counter(&format!("dispatch.{}.veto.{}", self.name, v.name()));
@@ -495,10 +498,13 @@ impl<I: ?Sized> CodeVariant<I> {
         }
         let predict_start = tracer.as_ref().map(|t| t.now_ns());
         let predicted = match (&self.model, self.default_variant) {
-            (Some(m), _) => m.predict(&features),
+            // Scratch-buffer prediction: after the first call the model
+            // hot path performs no allocations.
+            (Some(m), _) => m.predict_into(&features, &mut self.scratch),
             (None, Some(d)) => self.checked_default(d)?,
             (None, None) => return Err(NitroError::NoSelectionPossible),
         };
+        let kernel_evals = self.scratch.take_kernel_evals();
         let predict_ns = tracer
             .as_ref()
             .zip(predict_start)
@@ -551,6 +557,9 @@ impl<I: ?Sized> CodeVariant<I> {
             );
             if let Some(ns) = predict_ns {
                 m.observe(&format!("dispatch.{}.predict_ns", self.name), ns as f64);
+            }
+            if kernel_evals > 0 {
+                m.add("ml.predict.kernel_evals", kernel_evals);
             }
             if let Some(s) = span.as_mut() {
                 s.end_arg("predicted", nitro_trace::val(&predicted));
@@ -868,6 +877,40 @@ mod tests {
         // Dispatch behavior itself is unchanged by tracing.
         assert_eq!(cv.stats().calls, 2);
         assert_eq!(cv.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn svm_dispatch_counts_kernel_evaluations() {
+        let mut cv = toy();
+        let data = Dataset::from_parts(
+            (0..10).map(|i| vec![i as f64]).collect(),
+            (0..10).map(|i| usize::from(i >= 5)).collect(),
+        );
+        cv.install_model(TrainedModel::train(
+            &ClassifierConfig::Svm {
+                c: Some(10.0),
+                gamma: Some(1.0),
+                grid_search: false,
+                cache_bytes: None,
+            },
+            &data,
+        ));
+        let tracer = nitro_trace::Tracer::new(Arc::new(nitro_trace::RingSink::new(16)));
+        cv.declare_tracer_metrics(&tracer);
+        cv.context().install_tracer(tracer.clone());
+
+        cv.call(&1.0).unwrap();
+        cv.call(&9.0).unwrap();
+        let evals = tracer.metrics().counter("ml.predict.kernel_evals").unwrap();
+        assert!(evals > 0, "SVM dispatch must report kernel work");
+        // Knn dispatch reports none (counter stays declared-but-zero).
+        let mut knn = toy();
+        knn.install_model(toy_model());
+        let t2 = nitro_trace::Tracer::new(Arc::new(nitro_trace::RingSink::new(16)));
+        knn.declare_tracer_metrics(&t2);
+        knn.context().install_tracer(t2.clone());
+        knn.call(&1.0).unwrap();
+        assert_eq!(t2.metrics().counter("ml.predict.kernel_evals"), Some(0));
     }
 
     #[test]

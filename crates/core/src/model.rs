@@ -116,6 +116,7 @@ mod tests {
                 c: Some(1.0),
                 gamma: Some(1.0),
                 grid_search: false,
+                cache_bytes: None,
             },
             &data,
         );

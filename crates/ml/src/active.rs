@@ -148,6 +148,7 @@ mod tests {
             c: Some(10.0),
             gamma: Some(1.0),
             grid_search: false,
+            cache_bytes: None,
         }
     }
 

@@ -15,7 +15,8 @@ use crate::grid::{GridResult, GridSearch};
 use crate::kernel::Kernel;
 use crate::knn::KnnModel;
 use crate::scale::Scaler;
-use crate::svm::multiclass::SvmModel;
+use crate::svm::compiled::SvmScratch;
+use crate::svm::multiclass::{SvmModel, SvmTrainStats};
 use crate::svm::smo::SmoParams;
 use crate::tree::{TreeModel, TreeParams};
 
@@ -31,6 +32,11 @@ pub enum ClassifierConfig {
         gamma: Option<f64>,
         /// Run cross-validated grid search for unspecified parameters.
         grid_search: bool,
+        /// Byte budget for the SMO kernel-column cache on the final fit;
+        /// `None` uses [`SmoParams`]'s default (32 MiB). Absent from
+        /// older serialized policies, hence the serde default.
+        #[serde(default)]
+        cache_bytes: Option<usize>,
     },
     /// k-nearest neighbours.
     Knn {
@@ -50,6 +56,7 @@ impl Default for ClassifierConfig {
             c: None,
             gamma: None,
             grid_search: true,
+            cache_bytes: None,
         }
     }
 }
@@ -67,6 +74,10 @@ impl ClassifierConfig {
 }
 
 /// A fitted, serializable variant-selection model.
+// The `Svm` variant carries the lazily-compiled fast path inline; models
+// are few and long-lived, so the size skew is irrelevant and boxing would
+// only add a pointer chase to the dispatch hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TrainedModel {
     /// Scaled SVM with the hyper-parameters it was trained at.
@@ -101,18 +112,53 @@ pub enum TrainedModel {
     },
 }
 
+/// Reusable buffers for [`TrainedModel::predict_into`]: the scaled
+/// feature vector plus the compiled-SVM scratch. One instance per
+/// dispatch site makes steady-state prediction allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    scaled: Vec<f64>,
+    svm: SvmScratch,
+}
+
+impl PredictScratch {
+    /// Kernel evaluations accumulated since the last call, resetting the
+    /// counter — the dispatch path drains this into the
+    /// `ml.predict.kernel_evals` metric.
+    pub fn take_kernel_evals(&mut self) -> u64 {
+        let v = self.svm.kernel_evals;
+        self.svm.kernel_evals = 0;
+        v
+    }
+}
+
 impl TrainedModel {
     /// Fit the configured classifier on raw (unscaled) training data.
     ///
     /// # Panics
     /// Panics if `data` is empty.
     pub fn train(config: &ClassifierConfig, data: &Dataset) -> Self {
+        Self::train_with_stats(config, data).0
+    }
+
+    /// Fit the configured classifier, additionally reporting SVM solver
+    /// statistics (kernel evaluations, cache behaviour, support-vector
+    /// compression) for the final fit. `None` for non-SVM models; grid
+    /// search's cross-validation solves are not counted.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn train_with_stats(
+        config: &ClassifierConfig,
+        data: &Dataset,
+    ) -> (Self, Option<SvmTrainStats>) {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         match config {
             ClassifierConfig::Svm {
                 c,
                 gamma,
                 grid_search,
+                cache_bytes,
             } => {
                 let scaler = Scaler::fit(&data.x);
                 let scaled = Dataset {
@@ -140,21 +186,25 @@ impl TrainedModel {
                         (c, gamma, Some(cv_accuracy))
                     }
                 };
-                let model = SvmModel::train(
-                    &scaled,
-                    Kernel::Rbf { gamma: gamma_used },
-                    &SmoParams {
-                        c: c_used,
-                        ..Default::default()
-                    },
-                );
-                TrainedModel::Svm {
-                    scaler,
-                    model,
+                let mut smo = SmoParams {
                     c: c_used,
-                    gamma: gamma_used,
-                    cv_accuracy: cv_acc,
+                    ..Default::default()
+                };
+                if let Some(bytes) = cache_bytes {
+                    smo.cache_bytes = *bytes;
                 }
+                let (model, stats) =
+                    SvmModel::train_with_stats(&scaled, Kernel::Rbf { gamma: gamma_used }, &smo);
+                (
+                    TrainedModel::Svm {
+                        scaler,
+                        model,
+                        c: c_used,
+                        gamma: gamma_used,
+                        cv_accuracy: cv_acc,
+                    },
+                    Some(stats),
+                )
             }
             ClassifierConfig::Knn { k } => {
                 let scaler = Scaler::fit(&data.x);
@@ -163,27 +213,56 @@ impl TrainedModel {
                     y: data.y.clone(),
                     n_classes: data.n_classes,
                 };
-                TrainedModel::Knn {
-                    scaler,
-                    model: KnnModel::train(&scaled, *k),
-                }
+                (
+                    TrainedModel::Knn {
+                        scaler,
+                        model: KnnModel::train(&scaled, *k),
+                    },
+                    None,
+                )
             }
-            ClassifierConfig::Tree(params) => TrainedModel::Tree {
-                model: TreeModel::train(data, params),
-            },
-            ClassifierConfig::Forest(params) => TrainedModel::Forest {
-                model: ForestModel::train(data, params),
-            },
+            ClassifierConfig::Tree(params) => (
+                TrainedModel::Tree {
+                    model: TreeModel::train(data, params),
+                },
+                None,
+            ),
+            ClassifierConfig::Forest(params) => (
+                TrainedModel::Forest {
+                    model: ForestModel::train(data, params),
+                },
+                None,
+            ),
         }
     }
 
     /// Predict the best variant (class) for a raw feature vector.
+    ///
+    /// SVM models serve the compiled engine (bit-identical to the
+    /// reference path, each unique kernel value computed once).
     pub fn predict(&self, features: &[f64]) -> usize {
         match self {
-            TrainedModel::Svm { scaler, model, .. } => model.predict(&scaler.transform(features)),
+            TrainedModel::Svm { scaler, model, .. } => {
+                model.compiled().predict(&scaler.transform(features))
+            }
             TrainedModel::Knn { scaler, model } => model.predict(&scaler.transform(features)),
             TrainedModel::Tree { model } => model.predict(features),
             TrainedModel::Forest { model } => model.predict(features),
+        }
+    }
+
+    /// Predict using caller-provided scratch buffers: the zero-allocation
+    /// dispatch hot path. Identical results to [`TrainedModel::predict`];
+    /// non-SVM models fall back to their (allocating) predict.
+    pub fn predict_into(&self, features: &[f64], scratch: &mut PredictScratch) -> usize {
+        match self {
+            TrainedModel::Svm { scaler, model, .. } => {
+                scaler.transform_into(features, &mut scratch.scaled);
+                model
+                    .compiled()
+                    .predict_with(&scratch.scaled, &mut scratch.svm)
+            }
+            _ => self.predict(features),
         }
     }
 
@@ -191,7 +270,7 @@ impl TrainedModel {
     pub fn probabilities(&self, features: &[f64]) -> Vec<f64> {
         match self {
             TrainedModel::Svm { scaler, model, .. } => {
-                model.probabilities(&scaler.transform(features))
+                model.compiled().probabilities(&scaler.transform(features))
             }
             TrainedModel::Knn { scaler, model } => model.probabilities(&scaler.transform(features)),
             TrainedModel::Tree { model } => model.probabilities(features),
@@ -257,6 +336,7 @@ mod tests {
                 c: Some(10.0),
                 gamma: Some(1.0),
                 grid_search: false,
+                cache_bytes: None,
             },
             &d,
         );
@@ -296,6 +376,7 @@ mod tests {
                 c: Some(1.0),
                 gamma: Some(0.5),
                 grid_search: false,
+                cache_bytes: None,
             },
             ClassifierConfig::Knn { k: 3 },
             ClassifierConfig::Tree(TreeParams::default()),
@@ -328,6 +409,7 @@ mod tests {
                 c: Some(1.0),
                 gamma: Some(0.5),
                 grid_search: false,
+                cache_bytes: None,
             },
             ClassifierConfig::Knn { k: 3 },
             ClassifierConfig::Tree(TreeParams::default()),
@@ -356,6 +438,7 @@ mod tests {
                 c: Some(1.0),
                 gamma: Some(0.5),
                 grid_search: false,
+                cache_bytes: None,
             },
             &d,
         );
@@ -373,7 +456,62 @@ mod tests {
             ClassifierConfig::Svm {
                 c: None,
                 gamma: None,
-                grid_search: true
+                grid_search: true,
+                cache_bytes: None,
+            }
+        );
+    }
+
+    #[test]
+    fn predict_into_matches_predict_without_allocating() {
+        let d = skewed_clusters();
+        let m = TrainedModel::train(
+            &ClassifierConfig::Svm {
+                c: Some(1.0),
+                gamma: Some(0.5),
+                grid_search: false,
+                cache_bytes: None,
+            },
+            &d,
+        );
+        let mut scratch = PredictScratch::default();
+        for x in &d.x {
+            assert_eq!(m.predict_into(x, &mut scratch), m.predict(x));
+        }
+        assert!(scratch.take_kernel_evals() > 0);
+        assert_eq!(scratch.take_kernel_evals(), 0, "counter drains");
+    }
+
+    #[test]
+    fn train_with_stats_reports_svm_work_only() {
+        let d = skewed_clusters();
+        let (_, stats) = TrainedModel::train_with_stats(
+            &ClassifierConfig::Svm {
+                c: Some(1.0),
+                gamma: Some(0.5),
+                grid_search: false,
+                cache_bytes: Some(1 << 20),
+            },
+            &d,
+        );
+        let stats = stats.expect("svm training reports stats");
+        assert!(stats.kernel_evals > 0);
+        assert_eq!(stats.train_rows, d.len());
+        let (_, none) = TrainedModel::train_with_stats(&ClassifierConfig::Knn { k: 3 }, &d);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn old_policy_json_without_cache_bytes_still_parses() {
+        let j = r#"{"Svm":{"c":1.5,"gamma":0.25,"grid_search":false}}"#;
+        let cfg: ClassifierConfig = serde_json::from_str(j).unwrap();
+        assert_eq!(
+            cfg,
+            ClassifierConfig::Svm {
+                c: Some(1.5),
+                gamma: Some(0.25),
+                grid_search: false,
+                cache_bytes: None,
             }
         );
     }

@@ -28,7 +28,7 @@
 //!     vec![vec![1.0, 10.0], vec![1.2, 11.0], vec![8.0, 2.0], vec![8.4, 1.5]],
 //!     vec![0, 0, 1, 1],
 //! );
-//! let config = ClassifierConfig::Svm { c: Some(10.0), gamma: Some(0.5), grid_search: false };
+//! let config = ClassifierConfig::Svm { c: Some(10.0), gamma: Some(0.5), grid_search: false, cache_bytes: None };
 //! let model = TrainedModel::train(&config, &data);
 //! assert_eq!(model.predict(&[1.1, 10.5]), 0);
 //! assert_eq!(model.predict(&[8.2, 1.8]), 1);
@@ -49,7 +49,7 @@ pub mod svm;
 pub mod tree;
 
 pub use active::ActiveLearner;
-pub use classifier::{ClassifierConfig, TrainedModel};
+pub use classifier::{ClassifierConfig, PredictScratch, TrainedModel};
 pub use dataset::Dataset;
 pub use forest::{ForestModel, ForestParams};
 pub use grid::{GridResult, GridSearch};
@@ -57,5 +57,6 @@ pub use kernel::Kernel;
 pub use knn::KnnModel;
 pub use metrics::{classification_report, ClassificationReport};
 pub use scale::Scaler;
-pub use svm::{BinarySvm, PairMachine, SvmModel};
+pub use svm::multiclass::SvmTrainStats;
+pub use svm::{BinarySvm, CompiledSvm, PairMachine, SvmModel, SvmScratch};
 pub use tree::{TreeModel, TreeParams};

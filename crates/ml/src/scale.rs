@@ -54,18 +54,25 @@ impl Scaler {
 
     /// Scale one feature vector into `[-1, 1]` (training range).
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(row.len());
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// Scale one feature vector into `[-1, 1]`, writing into `out`
+    /// (cleared first). The dispatch hot path reuses one buffer across
+    /// calls so classification stops allocating per call.
+    pub fn transform_into(&self, row: &[f64], out: &mut Vec<f64>) {
         assert_eq!(row.len(), self.dim(), "dimension mismatch");
-        row.iter()
-            .enumerate()
-            .map(|(d, &v)| {
-                let span = self.maxs[d] - self.mins[d];
-                if span <= 0.0 || !span.is_finite() {
-                    0.0
-                } else {
-                    -1.0 + 2.0 * (v - self.mins[d]) / span
-                }
-            })
-            .collect()
+        out.clear();
+        for (d, &v) in row.iter().enumerate() {
+            let span = self.maxs[d] - self.mins[d];
+            out.push(if span <= 0.0 || !span.is_finite() {
+                0.0
+            } else {
+                -1.0 + 2.0 * (v - self.mins[d]) / span
+            });
+        }
     }
 
     /// Scale many rows.
@@ -136,6 +143,20 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn fit_rejects_empty() {
         Scaler::fit(&[]);
+    }
+
+    #[test]
+    fn transform_into_matches_transform_and_reuses_capacity() {
+        let rows = vec![vec![0.0, 10.0], vec![4.0, 30.0]];
+        let s = Scaler::fit(&rows);
+        let mut buf = Vec::new();
+        for probe in [[1.0, 12.0], [3.0, 28.0], [-2.0, 40.0]] {
+            s.transform_into(&probe, &mut buf);
+            assert_eq!(buf, s.transform(&probe));
+        }
+        let cap = buf.capacity();
+        s.transform_into(&[2.0, 20.0], &mut buf);
+        assert_eq!(buf.capacity(), cap, "steady-state call must not grow");
     }
 
     #[test]

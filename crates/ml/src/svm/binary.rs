@@ -25,6 +25,18 @@ pub struct BinarySvm {
 impl BinarySvm {
     /// Train on rows `x` with labels `y ∈ {−1, +1}`.
     pub fn train(x: &[Vec<f64>], y: &[f64], kernel: Kernel, params: &SmoParams) -> Self {
+        Self::train_result(x, y, kernel, params).0
+    }
+
+    /// Train and also return the raw solver result, whose
+    /// `decision_values` and cache statistics feed Platt calibration and
+    /// training observability without recomputing kernels.
+    pub fn train_result(
+        x: &[Vec<f64>],
+        y: &[f64],
+        kernel: Kernel,
+        params: &SmoParams,
+    ) -> (Self, crate::svm::smo::SmoResult) {
         let result = solve(x, y, &kernel, params);
         let mut support_vectors = Vec::new();
         let mut coef = Vec::new();
@@ -34,12 +46,15 @@ impl BinarySvm {
                 coef.push(a * y[i]);
             }
         }
-        Self {
-            support_vectors,
-            coef,
-            rho: result.rho,
-            kernel,
-        }
+        (
+            Self {
+                support_vectors,
+                coef,
+                rho: result.rho,
+                kernel,
+            },
+            result,
+        )
     }
 
     /// Signed decision value; the predicted label is its sign.

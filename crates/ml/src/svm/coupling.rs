@@ -6,38 +6,55 @@
 //! estimates `r[i][j] ≈ P(class i | class i or j, x)`, it finds the
 //! posterior `p` minimizing `Σ_{i<j} (r[j][i]·p_i − r[i][j]·p_j)²` subject
 //! to `Σ p = 1`, `p ≥ 0`.
+//!
+//! [`couple_into`] is the allocation-free core over a flat row-major
+//! matrix; both the reference [`couple`] wrapper and the compiled
+//! prediction engine delegate to it, so the two paths perform identical
+//! arithmetic and their posteriors agree bit-for-bit.
 
-/// Combine pairwise probabilities into a class posterior.
+/// Reusable buffers for [`couple_into`]; steady-state calls allocate
+/// nothing once the buffers have grown to the working size.
+#[derive(Debug, Clone, Default)]
+pub struct CoupleWork {
+    q: Vec<f64>,
+    qp: Vec<f64>,
+}
+
+/// Combine pairwise probabilities into a class posterior, writing the
+/// result into `p`.
 ///
-/// `r` is a `k × k` matrix with `r[i][j] + r[j][i] = 1` for `i ≠ j`
-/// (diagonal ignored). Returns a length-`k` probability vector.
+/// `r` is a flat row-major `k × k` matrix with `r[i·k+j] + r[j·k+i] = 1`
+/// for `i ≠ j` (diagonal ignored). `p` is cleared and filled with a
+/// length-`k` probability vector.
 ///
 /// # Panics
-/// Panics if `r` is not square of size `k ≥ 1`.
-pub fn couple(r: &[Vec<f64>]) -> Vec<f64> {
-    let k = r.len();
-    assert!(
-        k >= 1 && r.iter().all(|row| row.len() == k),
-        "r must be k×k"
-    );
+/// Panics if `r` is not `k × k` with `k ≥ 1`.
+pub fn couple_into(r: &[f64], k: usize, p: &mut Vec<f64>, work: &mut CoupleWork) {
+    assert!(k >= 1 && r.len() == k * k, "r must be k×k");
+    p.clear();
     if k == 1 {
-        return vec![1.0];
+        p.push(1.0);
+        return;
     }
 
     // Build Q: Q[t][t] = Σ_{j≠t} r[j][t]²,  Q[t][j] = −r[j][t]·r[t][j].
-    let mut q = vec![vec![0.0f64; k]; k];
+    let q = &mut work.q;
+    q.clear();
+    q.resize(k * k, 0.0);
     for t in 0..k {
         for j in 0..k {
             if j == t {
                 continue;
             }
-            q[t][t] += r[j][t] * r[j][t];
-            q[t][j] = -r[j][t] * r[t][j];
+            q[t * k + t] += r[j * k + t] * r[j * k + t];
+            q[t * k + j] = -(r[j * k + t] * r[t * k + j]);
         }
     }
 
-    let mut p = vec![1.0 / k as f64; k];
-    let mut qp = vec![0.0f64; k];
+    p.resize(k, 1.0 / k as f64);
+    let qp = &mut work.qp;
+    qp.clear();
+    qp.resize(k, 0.0);
     let eps = 0.005 / k as f64;
     let max_iter = 100.max(k);
 
@@ -45,7 +62,7 @@ pub fn couple(r: &[Vec<f64>]) -> Vec<f64> {
         // qp = Q p, pqp = pᵀQp
         let mut pqp = 0.0;
         for t in 0..k {
-            qp[t] = (0..k).map(|j| q[t][j] * p[j]).sum();
+            qp[t] = (0..k).map(|j| q[t * k + j] * p[j]).sum();
             pqp += p[t] * qp[t];
         }
         let max_err = (0..k).map(|t| (qp[t] - pqp).abs()).fold(0.0, f64::max);
@@ -53,11 +70,12 @@ pub fn couple(r: &[Vec<f64>]) -> Vec<f64> {
             break;
         }
         for t in 0..k {
-            let diff = (-qp[t] + pqp) / q[t][t];
+            let diff = (-qp[t] + pqp) / q[t * k + t];
             p[t] += diff;
-            pqp = (pqp + diff * (diff * q[t][t] + 2.0 * qp[t])) / ((1.0 + diff) * (1.0 + diff));
+            pqp =
+                (pqp + diff * (diff * q[t * k + t] + 2.0 * qp[t])) / ((1.0 + diff) * (1.0 + diff));
             for j in 0..k {
-                qp[j] = (qp[j] + diff * q[t][j]) / (1.0 + diff);
+                qp[j] = (qp[j] + diff * q[t * k + j]) / (1.0 + diff);
                 p[j] /= 1.0 + diff;
             }
         }
@@ -75,6 +93,24 @@ pub fn couple(r: &[Vec<f64>]) -> Vec<f64> {
     } else {
         p.fill(1.0 / k as f64);
     }
+}
+
+/// Combine pairwise probabilities into a class posterior.
+///
+/// `r` is a `k × k` matrix with `r[i][j] + r[j][i] = 1` for `i ≠ j`
+/// (diagonal ignored). Returns a length-`k` probability vector.
+///
+/// # Panics
+/// Panics if `r` is not square of size `k ≥ 1`.
+pub fn couple(r: &[Vec<f64>]) -> Vec<f64> {
+    let k = r.len();
+    assert!(
+        k >= 1 && r.iter().all(|row| row.len() == k),
+        "r must be k×k"
+    );
+    let flat: Vec<f64> = r.iter().flat_map(|row| row.iter().copied()).collect();
+    let mut p = Vec::with_capacity(k);
+    couple_into(&flat, k, &mut p, &mut CoupleWork::default());
     p
 }
 
@@ -151,5 +187,23 @@ mod tests {
         let r = vec![vec![0.0, 0.8], vec![0.2, 0.0]];
         let p = couple(&r);
         assert!((p[0] - 0.8).abs() < 0.05, "p = {p:?}");
+    }
+
+    #[test]
+    fn flat_core_reuses_buffers_and_matches_wrapper() {
+        let nested = pairwise_from_scores(&[2.0, 1.0, 4.0]);
+        let flat: Vec<f64> = nested.iter().flatten().copied().collect();
+        let mut work = CoupleWork::default();
+        let mut p = Vec::new();
+        couple_into(&flat, 3, &mut p, &mut work);
+        let reference = couple(&nested);
+        assert_eq!(p.len(), 3);
+        for (a, b) in p.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits(), "wrapper must share the core");
+        }
+        // A second call through the same buffers must give the same bits.
+        let mut p2 = Vec::new();
+        couple_into(&flat, 3, &mut p2, &mut work);
+        assert_eq!(p, p2);
     }
 }

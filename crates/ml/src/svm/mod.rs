@@ -14,14 +14,20 @@
 //! * [`multiclass`] — the one-vs-one ensemble that the rest of Nitro
 //!   consumes; posteriors feed the Best-vs-Second-Best active-learning
 //!   heuristic (paper §III-B).
+//! * [`compiled`] — the compiled prediction engine: unique support
+//!   vectors deduplicated across pair machines into one flat matrix,
+//!   decisions computed once per point and shared by voting, posterior
+//!   and rank, with zero steady-state allocations.
 
 pub mod binary;
+pub mod compiled;
 pub mod coupling;
 pub mod multiclass;
 pub mod platt;
 pub mod smo;
 
 pub use binary::BinarySvm;
+pub use compiled::{CompiledSvm, SvmScratch};
 pub use multiclass::{PairMachine, SvmModel};
 pub use platt::Platt;
-pub use smo::{solve, SmoParams, SmoResult};
+pub use smo::{solve, solve_reference, SmoParams, SmoResult};

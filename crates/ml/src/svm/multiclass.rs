@@ -1,10 +1,12 @@
 //! One-vs-one multiclass SVM (libSVM's scheme, used by the paper).
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
 use crate::kernel::Kernel;
 use crate::svm::binary::BinarySvm;
+use crate::svm::compiled::{CompiledCell, CompiledSvm};
 use crate::svm::coupling::couple;
 use crate::svm::platt::Platt;
 use crate::svm::smo::SmoParams;
@@ -22,6 +24,41 @@ pub struct PairMachine {
     pub platt: Platt,
 }
 
+/// Aggregate statistics from one-vs-one training, summed over all pair
+/// solves (peak storage is the maximum across pairs, since pair problems
+/// are solved with independent caches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SvmTrainStats {
+    /// Kernel evaluations across all pair solves.
+    pub kernel_evals: u64,
+    /// Kernel-column cache hits across all pair solves.
+    pub cache_hits: u64,
+    /// Kernel-column cache misses across all pair solves.
+    pub cache_misses: u64,
+    /// Largest kernel storage held by any single pair solve.
+    pub peak_cache_bytes: usize,
+    /// Training rows in the full dataset.
+    pub train_rows: usize,
+    /// Pair machines trained.
+    pub n_machines: usize,
+    /// Unique support vectors after compilation (deduplicated).
+    pub unique_svs: usize,
+    /// Total support-vector references across machines.
+    pub total_sv_refs: usize,
+}
+
+impl SvmTrainStats {
+    /// Cache hit rate in `[0, 1]`; `1.0` when no lookups were made.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// A trained one-vs-one multiclass SVM with probability outputs.
 ///
 /// `k(k−1)/2` binary machines are trained, one per class pair present in
@@ -29,6 +66,11 @@ pub struct PairMachine {
 /// coupled posterior); [`SvmModel::probabilities`] runs Platt-calibrated
 /// pairwise outputs through Wu–Lin–Weng coupling — these posteriors drive
 /// Nitro's Best-vs-Second-Best active learning.
+///
+/// The serialized fields are the source of truth; a compiled prediction
+/// engine ([`CompiledSvm`]) is built lazily (and excluded from serde) for
+/// the dispatch hot path. Methods here are the *reference* implementation
+/// the compiled engine is tested against bit-for-bit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SvmModel {
     n_classes: usize,
@@ -37,6 +79,9 @@ pub struct SvmModel {
     present: Vec<bool>,
     /// Majority training class: the fallback when no machine exists.
     fallback: usize,
+    /// Lazily-compiled prediction engine (pure cache, not serialized).
+    #[serde(skip)]
+    compiled: CompiledCell,
 }
 
 impl SvmModel {
@@ -45,6 +90,27 @@ impl SvmModel {
     /// # Panics
     /// Panics if the dataset is empty.
     pub fn train(data: &Dataset, kernel: Kernel, params: &SmoParams) -> Self {
+        Self::train_inner(data, kernel, params).0
+    }
+
+    /// Train and report solver statistics; also compiles the prediction
+    /// engine eagerly so the model is dispatch-ready on return.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn train_with_stats(
+        data: &Dataset,
+        kernel: Kernel,
+        params: &SmoParams,
+    ) -> (Self, SvmTrainStats) {
+        let (model, mut stats) = Self::train_inner(data, kernel, params);
+        let compiled = model.compiled();
+        stats.unique_svs = compiled.n_unique_svs();
+        stats.total_sv_refs = compiled.total_sv_refs();
+        (model, stats)
+    }
+
+    fn train_inner(data: &Dataset, kernel: Kernel, params: &SmoParams) -> (Self, SvmTrainStats) {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let k = data.n_classes;
         let counts = data.class_counts();
@@ -56,12 +122,21 @@ impl SvmModel {
             .map(|(i, _)| i)
             .unwrap_or(0);
 
-        let mut machines = Vec::new();
+        let mut pairs = Vec::new();
         for a in 0..k {
             for b in (a + 1)..k {
-                if counts[a] == 0 || counts[b] == 0 {
-                    continue;
+                if counts[a] > 0 && counts[b] > 0 {
+                    pairs.push((a, b));
                 }
+            }
+        }
+
+        // Pair problems are independent: train them in parallel. The
+        // result vector preserves the deterministic (a, b) iteration
+        // order, so assembled artifacts are bit-identical run-to-run.
+        let trained: Vec<(PairMachine, u64, u64, u64, usize)> = pairs
+            .par_iter()
+            .map(|&(a, b)| {
                 let mut x = Vec::with_capacity(counts[a] + counts[b]);
                 let mut y = Vec::with_capacity(counts[a] + counts[b]);
                 for (row, &label) in data.x.iter().zip(&data.y) {
@@ -73,28 +148,53 @@ impl SvmModel {
                         y.push(-1.0);
                     }
                 }
-                let svm = BinarySvm::train(&x, &y, kernel, params);
-                // Calibrate on in-sample decision values. (libSVM uses
-                // 5-fold CV decisions; in-sample is a documented
-                // simplification that matters little at Nitro's training
-                // sizes and keeps incremental retraining cheap.)
-                let decisions: Vec<f64> = x.iter().map(|r| svm.decision(r)).collect();
+                let (svm, result) = BinarySvm::train_result(&x, &y, kernel, params);
+                // Calibrate on in-sample decision values recovered from
+                // the solver's final gradient — no kernel recomputation.
+                // (libSVM uses 5-fold CV decisions; in-sample is a
+                // documented simplification that matters little at
+                // Nitro's training sizes and keeps retraining cheap.)
                 let labels: Vec<bool> = y.iter().map(|&v| v > 0.0).collect();
-                let platt = Platt::fit(&decisions, &labels);
-                machines.push(PairMachine {
-                    pos: a,
-                    neg: b,
-                    svm,
-                    platt,
-                });
-            }
+                let platt = Platt::fit(&result.decision_values, &labels);
+                (
+                    PairMachine {
+                        pos: a,
+                        neg: b,
+                        svm,
+                        platt,
+                    },
+                    result.kernel_evals,
+                    result.cache_hits,
+                    result.cache_misses,
+                    result.peak_cache_bytes,
+                )
+            })
+            .collect();
+
+        let mut stats = SvmTrainStats {
+            train_rows: data.x.len(),
+            n_machines: trained.len(),
+            ..Default::default()
+        };
+        let mut machines = Vec::with_capacity(trained.len());
+        for (machine, evals, hits, misses, peak) in trained {
+            stats.kernel_evals += evals;
+            stats.cache_hits += hits;
+            stats.cache_misses += misses;
+            stats.peak_cache_bytes = stats.peak_cache_bytes.max(peak);
+            machines.push(machine);
         }
-        Self {
-            n_classes: k,
-            machines,
-            present,
-            fallback,
-        }
+
+        (
+            Self {
+                n_classes: k,
+                machines,
+                present,
+                fallback,
+                compiled: CompiledCell::default(),
+            },
+            stats,
+        )
     }
 
     /// Number of classes this model separates.
@@ -112,14 +212,41 @@ impl SvmModel {
         &self.machines
     }
 
+    /// Which classes appeared in training data.
+    pub fn present(&self) -> &[bool] {
+        &self.present
+    }
+
+    /// Majority training class, predicted when no machine exists.
+    pub fn fallback(&self) -> usize {
+        self.fallback
+    }
+
+    /// The compiled prediction engine, built on first use (e.g. after
+    /// deserialization) and cached for the model's lifetime.
+    pub fn compiled(&self) -> &CompiledSvm {
+        self.compiled.get_or_compile(self)
+    }
+
+    /// Every machine's decision value for a point, in machine order.
+    fn decision_values(&self, point: &[f64]) -> Vec<f64> {
+        self.machines
+            .iter()
+            .map(|m| m.svm.decision(point))
+            .collect()
+    }
+
     /// Predict the class of a (pre-scaled) point by pairwise voting.
+    /// Decision values are computed once and shared between voting and
+    /// the posterior tie-break.
     pub fn predict(&self, point: &[f64]) -> usize {
         if self.machines.is_empty() {
             return self.fallback;
         }
+        let decisions = self.decision_values(point);
         let mut votes = vec![0usize; self.n_classes];
-        for m in &self.machines {
-            if m.svm.decision(point) >= 0.0 {
+        for (m, &d) in self.machines.iter().zip(&decisions) {
+            if d >= 0.0 {
                 votes[m.pos] += 1;
             } else {
                 votes[m.neg] += 1;
@@ -132,8 +259,8 @@ impl SvmModel {
         if tied.len() == 1 {
             return tied[0];
         }
-        // Break ties with the coupled posterior.
-        let probs = self.probabilities(point);
+        // Break ties with the coupled posterior (reusing the decisions).
+        let probs = self.probabilities_from_decisions(&decisions);
         tied.into_iter()
             .max_by(|&a, &b| probs[a].partial_cmp(&probs[b]).unwrap())
             .unwrap_or(self.fallback)
@@ -142,6 +269,12 @@ impl SvmModel {
     /// Class posterior for a (pre-scaled) point, length `n_classes`.
     /// Classes absent from training receive probability 0.
     pub fn probabilities(&self, point: &[f64]) -> Vec<f64> {
+        let decisions = self.decision_values(point);
+        self.probabilities_from_decisions(&decisions)
+    }
+
+    /// Posterior from per-machine decision values already in hand.
+    fn probabilities_from_decisions(&self, decisions: &[f64]) -> Vec<f64> {
         let active: Vec<usize> = (0..self.n_classes).filter(|&c| self.present[c]).collect();
         if active.is_empty() {
             return vec![0.0; self.n_classes];
@@ -163,9 +296,9 @@ impl SvmModel {
         for row in r.iter_mut().enumerate() {
             row.1[row.0] = 0.0;
         }
-        for m in &self.machines {
+        for (m, &d) in self.machines.iter().zip(decisions) {
             // Clamp away from 0/1 as libSVM does, to keep coupling stable.
-            let p = m.platt.prob(m.svm.decision(point)).clamp(1e-7, 1.0 - 1e-7);
+            let p = m.platt.prob(d).clamp(1e-7, 1.0 - 1e-7);
             let (i, j) = (idx_of[m.pos], idx_of[m.neg]);
             r[i][j] = p;
             r[j][i] = 1.0 - p;
@@ -281,6 +414,48 @@ mod tests {
         let back: SvmModel = serde_json::from_str(&j).unwrap();
         for p in [[0.0, 1.0], [1.0, -1.0], [-1.0, -1.0]] {
             assert_eq!(m.predict(&p), back.predict(&p));
+        }
+    }
+
+    #[test]
+    fn train_with_stats_reports_solver_work() {
+        let (m, stats) = SvmModel::train_with_stats(
+            &three_blob_dataset(),
+            Kernel::Rbf { gamma: 1.0 },
+            &SmoParams::default(),
+        );
+        assert_eq!(stats.n_machines, 3);
+        assert_eq!(stats.train_rows, 24);
+        assert!(stats.kernel_evals > 0);
+        assert!(stats.unique_svs > 0);
+        assert!(stats.unique_svs <= stats.total_sv_refs);
+        assert!((0.0..=1.0).contains(&stats.cache_hit_rate()));
+        // The eager compile must agree with the lazily-built engine.
+        assert_eq!(m.compiled().n_unique_svs(), stats.unique_svs);
+    }
+
+    #[test]
+    fn parallel_training_is_deterministic() {
+        let d = three_blob_dataset();
+        let kernel = Kernel::Rbf { gamma: 1.0 };
+        let a = SvmModel::train(&d, kernel, &SmoParams::default());
+        let b = SvmModel::train(&d, kernel, &SmoParams::default());
+        assert_eq!(a, b, "repeat training must be bit-identical");
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn deserialized_model_recompiles_lazily() {
+        let m = model();
+        let j = serde_json::to_string(&m).unwrap();
+        let back: SvmModel = serde_json::from_str(&j).unwrap();
+        let compiled = back.compiled();
+        assert_eq!(compiled.n_unique_svs(), m.compiled().n_unique_svs());
+        for p in [[0.0, 1.0], [1.0, -1.0], [-1.0, -1.0]] {
+            assert_eq!(compiled.predict(&p), m.predict(&p));
         }
     }
 }

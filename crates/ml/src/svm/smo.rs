@@ -8,13 +8,26 @@
 //!
 //! where `Q_ij = y_i y_j K(x_i, x_j)`, using the maximal-violating-pair
 //! rule with second-order `j` selection (libSVM's WSS, Fan–Chen–Lin 2005).
-//! Training sets in Nitro are small (tens to a few hundred inputs), so the
-//! full Gram matrix is materialized rather than cached column-wise.
+//!
+//! Two solvers are provided. [`solve`] — the production path — keeps
+//! kernel columns in an LRU cache with a configurable byte budget
+//! ([`SmoParams::cache_bytes`]) and applies libSVM's shrinking heuristic,
+//! so peak kernel storage is `O(cache)` instead of `O(n²)` and training
+//! sets no longer hit a Gram-matrix memory wall. [`solve_reference`]
+//! materializes the full Gram matrix exactly as the original implementation
+//! did; it is retained as the ground truth for equivalence tests and
+//! benchmarks. While the cache holds every requested column and shrinking
+//! has not yet triggered (the first `min(n, 1000)` iterations), the two
+//! solvers perform bit-identical arithmetic in the same order.
 
 use crate::kernel::Kernel;
 
 /// Numerical floor for non-positive-definite quadratic coefficients.
 const TAU: f64 = 1e-12;
+
+/// Default kernel-cache budget: 32 MiB holds the full Gram matrix for
+/// n ≤ 2048 and degrades to an LRU working set beyond that.
+pub const DEFAULT_CACHE_BYTES: usize = 32 * 1024 * 1024;
 
 /// Solver hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +38,13 @@ pub struct SmoParams {
     pub tol: f64,
     /// Hard cap on SMO iterations.
     pub max_iter: usize,
+    /// Byte budget for the LRU kernel-column cache. Clamped so at least
+    /// two columns (the working pair) are always resident.
+    pub cache_bytes: usize,
+    /// Apply the shrinking heuristic: periodically remove variables that
+    /// are pinned at a bound from the working set, reconstructing their
+    /// gradients before termination.
+    pub shrinking: bool,
 }
 
 impl Default for SmoParams {
@@ -33,11 +53,13 @@ impl Default for SmoParams {
             c: 1.0,
             tol: 1e-3,
             max_iter: 100_000,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            shrinking: true,
         }
     }
 }
 
-/// Solver output: dual variables, bias term and iteration count.
+/// Solver output: dual variables, bias term and solve statistics.
 #[derive(Debug, Clone)]
 pub struct SmoResult {
     /// Dual coefficients, one per training row; support vectors have
@@ -49,20 +71,552 @@ pub struct SmoResult {
     pub iterations: usize,
     /// Whether the KKT conditions reached `tol` before `max_iter`.
     pub converged: bool,
+    /// In-sample decision values `f(x_i) = Σ_j α_j y_j K(x_j, x_i) − rho`,
+    /// recovered from the final gradient (`f_i = y_i (G_i + 1) − rho`) so
+    /// Platt calibration needs no kernel recomputation after training.
+    pub decision_values: Vec<f64>,
+    /// Kernel evaluations performed (diagonal + columns + reconstruction).
+    pub kernel_evals: u64,
+    /// Kernel-column cache hits (always 0 for [`solve_reference`]).
+    pub cache_hits: u64,
+    /// Kernel-column cache misses (always 0 for [`solve_reference`]).
+    pub cache_misses: u64,
+    /// Peak bytes of kernel storage held at any point during the solve.
+    /// Bounded by `cache_bytes` for [`solve`]; `n² · 8` for
+    /// [`solve_reference`].
+    pub peak_cache_bytes: usize,
 }
 
-/// Run SMO on training rows `x` with labels `y ∈ {−1, +1}`.
-///
-/// # Panics
-/// Panics if inputs are empty, lengths mismatch, or a label is not ±1.
-pub fn solve(x: &[Vec<f64>], y: &[f64], kernel: &Kernel, params: &SmoParams) -> SmoResult {
-    let n = x.len();
-    assert!(n > 0, "empty training set");
-    assert_eq!(y.len(), n, "label length mismatch");
+impl SmoResult {
+    /// Cache hit rate in `[0, 1]`; `1.0` when no lookups were made.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+fn validate(x: &[Vec<f64>], y: &[f64]) {
+    assert!(!x.is_empty(), "empty training set");
+    assert_eq!(y.len(), x.len(), "label length mismatch");
     assert!(
         y.iter().all(|&v| v == 1.0 || v == -1.0),
         "labels must be ±1"
     );
+}
+
+/// LRU cache of full-length kernel columns, keyed by training-row index.
+///
+/// Columns are stored at full length `n` (indexed by original row), so
+/// shrinking never forces a permutation of cached data. Eviction scans
+/// resident columns for the least-recently-used stamp — an O(resident)
+/// scan that is negligible next to the O(n · dim) kernel work a miss
+/// already pays.
+struct ColumnCache<'a> {
+    x: &'a [Vec<f64>],
+    kernel: &'a Kernel,
+    cols: Vec<Option<Vec<f64>>>,
+    stamp: Vec<u64>,
+    resident: Vec<usize>,
+    tick: u64,
+    max_cols: usize,
+    hits: u64,
+    misses: u64,
+    evals: u64,
+    peak_cols: usize,
+}
+
+impl<'a> ColumnCache<'a> {
+    fn new(x: &'a [Vec<f64>], kernel: &'a Kernel, cache_bytes: usize) -> Self {
+        let n = x.len();
+        let col_bytes = n * std::mem::size_of::<f64>();
+        let max_cols = (cache_bytes / col_bytes.max(1)).max(2).min(n.max(2));
+        Self {
+            x,
+            kernel,
+            cols: vec![None; n],
+            stamp: vec![0; n],
+            resident: Vec::with_capacity(max_cols),
+            tick: 0,
+            max_cols,
+            hits: 0,
+            misses: 0,
+            evals: 0,
+            peak_cols: 0,
+        }
+    }
+
+    fn touch(&mut self, i: usize) {
+        self.tick += 1;
+        self.stamp[i] = self.tick;
+    }
+
+    /// Make column `i` resident, never evicting `pinned`.
+    fn ensure(&mut self, i: usize, pinned: usize) {
+        if self.cols[i].is_some() {
+            self.hits += 1;
+            self.touch(i);
+            return;
+        }
+        self.misses += 1;
+        if self.resident.len() >= self.max_cols {
+            let mut victim_pos = None;
+            let mut victim_stamp = u64::MAX;
+            for (pos, &r) in self.resident.iter().enumerate() {
+                if r != pinned && self.stamp[r] < victim_stamp {
+                    victim_stamp = self.stamp[r];
+                    victim_pos = Some(pos);
+                }
+            }
+            if let Some(pos) = victim_pos {
+                let evicted = self.resident.swap_remove(pos);
+                self.cols[evicted] = None;
+            }
+        }
+        let xi = &self.x[i];
+        let col: Vec<f64> = self.x.iter().map(|xj| self.kernel.eval(xi, xj)).collect();
+        self.evals += self.x.len() as u64;
+        self.cols[i] = Some(col);
+        self.resident.push(i);
+        self.peak_cols = self.peak_cols.max(self.resident.len());
+        self.touch(i);
+    }
+
+    fn get(&mut self, i: usize) -> &[f64] {
+        self.ensure(i, usize::MAX);
+        self.cols[i].as_deref().unwrap()
+    }
+
+    /// Fetch two columns at once; loading the second never evicts the
+    /// first.
+    fn get_pair(&mut self, i: usize, j: usize) -> (&[f64], &[f64]) {
+        self.ensure(i, usize::MAX);
+        self.ensure(j, i);
+        (
+            self.cols[i].as_deref().unwrap(),
+            self.cols[j].as_deref().unwrap(),
+        )
+    }
+
+    fn peak_bytes(&self) -> usize {
+        self.peak_cols * self.x.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// WSS 2 (Fan–Chen–Lin) over the active set. Returns the working pair,
+/// or `None` when the maximal KKT violation is below `tol` (converged on
+/// the active set).
+#[allow(clippy::too_many_arguments)]
+fn select_working_set(
+    active: &[usize],
+    y: &[f64],
+    alpha: &[f64],
+    grad: &[f64],
+    diag: &[f64],
+    c: f64,
+    tol: f64,
+    cache: &mut ColumnCache,
+) -> Option<(usize, usize)> {
+    // i: maximal −y_t G_t over I_up.
+    let mut gmax = f64::NEG_INFINITY;
+    let mut i_sel = usize::MAX;
+    for &t in active {
+        if y[t] == 1.0 {
+            if alpha[t] < c && -grad[t] >= gmax {
+                gmax = -grad[t];
+                i_sel = t;
+            }
+        } else if alpha[t] > 0.0 && grad[t] >= gmax {
+            gmax = grad[t];
+            i_sel = t;
+        }
+    }
+    if i_sel == usize::MAX {
+        return None;
+    }
+    // j: second-order minimizer over I_low.
+    let qii = diag[i_sel];
+    let col_i = cache.get(i_sel);
+    let mut gmax2 = f64::NEG_INFINITY;
+    let mut j_sel = usize::MAX;
+    let mut obj_min = f64::INFINITY;
+    for &t in active {
+        if y[t] == 1.0 {
+            if alpha[t] > 0.0 {
+                let grad_diff = gmax + grad[t];
+                if grad[t] >= gmax2 {
+                    gmax2 = grad[t];
+                }
+                if grad_diff > 0.0 {
+                    // Curvature along the (i, t) direction:
+                    // a_it = K_ii + K_tt − 2 K_it = ||φ(x_i) − φ(x_t)||².
+                    let quad = (qii + diag[t] - 2.0 * col_i[t]).max(TAU);
+                    let obj = -(grad_diff * grad_diff) / quad;
+                    if obj <= obj_min {
+                        obj_min = obj;
+                        j_sel = t;
+                    }
+                }
+            }
+        } else if alpha[t] < c {
+            let grad_diff = gmax - grad[t];
+            if -grad[t] >= gmax2 {
+                gmax2 = -grad[t];
+            }
+            if grad_diff > 0.0 {
+                let quad = (qii + diag[t] - 2.0 * col_i[t]).max(TAU);
+                let obj = -(grad_diff * grad_diff) / quad;
+                if obj <= obj_min {
+                    obj_min = obj;
+                    j_sel = t;
+                }
+            }
+        }
+    }
+    if j_sel == usize::MAX || gmax + gmax2 < tol {
+        return None;
+    }
+    Some((i_sel, j_sel))
+}
+
+/// Recompute stale gradients of inactive variables directly from the
+/// current support vectors: `G_t = Σ_{α_s > 0} y_t y_s K(x_t, x_s) α_s − 1`.
+fn reconstruct_gradient(
+    x: &[Vec<f64>],
+    y: &[f64],
+    kernel: &Kernel,
+    alpha: &[f64],
+    grad: &mut [f64],
+    is_active: &[bool],
+    evals: &mut u64,
+) {
+    let svs: Vec<usize> = (0..x.len()).filter(|&s| alpha[s] > 0.0).collect();
+    for t in 0..x.len() {
+        if is_active[t] {
+            continue;
+        }
+        let mut g = -1.0;
+        for &s in &svs {
+            g += y[t] * y[s] * kernel.eval(&x[t], &x[s]) * alpha[s];
+        }
+        *evals += svs.len() as u64;
+        grad[t] = g;
+    }
+}
+
+/// libSVM's shrink predicate: a variable pinned at a bound whose gradient
+/// says it will stay there can leave the working set.
+fn be_shrunk(yt: f64, at: f64, gt: f64, c: f64, gmax1: f64, gmax2: f64) -> bool {
+    if at >= c {
+        if yt == 1.0 {
+            -gt > gmax1
+        } else {
+            -gt > gmax2
+        }
+    } else if at <= 0.0 {
+        if yt == 1.0 {
+            gt > gmax2
+        } else {
+            gt > gmax1
+        }
+    } else {
+        false
+    }
+}
+
+/// Periodic shrinking pass. When the duality gap first drops within
+/// `10 · tol`, gradients are reconstructed and the full set is
+/// re-examined once (libSVM's "unshrinking") before shrinking again.
+#[allow(clippy::too_many_arguments)]
+fn do_shrinking(
+    active: &mut Vec<usize>,
+    is_active: &mut [bool],
+    x: &[Vec<f64>],
+    y: &[f64],
+    kernel: &Kernel,
+    alpha: &[f64],
+    grad: &mut [f64],
+    c: f64,
+    tol: f64,
+    unshrunk: &mut bool,
+    evals: &mut u64,
+) {
+    let mut gmax1 = f64::NEG_INFINITY;
+    let mut gmax2 = f64::NEG_INFINITY;
+    for &t in active.iter() {
+        if y[t] == 1.0 {
+            if alpha[t] < c {
+                gmax1 = gmax1.max(-grad[t]);
+            }
+            if alpha[t] > 0.0 {
+                gmax2 = gmax2.max(grad[t]);
+            }
+        } else {
+            if alpha[t] > 0.0 {
+                gmax1 = gmax1.max(grad[t]);
+            }
+            if alpha[t] < c {
+                gmax2 = gmax2.max(-grad[t]);
+            }
+        }
+    }
+    if !*unshrunk && gmax1 + gmax2 <= tol * 10.0 {
+        *unshrunk = true;
+        reconstruct_gradient(x, y, kernel, alpha, grad, is_active, evals);
+        for flag in is_active.iter_mut() {
+            *flag = true;
+        }
+        *active = (0..y.len()).collect();
+    }
+    active.retain(|&t| {
+        let shrink = be_shrunk(y[t], alpha[t], grad[t], c, gmax1, gmax2);
+        if shrink {
+            is_active[t] = false;
+        }
+        !shrink
+    });
+}
+
+/// Bias from the KKT conditions over the (fully reconstructed) gradient.
+fn compute_rho(y: &[f64], alpha: &[f64], grad: &[f64], c: f64) -> f64 {
+    let mut ub = f64::INFINITY;
+    let mut lb = f64::NEG_INFINITY;
+    let mut sum_free = 0.0;
+    let mut n_free = 0usize;
+    for t in 0..y.len() {
+        let yg = y[t] * grad[t];
+        if alpha[t] >= c {
+            if y[t] == -1.0 {
+                ub = ub.min(yg);
+            } else {
+                lb = lb.max(yg);
+            }
+        } else if alpha[t] <= 0.0 {
+            if y[t] == 1.0 {
+                ub = ub.min(yg);
+            } else {
+                lb = lb.max(yg);
+            }
+        } else {
+            n_free += 1;
+            sum_free += yg;
+        }
+    }
+    if n_free > 0 {
+        sum_free / n_free as f64
+    } else {
+        (ub + lb) / 2.0
+    }
+}
+
+/// In-sample decision values from the final gradient:
+/// `G_i = y_i Σ_j y_j α_j K_ij − 1  ⇒  f_i = y_i (G_i + 1) − rho`.
+fn decision_values(y: &[f64], grad: &[f64], rho: f64) -> Vec<f64> {
+    y.iter()
+        .zip(grad)
+        .map(|(&yt, &gt)| yt * (gt + 1.0) - rho)
+        .collect()
+}
+
+/// Run SMO on training rows `x` with labels `y ∈ {−1, +1}` using the
+/// LRU kernel-column cache and the shrinking heuristic.
+///
+/// # Panics
+/// Panics if inputs are empty, lengths mismatch, or a label is not ±1.
+pub fn solve(x: &[Vec<f64>], y: &[f64], kernel: &Kernel, params: &SmoParams) -> SmoResult {
+    validate(x, y);
+    let n = x.len();
+    let c = params.c;
+
+    let mut cache = ColumnCache::new(x, kernel, params.cache_bytes);
+    let diag: Vec<f64> = x.iter().map(|xi| kernel.eval(xi, xi)).collect();
+    let mut direct_evals = n as u64;
+
+    let mut alpha = vec![0.0f64; n];
+    // Gradient of the dual objective: G_i = Σ_j Q_ij α_j − 1. Only active
+    // entries are maintained incrementally; shrunk entries go stale and
+    // are reconstructed on demand.
+    let mut grad = vec![-1.0f64; n];
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut is_active = vec![true; n];
+
+    let shrink_interval = n.clamp(1, 1000);
+    let mut since_shrink = 0usize;
+    let mut unshrunk = false;
+
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < params.max_iter {
+        iterations += 1;
+        since_shrink += 1;
+
+        if params.shrinking && since_shrink >= shrink_interval {
+            since_shrink = 0;
+            do_shrinking(
+                &mut active,
+                &mut is_active,
+                x,
+                y,
+                kernel,
+                &alpha,
+                &mut grad,
+                c,
+                params.tol,
+                &mut unshrunk,
+                &mut direct_evals,
+            );
+        }
+
+        let selected =
+            select_working_set(&active, y, &alpha, &grad, &diag, c, params.tol, &mut cache);
+        let (i, j) = match selected {
+            Some(pair) => pair,
+            None => {
+                if active.len() < n {
+                    // Converged on the shrunk set: reconstruct and retry
+                    // against the full problem before declaring victory.
+                    reconstruct_gradient(
+                        x,
+                        y,
+                        kernel,
+                        &alpha,
+                        &mut grad,
+                        &is_active,
+                        &mut direct_evals,
+                    );
+                    active = (0..n).collect();
+                    is_active.iter_mut().for_each(|f| *f = true);
+                    since_shrink = 0;
+                    match select_working_set(
+                        &active, y, &alpha, &grad, &diag, c, params.tol, &mut cache,
+                    ) {
+                        Some(pair) => pair,
+                        None => {
+                            converged = true;
+                            break;
+                        }
+                    }
+                } else {
+                    converged = true;
+                    break;
+                }
+            }
+        };
+
+        let old_ai = alpha[i];
+        let old_aj = alpha[j];
+        let (col_i, col_j) = cache.get_pair(i, j);
+
+        // --- Two-variable analytic update with box clipping (libSVM) ---
+        if y[i] != y[j] {
+            // The feasible direction is e_i + e_j, whose curvature is
+            // Q_ii + Q_jj + 2Q_ij = K_ii + K_jj − 2K_ij (Q_ij = −K_ij here).
+            let quad = (diag[i] + diag[j] - 2.0 * col_i[j]).max(TAU);
+            let delta = (-grad[i] - grad[j]) / quad;
+            let diff = alpha[i] - alpha[j];
+            alpha[i] += delta;
+            alpha[j] += delta;
+            if diff > 0.0 {
+                if alpha[j] < 0.0 {
+                    alpha[j] = 0.0;
+                    alpha[i] = diff;
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = -diff;
+            }
+            if diff > 0.0 {
+                if alpha[i] > c {
+                    alpha[i] = c;
+                    alpha[j] = c - diff;
+                }
+            } else if alpha[j] > c {
+                alpha[j] = c;
+                alpha[i] = c + diff;
+            }
+        } else {
+            let quad = (diag[i] + diag[j] - 2.0 * col_i[j]).max(TAU);
+            let delta = (grad[i] - grad[j]) / quad;
+            let sum = alpha[i] + alpha[j];
+            alpha[i] -= delta;
+            alpha[j] += delta;
+            if sum > c {
+                if alpha[i] > c {
+                    alpha[i] = c;
+                    alpha[j] = sum - c;
+                }
+            } else if alpha[j] < 0.0 {
+                alpha[j] = 0.0;
+                alpha[i] = sum;
+            }
+            if sum > c {
+                if alpha[j] > c {
+                    alpha[j] = c;
+                    alpha[i] = sum - c;
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = sum;
+            }
+        }
+
+        // --- Gradient maintenance over the active set ---
+        let dai = alpha[i] - old_ai;
+        let daj = alpha[j] - old_aj;
+        if dai != 0.0 || daj != 0.0 {
+            for &t in &active {
+                grad[t] += y[t] * y[i] * col_i[t] * dai + y[t] * y[j] * col_j[t] * daj;
+            }
+        }
+    }
+
+    if active.len() < n {
+        reconstruct_gradient(
+            x,
+            y,
+            kernel,
+            &alpha,
+            &mut grad,
+            &is_active,
+            &mut direct_evals,
+        );
+    }
+
+    let rho = compute_rho(y, &alpha, &grad, c);
+    let decision_values = decision_values(y, &grad, rho);
+
+    SmoResult {
+        alpha,
+        rho,
+        iterations,
+        converged,
+        decision_values,
+        kernel_evals: cache.evals + direct_evals,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        peak_cache_bytes: cache.peak_bytes(),
+    }
+}
+
+/// Reference solver: materializes the full Gram matrix up front, exactly
+/// as the original implementation did. `O(n²)` memory — kept as the
+/// ground truth for equivalence tests and benchmarks, not for production
+/// training.
+///
+/// # Panics
+/// Panics if inputs are empty, lengths mismatch, or a label is not ±1.
+pub fn solve_reference(
+    x: &[Vec<f64>],
+    y: &[f64],
+    kernel: &Kernel,
+    params: &SmoParams,
+) -> SmoResult {
+    validate(x, y);
+    let n = x.len();
 
     // Full Gram matrix (row-major, symmetric).
     let mut k = vec![0.0f64; n * n];
@@ -73,6 +627,7 @@ pub fn solve(x: &[Vec<f64>], y: &[f64], kernel: &Kernel, params: &SmoParams) -> 
             k[j * n + i] = v;
         }
     }
+    let kernel_evals = (n * (n + 1) / 2) as u64;
     let q = |i: usize, j: usize| y[i] * y[j] * k[i * n + j];
 
     let c = params.c;
@@ -115,8 +670,6 @@ pub fn solve(x: &[Vec<f64>], y: &[f64], kernel: &Kernel, params: &SmoParams) -> 
                             gmax2 = grad[t];
                         }
                         if grad_diff > 0.0 {
-                            // Curvature along the (i, t) direction:
-                            // a_it = K_ii + K_tt − 2 K_it = ||φ(x_i) − φ(x_t)||².
                             let quad = (qii + k[t * n + t] - 2.0 * k[i_sel * n + t]).max(TAU);
                             let obj = -(grad_diff * grad_diff) / quad;
                             if obj <= obj_min {
@@ -143,7 +696,7 @@ pub fn solve(x: &[Vec<f64>], y: &[f64], kernel: &Kernel, params: &SmoParams) -> 
         }
 
         if i_sel == usize::MAX || j_sel == usize::MAX || gmax + gmax2 < params.tol {
-            converged = i_sel == usize::MAX || j_sel == usize::MAX || gmax + gmax2 < params.tol;
+            converged = true;
             break;
         }
 
@@ -215,41 +768,19 @@ pub fn solve(x: &[Vec<f64>], y: &[f64], kernel: &Kernel, params: &SmoParams) -> 
         }
     }
 
-    // --- Bias (rho) from the KKT conditions ---
-    let mut ub = f64::INFINITY;
-    let mut lb = f64::NEG_INFINITY;
-    let mut sum_free = 0.0;
-    let mut n_free = 0usize;
-    for t in 0..n {
-        let yg = y[t] * grad[t];
-        if alpha[t] >= c {
-            if y[t] == -1.0 {
-                ub = ub.min(yg);
-            } else {
-                lb = lb.max(yg);
-            }
-        } else if alpha[t] <= 0.0 {
-            if y[t] == 1.0 {
-                ub = ub.min(yg);
-            } else {
-                lb = lb.max(yg);
-            }
-        } else {
-            n_free += 1;
-            sum_free += yg;
-        }
-    }
-    let rho = if n_free > 0 {
-        sum_free / n_free as f64
-    } else {
-        (ub + lb) / 2.0
-    };
+    let rho = compute_rho(y, &alpha, &grad, c);
+    let decision_values = decision_values(y, &grad, rho);
 
     SmoResult {
         alpha,
         rho,
         iterations,
         converged,
+        decision_values,
+        kernel_evals,
+        cache_hits: 0,
+        cache_misses: 0,
+        peak_cache_bytes: n * n * std::mem::size_of::<f64>(),
     }
 }
 
@@ -383,5 +914,174 @@ mod tests {
             (r.alpha[5] - params.c).abs() < 1e-9,
             "outlier should hit the box bound"
         );
+    }
+
+    /// Deterministic interleaved two-class spiral, hard enough that SMO
+    /// runs well past the shrink interval.
+    fn spiral(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 / n as f64 * 6.0;
+            let (s, c) = (t + if i % 2 == 0 { 0.0 } else { 0.5 }).sin_cos();
+            x.push(vec![t * c * 0.3, t * s * 0.3]);
+            y.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn cached_solver_is_bit_identical_to_reference_without_shrinking() {
+        // With every column cached and shrinking off, the LRU solver
+        // performs the reference solver's arithmetic in the same order.
+        let (x, y) = spiral(60);
+        let kernel = Kernel::Rbf { gamma: 2.0 };
+        let params = SmoParams {
+            c: 5.0,
+            shrinking: false,
+            ..Default::default()
+        };
+        let cached = solve(&x, &y, &kernel, &params);
+        let reference = solve_reference(&x, &y, &kernel, &params);
+        assert_eq!(cached.converged, reference.converged);
+        assert_eq!(cached.iterations, reference.iterations);
+        assert_eq!(cached.rho.to_bits(), reference.rho.to_bits());
+        for (a, b) in cached.alpha.iter().zip(&reference.alpha) {
+            assert_eq!(a.to_bits(), b.to_bits(), "alpha mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn shrinking_solver_matches_reference_within_tolerance() {
+        // Shrinking changes the iterate path (the dual solution is not
+        // unique at tol), so demand agreement up to marginal SVs: every
+        // solidly-supported vector of one solver must be a support
+        // vector of the other, and rho must agree to ~tol.
+        for c in [1.0, 5.0, 100.0] {
+            let (x, y) = spiral(60);
+            let kernel = Kernel::Rbf { gamma: 2.0 };
+            let params = SmoParams {
+                c,
+                ..Default::default()
+            };
+            let a = solve(&x, &y, &kernel, &params);
+            let r = solve_reference(&x, &y, &kernel, &params);
+            assert!(a.converged && r.converged);
+            assert!(
+                (a.rho - r.rho).abs() < 1e-3,
+                "c={c}: rho {} vs {}",
+                a.rho,
+                r.rho
+            );
+            // The decision function is unique at the optimum even when
+            // the dual is degenerate (near-duplicate rows at large C let
+            // alpha mass shift between equivalent SVs), so compare f.
+            for (fa, fr) in a.decision_values.iter().zip(&r.decision_values) {
+                assert!((fa - fr).abs() < 1e-2, "c={c}: decision drift {fa} vs {fr}");
+            }
+            let solid = 5e-2 * c;
+            for i in 0..x.len() {
+                if a.alpha[i] > solid {
+                    assert!(r.alpha[i] > 0.0, "c={c}: row {i} solid only in cached");
+                }
+                if r.alpha[i] > solid {
+                    assert!(a.alpha[i] > 0.0, "c={c}: row {i} solid only in reference");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_cache_budget_still_converges_to_same_solution() {
+        let (x, y) = spiral(50);
+        let kernel = Kernel::Rbf { gamma: 2.0 };
+        let roomy = SmoParams {
+            c: 5.0,
+            ..Default::default()
+        };
+        // Budget below one column: clamps to the two-column minimum.
+        let tiny = SmoParams {
+            cache_bytes: 1,
+            ..roomy
+        };
+        let a = solve(&x, &y, &kernel, &roomy);
+        let b = solve(&x, &y, &kernel, &tiny);
+        assert!(b.converged);
+        assert!(
+            b.peak_cache_bytes <= 2 * x.len() * std::mem::size_of::<f64>(),
+            "peak {} exceeds two columns",
+            b.peak_cache_bytes
+        );
+        assert!(b.cache_misses > b.cache_hits / 100, "stats look wrong");
+        assert!((a.rho - b.rho).abs() < 1e-6);
+        for (ai, bi) in a.alpha.iter().zip(&b.alpha) {
+            assert!((ai - bi).abs() < 1e-5, "alpha drift: {ai} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn peak_cache_respects_configured_budget() {
+        let (x, y) = spiral(80);
+        let budget = 10 * 80 * std::mem::size_of::<f64>(); // ten columns
+        let params = SmoParams {
+            c: 5.0,
+            cache_bytes: budget,
+            ..Default::default()
+        };
+        let r = solve(&x, &y, &Kernel::Rbf { gamma: 2.0 }, &params);
+        assert!(
+            r.peak_cache_bytes <= budget,
+            "peak {} over budget {budget}",
+            r.peak_cache_bytes
+        );
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn shrinking_path_agrees_with_unshrunk_solve() {
+        // Small tolerance + saturating C forces many iterations, so the
+        // shrink interval is crossed and bounded variables get dropped.
+        let (x, y) = spiral(40);
+        let kernel = Kernel::Rbf { gamma: 4.0 };
+        let base = SmoParams {
+            c: 100.0,
+            tol: 1e-5,
+            ..Default::default()
+        };
+        let no_shrink = SmoParams {
+            shrinking: false,
+            ..base
+        };
+        let a = solve(&x, &y, &kernel, &base);
+        let b = solve(&x, &y, &kernel, &no_shrink);
+        assert!(a.converged && b.converged);
+        assert!((a.rho - b.rho).abs() < 1e-4, "rho {} vs {}", a.rho, b.rho);
+        let sv_a: Vec<usize> = (0..x.len()).filter(|&i| a.alpha[i] > 1e-8).collect();
+        let sv_b: Vec<usize> = (0..x.len()).filter(|&i| b.alpha[i] > 1e-8).collect();
+        assert_eq!(sv_a, sv_b, "support-vector sets diverged");
+    }
+
+    #[test]
+    fn decision_values_match_direct_computation() {
+        let (x, y) = spiral(30);
+        let kernel = Kernel::Rbf { gamma: 1.0 };
+        let r = solve(&x, &y, &kernel, &SmoParams::default());
+        for (i, xi) in x.iter().enumerate() {
+            let direct = decision(&x, &y, &r, &kernel, xi);
+            assert!(
+                (r.decision_values[i] - direct).abs() < 1e-6,
+                "row {i}: gradient-recovered {} vs direct {direct}",
+                r.decision_values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn reference_reports_full_gram_storage() {
+        let (x, y) = spiral(20);
+        let r = solve_reference(&x, &y, &Kernel::Rbf { gamma: 1.0 }, &SmoParams::default());
+        assert_eq!(r.peak_cache_bytes, 20 * 20 * 8);
+        assert_eq!(r.kernel_evals, (20 * 21 / 2) as u64);
+        assert_eq!(r.cache_hits + r.cache_misses, 0);
     }
 }

@@ -17,6 +17,7 @@ fn nitro_tuned_spmv_beats_every_fixed_variant() {
         c: Some(32.0),
         gamma: Some(2.0),
         grid_search: false,
+        cache_bytes: None,
     };
 
     let (train, test) = spmv_small_sets(0xBEEF);

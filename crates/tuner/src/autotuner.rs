@@ -7,12 +7,12 @@
 //! (`itune`), only a fraction of the training inputs is exhaustively
 //! profiled, chosen by Best-vs-Second-Best active learning (§III-B).
 
-use nitro_audit::{audit_artifact_against, lint_registration};
+use nitro_audit::{audit_artifact_against, audit_fastpath, lint_cache_budget, lint_registration};
 use nitro_core::{
     diag::{has_errors, Diagnostic},
     CodeVariant, NitroError, Result, StoppingCriterion, TrainedModel,
 };
-use nitro_ml::{ActiveLearner, Dataset};
+use nitro_ml::{ActiveLearner, Dataset, SvmTrainStats};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -143,6 +143,12 @@ pub struct TuneReport {
     /// labeling / training / evaluation), in execution order.
     #[serde(default)]
     pub phase_timings: Vec<PhaseTiming>,
+    /// SVM solver statistics from the final model fit: kernel
+    /// evaluations, cache hit rate and support-vector compression.
+    /// `None` for non-SVM classifiers and for incremental tuning (whose
+    /// final fit happens inside the active learner).
+    #[serde(default)]
+    pub svm_train_stats: Option<SvmTrainStats>,
 }
 
 impl Autotuner {
@@ -210,12 +216,16 @@ impl Autotuner {
                 detail: "no training input produced a valid label".into(),
             });
         }
-        let model = phases.run("training", || {
-            TrainedModel::train(&cv.policy().classifier, &data)
+        let (model, svm_train_stats) = phases.run("training", || {
+            TrainedModel::train_with_stats(&cv.policy().classifier, &data)
         });
+        if let (Some(t), Some(stats)) = (cv.context().tracer(), &svm_train_stats) {
+            t.metrics()
+                .set_gauge("ml.train.cache_hit_rate", stats.cache_hit_rate());
+        }
         let cv_accuracy = grid_cv_accuracy(&model);
         cv.install_model(model);
-        let findings = phases.run("evaluation", || postflight(cv));
+        let findings = phases.run("evaluation", || postflight(cv, &data));
         audit_warnings.extend(findings);
         if self.save_model {
             cv.save_model()?;
@@ -231,6 +241,7 @@ impl Autotuner {
             model_history: Vec::new(),
             audit_warnings,
             phase_timings: phases.finish(),
+            svm_train_stats,
         })
     }
 
@@ -380,7 +391,7 @@ impl Autotuner {
         let class_counts = learner.labeled().class_counts();
         let cv_accuracy = grid_cv_accuracy(&model);
         cv.install_model(model);
-        audit_warnings.extend(postflight(cv));
+        audit_warnings.extend(postflight(cv, learner.labeled()));
         if self.save_model {
             cv.save_model()?;
         }
@@ -395,6 +406,7 @@ impl Autotuner {
             model_history,
             audit_warnings,
             phase_timings: phases.finish(),
+            svm_train_stats: None,
         })
     }
 
@@ -419,19 +431,29 @@ impl Autotuner {
 /// Pre-tuning registration lint: error findings abort as
 /// [`NitroError::Audit`]; warnings and infos are returned for the report.
 fn preflight<I: ?Sized>(cv: &CodeVariant<I>, training_size: usize) -> Result<Vec<Diagnostic>> {
-    let diagnostics = lint_registration(cv, Some(training_size));
+    let mut diagnostics = lint_registration(cv, Some(training_size));
+    diagnostics.extend(lint_cache_budget(
+        &cv.policy().classifier,
+        training_size,
+        cv.name(),
+    ));
     if has_errors(&diagnostics) {
         return Err(NitroError::Audit { diagnostics });
     }
     Ok(diagnostics)
 }
 
-/// Post-tuning artifact audit: a freshly exported artifact is audited
-/// against the registration it came from, and any findings (warnings like
-/// constant training features) ride along in the report.
-fn postflight<I: ?Sized>(cv: &CodeVariant<I>) -> Vec<Diagnostic> {
+/// Post-tuning audit: a freshly exported artifact is audited against the
+/// registration it came from, and the model's compiled prediction fast
+/// path is checked against the training set (`NITRO060`/`NITRO062`). Any
+/// findings ride along in the report.
+fn postflight<I: ?Sized>(cv: &CodeVariant<I>, data: &Dataset) -> Vec<Diagnostic> {
     match cv.export_artifact() {
-        Ok(artifact) => audit_artifact_against(&artifact, cv),
+        Ok(artifact) => {
+            let mut out = audit_artifact_against(&artifact, cv);
+            out.extend(audit_fastpath(&artifact.model, data, cv.name()));
+            out
+        }
         Err(e) => vec![Diagnostic::error(
             "NITRO001",
             cv.name(),
@@ -480,6 +502,7 @@ mod tests {
             c: Some(10.0),
             gamma: Some(1.0),
             grid_search: false,
+            cache_bytes: None,
         };
         cv
     }
@@ -668,6 +691,33 @@ mod tests {
                 .unwrap_or_else(|| panic!("gauge for {}", p.phase));
             assert_eq!(gauge, p.wall_ns);
         }
+        // The SVM final fit publishes its kernel-cache hit rate.
+        let stats = report.svm_train_stats.expect("svm fit reports stats");
+        let hit_rate = tracer
+            .metrics()
+            .gauge("ml.train.cache_hit_rate")
+            .expect("hit-rate gauge");
+        assert_eq!(hit_rate, stats.cache_hit_rate());
+        assert!((0.0..=1.0).contains(&hit_rate));
+        assert!(stats.kernel_evals > 0);
+    }
+
+    #[test]
+    fn undersized_cache_budget_refuses_to_tune() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.policy_mut().classifier = ClassifierConfig::Svm {
+            c: Some(10.0),
+            gamma: Some(1.0),
+            grid_search: false,
+            cache_bytes: Some(8), // one f64: less than one kernel column
+        };
+        let err = Autotuner::new()
+            .tune(&mut cv, &training_inputs())
+            .unwrap_err();
+        assert!(matches!(err, NitroError::Audit { .. }), "{err}");
+        assert!(err.diagnostics().iter().any(|d| d.code == "NITRO061"));
+        assert!(!cv.has_model());
     }
 
     #[test]

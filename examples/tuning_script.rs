@@ -45,6 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         c: None,
         gamma: None,
         grid_search: true,
+        cache_bytes: None,
     };
     spmv.policy_mut().constraints = true;
     spmv.policy_mut().parallel_feature_evaluation = false;

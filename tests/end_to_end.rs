@@ -10,6 +10,7 @@ fn fast_svm() -> ClassifierConfig {
         c: Some(32.0),
         gamma: Some(1.0),
         grid_search: false,
+        cache_bytes: None,
     }
 }
 

@@ -31,11 +31,13 @@ fn every_classifier_family_learns_the_toy_boundary() {
             c: Some(8.0),
             gamma: Some(1.0),
             grid_search: false,
+            cache_bytes: None,
         },
         ClassifierConfig::Svm {
             c: None,
             gamma: None,
             grid_search: true,
+            cache_bytes: None,
         },
         ClassifierConfig::Knn { k: 3 },
         ClassifierConfig::Tree(TreeParams::default()),

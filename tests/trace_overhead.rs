@@ -91,4 +91,45 @@ fn untraced_dispatch_adds_no_allocations() {
         "traced batch ({traced}) should allocate more than untraced ({second})"
     );
     ctx.clear_tracer();
+
+    // The compiled-SVM prediction fast path: once the scratch buffers
+    // are warm, `predict_into` must allocate NOTHING — not
+    // "deterministically", but literally zero.
+    {
+        use nitro::ml::{ClassifierConfig, Dataset, PredictScratch, TrainedModel};
+
+        let data = Dataset::from_parts(
+            (0..24).map(|i| vec![i as f64, (24 - i) as f64]).collect(),
+            (0..24).map(|i| usize::from(i >= 12)).collect(),
+        );
+        let model = TrainedModel::train(
+            &ClassifierConfig::Svm {
+                c: Some(10.0),
+                gamma: Some(0.5),
+                grid_search: false,
+                cache_bytes: None,
+            },
+            &data,
+        );
+        let mut scratch = PredictScratch::default();
+        // Warm-up: compiles the model (OnceLock) and sizes every buffer.
+        for x in &data.x {
+            model.predict_into(x, &mut scratch);
+        }
+        let steady = allocations_during(|| {
+            for _ in 0..4 {
+                for x in &data.x {
+                    std::hint::black_box(model.predict_into(x, &mut scratch));
+                }
+            }
+        });
+        assert_eq!(
+            steady, 0,
+            "steady-state predict_into must be allocation-free"
+        );
+        // And it agrees with the allocating entry point.
+        for x in &data.x {
+            assert_eq!(model.predict_into(x, &mut scratch), model.predict(x));
+        }
+    }
 }
