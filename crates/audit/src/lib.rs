@@ -21,6 +21,12 @@
 //!   and kernel-cache health of a trained model against its training set
 //!   (`NITRO060`–`NITRO062`).
 //!
+//! Two further ranges live with the subsystems that emit them:
+//! `NITRO050`–`NITRO059` (guard policies and fault plans, `nitro-guard`)
+//! and `NITRO070`–`NITRO079` (durable-tuning journals, the versioned
+//! artifact store and staged promotion, `nitro-store`). They use the
+//! same [`nitro_core::Diagnostic`] vocabulary and renderers.
+//!
 //! Findings are [`nitro_core::Diagnostic`]s: a stable `NITRO0xx` code, a
 //! severity, a subject and a message, rendered with
 //! [`render_text`]/[`render_json`]. Error-severity findings abort tuning

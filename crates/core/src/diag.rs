@@ -20,6 +20,12 @@
 //! * `NITRO050`–`NITRO059` — resilience configuration (guard policies
 //!   and fault plans; these analyzers live in `nitro-guard`, which sits
 //!   above `nitro-audit` in the crate graph).
+//! * `NITRO060`–`NITRO069` — model fast path (compiled prediction and
+//!   kernel-cache health; `nitro-audit::fastpath`).
+//! * `NITRO070`–`NITRO079` — durability & model lifecycle (torn
+//!   journals, artifact-store checksums/version gaps, staged-promotion
+//!   rollbacks; these analyzers live in `nitro-store`, which sits above
+//!   `nitro-audit` in the crate graph like the guard's `NITRO05x`).
 
 use std::fmt;
 

@@ -1,0 +1,156 @@
+//! Durable filesystem primitives and content checksums.
+//!
+//! Model artifacts, tuning journals and store manifests all survive
+//! process crashes only if their writes are crash-consistent. This
+//! module provides the two building blocks the persistence layers
+//! (`ModelArtifact::save`, `nitro-store`) share:
+//!
+//! * [`crc32`] — the IEEE CRC-32 used to checksum artifact payloads and
+//!   journal lines (dependency-free, table generated at compile time).
+//! * [`atomic_write`] — write-to-temp + fsync + rename, so a reader can
+//!   never observe a torn file: it sees either the old contents or the
+//!   complete new contents, even across a crash mid-write.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{NitroError, Result};
+
+/// IEEE 802.3 CRC-32 lookup table, generated at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of a byte slice (the checksum `cksum`-style tools and the
+/// artifact store agree on). Stable across platforms and releases — it
+/// is persisted inside journals and manifests.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Monotonic counter distinguishing concurrent temp files in one process.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Atomically replace `path` with `bytes`.
+///
+/// Writes to a temp file *in the same directory* (rename is only atomic
+/// within a filesystem), fsyncs the data, renames over the target, then
+/// best-effort fsyncs the directory so the rename itself is durable. A
+/// crash at any point leaves either the previous contents or the new
+/// contents — never a torn file. The temp file is cleaned up on failure.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<()> {
+    let path = path.as_ref();
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| {
+            NitroError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("atomic_write target has no file name: {}", path.display()),
+            ))
+        })?
+        .to_string();
+    let tmp = parent.join(format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let write = (|| -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if let Err(e) = write {
+        std::fs::remove_file(&tmp).ok();
+        return Err(NitroError::Io(e));
+    }
+    // Durability of the rename itself: fsync the directory. Opening a
+    // directory read-only works on unix; elsewhere this is best-effort.
+    if let Ok(dir) = File::open(&parent) {
+        dir.sync_all().ok();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"nitro artifact payload".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents_and_leaves_no_temp() {
+        let dir = crate::context::temp_model_dir("fsio-atomic").unwrap();
+        let path = dir.join("target.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_into_missing_directory_errors() {
+        let dir = crate::context::temp_model_dir("fsio-missing").unwrap();
+        let path = dir.join("no-such-subdir").join("target.json");
+        assert!(matches!(atomic_write(&path, b"x"), Err(NitroError::Io(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -46,6 +46,7 @@ pub mod context;
 pub mod diag;
 pub mod error;
 pub mod feature;
+pub mod fsio;
 pub mod model;
 pub mod policy;
 pub mod variant;
@@ -55,6 +56,7 @@ pub use context::Context;
 pub use diag::{Diagnostic, Severity};
 pub use error::{NitroError, Result};
 pub use feature::{Constraint, FnConstraint, FnFeature, InputFeature};
+pub use fsio::{atomic_write, crc32};
 pub use model::{ModelArtifact, MODEL_SCHEMA_VERSION};
 pub use policy::{StoppingCriterion, TuningPolicy};
 pub use variant::{FnVariant, Objective, Variant};

@@ -53,10 +53,17 @@ impl ModelArtifact {
         Ok(serde_json::from_str(s)?)
     }
 
-    /// Write the artifact to a file.
+    /// Write the artifact to a file, atomically.
+    ///
+    /// The JSON is written to a temp file in the target directory,
+    /// fsynced and renamed into place ([`crate::fsio::atomic_write`]),
+    /// so a crash mid-save can never leave a torn artifact behind: a
+    /// reader observes either the previous artifact or the complete new
+    /// one. Every save path (`Context::store_model`,
+    /// `CodeVariant::save_model`, the autotuner's `save_model` option,
+    /// the examples) funnels through here.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        std::fs::write(path, self.to_json()?)?;
-        Ok(())
+        crate::fsio::atomic_write(path, self.to_json()?.as_bytes())
     }
 
     /// Read an artifact from a file.

@@ -247,6 +247,32 @@ impl<I: ?Sized> GuardedVariant<I> {
         &self.health
     }
 
+    /// Load the newest *intact* version from a `nitro-store`
+    /// [`ArtifactStore`], degrading instead of erroring when the store is
+    /// empty or every version is corrupt. Versions that fail their
+    /// checksum are walked past (never installed), and the store's
+    /// `NITRO071`/`NITRO072` diagnostics for them are returned alongside
+    /// the resulting health status so callers can surface what was
+    /// skipped.
+    pub fn load_latest_or_degrade(
+        &mut self,
+        store: &nitro_store::ArtifactStore,
+    ) -> (&HealthStatus, Vec<nitro_audit::Diagnostic>) {
+        let (loaded, diagnostics) = store.load_latest_intact();
+        let result = match loaded {
+            Some((_, artifact)) => self.cv.install_artifact_audited(artifact).map(|_| ()),
+            None => Err(NitroError::ModelMismatch {
+                detail: format!(
+                    "store has no intact version for '{}' ({} corrupt/unreadable)",
+                    store.function(),
+                    diagnostics.len()
+                ),
+            }),
+        };
+        self.absorb_model_result(result);
+        (&self.health, diagnostics)
+    }
+
     fn absorb_model_result(&mut self, result: Result<()>) {
         match result {
             Ok(()) => self.health = HealthStatus::Healthy,
@@ -671,6 +697,38 @@ mod tests {
         let (features, _) = guard.inner().evaluate_features(&9.0);
         assert_eq!(guard.plan_cascade(&features, &9.0), vec![0]);
         assert_eq!(guard.call(&9.0).unwrap().variant, 0);
+    }
+
+    #[test]
+    fn store_backed_load_walks_past_corruption_or_degrades() {
+        let dir = nitro_core::context::temp_model_dir("guard-store").unwrap();
+        let ctx = Context::new();
+        let mut guard = GuardedVariant::new(toy(&ctx), quick_policy()).unwrap();
+
+        // Empty store → degraded, no diagnostics.
+        let mut store = nitro_store::ArtifactStore::open(&dir, "toy").unwrap();
+        let (health, diags) = guard.load_latest_or_degrade(&store);
+        assert!(health.is_degraded());
+        assert!(diags.is_empty());
+
+        // Publish v1 (good) and v2 (good), then corrupt v2 on disk: the
+        // guard must skip v2 with a NITRO071 diagnostic and serve v1 —
+        // the corrupt bytes are never installed.
+        let mut tuned = toy(&ctx);
+        tuned.install_model(toy_model());
+        let artifact = tuned.export_artifact().unwrap();
+        store.publish(&artifact, "v1").unwrap();
+        let v2 = store.publish(&artifact, "v2").unwrap();
+        std::fs::write(
+            dir.join("toy").join(format!("v{v2:06}.model.json")),
+            b"{garbage",
+        )
+        .unwrap();
+        let (health, diags) = guard.load_latest_or_degrade(&store);
+        assert_eq!(health, &HealthStatus::Healthy);
+        assert!(diags.iter().any(|d| d.code == "NITRO071"), "{diags:?}");
+        assert_eq!(guard.call(&9.0).unwrap().variant, 1, "model-driven");
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

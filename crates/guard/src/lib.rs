@@ -25,7 +25,11 @@
 //!   the call.
 //! * **Graceful degradation** — a missing, mismatched or audit-failing
 //!   model artifact downgrades the guard to default-variant dispatch
-//!   ([`HealthStatus::Degraded`]) instead of erroring.
+//!   ([`HealthStatus::Degraded`]) instead of erroring. With a
+//!   `nitro-store` [`ArtifactStore`](nitro_store::ArtifactStore),
+//!   [`GuardedVariant::load_latest_or_degrade`] walks back past corrupt
+//!   versions to the newest intact one — torn or bit-rotted artifacts
+//!   are reported (`NITRO071`/`NITRO072`), never installed.
 //!
 //! Guard activity is observable through `nitro-trace` counters
 //! (`guard.<fn>.quarantine`, `guard.<fn>.retry`, `guard.<fn>.degraded`,

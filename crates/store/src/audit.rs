@@ -1,0 +1,136 @@
+//! Durability and lifecycle diagnostics (`NITRO070`–`NITRO075`).
+//!
+//! Like the guard's `NITRO05x` resilience analyzers, these live above
+//! `nitro-audit` in the crate graph: the constructors are here, next to
+//! the subsystems that detect the conditions, and the codes are
+//! documented centrally in `nitro_core::diag`.
+//!
+//! | Code | Severity | Meaning |
+//! |---|---|---|
+//! | `NITRO070` | warning | torn tuning journal (crash mid-append); recovered by truncating to the last valid record |
+//! | `NITRO071` | warning/error | checksum mismatch — journal line (warning, truncated) or stored artifact version (error, never installed) |
+//! | `NITRO072` | error | artifact-store version gap: a manifest-listed version's file is missing |
+//! | `NITRO073` | warning | stale candidate: shadow window did not fill before `max_candidate_age` observations; candidate demoted |
+//! | `NITRO074` | warning | post-promotion regression: probation window regressed, promotion auto-rolled back |
+//! | `NITRO075` | error | rollback storm: repeated auto-rollbacks; promotions held until an operator intervenes |
+
+use nitro_core::Diagnostic;
+
+/// `NITRO070`: a torn journal tail, recovered by truncation.
+pub fn diag_torn_journal(journal: &str, offset: usize, reason: &str) -> Diagnostic {
+    Diagnostic::warning(
+        "NITRO070",
+        journal,
+        format!("torn journal at byte {offset} ({reason}); truncated to last valid record"),
+    )
+}
+
+/// `NITRO071` (journal form): a structurally intact journal line whose
+/// body fails its CRC-32. The line and everything after it are
+/// truncated.
+pub fn diag_journal_checksum(journal: &str, offset: usize, stored: u32, actual: u32) -> Diagnostic {
+    Diagnostic::warning(
+        "NITRO071",
+        journal,
+        format!(
+            "journal line at byte {offset} fails its checksum (stored {stored:08x}, computed {actual:08x}); truncated from there"
+        ),
+    )
+}
+
+/// `NITRO071` (store form): a stored artifact version whose bytes fail
+/// the manifest's CRC-32. The version is never loaded or installed.
+pub fn diag_version_checksum(function: &str, version: u64, stored: u32, actual: u32) -> Diagnostic {
+    Diagnostic::error(
+        "NITRO071",
+        function,
+        format!(
+            "stored version v{version} fails its checksum (manifest {stored:08x}, computed {actual:08x}); refusing to load it"
+        ),
+    )
+}
+
+/// `NITRO072`: a version the manifest lists has no file on disk (or the
+/// `latest` pointer dangles).
+pub fn diag_version_gap(function: &str, version: u64, detail: &str) -> Diagnostic {
+    Diagnostic::error(
+        "NITRO072",
+        function,
+        format!("version gap: v{version} {detail}"),
+    )
+}
+
+/// `NITRO073`: a candidate aged out before its shadow window filled.
+pub fn diag_stale_candidate(function: &str, observed: u64, needed: u64, age: u64) -> Diagnostic {
+    Diagnostic::warning(
+        "NITRO073",
+        function,
+        format!(
+            "stale candidate: only {observed}/{needed} shadow observations after {age} calls; demoting it"
+        ),
+    )
+}
+
+/// `NITRO074`: a promoted model regressed during probation and was
+/// automatically rolled back.
+pub fn diag_rollback(function: &str, promoted: f64, incumbent: f64, tolerance: f64) -> Diagnostic {
+    Diagnostic::warning(
+        "NITRO074",
+        function,
+        format!(
+            "post-promotion regression: mean chosen cost {promoted:.4} vs prior {incumbent:.4} (tolerance {:.1}%); rolled back",
+            tolerance * 100.0
+        ),
+    )
+}
+
+/// `NITRO075`: repeated auto-rollbacks tripped the storm breaker;
+/// promotions are held.
+pub fn diag_rollback_storm(function: &str, rollbacks: u64, threshold: u64) -> Diagnostic {
+    Diagnostic::error(
+        "NITRO075",
+        function,
+        format!(
+            "rollback storm: {rollbacks} auto-rollbacks (threshold {threshold}); holding all promotions until release_hold()"
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::Severity;
+
+    #[test]
+    fn codes_and_severities_match_the_table() {
+        assert_eq!(diag_torn_journal("j", 0, "r").code, "NITRO070");
+        assert_eq!(diag_torn_journal("j", 0, "r").severity, Severity::Warning);
+        assert_eq!(diag_journal_checksum("j", 0, 1, 2).code, "NITRO071");
+        assert_eq!(
+            diag_journal_checksum("j", 0, 1, 2).severity,
+            Severity::Warning
+        );
+        assert_eq!(diag_version_checksum("f", 1, 1, 2).code, "NITRO071");
+        assert_eq!(
+            diag_version_checksum("f", 1, 1, 2).severity,
+            Severity::Error
+        );
+        assert_eq!(diag_version_gap("f", 1, "x").code, "NITRO072");
+        assert_eq!(diag_version_gap("f", 1, "x").severity, Severity::Error);
+        assert_eq!(diag_stale_candidate("f", 1, 2, 3).code, "NITRO073");
+        assert_eq!(diag_rollback("f", 1.0, 1.0, 0.05).code, "NITRO074");
+        assert_eq!(diag_rollback_storm("f", 3, 3).code, "NITRO075");
+        assert_eq!(diag_rollback_storm("f", 3, 3).severity, Severity::Error);
+    }
+
+    #[test]
+    fn messages_carry_the_load_bearing_numbers() {
+        let d = diag_version_checksum("spmv", 4, 0xAABBCCDD, 0x11223344);
+        assert!(d.message.contains("v4"));
+        assert!(d.message.contains("aabbccdd"));
+        assert!(d.message.contains("11223344"));
+        let s = diag_rollback_storm("spmv", 5, 3);
+        assert!(s.message.contains('5'));
+        assert!(s.message.contains('3'));
+    }
+}

@@ -1,0 +1,619 @@
+//! The tuning journal: an append-only, checksummed JSONL write-ahead log
+//! of exhaustive-profiling work.
+//!
+//! Profiling is the expensive phase of tuning (hours on the paper's
+//! C2050); a crash mid-tune used to lose every profiled cell. The
+//! journal makes tuning *resumable*: every per-`(input × variant)`
+//! profile cell and every phase transition is appended as one JSONL
+//! line, `Autotuner::tune_durable` replays the journal on restart and
+//! re-profiles only the cells the log does not already hold, and the
+//! final artifact is bit-identical to an uninterrupted run (profiling
+//! and training are deterministic; the journal only changes *where* the
+//! cells come from).
+//!
+//! ## Line format
+//!
+//! ```text
+//! {"crc":<u32>,"body":<record JSON>}\n
+//! ```
+//!
+//! The CRC-32 ([`nitro_core::crc32`]) covers the exact `body` bytes as
+//! written. On open, the journal validates every line in order and
+//! truncates at the first invalid one:
+//!
+//! * a structurally broken tail (crash mid-append) is a **torn journal**
+//!   — recovered by truncation, reported as a `NITRO070` warning;
+//! * a structurally intact line whose body fails its checksum (bit rot)
+//!   is a **checksum mismatch** — everything from that line on is
+//!   untrusted and truncated, reported as a `NITRO071` warning.
+//!
+//! Either way the surviving prefix is a consistent log and resume
+//! proceeds; lost cells are simply re-profiled.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use nitro_core::{crc32, Diagnostic, NitroError, Objective, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::audit::{diag_journal_checksum, diag_torn_journal};
+
+/// Journal format version written by this build. A journal recorded by
+/// a *newer* format refuses to replay (forward compatibility is not
+/// attempted for a write-ahead log).
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// Identity of the tuning run a journal belongs to. Replaying a journal
+/// into a different registration (renamed variants, changed feature
+/// set, different input corpus) would silently corrupt the training
+/// set, so [`TuningJournal::begin`] compares every field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Journal format version ([`JOURNAL_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Name of the tuned function.
+    pub function: String,
+    /// Variant names, in registration order, at journal time.
+    pub variant_names: Vec<String>,
+    /// Active feature names, in vector order, at journal time.
+    pub feature_names: Vec<String>,
+    /// Objective direction the costs are recorded under.
+    pub objective: Objective,
+    /// Number of training inputs in the corpus.
+    pub n_inputs: u64,
+    /// CRC-32 of the serialized tuning policy (classifier choice,
+    /// incremental criterion…) — a changed policy invalidates resume.
+    pub policy_crc: u32,
+}
+
+impl JournalHeader {
+    /// Explain the first mismatch against another header, if any.
+    pub fn mismatch(&self, other: &JournalHeader) -> Option<String> {
+        if self.format_version != other.format_version {
+            return Some(format!(
+                "journal format {} vs this build's {}",
+                self.format_version, other.format_version
+            ));
+        }
+        if self.function != other.function {
+            return Some(format!(
+                "journal is for '{}', not '{}'",
+                self.function, other.function
+            ));
+        }
+        if self.variant_names != other.variant_names {
+            return Some(format!(
+                "variant lists differ: journaled {:?} vs registered {:?}",
+                self.variant_names, other.variant_names
+            ));
+        }
+        if self.feature_names != other.feature_names {
+            return Some(format!(
+                "feature lists differ: journaled {:?} vs registered {:?}",
+                self.feature_names, other.feature_names
+            ));
+        }
+        if self.objective != other.objective {
+            return Some("objective direction differs".into());
+        }
+        if self.n_inputs != other.n_inputs {
+            return Some(format!(
+                "training corpus size differs: journaled {} vs supplied {}",
+                self.n_inputs, other.n_inputs
+            ));
+        }
+        if self.policy_crc != other.policy_crc {
+            return Some(format!(
+                "tuning policy changed since the journal was recorded (crc {:08x} vs {:08x})",
+                self.policy_crc, other.policy_crc
+            ));
+        }
+        None
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// First record of every journal: the run's identity.
+    Begin {
+        /// The run identity this journal records.
+        header: JournalHeader,
+    },
+    /// The feature vector of one training input (written once, before
+    /// that input's first cell).
+    Features {
+        /// Index of the input in the training corpus.
+        input: u64,
+        /// Active feature vector.
+        features: Vec<f64>,
+        /// Simulated feature-evaluation cost (ns).
+        feature_cost_ns: f64,
+    },
+    /// One profiled `(input × variant)` cell.
+    Cell {
+        /// Index of the input in the training corpus.
+        input: u64,
+        /// Variant index.
+        variant: u64,
+        /// Objective value; `None` when the variant was constraint-vetoed
+        /// or failed (JSON cannot carry the `objective.worst()` infinity
+        /// — replay reconstructs it from the header's objective).
+        cost: Option<f64>,
+        /// Whether the variant actually executed and produced a finite
+        /// objective.
+        allowed: bool,
+    },
+    /// A phase transition marker (e.g. `profiling_complete`), fsynced on
+    /// write so resume can trust phase boundaries.
+    Phase {
+        /// Phase name.
+        name: String,
+    },
+}
+
+/// One replayed cell: `(cost, allowed)` with `cost = None` encoding the
+/// objective's worst value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellValue {
+    /// Finite objective value, or `None` for vetoed/failed cells.
+    pub cost: Option<f64>,
+    /// Whether the variant executed successfully.
+    pub allowed: bool,
+}
+
+/// Everything a journal's valid prefix said, indexed for replay.
+#[derive(Debug, Clone, Default)]
+pub struct JournalReplay {
+    /// The run identity, when a `Begin` record survived.
+    pub header: Option<JournalHeader>,
+    features: HashMap<u64, (Vec<f64>, f64)>,
+    cells: HashMap<(u64, u64), CellValue>,
+    /// Phase markers, in log order.
+    pub phases: Vec<String>,
+    /// Valid records replayed.
+    pub records: u64,
+}
+
+impl JournalReplay {
+    fn absorb(&mut self, record: JournalRecord) {
+        self.records += 1;
+        match record {
+            JournalRecord::Begin { header } => self.header = Some(header),
+            JournalRecord::Features {
+                input,
+                features,
+                feature_cost_ns,
+            } => {
+                self.features.insert(input, (features, feature_cost_ns));
+            }
+            JournalRecord::Cell {
+                input,
+                variant,
+                cost,
+                allowed,
+            } => {
+                self.cells
+                    .insert((input, variant), CellValue { cost, allowed });
+            }
+            JournalRecord::Phase { name } => self.phases.push(name),
+        }
+    }
+
+    /// The journaled feature vector of one input, if present.
+    pub fn features(&self, input: usize) -> Option<&(Vec<f64>, f64)> {
+        self.features.get(&(input as u64))
+    }
+
+    /// One journaled cell, if present.
+    pub fn cell(&self, input: usize, variant: usize) -> Option<CellValue> {
+        self.cells.get(&(input as u64, variant as u64)).copied()
+    }
+
+    /// Number of journaled cells.
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when `input` has features plus all `n_variants` cells.
+    pub fn input_complete(&self, input: usize, n_variants: usize) -> bool {
+        self.features(input).is_some() && (0..n_variants).all(|v| self.cell(input, v).is_some())
+    }
+
+    /// True when a phase marker with this name was journaled.
+    pub fn has_phase(&self, name: &str) -> bool {
+        self.phases.iter().any(|p| p == name)
+    }
+}
+
+/// Encode one record as a checksummed JSONL line (without the newline).
+fn encode_line(record: &JournalRecord) -> Result<String> {
+    let body = serde_json::to_string(record)?;
+    Ok(format!(
+        "{{\"crc\":{},\"body\":{body}}}",
+        crc32(body.as_bytes())
+    ))
+}
+
+/// Why a line failed to decode.
+enum LineError {
+    /// Structurally broken: not our line shape (torn write).
+    Torn(&'static str),
+    /// Structurally intact but the body fails its checksum (bit rot).
+    Checksum { stored: u32, actual: u32 },
+}
+
+/// Decode one line; the body's checksum must match.
+fn decode_line(line: &str) -> std::result::Result<JournalRecord, LineError> {
+    const PREFIX: &str = "{\"crc\":";
+    const BODY: &str = ",\"body\":";
+    let rest = line.strip_prefix(PREFIX).ok_or(LineError::Torn("prefix"))?;
+    let comma = rest.find(BODY).ok_or(LineError::Torn("no body key"))?;
+    let stored: u32 = rest[..comma]
+        .parse()
+        .map_err(|_| LineError::Torn("bad crc digits"))?;
+    let body = &rest[comma + BODY.len()..];
+    let body = body
+        .strip_suffix('}')
+        .ok_or(LineError::Torn("no closing brace"))?;
+    let actual = crc32(body.as_bytes());
+    if actual != stored {
+        return Err(LineError::Checksum { stored, actual });
+    }
+    serde_json::from_str(body).map_err(|_| LineError::Torn("unparseable body"))
+}
+
+/// An open tuning journal: replayed state plus an append handle.
+pub struct TuningJournal {
+    path: PathBuf,
+    file: File,
+    replay: JournalReplay,
+    recovery: Vec<Diagnostic>,
+    appends: u64,
+    kill_after_appends: Option<u64>,
+}
+
+impl std::fmt::Debug for TuningJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuningJournal")
+            .field("path", &self.path)
+            .field("records", &self.replay.records)
+            .field("cells", &self.replay.n_cells())
+            .field("recovery", &self.recovery)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TuningJournal {
+    /// Open (or create) a journal at `path`, validating and replaying
+    /// its contents. An invalid suffix — torn tail or checksum failure —
+    /// is physically truncated so appends continue from a consistent
+    /// prefix; the recovery is reported via
+    /// [`TuningJournal::recovery_diagnostics`], never an error.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(NitroError::Io(e)),
+        };
+
+        let mut replay = JournalReplay::default();
+        let mut recovery = Vec::new();
+        let mut valid_len = 0usize;
+        let mut offset = 0usize;
+        let subject = path.display().to_string();
+        while offset < bytes.len() {
+            let nl = bytes[offset..].iter().position(|&b| b == b'\n');
+            let Some(nl) = nl else {
+                // No newline before EOF: a torn final append.
+                recovery.push(diag_torn_journal(
+                    &subject,
+                    offset,
+                    "final line has no newline (crash mid-append)",
+                ));
+                break;
+            };
+            let line = &bytes[offset..offset + nl];
+            let decoded = std::str::from_utf8(line)
+                .map_err(|_| LineError::Torn("not UTF-8"))
+                .and_then(decode_line);
+            match decoded {
+                Ok(record) => {
+                    replay.absorb(record);
+                    offset += nl + 1;
+                    valid_len = offset;
+                }
+                Err(LineError::Torn(reason)) => {
+                    recovery.push(diag_torn_journal(&subject, offset, reason));
+                    break;
+                }
+                Err(LineError::Checksum { stored, actual }) => {
+                    recovery.push(diag_journal_checksum(&subject, offset, stored, actual));
+                    break;
+                }
+            }
+        }
+        if valid_len < bytes.len() {
+            // Truncate the invalid suffix so the on-disk log matches the
+            // replayed prefix and future appends extend a consistent file.
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(valid_len as u64)?;
+            f.sync_all()?;
+        }
+
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            path,
+            file,
+            replay,
+            recovery,
+            appends: 0,
+            kill_after_appends: None,
+        })
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The replayed state of the journal's valid prefix.
+    pub fn replay(&self) -> &JournalReplay {
+        &self.replay
+    }
+
+    /// Diagnostics from open-time recovery: `NITRO070` for a torn tail,
+    /// `NITRO071` for a mid-journal checksum failure. Empty when the
+    /// journal was fully intact.
+    pub fn recovery_diagnostics(&self) -> &[Diagnostic] {
+        &self.recovery
+    }
+
+    /// Crash-test hook: after `n` more successful appends, the next
+    /// append writes only a *partial* line (a torn tail, exactly what a
+    /// kill mid-`write` leaves behind) and fails with an interrupted-IO
+    /// error. Chaos harnesses use this to kill `tune_durable` at an
+    /// arbitrary journal offset.
+    pub fn kill_after_appends(&mut self, n: u64) {
+        self.kill_after_appends = Some(self.appends + n);
+    }
+
+    /// Validate this journal against the run identity `header`, writing
+    /// a `Begin` record on a fresh journal. Returns
+    /// [`NitroError::ModelMismatch`] when the journal belongs to a
+    /// different run (function, registration, corpus or policy).
+    pub fn begin(&mut self, header: &JournalHeader) -> Result<()> {
+        match &self.replay.header {
+            Some(existing) => match existing.mismatch(header) {
+                Some(detail) => Err(NitroError::ModelMismatch {
+                    detail: format!(
+                        "journal {} cannot resume this run: {detail}",
+                        self.path.display()
+                    ),
+                }),
+                None => Ok(()),
+            },
+            None => {
+                if self.replay.records > 0 {
+                    return Err(NitroError::ModelMismatch {
+                        detail: format!(
+                            "journal {} has records but no Begin header",
+                            self.path.display()
+                        ),
+                    });
+                }
+                self.append(&JournalRecord::Begin {
+                    header: header.clone(),
+                })?;
+                self.sync()
+            }
+        }
+    }
+
+    /// Append one record (buffered write + flush). Honors the
+    /// [`TuningJournal::kill_after_appends`] crash hook.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<()> {
+        let line = encode_line(record)?;
+        if self.kill_after_appends == Some(self.appends) {
+            // Simulated crash: leave a torn tail (half a line, no
+            // newline) exactly as a kill mid-write would.
+            let torn = &line.as_bytes()[..line.len() / 2];
+            self.file.write_all(torn)?;
+            self.file.flush()?;
+            return Err(NitroError::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!("simulated crash after {} append(s)", self.appends),
+            )));
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.appends += 1;
+        self.replay.absorb(record.clone());
+        Ok(())
+    }
+
+    /// Append a phase marker and fsync — phase boundaries are durable.
+    pub fn append_phase(&mut self, name: &str) -> Result<()> {
+        self.append(&JournalRecord::Phase { name: name.into() })?;
+        self.sync()
+    }
+
+    /// fsync the journal file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Appends performed through this handle (not counting replayed
+    /// records).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::context::temp_model_dir;
+
+    fn header(n_inputs: u64) -> JournalHeader {
+        JournalHeader {
+            format_version: JOURNAL_FORMAT_VERSION,
+            function: "toy".into(),
+            variant_names: vec!["a".into(), "b".into()],
+            feature_names: vec!["x".into()],
+            objective: Objective::Minimize,
+            n_inputs,
+            policy_crc: 0xDEAD_BEEF,
+        }
+    }
+
+    fn cell(input: u64, variant: u64, cost: f64) -> JournalRecord {
+        JournalRecord::Cell {
+            input,
+            variant,
+            cost: Some(cost),
+            allowed: true,
+        }
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let dir = temp_model_dir("journal-rt").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        {
+            let mut j = TuningJournal::open(&path).unwrap();
+            j.begin(&header(2)).unwrap();
+            j.append(&JournalRecord::Features {
+                input: 0,
+                features: vec![1.5],
+                feature_cost_ns: 10.0,
+            })
+            .unwrap();
+            j.append(&cell(0, 0, 2.5)).unwrap();
+            j.append(&JournalRecord::Cell {
+                input: 0,
+                variant: 1,
+                cost: None,
+                allowed: false,
+            })
+            .unwrap();
+            j.append_phase("profiling_complete").unwrap();
+        }
+        let j = TuningJournal::open(&path).unwrap();
+        assert!(j.recovery_diagnostics().is_empty());
+        let r = j.replay();
+        assert_eq!(r.header.as_ref().unwrap().function, "toy");
+        assert_eq!(r.features(0), Some(&(vec![1.5], 10.0)));
+        assert_eq!(r.cell(0, 0).unwrap().cost, Some(2.5));
+        assert_eq!(r.cell(0, 1).unwrap().cost, None);
+        assert!(!r.cell(0, 1).unwrap().allowed);
+        assert!(r.input_complete(0, 2));
+        assert!(!r.input_complete(1, 2));
+        assert!(r.has_phase("profiling_complete"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = temp_model_dir("journal-torn").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        {
+            let mut j = TuningJournal::open(&path).unwrap();
+            j.begin(&header(4)).unwrap();
+            j.append(&cell(0, 0, 1.0)).unwrap();
+        }
+        // Simulate a crash mid-append: half a line, no newline.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let intact_len = bytes.len();
+        let torn = encode_line(&cell(1, 0, 2.0)).unwrap();
+        bytes.extend_from_slice(&torn.as_bytes()[..torn.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let j = TuningJournal::open(&path).unwrap();
+        assert_eq!(j.recovery_diagnostics().len(), 1);
+        assert_eq!(j.recovery_diagnostics()[0].code, "NITRO070");
+        assert_eq!(j.replay().cell(0, 0).unwrap().cost, Some(1.0));
+        assert!(j.replay().cell(1, 0).is_none());
+        // The file was physically truncated back to the valid prefix.
+        assert_eq!(std::fs::read(&path).unwrap().len(), intact_len);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mid_journal_bit_flip_is_a_checksum_diagnostic() {
+        let dir = temp_model_dir("journal-flip").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        {
+            let mut j = TuningJournal::open(&path).unwrap();
+            j.begin(&header(4)).unwrap();
+            j.append(&cell(0, 0, 1.0)).unwrap();
+            j.append(&cell(0, 1, 2.0)).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the *second* record's body (a digit of its
+        // cost), leaving line structure intact.
+        let target = bytes.len() - 10;
+        bytes[target] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let j = TuningJournal::open(&path).unwrap();
+        let diags = j.recovery_diagnostics();
+        assert!(diags.iter().any(|d| d.code == "NITRO071"), "{diags:?}");
+        // The corrupt record and everything after it are gone; the
+        // prefix survives.
+        assert!(j.replay().cell(0, 0).is_some());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn begin_refuses_a_mismatched_run() {
+        let dir = temp_model_dir("journal-mismatch").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        {
+            let mut j = TuningJournal::open(&path).unwrap();
+            j.begin(&header(4)).unwrap();
+        }
+        let mut j = TuningJournal::open(&path).unwrap();
+        let mut other = header(4);
+        other.variant_names.push("c".into());
+        let err = j.begin(&other).unwrap_err();
+        assert!(err.to_string().contains("variant lists differ"), "{err}");
+        // The matching header resumes fine.
+        j.begin(&header(4)).unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn kill_hook_leaves_a_recoverable_torn_tail() {
+        let dir = temp_model_dir("journal-kill").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        {
+            let mut j = TuningJournal::open(&path).unwrap();
+            j.begin(&header(4)).unwrap();
+            j.kill_after_appends(1);
+            j.append(&cell(0, 0, 1.0)).unwrap();
+            let err = j.append(&cell(0, 1, 2.0)).unwrap_err();
+            assert!(err.to_string().contains("simulated crash"), "{err}");
+        }
+        let j = TuningJournal::open(&path).unwrap();
+        assert_eq!(j.recovery_diagnostics().len(), 1);
+        assert!(j.replay().cell(0, 0).is_some());
+        assert!(j.replay().cell(0, 1).is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_and_missing_journals_open_clean() {
+        let dir = temp_model_dir("journal-empty").unwrap();
+        let path = dir.join("fresh.journal.jsonl");
+        let j = TuningJournal::open(&path).unwrap();
+        assert!(j.recovery_diagnostics().is_empty());
+        assert_eq!(j.replay().records, 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

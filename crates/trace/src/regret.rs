@@ -126,6 +126,26 @@ impl RegretLedger {
             self.oracle_cost / self.chosen_cost
         }
     }
+
+    /// Mean chosen-variant cost per decision (0 when empty). Two ledgers
+    /// fed the same decision stream are comparable through this — the
+    /// staged-promotion window in `nitro-store` compares a candidate
+    /// model's shadow predictions against the incumbent's this way.
+    pub fn mean_chosen_cost(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.chosen_cost / self.count as f64
+        }
+    }
+
+    /// Reset all accumulated state, keeping the `top_k` retention limit.
+    /// Windowed consumers (promotion probation, rolling reports) reuse a
+    /// ledger across windows instead of reallocating one.
+    pub fn clear(&mut self) {
+        let top_k = self.top_k;
+        *self = Self::new(top_k);
+    }
 }
 
 #[cfg(test)]

@@ -19,8 +19,30 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::profile::ProfileTable;
+use crate::profile::{ProfileRow, ProfileTable};
 use crate::report::evaluate_model;
+
+/// Where the tuner gets per-input profile rows from. The plain paths use
+/// [`DirectCells`] (profile every request); `tune_durable` (in
+/// [`crate::durable`]) substitutes a journal-backed source that replays
+/// already-recorded cells and appends fresh ones to the write-ahead log.
+pub(crate) trait CellSource<I: ?Sized> {
+    /// Produce the profile row for `inputs[idx]`.
+    fn profile(&mut self, cv: &CodeVariant<I>, idx: usize, input: &I) -> Result<ProfileRow>;
+    /// Cells satisfied from a journal instead of re-profiling.
+    fn replayed_cells(&self) -> usize {
+        0
+    }
+}
+
+/// The non-durable source: always profiles.
+pub(crate) struct DirectCells;
+
+impl<I: ?Sized + Send + Sync> CellSource<I> for DirectCells {
+    fn profile(&mut self, cv: &CodeVariant<I>, _idx: usize, input: &I) -> Result<ProfileRow> {
+        Ok(ProfileTable::profile_one(cv, input))
+    }
+}
 
 /// Wall-clock time one tuning phase took (serialized in [`TuneReport`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,14 +56,14 @@ pub struct PhaseTiming {
 /// Phase accounting for one tuning run: emits a `phase:<name>` span per
 /// section when a tracer is installed, and always accumulates wall-clock
 /// per phase so [`TuneReport::phase_timings`] is populated either way.
-struct Phases {
+pub(crate) struct Phases {
     tracer: Option<nitro_trace::Tracer>,
     function: String,
     timings: Vec<PhaseTiming>,
 }
 
 impl Phases {
-    fn new<I: ?Sized>(cv: &CodeVariant<I>) -> Self {
+    pub(crate) fn new<I: ?Sized>(cv: &CodeVariant<I>) -> Self {
         Self {
             tracer: cv.context().tracer(),
             function: cv.name().to_string(),
@@ -51,7 +73,7 @@ impl Phases {
 
     /// Run `f` attributed to `phase`. Repeated sections under the same
     /// name (e.g. each incremental re-fit) accumulate into one timing.
-    fn run<T>(&mut self, phase: &str, f: impl FnOnce() -> T) -> T {
+    pub(crate) fn run<T>(&mut self, phase: &str, f: impl FnOnce() -> T) -> T {
         let span = self
             .tracer
             .as_ref()
@@ -149,6 +171,10 @@ pub struct TuneReport {
     /// final fit happens inside the active learner).
     #[serde(default)]
     pub svm_train_stats: Option<SvmTrainStats>,
+    /// Profile cells satisfied by replaying a tuning journal instead of
+    /// re-profiling (always 0 outside `tune_durable`).
+    #[serde(default)]
+    pub replayed_cells: usize,
 }
 
 impl Autotuner {
@@ -197,10 +223,10 @@ impl Autotuner {
         self.finish_from_table(cv, table, audit_warnings, phases)
     }
 
-    /// The table-training tail shared by [`Autotuner::tune_from_table`]
-    /// and the non-incremental [`Autotuner::tune`] path (which has
-    /// already run the registration lint).
-    fn finish_from_table<I>(
+    /// The table-training tail shared by [`Autotuner::tune_from_table`],
+    /// the non-incremental [`Autotuner::tune`] path and `tune_durable`
+    /// (all of which have already run the registration lint).
+    pub(crate) fn finish_from_table<I>(
         &self,
         cv: &mut CodeVariant<I>,
         table: &ProfileTable,
@@ -242,6 +268,7 @@ impl Autotuner {
             audit_warnings,
             phase_timings: phases.finish(),
             svm_train_stats,
+            replayed_cells: 0,
         })
     }
 
@@ -263,13 +290,25 @@ impl Autotuner {
                 let table = phases.run("profiling", || ProfileTable::build(cv, inputs));
                 self.finish_from_table(cv, &table, audit_warnings, phases)
             }
-            Some(criterion) => self.itune(cv, inputs, criterion, test, audit_warnings, phases),
+            Some(criterion) => self.itune(
+                cv,
+                inputs,
+                criterion,
+                test,
+                audit_warnings,
+                phases,
+                &mut DirectCells,
+            ),
         }
     }
 
     /// Incremental tuning: profile only a seed plus actively-queried
-    /// inputs.
-    fn itune<I>(
+    /// inputs. Profiling goes through `source`, so the durable path can
+    /// replay journaled cells — the query sequence is deterministic
+    /// (seeded shuffle + deterministic fits), so a resumed run re-walks
+    /// the same cells and finds them cached.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn itune<I>(
         &self,
         cv: &mut CodeVariant<I>,
         inputs: &[I],
@@ -277,6 +316,7 @@ impl Autotuner {
         test: Option<&ProfileTable>,
         mut audit_warnings: Vec<Diagnostic>,
         mut phases: Phases,
+        source: &mut dyn CellSource<I>,
     ) -> Result<TuneReport>
     where
         I: Send + Sync,
@@ -306,7 +346,7 @@ impl Autotuner {
                 break;
             }
             let (_, _, costs, _) =
-                phases.run("profiling", || ProfileTable::profile_one(cv, &inputs[idx]));
+                phases.run("profiling", || source.profile(cv, idx, &inputs[idx]))?;
             profiled += 1;
             in_seed[idx] = true;
             let label = phases.run("labeling", || best_of(&costs, cv));
@@ -369,8 +409,8 @@ impl Autotuner {
                 break;
             };
             let (_, _, costs, _) = phases.run("profiling", || {
-                ProfileTable::profile_one(cv, &inputs[original])
-            });
+                source.profile(cv, original, &inputs[original])
+            })?;
             profiled += 1;
             match phases.run("labeling", || best_of(&costs, cv)) {
                 Some(label) => learner.label(pos, label),
@@ -407,6 +447,7 @@ impl Autotuner {
             audit_warnings,
             phase_timings: phases.finish(),
             svm_train_stats: None,
+            replayed_cells: source.replayed_cells(),
         })
     }
 
@@ -430,7 +471,10 @@ impl Autotuner {
 
 /// Pre-tuning registration lint: error findings abort as
 /// [`NitroError::Audit`]; warnings and infos are returned for the report.
-fn preflight<I: ?Sized>(cv: &CodeVariant<I>, training_size: usize) -> Result<Vec<Diagnostic>> {
+pub(crate) fn preflight<I: ?Sized>(
+    cv: &CodeVariant<I>,
+    training_size: usize,
+) -> Result<Vec<Diagnostic>> {
     let mut diagnostics = lint_registration(cv, Some(training_size));
     diagnostics.extend(lint_cache_budget(
         &cv.policy().classifier,

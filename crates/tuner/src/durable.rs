@@ -1,0 +1,411 @@
+//! Durable, resumable tuning: [`Autotuner::tune_durable`].
+//!
+//! Exhaustive profiling is the expensive phase of tuning; a crash used
+//! to throw all of it away. `tune_durable` writes every profiled
+//! `(input × variant)` cell to a [`TuningJournal`] write-ahead log as it
+//! is measured. On restart with the same journal it replays the valid
+//! prefix, re-profiles **only** the missing cells and trains exactly as
+//! an uninterrupted run would — profiling and training are
+//! deterministic, so the final artifact is **bit-identical** whether
+//! the run was interrupted zero times or twenty.
+//!
+//! Works for both tuning modes:
+//!
+//! * **full** — missing rows are profiled in parallel chunks, appended
+//!   in input order, and the assembled [`ProfileTable`] is identical to
+//!   [`ProfileTable::build`]'s;
+//! * **incremental** — the seed-probe order is a seeded shuffle and the
+//!   active-learning query sequence is a deterministic function of the
+//!   labeled data, so a resumed run re-walks the same cells and finds
+//!   them cached in the journal.
+//!
+//! The journal validates its [`JournalHeader`] (function, variant and
+//! feature lists, objective, corpus size, policy checksum) before
+//! resuming: tuning a changed registration against an old journal is a
+//! [`nitro_core::NitroError::ModelMismatch`], not silent corruption.
+
+use nitro_core::{crc32, CodeVariant, Result};
+use nitro_store::{JournalHeader, JournalRecord, TuningJournal, JOURNAL_FORMAT_VERSION};
+use rayon::prelude::*;
+
+use crate::autotuner::{preflight, Autotuner, CellSource, Phases, TuneReport};
+use crate::profile::{ProfileRow, ProfileTable};
+
+/// Inputs profiled per parallel batch between journal flushes. Larger
+/// batches profile faster; smaller ones lose less work to a crash. The
+/// value never affects results, only crash granularity.
+const PROFILE_CHUNK: usize = 32;
+
+/// The journal-backed [`CellSource`]: replays recorded cells, appends
+/// fresh ones.
+struct JournaledCells<'j> {
+    journal: &'j mut TuningJournal,
+    replayed: usize,
+}
+
+impl JournaledCells<'_> {
+    /// Reconstruct a fully journaled row (`None` when any piece is
+    /// missing). `cost: None` cells read back as the objective's worst
+    /// value, exactly as profiling recorded them.
+    fn replay_row(&self, idx: usize, n_variants: usize, worst: f64) -> Option<ProfileRow> {
+        let replay = self.journal.replay();
+        let (features, fcost) = replay.features(idx)?.clone();
+        let mut costs = Vec::with_capacity(n_variants);
+        let mut allowed = Vec::with_capacity(n_variants);
+        for v in 0..n_variants {
+            let cell = replay.cell(idx, v)?;
+            costs.push(cell.cost.unwrap_or(worst));
+            allowed.push(cell.allowed);
+        }
+        Some((features, fcost, costs, allowed))
+    }
+
+    /// Append the pieces of a freshly profiled row the journal does not
+    /// already hold (a torn tail can leave a row half-recorded; the
+    /// re-profiled values are identical by determinism, so only the gaps
+    /// are written).
+    fn record_row(&mut self, idx: usize, row: &ProfileRow) -> Result<()> {
+        let (features, fcost, costs, allowed) = row;
+        if self.journal.replay().features(idx).is_none() {
+            self.journal.append(&JournalRecord::Features {
+                input: idx as u64,
+                features: features.clone(),
+                feature_cost_ns: *fcost,
+            })?;
+        }
+        for v in 0..costs.len() {
+            if self.journal.replay().cell(idx, v).is_none() {
+                self.journal.append(&JournalRecord::Cell {
+                    input: idx as u64,
+                    variant: v as u64,
+                    cost: allowed[v].then_some(costs[v]),
+                    allowed: allowed[v],
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<I: ?Sized + Send + Sync> CellSource<I> for JournaledCells<'_> {
+    fn profile(&mut self, cv: &CodeVariant<I>, idx: usize, input: &I) -> Result<ProfileRow> {
+        let n = cv.n_variants();
+        let worst = cv.policy().objective.worst();
+        if let Some(row) = self.replay_row(idx, n, worst) {
+            self.replayed += n;
+            return Ok(row);
+        }
+        let row = ProfileTable::profile_one(cv, input);
+        self.record_row(idx, &row)?;
+        self.journal.sync()?;
+        Ok(row)
+    }
+
+    fn replayed_cells(&self) -> usize {
+        self.replayed
+    }
+}
+
+/// The run identity `tune_durable` stamps into (and validates against)
+/// a journal.
+fn run_header<I: ?Sized>(cv: &CodeVariant<I>, n_inputs: usize) -> Result<JournalHeader> {
+    let policy_json = serde_json::to_string(cv.policy())?;
+    Ok(JournalHeader {
+        format_version: JOURNAL_FORMAT_VERSION,
+        function: cv.name().to_string(),
+        variant_names: cv.variant_names(),
+        feature_names: cv.active_feature_names(),
+        objective: cv.policy().objective,
+        n_inputs: n_inputs as u64,
+        policy_crc: crc32(policy_json.as_bytes()),
+    })
+}
+
+impl Autotuner {
+    /// Tune like [`Autotuner::tune`], journaling every profiled cell to
+    /// `journal` so an interrupted run can be resumed by calling
+    /// `tune_durable` again with the same journal — already-profiled
+    /// cells are replayed instead of re-measured
+    /// ([`TuneReport::replayed_cells`] counts them) and the final
+    /// artifact is bit-identical to an uninterrupted run's.
+    ///
+    /// Open-time recovery findings (`NITRO070`/`NITRO071` for a torn or
+    /// bit-rotted journal tail) ride along in
+    /// [`TuneReport::audit_warnings`].
+    pub fn tune_durable<I>(
+        &self,
+        cv: &mut CodeVariant<I>,
+        inputs: &[I],
+        journal: &mut TuningJournal,
+    ) -> Result<TuneReport>
+    where
+        I: Send + Sync,
+    {
+        let mut audit_warnings = preflight(cv, inputs.len())?;
+        audit_warnings.extend(journal.recovery_diagnostics().iter().cloned());
+        journal.begin(&run_header(cv, inputs.len())?)?;
+        let phases = Phases::new(cv);
+        match cv.policy().incremental {
+            None => self.durable_full(cv, inputs, journal, audit_warnings, phases),
+            Some(criterion) => {
+                let mut source = JournaledCells {
+                    journal,
+                    replayed: 0,
+                };
+                let report = self.itune(
+                    cv,
+                    inputs,
+                    criterion,
+                    None,
+                    audit_warnings,
+                    phases,
+                    &mut source,
+                )?;
+                if !journal.replay().has_phase("tuning_complete") {
+                    journal.append_phase("tuning_complete")?;
+                }
+                Ok(report)
+            }
+        }
+    }
+
+    /// The durable full-tuning path: replay complete rows, profile the
+    /// rest in parallel chunks (journaling each chunk before starting
+    /// the next), then train from the assembled table.
+    fn durable_full<I>(
+        &self,
+        cv: &mut CodeVariant<I>,
+        inputs: &[I],
+        journal: &mut TuningJournal,
+        audit_warnings: Vec<nitro_core::Diagnostic>,
+        mut phases: Phases,
+    ) -> Result<TuneReport>
+    where
+        I: Send + Sync,
+    {
+        let n_variants = cv.n_variants();
+        let worst = cv.policy().objective.worst();
+        let mut source = JournaledCells {
+            journal,
+            replayed: 0,
+        };
+
+        let mut rows: Vec<Option<ProfileRow>> = (0..inputs.len())
+            .map(|idx| source.replay_row(idx, n_variants, worst))
+            .collect();
+        source.replayed = rows.iter().filter(|r| r.is_some()).count() * n_variants;
+
+        let missing: Vec<usize> = (0..inputs.len()).filter(|&i| rows[i].is_none()).collect();
+        phases.run("profiling", || -> Result<()> {
+            for chunk in missing.chunks(PROFILE_CHUNK) {
+                let profiled: Vec<(usize, ProfileRow)> = chunk
+                    .par_iter()
+                    .map(|&idx| (idx, ProfileTable::profile_one(cv, &inputs[idx])))
+                    .collect();
+                for (idx, row) in profiled {
+                    source.record_row(idx, &row)?;
+                    rows[idx] = Some(row);
+                }
+                source.journal.sync()?;
+            }
+            Ok(())
+        })?;
+        let replayed = source.replayed;
+        if !source.journal.replay().has_phase("profiling_complete") {
+            source.journal.append_phase("profiling_complete")?;
+        }
+
+        let mut table = ProfileTable {
+            objective: cv.policy().objective,
+            variant_names: cv.variant_names(),
+            feature_names: cv.active_feature_names(),
+            costs: Vec::with_capacity(rows.len()),
+            features: Vec::with_capacity(rows.len()),
+            feature_cost_ns: Vec::with_capacity(rows.len()),
+            allowed: Vec::with_capacity(rows.len()),
+        };
+        for row in rows {
+            let (features, fcost, costs, allowed) = row.expect("every input profiled or replayed");
+            table.features.push(features);
+            table.feature_cost_ns.push(fcost);
+            table.costs.push(costs);
+            table.allowed.push(allowed);
+        }
+
+        let mut report = self.finish_from_table(cv, &table, audit_warnings, phases)?;
+        report.replayed_cells = replayed;
+        if !journal.replay().has_phase("tuning_complete") {
+            journal.append_phase("tuning_complete")?;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::context::temp_model_dir;
+    use nitro_core::{ClassifierConfig, Context, FnFeature, FnVariant, StoppingCriterion};
+
+    fn toy(ctx: &Context) -> CodeVariant<f64> {
+        let mut cv = CodeVariant::new("toy", ctx);
+        cv.add_variant(FnVariant::new("rising", |&x: &f64| 1.0 + x));
+        cv.add_variant(FnVariant::new("falling", |&x: &f64| 11.0 - x));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        cv.policy_mut().classifier = ClassifierConfig::Svm {
+            c: Some(10.0),
+            gamma: Some(1.0),
+            grid_search: false,
+            cache_bytes: None,
+        };
+        cv
+    }
+
+    fn training_inputs() -> Vec<f64> {
+        (0..40).map(|i| i as f64 * 0.25).collect()
+    }
+
+    fn artifact_bytes(cv: &CodeVariant<f64>) -> String {
+        cv.export_artifact().unwrap().to_json().unwrap()
+    }
+
+    #[test]
+    fn durable_tune_matches_plain_tune_bit_for_bit() {
+        let dir = temp_model_dir("durable-same").unwrap();
+        let ctx = Context::new();
+        let inputs = training_inputs();
+
+        let mut plain = toy(&ctx);
+        Autotuner::new().tune(&mut plain, &inputs).unwrap();
+
+        let mut durable = toy(&ctx);
+        let mut journal = TuningJournal::open(dir.join("toy.journal.jsonl")).unwrap();
+        let report = Autotuner::new()
+            .tune_durable(&mut durable, &inputs, &mut journal)
+            .unwrap();
+        assert_eq!(report.replayed_cells, 0);
+        assert_eq!(artifact_bytes(&plain), artifact_bytes(&durable));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn killed_tune_resumes_bit_identical_with_replayed_cells() {
+        let dir = temp_model_dir("durable-resume").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        let ctx = Context::new();
+        let inputs = training_inputs();
+
+        let mut reference = toy(&ctx);
+        Autotuner::new().tune(&mut reference, &inputs).unwrap();
+
+        // Crash mid-profiling: the kill hook tears the journal tail.
+        {
+            let mut cv = toy(&ctx);
+            let mut journal = TuningJournal::open(&path).unwrap();
+            journal.kill_after_appends(25);
+            let err = Autotuner::new().tune_durable(&mut cv, &inputs, &mut journal);
+            assert!(err.is_err(), "simulated crash must surface");
+        }
+
+        // Resume: recovery warning, replayed cells, identical artifact.
+        let mut cv = toy(&ctx);
+        let mut journal = TuningJournal::open(&path).unwrap();
+        assert_eq!(journal.recovery_diagnostics().len(), 1);
+        let report = Autotuner::new()
+            .tune_durable(&mut cv, &inputs, &mut journal)
+            .unwrap();
+        assert!(report.replayed_cells > 0, "{report:?}");
+        assert!(report.audit_warnings.iter().any(|d| d.code == "NITRO070"));
+        assert_eq!(artifact_bytes(&reference), artifact_bytes(&cv));
+
+        // A third run replays everything and re-profiles nothing.
+        let mut cv = toy(&ctx);
+        let mut journal = TuningJournal::open(&path).unwrap();
+        let report = Autotuner::new()
+            .tune_durable(&mut cv, &inputs, &mut journal)
+            .unwrap();
+        assert_eq!(report.replayed_cells, inputs.len() * 2);
+        assert_eq!(artifact_bytes(&reference), artifact_bytes(&cv));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn incremental_durable_resumes_bit_identical() {
+        let dir = temp_model_dir("durable-itune").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        let ctx = Context::new();
+        let inputs = training_inputs();
+
+        let mut reference = toy(&ctx);
+        reference.policy_mut().incremental = Some(StoppingCriterion::Iterations(6));
+        Autotuner::new().tune(&mut reference, &inputs).unwrap();
+
+        {
+            let mut cv = toy(&ctx);
+            cv.policy_mut().incremental = Some(StoppingCriterion::Iterations(6));
+            let mut journal = TuningJournal::open(&path).unwrap();
+            journal.kill_after_appends(9);
+            assert!(Autotuner::new()
+                .tune_durable(&mut cv, &inputs, &mut journal)
+                .is_err());
+        }
+
+        let mut cv = toy(&ctx);
+        cv.policy_mut().incremental = Some(StoppingCriterion::Iterations(6));
+        let mut journal = TuningJournal::open(&path).unwrap();
+        let report = Autotuner::new()
+            .tune_durable(&mut cv, &inputs, &mut journal)
+            .unwrap();
+        assert!(report.replayed_cells > 0);
+        assert_eq!(artifact_bytes(&reference), artifact_bytes(&cv));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn changed_registration_refuses_an_old_journal() {
+        let dir = temp_model_dir("durable-mismatch").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        let ctx = Context::new();
+        let inputs = training_inputs();
+        {
+            let mut cv = toy(&ctx);
+            let mut journal = TuningJournal::open(&path).unwrap();
+            Autotuner::new()
+                .tune_durable(&mut cv, &inputs, &mut journal)
+                .unwrap();
+        }
+        // Add a variant: the journal must be rejected, not misapplied.
+        let mut cv = toy(&ctx);
+        cv.add_variant(FnVariant::new("third", |&x: &f64| x * 2.0));
+        let mut journal = TuningJournal::open(&path).unwrap();
+        let err = Autotuner::new()
+            .tune_durable(&mut cv, &inputs, &mut journal)
+            .unwrap_err();
+        assert!(err.to_string().contains("variant lists differ"), "{err}");
+        // A changed policy is rejected through the policy checksum.
+        let mut cv = toy(&ctx);
+        cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
+        let mut journal = TuningJournal::open(&path).unwrap();
+        let err = Autotuner::new()
+            .tune_durable(&mut cv, &inputs, &mut journal)
+            .unwrap_err();
+        assert!(err.to_string().contains("policy"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn completed_journal_marks_phases() {
+        let dir = temp_model_dir("durable-phases").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        let mut journal = TuningJournal::open(&path).unwrap();
+        Autotuner::new()
+            .tune_durable(&mut cv, &training_inputs(), &mut journal)
+            .unwrap();
+        assert!(journal.replay().has_phase("profiling_complete"));
+        assert!(journal.replay().has_phase("tuning_complete"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod autotuner;
+pub mod durable;
 pub mod online;
 pub mod profile;
 pub mod report;

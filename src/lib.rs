@@ -9,6 +9,8 @@
 //!   profile tables (`NITRO0xx` diagnostics).
 //! * [`nitro_guard`] — resilient dispatch: retry with backoff, variant
 //!   quarantine, fallback cascades and graceful degradation.
+//! * [`nitro_store`] — durability and model lifecycle: resumable tuning
+//!   journals, the versioned artifact store, staged promotion/rollback.
 //! * [`nitro_tuner`] — the offline autotuner.
 //! * [`nitro_trace`] — structured tracing, metrics and regret accounting.
 //! * [`nitro_simt`] — the simulated GPU substrate.
@@ -25,5 +27,6 @@ pub use nitro_simt as simt;
 pub use nitro_solvers as solvers;
 pub use nitro_sort as sort;
 pub use nitro_sparse as sparse;
+pub use nitro_store as store;
 pub use nitro_trace as trace;
 pub use nitro_tuner as tuner;

@@ -1,0 +1,217 @@
+//! Integration tests for `nitro-store`'s durability guarantees, driven
+//! through the public facade:
+//!
+//! * a durable tune killed at an **arbitrary byte offset** of its journal
+//!   resumes to a byte-identical artifact — with and without a seeded
+//!   `nitro-simt` fault plan injecting launch failures underneath;
+//! * seeded corruption of a stored artifact (bit flips, truncation) is
+//!   always detected and never installed: loads fail with `NITRO071`,
+//!   intact-fallback walks back to an uncorrupted version, and rollback
+//!   refuses corrupt targets.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use nitro::core::context::temp_model_dir;
+use nitro::core::{ClassifierConfig, CodeVariant, Context, FnFeature, FnVariant};
+use nitro::simt::{
+    install_fault_plan, silence_injected_panics, uninstall_fault_plan, DeviceConfig, FaultPlan,
+};
+use nitro::store::{ArtifactStore, TuningJournal};
+use nitro::tuner::Autotuner;
+use proptest::prelude::*;
+
+/// Unique scratch directory per proptest case.
+fn case_dir(tag: &str) -> std::path::PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    temp_model_dir(&format!("{tag}-{n}")).expect("temp dir")
+}
+
+/// Toy function with an input-dependent winner (no simulated kernels, so
+/// fault plans do not apply here).
+fn toy(ctx: &Context) -> CodeVariant<f64> {
+    let mut cv = CodeVariant::new("lifecycle-toy", ctx);
+    cv.add_variant(FnVariant::new("low", |&x: &f64| 1.0 + x));
+    cv.add_variant(FnVariant::new("high", |&x: &f64| 11.0 - x));
+    cv.set_default(0);
+    cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+    cv.policy_mut().classifier = ClassifierConfig::Knn { k: 3 };
+    cv
+}
+
+fn toy_inputs() -> Vec<f64> {
+    (0..24).map(|i| ((i * 37) % 100) as f64 / 10.0).collect()
+}
+
+/// The uninterrupted toy run: full journal bytes + final artifact JSON.
+fn toy_reference() -> &'static (Vec<u8>, String) {
+    static REF: OnceLock<(Vec<u8>, String)> = OnceLock::new();
+    REF.get_or_init(|| {
+        let dir = case_dir("journal-ref");
+        let path = dir.join("toy.journal.jsonl");
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        let mut journal = TuningJournal::open(&path).unwrap();
+        Autotuner::new()
+            .tune_durable(&mut cv, &toy_inputs(), &mut journal)
+            .unwrap();
+        drop(journal);
+        let bytes = std::fs::read(&path).unwrap();
+        let json = cv.export_artifact().unwrap().to_json().unwrap();
+        std::fs::remove_dir_all(dir).ok();
+        (bytes, json)
+    })
+}
+
+/// SpMV under a seeded fault plan: the reference artifact for the
+/// fault-injected resume test. The plan is deterministic per
+/// `(seed, gpu seed, kernel, launch index)` and profiling uses a fresh
+/// device per cell, so killed-and-resumed runs see identical faults.
+fn spmv_reference() -> &'static (Vec<u8>, String, Vec<nitro::sparse::spmv::SpmvInput>) {
+    static REF: OnceLock<(Vec<u8>, String, Vec<nitro::sparse::spmv::SpmvInput>)> = OnceLock::new();
+    REF.get_or_init(|| {
+        silence_injected_panics();
+        let (train, _) = nitro::sparse::collection::spmv_small_sets(42);
+        let dir = case_dir("spmv-ref");
+        let path = dir.join("spmv.journal.jsonl");
+        install_fault_plan(FaultPlan::with_failure_prob(7, 0.05));
+        let ctx = Context::new();
+        let mut cv = nitro::sparse::spmv::build_code_variant(&ctx, &DeviceConfig::default());
+        let mut journal = TuningJournal::open(&path).unwrap();
+        Autotuner::new()
+            .tune_durable(&mut cv, &train, &mut journal)
+            .unwrap();
+        uninstall_fault_plan();
+        drop(journal);
+        let bytes = std::fs::read(&path).unwrap();
+        let json = cv.export_artifact().unwrap().to_json().unwrap();
+        std::fs::remove_dir_all(dir).ok();
+        (bytes, json, train)
+    })
+}
+
+proptest! {
+
+    /// Kill the journal at ANY byte offset — mid-record, mid-line, on a
+    /// boundary, even before the header — and the resumed run must
+    /// produce an artifact byte-identical to the uninterrupted one.
+    #[test]
+    fn resume_from_any_byte_offset_is_bit_identical(frac in 0.0f64..1.0) {
+        let (full, want) = toy_reference();
+        let cut = ((full.len() as f64) * frac) as usize;
+        let dir = case_dir("journal-cut");
+        let path = dir.join("toy.journal.jsonl");
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        let mut journal = TuningJournal::open(&path).unwrap();
+        // A cut landing mid-line must be reported as a torn tail.
+        let torn = cut > 0 && full[..cut].split(|&b| b == b'\n').next_back().is_some_and(|l| !l.is_empty());
+        if torn {
+            prop_assert!(
+                journal.recovery_diagnostics().iter().any(|d| d.code == "NITRO070"),
+                "cut at {cut} left a torn tail but no NITRO070: {:?}",
+                journal.recovery_diagnostics()
+            );
+        }
+        Autotuner::new().tune_durable(&mut cv, &toy_inputs(), &mut journal).unwrap();
+        drop(journal);
+
+        let got = cv.export_artifact().unwrap().to_json().unwrap();
+        prop_assert_eq!(&got, want, "resume from byte offset {} diverged", cut);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+proptest! {
+
+    /// Same guarantee with a seeded `nitro-simt` fault plan killing ~5%
+    /// of kernel launches underneath the profiler: faults are part of
+    /// the deterministic run, so resume is still bit-identical.
+    #[test]
+    fn resume_under_fault_plan_is_bit_identical(frac in 0.0f64..1.0) {
+        let (full, want, train) = spmv_reference();
+        let cut = ((full.len() as f64) * frac) as usize;
+        let dir = case_dir("spmv-cut");
+        let path = dir.join("spmv.journal.jsonl");
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        silence_injected_panics();
+        install_fault_plan(FaultPlan::with_failure_prob(7, 0.05));
+        let ctx = Context::new();
+        let mut cv = nitro::sparse::spmv::build_code_variant(&ctx, &DeviceConfig::default());
+        let mut journal = TuningJournal::open(&path).unwrap();
+        let report = Autotuner::new().tune_durable(&mut cv, train, &mut journal);
+        uninstall_fault_plan();
+        let report = report.unwrap();
+        drop(journal);
+
+        let got = cv.export_artifact().unwrap().to_json().unwrap();
+        prop_assert_eq!(&got, want, "fault-plan resume from byte offset {} diverged", cut);
+        // Any cut past the first full row must replay something.
+        if cut > full.len() / 4 {
+            prop_assert!(report.replayed_cells > 0);
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+proptest! {
+
+    /// Seeded corruption of the newest stored version — a flipped byte or
+    /// a truncation at an arbitrary offset — is always detected, never
+    /// installed, and never blocks fallback to the intact predecessor.
+    #[test]
+    fn corrupt_versions_are_detected_and_never_installed(
+        frac in 0.0f64..1.0,
+        flip in 0u16..=256 // 256 = truncate, otherwise flip to this byte
+    ) {
+        let dir = case_dir("store-corrupt");
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        Autotuner::new().tune(&mut cv, &toy_inputs()).unwrap();
+        let artifact = cv.export_artifact().unwrap();
+        let clean_json = artifact.to_json().unwrap();
+
+        let mut store = ArtifactStore::open(&dir, "lifecycle-toy").unwrap();
+        let v1 = store.publish(&artifact, "v1").unwrap();
+        let v2 = store.publish(&artifact, "v2").unwrap();
+
+        // Corrupt v2's bytes: truncate at `frac`, or flip one byte to a
+        // guaranteed-different value.
+        let path = dir.join("lifecycle-toy").join(format!("v{v2:06}.model.json"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = (((bytes.len() - 1) as f64) * frac) as usize;
+        if flip == 256 {
+            bytes.truncate(at);
+        } else {
+            let b = flip as u8;
+            bytes[at] = if bytes[at] == b { b.wrapping_add(1) } else { b };
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Direct load of the corrupt version must fail with NITRO071.
+        let err = store.load(v2).expect_err("corrupt version must not load");
+        prop_assert!(
+            err.diagnostics().iter().any(|d| d.code == "NITRO071"),
+            "{err:?}"
+        );
+        // verify() reports it too.
+        prop_assert!(store.verify().iter().any(|d| d.code == "NITRO071"));
+        // Intact fallback skips it and serves v1 — bit-identical to what
+        // was published, proving the corrupt bytes were never installed.
+        let (loaded, diags) = store.load_latest_intact();
+        let (version, recovered) = loaded.expect("v1 is intact");
+        prop_assert_eq!(version, v1);
+        prop_assert_eq!(recovered.to_json().unwrap(), clean_json);
+        prop_assert!(diags.iter().any(|d| d.code == "NITRO071"));
+        // Rolling back INTO corruption is refused.
+        prop_assert!(store.rollback(v2).is_err());
+        // Rolling back to the intact version works and repoints latest.
+        store.rollback(v1).unwrap();
+        prop_assert_eq!(store.latest(), Some(v1));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
