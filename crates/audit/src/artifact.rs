@@ -8,6 +8,7 @@
 //! variant range and mis-fitted Platt calibrations all pass a JSON round
 //! trip silently and only surface later as nonsense predictions.
 
+use nitro_core::diag::registry::codes;
 use nitro_core::{CodeVariant, Diagnostic, ModelArtifact, TrainedModel, MODEL_SCHEMA_VERSION};
 use nitro_ml::Scaler;
 
@@ -28,13 +29,13 @@ pub fn audit_artifact(artifact: &ModelArtifact) -> Vec<Diagnostic> {
     // NITRO020: schema compatibility.
     if artifact.schema_version == 0 {
         out.push(Diagnostic::warning(
-            "NITRO020",
+            codes::NITRO020,
             subject,
             "legacy artifact without a schema_version field; re-save to upgrade",
         ));
     } else if artifact.schema_version > MODEL_SCHEMA_VERSION {
         out.push(Diagnostic::error(
-            "NITRO020",
+            codes::NITRO020,
             subject,
             format!(
                 "artifact schema version {} is newer than this build supports ({})",
@@ -66,7 +67,7 @@ pub fn audit_artifact_against<I: ?Sized>(
 
     if artifact.function != cv.name() {
         out.push(Diagnostic::error(
-            "NITRO021",
+            codes::NITRO021,
             subject,
             format!(
                 "artifact is for '{}', not '{}'",
@@ -78,7 +79,7 @@ pub fn audit_artifact_against<I: ?Sized>(
     let registered = cv.variant_names();
     if artifact.variant_names != registered {
         out.push(Diagnostic::error(
-            "NITRO021",
+            codes::NITRO021,
             subject,
             format!(
                 "variant lists differ: trained {:?} vs registered {:?}",
@@ -89,7 +90,7 @@ pub fn audit_artifact_against<I: ?Sized>(
     let registered = cv.feature_names();
     if artifact.feature_names != registered {
         out.push(Diagnostic::error(
-            "NITRO022",
+            codes::NITRO022,
             subject,
             format!(
                 "feature lists differ: trained {:?} vs registered {:?}",
@@ -106,7 +107,7 @@ pub fn audit_artifact_json(json: &str) -> Vec<Diagnostic> {
     match ModelArtifact::from_json(json) {
         Ok(artifact) => audit_artifact(&artifact),
         Err(e) => vec![Diagnostic::error(
-            "NITRO001",
+            codes::NITRO001,
             "<artifact>",
             format!("artifact JSON is unreadable: {e}"),
         )],
@@ -128,7 +129,7 @@ fn audit_model(
             audit_scaler(scaler, subject, expected_dim, out);
             if model.n_classes() > n_variants {
                 out.push(Diagnostic::error(
-                    "NITRO027",
+                    codes::NITRO027,
                     subject,
                     format!(
                         "model separates {} classes but only {} variants are named",
@@ -141,7 +142,7 @@ fn audit_model(
                 for (pos_or_neg, label) in [("+1", machine.pos), ("-1", machine.neg)] {
                     if label >= n_variants {
                         out.push(Diagnostic::error(
-                            "NITRO027",
+                            codes::NITRO027,
                             subject,
                             format!(
                                 "pair machine {m} maps class {label} to {pos_or_neg} \
@@ -158,7 +159,7 @@ fn audit_model(
                     .count();
                 if bad_sv > 0 {
                     out.push(Diagnostic::error(
-                        "NITRO023",
+                        codes::NITRO023,
                         subject,
                         format!(
                             "pair machine {m} has {bad_sv} support vector(s) with NaN/Inf entries"
@@ -167,7 +168,7 @@ fn audit_model(
                 }
                 if machine.svm.coef.iter().any(|v| !v.is_finite()) || !machine.svm.rho.is_finite() {
                     out.push(Diagnostic::error(
-                        "NITRO024",
+                        codes::NITRO024,
                         subject,
                         format!("pair machine {m} has non-finite dual coefficients or bias"),
                     ));
@@ -176,7 +177,7 @@ fn audit_model(
                     let residual = machine.svm.kkt_residual(*c);
                     if residual > KKT_TOLERANCE {
                         out.push(Diagnostic::warning(
-                            "NITRO029",
+                            codes::NITRO029,
                             subject,
                             format!(
                                 "pair machine {m} violates KKT conditions by {residual:.3e} \
@@ -187,13 +188,13 @@ fn audit_model(
                 }
                 if !machine.platt.a.is_finite() || !machine.platt.b.is_finite() {
                     out.push(Diagnostic::error(
-                        "NITRO028",
+                        codes::NITRO028,
                         subject,
                         format!("pair machine {m} has non-finite Platt coefficients"),
                     ));
                 } else if machine.platt.a > 0.0 {
                     out.push(Diagnostic::warning(
-                        "NITRO028",
+                        codes::NITRO028,
                         subject,
                         format!(
                             "pair machine {m} has a positive Platt slope ({:.3}); \
@@ -214,7 +215,7 @@ fn audit_model(
                 .collect();
             if !bad.is_empty() {
                 out.push(Diagnostic::error(
-                    "NITRO027",
+                    codes::NITRO027,
                     subject,
                     format!(
                         "{} memorized label(s) outside the variant range (first: {}, have {n_variants})",
@@ -225,7 +226,7 @@ fn audit_model(
             }
             if model.k() > model.n_points() {
                 out.push(Diagnostic::warning(
-                    "NITRO018",
+                    codes::NITRO018,
                     subject,
                     format!(
                         "kNN k={} exceeds the {} memorized points; every query votes over the whole set",
@@ -245,7 +246,7 @@ fn audit_model(
 fn audit_scaler(scaler: &Scaler, subject: &str, expected_dim: usize, out: &mut Vec<Diagnostic>) {
     if scaler.dim() != expected_dim {
         out.push(Diagnostic::error(
-            "NITRO022",
+            codes::NITRO022,
             subject,
             format!(
                 "scaler was fitted on {} feature(s) but the policy's active set has {}",
@@ -257,13 +258,13 @@ fn audit_scaler(scaler: &Scaler, subject: &str, expected_dim: usize, out: &mut V
     for (d, (&lo, &hi)) in scaler.mins().iter().zip(scaler.maxs()).enumerate() {
         if !lo.is_finite() || !hi.is_finite() {
             out.push(Diagnostic::error(
-                "NITRO025",
+                codes::NITRO025,
                 subject,
                 format!("scaling range for feature {d} is non-finite ({lo}..{hi})"),
             ));
         } else if lo == hi {
             out.push(Diagnostic::warning(
-                "NITRO026",
+                codes::NITRO026,
                 subject,
                 format!(
                     "feature {d} was constant in training ({lo}); \

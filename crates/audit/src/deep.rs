@@ -1,0 +1,631 @@
+//! Whole-configuration analysis passes over the [`TuningGraph`] IR
+//! (`NITRO080`–`NITRO086`).
+//!
+//! Each pass is a pure function of the graph. The satisfiability-backed
+//! passes (`NITRO080`, `NITRO081`, `NITRO086`) only make claims the
+//! [`crate::sat`] engine can *prove* — a budget-blown or opaque
+//! constraint silently suppresses the finding rather than risking a
+//! false "statically dead" verdict.
+
+use nitro_core::diag::registry::codes;
+use nitro_core::{Diagnostic, MODEL_SCHEMA_VERSION};
+
+use crate::ir::{ConstraintExpr, TuningGraph};
+use crate::sat::{self, Sat};
+
+/// Run every whole-configuration pass over the graph.
+pub fn analyze_graph(g: &TuningGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let dead = dead_variants(g, &mut out);
+    shadowed_constraints(g, &mut out);
+    feature_dataflow(g, &mut out);
+    cascade_termination(g, &mut out);
+    version_compatibility(g, &mut out);
+    model_label_exhaustiveness(g, &dead, &mut out);
+    out
+}
+
+/// NITRO080: a variant whose predicate constraints are jointly
+/// unsatisfiable can never run — dispatch will always veto it. Opaque
+/// constraints on the same variant cannot rescue it (conjoining more
+/// conditions never grows an empty set), so the proof stands regardless.
+/// Returns the set of proven-dead variant indices for the later passes.
+fn dead_variants(g: &TuningGraph, out: &mut Vec<Diagnostic>) -> Vec<usize> {
+    let mut dead = Vec::new();
+    for v in g.constrained_variants() {
+        let predicates: Vec<_> = g
+            .constraints
+            .iter()
+            .filter(|c| c.variant == v)
+            .filter_map(|c| match &c.expr {
+                ConstraintExpr::Predicate(p) => Some(p),
+                ConstraintExpr::Opaque => None,
+            })
+            .collect();
+        if predicates.is_empty() {
+            continue;
+        }
+        if sat::check(&predicates) == Sat::Unsatisfiable {
+            let name = variant_name(g, v);
+            out.push(Diagnostic::error(
+                codes::NITRO080,
+                &g.function,
+                format!(
+                    "variant {v} ('{name}') is statically dead: its predicate \
+                     constraints are unsatisfiable over the feature domain"
+                ),
+            ));
+            dead.push(v);
+        }
+    }
+    dead
+}
+
+/// NITRO081: constraint A on a variant is shadowed when another
+/// constraint B on the same variant implies it — every input B admits, A
+/// admits too, so A never changes the veto outcome. Mutually-equivalent
+/// pairs report only the later registration.
+fn shadowed_constraints(g: &TuningGraph, out: &mut Vec<Diagnostic>) {
+    for (ai, a) in g.constraints.iter().enumerate() {
+        let ConstraintExpr::Predicate(pa) = &a.expr else {
+            continue;
+        };
+        for (bi, b) in g.constraints.iter().enumerate() {
+            if ai == bi || a.variant != b.variant {
+                continue;
+            }
+            let ConstraintExpr::Predicate(pb) = &b.expr else {
+                continue;
+            };
+            if !sat::implies(pb, pa) {
+                continue;
+            }
+            // When A and B are equivalent both directions hold; report
+            // only the later-registered one to avoid a symmetric pair.
+            if sat::implies(pa, pb) && ai < bi {
+                continue;
+            }
+            out.push(Diagnostic::warning(
+                codes::NITRO081,
+                &g.function,
+                format!(
+                    "constraint '{}' on variant {} is shadowed: '{}' already \
+                     implies it, so it never changes the veto outcome",
+                    a.name, a.variant, b.name
+                ),
+            ));
+            break; // one report per shadowed constraint
+        }
+    }
+}
+
+/// NITRO082 / NITRO083: feature dataflow. A feature is *consulted* when
+/// the policy feeds it to the model (active) or a predicate references
+/// it. NITRO082 flags consulted features that are constant across the
+/// whole profile table (they carry no signal); NITRO083 flags registered
+/// features nothing consults (they cost registration and evaluation for
+/// nothing).
+fn feature_dataflow(g: &TuningGraph, out: &mut Vec<Diagnostic>) {
+    let referenced = g.predicate_features();
+
+    if let Some(profile) = &g.profile {
+        if profile.rows.len() >= 2 {
+            for (col, &feature) in profile.columns.iter().enumerate() {
+                let first = profile.rows[0].get(col).copied();
+                let Some(first) = first else { continue };
+                let constant = profile
+                    .rows
+                    .iter()
+                    .all(|r| r.get(col).copied() == Some(first));
+                if !constant {
+                    continue;
+                }
+                let active = g.features.get(feature).is_some_and(|f| f.active);
+                let in_predicate = referenced.contains(&feature);
+                if !active && !in_predicate {
+                    continue; // nothing consults it; NITRO083's business
+                }
+                let consumers = match (active, in_predicate) {
+                    (true, true) => "the model and a predicate",
+                    (true, false) => "the model",
+                    _ => "a predicate",
+                };
+                out.push(Diagnostic::warning(
+                    codes::NITRO082,
+                    &g.function,
+                    format!(
+                        "feature {feature} ('{}') is constant ({first}) across \
+                         all {} profiled inputs yet consulted by {consumers}",
+                        feature_name(g, feature),
+                        profile.rows.len(),
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (i, f) in g.features.iter().enumerate() {
+        if !f.active && !referenced.contains(&i) {
+            out.push(Diagnostic::warning(
+                codes::NITRO083,
+                &g.function,
+                format!(
+                    "feature {i} ('{}') is never read: outside the policy's \
+                     active subset and referenced by no predicate",
+                    f.name
+                ),
+            ));
+        }
+    }
+}
+
+/// NITRO084: the fallback cascade must terminate. With any constraint
+/// present, a veto can happen at dispatch time, so there must be a
+/// terminal default and every constrained variant must reach it through
+/// the cascade without cycles.
+fn cascade_termination(g: &TuningGraph, out: &mut Vec<Diagnostic>) {
+    let n = g.variants.len();
+    let constrained = g.constrained_variants();
+    if constrained.is_empty() && g.cascade.is_empty() {
+        return;
+    }
+
+    for e in &g.cascade {
+        if e.from >= n || e.to >= n {
+            out.push(Diagnostic::error(
+                codes::NITRO084,
+                &g.function,
+                format!(
+                    "fallback cascade edge {} -> {} references an unregistered \
+                     variant (have {n})",
+                    e.from, e.to
+                ),
+            ));
+            return;
+        }
+    }
+
+    let Some(default) = g.default_variant() else {
+        if !constrained.is_empty() {
+            out.push(Diagnostic::error(
+                codes::NITRO084,
+                &g.function,
+                "fallback cascade broken: constraints can veto at dispatch \
+                 time but no terminal default variant is set",
+            ));
+        }
+        return;
+    };
+
+    // Cycle detection over the cascade edges (iterative three-color DFS).
+    let mut adj = vec![Vec::new(); n];
+    for e in &g.cascade {
+        adj[e.from].push(e.to);
+    }
+    if let Some(at) = find_cycle(&adj) {
+        out.push(Diagnostic::error(
+            codes::NITRO084,
+            &g.function,
+            format!(
+                "fallback cascade broken: cycle through variant {at} \
+                 ('{}') — a veto storm would never terminate",
+                variant_name(g, at)
+            ),
+        ));
+        return;
+    }
+
+    // Every constrained variant must reach the terminal default.
+    for v in constrained {
+        if v == default {
+            continue; // dispatch never re-checks the default's constraints
+        }
+        if !reaches(&adj, v, default) {
+            out.push(Diagnostic::error(
+                codes::NITRO084,
+                &g.function,
+                format!(
+                    "fallback cascade broken: variant {v} ('{}') has \
+                     constraints but no cascade path to the terminal default \
+                     variant {default}",
+                    variant_name(g, v)
+                ),
+            ));
+        }
+    }
+}
+
+/// NITRO085: every stored artifact version must be loadable against the
+/// live registration: same function, same variant names, same feature
+/// schema. Mismatches on the latest (live) version are errors — that is
+/// the artifact `load_latest` would install; historical versions only
+/// warn, they surface as rollback hazards.
+fn version_compatibility(g: &TuningGraph, out: &mut Vec<Diagnostic>) {
+    let live_variants: Vec<&str> = g.variants.iter().map(|v| v.name.as_str()).collect();
+    let live_features: Vec<&str> = g.features.iter().map(|f| f.name.as_str()).collect();
+    for ver in &g.versions {
+        let mut problems = Vec::new();
+        if ver.function != g.function {
+            problems.push(format!(
+                "function '{}' does not match live '{}'",
+                ver.function, g.function
+            ));
+        }
+        if ver.schema_version > MODEL_SCHEMA_VERSION {
+            problems.push(format!(
+                "schema version {} is newer than the supported {}",
+                ver.schema_version, MODEL_SCHEMA_VERSION
+            ));
+        }
+        if ver.variant_names != live_variants {
+            problems.push(format!(
+                "variant names {:?} do not match live {:?}",
+                ver.variant_names, live_variants
+            ));
+        }
+        if ver.feature_names.len() != live_features.len() {
+            problems.push(format!(
+                "feature arity {} does not match live {}",
+                ver.feature_names.len(),
+                live_features.len()
+            ));
+        } else if ver.feature_names != live_features {
+            problems.push(format!(
+                "feature names {:?} do not match live {:?}",
+                ver.feature_names, live_features
+            ));
+        }
+        if problems.is_empty() {
+            continue;
+        }
+        let msg = format!(
+            "stored version {} is incompatible with the live registration: {}",
+            ver.version,
+            problems.join("; ")
+        );
+        out.push(if ver.is_latest {
+            Diagnostic::error(codes::NITRO085, &g.function, msg)
+        } else {
+            Diagnostic::warning(codes::NITRO085, &g.function, msg)
+        });
+    }
+}
+
+/// NITRO086: every class label the model can emit must map to a live,
+/// non-dead variant — otherwise a prediction lands on a variant that is
+/// unregistered or that its own constraints immediately veto.
+fn model_label_exhaustiveness(g: &TuningGraph, dead: &[usize], out: &mut Vec<Diagnostic>) {
+    let Some(model) = &g.model else {
+        return;
+    };
+    let n = g.variants.len();
+    for &class in &model.classes {
+        if class >= n {
+            out.push(Diagnostic::error(
+                codes::NITRO086,
+                &g.function,
+                format!(
+                    "model-label gap: the {} model can emit class {class} but \
+                     only {n} variants are registered",
+                    model.kind
+                ),
+            ));
+        } else if dead.contains(&class) {
+            out.push(Diagnostic::error(
+                codes::NITRO086,
+                &g.function,
+                format!(
+                    "model-label gap: the {} model can emit class {class} \
+                     ('{}'), a statically dead variant — every such \
+                     prediction falls through to the default",
+                    model.kind,
+                    variant_name(g, class)
+                ),
+            ));
+        }
+    }
+}
+
+/// First node found on a cycle, if the edge set has one.
+fn find_cycle(adj: &[Vec<usize>]) -> Option<usize> {
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; adj.len()];
+    for start in 0..adj.len() {
+        if color[start] != 0 {
+            continue;
+        }
+        // Iterative DFS with an explicit edge-iterator stack.
+        let mut stack = vec![(start, 0usize)];
+        color[start] = 1;
+        while let Some(&(node, next)) = stack.last() {
+            if next < adj[node].len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let child = adj[node][next];
+                match color[child] {
+                    0 => {
+                        color[child] = 1;
+                        stack.push((child, 0));
+                    }
+                    1 => return Some(child),
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Is `to` reachable from `from` over the edge set?
+fn reaches(adj: &[Vec<usize>], from: usize, to: usize) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; adj.len()];
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(node) = stack.pop() {
+        for &next in &adj[node] {
+            if next == to {
+                return true;
+            }
+            if !seen[next] {
+                seen[next] = true;
+                stack.push(next);
+            }
+        }
+    }
+    false
+}
+
+fn variant_name(g: &TuningGraph, v: usize) -> &str {
+    g.variants.get(v).map_or("?", |n| n.name.as_str())
+}
+
+fn feature_name(g: &TuningGraph, f: usize) -> &str {
+    g.features.get(f).map_or("?", |n| n.name.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{
+        CascadeEdge, ConstraintNode, FeatureNode, ModelNode, TuningGraph, VariantNode, VersionNode,
+    };
+    use nitro_core::{Predicate, Severity};
+
+    /// A clean two-variant graph the mutation tests then break.
+    fn base_graph() -> TuningGraph {
+        TuningGraph {
+            function: "toy".into(),
+            variants: vec![
+                VariantNode {
+                    name: "a".into(),
+                    is_default: true,
+                },
+                VariantNode {
+                    name: "b".into(),
+                    is_default: false,
+                },
+            ],
+            features: vec![
+                FeatureNode {
+                    name: "x".into(),
+                    active: true,
+                },
+                FeatureNode {
+                    name: "y".into(),
+                    active: true,
+                },
+            ],
+            constraints: vec![ConstraintNode {
+                variant: 1,
+                name: "small".into(),
+                expr: ConstraintExpr::Predicate(Predicate::le(0, 8.0)),
+            }],
+            model: Some(ModelNode {
+                kind: "knn".into(),
+                classes: vec![0, 1],
+            }),
+            cascade: vec![CascadeEdge { from: 1, to: 0 }],
+            versions: vec![VersionNode {
+                version: 1,
+                is_latest: true,
+                function: "toy".into(),
+                schema_version: MODEL_SCHEMA_VERSION,
+                variant_names: vec!["a".into(), "b".into()],
+                feature_names: vec!["x".into(), "y".into()],
+            }],
+            profile: Some(crate::ir::ProfileData {
+                columns: vec![0, 1],
+                rows: vec![vec![1.0, 5.0], vec![2.0, 6.0], vec![3.0, 7.0]],
+            }),
+        }
+    }
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_graph_has_no_findings() {
+        assert!(analyze_graph(&base_graph()).is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_fire_nitro080() {
+        let mut g = base_graph();
+        g.constraints.push(ConstraintNode {
+            variant: 1,
+            name: "big".into(),
+            expr: ConstraintExpr::Predicate(Predicate::gt(0, 9.0)),
+        });
+        let diags = analyze_graph(&g);
+        assert!(codes_of(&diags).contains(&"NITRO080"), "{diags:?}");
+        // The dead variant is a model class, so NITRO086 fires too.
+        assert!(codes_of(&diags).contains(&"NITRO086"));
+    }
+
+    #[test]
+    fn opaque_constraints_block_the_dead_proof() {
+        let mut g = base_graph();
+        g.constraints[0].expr = ConstraintExpr::Opaque;
+        g.constraints.push(ConstraintNode {
+            variant: 1,
+            name: "other".into(),
+            expr: ConstraintExpr::Opaque,
+        });
+        assert!(analyze_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn subsumed_constraint_fires_nitro081() {
+        let mut g = base_graph();
+        // 'tight' implies the existing 'small' (x <= 8): shadowed.
+        g.constraints.push(ConstraintNode {
+            variant: 1,
+            name: "tight".into(),
+            expr: ConstraintExpr::Predicate(Predicate::le(0, 3.0)),
+        });
+        let diags = analyze_graph(&g);
+        let shadowed: Vec<_> = diags.iter().filter(|d| d.code == "NITRO081").collect();
+        assert_eq!(shadowed.len(), 1, "{diags:?}");
+        assert!(shadowed[0].message.contains("'small'"));
+        assert_eq!(shadowed[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn equivalent_constraints_report_only_the_later_one() {
+        let mut g = base_graph();
+        g.constraints.push(ConstraintNode {
+            variant: 1,
+            name: "same".into(),
+            expr: ConstraintExpr::Predicate(Predicate::gt(0, 8.0).not()),
+        });
+        let diags = analyze_graph(&g);
+        let shadowed: Vec<_> = diags.iter().filter(|d| d.code == "NITRO081").collect();
+        assert_eq!(shadowed.len(), 1, "{diags:?}");
+        assert!(shadowed[0].message.contains("'same'"));
+    }
+
+    #[test]
+    fn constant_profiled_feature_fires_nitro082() {
+        let mut g = base_graph();
+        let profile = g.profile.as_mut().unwrap();
+        for row in &mut profile.rows {
+            row[1] = 4.0;
+        }
+        let diags = analyze_graph(&g);
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == "NITRO082").collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("'y'"));
+    }
+
+    #[test]
+    fn unread_feature_fires_nitro083_but_predicate_reference_clears_it() {
+        let mut g = base_graph();
+        g.features[1].active = false;
+        let diags = analyze_graph(&g);
+        assert!(codes_of(&diags).contains(&"NITRO083"), "{diags:?}");
+
+        // A predicate referencing the feature counts as reading it.
+        g.constraints.push(ConstraintNode {
+            variant: 1,
+            name: "uses_y".into(),
+            expr: ConstraintExpr::Predicate(Predicate::ge(1, 0.0)),
+        });
+        let diags = analyze_graph(&g);
+        assert!(!codes_of(&diags).contains(&"NITRO083"), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_default_with_constraints_fires_nitro084() {
+        let mut g = base_graph();
+        g.variants[0].is_default = false;
+        g.cascade.clear();
+        let diags = analyze_graph(&g);
+        assert!(codes_of(&diags).contains(&"NITRO084"), "{diags:?}");
+    }
+
+    #[test]
+    fn cascade_cycle_fires_nitro084() {
+        let mut g = base_graph();
+        g.variants.push(VariantNode {
+            name: "c".into(),
+            is_default: false,
+        });
+        g.cascade = vec![
+            CascadeEdge { from: 1, to: 2 },
+            CascadeEdge { from: 2, to: 1 },
+        ];
+        let diags = analyze_graph(&g);
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == "NITRO084").collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn unreachable_default_fires_nitro084() {
+        let mut g = base_graph();
+        g.variants.push(VariantNode {
+            name: "c".into(),
+            is_default: false,
+        });
+        // Variant 1's fallback dead-ends at 2 instead of the default.
+        g.cascade = vec![CascadeEdge { from: 1, to: 2 }];
+        let diags = analyze_graph(&g);
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == "NITRO084").collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("no cascade path"));
+    }
+
+    #[test]
+    fn incompatible_latest_version_is_error_historical_is_warning() {
+        let mut g = base_graph();
+        g.versions[0].feature_names = vec!["x".into()]; // arity mismatch
+        g.versions.push(VersionNode {
+            version: 2,
+            is_latest: false,
+            function: "other".into(),
+            schema_version: MODEL_SCHEMA_VERSION,
+            variant_names: vec!["a".into(), "b".into()],
+            feature_names: vec!["x".into(), "y".into()],
+        });
+        // The fixture marked version 1 latest; keep that and make v2 the
+        // historical mismatch.
+        let diags = analyze_graph(&g);
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == "NITRO085").collect();
+        assert_eq!(hits.len(), 2, "{diags:?}");
+        assert!(hits
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains("feature arity")));
+        assert!(hits
+            .iter()
+            .any(|d| d.severity == Severity::Warning && d.message.contains("function 'other'")));
+    }
+
+    #[test]
+    fn newer_schema_version_is_incompatible() {
+        let mut g = base_graph();
+        g.versions[0].schema_version = MODEL_SCHEMA_VERSION + 1;
+        let diags = analyze_graph(&g);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "NITRO085" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_model_class_fires_nitro086() {
+        let mut g = base_graph();
+        g.model.as_mut().unwrap().classes = vec![0, 1, 5];
+        let diags = analyze_graph(&g);
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == "NITRO086").collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("class 5"));
+    }
+}

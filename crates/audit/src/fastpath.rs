@@ -17,6 +17,7 @@
 //!   one-vs-one path is a correctness bug, checked by replaying the
 //!   training set through both (`NITRO062`).
 
+use nitro_core::diag::registry::codes;
 use nitro_core::{Diagnostic, TrainedModel};
 use nitro_ml::{ClassifierConfig, Dataset};
 
@@ -47,7 +48,7 @@ pub fn lint_cache_budget(
         let column = training_rows * COL_ENTRY_BYTES;
         if *bytes < column {
             out.push(Diagnostic::error(
-                "NITRO061",
+                codes::NITRO061,
                 subject,
                 format!(
                     "kernel-cache budget of {bytes} B holds less than one kernel column \
@@ -79,7 +80,7 @@ pub fn audit_fastpath(model: &TrainedModel, data: &Dataset, subject: &str) -> Ve
         let density = compiled.n_unique_svs() as f64 / rows as f64;
         if density >= SV_DENSITY_WARN {
             out.push(Diagnostic::warning(
-                "NITRO060",
+                codes::NITRO060,
                 subject,
                 format!(
                     "{} of {rows} training rows ({:.0}%) are support vectors; every \
@@ -106,7 +107,7 @@ pub fn audit_fastpath(model: &TrainedModel, data: &Dataset, subject: &str) -> Ve
     }
     if mismatches > 0 {
         out.push(Diagnostic::error(
-            "NITRO062",
+            codes::NITRO062,
             subject,
             format!(
                 "compiled prediction engine disagrees with the reference path on \

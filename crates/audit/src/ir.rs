@@ -1,0 +1,364 @@
+//! The tuning-graph IR: a typed, analyzable picture of one registered
+//! function's *whole* configuration.
+//!
+//! Every other analyzer in this crate looks at one artifact in isolation
+//! (a registration, an artifact, a profile table). The whole-configuration
+//! passes (`NITRO080`–`NITRO086`, [`crate::deep`]) instead walk a
+//! [`TuningGraph`]: variants, features with their policy-activation
+//! flags, constraints lowered to [`Predicate`]s (or marked opaque),
+//! the trained model's emittable class labels, the fallback cascade as
+//! explicit edges, and — when a versioned artifact store is attached —
+//! one [`VersionNode`] per stored manifest entry.
+//!
+//! The graph is plain data (and serializable), so higher crates can
+//! build or extend it without `nitro-audit` depending on them:
+//! `nitro-guard` contributes cascade edges from its degradation planner,
+//! `nitro-store` contributes version nodes from its manifest, and the
+//! bench/tuner layers glue them together.
+
+use nitro_core::{CodeVariant, Predicate};
+use nitro_ml::TrainedModel;
+use serde::{Deserialize, Serialize};
+
+/// One registered code variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariantNode {
+    /// Variant name, in registration order.
+    pub name: String,
+    /// Whether this is the constraint-fallback default.
+    pub is_default: bool,
+}
+
+/// One registered input feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureNode {
+    /// Feature name, in registration order.
+    pub name: String,
+    /// Whether the policy's `feature_subset` feeds it to the model.
+    pub active: bool,
+}
+
+/// A constraint lowered into the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintNode {
+    /// Variant index the constraint vetoes.
+    pub variant: usize,
+    /// Stable constraint name.
+    pub name: String,
+    /// The analyzable expression, or [`ConstraintExpr::Opaque`] for a
+    /// host-language closure.
+    pub expr: ConstraintExpr,
+}
+
+/// The analyzable body of a constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConstraintExpr {
+    /// A declarative predicate over registered feature indices.
+    Predicate(Predicate),
+    /// An opaque host-language closure: executable, not analyzable.
+    Opaque,
+}
+
+/// The trained model's contribution to the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelNode {
+    /// Model family, for messages (`"svm"`, `"knn"`, `"tree"`, `"forest"`).
+    pub kind: String,
+    /// Class labels the model can emit, sorted. A sound superset: see
+    /// `TrainedModel::emittable_classes`.
+    pub classes: Vec<usize>,
+}
+
+/// A directed fallback edge: when `from` is vetoed, dispatch may retry
+/// `to`. The default graph built from a [`CodeVariant`] has one edge per
+/// constrained variant into the terminal default; `nitro-guard`'s
+/// degradation planner contributes richer cascades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CascadeEdge {
+    /// Vetoed variant.
+    pub from: usize,
+    /// Fallback target.
+    pub to: usize,
+}
+
+/// One stored artifact version from a `nitro-store` manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionNode {
+    /// Monotonic store version number.
+    pub version: u64,
+    /// Whether this is the manifest's latest (live) version.
+    pub is_latest: bool,
+    /// Function name recorded in the stored artifact.
+    pub function: String,
+    /// Artifact schema version.
+    pub schema_version: u32,
+    /// Variant names recorded in the stored artifact.
+    pub variant_names: Vec<String>,
+    /// Feature names recorded in the stored artifact.
+    pub feature_names: Vec<String>,
+}
+
+/// Profile-table data attached to the graph: per-input feature vectors
+/// in *active-subset column order*, plus the mapping from column to
+/// registered feature index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileData {
+    /// `columns[j]` is the registered feature index of column `j`.
+    pub columns: Vec<usize>,
+    /// Per-input feature vectors, one value per column.
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// Whole-configuration IR for one registered function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningGraph {
+    /// Function name (the diagnostics' subject).
+    pub function: String,
+    /// Registered variants, index order.
+    pub variants: Vec<VariantNode>,
+    /// Registered features, index order.
+    pub features: Vec<FeatureNode>,
+    /// Lowered constraints, registration order.
+    pub constraints: Vec<ConstraintNode>,
+    /// The installed model, if any.
+    pub model: Option<ModelNode>,
+    /// Fallback cascade edges.
+    pub cascade: Vec<CascadeEdge>,
+    /// Stored artifact versions, if a store is attached.
+    pub versions: Vec<VersionNode>,
+    /// Profile-table feature data, if available.
+    pub profile: Option<ProfileData>,
+}
+
+impl TuningGraph {
+    /// Lower a live registration into the IR.
+    ///
+    /// The cascade defaults to dispatch's actual fallback behavior: each
+    /// constrained non-default variant falls back to the default, whose
+    /// own constraints are *not* re-checked (it is terminal). Attach
+    /// richer cascades with [`TuningGraph::with_cascade`].
+    pub fn from_code_variant<I: ?Sized>(cv: &CodeVariant<I>) -> Self {
+        let default = cv.default_variant();
+        let variants = cv
+            .variant_names()
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| VariantNode {
+                name,
+                is_default: default == Some(i),
+            })
+            .collect::<Vec<_>>();
+
+        let n_features = cv.n_features();
+        let active = cv.policy().active_features(n_features);
+        let features = cv
+            .feature_names()
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| FeatureNode {
+                name,
+                active: active.contains(&i),
+            })
+            .collect();
+
+        let constraints = cv
+            .constraint_descriptors()
+            .into_iter()
+            .map(|d| ConstraintNode {
+                variant: d.variant,
+                name: d.name,
+                expr: match d.predicate {
+                    Some(p) => ConstraintExpr::Predicate(p),
+                    None => ConstraintExpr::Opaque,
+                },
+            })
+            .collect::<Vec<ConstraintNode>>();
+
+        let model = cv.model().map(|m| ModelNode {
+            kind: model_kind(m).to_string(),
+            classes: m.emittable_classes(),
+        });
+
+        let cascade = default_cascade(variants.len(), default, &constraints);
+
+        TuningGraph {
+            function: cv.name().to_string(),
+            variants,
+            features,
+            constraints,
+            model,
+            cascade,
+            versions: Vec::new(),
+            profile: None,
+        }
+    }
+
+    /// Attach profile-table feature vectors. `columns[j]` names the
+    /// registered feature index of column `j` (profile tables store the
+    /// policy's active subset, in subset order).
+    pub fn with_profile(mut self, columns: Vec<usize>, rows: Vec<Vec<f64>>) -> Self {
+        self.profile = Some(ProfileData { columns, rows });
+        self
+    }
+
+    /// Attach stored artifact versions from a manifest.
+    pub fn with_versions(mut self, versions: Vec<VersionNode>) -> Self {
+        self.versions = versions;
+        self
+    }
+
+    /// Replace the fallback cascade with explicitly-planned edges (e.g.
+    /// from `nitro-guard`'s degradation planner).
+    pub fn with_cascade(mut self, cascade: Vec<CascadeEdge>) -> Self {
+        self.cascade = cascade;
+        self
+    }
+
+    /// Indices of variants carrying at least one constraint.
+    pub fn constrained_variants(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.constraints.iter().map(|c| c.variant).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The default variant's index, if one is set and in range.
+    pub fn default_variant(&self) -> Option<usize> {
+        self.variants.iter().position(|v| v.is_default)
+    }
+
+    /// Registered feature indices referenced by at least one predicate.
+    pub fn predicate_features(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for c in &self.constraints {
+            if let ConstraintExpr::Predicate(p) = &c.expr {
+                out.extend(p.features_referenced());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// The dispatcher's implicit fallback structure: every constrained
+/// non-default variant has one edge into the (terminal) default.
+fn default_cascade(
+    n_variants: usize,
+    default: Option<usize>,
+    constraints: &[ConstraintNode],
+) -> Vec<CascadeEdge> {
+    let Some(d) = default.filter(|&d| d < n_variants) else {
+        return Vec::new();
+    };
+    let mut targets: Vec<usize> = constraints.iter().map(|c| c.variant).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    targets
+        .into_iter()
+        .filter(|&v| v != d && v < n_variants)
+        .map(|v| CascadeEdge { from: v, to: d })
+        .collect()
+}
+
+/// Short family name for messages.
+fn model_kind(m: &TrainedModel) -> &'static str {
+    match m {
+        TrainedModel::Svm { .. } => "svm",
+        TrainedModel::Knn { .. } => "knn",
+        TrainedModel::Tree { .. } => "tree",
+        TrainedModel::Forest { .. } => "forest",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::{Context, FnConstraint, FnFeature, FnVariant};
+
+    fn cv() -> CodeVariant<f64> {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::new("toy", &ctx);
+        cv.add_variant(FnVariant::new("a", |&x: &f64| x));
+        cv.add_variant(FnVariant::new("b", |&x: &f64| 10.0 - x));
+        cv.add_variant(FnVariant::new("c", |&x: &f64| x * x));
+        cv.set_default(0);
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        cv.add_input_feature(FnFeature::new("y", |&x: &f64| -x));
+        cv
+    }
+
+    #[test]
+    fn lowers_registration_shape() {
+        let mut cv = cv();
+        cv.add_predicate_constraint(1, "small", Predicate::le(0, 8.0))
+            .unwrap();
+        cv.add_constraint(2, FnConstraint::new("opaque", |_: &f64| true))
+            .unwrap();
+        let g = TuningGraph::from_code_variant(&cv);
+        assert_eq!(g.function, "toy");
+        assert_eq!(g.variants.len(), 3);
+        assert!(g.variants[0].is_default);
+        assert_eq!(g.default_variant(), Some(0));
+        assert_eq!(g.features.len(), 2);
+        assert!(g.features.iter().all(|f| f.active));
+        assert_eq!(g.constraints.len(), 2);
+        assert!(matches!(
+            g.constraints[0].expr,
+            ConstraintExpr::Predicate(_)
+        ));
+        assert!(matches!(g.constraints[1].expr, ConstraintExpr::Opaque));
+        assert_eq!(g.constrained_variants(), vec![1, 2]);
+        assert_eq!(g.predicate_features(), vec![0]);
+        // One fallback edge per constrained variant into the default.
+        assert_eq!(
+            g.cascade,
+            vec![
+                CascadeEdge { from: 1, to: 0 },
+                CascadeEdge { from: 2, to: 0 }
+            ]
+        );
+        assert!(g.model.is_none());
+        assert!(g.versions.is_empty());
+    }
+
+    #[test]
+    fn feature_subset_marks_inactive_features() {
+        let mut cv = cv();
+        cv.policy_mut().feature_subset = Some(vec![1]);
+        let g = TuningGraph::from_code_variant(&cv);
+        assert!(!g.features[0].active);
+        assert!(g.features[1].active);
+    }
+
+    #[test]
+    fn no_default_means_no_cascade() {
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("nodefault", &ctx);
+        cv.add_variant(FnVariant::new("a", |&x: &f64| x));
+        cv.add_variant(FnVariant::new("b", |&x: &f64| x));
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        cv.add_predicate_constraint(1, "p", Predicate::le(0, 1.0))
+            .unwrap();
+        let g = TuningGraph::from_code_variant(&cv);
+        assert!(g.cascade.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut cv = cv();
+        cv.add_predicate_constraint(2, "sq", Predicate::between(1, 0.0, 4.0))
+            .unwrap();
+        let g = TuningGraph::from_code_variant(&cv).with_versions(vec![VersionNode {
+            version: 3,
+            is_latest: true,
+            function: "toy".into(),
+            schema_version: 1,
+            variant_names: vec!["a".into(), "b".into(), "c".into()],
+            feature_names: vec!["x".into(), "y".into()],
+        }]);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: TuningGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

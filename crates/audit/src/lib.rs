@@ -50,16 +50,27 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod deep;
 pub mod fastpath;
+pub mod ir;
 pub mod metrics;
 pub mod profile;
 pub mod registration;
+pub mod sarif;
+pub mod sat;
 
 pub use artifact::{audit_artifact, audit_artifact_against, audit_artifact_json};
+pub use deep::analyze_graph;
 pub use fastpath::{audit_fastpath, lint_cache_budget};
+pub use ir::{
+    CascadeEdge, ConstraintExpr, ConstraintNode, FeatureNode, ModelNode, ProfileData, TuningGraph,
+    VariantNode, VersionNode,
+};
 pub use metrics::{analyze_metrics, analyze_metrics_json, MetricsAuditConfig};
 pub use profile::{analyze_profile, ProfileAuditConfig, ProfileView};
 pub use registration::{lint_grid_search, lint_registration};
+pub use sarif::render_sarif;
+pub use sat::Sat;
 
 // The diagnostics vocabulary lives in nitro-core (so `NitroError::Audit`
 // can carry findings); re-export it as this crate's primary interface.

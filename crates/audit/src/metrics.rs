@@ -14,6 +14,7 @@
 //! `CodeVariant::declare_tracer_metrics` before a traced run so
 //! never-won variants appear as explicit zero counters.
 
+use nitro_core::diag::registry::codes;
 use nitro_core::Diagnostic;
 use nitro_trace::MetricsSnapshot;
 
@@ -103,7 +104,7 @@ pub fn analyze_metrics(snapshot: &MetricsSnapshot, config: &MetricsAuditConfig) 
         let fallback_rate = f.fallbacks as f64 / f.calls as f64;
         if fallback_rate > config.max_fallback_rate {
             out.push(Diagnostic::warning(
-                "NITRO041",
+                codes::NITRO041,
                 &f.function,
                 format!(
                     "constraints vetoed the model's choice on {:.0}% of {} calls \
@@ -118,7 +119,7 @@ pub fn analyze_metrics(snapshot: &MetricsSnapshot, config: &MetricsAuditConfig) 
         for (variant, wins) in &f.wins {
             if *wins == 0 {
                 out.push(Diagnostic::warning(
-                    "NITRO042",
+                    codes::NITRO042,
                     &f.function,
                     format!(
                         "variant '{variant}' never won a call in {} dispatches; \
@@ -132,7 +133,7 @@ pub fn analyze_metrics(snapshot: &MetricsSnapshot, config: &MetricsAuditConfig) 
         let total_wins: u64 = f.wins.iter().map(|(_, v)| v).sum();
         if total_vetoes > total_wins && total_wins > 0 {
             out.push(Diagnostic::info(
-                "NITRO043",
+                codes::NITRO043,
                 &f.function,
                 format!(
                     "vetoes ({total_vetoes}) outnumber recorded wins ({total_wins}); \
@@ -156,7 +157,7 @@ pub fn analyze_metrics_json(
     match MetricsSnapshot::from_json(json) {
         Ok(snapshot) => analyze_metrics(&snapshot, config),
         Err(e) => vec![Diagnostic::error(
-            "NITRO040",
+            codes::NITRO040,
             subject,
             format!("metrics JSON does not parse as a MetricsSnapshot: {e}"),
         )],

@@ -13,6 +13,7 @@
 //! depends on this crate's consumers, not vice versa) as well as on any
 //! ad-hoc dataset a harness assembles.
 
+use nitro_core::diag::registry::codes;
 use nitro_core::{Diagnostic, Objective};
 
 /// Borrowed view of exhaustive-profiling results.
@@ -95,7 +96,7 @@ pub fn analyze_profile(view: &ProfileView<'_>, config: &ProfileAuditConfig) -> V
     for (v, &w) in wins.iter().enumerate() {
         if w == 0 {
             out.push(Diagnostic::warning(
-                "NITRO030",
+                codes::NITRO030,
                 subject,
                 format!(
                     "variant '{}' is never best on any of the {n_inputs} profiled inputs; \
@@ -113,7 +114,7 @@ pub fn analyze_profile(view: &ProfileView<'_>, config: &ProfileAuditConfig) -> V
         let first = view.features[0][j];
         if column(j).all(|v| v == first) {
             out.push(Diagnostic::warning(
-                "NITRO031",
+                codes::NITRO031,
                 subject,
                 format!(
                     "feature '{}' is constant ({first}) across all profiled inputs",
@@ -126,7 +127,7 @@ pub fn analyze_profile(view: &ProfileView<'_>, config: &ProfileAuditConfig) -> V
         for b in (a + 1)..n_features {
             if column(a).zip(column(b)).all(|(x, y)| x == y) {
                 out.push(Diagnostic::warning(
-                    "NITRO032",
+                    codes::NITRO032,
                     subject,
                     format!(
                         "features '{}' and '{}' are identical on every profiled input; \
@@ -145,7 +146,7 @@ pub fn analyze_profile(view: &ProfileView<'_>, config: &ProfileAuditConfig) -> V
             let share = w as f64 / labeled as f64;
             if share > config.imbalance_ratio {
                 out.push(Diagnostic::warning(
-                    "NITRO033",
+                    codes::NITRO033,
                     subject,
                     format!(
                         "variant '{}' is best on {w} of {labeled} labeled inputs ({:.0}%); \
@@ -184,7 +185,7 @@ pub fn analyze_profile(view: &ProfileView<'_>, config: &ProfileAuditConfig) -> V
     }
     if noisy > 0 {
         out.push(Diagnostic::warning(
-            "NITRO034",
+            codes::NITRO034,
             subject,
             format!(
                 "{noisy} of {labeled} labels are decided by a win margin below \

@@ -7,6 +7,7 @@
 //! persisted artifact ambiguous, and policy settings that cannot produce
 //! a usable model.
 
+use nitro_core::diag::registry::codes;
 use nitro_core::{CodeVariant, Diagnostic};
 use nitro_ml::{ClassifierConfig, GridSearch};
 
@@ -31,13 +32,13 @@ pub fn lint_registration<I: ?Sized>(
     // NITRO010: nothing to select between.
     if n_variants == 0 {
         out.push(Diagnostic::error(
-            "NITRO010",
+            codes::NITRO010,
             subject,
             "no variants registered",
         ));
     } else if n_variants == 1 {
         out.push(Diagnostic::info(
-            "NITRO010",
+            codes::NITRO010,
             subject,
             "only one variant registered; tuning is a no-op",
         ));
@@ -46,14 +47,14 @@ pub fn lint_registration<I: ?Sized>(
     // NITRO011 / NITRO012: name collisions make artifacts ambiguous.
     for name in duplicate_names(&variant_names) {
         out.push(Diagnostic::error(
-            "NITRO011",
+            codes::NITRO011,
             subject,
             format!("duplicate variant name '{name}'"),
         ));
     }
     for name in duplicate_names(&feature_names) {
         out.push(Diagnostic::error(
-            "NITRO012",
+            codes::NITRO012,
             subject,
             format!("duplicate feature name '{name}'"),
         ));
@@ -62,13 +63,13 @@ pub fn lint_registration<I: ?Sized>(
     // NITRO013 / NITRO014: the constraint-fallback target.
     match cv.default_variant() {
         None => out.push(Diagnostic::warning(
-            "NITRO013",
+            codes::NITRO013,
             subject,
             "no default variant set; dispatch fails until a model is installed, \
              and constraint fallbacks use variant 0",
         )),
         Some(d) if d >= n_variants => out.push(Diagnostic::error(
-            "NITRO014",
+            codes::NITRO014,
             subject,
             format!("default variant {d} not registered (have {n_variants})"),
         )),
@@ -81,7 +82,7 @@ pub fn lint_registration<I: ?Sized>(
         for &idx in subset {
             if idx >= n_features {
                 out.push(Diagnostic::error(
-                    "NITRO015",
+                    codes::NITRO015,
                     subject,
                     format!(
                         "feature_subset index {idx} out of bounds (have {n_features} features)"
@@ -96,14 +97,14 @@ pub fn lint_registration<I: ?Sized>(
         } else {
             "feature_subset selects no valid features; a model cannot be trained".to_string()
         };
-        out.push(Diagnostic::error("NITRO016", subject, msg));
+        out.push(Diagnostic::error(codes::NITRO016, subject, msg));
     }
 
     // NITRO017: constraints that can never fire.
     for target in cv.constraint_targets() {
         if target >= n_variants {
             out.push(Diagnostic::error(
-                "NITRO017",
+                codes::NITRO017,
                 subject,
                 format!("constraint references unknown variant {target} (have {n_variants})"),
             ));
@@ -115,14 +116,14 @@ pub fn lint_registration<I: ?Sized>(
         ClassifierConfig::Knn { k } => {
             if *k == 0 {
                 out.push(Diagnostic::error(
-                    "NITRO018",
+                    codes::NITRO018,
                     subject,
                     "kNN k must be positive",
                 ));
             } else if let Some(n) = training_size {
                 if *k > n {
                     out.push(Diagnostic::warning(
-                        "NITRO018",
+                        codes::NITRO018,
                         subject,
                         format!(
                             "kNN k={k} exceeds the training-set size {n}; \
@@ -139,7 +140,7 @@ pub fn lint_registration<I: ?Sized>(
             ..
         } => {
             out.push(Diagnostic::info(
-                "NITRO019",
+                codes::NITRO019,
                 subject,
                 "grid search enabled but both C and gamma are fixed; the search is a no-op",
             ));
@@ -157,21 +158,21 @@ pub fn lint_grid_search(grid: &GridSearch, subject: &str) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     if grid.c_values.is_empty() {
         out.push(Diagnostic::error(
-            "NITRO019",
+            codes::NITRO019,
             subject,
             "grid search has no candidate C values",
         ));
     }
     if grid.gamma_values.is_empty() {
         out.push(Diagnostic::error(
-            "NITRO019",
+            codes::NITRO019,
             subject,
             "grid search has no candidate gamma values",
         ));
     }
     if grid.folds < 2 {
         out.push(Diagnostic::error(
-            "NITRO019",
+            codes::NITRO019,
             subject,
             format!(
                 "grid search needs at least 2 cross-validation folds (have {})",
@@ -296,13 +297,24 @@ mod tests {
     }
 
     #[test]
-    fn constraint_on_unknown_variant_is_nitro017() {
+    fn constraint_on_unknown_variant_is_rejected_at_registration() {
+        // Registration now refuses the unknown index with a typed error,
+        // so NITRO017 (kept as a defensive invariant in the linter) can
+        // no longer be reached through the public API.
         let mut cv = clean_cv();
-        cv.add_constraint(5, FnConstraint::new("never", |_: &f64| true));
-        let diags = lint_registration(&cv, None);
-        assert!(diags
-            .iter()
-            .any(|d| d.code == "NITRO017" && d.message.contains("5")));
+        let err = cv
+            .add_constraint(5, FnConstraint::new("never", |_: &f64| true))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            nitro_core::NitroError::InvalidIndex {
+                what: "constraint variant",
+                index: 5,
+                ..
+            }
+        ));
+        // The failed registration leaves the configuration clean.
+        assert!(lint_registration(&cv, None).is_empty());
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! SARIF 2.1.0 export for diagnostics.
+//!
+//! The audit bench binary writes one SARIF log per suite so findings can
+//! ride through CI artifact uploads and code-scanning UIs. The exporter
+//! is deliberately small: one `run`, a `tool.driver` whose rules come
+//! from [`nitro_core::diag::registry`], and one `result` per finding.
+//! Subjects travel as logical locations (there are no physical source
+//! files behind a tuning-graph finding).
+
+use nitro_core::diag::registry;
+use nitro_core::{Diagnostic, Severity};
+use serde_json::Value;
+
+/// The SARIF schema this exporter emits.
+pub const SARIF_VERSION: &str = "2.1.0";
+const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Render diagnostics as a SARIF 2.1.0 log (pretty-printed JSON).
+///
+/// `tool_version` becomes `tool.driver.version`; the driver name is
+/// always `nitro-audit`.
+pub fn render_sarif(diags: &[Diagnostic], tool_version: &str) -> String {
+    let mut rule_codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+    rule_codes.sort_unstable();
+    rule_codes.dedup();
+
+    let rules: Vec<Value> = rule_codes
+        .iter()
+        .map(|code| {
+            let mut rule = vec![("id".to_string(), Value::String((*code).to_string()))];
+            if let Some(info) = registry::lookup(code) {
+                rule.push((
+                    "shortDescription".into(),
+                    obj(vec![("text", Value::String(info.summary.to_string()))]),
+                ));
+                rule.push((
+                    "properties".into(),
+                    obj(vec![("area", Value::String(info.area.to_string()))]),
+                ));
+            }
+            Value::Object(rule)
+        })
+        .collect();
+
+    let results: Vec<Value> = diags
+        .iter()
+        .map(|d| {
+            obj(vec![
+                ("ruleId", Value::String(d.code.clone())),
+                ("level", Value::String(sarif_level(d.severity).to_string())),
+                (
+                    "message",
+                    obj(vec![("text", Value::String(d.message.clone()))]),
+                ),
+                (
+                    "locations",
+                    Value::Array(vec![obj(vec![(
+                        "logicalLocations",
+                        Value::Array(vec![obj(vec![
+                            ("fullyQualifiedName", Value::String(d.subject.clone())),
+                            ("kind", Value::String("function".into())),
+                        ])]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+
+    let driver = obj(vec![
+        ("name", Value::String("nitro-audit".into())),
+        ("version", Value::String(tool_version.to_string())),
+        (
+            "informationUri",
+            Value::String("https://github.com/nitro-tuner/nitro".into()),
+        ),
+        ("rules", Value::Array(rules)),
+    ]);
+
+    let log = obj(vec![
+        ("version", Value::String(SARIF_VERSION.into())),
+        ("$schema", Value::String(SARIF_SCHEMA.into())),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                ("tool", obj(vec![("driver", driver)])),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ]);
+
+    serde_json::to_string_pretty(&log).expect("SARIF log serializes")
+}
+
+/// SARIF `level` for a severity.
+fn sarif_level(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::error("NITRO080", "toy", "variant 1 is statically dead"),
+            Diagnostic::warning("NITRO083", "toy", "feature 2 is never read"),
+            Diagnostic::info("NITRO010", "toy", "only one variant"),
+        ]
+    }
+
+    #[test]
+    fn log_parses_and_has_required_shape() {
+        let text = render_sarif(&sample(), "1.2.3");
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let top = v.as_object().unwrap();
+        let get = |k: &str| top.iter().find(|(n, _)| n == k).map(|(_, v)| v).unwrap();
+        assert_eq!(get("version"), &Value::String("2.1.0".into()));
+        assert!(matches!(get("$schema"), Value::String(s) if s.contains("sarif-schema-2.1.0")));
+
+        let runs = match get("runs") {
+            Value::Array(r) => r,
+            other => panic!("runs not an array: {other:?}"),
+        };
+        assert_eq!(runs.len(), 1);
+        let run = runs[0].as_object().unwrap();
+        let results = run
+            .iter()
+            .find(|(n, _)| n == "results")
+            .map(|(_, v)| v)
+            .unwrap();
+        let results = match results {
+            Value::Array(r) => r,
+            other => panic!("results not an array: {other:?}"),
+        };
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn levels_map_by_severity() {
+        let text = render_sarif(&sample(), "0");
+        assert!(text.contains("\"level\": \"error\""));
+        assert!(text.contains("\"level\": \"warning\""));
+        assert!(text.contains("\"level\": \"note\""));
+    }
+
+    #[test]
+    fn rules_are_unique_and_described_from_the_registry() {
+        let mut diags = sample();
+        diags.push(Diagnostic::error("NITRO080", "other", "also dead"));
+        let text = render_sarif(&diags, "0");
+        // Four results but only three rules (NITRO080 deduped).
+        assert_eq!(text.matches("\"ruleId\"").count(), 4);
+        assert_eq!(text.matches("\"id\": \"NITRO").count(), 3);
+        // Registry summary text rides along.
+        assert!(text.contains("statically dead variant"));
+    }
+
+    #[test]
+    fn empty_input_is_a_valid_empty_log() {
+        let text = render_sarif(&[], "0");
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert!(matches!(v, Value::Object(_)));
+        assert!(text.contains("\"results\": []"));
+    }
+}

@@ -1,0 +1,501 @@
+//! Interval-arithmetic satisfiability for [`Predicate`] conjunctions.
+//!
+//! The whole-configuration passes need to *prove* facts like "this
+//! variant's constraints can never all hold" (NITRO080) or "constraint A
+//! is implied by constraint B" (NITRO081). The fragment predicates live
+//! in — interval bounds on single features plus order comparisons between
+//! feature pairs, closed under and/or/not — is decidable by normalizing
+//! to DNF and checking each conjunct with interval tightening and
+//! order-graph closure over the reals.
+//!
+//! Soundness direction: [`Sat::Unsatisfiable`] is a *proof* — real-valued
+//! unsatisfiability implies f64 unsatisfiability because every finite f64
+//! is a real. [`Sat::Satisfiable`] and [`Sat::Unknown`] merely fail to
+//! prove emptiness, which only ever *suppresses* findings. The DNF
+//! expansion is budgeted; predicates that blow the budget come back
+//! [`Sat::Unknown`], never a wrong proof.
+
+use nitro_core::{CmpOp, Predicate};
+
+/// Verdict of a satisfiability query over the feature domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sat {
+    /// A consistent assignment of real feature values exists.
+    Satisfiable,
+    /// Proven: no assignment of (finite) feature values satisfies the
+    /// conjunction.
+    Unsatisfiable,
+    /// The normalization budget was exhausted before a proof either way.
+    Unknown,
+}
+
+/// Conjunct budget for the DNF expansion. Predicates from real
+/// registrations are tiny; this bound exists so adversarial or generated
+/// trees degrade to [`Sat::Unknown`] instead of exponential work.
+const DNF_BUDGET: usize = 4096;
+
+/// Decide satisfiability of the conjunction of `predicates` over real
+/// feature vectors (the dispatcher's sanitized domain).
+pub fn check(predicates: &[&Predicate]) -> Sat {
+    // DNF of a conjunction: cross-product of the members' DNFs.
+    let mut conjuncts: Vec<Vec<Atom>> = vec![Vec::new()];
+    for p in predicates {
+        let Some(dnf) = to_dnf(p, false) else {
+            return Sat::Unknown;
+        };
+        let mut next = Vec::new();
+        for left in &conjuncts {
+            for right in &dnf {
+                if next.len() >= DNF_BUDGET {
+                    return Sat::Unknown;
+                }
+                let mut merged = left.clone();
+                merged.extend(right.iter().cloned());
+                next.push(merged);
+            }
+        }
+        conjuncts = next;
+        if conjuncts.is_empty() {
+            // One member normalized to an empty disjunction (false).
+            return Sat::Unsatisfiable;
+        }
+    }
+    if conjuncts.iter().any(|c| conjunct_consistent(c)) {
+        Sat::Satisfiable
+    } else {
+        Sat::Unsatisfiable
+    }
+}
+
+/// Does `premise` logically imply `conclusion`? Proven by refutation:
+/// `premise && !conclusion` must be unsatisfiable. A `false` answer means
+/// "not proven", not "disproven".
+pub fn implies(premise: &Predicate, conclusion: &Predicate) -> bool {
+    let negated = conclusion.clone().not();
+    check(&[premise, &negated]) == Sat::Unsatisfiable
+}
+
+/// A literal in a DNF conjunct.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `feature op constant`.
+    Feat(usize, CmpOp, f64),
+    /// `lhs op rhs` over two features.
+    Pair(usize, CmpOp, usize),
+    /// Constant truth value.
+    Bool(bool),
+}
+
+/// Normalize to disjunctive normal form, pushing negation inward through
+/// [`CmpOp::negate`]. Returns `None` when the conjunct budget is blown.
+fn to_dnf(p: &Predicate, negated: bool) -> Option<Vec<Vec<Atom>>> {
+    match p {
+        Predicate::True => Some(vec![vec![Atom::Bool(!negated)]]),
+        Predicate::False => Some(vec![vec![Atom::Bool(negated)]]),
+        Predicate::Feature { feature, op, value } => {
+            let op = if negated { op.negate() } else { *op };
+            Some(vec![vec![Atom::Feat(*feature, op, *value)]])
+        }
+        Predicate::Pair { lhs, op, rhs } => {
+            let op = if negated { op.negate() } else { *op };
+            Some(vec![vec![Atom::Pair(*lhs, op, *rhs)]])
+        }
+        Predicate::Not(inner) => to_dnf(inner, !negated),
+        Predicate::And(parts) if !negated => cross_product(parts, negated),
+        Predicate::Or(parts) if negated => cross_product(parts, negated),
+        // A disjunction (or negated conjunction): concatenate children.
+        Predicate::And(parts) | Predicate::Or(parts) => {
+            let mut out = Vec::new();
+            for part in parts {
+                out.extend(to_dnf(part, negated)?);
+                if out.len() > DNF_BUDGET {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// DNF of a conjunction of children: the cross-product of their DNFs.
+fn cross_product(parts: &[Predicate], negated: bool) -> Option<Vec<Vec<Atom>>> {
+    let mut acc: Vec<Vec<Atom>> = vec![Vec::new()];
+    for part in parts {
+        let dnf = to_dnf(part, negated)?;
+        let mut next = Vec::with_capacity(acc.len().saturating_mul(dnf.len()));
+        for left in &acc {
+            for right in &dnf {
+                if next.len() > DNF_BUDGET {
+                    return None;
+                }
+                let mut merged = left.clone();
+                merged.extend(right.iter().cloned());
+                next.push(merged);
+            }
+        }
+        acc = next;
+    }
+    Some(acc)
+}
+
+/// An interval with open/closed endpoints.
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    lo: f64,
+    lo_strict: bool,
+    hi: f64,
+    hi_strict: bool,
+}
+
+impl Interval {
+    fn full() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            lo_strict: false,
+            hi: f64::INFINITY,
+            hi_strict: false,
+        }
+    }
+
+    fn tighten_lo(&mut self, lo: f64, strict: bool) {
+        if lo > self.lo {
+            self.lo = lo;
+            self.lo_strict = strict;
+        } else if lo == self.lo {
+            self.lo_strict |= strict;
+        }
+    }
+
+    fn tighten_hi(&mut self, hi: f64, strict: bool) {
+        if hi < self.hi {
+            self.hi = hi;
+            self.hi_strict = strict;
+        } else if hi == self.hi {
+            self.hi_strict |= strict;
+        }
+    }
+
+    fn merge(&mut self, other: &Interval) {
+        self.tighten_lo(other.lo, other.lo_strict);
+        self.tighten_hi(other.hi, other.hi_strict);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && (self.lo_strict || self.hi_strict))
+    }
+
+    /// The single value this interval pins, if any.
+    fn point(&self) -> Option<f64> {
+        (self.lo == self.hi && !self.lo_strict && !self.hi_strict && self.lo.is_finite())
+            .then_some(self.lo)
+    }
+}
+
+/// Order relation between two features reachable through `<=`/`<` edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reach {
+    No,
+    Le,
+    Lt,
+}
+
+/// Is a single conjunct of atoms consistent over the reals?
+///
+/// Complete for this fragment: equalities merge features (union-find),
+/// order atoms form a `<=`/`<` graph whose transitive closure exposes
+/// strict cycles and forced equalities, interval bounds propagate along
+/// the closure, and disequalities only bite when both sides are pinned to
+/// the same point (the reals are dense everywhere else).
+fn conjunct_consistent(atoms: &[Atom]) -> bool {
+    let mut n = 0usize;
+    for a in atoms {
+        match a {
+            Atom::Bool(false) => return false,
+            Atom::Bool(true) => {}
+            Atom::Feat(f, _, _) => n = n.max(f + 1),
+            Atom::Pair(l, _, r) => n = n.max(l.max(r) + 1),
+        }
+    }
+    if n == 0 {
+        return true; // only Bool(true) atoms
+    }
+
+    // Union-find over feature indices, driven by `Pair(_, Eq, _)` atoms.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for a in atoms {
+        if let Atom::Pair(l, CmpOp::Eq, r) = a {
+            let (rl, rr) = (find(&mut parent, *l), find(&mut parent, *r));
+            if rl != rr {
+                parent[rl] = rr;
+            }
+        }
+    }
+
+    let mut intervals = vec![Interval::full(); n];
+    let mut ne_consts: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut ne_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut order = vec![vec![Reach::No; n]; n]; // order[a][b]: a (<=|<) b
+
+    for a in atoms {
+        match *a {
+            Atom::Bool(_) => {}
+            Atom::Feat(f, op, c) => {
+                let rep = find(&mut parent, f);
+                if c.is_nan() {
+                    // Every comparison with NaN is false except `!=`.
+                    if op != CmpOp::Ne {
+                        return false;
+                    }
+                    continue;
+                }
+                let iv = &mut intervals[rep];
+                match op {
+                    CmpOp::Lt => iv.tighten_hi(c, true),
+                    CmpOp::Le => iv.tighten_hi(c, false),
+                    CmpOp::Gt => iv.tighten_lo(c, true),
+                    CmpOp::Ge => iv.tighten_lo(c, false),
+                    CmpOp::Eq => {
+                        iv.tighten_lo(c, false);
+                        iv.tighten_hi(c, false);
+                    }
+                    CmpOp::Ne => ne_consts[rep].push(c),
+                }
+            }
+            Atom::Pair(l, op, r) => {
+                let (rl, rr) = (find(&mut parent, l), find(&mut parent, r));
+                match op {
+                    CmpOp::Eq => {} // consumed by union-find above
+                    CmpOp::Ne => {
+                        if rl == rr {
+                            return false; // x != x
+                        }
+                        ne_pairs.push((rl, rr));
+                    }
+                    CmpOp::Lt => order[rl][rr] = Reach::Lt,
+                    CmpOp::Le => {
+                        if order[rl][rr] == Reach::No {
+                            order[rl][rr] = Reach::Le;
+                        }
+                    }
+                    CmpOp::Gt => order[rr][rl] = Reach::Lt,
+                    CmpOp::Ge => {
+                        if order[rr][rl] == Reach::No {
+                            order[rr][rl] = Reach::Le;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Transitive closure of the order graph, tracking strictness: a path
+    // with any `<` edge makes the whole relation strict.
+    for k in 0..n {
+        for i in 0..n {
+            if order[i][k] == Reach::No {
+                continue;
+            }
+            for j in 0..n {
+                if order[k][j] == Reach::No {
+                    continue;
+                }
+                let strict = order[i][k] == Reach::Lt || order[k][j] == Reach::Lt;
+                let combined = if strict { Reach::Lt } else { Reach::Le };
+                if order[i][j] != Reach::Lt && (combined == Reach::Lt || order[i][j] == Reach::No) {
+                    order[i][j] = combined;
+                }
+            }
+        }
+    }
+    // A strict cycle (x < x) is a contradiction.
+    for (i, row) in order.iter().enumerate() {
+        if row[i] == Reach::Lt {
+            return false;
+        }
+    }
+
+    // Propagate bounds along the closed order relation: a <= b means
+    // lo(b) >= lo(a) and hi(a) <= hi(b).
+    for i in 0..n {
+        for j in 0..n {
+            let rel = order[i][j];
+            if rel == Reach::No {
+                continue;
+            }
+            let strict = rel == Reach::Lt;
+            let (lo, lo_strict) = (intervals[i].lo, intervals[i].lo_strict);
+            intervals[j].tighten_lo(lo, lo_strict || strict);
+            let (hi, hi_strict) = (intervals[j].hi, intervals[j].hi_strict);
+            intervals[i].tighten_hi(hi, hi_strict || strict);
+        }
+    }
+
+    for i in 0..n {
+        let rep = find(&mut parent, i);
+        if rep != i {
+            // Mirror the representative's interval onto members (bounds
+            // were only accumulated on representatives, but order edges
+            // always use representatives, so this is just bookkeeping).
+            let merged = intervals[rep];
+            intervals[i].merge(&merged);
+        }
+    }
+
+    for (i, iv) in intervals.iter().enumerate() {
+        if iv.is_empty() {
+            return false;
+        }
+        if let Some(p) = iv.point() {
+            if ne_consts[i].contains(&p) {
+                return false;
+            }
+        }
+    }
+
+    for &(a, b) in &ne_pairs {
+        // Both pinned to the same point, or mutually ordered (a <= b and
+        // b <= a forces equality): the disequality cannot hold.
+        if let (Some(pa), Some(pb)) = (intervals[a].point(), intervals[b].point()) {
+            if pa == pb {
+                return false;
+            }
+        }
+        if order[a][b] != Reach::No && order[b][a] != Reach::No {
+            return false;
+        }
+    }
+
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contradictory_bounds_are_unsat() {
+        let a = Predicate::lt(0, 1.0);
+        let b = Predicate::gt(0, 2.0);
+        assert_eq!(check(&[&a, &b]), Sat::Unsatisfiable);
+        assert_eq!(check(&[&a]), Sat::Satisfiable);
+    }
+
+    #[test]
+    fn touching_strict_bounds_are_unsat() {
+        let a = Predicate::lt(0, 5.0);
+        let b = Predicate::ge(0, 5.0);
+        assert_eq!(check(&[&a, &b]), Sat::Unsatisfiable);
+        // Non-strict touch is the single point 5.
+        let c = Predicate::le(0, 5.0);
+        assert_eq!(check(&[&c, &b]), Sat::Satisfiable);
+    }
+
+    #[test]
+    fn eq_ne_point_conflicts() {
+        let eq = Predicate::eq(0, 3.0);
+        let ne = Predicate::ne(0, 3.0);
+        assert_eq!(check(&[&eq, &ne]), Sat::Unsatisfiable);
+        // A disequality inside a fat interval is fine (dense reals).
+        let iv = Predicate::between(0, 0.0, 10.0);
+        assert_eq!(check(&[&iv, &ne]), Sat::Satisfiable);
+    }
+
+    #[test]
+    fn strict_pair_cycle_is_unsat() {
+        let a = Predicate::pair(0, CmpOp::Lt, 1);
+        let b = Predicate::pair(1, CmpOp::Lt, 2);
+        let c = Predicate::pair(2, CmpOp::Lt, 0);
+        assert_eq!(check(&[&a, &b, &c]), Sat::Unsatisfiable);
+        // A non-strict cycle just forces equality: satisfiable.
+        let a2 = Predicate::pair(0, CmpOp::Le, 1);
+        let c2 = Predicate::pair(2, CmpOp::Le, 0);
+        let b2 = Predicate::pair(1, CmpOp::Le, 2);
+        assert_eq!(check(&[&a2, &b2, &c2]), Sat::Satisfiable);
+    }
+
+    #[test]
+    fn forced_equality_conflicts_with_disequality() {
+        let le = Predicate::pair(0, CmpOp::Le, 1);
+        let ge = Predicate::pair(0, CmpOp::Ge, 1);
+        let ne = Predicate::pair(0, CmpOp::Ne, 1);
+        assert_eq!(check(&[&le, &ge, &ne]), Sat::Unsatisfiable);
+        assert_eq!(check(&[&le, &ne]), Sat::Satisfiable);
+    }
+
+    #[test]
+    fn bounds_propagate_through_order_edges() {
+        // f0 >= 10 and f0 <= f1 and f1 <= 5: empty.
+        let lo = Predicate::ge(0, 10.0);
+        let ord = Predicate::pair(0, CmpOp::Le, 1);
+        let hi = Predicate::le(1, 5.0);
+        assert_eq!(check(&[&lo, &ord, &hi]), Sat::Unsatisfiable);
+        // Chain through a middle feature.
+        let ord2 = Predicate::pair(1, CmpOp::Le, 2);
+        let hi2 = Predicate::le(2, 5.0);
+        assert_eq!(check(&[&lo, &ord, &ord2, &hi2]), Sat::Unsatisfiable);
+    }
+
+    #[test]
+    fn equality_merges_pair_features() {
+        // f0 == f1, f0 < 3, f1 > 4: the merged feature has empty bounds.
+        let eq = Predicate::pair(0, CmpOp::Eq, 1);
+        let a = Predicate::lt(0, 3.0);
+        let b = Predicate::gt(1, 4.0);
+        assert_eq!(check(&[&eq, &a, &b]), Sat::Unsatisfiable);
+    }
+
+    #[test]
+    fn negation_normalizes_through_connectives() {
+        // !(f0 <= 5 || f0 >= 10) == 5 < f0 < 10.
+        let p = Predicate::any(vec![Predicate::le(0, 5.0), Predicate::ge(0, 10.0)]).not();
+        assert_eq!(check(&[&p]), Sat::Satisfiable);
+        let conflict = Predicate::le(0, 5.0);
+        assert_eq!(check(&[&p, &conflict]), Sat::Unsatisfiable);
+    }
+
+    #[test]
+    fn constant_predicates() {
+        assert_eq!(check(&[&Predicate::False]), Sat::Unsatisfiable);
+        assert_eq!(check(&[&Predicate::True]), Sat::Satisfiable);
+        assert_eq!(check(&[]), Sat::Satisfiable);
+        assert_eq!(check(&[&Predicate::Or(vec![])]), Sat::Unsatisfiable);
+    }
+
+    #[test]
+    fn nan_constants_never_compare() {
+        let p = Predicate::le(0, f64::NAN);
+        assert_eq!(check(&[&p]), Sat::Unsatisfiable);
+        let ne = Predicate::ne(0, f64::NAN);
+        assert_eq!(check(&[&ne]), Sat::Satisfiable);
+    }
+
+    #[test]
+    fn implication_examples() {
+        assert!(implies(&Predicate::le(0, 5.0), &Predicate::le(0, 10.0)));
+        assert!(!implies(&Predicate::le(0, 10.0), &Predicate::le(0, 5.0)));
+        assert!(implies(
+            &Predicate::between(0, 2.0, 3.0),
+            &Predicate::gt(0, 1.0)
+        ));
+        // Equivalent predicates imply each other.
+        let a = Predicate::le(0, 5.0);
+        let b = Predicate::gt(0, 5.0).not();
+        assert!(implies(&a, &b) && implies(&b, &a));
+    }
+
+    #[test]
+    fn budget_overflow_degrades_to_unknown() {
+        // Each clause is a 2-way disjunction; 13 of them cross-multiply to
+        // 8192 conjuncts, past the 4096 budget.
+        let clause = Predicate::any(vec![Predicate::le(0, 1.0), Predicate::ge(1, 2.0)]);
+        let big = Predicate::all(vec![clause; 13]);
+        assert_eq!(check(&[&big]), Sat::Unknown);
+    }
+}

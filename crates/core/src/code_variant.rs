@@ -17,6 +17,7 @@ use crate::error::{NitroError, Result};
 use crate::feature::{Constraint, InputFeature};
 use crate::model::ModelArtifact;
 use crate::policy::TuningPolicy;
+use crate::predicate::{ConstraintDescriptor, Predicate};
 use crate::variant::Variant;
 
 /// Replace non-finite feature values with 0: a NaN or ±∞ leaking out of
@@ -69,6 +70,39 @@ struct Pending<I: ?Sized> {
     handle: std::thread::JoinHandle<(Vec<f64>, f64)>,
 }
 
+/// One registered constraint: the vetoed variant, the executable check,
+/// and — for declaratively registered constraints — the predicate it was
+/// lowered from (what the whole-configuration analyses consume).
+struct ConstraintEntry<I: ?Sized> {
+    variant: usize,
+    check: Arc<dyn Constraint<I>>,
+    predicate: Option<Predicate>,
+}
+
+/// Executable form of a declarative predicate: evaluates the referenced
+/// feature functions on the input (with the same non-finite sanitation
+/// as dispatch) and applies the expression.
+struct PredicateConstraint<I: ?Sized> {
+    name: String,
+    predicate: Predicate,
+    features: Vec<(usize, Arc<dyn InputFeature<I>>)>,
+    width: usize,
+}
+
+impl<I: ?Sized> Constraint<I> for PredicateConstraint<I> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_satisfied(&self, input: &I) -> bool {
+        let mut values = vec![0.0; self.width];
+        for (i, f) in &self.features {
+            values[*i] = sanitize(f.evaluate(input));
+        }
+        self.predicate.eval(&values)
+    }
+}
+
 /// A tuned function: set of variants + selection meta-information.
 ///
 /// Type parameter `I` is the input (argument tuple) type shared by every
@@ -79,7 +113,7 @@ pub struct CodeVariant<I: ?Sized> {
     variants: Vec<Arc<dyn Variant<I>>>,
     default_variant: Option<usize>,
     features: Vec<Arc<dyn InputFeature<I>>>,
-    constraints: Vec<(usize, Arc<dyn Constraint<I>>)>,
+    constraints: Vec<ConstraintEntry<I>>,
     model: Option<TrainedModel>,
     policy: TuningPolicy,
     stats: CallStats,
@@ -178,20 +212,121 @@ impl<I: ?Sized> CodeVariant<I> {
         self.features.len() - 1
     }
 
-    /// Attach a constraint to one variant.
+    /// Attach an opaque (closure-backed) constraint to one variant.
     ///
-    /// Indices of not-yet-registered variants are accepted (the
-    /// constraint simply never fires) and flagged by the `nitro-audit`
-    /// registration linter.
-    pub fn add_constraint(&mut self, variant: usize, c: impl Constraint<I> + 'static) {
-        self.constraints.push((variant, Arc::new(c)));
+    /// The variant must already be registered: unknown indices are a
+    /// typed [`NitroError::InvalidIndex`] at registration time, so a
+    /// mistyped index fails where it was written instead of surfacing
+    /// later as an audit finding. Register variants before constraints.
+    ///
+    /// Opaque constraints can be *executed* but not *analyzed* — the
+    /// whole-configuration analyses model them as `Opaque` nodes. Prefer
+    /// [`CodeVariant::add_predicate_constraint`] when the condition is
+    /// expressible over registered features.
+    pub fn add_constraint(
+        &mut self,
+        variant: usize,
+        c: impl Constraint<I> + 'static,
+    ) -> Result<()> {
+        self.checked_constraint_variant(variant)?;
+        self.constraints.push(ConstraintEntry {
+            variant,
+            check: Arc::new(c),
+            predicate: None,
+        });
+        Ok(())
+    }
+
+    /// Attach a declarative constraint: `variant` may only run on inputs
+    /// where `predicate` holds over the registered feature vector.
+    ///
+    /// The predicate is lowered into the tuning-graph IR, so the
+    /// `nitro-audit` whole-configuration analyses (NITRO080–086) can
+    /// reason about it statically; at dispatch it behaves exactly like a
+    /// closure constraint (referenced features are evaluated on the
+    /// input, sanitized, and the expression applied).
+    ///
+    /// Both the variant index and every feature index the predicate
+    /// references must already be registered; violations are a typed
+    /// [`NitroError::InvalidIndex`].
+    pub fn add_predicate_constraint(
+        &mut self,
+        variant: usize,
+        name: impl Into<String>,
+        predicate: Predicate,
+    ) -> Result<()>
+    where
+        I: 'static,
+    {
+        self.checked_constraint_variant(variant)?;
+        if let Err(bad) = predicate.validate(self.features.len()) {
+            return Err(NitroError::InvalidIndex {
+                what: "predicate feature",
+                index: bad,
+                len: self.features.len(),
+            });
+        }
+        let features = predicate
+            .features_referenced()
+            .into_iter()
+            .map(|i| (i, Arc::clone(&self.features[i])))
+            .collect::<Vec<_>>();
+        let width = features.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
+        let check = PredicateConstraint {
+            name: name.into(),
+            predicate: predicate.clone(),
+            features,
+            width,
+        };
+        self.constraints.push(ConstraintEntry {
+            variant,
+            check: Arc::new(check),
+            predicate: Some(predicate),
+        });
+        Ok(())
+    }
+
+    /// Registration-time validation shared by both constraint paths.
+    fn checked_constraint_variant(&self, variant: usize) -> Result<()> {
+        if variant < self.variants.len() {
+            Ok(())
+        } else {
+            Err(NitroError::InvalidIndex {
+                what: "constraint variant",
+                index: variant,
+                len: self.variants.len(),
+            })
+        }
     }
 
     /// Variant indices referenced by registered constraints, in
-    /// registration order (with repeats). Used by the registration linter
-    /// to find constraints on unknown variants.
+    /// registration order (with repeats). Registration now rejects
+    /// unknown indices, but the `nitro-audit` registration linter still
+    /// re-checks this defensively (NITRO017).
     pub fn constraint_targets(&self) -> Vec<usize> {
-        self.constraints.iter().map(|(v, _)| *v).collect()
+        self.constraints.iter().map(|e| e.variant).collect()
+    }
+
+    /// Descriptors for every registered constraint, in registration
+    /// order: target variant, name, and the lowered predicate (`None`
+    /// for opaque closures). This is the feed for the `nitro-audit`
+    /// tuning-graph IR.
+    pub fn constraint_descriptors(&self) -> Vec<ConstraintDescriptor> {
+        self.constraints
+            .iter()
+            .map(|e| ConstraintDescriptor {
+                variant: e.variant,
+                name: e.check.name().to_string(),
+                predicate: e.predicate.clone(),
+            })
+            .collect()
+    }
+
+    /// Whether any registered constraint was declared as a predicate
+    /// (and the deep whole-configuration analyses therefore have
+    /// something to analyze).
+    pub fn has_predicate_constraints(&self) -> bool {
+        self.constraints.iter().any(|e| e.predicate.is_some())
     }
 
     /// Number of registered variants.
@@ -246,6 +381,12 @@ impl<I: ?Sized> CodeVariant<I> {
     /// Whether a model is installed.
     pub fn has_model(&self) -> bool {
         self.model.is_some()
+    }
+
+    /// The installed model, if any (the IR builder reads its emittable
+    /// class labels for the NITRO086 exhaustiveness analysis).
+    pub fn model(&self) -> Option<&TrainedModel> {
+        self.model.as_ref()
     }
 
     /// Install a persisted artifact after validating that it was trained
@@ -337,8 +478,8 @@ impl<I: ?Sized> CodeVariant<I> {
         }
         self.constraints
             .iter()
-            .filter(|(v, _)| *v == variant)
-            .all(|(_, c)| c.is_satisfied(input))
+            .filter(|e| e.variant == variant)
+            .all(|e| e.check.is_satisfied(input))
     }
 
     /// Execute one specific variant directly (the autotuner's exhaustive
@@ -712,7 +853,8 @@ mod tests {
         let mut cv = toy();
         cv.install_model(toy_model());
         // Veto the "large" variant everywhere.
-        cv.add_constraint(1, FnConstraint::new("never", |_: &f64| false));
+        cv.add_constraint(1, FnConstraint::new("never", |_: &f64| false))
+            .unwrap();
         let inv = cv.call(&9.0).unwrap();
         assert!(inv.fell_back_to_default);
         assert_eq!(inv.variant, 0);
@@ -723,7 +865,8 @@ mod tests {
     fn disabling_constraints_in_policy_ignores_them() {
         let mut cv = toy();
         cv.install_model(toy_model());
-        cv.add_constraint(1, FnConstraint::new("never", |_: &f64| false));
+        cv.add_constraint(1, FnConstraint::new("never", |_: &f64| false))
+            .unwrap();
         cv.policy_mut().constraints = false;
         let inv = cv.call(&9.0).unwrap();
         assert!(!inv.fell_back_to_default);
@@ -844,7 +987,8 @@ mod tests {
     fn traced_dispatch_emits_span_and_metrics() {
         let mut cv = toy();
         cv.install_model(toy_model());
-        cv.add_constraint(1, FnConstraint::new("never", |_: &f64| false));
+        cv.add_constraint(1, FnConstraint::new("never", |_: &f64| false))
+            .unwrap();
         let sink = Arc::new(nitro_trace::RingSink::new(64));
         let tracer = nitro_trace::Tracer::new(sink.clone());
         cv.declare_tracer_metrics(&tracer);
@@ -1005,6 +1149,83 @@ mod tests {
             .is_err());
         assert!(cv.variant(1).is_some());
         assert!(cv.variant(7).is_none());
+    }
+
+    #[test]
+    fn predicate_constraint_vetoes_like_a_closure() {
+        let mut cv = toy();
+        cv.install_model(toy_model());
+        // "large" may only run when x <= 7 (feature 0 is x itself).
+        cv.add_predicate_constraint(1, "x_le_7", Predicate::le(0, 7.0))
+            .unwrap();
+        assert!(cv.has_predicate_constraints());
+        let inv = cv.call(&6.0).unwrap();
+        assert_eq!(inv.variant, 1);
+        assert!(!inv.fell_back_to_default);
+        let inv = cv.call(&9.0).unwrap();
+        assert_eq!(inv.variant, 0);
+        assert!(inv.fell_back_to_default);
+    }
+
+    #[test]
+    fn constraint_registration_rejects_unknown_indices() {
+        let mut cv = toy();
+        // Unknown variant: typed error at registration, not an audit find.
+        let err = cv
+            .add_constraint(5, FnConstraint::new("x", |_: &f64| true))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NitroError::InvalidIndex {
+                what: "constraint variant",
+                index: 5,
+                len: 2
+            }
+        ));
+        let err = cv
+            .add_predicate_constraint(3, "p", Predicate::True)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NitroError::InvalidIndex {
+                what: "constraint variant",
+                index: 3,
+                ..
+            }
+        ));
+        // Unknown feature index inside the predicate.
+        let err = cv
+            .add_predicate_constraint(1, "p", Predicate::le(4, 1.0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NitroError::InvalidIndex {
+                what: "predicate feature",
+                index: 4,
+                len: 1
+            }
+        ));
+        // Nothing was registered by the failed calls.
+        assert!(cv.constraint_targets().is_empty());
+    }
+
+    #[test]
+    fn constraint_descriptors_expose_predicates_and_opaques() {
+        let mut cv = toy();
+        cv.add_constraint(0, FnConstraint::new("opaque_check", |_: &f64| true))
+            .unwrap();
+        assert!(!cv.has_predicate_constraints());
+        cv.add_predicate_constraint(1, "x_le_7", Predicate::le(0, 7.0))
+            .unwrap();
+        let descs = cv.constraint_descriptors();
+        assert_eq!(descs.len(), 2);
+        assert_eq!(
+            (descs[0].variant, descs[0].name.as_str()),
+            (0, "opaque_check")
+        );
+        assert_eq!(descs[0].predicate, None);
+        assert_eq!((descs[1].variant, descs[1].name.as_str()), (1, "x_le_7"));
+        assert_eq!(descs[1].predicate, Some(Predicate::le(0, 7.0)));
     }
 
     #[test]

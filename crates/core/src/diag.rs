@@ -26,6 +26,16 @@
 //!   journals, artifact-store checksums/version gaps, staged-promotion
 //!   rollbacks; these analyzers live in `nitro-store`, which sits above
 //!   `nitro-audit` in the crate graph like the guard's `NITRO05x`).
+//! * `NITRO080`–`NITRO089` — whole-configuration analysis over the
+//!   tuning-graph IR (`nitro-audit::deep`): dead variants, shadowed
+//!   constraints, feature dataflow, cascade termination, cross-version
+//!   compatibility, model-label exhaustiveness.
+//!
+//! Every code is defined exactly once in [`registry`], which carries
+//! severity/area/summary metadata and is test-locked against the README
+//! code table.
+
+pub mod registry;
 
 use std::fmt;
 

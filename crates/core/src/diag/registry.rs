@@ -1,0 +1,186 @@
+//! The central registry of `NITRO0xx` diagnostic codes.
+//!
+//! Every code an analyzer can emit is defined here exactly once, with
+//! its severity label, subsystem area, and one-line summary. Analyzers
+//! across the workspace (`nitro-audit`, `nitro-guard`, `nitro-store`,
+//! `nitro-tuner`, the bench binaries) reference [`codes`] constants
+//! instead of string literals, so a typo'd or colliding code is a
+//! compile error or a registry-test failure rather than a silently
+//! unexplainable finding. The SARIF exporter reads rule metadata from
+//! here, and a test asserts the README code table stays in sync.
+
+/// Metadata for one diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeInfo {
+    /// The stable machine-readable code (`NITRO0xx`).
+    pub code: &'static str,
+    /// Severity label as documented (e.g. `"error"`, `"error / info"`
+    /// when the code is emitted at several severities).
+    pub severity: &'static str,
+    /// Subsystem area the code belongs to.
+    pub area: &'static str,
+    /// One-line summary (doubles as the SARIF rule description).
+    pub summary: &'static str,
+}
+
+macro_rules! registry {
+    ($( $code:ident => $severity:literal, $area:literal, $summary:literal; )+) => {
+        /// Code-string constants, one per registered diagnostic code.
+        /// Analyzers emit these instead of string literals.
+        pub mod codes {
+            $(
+                #[doc = $summary]
+                pub const $code: &str = stringify!($code);
+            )+
+        }
+
+        /// Every registered code, in ascending code order (the same
+        /// order as the README table).
+        pub const REGISTRY: &[CodeInfo] = &[
+            $( CodeInfo {
+                code: stringify!($code),
+                severity: $severity,
+                area: $area,
+                summary: $summary,
+            }, )+
+        ];
+    };
+}
+
+registry! {
+    NITRO001 => "error", "artifact", "artifact JSON unreadable / tuned model unexportable";
+    NITRO010 => "error / info", "registration", "no variants registered (error); only one (info)";
+    NITRO011 => "error", "registration", "duplicate variant names";
+    NITRO012 => "error", "registration", "duplicate feature names";
+    NITRO013 => "warning", "registration", "no default variant set";
+    NITRO014 => "error", "registration", "default variant index out of range";
+    NITRO015 => "error", "registration", "`feature_subset` index out of bounds";
+    NITRO016 => "error", "registration", "no active features to train on";
+    NITRO017 => "error", "registration", "constraint targets an unknown variant";
+    NITRO018 => "error / warning", "registration, artifact", "kNN `k == 0` (error); `k` exceeds training/stored points (warning)";
+    NITRO019 => "error / info", "registration", "grid search with empty C/γ grids or < 2 folds (error); grid search requested with both parameters fixed (info)";
+    NITRO020 => "warning / error", "artifact", "legacy `schema_version` 0 (warning); newer than this build (error)";
+    NITRO021 => "error", "artifact vs. registration", "function name or variant names disagree";
+    NITRO022 => "error", "artifact", "feature names or scaler arity disagree with the model";
+    NITRO023 => "error", "artifact", "non-finite support-vector coordinate";
+    NITRO024 => "error", "artifact", "non-finite dual coefficient or bias (ρ)";
+    NITRO025 => "error", "artifact", "non-finite feature-scaling parameters";
+    NITRO026 => "warning", "artifact", "constant training feature (scaler min == max)";
+    NITRO027 => "error", "artifact", "class label outside the variant range";
+    NITRO028 => "error / warning", "artifact", "non-finite Platt parameters (error); positive Platt slope (warning)";
+    NITRO029 => "warning", "artifact", "SVM KKT residual above tolerance (under-trained model)";
+    NITRO030 => "warning", "profile", "dead variant: never the best on any profiled input";
+    NITRO031 => "warning", "profile", "constant feature column (carries no signal)";
+    NITRO032 => "warning", "profile", "duplicate feature columns";
+    NITRO033 => "warning", "profile", "class imbalance: one variant wins > 90 % of inputs";
+    NITRO034 => "warning", "profile", "wins decided inside the noise floor (labels unreliable)";
+    NITRO040 => "error", "metrics", "exported metrics JSON does not parse as a snapshot";
+    NITRO041 => "warning", "metrics", "constraints veto the model's choice on most calls";
+    NITRO042 => "warning", "metrics", "declared variant never won a single dispatch";
+    NITRO043 => "info", "metrics", "vetoes outnumber recorded wins";
+    NITRO050 => "error", "resilience", "zero-trip circuit breaker (`quarantine_threshold == 0`)";
+    NITRO051 => "warning", "resilience", "zero retry budget: transient failures count straight toward quarantine";
+    NITRO052 => "error", "resilience", "fault-plan probability outside [0, 1] / bad slowdown factor";
+    NITRO053 => "warning", "resilience", "quarantine threshold below retry budget (one bad input can quarantine)";
+    NITRO054 => "warning", "resilience", "zero cooldown: quarantine never rests a failing variant";
+    NITRO055 => "error", "resilience", "negative or non-finite backoff base";
+    NITRO060 => "warning", "fast path", "≥ 90 % of training rows are support vectors (degenerate model, slow predicts)";
+    NITRO061 => "error", "fast path", "SMO kernel-cache budget smaller than a single kernel column";
+    NITRO062 => "error", "fast path", "compiled prediction engine disagrees with the reference path";
+    NITRO070 => "warning", "lifecycle", "torn journal tail (crash mid-write); truncated and resumed";
+    NITRO071 => "warning / error", "lifecycle", "checksum mismatch: journal line (warning, truncated) or stored artifact version (error, never installed)";
+    NITRO072 => "error", "lifecycle", "stored version missing, unreadable or unparseable despite the manifest";
+    NITRO073 => "warning", "lifecycle", "stale promotion candidate: shadow window never filled before `max_candidate_age`";
+    NITRO074 => "warning", "lifecycle", "post-promotion regression: candidate auto-rolled-back to the prior version";
+    NITRO075 => "error", "lifecycle", "rollback storm: promotions held until an operator releases the hold";
+    NITRO080 => "error", "whole-config", "statically dead variant: its constraint conjunction is unsatisfiable over the feature domain";
+    NITRO081 => "warning", "whole-config", "shadowed constraint: subsumed by another constraint on the same variant";
+    NITRO082 => "warning", "whole-config", "constant feature: identical value across the whole profile table yet consulted by the model or a predicate";
+    NITRO083 => "warning", "whole-config", "never-read feature: outside the policy's active subset and referenced by no predicate";
+    NITRO084 => "error", "whole-config", "fallback cascade broken: veto cycle or no constraint-free path to the terminal default variant";
+    NITRO085 => "warning / error", "whole-config", "store manifest version incompatible with the live registration (error on the latest version, warning on historical ones)";
+    NITRO086 => "error", "whole-config", "model-label gap: a trained model can emit a class with no live, non-dead variant behind it";
+}
+
+/// Look up one code's metadata.
+pub fn lookup(code: &str) -> Option<&'static CodeInfo> {
+    REGISTRY.iter().find(|c| c.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_well_formed_and_ordered() {
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = "";
+        for info in REGISTRY {
+            assert!(seen.insert(info.code), "duplicate code {}", info.code);
+            assert!(
+                info.code.starts_with("NITRO") && info.code.len() == 8,
+                "malformed code {}",
+                info.code
+            );
+            assert!(
+                info.code[5..].chars().all(|c| c.is_ascii_digit()),
+                "non-numeric code {}",
+                info.code
+            );
+            assert!(prev < info.code, "{} out of order", info.code);
+            prev = info.code;
+            assert!(!info.summary.is_empty() && !info.area.is_empty());
+            for part in info.severity.split(" / ") {
+                assert!(
+                    ["error", "warning", "info"].contains(&part),
+                    "unknown severity label '{part}' on {}",
+                    info.code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_finds_registered_codes_only() {
+        assert_eq!(lookup("NITRO080").unwrap().area, "whole-config");
+        assert!(lookup("NITRO999").is_none());
+    }
+
+    /// The README's code table is generated from this registry by hand;
+    /// this test keeps the two in lockstep, column for column.
+    #[test]
+    fn readme_code_table_matches_registry() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+                .expect("README.md is readable from crates/core");
+        let rows: Vec<(String, String, String, String)> = readme
+            .lines()
+            .filter(|l| l.starts_with("| NITRO"))
+            .map(|l| {
+                let cols: Vec<&str> = l.trim_matches('|').split('|').map(str::trim).collect();
+                assert_eq!(cols.len(), 4, "bad table row: {l}");
+                (
+                    cols[0].to_string(),
+                    cols[1].to_string(),
+                    cols[2].to_string(),
+                    cols[3].to_string(),
+                )
+            })
+            .collect();
+        let expected: Vec<(String, String, String, String)> = REGISTRY
+            .iter()
+            .map(|c| {
+                (
+                    c.code.to_string(),
+                    c.severity.to_string(),
+                    c.area.to_string(),
+                    c.summary.to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            rows, expected,
+            "README code table out of sync with nitro_core::diag::registry"
+        );
+    }
+}

@@ -49,6 +49,7 @@ pub mod feature;
 pub mod fsio;
 pub mod model;
 pub mod policy;
+pub mod predicate;
 pub mod variant;
 
 pub use code_variant::{CallStats, CodeVariant, Invocation};
@@ -59,6 +60,7 @@ pub use feature::{Constraint, FnConstraint, FnFeature, InputFeature};
 pub use fsio::{atomic_write, crc32};
 pub use model::{ModelArtifact, MODEL_SCHEMA_VERSION};
 pub use policy::{StoppingCriterion, TuningPolicy};
+pub use predicate::{CmpOp, ConstraintDescriptor, Predicate};
 pub use variant::{FnVariant, Objective, Variant};
 
 // Re-export the ML types that appear in this crate's public API, so

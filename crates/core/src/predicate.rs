@@ -1,0 +1,427 @@
+//! Declarative constraints: a serializable predicate AST over features.
+//!
+//! The paper's constraints are opaque host-language closures (§II-B), and
+//! so were ours: `dyn Constraint<I>` can be *executed* but not *analyzed*.
+//! This module adds the declarative alternative — a [`Predicate`] is a
+//! small boolean expression over **registered feature indices** (interval
+//! bounds on one feature, comparisons between two features, and
+//! and/or/not), registered through
+//! [`crate::CodeVariant::add_predicate_constraint`].
+//!
+//! A predicate-backed constraint behaves exactly like a closure at
+//! dispatch time (it evaluates the referenced feature functions on the
+//! input and applies the expression), but unlike a closure it also
+//! *lowers into the tuning-graph IR*: the `nitro-audit` whole-
+//! configuration analyses (NITRO080–NITRO086) can prove a variant
+//! statically dead, find subsumed constraints, and check model-label
+//! exhaustiveness. Opaque closures remain supported as an escape hatch
+//! and appear in the IR as unanalyzable `Opaque` nodes.
+//!
+//! Feature values seen by a predicate are sanitized the same way dispatch
+//! sanitizes them (non-finite → 0.0), so the declarative semantics agree
+//! with the feature vectors models are trained on.
+
+use serde::{Deserialize, Serialize};
+
+/// Comparison operator used by predicate atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply the comparison to two values.
+    pub fn apply(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+
+    /// The operator computing the logical negation (over finite values).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boolean expression over registered feature indices.
+///
+/// Feature indices refer to the *full* registered feature list of the
+/// `CodeVariant` the predicate is attached to (registration order), not
+/// the policy's active subset — constraints must keep working when the
+/// model's feature subset changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always satisfied.
+    True,
+    /// Never satisfied.
+    False,
+    /// Compare one feature against a constant: `feature op value`.
+    Feature {
+        /// Registered feature index.
+        feature: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant right-hand side.
+        value: f64,
+    },
+    /// Compare two features: `lhs op rhs`.
+    Pair {
+        /// Registered feature index (left-hand side).
+        lhs: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Registered feature index (right-hand side).
+        rhs: usize,
+    },
+    /// Conjunction: all children must hold (empty = true).
+    And(Vec<Predicate>),
+    /// Disjunction: at least one child must hold (empty = false).
+    Or(Vec<Predicate>),
+    /// Logical negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `feature < value`.
+    pub fn lt(feature: usize, value: f64) -> Self {
+        Predicate::Feature {
+            feature,
+            op: CmpOp::Lt,
+            value,
+        }
+    }
+
+    /// `feature <= value`.
+    pub fn le(feature: usize, value: f64) -> Self {
+        Predicate::Feature {
+            feature,
+            op: CmpOp::Le,
+            value,
+        }
+    }
+
+    /// `feature > value`.
+    pub fn gt(feature: usize, value: f64) -> Self {
+        Predicate::Feature {
+            feature,
+            op: CmpOp::Gt,
+            value,
+        }
+    }
+
+    /// `feature >= value`.
+    pub fn ge(feature: usize, value: f64) -> Self {
+        Predicate::Feature {
+            feature,
+            op: CmpOp::Ge,
+            value,
+        }
+    }
+
+    /// `feature == value`.
+    pub fn eq(feature: usize, value: f64) -> Self {
+        Predicate::Feature {
+            feature,
+            op: CmpOp::Eq,
+            value,
+        }
+    }
+
+    /// `feature != value`.
+    pub fn ne(feature: usize, value: f64) -> Self {
+        Predicate::Feature {
+            feature,
+            op: CmpOp::Ne,
+            value,
+        }
+    }
+
+    /// `lo <= feature <= hi` (an interval bound).
+    pub fn between(feature: usize, lo: f64, hi: f64) -> Self {
+        Predicate::And(vec![Self::ge(feature, lo), Self::le(feature, hi)])
+    }
+
+    /// `lhs op rhs` over two features.
+    pub fn pair(lhs: usize, op: CmpOp, rhs: usize) -> Self {
+        Predicate::Pair { lhs, op, rhs }
+    }
+
+    /// Conjunction of `parts`.
+    pub fn all(parts: Vec<Predicate>) -> Self {
+        Predicate::And(parts)
+    }
+
+    /// Disjunction of `parts`.
+    pub fn any(parts: Vec<Predicate>) -> Self {
+        Predicate::Or(parts)
+    }
+
+    /// Logical negation of `self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluate over a full feature vector (registered order). Missing
+    /// indices read as 0.0 and non-finite values are sanitized to 0.0,
+    /// matching the dispatcher's feature sanitation.
+    pub fn eval(&self, features: &[f64]) -> bool {
+        let value = |i: usize| {
+            let v = features.get(i).copied().unwrap_or(0.0);
+            if v.is_finite() {
+                v
+            } else {
+                0.0
+            }
+        };
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Feature {
+                feature,
+                op,
+                value: c,
+            } => op.apply(value(*feature), *c),
+            Predicate::Pair { lhs, op, rhs } => op.apply(value(*lhs), value(*rhs)),
+            Predicate::And(parts) => parts.iter().all(|p| p.eval(features)),
+            Predicate::Or(parts) => parts.iter().any(|p| p.eval(features)),
+            Predicate::Not(p) => !p.eval(features),
+        }
+    }
+
+    /// All feature indices referenced, sorted and de-duplicated.
+    pub fn features_referenced(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_features(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_features(&self, out: &mut Vec<usize>) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::Feature { feature, .. } => out.push(*feature),
+            Predicate::Pair { lhs, rhs, .. } => {
+                out.push(*lhs);
+                out.push(*rhs);
+            }
+            Predicate::And(parts) | Predicate::Or(parts) => {
+                for p in parts {
+                    p.collect_features(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_features(out),
+        }
+    }
+
+    /// The largest feature index referenced, if any.
+    pub fn max_feature(&self) -> Option<usize> {
+        self.features_referenced().last().copied()
+    }
+
+    /// Node count (atoms + connectives); the analysis passes use this to
+    /// budget normalization work.
+    pub fn size(&self) -> usize {
+        match self {
+            Predicate::True
+            | Predicate::False
+            | Predicate::Feature { .. }
+            | Predicate::Pair { .. } => 1,
+            Predicate::And(parts) | Predicate::Or(parts) => {
+                1 + parts.iter().map(|p| p.size()).sum::<usize>()
+            }
+            Predicate::Not(p) => 1 + p.size(),
+        }
+    }
+
+    /// Validate against a feature-table size: every referenced index must
+    /// be a registered feature. Returns the first offending index.
+    pub fn validate(&self, n_features: usize) -> std::result::Result<(), usize> {
+        match self
+            .features_referenced()
+            .into_iter()
+            .find(|&i| i >= n_features)
+        {
+            Some(bad) => Err(bad),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::Feature { feature, op, value } => write!(f, "f{feature} {op} {value}"),
+            Predicate::Pair { lhs, op, rhs } => write!(f, "f{lhs} {op} f{rhs}"),
+            Predicate::And(parts) => {
+                if parts.is_empty() {
+                    return write!(f, "true");
+                }
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Or(parts) => {
+                if parts.is_empty() {
+                    return write!(f, "false");
+                }
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Not(p) => write!(f, "!{p}"),
+        }
+    }
+}
+
+/// Descriptor of one registered constraint, in registration order: the
+/// target variant, the constraint's name, and — when it was registered
+/// declaratively — its predicate. Opaque closures carry `None`, the
+/// tuning-graph IR models them as unanalyzable `Opaque` nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintDescriptor {
+    /// Variant index the constraint vetoes.
+    pub variant: usize,
+    /// Stable constraint name (diagnostic subject).
+    pub name: String,
+    /// The lowered predicate, or `None` for opaque closures.
+    pub predicate: Option<Predicate>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_evaluate() {
+        assert!(Predicate::le(0, 5.0).eval(&[5.0]));
+        assert!(!Predicate::lt(0, 5.0).eval(&[5.0]));
+        assert!(Predicate::between(1, 2.0, 4.0).eval(&[0.0, 3.0]));
+        assert!(!Predicate::between(1, 2.0, 4.0).eval(&[0.0, 5.0]));
+        assert!(Predicate::pair(0, CmpOp::Lt, 1).eval(&[1.0, 2.0]));
+        assert!(!Predicate::pair(0, CmpOp::Gt, 1).eval(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn connectives_evaluate() {
+        let p = Predicate::any(vec![
+            Predicate::ge(0, 10.0),
+            Predicate::all(vec![Predicate::le(0, 2.0), Predicate::ne(1, 0.0)]),
+        ]);
+        assert!(p.eval(&[11.0, 0.0]));
+        assert!(p.eval(&[1.0, 3.0]));
+        assert!(!p.eval(&[1.0, 0.0]));
+        assert!(!Predicate::True.not().eval(&[]));
+        assert!(Predicate::And(vec![]).eval(&[]));
+        assert!(!Predicate::Or(vec![]).eval(&[]));
+    }
+
+    #[test]
+    fn missing_and_non_finite_features_read_as_zero() {
+        // Index 3 is out of range: reads 0.0.
+        assert!(Predicate::eq(3, 0.0).eval(&[1.0]));
+        // Non-finite values sanitize to 0.0, as in dispatch.
+        assert!(Predicate::eq(0, 0.0).eval(&[f64::NAN]));
+        assert!(Predicate::lt(0, 1.0).eval(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn feature_bookkeeping() {
+        let p = Predicate::all(vec![
+            Predicate::le(4, 1.0),
+            Predicate::pair(2, CmpOp::Lt, 4),
+            Predicate::gt(0, -1.0).not(),
+        ]);
+        assert_eq!(p.features_referenced(), vec![0, 2, 4]);
+        assert_eq!(p.max_feature(), Some(4));
+        assert_eq!(p.size(), 5);
+        assert!(p.validate(5).is_ok());
+        assert_eq!(p.validate(4), Err(4));
+    }
+
+    #[test]
+    fn cmp_op_negation_is_logical_complement_on_finite_values() {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
+            for (a, b) in [(1.0, 2.0), (2.0, 1.0), (1.5, 1.5)] {
+                assert_eq!(op.apply(a, b), !op.negate().apply(a, b), "{op} on {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Predicate::any(vec![
+            Predicate::between(0, 1.0, 8.0),
+            Predicate::pair(1, CmpOp::Ge, 0).not(),
+        ]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Predicate = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Predicate::all(vec![
+            Predicate::le(3, 12.0),
+            Predicate::pair(0, CmpOp::Lt, 1),
+        ]);
+        assert_eq!(p.to_string(), "(f3 <= 12 && f0 < f1)");
+    }
+}

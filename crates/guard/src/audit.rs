@@ -25,6 +25,7 @@
 //!   on the very next call, making quarantine toothless.
 //! * `NITRO055` (error)   — negative or non-finite backoff base.
 
+use nitro_core::diag::registry::codes;
 use nitro_core::Diagnostic;
 use nitro_simt::FaultPlan;
 
@@ -37,7 +38,7 @@ pub fn audit_guard_policy(function: &str, policy: &GuardPolicy) -> Vec<Diagnosti
     let mut diags = Vec::new();
     if policy.quarantine_threshold == 0 {
         diags.push(Diagnostic::error(
-            "NITRO050",
+            codes::NITRO050,
             function,
             "zero-trip circuit breaker: quarantine_threshold is 0, so every variant \
              quarantines on its first failure (set it to at least 1)",
@@ -45,7 +46,7 @@ pub fn audit_guard_policy(function: &str, policy: &GuardPolicy) -> Vec<Diagnosti
     }
     if policy.retry_budget == 0 {
         diags.push(Diagnostic::warning(
-            "NITRO051",
+            codes::NITRO051,
             function,
             "zero retry budget: transient launch failures are never retried and \
              count straight toward quarantine",
@@ -53,7 +54,7 @@ pub fn audit_guard_policy(function: &str, policy: &GuardPolicy) -> Vec<Diagnosti
     }
     if policy.quarantine_threshold > 0 && policy.quarantine_threshold < policy.retry_budget {
         diags.push(Diagnostic::warning(
-            "NITRO053",
+            codes::NITRO053,
             function,
             format!(
                 "quarantine threshold {} is below the retry budget {}: one call's \
@@ -64,7 +65,7 @@ pub fn audit_guard_policy(function: &str, policy: &GuardPolicy) -> Vec<Diagnosti
     }
     if policy.cooldown_calls == 0 {
         diags.push(Diagnostic::warning(
-            "NITRO054",
+            codes::NITRO054,
             function,
             "zero cooldown: an opened breaker half-opens on the next call, so \
              quarantine never actually rests a failing variant",
@@ -72,7 +73,7 @@ pub fn audit_guard_policy(function: &str, policy: &GuardPolicy) -> Vec<Diagnosti
     }
     if !policy.backoff_base_ns.is_finite() || policy.backoff_base_ns < 0.0 {
         diags.push(Diagnostic::error(
-            "NITRO055",
+            codes::NITRO055,
             function,
             format!(
                 "backoff_base_ns must be a non-negative finite duration, got {}",
@@ -88,7 +89,7 @@ pub fn audit_guard_policy(function: &str, policy: &GuardPolicy) -> Vec<Diagnosti
 pub fn audit_fault_plan(subject: &str, plan: &FaultPlan) -> Vec<Diagnostic> {
     plan.validate()
         .into_iter()
-        .map(|problem| Diagnostic::error("NITRO052", subject, problem))
+        .map(|problem| Diagnostic::error(codes::NITRO052, subject, problem))
         .collect()
 }
 

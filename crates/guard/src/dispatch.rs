@@ -206,6 +206,32 @@ impl<I: ?Sized> GuardedVariant<I> {
             .is_some_and(|b| b.is_quarantined())
     }
 
+    /// The static fallback structure [`GuardedVariant::plan_cascade`]
+    /// guarantees, as tuning-graph edges: every dynamic cascade ends at
+    /// the terminal default, whatever the model ranks in between, so
+    /// each non-default variant gets one edge into the default. Feed
+    /// this to [`nitro_audit::TuningGraph::with_cascade`] for the
+    /// NITRO084 termination analysis; an empty vector (no default set)
+    /// makes that analysis report the missing terminal.
+    pub fn cascade_edges(&self) -> Vec<nitro_audit::CascadeEdge> {
+        let n = self.cv.n_variants();
+        let Some(default) = self.cv.default_variant().filter(|&d| d < n) else {
+            return Vec::new();
+        };
+        (0..n)
+            .filter(|&v| v != default)
+            .map(|from| nitro_audit::CascadeEdge { from, to: default })
+            .collect()
+    }
+
+    /// Lower the wrapped registration into a whole-configuration
+    /// [`nitro_audit::TuningGraph`], with the cascade this guard's
+    /// planner actually guarantees instead of the dispatcher's default
+    /// veto edges.
+    pub fn tuning_graph(&self) -> nitro_audit::TuningGraph {
+        nitro_audit::TuningGraph::from_code_variant(&self.cv).with_cascade(self.cascade_edges())
+    }
+
     /// Pre-register this guard's counters in a tracer's registry so an
     /// exported snapshot distinguishes "never happened" from "never
     /// instrumented" (same contract as
@@ -592,6 +618,45 @@ mod tests {
     }
 
     #[test]
+    fn cascade_edges_route_every_variant_to_the_terminal_default() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.add_variant(FnVariant::new("third", |&x: &f64| x));
+        let guard = GuardedVariant::with_default_policy(cv).unwrap();
+        assert_eq!(
+            guard.cascade_edges(),
+            vec![
+                nitro_audit::CascadeEdge { from: 1, to: 0 },
+                nitro_audit::CascadeEdge { from: 2, to: 0 },
+            ]
+        );
+
+        // Without a default there is no terminal: no edges, and the
+        // tuning graph's termination analysis reports the gap.
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<f64>::new("nodefault", &ctx);
+        cv.add_variant(FnVariant::new("a", |&x: &f64| x));
+        cv.add_variant(FnVariant::new("b", |&x: &f64| x));
+        cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+        cv.add_predicate_constraint(1, "p", nitro_core::Predicate::ge(0, 0.0))
+            .unwrap();
+        let guard = GuardedVariant::with_default_policy(cv).unwrap();
+        assert!(guard.cascade_edges().is_empty());
+        let diags = nitro_audit::analyze_graph(&guard.tuning_graph());
+        assert!(diags.iter().any(|d| d.code == "NITRO084"), "{diags:?}");
+    }
+
+    #[test]
+    fn tuning_graph_uses_the_guard_cascade() {
+        let ctx = Context::new();
+        let cv = toy(&ctx);
+        let guard = GuardedVariant::with_default_policy(cv).unwrap();
+        let g = guard.tuning_graph();
+        assert_eq!(g.cascade, guard.cascade_edges());
+        assert!(nitro_audit::analyze_graph(&g).is_empty());
+    }
+
+    #[test]
     fn missing_model_degrades_to_default_dispatch() {
         let ctx = Context::new();
         let mut guard = GuardedVariant::new(toy(&ctx), quick_policy()).unwrap();
@@ -691,7 +756,8 @@ mod tests {
     fn constraint_vetoed_prediction_cascades_to_default() {
         let ctx = Context::new();
         let mut cv = toy(&ctx);
-        cv.add_constraint(1, nitro_core::FnConstraint::new("never", |_: &f64| false));
+        cv.add_constraint(1, nitro_core::FnConstraint::new("never", |_: &f64| false))
+            .unwrap();
         cv.install_model(toy_model());
         let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
         let (features, _) = guard.inner().evaluate_features(&9.0);

@@ -310,6 +310,42 @@ impl TrainedModel {
         let preds: Vec<usize> = data.x.iter().map(|x| self.predict(x)).collect();
         data.accuracy(&preds)
     }
+
+    /// The class labels this model can emit, sorted and deduped — the
+    /// feed for the whole-configuration model-label exhaustiveness
+    /// analysis (NITRO086).
+    ///
+    /// * SVM: the classes present in training (pairwise voting and the
+    ///   majority fallback only ever produce those).
+    /// * kNN: the distinct memorized labels (neighbour votes can only
+    ///   elect a stored label).
+    /// * Tree: the argmax class of each leaf (exact).
+    /// * Forest: the union of member trees' leaf winners (a superset of
+    ///   what the averaged vote can produce).
+    pub fn emittable_classes(&self) -> Vec<usize> {
+        match self {
+            TrainedModel::Svm { model, .. } => {
+                let mut out: Vec<usize> = model
+                    .present()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &p)| p.then_some(i))
+                    .collect();
+                if out.is_empty() {
+                    out.push(model.fallback());
+                }
+                out
+            }
+            TrainedModel::Knn { model, .. } => {
+                let mut out = model.labels().to_vec();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            TrainedModel::Tree { model } => model.leaf_classes(),
+            TrainedModel::Forest { model } => model.leaf_classes(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -499,6 +535,51 @@ mod tests {
         assert_eq!(stats.train_rows, d.len());
         let (_, none) = TrainedModel::train_with_stats(&ClassifierConfig::Knn { k: 3 }, &d);
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn emittable_classes_cover_training_labels() {
+        let d = skewed_clusters();
+        for config in [
+            ClassifierConfig::Svm {
+                c: Some(10.0),
+                gamma: Some(1.0),
+                grid_search: false,
+                cache_bytes: None,
+            },
+            ClassifierConfig::Knn { k: 3 },
+            ClassifierConfig::Tree(TreeParams::default()),
+            ClassifierConfig::Forest(crate::forest::ForestParams::default()),
+        ] {
+            let m = TrainedModel::train(&config, &d);
+            assert_eq!(
+                m.emittable_classes(),
+                vec![0, 1],
+                "{} emittable classes",
+                config.name()
+            );
+        }
+    }
+
+    #[test]
+    fn emittable_classes_skip_unwinnable_labels() {
+        // Class 1 exists in the label space but never in the data: no
+        // model can emit it.
+        let mut d = Dataset::new(3);
+        for i in 0..8 {
+            d.push(vec![i as f64], if i < 4 { 0 } else { 2 });
+        }
+        for config in [
+            ClassifierConfig::Knn { k: 1 },
+            ClassifierConfig::Tree(TreeParams::default()),
+        ] {
+            let m = TrainedModel::train(&config, &d);
+            assert!(
+                !m.emittable_classes().contains(&1),
+                "{} claims class 1",
+                config.name()
+            );
+        }
     }
 
     #[test]

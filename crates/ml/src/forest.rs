@@ -101,6 +101,16 @@ impl ForestModel {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Union of every member tree's leaf-winning classes, sorted and
+    /// deduped — a superset of what the averaged vote can emit, used by
+    /// the model-label exhaustiveness analysis.
+    pub fn leaf_classes(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.trees.iter().flat_map(|t| t.leaf_classes()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 }
 
 #[cfg(test)]

@@ -144,6 +144,28 @@ impl TreeModel {
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
     }
+
+    /// The classes this tree can predict: the argmax class of each leaf
+    /// (same tie-break as [`TreeModel::predict`]), sorted and deduped.
+    /// Exact — every prediction walks to some leaf, and every leaf is
+    /// reachable by the half-open boxes the splits carve out.
+    pub fn leaf_classes(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Leaf { probs } => probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i),
+                Node::Split { .. } => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 }
 
 fn class_distribution(data: &Dataset, indices: &[usize], n_classes: usize) -> Vec<f64> {

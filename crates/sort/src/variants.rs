@@ -15,7 +15,7 @@
 //! each one charges to the simulated GPU is measured from the actual
 //! execution.
 
-use nitro_core::{CodeVariant, Context, FnFeature, FnVariant};
+use nitro_core::{CodeVariant, Context, FnFeature, FnVariant, Predicate};
 use nitro_simt::{DeviceConfig, Gpu, Schedule};
 
 use crate::keys::{Keys, SortInput};
@@ -293,6 +293,14 @@ pub fn build_code_variant(ctx: &Context, cfg: &DeviceConfig) -> CodeVariant<Sort
         |i: &SortInput| i.keys.ascending_runs() as f64,
         |i: &SortInput| 8.0 + i.keys.len() as f64 * 0.8,
     ));
+
+    // Radix is only allowed on 32-bit keys (feature 1 = Nbits): on
+    // 64-bit keys it pays twice the passes and twice the bytes per pass
+    // and the merge family always wins (§V-A), so this declarative
+    // guard never changes a label — it encodes the cost model's own
+    // conclusion where the whole-configuration analyses can see it.
+    cv.add_predicate_constraint(2, "radix_32bit", Predicate::le(1, 32.0))
+        .expect("Radix is registered");
     cv
 }
 

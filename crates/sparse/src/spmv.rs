@@ -10,7 +10,7 @@
 
 use std::sync::OnceLock;
 
-use nitro_core::{CodeVariant, Context, FnConstraint, FnFeature, FnVariant};
+use nitro_core::{CodeVariant, Context, FnConstraint, FnFeature, FnVariant, Predicate};
 use nitro_simt::{DeviceConfig, Gpu, Schedule};
 
 use crate::csr::CsrMatrix;
@@ -370,13 +370,47 @@ pub fn build_code_variant_metric(
         |i: &SpmvInput| features::cost::per_row(&i.csr),
     ));
 
-    // The paper's `__dia_cutoff`-style constraints.
-    let dia_ok = |i: &SpmvInput| i.dia_fill() <= DIA_FILL_CUTOFF && i.dia().is_some();
-    cv.add_constraint(dia_idx, FnConstraint::new("dia_cutoff", dia_ok));
-    cv.add_constraint(dia_tx_idx, FnConstraint::new("dia_cutoff_tx", dia_ok));
-    let ell_ok = |i: &SpmvInput| i.ell_fill() <= ELL_FILL_CUTOFF && i.ell().is_some();
-    cv.add_constraint(ell_idx, FnConstraint::new("ell_cutoff", ell_ok));
-    cv.add_constraint(ell_tx_idx, FnConstraint::new("ell_cutoff_tx", ell_ok));
+    // The paper's `__dia_cutoff`-style constraints, declared over the
+    // registered features (DIA-Fill = 3, ELL-Fill = 4) so the
+    // whole-configuration analyses can reason about them. The fill
+    // cutoffs sit far below the feature's 1e6 clamp, so the predicate
+    // over the clamped feature is equivalent to the raw bound.
+    // Representability (a matrix can exceed MAX_DIAGS or the ELL width
+    // cap with an in-cutoff fill estimate) depends on input shape, not
+    // on any registered feature, and stays an opaque escape-hatch
+    // constraint.
+    cv.add_predicate_constraint(dia_idx, "dia_cutoff", Predicate::le(3, DIA_FILL_CUTOFF))
+        .expect("DIA cutoff registers");
+    cv.add_predicate_constraint(
+        dia_tx_idx,
+        "dia_cutoff_tx",
+        Predicate::le(3, DIA_FILL_CUTOFF),
+    )
+    .expect("DIA-Tx cutoff registers");
+    cv.add_predicate_constraint(ell_idx, "ell_cutoff", Predicate::le(4, ELL_FILL_CUTOFF))
+        .expect("ELL cutoff registers");
+    cv.add_predicate_constraint(
+        ell_tx_idx,
+        "ell_cutoff_tx",
+        Predicate::le(4, ELL_FILL_CUTOFF),
+    )
+    .expect("ELL-Tx cutoff registers");
+    let dia_ok = |i: &SpmvInput| i.dia().is_some();
+    cv.add_constraint(dia_idx, FnConstraint::new("dia_representable", dia_ok))
+        .expect("DIA representability registers");
+    cv.add_constraint(
+        dia_tx_idx,
+        FnConstraint::new("dia_representable_tx", dia_ok),
+    )
+    .expect("DIA-Tx representability registers");
+    let ell_ok = |i: &SpmvInput| i.ell().is_some();
+    cv.add_constraint(ell_idx, FnConstraint::new("ell_representable", ell_ok))
+        .expect("ELL representability registers");
+    cv.add_constraint(
+        ell_tx_idx,
+        FnConstraint::new("ell_representable_tx", ell_ok),
+    )
+    .expect("ELL-Tx representability registers");
 
     cv
 }

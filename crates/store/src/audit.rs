@@ -14,12 +14,13 @@
 //! | `NITRO074` | warning | post-promotion regression: probation window regressed, promotion auto-rolled back |
 //! | `NITRO075` | error | rollback storm: repeated auto-rollbacks; promotions held until an operator intervenes |
 
+use nitro_core::diag::registry::codes;
 use nitro_core::Diagnostic;
 
 /// `NITRO070`: a torn journal tail, recovered by truncation.
 pub fn diag_torn_journal(journal: &str, offset: usize, reason: &str) -> Diagnostic {
     Diagnostic::warning(
-        "NITRO070",
+        codes::NITRO070,
         journal,
         format!("torn journal at byte {offset} ({reason}); truncated to last valid record"),
     )
@@ -30,7 +31,7 @@ pub fn diag_torn_journal(journal: &str, offset: usize, reason: &str) -> Diagnost
 /// truncated.
 pub fn diag_journal_checksum(journal: &str, offset: usize, stored: u32, actual: u32) -> Diagnostic {
     Diagnostic::warning(
-        "NITRO071",
+        codes::NITRO071,
         journal,
         format!(
             "journal line at byte {offset} fails its checksum (stored {stored:08x}, computed {actual:08x}); truncated from there"
@@ -42,7 +43,7 @@ pub fn diag_journal_checksum(journal: &str, offset: usize, stored: u32, actual: 
 /// the manifest's CRC-32. The version is never loaded or installed.
 pub fn diag_version_checksum(function: &str, version: u64, stored: u32, actual: u32) -> Diagnostic {
     Diagnostic::error(
-        "NITRO071",
+        codes::NITRO071,
         function,
         format!(
             "stored version v{version} fails its checksum (manifest {stored:08x}, computed {actual:08x}); refusing to load it"
@@ -54,7 +55,7 @@ pub fn diag_version_checksum(function: &str, version: u64, stored: u32, actual: 
 /// `latest` pointer dangles).
 pub fn diag_version_gap(function: &str, version: u64, detail: &str) -> Diagnostic {
     Diagnostic::error(
-        "NITRO072",
+        codes::NITRO072,
         function,
         format!("version gap: v{version} {detail}"),
     )
@@ -63,7 +64,7 @@ pub fn diag_version_gap(function: &str, version: u64, detail: &str) -> Diagnosti
 /// `NITRO073`: a candidate aged out before its shadow window filled.
 pub fn diag_stale_candidate(function: &str, observed: u64, needed: u64, age: u64) -> Diagnostic {
     Diagnostic::warning(
-        "NITRO073",
+        codes::NITRO073,
         function,
         format!(
             "stale candidate: only {observed}/{needed} shadow observations after {age} calls; demoting it"
@@ -75,7 +76,7 @@ pub fn diag_stale_candidate(function: &str, observed: u64, needed: u64, age: u64
 /// automatically rolled back.
 pub fn diag_rollback(function: &str, promoted: f64, incumbent: f64, tolerance: f64) -> Diagnostic {
     Diagnostic::warning(
-        "NITRO074",
+        codes::NITRO074,
         function,
         format!(
             "post-promotion regression: mean chosen cost {promoted:.4} vs prior {incumbent:.4} (tolerance {:.1}%); rolled back",
@@ -88,7 +89,7 @@ pub fn diag_rollback(function: &str, promoted: f64, incumbent: f64, tolerance: f
 /// promotions are held.
 pub fn diag_rollback_storm(function: &str, rollbacks: u64, threshold: u64) -> Diagnostic {
     Diagnostic::error(
-        "NITRO075",
+        codes::NITRO075,
         function,
         format!(
             "rollback storm: {rollbacks} auto-rollbacks (threshold {threshold}); holding all promotions until release_hold()"

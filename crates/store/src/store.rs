@@ -390,6 +390,29 @@ impl ArtifactStore {
         }
         out
     }
+
+    /// Lower every readable retained version into tuning-graph
+    /// [`nitro_audit::VersionNode`]s for the whole-configuration
+    /// cross-version compatibility analysis (`NITRO085`). Versions that
+    /// fail to load are skipped here — [`ArtifactStore::verify`] already
+    /// reports them as `NITRO071`/`NITRO072` integrity findings.
+    pub fn version_nodes(&self) -> Vec<nitro_audit::VersionNode> {
+        self.manifest
+            .versions
+            .iter()
+            .filter_map(|v| {
+                let artifact = self.load(v.version).ok()?;
+                Some(nitro_audit::VersionNode {
+                    version: v.version,
+                    is_latest: self.manifest.latest == Some(v.version),
+                    function: artifact.function,
+                    schema_version: artifact.schema_version,
+                    variant_names: artifact.variant_names,
+                    feature_names: artifact.feature_names,
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -426,6 +449,29 @@ mod tests {
             policy: TuningPolicy::default(),
             model,
         }
+    }
+
+    #[test]
+    fn version_nodes_lower_the_manifest_for_the_deep_pass() {
+        let root = temp_model_dir("store-vn").unwrap();
+        let mut store = ArtifactStore::open(&root, "toy").unwrap();
+        assert!(store.version_nodes().is_empty());
+        store.publish(&artifact("toy", 0.0), "tune").unwrap();
+        let mut second = artifact("toy", 1.0);
+        second.feature_names = vec!["x".into(), "extra".into()];
+        store.publish(&second, "retrain").unwrap();
+
+        let nodes = store.version_nodes();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].version, 1);
+        assert!(!nodes[0].is_latest);
+        assert_eq!(nodes[0].feature_names, vec!["x".to_string()]);
+        assert_eq!(nodes[1].version, 2);
+        assert!(nodes[1].is_latest);
+        assert_eq!(nodes[1].function, "toy");
+        assert_eq!(nodes[1].schema_version, MODEL_SCHEMA_VERSION);
+        assert_eq!(nodes[1].feature_names.len(), 2);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

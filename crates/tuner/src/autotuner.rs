@@ -8,6 +8,7 @@
 //! profiled, chosen by Best-vs-Second-Best active learning (§III-B).
 
 use nitro_audit::{audit_artifact_against, audit_fastpath, lint_cache_budget, lint_registration};
+use nitro_core::diag::registry::codes;
 use nitro_core::{
     diag::{has_errors, Diagnostic},
     CodeVariant, NitroError, Result, StoppingCriterion, TrainedModel,
@@ -471,6 +472,13 @@ impl Autotuner {
 
 /// Pre-tuning registration lint: error findings abort as
 /// [`NitroError::Audit`]; warnings and infos are returned for the report.
+///
+/// When the registration carries declarative predicate constraints the
+/// whole-configuration deep pass runs too: a statically dead variant or
+/// broken fallback cascade (`NITRO080`/`NITRO084`) aborts before any
+/// profiling budget is spent on a configuration that cannot dispatch as
+/// registered. (`NITRO086` cannot fire here — no model is installed yet;
+/// it runs in postflight instead.)
 pub(crate) fn preflight<I: ?Sized>(
     cv: &CodeVariant<I>,
     training_size: usize,
@@ -481,6 +489,10 @@ pub(crate) fn preflight<I: ?Sized>(
         training_size,
         cv.name(),
     ));
+    if cv.has_predicate_constraints() {
+        let graph = nitro_audit::TuningGraph::from_code_variant(cv);
+        diagnostics.extend(nitro_audit::analyze_graph(&graph));
+    }
     if has_errors(&diagnostics) {
         return Err(NitroError::Audit { diagnostics });
     }
@@ -496,10 +508,22 @@ fn postflight<I: ?Sized>(cv: &CodeVariant<I>, data: &Dataset) -> Vec<Diagnostic>
         Ok(artifact) => {
             let mut out = audit_artifact_against(&artifact, cv);
             out.extend(audit_fastpath(&artifact.model, data, cv.name()));
+            if cv.has_predicate_constraints() {
+                // With the freshly trained model installed the deep pass
+                // can now check model-label exhaustiveness. Preflight
+                // already reported the structural findings, so only the
+                // model-dependent NITRO086 rides along here.
+                let graph = nitro_audit::TuningGraph::from_code_variant(cv);
+                out.extend(
+                    nitro_audit::analyze_graph(&graph)
+                        .into_iter()
+                        .filter(|d| d.code == "NITRO086"),
+                );
+            }
             out
         }
         Err(e) => vec![Diagnostic::error(
-            "NITRO001",
+            codes::NITRO001,
             cv.name(),
             format!("freshly tuned model could not be exported for audit: {e}"),
         )],
@@ -623,6 +647,43 @@ mod tests {
         assert!(
             err.diagnostics().iter().any(|d| d.code == "NITRO010"),
             "{err}"
+        );
+    }
+
+    #[test]
+    fn statically_dead_variant_aborts_preflight() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        // x <= 3 && x >= 4 is unsatisfiable: variant 1 can never run.
+        cv.add_predicate_constraint(1, "low", nitro_core::Predicate::le(0, 3.0))
+            .unwrap();
+        cv.add_predicate_constraint(1, "high", nitro_core::Predicate::ge(0, 4.0))
+            .unwrap();
+        let err = Autotuner::new()
+            .tune(&mut cv, &training_inputs())
+            .unwrap_err();
+        assert!(
+            err.diagnostics().iter().any(|d| d.code == "NITRO080"),
+            "{err}"
+        );
+        assert!(!cv.has_model());
+    }
+
+    #[test]
+    fn satisfiable_predicates_tune_clean_through_the_deep_pass() {
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.add_predicate_constraint(1, "nonneg", nitro_core::Predicate::ge(0, 0.0))
+            .unwrap();
+        let report = Autotuner::new().tune(&mut cv, &training_inputs()).unwrap();
+        assert!(cv.has_model());
+        assert!(
+            !report
+                .audit_warnings
+                .iter()
+                .any(|d| d.code.starts_with("NITRO08")),
+            "{:?}",
+            report.audit_warnings
         );
     }
 

@@ -276,7 +276,8 @@ mod tests {
     #[test]
     fn constraint_veto_maps_to_worst_cost() {
         let mut cv = toy();
-        cv.add_constraint(1, FnConstraint::new("never", |_: &f64| false));
+        cv.add_constraint(1, FnConstraint::new("never", |_: &f64| false))
+            .unwrap();
         let t = ProfileTable::build(&cv, &[9.0]);
         assert_eq!(t.costs[0][1], f64::INFINITY);
         assert!(!t.allowed[0][1]);
@@ -340,8 +341,10 @@ mod tests {
     #[test]
     fn all_vetoed_input_has_no_label() {
         let mut cv = toy();
-        cv.add_constraint(0, FnConstraint::new("no0", |_: &f64| false));
-        cv.add_constraint(1, FnConstraint::new("no1", |_: &f64| false));
+        cv.add_constraint(0, FnConstraint::new("no0", |_: &f64| false))
+            .unwrap();
+        cv.add_constraint(1, FnConstraint::new("no1", |_: &f64| false))
+            .unwrap();
         let t = ProfileTable::build(&cv, &[5.0]);
         assert_eq!(t.best_variant(0), None);
         assert!(t.labels().is_empty());

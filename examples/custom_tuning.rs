@@ -37,7 +37,8 @@ fn build(ctx: &Context) -> CodeVariant<Input> {
         |i: &Input| i.data.len() as f64 * 0.5,
     ));
     // The "device" variant is only legal for GPU-resident buffers.
-    cv.add_constraint(1, FnConstraint::new("resident", |i: &Input| i.gpu_resident));
+    cv.add_constraint(1, FnConstraint::new("resident", |i: &Input| i.gpu_resident))
+        .expect("variant 1 is registered");
     cv
 }
 

@@ -43,7 +43,16 @@ fn traced_sort_pipeline_emits_valid_artifacts() {
         let inv = cv.call(input).unwrap();
         ledger.record(&format!("sort[{i}]"), inv.variant, &table.costs[i]);
     }
-    assert_eq!(ledger.count as usize, test.len());
+    // The radix variant is vetoed on 64-bit keys (its cost row holds the
+    // paper's ∞ sentinel), and the ledger only accounts rows with a full
+    // finite cost vector — so the expected count is the finite subset.
+    let finite_rows = table
+        .costs
+        .iter()
+        .filter(|row| row.iter().all(|c| c.is_finite()))
+        .count();
+    assert_eq!(ledger.count as usize, finite_rows);
+    assert!(finite_rows > 0, "no fully-finite cost rows in test set");
     assert!(
         ledger.oracle_fraction() > 0.5,
         "{}",

@@ -1,0 +1,174 @@
+//! Property tests for the whole-configuration satisfiability engine:
+//! randomly generated predicate trees and profile tables, checked
+//! against brute-force evaluation. The load-bearing invariant is
+//! one-directional soundness — when the analyzer says *unsatisfiable*
+//! (and therefore "statically dead variant", `NITRO080`), no input may
+//! exist that satisfies the predicate. Failing to prove emptiness only
+//! suppresses findings and is always safe.
+
+use nitro::audit::sat::{self, Sat};
+use nitro::audit::{analyze_graph, TuningGraph};
+use nitro::core::{CmpOp, CodeVariant, Context, FnFeature, FnVariant, Predicate};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_FEATURES: usize = 3;
+
+/// Constants drawn from a small grid so contradictions and touching
+/// bounds actually happen; the brute-force grid below straddles every
+/// value with half-step offsets so strict-vs-non-strict bounds differ.
+const CONSTS: [f64; 5] = [-2.0, -1.0, 0.0, 1.0, 2.0];
+const GRID: [f64; 11] = [-2.5, -2.0, -1.5, -1.0, -0.5, 0.0, 0.5, 1.0, 1.5, 2.0, 2.5];
+const OPS: [CmpOp; 6] = [
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+    CmpOp::Eq,
+    CmpOp::Ne,
+];
+
+/// A random predicate tree of bounded depth over `N_FEATURES` features.
+fn random_predicate(rng: &mut StdRng, depth: usize) -> Predicate {
+    let leaf = depth == 0 || rng.random_range(0..100) < 35;
+    if leaf {
+        match rng.random_range(0..8) {
+            0 => Predicate::True,
+            1 => Predicate::False,
+            2..=5 => Predicate::Feature {
+                feature: rng.random_range(0..N_FEATURES),
+                op: OPS[rng.random_range(0..OPS.len())],
+                value: CONSTS[rng.random_range(0..CONSTS.len())],
+            },
+            _ => Predicate::Pair {
+                lhs: rng.random_range(0..N_FEATURES),
+                op: OPS[rng.random_range(0..OPS.len())],
+                rhs: rng.random_range(0..N_FEATURES),
+            },
+        }
+    } else {
+        match rng.random_range(0..3) {
+            0 => Predicate::And(
+                (0..rng.random_range(2..4))
+                    .map(|_| random_predicate(rng, depth - 1))
+                    .collect(),
+            ),
+            1 => Predicate::Or(
+                (0..rng.random_range(2..4))
+                    .map(|_| random_predicate(rng, depth - 1))
+                    .collect(),
+            ),
+            _ => random_predicate(rng, depth - 1).not(),
+        }
+    }
+}
+
+/// Every grid point over `N_FEATURES` dimensions.
+fn grid_points() -> Vec<Vec<f64>> {
+    let mut points = vec![Vec::new()];
+    for _ in 0..N_FEATURES {
+        points = points
+            .into_iter()
+            .flat_map(|p| {
+                GRID.iter().map(move |&v| {
+                    let mut q = p.clone();
+                    q.push(v);
+                    q
+                })
+            })
+            .collect();
+    }
+    points
+}
+
+proptest! {
+    /// Soundness: an `Unsatisfiable` verdict means brute force finds no
+    /// witness either — on the full grid, which straddles every constant
+    /// the predicates use.
+    #[test]
+    fn unsat_verdicts_have_no_brute_force_witness(seed in 0u64..1_000_000u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_predicate(&mut rng, 3);
+        let b = random_predicate(&mut rng, 2);
+        let verdict = sat::check(&[&a, &b]);
+        if verdict == Sat::Unsatisfiable {
+            for point in grid_points() {
+                prop_assert!(
+                    !(a.eval(&point) && b.eval(&point)),
+                    "false unsat proof for ({a}) && ({b}) at {point:?}"
+                );
+            }
+        }
+    }
+
+    /// A brute-force witness forces a `Satisfiable` verdict (never
+    /// `Unsatisfiable`; `Unknown` only on budget blowout, which these
+    /// small trees cannot trigger).
+    #[test]
+    fn brute_force_witness_forces_satisfiable(seed in 0u64..1_000_000u64) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let p = random_predicate(&mut rng, 3);
+        let witnessed = grid_points().iter().any(|pt| p.eval(pt));
+        if witnessed {
+            prop_assert_eq!(sat::check(&[&p]), Sat::Satisfiable, "predicate: {}", &p);
+        }
+    }
+
+    /// A proven implication holds pointwise on the whole grid.
+    #[test]
+    fn proven_implications_hold_pointwise(seed in 0u64..1_000_000u64) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1119);
+        let a = random_predicate(&mut rng, 2);
+        let b = random_predicate(&mut rng, 2);
+        if sat::implies(&a, &b) {
+            for point in grid_points() {
+                prop_assert!(
+                    !a.eval(&point) || b.eval(&point),
+                    "({a}) was proven to imply ({b}) but not at {point:?}"
+                );
+            }
+        }
+    }
+
+    /// End to end through the IR: when the deep pass claims a variant is
+    /// statically dead (`NITRO080`), dispatch agrees — the variant's
+    /// constraints veto every row of a random profile table.
+    #[test]
+    fn dead_variant_claims_agree_with_dispatch(
+        seed in 0u64..1_000_000u64,
+        rows in prop::collection::vec(prop::collection::vec(-2.5f64..2.5, N_FEATURES), 4..16)
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let p1 = random_predicate(&mut rng, 2);
+        let p2 = random_predicate(&mut rng, 2);
+
+        let ctx = Context::new();
+        let mut cv = CodeVariant::<Vec<f64>>::new("prop-deep", &ctx);
+        cv.add_variant(FnVariant::new("base", |r: &Vec<f64>| r[0]));
+        cv.add_variant(FnVariant::new("guarded", |r: &Vec<f64>| r[0] * 2.0));
+        cv.set_default(0);
+        for i in 0..N_FEATURES {
+            cv.add_input_feature(FnFeature::new(format!("f{i}"), move |r: &Vec<f64>| r[i]));
+        }
+        cv.add_predicate_constraint(1, "p1", p1.clone()).unwrap();
+        cv.add_predicate_constraint(1, "p2", p2.clone()).unwrap();
+
+        let graph = TuningGraph::from_code_variant(&cv);
+        let claims_dead = analyze_graph(&graph)
+            .iter()
+            .any(|d| d.code == "NITRO080");
+        if claims_dead {
+            for row in &rows {
+                prop_assert!(
+                    !cv.constraints_satisfied(1, row),
+                    "NITRO080 claimed variant 1 dead but dispatch admits {row:?} \
+                     under ({p1}) && ({p2})"
+                );
+            }
+            for point in grid_points() {
+                prop_assert!(!(p1.eval(&point) && p2.eval(&point)));
+            }
+        }
+    }
+}

@@ -68,7 +68,8 @@ fn constraints_toggle_controls_fallback() {
     let ctx = Context::new();
     let mut cv = toy(&ctx);
     cv.policy_mut().classifier = ClassifierConfig::Knn { k: 1 };
-    cv.add_constraint(1, FnConstraint::new("never_high", |_: &f64| false));
+    cv.add_constraint(1, FnConstraint::new("never_high", |_: &f64| false))
+        .unwrap();
     // Train with constraints off so labels still cover both variants.
     cv.policy_mut().constraints = false;
     Autotuner::new().tune(&mut cv, &train_inputs()).unwrap();
