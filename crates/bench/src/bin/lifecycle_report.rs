@@ -5,7 +5,7 @@
 //! NITRO_SCALE=small cargo run -p nitro-bench --bin lifecycle_report
 //! ```
 //!
-//! Per suite the harness runs five phases:
+//! Per suite the harness runs six phases:
 //!
 //! 1. **tune** — a plain tune and a journaled [`Autotuner::tune_durable`]
 //!    run over the same corpus must export byte-identical artifacts;
@@ -23,7 +23,18 @@
 //! 5. **forced regression** — a deliberately bad candidate (a constant
 //!    classifier pinned to a poorly-chosen variant) is force-promoted and
 //!    fed synthetic regressing observations: it must be auto-rolled-back
-//!    (`NITRO074`) to the previous version, and the store must finish
+//!    (`NITRO074`) to the previous version;
+//! 6. **alert-driven rollback** — the tuned function dispatches real
+//!    inputs under a pulse p99 watchdog ([`SloWatchdog`]); healthy
+//!    traffic must not page, then an injected [`FaultPlan`] slowdown
+//!    must page with a latency regression, and
+//!    [`StagedPromotion::ingest_alert`] must consume that page to roll
+//!    a freshly promoted candidate back — the observe→act loop end to
+//!    end. The slowdown drill runs on the suites whose dispatch cost
+//!    comes from live simulated launches (spmv, histogram, sort);
+//!    solvers and bfs price their variants with cached closed-form
+//!    cost models, which launch-level fault injection cannot perturb,
+//!    so they run the healthy watchdog only. The store must finish
 //!    with zero corrupt or torn versions ([`ArtifactStore::verify`]).
 //!
 //! Per-suite JSON outcomes land under `target/nitro-store/`. Exits
@@ -35,6 +46,8 @@ use nitro_bench::error::{exit_on_error, to_json_pretty, write_file, BenchResult}
 use nitro_bench::{device, SuiteSpec};
 use nitro_core::{CodeVariant, Context, ModelArtifact, MODEL_SCHEMA_VERSION};
 use nitro_ml::{ClassifierConfig, Dataset, TrainedModel};
+use nitro_pulse::{AlertKind, AlertSeverity, FunctionPulse, PulseRegistry, SloSpec, SloWatchdog};
+use nitro_simt::{install_fault_plan, uninstall_fault_plan, FaultPlan};
 use nitro_store::{ArtifactStore, LifecycleEvent, PromotionPolicy, StagedPromotion, TuningJournal};
 use nitro_tuner::Autotuner;
 use serde::Serialize;
@@ -57,8 +70,16 @@ struct LifecycleOutcome {
     store_latest: Option<u64>,
     /// Candidate promotions observed (phase 4 + the forced one).
     promotions: usize,
-    /// Automatic rollbacks observed (the forced regression).
+    /// Automatic rollbacks observed (the forced regression plus the
+    /// alert-driven one).
     rollbacks: usize,
+    /// Pages the watchdog raised on healthy traffic (must be 0).
+    healthy_alerts: usize,
+    /// Whether the injected-slowdown drill ran (suites whose cost comes
+    /// from live simulated launches).
+    fault_drill: bool,
+    /// Whether the injected-slowdown page rolled the candidate back.
+    alert_rollback: bool,
     /// Assertion failures (empty means the suite held every guarantee).
     failures: Vec<String>,
 }
@@ -97,6 +118,7 @@ fn lifecycle_suite<I, F>(
     build: F,
     train: &[I],
     test: &[I],
+    fault_drill: bool,
     dir: &Path,
 ) -> BenchResult<LifecycleOutcome>
 where
@@ -289,6 +311,108 @@ where
         ));
     }
 
+    // Phase 6 — alert-driven rollback (observe→act): dispatch real
+    // inputs through the tuned function under a pulse p99 watchdog,
+    // promote a candidate into probation, then inject a FaultPlan
+    // slowdown. The resulting latency page must be consumed by
+    // `ingest_alert` and roll the promotion back.
+    let registry = PulseRegistry::new();
+    FunctionPulse::install(&mut resumed, &registry, None);
+    let metric = format!("dispatch.{}.latency_ns", resumed.name());
+    let dispatch_pass = |cv: &mut CodeVariant<I>| -> BenchResult<()> {
+        for input in test {
+            cv.call(input)?;
+        }
+        Ok(())
+    };
+
+    // Calibrate on healthy traffic (the simulator is deterministic
+    // without a fault plan), leaving 3x headroom that an 8x slowdown
+    // must breach.
+    dispatch_pass(&mut resumed)?;
+    dispatch_pass(&mut resumed)?;
+    let healthy_p99 = registry.quantile(&metric, 0.99).unwrap_or(0.0);
+    let threshold = (healthy_p99 * 3.0).max(1.0);
+    let mut dog = SloWatchdog::new(vec![SloSpec::p99_below(
+        format!("{name} dispatch p99"),
+        metric.as_str(),
+        threshold,
+    )])
+    .with_min_window_count(test.len().max(1) as u64);
+
+    let mut healthy_alerts = 0usize;
+    for _ in 0..6 {
+        dispatch_pass(&mut resumed)?;
+        healthy_alerts += dog.tick(&registry).len();
+    }
+    if healthy_alerts > 0 {
+        failures.push(format!(
+            "watchdog paged {healthy_alerts} time(s) on healthy traffic"
+        ));
+    }
+
+    let mut alert_rollback = false;
+    if fault_drill {
+        sp.stage_candidate(resumed.export_artifact()?)?;
+        events = sp.promote_now(Some(&mut store))?;
+        for e in &events {
+            if matches!(e, LifecycleEvent::Promoted { .. }) {
+                promotions += 1;
+            }
+        }
+
+        install_fault_plan(FaultPlan {
+            seed: 11,
+            slowdown_prob: 1.0,
+            slowdown_factor: 8.0,
+            ..FaultPlan::default()
+        });
+        let mut page = None;
+        for _ in 0..10 {
+            if let Err(e) = dispatch_pass(&mut resumed) {
+                uninstall_fault_plan();
+                return Err(e);
+            }
+            if let Some(a) = dog.tick(&registry).into_iter().find(|a| {
+                a.kind == AlertKind::LatencyRegression && a.severity == AlertSeverity::Page
+            }) {
+                page = Some(a);
+                break;
+            }
+        }
+        uninstall_fault_plan();
+
+        match page {
+            None => failures.push("injected slowdown never tripped the p99 watchdog".into()),
+            Some(alert) => {
+                events = sp.ingest_alert(&alert, Some(&mut store))?;
+                for e in &events {
+                    if let LifecycleEvent::RolledBack { diagnostic, .. } = e {
+                        rollbacks += 1;
+                        alert_rollback = true;
+                        if diagnostic.code != "NITRO074" {
+                            failures.push(format!(
+                                "alert rollback carried {} instead of NITRO074",
+                                diagnostic.code
+                            ));
+                        }
+                    }
+                }
+                if !alert_rollback {
+                    failures.push(format!(
+                        "latency page did not roll back the promoted candidate: {events:?}"
+                    ));
+                }
+                if store.latest() != v2 {
+                    failures.push(format!(
+                        "store latest is {:?} after the alert rollback, expected {v2:?}",
+                        store.latest()
+                    ));
+                }
+            }
+        }
+    }
+
     // Zero torn or corrupt installs, ever: every version still on disk
     // must pass its content checksum.
     let verify = store.verify();
@@ -309,6 +433,9 @@ where
         store_latest: store.latest(),
         promotions,
         rollbacks,
+        healthy_alerts,
+        fault_drill,
+        alert_rollback,
         failures,
     })
 }
@@ -323,6 +450,17 @@ fn summarize(o: &LifecycleOutcome) {
         "  store: {} version(s), latest {:?} · {} promotion(s), {} rollback(s)",
         o.store_versions, o.store_latest, o.promotions, o.rollbacks
     );
+    if o.fault_drill {
+        println!(
+            "  pulse: {} healthy page(s) · slowdown page rolled the candidate back: {}",
+            o.healthy_alerts, o.alert_rollback
+        );
+    } else {
+        println!(
+            "  pulse: {} healthy page(s) · slowdown drill skipped (closed-form cost model)",
+            o.healthy_alerts
+        );
+    }
 }
 
 fn main() {
@@ -354,6 +492,7 @@ fn run() -> BenchResult<()> {
             |ctx| nitro_sparse::spmv::build_code_variant(ctx, &cfg),
             &train,
             &test,
+            true,
             &dir,
         )?);
     }
@@ -371,6 +510,7 @@ fn run() -> BenchResult<()> {
             |ctx| nitro_solvers::variants::build_code_variant(ctx, &cfg),
             &train,
             &test,
+            false,
             &dir,
         )?);
     }
@@ -381,6 +521,7 @@ fn run() -> BenchResult<()> {
             |ctx| nitro_graph::bfs::build_code_variant(ctx, &cfg),
             &train,
             &test,
+            false,
             &dir,
         )?);
     }
@@ -398,6 +539,7 @@ fn run() -> BenchResult<()> {
             |ctx| nitro_histogram::variants::build_code_variant(ctx, &cfg),
             &train,
             &test,
+            true,
             &dir,
         )?);
     }
@@ -415,6 +557,7 @@ fn run() -> BenchResult<()> {
             |ctx| nitro_sort::variants::build_code_variant(ctx, &cfg),
             &train,
             &test,
+            true,
             &dir,
         )?);
     }

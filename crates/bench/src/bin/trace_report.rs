@@ -30,7 +30,8 @@ use nitro_bench::error::{exit_on_error, BenchResult};
 use nitro_bench::{device, pct, SuiteSpec};
 use nitro_core::{CodeVariant, Context};
 use nitro_trace::{
-    validate_chrome_trace, ChromeSink, JsonlSink, MetricsSnapshot, MultiSink, RegretLedger, Tracer,
+    validate_chrome_trace, ChromeSink, JsonlSink, MetricsSnapshot, MultiSink, RegretLedger,
+    RingSink, Tracer,
 };
 use nitro_tuner::{Autotuner, ProfileTable, TuneReport};
 
@@ -68,7 +69,11 @@ fn trace_suite<I: Send + Sync>(
 
     let chrome = Arc::new(ChromeSink::new());
     let jsonl_path = dir.join(format!("{name}.trace.jsonl"));
-    let mut sinks: Vec<Arc<dyn nitro_trace::TraceSink>> = vec![chrome.clone()];
+    // A bounded ring rides along, as production deployments run it:
+    // its drop count surfaces in the metrics snapshot as
+    // `trace.dropped_events`, and the summary warns when it truncated.
+    let ring = Arc::new(RingSink::new(4096));
+    let mut sinks: Vec<Arc<dyn nitro_trace::TraceSink>> = vec![chrome.clone(), ring];
     match JsonlSink::to_file(&jsonl_path) {
         Ok(s) => sinks.push(Arc::new(s)),
         Err(e) => failures.push(format!("could not open {}: {e}", jsonl_path.display())),
@@ -137,8 +142,9 @@ fn trace_suite<I: Send + Sync>(
         }
     };
 
-    // Export + round-trip-validate the metrics snapshot.
-    let metrics = tracer.metrics().snapshot();
+    // Export + round-trip-validate the metrics snapshot (with the
+    // sink drop count injected as `trace.dropped_events`).
+    let metrics = tracer.metrics_snapshot();
     let metrics_json = metrics.to_json();
     let metrics_path = dir.join(format!("{name}.metrics.json"));
     if let Err(e) = std::fs::write(&metrics_path, &metrics_json) {
@@ -184,6 +190,14 @@ fn summarize(s: &SuiteTrace) {
         .counter(&format!("dispatch.{}.fallback", s.name))
         .unwrap_or(0);
     println!("  dispatch: {calls} call(s), {fallbacks} fallback(s)");
+    let dropped = s.metrics.counter("trace.dropped_events").unwrap_or(0);
+    if dropped > 0 {
+        println!(
+            "  WARNING: bounded ring sink dropped {dropped} event(s) — \
+             the in-memory trace tail is truncated (the exported \
+             .trace.json/.jsonl files are lossless)"
+        );
+    }
     let win_prefix = format!("dispatch.{}.win.", s.name);
     for (counter, value) in &s.metrics.counters {
         if let Some(variant) = counter.strip_prefix(&win_prefix) {

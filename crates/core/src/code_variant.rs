@@ -16,6 +16,7 @@ use crate::context::Context;
 use crate::error::{NitroError, Result};
 use crate::feature::{Constraint, InputFeature};
 use crate::model::ModelArtifact;
+use crate::observer::{DispatchObservation, DispatchObserver};
 use crate::policy::TuningPolicy;
 use crate::predicate::{ConstraintDescriptor, Predicate};
 use crate::variant::Variant;
@@ -119,6 +120,7 @@ pub struct CodeVariant<I: ?Sized> {
     stats: CallStats,
     pending: Option<Pending<I>>,
     scratch: PredictScratch,
+    observer: Option<Arc<dyn DispatchObserver>>,
 }
 
 impl<I: ?Sized> CodeVariant<I> {
@@ -136,6 +138,7 @@ impl<I: ?Sized> CodeVariant<I> {
             stats: CallStats::default(),
             pending: None,
             scratch: PredictScratch::default(),
+            observer: None,
         }
     }
 
@@ -611,6 +614,24 @@ impl<I: ?Sized> CodeVariant<I> {
         }
     }
 
+    /// Install a per-dispatch observer (see
+    /// [`crate::observer::DispatchObserver`]): telemetry layers above
+    /// this crate receive one borrowed observation per call. Replaces
+    /// any previous observer.
+    pub fn set_dispatch_observer(&mut self, observer: Arc<dyn DispatchObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Remove the dispatch observer, returning it if one was installed.
+    pub fn clear_dispatch_observer(&mut self) -> Option<Arc<dyn DispatchObserver>> {
+        self.observer.take()
+    }
+
+    /// The installed dispatch observer, if any.
+    pub fn dispatch_observer(&self) -> Option<&Arc<dyn DispatchObserver>> {
+        self.observer.as_ref()
+    }
+
     /// Shared dispatch tail for `call` and `call_fixed`.
     fn dispatch(
         &mut self,
@@ -638,6 +659,10 @@ impl<I: ?Sized> CodeVariant<I> {
             return Err(NitroError::NoVariants);
         }
         let predict_start = tracer.as_ref().map(|t| t.now_ns());
+        // The observer wants wall-clock prediction cost even with no
+        // tracer installed (its clock may be manual); one Instant read
+        // only when an observer is watching.
+        let observer_predict_start = self.observer.as_ref().map(|_| std::time::Instant::now());
         let predicted = match (&self.model, self.default_variant) {
             // Scratch-buffer prediction: after the first call the model
             // hot path performs no allocations.
@@ -650,6 +675,9 @@ impl<I: ?Sized> CodeVariant<I> {
             .as_ref()
             .zip(predict_start)
             .map(|(t, start)| t.now_ns().saturating_sub(start));
+        let predict_wall_ns = observer_predict_start
+            .map(|start| start.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
 
         // Online constraint handling: revert to the default variant when
         // the predicted one is vetoed (paper §II-B).
@@ -674,6 +702,26 @@ impl<I: ?Sized> CodeVariant<I> {
         }
         if via_async {
             self.stats.async_calls += 1;
+        }
+
+        // The observer path is lock-free and allocation-free end to
+        // end: the observation borrows dispatcher state, and pulse-style
+        // observers record through striped atomics.
+        if let Some(obs) = &self.observer {
+            obs.on_dispatch(&DispatchObservation {
+                function: &self.name,
+                variant: chosen,
+                variant_name: self.variants[chosen].name(),
+                intended,
+                intended_name: self.variants[intended].name(),
+                fell_back,
+                objective_ns: objective,
+                feature_cost_ns,
+                predict_wall_ns,
+                kernel_evals,
+                features: &features,
+                via_async,
+            });
         }
 
         if let Some(t) = &tracer {

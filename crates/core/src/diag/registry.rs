@@ -100,6 +100,10 @@ registry! {
     NITRO084 => "error", "whole-config", "fallback cascade broken: veto cycle or no constraint-free path to the terminal default variant";
     NITRO085 => "warning / error", "whole-config", "store manifest version incompatible with the live registration (error on the latest version, warning on historical ones)";
     NITRO086 => "error", "whole-config", "model-label gap: a trained model can emit a class with no live, non-dead variant behind it";
+    NITRO090 => "error", "pulse", "SLO spec references a metric the pulse registry never registered";
+    NITRO091 => "warning", "pulse", "saturated quantile sketch: observations overflowed the top bucket, so upper quantiles degrade to the observed max";
+    NITRO092 => "error", "pulse", "watchdog window shorter than the metric's update period (windows can hold at most one observation)";
+    NITRO093 => "warning", "pulse", "stripe count below available parallelism: concurrent recording threads will share stripes and contend";
 }
 
 /// Look up one code's metadata.

@@ -48,6 +48,7 @@ pub mod error;
 pub mod feature;
 pub mod fsio;
 pub mod model;
+pub mod observer;
 pub mod policy;
 pub mod predicate;
 pub mod variant;
@@ -59,6 +60,7 @@ pub use error::{NitroError, Result};
 pub use feature::{Constraint, FnConstraint, FnFeature, InputFeature};
 pub use fsio::{atomic_write, crc32};
 pub use model::{ModelArtifact, MODEL_SCHEMA_VERSION};
+pub use observer::{DispatchObservation, DispatchObserver};
 pub use policy::{StoppingCriterion, TuningPolicy};
 pub use predicate::{CmpOp, ConstraintDescriptor, Predicate};
 pub use variant::{FnVariant, Objective, Variant};

@@ -1,0 +1,57 @@
+//! The dispatch observation hook: a trait boundary that lets telemetry
+//! layers above `nitro-core` (notably `nitro-pulse`) watch every
+//! dispatch without this crate depending on them.
+//!
+//! A [`DispatchObserver`] installed via
+//! [`CodeVariant::set_dispatch_observer`] receives one borrowed
+//! [`DispatchObservation`] per dispatch, after the chosen variant has
+//! run. The contract is hot-path-shaped: the observation borrows
+//! everything (no allocation to build it), and implementations are
+//! expected to record through lock-free primitives — an observer that
+//! blocks serializes every caller of the tuned function.
+//!
+//! [`CodeVariant::set_dispatch_observer`]: crate::CodeVariant::set_dispatch_observer
+
+/// Everything one dispatch decided and measured, borrowed from the
+/// dispatcher's own state.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchObservation<'a> {
+    /// The tuned function's name.
+    pub function: &'a str,
+    /// Index of the variant that ran.
+    pub variant: usize,
+    /// Name of the variant that ran.
+    pub variant_name: &'a str,
+    /// Index of the variant the model (or default) selected before
+    /// constraint handling.
+    pub intended: usize,
+    /// Name of the intended variant.
+    pub intended_name: &'a str,
+    /// True when a constraint vetoed the intended variant and dispatch
+    /// fell back to the default.
+    pub fell_back: bool,
+    /// The executed variant's objective value (simulated nanoseconds
+    /// for the SIMT-backed suites) — the latency signal SLO watchdogs
+    /// evaluate.
+    pub objective_ns: f64,
+    /// Feature-extraction cost charged to this call (simulated ns).
+    pub feature_cost_ns: f64,
+    /// Wall-clock nanoseconds the model prediction took (0 when no
+    /// model is installed).
+    pub predict_wall_ns: u64,
+    /// Kernel evaluations the prediction performed.
+    pub kernel_evals: u64,
+    /// The feature vector the selection used.
+    pub features: &'a [f64],
+    /// True when the call went through the async feature-evaluation
+    /// path (`fix_inputs` / `call_fixed`).
+    pub via_async: bool,
+}
+
+/// Receiver of per-dispatch observations. Implementations must be
+/// thread-safe (a shared observer may see dispatches from many threads
+/// at once) and should never block or allocate on the record path.
+pub trait DispatchObserver: Send + Sync {
+    /// Called once per dispatch, after the chosen variant ran.
+    fn on_dispatch(&self, observation: &DispatchObservation<'_>);
+}

@@ -106,6 +106,7 @@ pub struct GuardedVariant<I: ?Sized> {
     breakers: Vec<CircuitBreaker>,
     health: HealthStatus,
     stats: GuardStats,
+    pulse: Option<nitro_pulse::GuardPulse>,
 }
 
 impl<I: ?Sized> std::fmt::Debug for GuardedVariant<I> {
@@ -146,6 +147,7 @@ impl<I: ?Sized> GuardedVariant<I> {
             breakers,
             health,
             stats: GuardStats::default(),
+            pulse: None,
         };
         if let Some(tracer) = guard.cv.context().tracer() {
             guard.declare_tracer_metrics(&tracer);
@@ -249,6 +251,16 @@ impl<I: ?Sized> GuardedVariant<I> {
         ] {
             m.declare_counter(&format!("guard.{}.{suffix}", self.cv.name()));
         }
+    }
+
+    /// Register this guard's resilience counters in a pulse registry
+    /// and record them lock-free on every call, alongside (not instead
+    /// of) any attached tracer. Also installs a
+    /// [`nitro_pulse::FunctionPulse`] observer on the wrapped
+    /// `CodeVariant`, so model-path dispatches feed the latency sketch.
+    pub fn attach_pulse(&mut self, registry: &nitro_pulse::PulseRegistry) {
+        self.pulse = Some(nitro_pulse::GuardPulse::register(registry, self.cv.name()));
+        nitro_pulse::FunctionPulse::install(&mut self.cv, registry, None);
     }
 
     /// Load and audit this function's model from the context, degrading
@@ -412,10 +424,16 @@ impl<I: ?Sized> GuardedVariant<I> {
         if let Some(t) = &tracer {
             t.metrics().inc(&format!("guard.{name}.calls"));
         }
+        if let Some(p) = &self.pulse {
+            p.calls.inc();
+        }
         if degraded {
             self.stats.degraded_calls += 1;
             if let Some(t) = &tracer {
                 t.metrics().inc(&format!("guard.{name}.degraded"));
+            }
+            if let Some(p) = &self.pulse {
+                p.degraded.inc();
             }
         }
         if cascade.is_empty() {
@@ -442,12 +460,18 @@ impl<I: ?Sized> GuardedVariant<I> {
                     if let Some(t) = &tracer {
                         t.metrics().inc(&format!("guard.{name}.retry"));
                     }
+                    if let Some(p) = &self.pulse {
+                        p.retry.inc();
+                    }
                 }
                 attempts += 1;
                 match self.cv.try_run_variant(candidate, input) {
                     Ok(objective) => {
                         if self.breakers[candidate].on_success() == Some(Transition::Recovered) {
                             self.stats.recoveries += 1;
+                            if let Some(p) = &self.pulse {
+                                p.recovered.inc();
+                            }
                             if let Some(t) = &tracer {
                                 t.metrics().inc(&format!("guard.{name}.recovered"));
                                 t.instant(
@@ -466,11 +490,42 @@ impl<I: ?Sized> GuardedVariant<I> {
                             if let Some(t) = &tracer {
                                 t.metrics().inc(&format!("guard.{name}.fallback"));
                             }
+                            if let Some(p) = &self.pulse {
+                                p.fallback.inc();
+                            }
                         }
                         if let Some(s) = span.as_mut() {
                             s.end_arg("chosen", nitro_trace::val(&candidate));
                             s.end_arg("attempts", nitro_trace::val(&attempts));
                             s.end_arg("objective", nitro_trace::val(&objective));
+                        }
+                        // Guarded calls bypass CodeVariant::dispatch, so
+                        // fire its observer hook here: telemetry layers
+                        // see guarded and unguarded dispatches alike.
+                        if let Some(obs) = self.cv.dispatch_observer() {
+                            let intended = cascade[0];
+                            let chosen_v = self.cv.variant(candidate);
+                            let intended_v = self.cv.variant(intended);
+                            obs.on_dispatch(&nitro_core::DispatchObservation {
+                                function: self.cv.name(),
+                                variant: candidate,
+                                variant_name: chosen_v
+                                    .as_deref()
+                                    .map(|v| v.name())
+                                    .unwrap_or_default(),
+                                intended,
+                                intended_name: intended_v
+                                    .as_deref()
+                                    .map(|v| v.name())
+                                    .unwrap_or_default(),
+                                fell_back,
+                                objective_ns: objective,
+                                feature_cost_ns,
+                                predict_wall_ns: 0,
+                                kernel_evals: 0,
+                                features: &features,
+                                via_async: false,
+                            });
                         }
                         return Ok(GuardedInvocation {
                             variant: candidate,
@@ -495,6 +550,9 @@ impl<I: ?Sized> GuardedVariant<I> {
                         if let Some(t) = &tracer {
                             t.metrics().inc(&format!("guard.{name}.failure"));
                         }
+                        if let Some(p) = &self.pulse {
+                            p.failure.inc();
+                        }
                         let tripped = self.breakers[candidate].on_failure();
                         last_failure = Some(match e {
                             NitroError::VariantFailed {
@@ -512,6 +570,9 @@ impl<I: ?Sized> GuardedVariant<I> {
                         });
                         if let Some(transition) = tripped {
                             self.stats.quarantines += 1;
+                            if let Some(p) = &self.pulse {
+                                p.quarantine.inc();
+                            }
                             if let Some(t) = &tracer {
                                 t.metrics().inc(&format!("guard.{name}.quarantine"));
                                 t.instant(
@@ -828,5 +889,36 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.name == "guard:toy" && e.args.iter().any(|(k, _)| k == "event")));
+    }
+
+    #[test]
+    fn guard_metrics_reach_the_pulse_registry() {
+        let registry = nitro_pulse::PulseRegistry::with_stripes(2);
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.replace_variant(
+            1,
+            Arc::new(FnVariant::new("large", |_: &f64| -> f64 {
+                panic!("injected variant failure: 'large'")
+            })),
+        )
+        .unwrap();
+        cv.install_model(toy_model());
+        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        guard.attach_pulse(&registry);
+        guard.call(&9.0).unwrap();
+
+        assert_eq!(registry.counter_value("guard.toy.calls"), Some(1));
+        assert_eq!(registry.counter_value("guard.toy.retry"), Some(1));
+        assert_eq!(registry.counter_value("guard.toy.failure"), Some(2));
+        assert_eq!(registry.counter_value("guard.toy.quarantine"), Some(1));
+        assert_eq!(registry.counter_value("guard.toy.fallback"), Some(1));
+        assert_eq!(registry.counter_value("guard.toy.degraded"), Some(0));
+        // attach_pulse also installed a FunctionPulse observer on the
+        // inner CodeVariant: the model-path dispatch fed the sketch.
+        let latency = registry
+            .fused_sketch("dispatch.toy.latency_ns")
+            .expect("latency sketch registered");
+        assert_eq!(latency.count(), 1);
     }
 }

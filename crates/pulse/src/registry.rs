@@ -1,0 +1,387 @@
+//! The pulse registry: named striped counters, gauges and concurrent
+//! sketches behind cheap clonable handles.
+//!
+//! Registration (`counter`/`gauge`/`sketch`) takes a short lock and
+//! happens once, at wiring time; the handles it returns record through
+//! plain atomics with no lock and no allocation — that is the entire
+//! point. Snapshots fold the stripes back into the ordinary
+//! `nitro-trace` [`MetricsSnapshot`] schema (sketches export as sparse
+//! log-bucket histograms), so every existing consumer — JSON artifacts,
+//! `nitro-audit` analyzers, report binaries — reads pulse metrics
+//! without change.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::sketch::{ConcurrentSketch, QuantileSketch, SketchConfig};
+use crate::stripe::{default_stripes, AtomicF64, StripedU64};
+use nitro_trace::MetricsSnapshot;
+
+/// Handle to one striped counter. Clone freely; all clones add into the
+/// same stripes.
+#[derive(Debug, Clone)]
+pub struct PulseCounter {
+    cell: Arc<StripedU64>,
+}
+
+impl PulseCounter {
+    /// Add 1 on the calling thread's stripe (lock-free, no allocation).
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.inc();
+    }
+
+    /// Add `delta` on the calling thread's stripe.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.cell.add(delta);
+    }
+
+    /// Current folded total.
+    pub fn value(&self) -> u64 {
+        self.cell.sum()
+    }
+}
+
+/// Handle to one gauge (last-write-wins absolute value).
+#[derive(Debug, Clone)]
+pub struct PulseGauge {
+    cell: Arc<AtomicF64>,
+}
+
+impl PulseGauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.cell.set(v);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.cell.get()
+    }
+}
+
+/// Handle to one concurrent quantile sketch.
+#[derive(Debug, Clone)]
+pub struct PulseSketch {
+    cell: Arc<ConcurrentSketch>,
+}
+
+impl PulseSketch {
+    /// Record one observation on the calling thread's stripe
+    /// (lock-free, no allocation).
+    #[inline]
+    pub fn record(&self, v: f64) {
+        self.cell.record(v);
+    }
+
+    /// Fold the stripes into one owned sketch.
+    pub fn fuse(&self) -> QuantileSketch {
+        self.cell.fuse()
+    }
+
+    /// The `q`-quantile of everything recorded so far.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.cell.fuse().quantile(q)
+    }
+
+    /// Observations that overflowed the top bucket.
+    pub fn saturated(&self) -> u64 {
+        self.cell.saturated()
+    }
+}
+
+#[derive(Debug)]
+struct Named<T> {
+    entries: Vec<(String, Arc<T>)>,
+}
+
+impl<T> Default for Named<T> {
+    fn default() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<T> Named<T> {
+    fn get_or_insert(&mut self, name: &str, make: impl FnOnce() -> T) -> Arc<T> {
+        if let Some((_, v)) = self.entries.iter().find(|(k, _)| k == name) {
+            return v.clone();
+        }
+        let v = Arc::new(make());
+        self.entries.push((name.to_string(), v.clone()));
+        v
+    }
+
+    fn get(&self, name: &str) -> Option<Arc<T>> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    stripes: usize,
+    counters: Mutex<Named<StripedU64>>,
+    gauges: Mutex<Named<AtomicF64>>,
+    sketches: Mutex<Named<ConcurrentSketch>>,
+}
+
+/// Thread-safe registry of named pulse metrics. Cheap to clone (one
+/// `Arc`); clones share the same metrics.
+#[derive(Debug, Clone)]
+pub struct PulseRegistry {
+    inner: Arc<Inner>,
+}
+
+impl Default for PulseRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PulseRegistry {
+    /// A registry whose metrics stripe across [`default_stripes`] cells
+    /// (the machine's available parallelism, rounded up to a power of
+    /// two).
+    pub fn new() -> Self {
+        Self::with_stripes(default_stripes())
+    }
+
+    /// A registry with an explicit stripe count (rounded up to a power
+    /// of two; fewer stripes than recording threads serializes some
+    /// recording and is audited as `NITRO093`).
+    pub fn with_stripes(stripes: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                stripes: stripes.max(1).next_power_of_two(),
+                counters: Mutex::new(Named::default()),
+                gauges: Mutex::new(Named::default()),
+                sketches: Mutex::new(Named::default()),
+            }),
+        }
+    }
+
+    /// Stripe count used for new metrics.
+    pub fn stripes(&self) -> usize {
+        self.inner.stripes
+    }
+
+    /// Register (or look up) a counter and return its recording handle.
+    pub fn counter(&self, name: &str) -> PulseCounter {
+        let stripes = self.inner.stripes;
+        PulseCounter {
+            cell: self
+                .inner
+                .counters
+                .lock()
+                .get_or_insert(name, || StripedU64::new(stripes)),
+        }
+    }
+
+    /// Register (or look up) a gauge and return its recording handle.
+    pub fn gauge(&self, name: &str) -> PulseGauge {
+        PulseGauge {
+            cell: self
+                .inner
+                .gauges
+                .lock()
+                .get_or_insert(name, || AtomicF64::new(0.0)),
+        }
+    }
+
+    /// Register (or look up) a sketch with the default nanosecond shape.
+    pub fn sketch(&self, name: &str) -> PulseSketch {
+        self.sketch_with(name, SketchConfig::default())
+    }
+
+    /// Register (or look up) a sketch; an existing sketch keeps its
+    /// original shape.
+    pub fn sketch_with(&self, name: &str, config: SketchConfig) -> PulseSketch {
+        let stripes = self.inner.stripes;
+        PulseSketch {
+            cell: self
+                .inner
+                .sketches
+                .lock()
+                .get_or_insert(name, || ConcurrentSketch::new(config, stripes)),
+        }
+    }
+
+    /// Current folded value of a counter, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner.counters.lock().get(name).map(|c| c.sum())
+    }
+
+    /// Current value of a gauge, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner.gauges.lock().get(name).map(|g| g.get())
+    }
+
+    /// Fused copy of a sketch, if registered.
+    pub fn fused_sketch(&self, name: &str) -> Option<QuantileSketch> {
+        self.inner.sketches.lock().get(name).map(|s| s.fuse())
+    }
+
+    /// The `q`-quantile of a registered sketch.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.fused_sketch(name).map(|s| s.quantile(q))
+    }
+
+    /// True when `name` is registered as a counter, gauge or sketch.
+    pub fn has_metric(&self, name: &str) -> bool {
+        self.inner.counters.lock().get(name).is_some()
+            || self.inner.gauges.lock().get(name).is_some()
+            || self.inner.sketches.lock().get(name).is_some()
+    }
+
+    /// Every registered metric name (counters, gauges, sketches).
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        out.extend(
+            self.inner
+                .counters
+                .lock()
+                .entries
+                .iter()
+                .map(|(k, _)| k.clone()),
+        );
+        out.extend(
+            self.inner
+                .gauges
+                .lock()
+                .entries
+                .iter()
+                .map(|(k, _)| k.clone()),
+        );
+        out.extend(
+            self.inner
+                .sketches
+                .lock()
+                .entries
+                .iter()
+                .map(|(k, _)| k.clone()),
+        );
+        out.sort();
+        out
+    }
+
+    /// Per-sketch saturated-observation counts (the `NITRO091` signal).
+    pub fn saturation(&self) -> Vec<(String, u64)> {
+        self.inner
+            .sketches
+            .lock()
+            .entries
+            .iter()
+            .map(|(k, s)| (k.clone(), s.saturated()))
+            .collect()
+    }
+
+    /// Freeze the registry into the ordinary `nitro-trace` snapshot
+    /// schema: counters fold their stripes, sketches export as sparse
+    /// log-bucket histograms. Names are sorted, the JSON round-trips,
+    /// and every existing snapshot consumer reads it unchanged.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .entries
+                .iter()
+                .map(|(k, c)| (k.clone(), c.sum()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .entries
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .sketches
+                .lock()
+                .entries
+                .iter()
+                .map(|(k, s)| (k.clone(), s.fuse().to_histogram_snapshot()))
+                .collect(),
+        };
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_the_named_metric() {
+        let r = PulseRegistry::with_stripes(4);
+        let a = r.counter("dispatch.spmv.calls");
+        let b = r.counter("dispatch.spmv.calls");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter_value("dispatch.spmv.calls"), Some(3));
+        assert_eq!(a.value(), 3);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_trace_schema() {
+        let r = PulseRegistry::with_stripes(2);
+        r.counter("guard.spmv.fallback").add(7);
+        r.gauge("tune.spmv.cache_hit_rate").set(0.75);
+        let sk = r.sketch("dispatch.spmv.latency_ns");
+        for v in [100.0, 200.0, 400.0, 1e5] {
+            sk.record(v);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("guard.spmv.fallback"), Some(7));
+        assert_eq!(snap.gauge("tune.spmv.cache_hit_rate"), Some(0.75));
+        let h = snap.histogram("dispatch.spmv.latency_ns").unwrap();
+        assert_eq!(h.count, 4);
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn concurrent_recording_through_handles() {
+        let r = PulseRegistry::with_stripes(8);
+        let c = r.counter("hits");
+        let s = r.sketch("lat");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        c.inc();
+                        s.record(100.0 + i as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 2000);
+        assert_eq!(s.fuse().count(), 2000);
+    }
+
+    #[test]
+    fn metric_names_cover_all_kinds() {
+        let r = PulseRegistry::new();
+        r.counter("b.counter");
+        r.gauge("a.gauge");
+        r.sketch("c.sketch");
+        assert_eq!(r.metric_names(), vec!["a.gauge", "b.counter", "c.sketch"]);
+        assert!(r.has_metric("a.gauge"));
+        assert!(!r.has_metric("missing"));
+    }
+}

@@ -1,0 +1,41 @@
+use std::time::Instant;
+
+use nitro_pulse::PulseRegistry;
+
+#[test]
+#[ignore]
+fn microprobe() {
+    let r = PulseRegistry::new();
+    let c = r.counter("dispatch.bench.calls");
+    let s = r.sketch("dispatch.bench.latency_ns");
+    let n = 2_000_000u64;
+    for i in 0..1000 {
+        c.inc();
+        s.record(100.0 + (i & 0xff) as f64);
+    }
+    let t = Instant::now();
+    for _ in 0..n {
+        c.inc();
+    }
+    println!(
+        "counter.inc: {:.2} ns",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+    let t = Instant::now();
+    for i in 0..n {
+        s.record(100.0 + (i & 0xff) as f64);
+    }
+    println!(
+        "sketch.record: {:.2} ns",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+    let t = Instant::now();
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        acc += std::hint::black_box(100.0 + (i & 0xff) as f64).ln();
+    }
+    println!(
+        "ln: {:.2} ns (acc {acc})",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+}

@@ -1,0 +1,111 @@
+//! Counting-allocator harness: proves the hot record path is
+//! allocation-free. Handles are registered once (that lookup may
+//! allocate) and each thread's stripe ordinal is assigned on first
+//! touch; after that warm-up, `inc` and `record` must not allocate —
+//! single-threaded or across concurrent threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use nitro_pulse::PulseRegistry;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Single test covering both phases: the allocation counter is global,
+/// so running the phases in one sequential test keeps the measurement
+/// windows free of unrelated test-harness allocations.
+#[test]
+fn record_path_is_allocation_free() {
+    let registry = PulseRegistry::new();
+
+    // Phase 1: single thread. Warm up (handle registration + this
+    // thread's stripe ordinal), then measure.
+    let counter = registry.counter("dispatch.alloc.calls");
+    let sketch = registry.sketch("dispatch.alloc.latency_ns");
+    for i in 0..64 {
+        counter.inc();
+        sketch.record(1.0 + i as f64);
+    }
+    let before = allocations();
+    for i in 0..100_000u64 {
+        counter.inc();
+        sketch.record(1.0 + (i % 1000) as f64);
+    }
+    let single_thread_allocs = allocations() - before;
+
+    // Phase 2: concurrent threads on the same metrics. Every thread
+    // warms up before the measurement window opens (`start`), and all
+    // threads are parked on `hold` while the window closes, so the
+    // window contains nothing but the record loops and barrier wakes.
+    const THREADS: usize = 4;
+    const OPS: u64 = 50_000;
+    let start = Barrier::new(THREADS + 1);
+    let done = Barrier::new(THREADS + 1);
+    let hold = Barrier::new(THREADS + 1);
+    let mut multi_thread_allocs = 0;
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let (registry, start, done, hold) = (&registry, &start, &done, &hold);
+            s.spawn(move || {
+                let c = registry.counter("dispatch.alloc.calls");
+                let sk = registry.sketch("dispatch.alloc.latency_ns");
+                for i in 0..64 {
+                    c.inc();
+                    sk.record(1.0 + i as f64);
+                }
+                start.wait();
+                for i in 0..OPS {
+                    c.inc();
+                    sk.record(1.0 + ((i + t) % 1000) as f64);
+                }
+                done.wait();
+                hold.wait();
+            });
+        }
+        start.wait();
+        let before = allocations();
+        done.wait();
+        multi_thread_allocs = allocations() - before;
+        hold.wait();
+    });
+
+    assert_eq!(
+        single_thread_allocs, 0,
+        "single-thread record path allocated {single_thread_allocs} time(s)"
+    );
+    assert_eq!(
+        multi_thread_allocs, 0,
+        "multi-thread record path allocated {multi_thread_allocs} time(s)"
+    );
+}

@@ -25,6 +25,7 @@
 //! ```
 
 use nitro_core::{crc32, Diagnostic, ModelArtifact, NitroError, Result};
+use nitro_pulse::{AlertKind, AlertSeverity, PulseAlert, PulseRegistry, PulseSketch};
 use nitro_trace::RegretLedger;
 
 use crate::audit::{diag_rollback, diag_rollback_storm, diag_stale_candidate};
@@ -157,6 +158,7 @@ pub struct StagedPromotion {
     /// `(content crc, observation count at demotion)` of recent demotions.
     demoted: Vec<(u32, u64)>,
     tracer: Option<nitro_trace::Tracer>,
+    promotion_ns: Option<PulseSketch>,
 }
 
 fn artifact_crc(artifact: &ModelArtifact) -> Result<u32> {
@@ -178,6 +180,7 @@ impl StagedPromotion {
             held: false,
             demoted: Vec::new(),
             tracer: None,
+            promotion_ns: None,
         }
     }
 
@@ -196,6 +199,14 @@ impl StagedPromotion {
             m.declare_counter(&format!("deploy.{}.{suffix}", self.function));
         }
         self.tracer = Some(tracer);
+    }
+
+    /// Register `store.<fn>.promotion_ns` in a pulse registry and time
+    /// every subsequent [`observe`](Self::observe) into it, so the
+    /// promotion machinery's own overhead shows up in the same
+    /// quantile-sketch telemetry as dispatch latency.
+    pub fn attach_pulse(&mut self, registry: &PulseRegistry) {
+        self.promotion_ns = Some(registry.sketch(&format!("store.{}.promotion_ns", self.function)));
     }
 
     fn note(&self, kind: &str, detail: &str) {
@@ -381,6 +392,10 @@ impl StagedPromotion {
         costs: &[f64],
         mut store: Option<&mut ArtifactStore>,
     ) -> Result<Vec<LifecycleEvent>> {
+        let pulse_start = self
+            .promotion_ns
+            .as_ref()
+            .map(|_| std::time::Instant::now());
         self.observations += 1;
         let mut events = Vec::new();
 
@@ -431,7 +446,62 @@ impl StagedPromotion {
                 }
             }
         }
+        if let (Some(sk), Some(start)) = (&self.promotion_ns, pulse_start) {
+            sk.record(start.elapsed().as_nanos() as f64);
+        }
         Ok(events)
+    }
+
+    /// Consume a pulse alert as an out-of-band regression signal,
+    /// closing the observe→act loop.
+    ///
+    /// A paging [`AlertKind::LatencyRegression`] whose metric belongs to
+    /// this function acts immediately, without waiting for a ledger
+    /// window to fill:
+    ///
+    /// * under **probation**, the promotion is rolled back (`NITRO074`,
+    ///   storm accounting included) — the watchdog saw the regression
+    ///   before the regret ledger did;
+    /// * while **shadowing**, the candidate is demoted — a function
+    ///   already missing its latency SLO is no place to promote into.
+    ///
+    /// Warnings, rate breaches, other functions' alerts and the
+    /// `Steady`/`Held` stages are ignored (empty event list).
+    pub fn ingest_alert(
+        &mut self,
+        alert: &PulseAlert,
+        store: Option<&mut ArtifactStore>,
+    ) -> Result<Vec<LifecycleEvent>> {
+        if alert.kind != AlertKind::LatencyRegression
+            || alert.severity != AlertSeverity::Page
+            || alert.function() != Some(self.function.as_str())
+        {
+            return Ok(Vec::new());
+        }
+        if let Some(p) = &self.probation {
+            // Prefer the probation ledgers' means for the NITRO074
+            // message; fall back to the alert's observed/threshold when
+            // the window is still empty.
+            let (cur, prior) = if p.current_ledger.count > 0 && p.prior_ledger.count > 0 {
+                (
+                    p.current_ledger.mean_chosen_cost(),
+                    p.prior_ledger.mean_chosen_cost(),
+                )
+            } else {
+                (alert.observed, alert.threshold)
+            };
+            return self.roll_back(cur, prior, store);
+        }
+        if self.candidate.is_some() {
+            return Ok(vec![self.demote(
+                format!(
+                    "latency SLO '{}' paged on {}: {:.0} ns over threshold {:.0} ns",
+                    alert.slo, alert.metric, alert.observed, alert.threshold
+                ),
+                None,
+            )]);
+        }
+        Ok(Vec::new())
     }
 
     fn roll_back(
@@ -690,5 +760,83 @@ mod tests {
     fn mismatched_function_is_a_hard_error() {
         let mut sp = StagedPromotion::new(good("toy"), quick_policy());
         assert!(sp.stage_candidate(good("other")).is_err());
+    }
+
+    fn page_alert(function: &str) -> nitro_pulse::PulseAlert {
+        nitro_pulse::PulseAlert {
+            slo: format!("{function}-dispatch-p99"),
+            kind: nitro_pulse::AlertKind::LatencyRegression,
+            severity: nitro_pulse::AlertSeverity::Page,
+            metric: format!("dispatch.{function}.latency_ns"),
+            observed: 5.0e6,
+            threshold: 1.0e6,
+            window_ticks: 4,
+        }
+    }
+
+    #[test]
+    fn latency_alert_rolls_back_probation_immediately() {
+        let mut sp = StagedPromotion::new(good("toy"), quick_policy());
+        sp.stage_candidate(good("toy")).unwrap();
+        drive(&mut sp, 4, None); // promoted, probation opens
+        assert_eq!(sp.stage(), PromotionStage::Probation);
+        // The watchdog pages before the probation window fills.
+        let evs = sp.ingest_alert(&page_alert("toy"), None).unwrap();
+        assert!(
+            matches!(&evs[0], LifecycleEvent::RolledBack { diagnostic, .. }
+                if diagnostic.code == "NITRO074"),
+            "{evs:?}"
+        );
+        assert_eq!(sp.stage(), PromotionStage::Steady);
+        assert_eq!(sp.rollbacks(), 1);
+    }
+
+    #[test]
+    fn latency_alert_demotes_a_shadowing_candidate() {
+        let mut sp = StagedPromotion::new(good("toy"), quick_policy());
+        sp.stage_candidate(good("toy")).unwrap();
+        assert_eq!(sp.stage(), PromotionStage::Shadowing);
+        let evs = sp.ingest_alert(&page_alert("toy"), None).unwrap();
+        assert!(
+            matches!(&evs[0], LifecycleEvent::Demoted { reason, .. } if reason.contains("SLO")),
+            "{evs:?}"
+        );
+        assert_eq!(sp.stage(), PromotionStage::Steady);
+    }
+
+    #[test]
+    fn irrelevant_alerts_are_ignored() {
+        let mut sp = StagedPromotion::new(good("toy"), quick_policy());
+        sp.stage_candidate(good("toy")).unwrap();
+
+        // Another function's regression.
+        assert!(sp
+            .ingest_alert(&page_alert("other"), None)
+            .unwrap()
+            .is_empty());
+        // A warning-severity alert.
+        let mut warn = page_alert("toy");
+        warn.severity = nitro_pulse::AlertSeverity::Warn;
+        assert!(sp.ingest_alert(&warn, None).unwrap().is_empty());
+        // A rate breach.
+        let mut rate = page_alert("toy");
+        rate.kind = nitro_pulse::AlertKind::RateBreach;
+        assert!(sp.ingest_alert(&rate, None).unwrap().is_empty());
+
+        assert_eq!(sp.stage(), PromotionStage::Shadowing, "candidate untouched");
+    }
+
+    #[test]
+    fn attach_pulse_times_observations_into_a_sketch() {
+        let registry = nitro_pulse::PulseRegistry::with_stripes(2);
+        let mut sp = StagedPromotion::new(good("toy"), quick_policy());
+        sp.attach_pulse(&registry);
+        sp.stage_candidate(good("toy")).unwrap();
+        drive(&mut sp, 3, None);
+        let sk = registry
+            .fused_sketch("store.toy.promotion_ns")
+            .expect("sketch registered");
+        assert_eq!(sk.count(), 3);
+        assert!(sk.max() >= 0.0);
     }
 }

@@ -49,35 +49,116 @@ pub use tracer::{SpanGuard, Tracer};
 // their own dependency on the vendored serde value model.
 pub use serde::{Number, Value};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 // std Mutex: the vendored parking_lot Mutex is not const-constructible.
+// It serializes *writers only* — readers never touch it.
 use std::sync::Mutex;
 
+// The global tracer slot is a single-pointer RCU with striped reader
+// counters. Readers ([`global`]) are lock-free: they announce
+// themselves on a per-thread stripe (one `fetch_add` on a cache line no
+// other stripe shares), load the pointer, clone the `Tracer` (an `Arc`
+// bump) and retire the stripe. Writers ([`install_global`] /
+// [`uninstall_global`]) swap the pointer and then spin until every
+// stripe drains to zero before freeing the old box — at that point no
+// reader can still hold the old pointer.
+//
+// Why this is sound (all protocol operations are `SeqCst`, so they form
+// one total order): a reader's stripe increment precedes its pointer
+// load. If the increment ordered *before* the writer's swap, the
+// writer's subsequent drain-check observes the nonzero stripe and
+// waits. If it ordered *after* the swap, the reader's load observes the
+// *new* pointer — it never sees the old one. Either way the writer
+// frees the old tracer only after every reader that could have seen it
+// has finished.
 static GLOBAL_INSTALLED: AtomicBool = AtomicBool::new(false);
-static GLOBAL_TRACER: Mutex<Option<Tracer>> = Mutex::new(None);
+static GLOBAL_PTR: AtomicPtr<Tracer> = AtomicPtr::new(std::ptr::null_mut());
+static GLOBAL_WRITER: Mutex<()> = Mutex::new(());
+
+const READER_STRIPES: usize = 8;
+
+/// One cache line (conservatively two, for adjacent-line prefetchers)
+/// per stripe, so concurrent readers on different stripes never
+/// false-share.
+#[repr(align(128))]
+struct ReaderStripe(AtomicU64);
+
+static READERS: [ReaderStripe; READER_STRIPES] =
+    [const { ReaderStripe(AtomicU64::new(0)) }; READER_STRIPES];
+
+fn reader_stripe() -> &'static AtomicU64 {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ORDINAL: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    let ordinal = ORDINAL.with(|slot| {
+        let mut o = slot.get();
+        if o == usize::MAX {
+            o = NEXT.fetch_add(1, Ordering::Relaxed);
+            slot.set(o);
+        }
+        o
+    });
+    &READERS[ordinal % READER_STRIPES].0
+}
+
+/// Swap the slot pointer and free the displaced tracer once all
+/// in-flight readers have drained. Callers hold the writer mutex.
+fn swap_global(new: *mut Tracer) -> Option<Tracer> {
+    let old = GLOBAL_PTR.swap(new, Ordering::SeqCst);
+    if old.is_null() {
+        return None;
+    }
+    for stripe in &READERS {
+        while stripe.0.load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+    }
+    // No reader holds `old`: every stripe has drained since the swap,
+    // and any reader arriving after it sees `new`.
+    Some(*unsafe { Box::from_raw(old) })
+}
 
 /// Install a tracer into the process-global slot consulted by layers
 /// that have no `Context` in scope (the SIMT simulator). Replaces any
 /// previously installed tracer.
 pub fn install_global(tracer: Tracer) {
-    *GLOBAL_TRACER.lock().expect("global tracer lock") = Some(tracer);
+    let boxed = Box::into_raw(Box::new(tracer));
+    let _writer = GLOBAL_WRITER.lock().expect("global tracer writer lock");
+    swap_global(boxed);
     GLOBAL_INSTALLED.store(true, Ordering::Release);
 }
 
 /// Remove the process-global tracer, returning it if one was installed.
 pub fn uninstall_global() -> Option<Tracer> {
+    let _writer = GLOBAL_WRITER.lock().expect("global tracer writer lock");
     GLOBAL_INSTALLED.store(false, Ordering::Release);
-    GLOBAL_TRACER.lock().expect("global tracer lock").take()
+    swap_global(std::ptr::null_mut())
 }
 
-/// The process-global tracer, if installed. The fast path when no
-/// tracer is installed is a single relaxed atomic load — no locking,
-/// no allocation.
+/// The process-global tracer, if installed. Lock-free on every path:
+/// with no tracer installed this is a single atomic load; with one
+/// installed it is two stripe-local counter updates, a pointer load and
+/// an `Arc` clone. Readers never contend with each other and never
+/// block a concurrent [`install_global`] for longer than their own
+/// clone.
 pub fn global() -> Option<Tracer> {
     if !GLOBAL_INSTALLED.load(Ordering::Acquire) {
         return None;
     }
-    GLOBAL_TRACER.lock().expect("global tracer lock").clone()
+    let stripe = reader_stripe();
+    stripe.fetch_add(1, Ordering::SeqCst);
+    let ptr = GLOBAL_PTR.load(Ordering::SeqCst);
+    let out = if ptr.is_null() {
+        None
+    } else {
+        // In-bounds: the writer frees this allocation only after our
+        // stripe (incremented before the load) drains back to zero.
+        Some(unsafe { (*ptr).clone() })
+    };
+    stripe.fetch_sub(1, Ordering::SeqCst);
+    out
 }
 
 #[cfg(test)]
@@ -98,5 +179,35 @@ mod tests {
         assert!(uninstall_global().is_some());
         assert!(global().is_none());
         assert!(uninstall_global().is_none());
+
+        // Churn: readers hammer the slot while a writer re-installs,
+        // exercising the RCU drain path. Every successful read must
+        // yield a usable tracer (use-after-free here would crash or
+        // corrupt the Arc count).
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let stop = stop.clone();
+                s.spawn(move || {
+                    let mut seen = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if let Some(t) = global() {
+                            t.instant("churn", "test", vec![]);
+                            seen += 1;
+                        }
+                    }
+                    seen
+                });
+            }
+            for i in 0..200 {
+                install_global(Tracer::new(Arc::new(RingSink::new(4))));
+                if i % 10 == 0 {
+                    uninstall_global();
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert!(uninstall_global().is_some());
+        assert!(global().is_none());
     }
 }

@@ -93,6 +93,32 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// The `q`-quantile estimated from the bucket counts: the upper
+    /// bound of the bucket holding the observation of rank
+    /// `floor(q·(count−1))`, clamped to the observed `[min, max]` range
+    /// (the overflow bucket reports `max`). Resolution is whatever the
+    /// bucket bounds give — for tight-error quantiles record into a
+    /// `nitro-pulse` sketch instead. Returns 0 when empty; `q` is
+    /// clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * (self.count - 1) as f64).floor() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > target {
+                return match self.bounds.get(i) {
+                    Some(&b) => b.clamp(self.min, self.max),
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
 }
 
 #[derive(Debug, Default)]
@@ -295,6 +321,21 @@ mod tests {
         assert_eq!(h.min, 5.0);
         assert_eq!(h.max, 1e12);
         assert!((h.mean() - (5.0 + 50.0 + 500.0 + 1e12) / 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_the_buckets() {
+        let m = MetricsRegistry::new();
+        for v in [5.0, 50.0, 500.0, 1e12] {
+            m.observe_with("lat", v, &[10.0, 100.0, 1000.0]);
+        }
+        let h = m.snapshot().histogram("lat").unwrap().clone();
+        // Rank rule floor(q·(n−1)): p0 → bucket ≤10 (clamped to min 5),
+        // p50 → rank 1 (bucket ≤100), p100 → overflow → max.
+        assert_eq!(h.quantile(0.0), 10.0);
+        assert_eq!(h.quantile(0.5), 100.0);
+        assert_eq!(h.quantile(1.0), 1e12);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub trait TraceSink: Send + Sync {
 
     /// Flush any buffered output (no-op for in-memory sinks).
     fn flush(&self) {}
+
+    /// Events this sink has dropped rather than retained or written.
+    /// Lossy sinks (the bounded [`RingSink`]) override this; lossless
+    /// sinks report 0. Exported as the `trace.dropped_events` counter by
+    /// [`Tracer::metrics_snapshot`](crate::Tracer::metrics_snapshot), so
+    /// a truncated trace is visible in the artifact it truncated.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
 }
 
 /// Bounded in-memory ring buffer: keeps the most recent `capacity`
@@ -68,6 +77,10 @@ impl RingSink {
 }
 
 impl TraceSink for RingSink {
+    fn dropped_events(&self) -> u64 {
+        self.dropped()
+    }
+
     fn record(&self, event: &TraceEvent) {
         if self.capacity == 0 {
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -192,6 +205,10 @@ impl TraceSink for MultiSink {
             s.flush();
         }
     }
+
+    fn dropped_events(&self) -> u64 {
+        self.sinks.iter().map(|s| s.dropped_events()).sum()
+    }
 }
 
 /// Render a slice of events as a Chrome `trace_event` JSON document:
@@ -246,6 +263,20 @@ mod tests {
         ring.record(&ev("e", 0));
         assert!(ring.is_empty());
         assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn dropped_events_surfaces_through_the_trait_and_fans_in() {
+        let ring = Arc::new(RingSink::new(1));
+        let chrome = Arc::new(ChromeSink::new());
+        let multi = MultiSink::new(vec![ring.clone(), chrome.clone()]);
+        for i in 0..3 {
+            multi.record(&ev("e", i));
+        }
+        // Lossless sinks report 0; the ring kept 1 of 3; the fan-out sums.
+        assert_eq!(chrome.dropped_events(), 0);
+        assert_eq!(ring.dropped_events(), 2);
+        assert_eq!(multi.dropped_events(), 2);
     }
 
     #[test]

@@ -146,6 +146,33 @@ impl Tracer {
     pub fn flush(&self) {
         self.inner.sink.flush();
     }
+
+    /// Events the bound sink has dropped so far (0 for lossless sinks).
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.sink.dropped_events()
+    }
+
+    /// Freeze the metrics registry, injecting the sink's drop count as
+    /// the `trace.dropped_events` counter — a truncated trace is then
+    /// visible in the exported artifact itself, not just to whoever
+    /// still holds the sink handle.
+    pub fn metrics_snapshot(&self) -> crate::MetricsSnapshot {
+        let mut snap = self.inner.metrics.snapshot();
+        let dropped = self.dropped_events();
+        match snap
+            .counters
+            .iter_mut()
+            .find(|(k, _)| k == "trace.dropped_events")
+        {
+            Some((_, v)) => *v = dropped,
+            None => {
+                snap.counters
+                    .push(("trace.dropped_events".to_string(), dropped));
+                snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+        snap
+    }
 }
 
 /// RAII span: emits the `E` event on drop, on the same tid the `B` was
@@ -211,6 +238,25 @@ mod tests {
         assert_eq!(events[1].ts_ns, 500);
         assert_eq!(events[1].args[0].0, "label");
         assert_eq!(events[0].tid, events[1].tid);
+    }
+
+    #[test]
+    fn metrics_snapshot_injects_the_drop_counter() {
+        let ring = Arc::new(RingSink::new(2));
+        let tracer = Tracer::new(ring);
+        tracer.metrics().inc("dispatch.toy.calls");
+        for _ in 0..5 {
+            tracer.instant("tick", "test", vec![]);
+        }
+        assert_eq!(tracer.dropped_events(), 3);
+        let snap = tracer.metrics_snapshot();
+        assert_eq!(snap.counter("trace.dropped_events"), Some(3));
+        assert_eq!(snap.counter("dispatch.toy.calls"), Some(1));
+        // Injection keeps the sorted-names invariant.
+        let names: Vec<&String> = snap.counters.iter().map(|(k, _)| k).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -59,14 +59,19 @@ pub struct PhaseTiming {
 /// per phase so [`TuneReport::phase_timings`] is populated either way.
 pub(crate) struct Phases {
     tracer: Option<nitro_trace::Tracer>,
+    pulse: Option<nitro_pulse::PulseRegistry>,
     function: String,
     timings: Vec<PhaseTiming>,
 }
 
 impl Phases {
-    pub(crate) fn new<I: ?Sized>(cv: &CodeVariant<I>) -> Self {
+    pub(crate) fn new<I: ?Sized>(
+        cv: &CodeVariant<I>,
+        pulse: Option<nitro_pulse::PulseRegistry>,
+    ) -> Self {
         Self {
             tracer: cv.context().tracer(),
+            pulse,
             function: cv.name().to_string(),
             timings: Vec::new(),
         }
@@ -102,6 +107,17 @@ impl Phases {
                     .set_gauge(&format!("tune.{}.{}_ns", self.function, p.phase), p.wall_ns);
             }
         }
+        if let Some(r) = &self.pulse {
+            // Gauges mirror the tracer's; the sketch accumulates phase
+            // durations across repeated tuning runs, so re-tune storms
+            // show up as a fattening tail in `tune.<fn>.phase_ns`.
+            let sketch = r.sketch(&format!("tune.{}.phase_ns", self.function));
+            for p in &self.timings {
+                r.gauge(&format!("tune.{}.{}_ns", self.function, p.phase))
+                    .set(p.wall_ns);
+                sketch.record(p.wall_ns);
+            }
+        }
         self.timings
     }
 }
@@ -119,6 +135,11 @@ pub struct Autotuner {
     pub max_incremental_iterations: usize,
     /// Persist the model through the context after tuning.
     pub save_model: bool,
+    /// Pulse registry receiving `tune.<fn>.<phase>_ns` gauges and the
+    /// `tune.<fn>.phase_ns` duration sketch. Not serialized; attach
+    /// with [`Autotuner::with_pulse`].
+    #[serde(skip)]
+    pub pulse: Option<nitro_pulse::PulseRegistry>,
 }
 
 impl Default for Autotuner {
@@ -128,6 +149,7 @@ impl Default for Autotuner {
             max_seed_probes: 16,
             max_incremental_iterations: 200,
             save_model: false,
+            pulse: None,
         }
     }
 }
@@ -184,6 +206,14 @@ impl Autotuner {
         Self::default()
     }
 
+    /// Publish phase timings into a pulse registry as well: per-phase
+    /// `tune.<fn>.<phase>_ns` gauges plus the accumulating
+    /// `tune.<fn>.phase_ns` sketch.
+    pub fn with_pulse(mut self, registry: &nitro_pulse::PulseRegistry) -> Self {
+        self.pulse = Some(registry.clone());
+        self
+    }
+
     /// Tune a code variant on `inputs`, honouring the policy's
     /// incremental-tuning setting. Installs the trained model and returns
     /// a report.
@@ -220,7 +250,7 @@ impl Autotuner {
         I: Send + Sync,
     {
         let audit_warnings = preflight(cv, table.len())?;
-        let phases = Phases::new(cv);
+        let phases = Phases::new(cv, self.pulse.clone());
         self.finish_from_table(cv, table, audit_warnings, phases)
     }
 
@@ -285,7 +315,7 @@ impl Autotuner {
         // Pre-flight: refuse to spend profiling time on a registration
         // the linter can already prove broken.
         let audit_warnings = preflight(cv, inputs.len())?;
-        let mut phases = Phases::new(cv);
+        let mut phases = Phases::new(cv, self.pulse.clone());
         match cv.policy().incremental {
             None => {
                 let table = phases.run("profiling", || ProfileTable::build(cv, inputs));
@@ -752,6 +782,27 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: TuneReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.phase_timings, report.phase_timings);
+    }
+
+    #[test]
+    fn pulsed_tuning_publishes_phase_gauges_and_duration_sketch() {
+        let registry = nitro_pulse::PulseRegistry::with_stripes(2);
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        let report = Autotuner::new()
+            .with_pulse(&registry)
+            .tune(&mut cv, &training_inputs())
+            .unwrap();
+        for p in &report.phase_timings {
+            assert_eq!(
+                registry.gauge_value(&format!("tune.toy.{}_ns", p.phase)),
+                Some(p.wall_ns)
+            );
+        }
+        let sketch = registry
+            .fused_sketch("tune.toy.phase_ns")
+            .expect("duration sketch registered");
+        assert_eq!(sketch.count() as usize, report.phase_timings.len());
     }
 
     #[test]

@@ -144,7 +144,7 @@ impl Autotuner {
         let mut audit_warnings = preflight(cv, inputs.len())?;
         audit_warnings.extend(journal.recovery_diagnostics().iter().cloned());
         journal.begin(&run_header(cv, inputs.len())?)?;
-        let phases = Phases::new(cv);
+        let phases = Phases::new(cv, self.pulse.clone());
         match cv.policy().incremental {
             None => self.durable_full(cv, inputs, journal, audit_warnings, phases),
             Some(criterion) => {

@@ -13,6 +13,9 @@
 //!   journals, the versioned artifact store, staged promotion/rollback.
 //! * [`nitro_tuner`] — the offline autotuner.
 //! * [`nitro_trace`] — structured tracing, metrics and regret accounting.
+//! * [`nitro_pulse`] — concurrency-first telemetry: sharded lock-free
+//!   metrics, mergeable quantile sketches, continuous dispatch
+//!   profiling and SLO watchdogs.
 //! * [`nitro_simt`] — the simulated GPU substrate.
 //! * Benchmarks: [`nitro_sparse`], [`nitro_solvers`], [`nitro_graph`],
 //!   [`nitro_histogram`], [`nitro_sort`].
@@ -23,6 +26,7 @@ pub use nitro_graph as graph;
 pub use nitro_guard as guard;
 pub use nitro_histogram as histogram;
 pub use nitro_ml as ml;
+pub use nitro_pulse as pulse;
 pub use nitro_simt as simt;
 pub use nitro_solvers as solvers;
 pub use nitro_sort as sort;
