@@ -26,6 +26,8 @@
 
 pub mod error;
 pub mod harness;
+pub mod load;
 
 pub use error::{BenchError, BenchResult};
 pub use harness::*;
+pub use load::{LoadPhase, ZipfSampler};

@@ -1,0 +1,119 @@
+//! Shared load-generation utilities for the serving and chaos
+//! harnesses: a seeded zipf rank sampler (skewed tenant/input picks)
+//! and a phase-structured open-loop arrival schedule.
+//!
+//! The zipf sampler used to live inline in the harness binaries (and a
+//! cousin of it in `nitro-histogram`'s data generator); it is lifted
+//! here so every load generator draws skew the same way — seeded,
+//! deterministic, and rank-0-based.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Zipf};
+
+/// A seeded sampler of zipf-distributed ranks `0..n`.
+///
+/// Rank 0 is the hottest: with exponent `s ≈ 1`, a handful of ranks
+/// receive most of the draws — the canonical shape of tenant traffic,
+/// hot keys and skewed inputs. Two samplers built with the same
+/// `(n, exponent, seed)` produce identical streams.
+#[derive(Debug)]
+pub struct ZipfSampler {
+    dist: Zipf,
+    rng: StdRng,
+    n: usize,
+}
+
+impl ZipfSampler {
+    /// Sampler over `0..n` with `exponent > 0` and a deterministic
+    /// seed. Panics if `n == 0` or the exponent is not positive
+    /// (mirrors the distribution's own domain).
+    pub fn new(n: usize, exponent: f64, seed: u64) -> Self {
+        let dist = Zipf::new(n as f64, exponent).expect("valid zipf parameters");
+        Self {
+            dist,
+            rng: StdRng::seed_from_u64(seed),
+            n,
+        }
+    }
+
+    /// Draw the next rank, in `0..n`.
+    pub fn next_rank(&mut self) -> usize {
+        // The distribution samples 1-based ranks as f64.
+        ((self.dist.sample(&mut self.rng) as usize).saturating_sub(1)).min(self.n - 1)
+    }
+
+    /// The number of ranks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// One phase of an offered-load schedule: `requests` arrivals spaced
+/// `gap_ns` apart (an open-loop schedule — arrivals do not wait for
+/// completions, which is what makes overload possible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadPhase {
+    /// Phase label ("warm", "burst", …).
+    pub name: &'static str,
+    /// Arrivals in this phase.
+    pub requests: usize,
+    /// Inter-arrival gap, ns (0 = an instantaneous burst).
+    pub gap_ns: u64,
+}
+
+impl LoadPhase {
+    /// Offered load in requests/second (`f64::INFINITY` for a burst).
+    pub fn offered_rps(&self) -> f64 {
+        if self.gap_ns == 0 {
+            f64::INFINITY
+        } else {
+            1e9 / self.gap_ns as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let mut a = ZipfSampler::new(64, 1.2, 42);
+        let mut b = ZipfSampler::new(64, 1.2, 42);
+        let mut c = ZipfSampler::new(64, 1.2, 43);
+        let sa: Vec<usize> = (0..256).map(|_| a.next_rank()).collect();
+        let sb: Vec<usize> = (0..256).map(|_| b.next_rank()).collect();
+        let sc: Vec<usize> = (0..256).map(|_| c.next_rank()).collect();
+        assert_eq!(sa, sb, "same seed must replay the same stream");
+        assert_ne!(sa, sc, "different seeds must diverge");
+    }
+
+    #[test]
+    fn ranks_are_in_range_and_skewed_toward_zero() {
+        let mut s = ZipfSampler::new(16, 1.3, 7);
+        let mut counts = [0usize; 16];
+        for _ in 0..4000 {
+            counts[s.next_rank()] += 1;
+        }
+        // Rank 0 dominates a zipf(1.3) over 16 ranks.
+        assert!(counts[0] > 1000, "rank 0 drew only {} of 4000", counts[0]);
+        assert!(counts[0] > counts[8] * 4, "{counts:?}");
+    }
+
+    #[test]
+    fn load_phase_reports_offered_rate() {
+        let warm = LoadPhase {
+            name: "warm",
+            requests: 100,
+            gap_ns: 1_000_000,
+        };
+        assert!((warm.offered_rps() - 1000.0).abs() < 1e-9);
+        let burst = LoadPhase {
+            name: "burst",
+            requests: 50,
+            gap_ns: 0,
+        };
+        assert!(burst.offered_rps().is_infinite());
+    }
+}

@@ -104,6 +104,11 @@ registry! {
     NITRO091 => "warning", "pulse", "saturated quantile sketch: observations overflowed the top bucket, so upper quantiles degrade to the observed max";
     NITRO092 => "error", "pulse", "watchdog window shorter than the metric's update period (windows can hold at most one observation)";
     NITRO093 => "warning", "pulse", "stripe count below available parallelism: concurrent recording threads will share stripes and contend";
+    NITRO100 => "error", "serving", "unbounded (or zero-capacity) admission queue configured: overload backs up instead of shedding";
+    NITRO101 => "error", "serving", "zero-capacity tenant token bucket: the tenant can never be admitted";
+    NITRO102 => "error", "serving", "degradation ladder missing its terminal default variant";
+    NITRO103 => "warning", "serving", "deadline budget shorter than the observed p99 dispatch floor: most admitted requests will expire";
+    NITRO104 => "warning", "serving", "shard count exceeds available hardware threads: shards contend instead of parallelizing";
 }
 
 /// Look up one code's metadata.

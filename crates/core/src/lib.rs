@@ -51,6 +51,7 @@ pub mod model;
 pub mod observer;
 pub mod policy;
 pub mod predicate;
+pub mod request;
 pub mod variant;
 
 pub use code_variant::{CallStats, CodeVariant, Invocation};
@@ -63,6 +64,7 @@ pub use model::{ModelArtifact, MODEL_SCHEMA_VERSION};
 pub use observer::{DispatchObservation, DispatchObserver};
 pub use policy::{StoppingCriterion, TuningPolicy};
 pub use predicate::{CmpOp, ConstraintDescriptor, Predicate};
+pub use request::{Deadline, Priority, RequestMeta, TenantId};
 pub use variant::{FnVariant, Objective, Variant};
 
 // Re-export the ML types that appear in this crate's public API, so

@@ -1,0 +1,185 @@
+//! Serving-layer request envelope: tenant identity, priority class and
+//! deadline budget.
+//!
+//! These types live in `nitro-core` (rather than `nitro-serve`) because
+//! they are the vocabulary the whole stack shares: the serving front
+//! door stamps them on every admitted request, audits reference them in
+//! `NITRO10x` diagnostics, and report binaries serialize them into
+//! `target/BENCH_serve.json`. All time values are plain `u64`
+//! nanoseconds on whatever clock the caller supplies — wall, monotonic
+//! or the simulator's virtual clock — so deadline arithmetic stays
+//! deterministic under test.
+
+use serde::{Deserialize, Serialize};
+
+/// An opaque tenant identity for per-tenant admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u32);
+
+// Hand-written: the offline serde derive needs named fields, and a
+// tenant id should serialize as its bare number anyway.
+impl Serialize for TenantId {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for TenantId {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        u32::from_value(v).map(TenantId)
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Request priority class. Order matters: `Interactive` is drained
+/// first and admitted deepest into a loaded queue; `Batch` is shed
+/// first.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Priority {
+    /// Latency-sensitive traffic: drained first, admitted deepest.
+    Interactive,
+    /// The default class.
+    #[default]
+    Standard,
+    /// Throughput traffic: first to be rejected under pressure.
+    Batch,
+}
+
+impl Priority {
+    /// All classes, drain order first.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Stable queue index (drain order).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Standard => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// How much of the admission watermark this class may use: lower-
+    /// priority traffic is turned away earlier as queues deepen, so a
+    /// burst of batch work cannot starve interactive requests.
+    pub fn admission_fraction(self) -> f64 {
+        match self {
+            Priority::Interactive => 1.0,
+            Priority::Standard => 0.85,
+            Priority::Batch => 0.7,
+        }
+    }
+
+    /// Short label for metric names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// An absolute deadline derived from a per-request latency budget.
+///
+/// The serving layer's contract is built on this type: an admitted
+/// request either completes before `expires_ns` or is shed *before*
+/// dispatch — work is never started on (or completed for) a request
+/// that can no longer meet its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deadline {
+    /// Clock reading when the request was issued (ns).
+    pub issued_ns: u64,
+    /// Absolute expiry: `issued_ns + budget` (ns, saturating).
+    pub expires_ns: u64,
+}
+
+impl Deadline {
+    /// A deadline `budget_ns` after `now_ns`.
+    pub fn new(now_ns: u64, budget_ns: u64) -> Self {
+        Self {
+            issued_ns: now_ns,
+            expires_ns: now_ns.saturating_add(budget_ns),
+        }
+    }
+
+    /// The original budget this deadline was issued with (ns).
+    pub fn budget_ns(&self) -> u64 {
+        self.expires_ns - self.issued_ns
+    }
+
+    /// Whether the deadline has passed at clock reading `now_ns`.
+    pub fn is_expired(&self, now_ns: u64) -> bool {
+        now_ns >= self.expires_ns
+    }
+
+    /// Budget left at `now_ns` (0 once expired).
+    pub fn remaining_ns(&self, now_ns: u64) -> u64 {
+        self.expires_ns.saturating_sub(now_ns)
+    }
+}
+
+/// Everything the front door stamps on a request besides its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestMeta {
+    /// Who sent it (admission-control bucket key).
+    pub tenant: TenantId,
+    /// Which class it travels in.
+    pub priority: Priority,
+    /// When it must be done.
+    pub deadline: Deadline,
+}
+
+impl RequestMeta {
+    /// Stamp a request issued at `now_ns` with a `budget_ns` deadline.
+    pub fn new(tenant: TenantId, priority: Priority, now_ns: u64, budget_ns: u64) -> Self {
+        Self {
+            tenant,
+            priority,
+            deadline: Deadline::new(now_ns, budget_ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_arithmetic_is_saturating_and_exact() {
+        let d = Deadline::new(100, 50);
+        assert_eq!(d.budget_ns(), 50);
+        assert!(!d.is_expired(149));
+        assert!(d.is_expired(150), "expiry is inclusive");
+        assert_eq!(d.remaining_ns(120), 30);
+        assert_eq!(d.remaining_ns(200), 0);
+        let huge = Deadline::new(u64::MAX - 1, 100);
+        assert_eq!(huge.expires_ns, u64::MAX, "saturates, never wraps");
+    }
+
+    #[test]
+    fn priority_order_matches_drain_and_admission_semantics() {
+        assert!(Priority::Interactive < Priority::Standard);
+        assert!(Priority::Standard < Priority::Batch);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert!(Priority::Interactive.admission_fraction() > Priority::Batch.admission_fraction());
+    }
+
+    #[test]
+    fn request_meta_round_trips_through_serde() {
+        let meta = RequestMeta::new(TenantId(7), Priority::Batch, 1_000, 5_000);
+        let json = serde_json::to_string(&meta).unwrap();
+        assert!(json.to_lowercase().contains("batch"), "{json}");
+        let back: RequestMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, meta);
+        assert_eq!(TenantId(7).to_string(), "tenant-7");
+    }
+}

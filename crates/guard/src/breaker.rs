@@ -9,6 +9,17 @@
 //!
 //! The clock is *guarded calls*, not wall time: the simulator's time is
 //! virtual, and call-counted cooldowns keep chaos tests deterministic.
+//!
+//! The breaker is **shard-shareable**: its state lives in one packed
+//! `AtomicU64` and every transition is a CAS loop, so [`tick`]
+//! (CircuitBreaker::tick), [`on_success`](CircuitBreaker::on_success)
+//! and [`on_failure`](CircuitBreaker::on_failure) all take `&self` and
+//! are safe to call from any number of worker threads without a mutex.
+//! Under concurrent updates each transition is applied atomically
+//! against the state the CAS observed — two racing failures on a breaker
+//! one step from its threshold produce exactly one `Opened` transition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -72,13 +83,69 @@ pub enum Transition {
     Recovered,
 }
 
-/// One variant's breaker.
-#[derive(Debug, Clone, PartialEq)]
+// Packed state word: tag in the top two bits, payload (failure streak,
+// remaining cooldown or probe successes) in the low 62.
+const TAG_SHIFT: u32 = 62;
+const TAG_CLOSED: u64 = 0;
+const TAG_OPEN: u64 = 1;
+const TAG_HALF_OPEN: u64 = 2;
+const VALUE_MASK: u64 = (1 << TAG_SHIFT) - 1;
+
+fn encode(state: BreakerState) -> u64 {
+    match state {
+        BreakerState::Closed {
+            consecutive_failures,
+        } => (TAG_CLOSED << TAG_SHIFT) | u64::from(consecutive_failures),
+        BreakerState::Open { remaining_cooldown } => {
+            (TAG_OPEN << TAG_SHIFT) | (remaining_cooldown & VALUE_MASK)
+        }
+        BreakerState::HalfOpen { successes } => (TAG_HALF_OPEN << TAG_SHIFT) | u64::from(successes),
+    }
+}
+
+fn decode(word: u64) -> BreakerState {
+    let value = word & VALUE_MASK;
+    match word >> TAG_SHIFT {
+        TAG_OPEN => BreakerState::Open {
+            remaining_cooldown: value,
+        },
+        TAG_HALF_OPEN => BreakerState::HalfOpen {
+            successes: value as u32,
+        },
+        _ => BreakerState::Closed {
+            consecutive_failures: value as u32,
+        },
+    }
+}
+
+/// One variant's breaker. `Send + Sync`: state transitions are lock-free
+/// CAS loops on a single packed word.
+#[derive(Debug)]
 pub struct CircuitBreaker {
     threshold: u32,
     cooldown: u64,
     probes_to_close: u32,
-    state: BreakerState,
+    state: AtomicU64,
+}
+
+impl Clone for CircuitBreaker {
+    fn clone(&self) -> Self {
+        Self {
+            threshold: self.threshold,
+            cooldown: self.cooldown,
+            probes_to_close: self.probes_to_close,
+            state: AtomicU64::new(self.state.load(Ordering::SeqCst)),
+        }
+    }
+}
+
+impl PartialEq for CircuitBreaker {
+    fn eq(&self, other: &Self) -> bool {
+        self.threshold == other.threshold
+            && self.cooldown == other.cooldown
+            && self.probes_to_close == other.probes_to_close
+            && self.state() == other.state()
+    }
 }
 
 impl CircuitBreaker {
@@ -87,24 +154,25 @@ impl CircuitBreaker {
         Self {
             // A zero threshold would quarantine on sight; the policy
             // audit (NITRO050) refuses it, but the breaker itself stays
-            // total by clamping.
+            // total by clamping. The cooldown clamp keeps the packed
+            // representation total (62 bits of call-counted cooldown).
             threshold: policy.quarantine_threshold.max(1),
-            cooldown: policy.cooldown_calls,
+            cooldown: policy.cooldown_calls.min(VALUE_MASK),
             probes_to_close: policy.half_open_probes.max(1),
-            state: BreakerState::Closed {
+            state: AtomicU64::new(encode(BreakerState::Closed {
                 consecutive_failures: 0,
-            },
+            })),
         }
     }
 
     /// Current state.
     pub fn state(&self) -> BreakerState {
-        self.state
+        decode(self.state.load(Ordering::SeqCst))
     }
 
     /// Whether dispatch may run this variant (Closed or HalfOpen).
     pub fn is_available(&self) -> bool {
-        !matches!(self.state, BreakerState::Open { .. })
+        !matches!(self.state(), BreakerState::Open { .. })
     }
 
     /// Whether the variant is quarantined (Open).
@@ -112,75 +180,103 @@ impl CircuitBreaker {
         !self.is_available()
     }
 
+    /// Apply `step` atomically to the current state: CAS-loop until the
+    /// transition lands against an unchanged snapshot.
+    fn transition<R>(&self, step: impl Fn(BreakerState) -> (BreakerState, R)) -> R {
+        let mut current = self.state.load(Ordering::SeqCst);
+        loop {
+            let (next, out) = step(decode(current));
+            match self.state.compare_exchange_weak(
+                current,
+                encode(next),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return out,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
     /// Advance the cooldown clock by one guarded call. Returns `true`
     /// when this tick moved the breaker from Open to HalfOpen.
-    pub fn tick(&mut self) -> bool {
-        if let BreakerState::Open { remaining_cooldown } = self.state {
-            if remaining_cooldown <= 1 {
-                self.state = BreakerState::HalfOpen { successes: 0 };
-                return true;
+    pub fn tick(&self) -> bool {
+        self.transition(|state| match state {
+            BreakerState::Open { remaining_cooldown } if remaining_cooldown <= 1 => {
+                (BreakerState::HalfOpen { successes: 0 }, true)
             }
-            self.state = BreakerState::Open {
-                remaining_cooldown: remaining_cooldown - 1,
-            };
-        }
-        false
+            BreakerState::Open { remaining_cooldown } => (
+                BreakerState::Open {
+                    remaining_cooldown: remaining_cooldown - 1,
+                },
+                false,
+            ),
+            other => (other, false),
+        })
     }
 
     /// Record a successful execution of this variant.
-    pub fn on_success(&mut self) -> Option<Transition> {
-        match self.state {
-            BreakerState::Closed { .. } => {
-                self.state = BreakerState::Closed {
+    pub fn on_success(&self) -> Option<Transition> {
+        self.transition(|state| match state {
+            BreakerState::Closed { .. } => (
+                BreakerState::Closed {
                     consecutive_failures: 0,
-                };
-                None
-            }
+                },
+                None,
+            ),
             BreakerState::HalfOpen { successes } => {
                 if successes + 1 >= self.probes_to_close {
-                    self.state = BreakerState::Closed {
-                        consecutive_failures: 0,
-                    };
-                    Some(Transition::Recovered)
+                    (
+                        BreakerState::Closed {
+                            consecutive_failures: 0,
+                        },
+                        Some(Transition::Recovered),
+                    )
                 } else {
-                    self.state = BreakerState::HalfOpen {
-                        successes: successes + 1,
-                    };
-                    None
+                    (
+                        BreakerState::HalfOpen {
+                            successes: successes + 1,
+                        },
+                        None,
+                    )
                 }
             }
             // Dispatch never runs an Open variant, but stay total.
-            BreakerState::Open { .. } => None,
-        }
+            open @ BreakerState::Open { .. } => (open, None),
+        })
     }
 
     /// Record a failed execution of this variant.
-    pub fn on_failure(&mut self) -> Option<Transition> {
-        match self.state {
+    pub fn on_failure(&self) -> Option<Transition> {
+        self.transition(|state| match state {
             BreakerState::Closed {
                 consecutive_failures,
             } => {
                 let failures = consecutive_failures + 1;
                 if failures >= self.threshold {
-                    self.state = BreakerState::Open {
-                        remaining_cooldown: self.cooldown,
-                    };
-                    Some(Transition::Opened)
+                    (
+                        BreakerState::Open {
+                            remaining_cooldown: self.cooldown,
+                        },
+                        Some(Transition::Opened),
+                    )
                 } else {
-                    self.state = BreakerState::Closed {
-                        consecutive_failures: failures,
-                    };
-                    None
+                    (
+                        BreakerState::Closed {
+                            consecutive_failures: failures,
+                        },
+                        None,
+                    )
                 }
             }
-            BreakerState::HalfOpen { .. } => {
-                self.state = BreakerState::Open {
+            BreakerState::HalfOpen { .. } => (
+                BreakerState::Open {
                     remaining_cooldown: self.cooldown,
-                };
-                Some(Transition::Reopened)
-            }
-            BreakerState::Open { .. } => None,
-        }
+                },
+                Some(Transition::Reopened),
+            ),
+            open @ BreakerState::Open { .. } => (open, None),
+        })
     }
 }
 
@@ -199,7 +295,7 @@ mod tests {
 
     #[test]
     fn trips_open_after_threshold_consecutive_failures() {
-        let mut b = CircuitBreaker::new(&policy());
+        let b = CircuitBreaker::new(&policy());
         assert_eq!(b.on_failure(), None);
         assert_eq!(b.on_failure(), None);
         assert!(b.is_available());
@@ -209,7 +305,7 @@ mod tests {
 
     #[test]
     fn success_resets_the_failure_streak() {
-        let mut b = CircuitBreaker::new(&policy());
+        let b = CircuitBreaker::new(&policy());
         b.on_failure();
         b.on_failure();
         b.on_success();
@@ -220,7 +316,7 @@ mod tests {
 
     #[test]
     fn cooldown_ticks_to_half_open_then_probes_close() {
-        let mut b = CircuitBreaker::new(&policy());
+        let b = CircuitBreaker::new(&policy());
         for _ in 0..3 {
             b.on_failure();
         }
@@ -240,7 +336,7 @@ mod tests {
 
     #[test]
     fn half_open_failure_reopens_with_full_cooldown() {
-        let mut b = CircuitBreaker::new(&policy());
+        let b = CircuitBreaker::new(&policy());
         for _ in 0..3 {
             b.on_failure();
         }
@@ -257,8 +353,35 @@ mod tests {
 
     #[test]
     fn ticking_a_closed_breaker_is_a_no_op() {
-        let mut b = CircuitBreaker::new(&policy());
+        let b = CircuitBreaker::new(&policy());
         assert!(!b.tick());
         assert!(b.is_available());
+    }
+
+    #[test]
+    fn concurrent_failures_produce_exactly_one_opened_transition() {
+        let b = std::sync::Arc::new(CircuitBreaker::new(&GuardPolicy {
+            quarantine_threshold: 64,
+            cooldown_calls: 1_000_000,
+            ..GuardPolicy::default()
+        }));
+        let opened = std::sync::Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = b.clone();
+                let opened = opened.clone();
+                s.spawn(move || {
+                    for _ in 0..64 {
+                        if b.on_failure() == Some(Transition::Opened) {
+                            opened.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // 512 failures against threshold 64: the breaker opened exactly
+        // once (further failures hit the Open arm, a no-op).
+        assert_eq!(opened.load(Ordering::Relaxed), 1);
+        assert!(b.is_quarantined());
     }
 }

@@ -20,10 +20,22 @@
 //!    default-variant dispatch and reports [`HealthStatus::Degraded`]
 //!    instead of erroring.
 //!
+//! The guard is **shard-shareable**: breaker, health and statistics
+//! state live in a [`GuardShared`] bundle of atomics, and the whole
+//! dispatch pipeline — [`GuardedVariant::call`] — takes `&self`. One
+//! guard instance behind an `Arc` serves any number of worker threads
+//! with no mutex on the dispatch path; alternatively, several guards
+//! (each owning its own `CodeVariant`, e.g. one per serving shard) can
+//! share a single `GuardShared` via [`GuardedVariant::new_sharing`], so
+//! a variant melting down on one shard is quarantined on all of them.
+//!
 //! Every recovery decision is visible to `nitro-trace`:
 //! `guard.<fn>.quarantine`, `guard.<fn>.retry`, `guard.<fn>.degraded`,
 //! plus `guard.<fn>.{calls,failure,fallback,recovered}` counters and a
 //! `guard:<fn>` instant per state transition.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use nitro_audit::AuditedInstall;
 use nitro_core::{CodeVariant, ModelArtifact, NitroError, Result};
@@ -51,7 +63,9 @@ impl HealthStatus {
 }
 
 /// Cumulative guard statistics (the counter mirror of the trace metrics,
-/// available without a tracer).
+/// available without a tracer). Snapshot of the atomics in
+/// [`GuardShared`]; when several guards share state, these aggregate
+/// across all of them.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GuardStats {
     /// Guarded calls served (success or error).
@@ -99,13 +113,136 @@ pub struct GuardedInvocation {
     pub degraded: bool,
 }
 
+/// Health state shared between workers: a lock-free degraded flag on the
+/// dispatch path, with the human-readable reason behind a mutex touched
+/// only when health actually changes (or is snapshotted).
+#[derive(Debug)]
+struct SharedHealth {
+    degraded: AtomicBool,
+    reason: Mutex<String>,
+}
+
+impl SharedHealth {
+    fn new(status: HealthStatus) -> Self {
+        let health = Self {
+            degraded: AtomicBool::new(false),
+            reason: Mutex::new(String::new()),
+        };
+        health.set(status);
+        health
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    fn snapshot(&self) -> HealthStatus {
+        if self.is_degraded() {
+            HealthStatus::Degraded {
+                reason: self.reason.lock().expect("health reason lock").clone(),
+            }
+        } else {
+            HealthStatus::Healthy
+        }
+    }
+
+    fn set(&self, status: HealthStatus) {
+        match status {
+            HealthStatus::Healthy => {
+                self.degraded.store(false, Ordering::SeqCst);
+            }
+            HealthStatus::Degraded { reason } => {
+                *self.reason.lock().expect("health reason lock") = reason;
+                self.degraded.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Atomic mirror of [`GuardStats`].
+#[derive(Debug, Default)]
+struct SharedStats {
+    calls: AtomicU64,
+    retries: AtomicU64,
+    failures: AtomicU64,
+    quarantines: AtomicU64,
+    recoveries: AtomicU64,
+    degraded_calls: AtomicU64,
+    fallbacks: AtomicU64,
+    /// f64 bit pattern, accumulated with a CAS loop.
+    backoff_ns_bits: AtomicU64,
+}
+
+impl SharedStats {
+    fn add_backoff(&self, ns: f64) {
+        let mut current = self.backoff_ns_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + ns).to_bits();
+            match self.backoff_ns_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> GuardStats {
+        GuardStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            degraded_calls: self.degraded_calls.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            backoff_ns: f64::from_bits(self.backoff_ns_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// The shard-shareable slice of a guard: breaker bank, health flag and
+/// cumulative statistics, all atomics. Create one with
+/// [`GuardedVariant::new`] (implicitly) and hand it to sibling guards
+/// with [`GuardedVariant::new_sharing`] so every worker shard sees the
+/// same quarantine and health decisions.
+#[derive(Debug)]
+pub struct GuardShared {
+    breakers: Vec<CircuitBreaker>,
+    health: SharedHealth,
+    stats: SharedStats,
+}
+
+impl GuardShared {
+    fn new(policy: &GuardPolicy, n_variants: usize, health: HealthStatus) -> Self {
+        Self {
+            breakers: (0..n_variants)
+                .map(|_| CircuitBreaker::new(policy))
+                .collect(),
+            health: SharedHealth::new(health),
+            stats: SharedStats::default(),
+        }
+    }
+
+    /// Number of variants the breaker bank covers.
+    pub fn n_breakers(&self) -> usize {
+        self.breakers.len()
+    }
+
+    /// All breaker states, in variant order.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.breakers.iter().map(|b| b.state()).collect()
+    }
+}
+
 /// A [`CodeVariant`] wrapped in the resilience layer.
 pub struct GuardedVariant<I: ?Sized> {
     cv: CodeVariant<I>,
     policy: GuardPolicy,
-    breakers: Vec<CircuitBreaker>,
-    health: HealthStatus,
-    stats: GuardStats,
+    shared: Arc<GuardShared>,
     pulse: Option<nitro_pulse::GuardPulse>,
 }
 
@@ -113,8 +250,8 @@ impl<I: ?Sized> std::fmt::Debug for GuardedVariant<I> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GuardedVariant")
             .field("function", &self.cv.name())
-            .field("health", &self.health)
-            .field("stats", &self.stats)
+            .field("health", &self.health())
+            .field("stats", &self.stats())
             .field("breakers", &self.breaker_states())
             .finish_non_exhaustive()
     }
@@ -131,9 +268,6 @@ impl<I: ?Sized> GuardedVariant<I> {
         if nitro_audit::has_errors(&diagnostics) {
             return Err(NitroError::Audit { diagnostics });
         }
-        let breakers = (0..cv.n_variants())
-            .map(|_| CircuitBreaker::new(&policy))
-            .collect();
         let health = if cv.has_model() {
             HealthStatus::Healthy
         } else {
@@ -141,12 +275,39 @@ impl<I: ?Sized> GuardedVariant<I> {
                 reason: "no trained model installed; serving the default variant".into(),
             }
         };
+        let shared = Arc::new(GuardShared::new(&policy, cv.n_variants(), health));
         let guard = Self {
             cv,
             policy,
-            breakers,
-            health,
-            stats: GuardStats::default(),
+            shared,
+            pulse: None,
+        };
+        if let Some(tracer) = guard.cv.context().tracer() {
+            guard.declare_tracer_metrics(&tracer);
+        }
+        Ok(guard)
+    }
+
+    /// Wrap a code variant that shares breaker, health and statistics
+    /// state with sibling guards (one per serving shard, say). The
+    /// constructing guard does **not** reset the shared health — the
+    /// bundle keeps whatever state its owners have driven it to. The
+    /// shared breaker bank should cover this function's variants
+    /// (candidates beyond the bank dispatch without quarantine
+    /// tracking).
+    pub fn new_sharing(
+        cv: CodeVariant<I>,
+        policy: GuardPolicy,
+        shared: Arc<GuardShared>,
+    ) -> Result<Self> {
+        let diagnostics = audit_guard_policy(cv.name(), &policy);
+        if nitro_audit::has_errors(&diagnostics) {
+            return Err(NitroError::Audit { diagnostics });
+        }
+        let guard = Self {
+            cv,
+            policy,
+            shared,
             pulse: None,
         };
         if let Some(tracer) = guard.cv.context().tracer() {
@@ -160,13 +321,22 @@ impl<I: ?Sized> GuardedVariant<I> {
         Self::new(cv, GuardPolicy::default())
     }
 
+    /// The shared breaker/health/stats bundle, for constructing sibling
+    /// guards with [`GuardedVariant::new_sharing`].
+    pub fn shared(&self) -> Arc<GuardShared> {
+        self.shared.clone()
+    }
+
     /// The wrapped code variant.
     pub fn inner(&self) -> &CodeVariant<I> {
         &self.cv
     }
 
-    /// Mutable access to the wrapped code variant. Registering more
-    /// variants afterwards extends the breaker table on the next call.
+    /// Mutable access to the wrapped code variant. Variants registered
+    /// through this borrow get breakers once
+    /// [`GuardedVariant::sync_breakers`] runs (the model-loading paths
+    /// call it for you); until then they dispatch without quarantine
+    /// tracking.
     pub fn inner_mut(&mut self) -> &mut CodeVariant<I> {
         &mut self.cv
     }
@@ -176,34 +346,50 @@ impl<I: ?Sized> GuardedVariant<I> {
         self.cv
     }
 
+    /// Extend the breaker bank to cover late-registered variants. Only
+    /// possible while this guard holds the sole reference to its shared
+    /// state (a bank shared across live shards has a fixed variant
+    /// count); returns whether the bank now covers every variant.
+    pub fn sync_breakers(&mut self) -> bool {
+        let n = self.cv.n_variants();
+        if let Some(shared) = Arc::get_mut(&mut self.shared) {
+            while shared.breakers.len() < n {
+                shared.breakers.push(CircuitBreaker::new(&self.policy));
+            }
+        }
+        self.shared.breakers.len() >= n
+    }
+
     /// The active guard policy.
     pub fn policy(&self) -> &GuardPolicy {
         &self.policy
     }
 
-    /// Current health status.
-    pub fn health(&self) -> &HealthStatus {
-        &self.health
+    /// Current health status (snapshot of the shared flag).
+    pub fn health(&self) -> HealthStatus {
+        self.shared.health.snapshot()
     }
 
-    /// Cumulative statistics.
-    pub fn stats(&self) -> &GuardStats {
-        &self.stats
+    /// Cumulative statistics (snapshot; aggregated across every guard
+    /// sharing this state).
+    pub fn stats(&self) -> GuardStats {
+        self.shared.stats.snapshot()
     }
 
     /// One variant's breaker state, if the index is in range.
     pub fn breaker_state(&self, variant: usize) -> Option<BreakerState> {
-        self.breakers.get(variant).map(|b| b.state())
+        self.shared.breakers.get(variant).map(|b| b.state())
     }
 
     /// All breaker states, in variant order.
     pub fn breaker_states(&self) -> Vec<BreakerState> {
-        self.breakers.iter().map(|b| b.state()).collect()
+        self.shared.breaker_states()
     }
 
     /// Whether a variant is currently quarantined.
     pub fn is_quarantined(&self, variant: usize) -> bool {
-        self.breakers
+        self.shared
+            .breakers
             .get(variant)
             .is_some_and(|b| b.is_quarantined())
     }
@@ -266,7 +452,8 @@ impl<I: ?Sized> GuardedVariant<I> {
     /// Load and audit this function's model from the context, degrading
     /// (instead of erroring) when it is missing, mismatched or fails the
     /// artifact audit. Returns the resulting health status.
-    pub fn load_model_or_degrade(&mut self) -> &HealthStatus {
+    pub fn load_model_or_degrade(&mut self) -> HealthStatus {
+        self.sync_breakers();
         let name = self.cv.name().to_string();
         let result = match self.cv.context().fetch_model(&name) {
             None => Err(NitroError::ModelMismatch {
@@ -275,14 +462,15 @@ impl<I: ?Sized> GuardedVariant<I> {
             Some(artifact) => self.cv.install_artifact_audited(artifact).map(|_| ()),
         };
         self.absorb_model_result(result);
-        &self.health
+        self.health()
     }
 
     /// Install and audit an explicit artifact, degrading on any failure.
-    pub fn install_artifact_or_degrade(&mut self, artifact: ModelArtifact) -> &HealthStatus {
+    pub fn install_artifact_or_degrade(&mut self, artifact: ModelArtifact) -> HealthStatus {
+        self.sync_breakers();
         let result = self.cv.install_artifact_audited(artifact).map(|_| ());
         self.absorb_model_result(result);
-        &self.health
+        self.health()
     }
 
     /// Load the newest *intact* version from a `nitro-store`
@@ -295,7 +483,8 @@ impl<I: ?Sized> GuardedVariant<I> {
     pub fn load_latest_or_degrade(
         &mut self,
         store: &nitro_store::ArtifactStore,
-    ) -> (&HealthStatus, Vec<nitro_audit::Diagnostic>) {
+    ) -> (HealthStatus, Vec<nitro_audit::Diagnostic>) {
+        self.sync_breakers();
         let (loaded, diagnostics) = store.load_latest_intact();
         let result = match loaded {
             Some((_, artifact)) => self.cv.install_artifact_audited(artifact).map(|_| ()),
@@ -308,18 +497,20 @@ impl<I: ?Sized> GuardedVariant<I> {
             }),
         };
         self.absorb_model_result(result);
-        (&self.health, diagnostics)
+        (self.health(), diagnostics)
     }
 
     fn absorb_model_result(&mut self, result: Result<()>) {
         match result {
-            Ok(()) => self.health = HealthStatus::Healthy,
+            Ok(()) => self.shared.health.set(HealthStatus::Healthy),
             Err(e) => self.degrade(format!("model unavailable: {e}")),
         }
     }
 
     /// Enter degraded mode explicitly (also used by the model paths).
-    pub fn degrade(&mut self, reason: impl Into<String>) {
+    /// `&self`: health is shared atomic state, so any worker holding the
+    /// guard behind an `Arc` may degrade it.
+    pub fn degrade(&self, reason: impl Into<String>) {
         let reason = reason.into();
         if let Some(tracer) = self.cv.context().tracer() {
             tracer.instant(
@@ -331,7 +522,7 @@ impl<I: ?Sized> GuardedVariant<I> {
                 ],
             );
         }
-        self.health = HealthStatus::Degraded { reason };
+        self.shared.health.set(HealthStatus::Degraded { reason });
     }
 
     /// The candidate order a call with these features would consider:
@@ -347,7 +538,7 @@ impl<I: ?Sized> GuardedVariant<I> {
             return Vec::new();
         }
         let default = self.cv.default_variant().filter(|&d| d < n);
-        if self.health.is_degraded() {
+        if self.shared.health.is_degraded() {
             return default.into_iter().collect();
         }
         let mut cascade = Vec::with_capacity(n + 1);
@@ -381,25 +572,25 @@ impl<I: ?Sized> GuardedVariant<I> {
         cascade
     }
 
-    /// The full resilient dispatch pipeline.
+    /// The full resilient dispatch pipeline. Takes `&self`: every piece
+    /// of mutable guard state (breakers, health, stats) is atomic, so a
+    /// single guard behind an `Arc` serves all worker shards with no
+    /// lock anywhere on this path.
     ///
     /// Returns [`NitroError::NoHealthyVariant`] when the cascade is
     /// exhausted (every candidate quarantined or out of attempts), and
     /// [`NitroError::NoSelectionPossible`] when there is nothing to plan
     /// (no model and no default).
-    pub fn call(&mut self, input: &I) -> Result<GuardedInvocation>
+    pub fn call(&self, input: &I) -> Result<GuardedInvocation>
     where
         I: Sync,
     {
         if self.cv.n_variants() == 0 {
             return Err(NitroError::NoVariants);
         }
-        // Late-registered variants get breakers on their first call.
-        while self.breakers.len() < self.cv.n_variants() {
-            self.breakers.push(CircuitBreaker::new(&self.policy));
-        }
+        let shared = &*self.shared;
         // Advance every quarantine clock by one guarded call.
-        for b in &mut self.breakers {
+        for b in &shared.breakers {
             b.tick();
         }
 
@@ -407,7 +598,7 @@ impl<I: ?Sized> GuardedVariant<I> {
         let name = self.cv.name().to_string();
         let (features, feature_cost_ns) = self.cv.evaluate_features(input);
         let cascade = self.plan_cascade(&features, input);
-        let degraded = self.health.is_degraded();
+        let degraded = shared.health.is_degraded();
 
         let mut span = tracer.as_ref().map(|t| {
             t.span(
@@ -420,7 +611,7 @@ impl<I: ?Sized> GuardedVariant<I> {
             )
         });
 
-        self.stats.calls += 1;
+        shared.stats.calls.fetch_add(1, Ordering::Relaxed);
         if let Some(t) = &tracer {
             t.metrics().inc(&format!("guard.{name}.calls"));
         }
@@ -428,7 +619,7 @@ impl<I: ?Sized> GuardedVariant<I> {
             p.calls.inc();
         }
         if degraded {
-            self.stats.degraded_calls += 1;
+            shared.stats.degraded_calls.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = &tracer {
                 t.metrics().inc(&format!("guard.{name}.degraded"));
             }
@@ -446,17 +637,20 @@ impl<I: ?Sized> GuardedVariant<I> {
         let mut last_failure: Option<NitroError> = None;
 
         for &candidate in &cascade {
-            if !self.breakers[candidate].is_available() {
+            // Late-registered variants beyond the shared bank dispatch
+            // without quarantine tracking (see `sync_breakers`).
+            let breaker = shared.breakers.get(candidate);
+            if breaker.is_some_and(|b| !b.is_available()) {
                 continue;
             }
             let max_attempts = 1 + self.policy.retry_budget;
             for attempt in 0..max_attempts {
                 if attempt > 0 {
                     retries += 1;
-                    self.stats.retries += 1;
+                    shared.stats.retries.fetch_add(1, Ordering::Relaxed);
                     let pause = self.policy.backoff_base_ns * f64::from(1u32 << (attempt - 1));
                     backoff_ns += pause;
-                    self.stats.backoff_ns += pause;
+                    shared.stats.add_backoff(pause);
                     if let Some(t) = &tracer {
                         t.metrics().inc(&format!("guard.{name}.retry"));
                     }
@@ -467,8 +661,8 @@ impl<I: ?Sized> GuardedVariant<I> {
                 attempts += 1;
                 match self.cv.try_run_variant(candidate, input) {
                     Ok(objective) => {
-                        if self.breakers[candidate].on_success() == Some(Transition::Recovered) {
-                            self.stats.recoveries += 1;
+                        if breaker.and_then(|b| b.on_success()) == Some(Transition::Recovered) {
+                            shared.stats.recoveries.fetch_add(1, Ordering::Relaxed);
                             if let Some(p) = &self.pulse {
                                 p.recovered.inc();
                             }
@@ -486,7 +680,7 @@ impl<I: ?Sized> GuardedVariant<I> {
                         }
                         let fell_back = candidate != cascade[0];
                         if fell_back {
-                            self.stats.fallbacks += 1;
+                            shared.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
                             if let Some(t) = &tracer {
                                 t.metrics().inc(&format!("guard.{name}.fallback"));
                             }
@@ -546,14 +740,14 @@ impl<I: ?Sized> GuardedVariant<I> {
                         });
                     }
                     Err(e) => {
-                        self.stats.failures += 1;
+                        shared.stats.failures.fetch_add(1, Ordering::Relaxed);
                         if let Some(t) = &tracer {
                             t.metrics().inc(&format!("guard.{name}.failure"));
                         }
                         if let Some(p) = &self.pulse {
                             p.failure.inc();
                         }
-                        let tripped = self.breakers[candidate].on_failure();
+                        let tripped = breaker.and_then(|b| b.on_failure());
                         last_failure = Some(match e {
                             NitroError::VariantFailed {
                                 variant,
@@ -569,7 +763,7 @@ impl<I: ?Sized> GuardedVariant<I> {
                             other => other,
                         });
                         if let Some(transition) = tripped {
-                            self.stats.quarantines += 1;
+                            shared.stats.quarantines.fetch_add(1, Ordering::Relaxed);
                             if let Some(p) = &self.pulse {
                                 p.quarantine.inc();
                             }
@@ -668,8 +862,8 @@ mod tests {
         let ctx = Context::new();
         let mut cv = toy(&ctx);
         cv.install_model(toy_model());
-        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
-        assert_eq!(guard.health(), &HealthStatus::Healthy);
+        let guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        assert_eq!(guard.health(), HealthStatus::Healthy);
         assert_eq!(guard.call(&1.0).unwrap().variant, 0);
         let inv = guard.call(&9.0).unwrap();
         assert_eq!(inv.variant, 1);
@@ -735,7 +929,7 @@ mod tests {
         tuned.install_model(toy_model());
         tuned.save_model().unwrap();
         guard.load_model_or_degrade();
-        assert_eq!(guard.health(), &HealthStatus::Healthy);
+        assert_eq!(guard.health(), HealthStatus::Healthy);
         assert_eq!(guard.call(&9.0).unwrap().variant, 1);
     }
 
@@ -756,7 +950,7 @@ mod tests {
         )
         .unwrap();
         cv.install_model(toy_model());
-        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        let guard = GuardedVariant::new(cv, quick_policy()).unwrap();
 
         // First call at x=9 predicts the failing variant: both attempts
         // fail (threshold 2 → quarantine) and the cascade falls back.
@@ -796,7 +990,7 @@ mod tests {
         }));
         cv.set_default(0);
         cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
-        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        let guard = GuardedVariant::new(cv, quick_policy()).unwrap();
         match guard.call(&1.0) {
             Err(NitroError::NoHealthyVariant { function, detail }) => {
                 assert_eq!(function, "doomed");
@@ -820,7 +1014,7 @@ mod tests {
         cv.add_constraint(1, nitro_core::FnConstraint::new("never", |_: &f64| false))
             .unwrap();
         cv.install_model(toy_model());
-        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        let guard = GuardedVariant::new(cv, quick_policy()).unwrap();
         let (features, _) = guard.inner().evaluate_features(&9.0);
         assert_eq!(guard.plan_cascade(&features, &9.0), vec![0]);
         assert_eq!(guard.call(&9.0).unwrap().variant, 0);
@@ -852,7 +1046,7 @@ mod tests {
         )
         .unwrap();
         let (health, diags) = guard.load_latest_or_degrade(&store);
-        assert_eq!(health, &HealthStatus::Healthy);
+        assert_eq!(health, HealthStatus::Healthy);
         assert!(diags.iter().any(|d| d.code == "NITRO071"), "{diags:?}");
         assert_eq!(guard.call(&9.0).unwrap().variant, 1, "model-driven");
         std::fs::remove_dir_all(dir).ok();
@@ -873,7 +1067,7 @@ mod tests {
         )
         .unwrap();
         cv.install_model(toy_model());
-        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        let guard = GuardedVariant::new(cv, quick_policy()).unwrap();
         guard.call(&9.0).unwrap();
 
         let m = tracer.metrics();
@@ -920,5 +1114,64 @@ mod tests {
             .fused_sketch("dispatch.toy.latency_ns")
             .expect("latency sketch registered");
         assert_eq!(latency.count(), 1);
+    }
+
+    #[test]
+    fn one_guard_instance_serves_many_threads_lock_free() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GuardedVariant<f64>>();
+
+        let ctx = Context::new();
+        let mut cv = toy(&ctx);
+        cv.install_model(toy_model());
+        let guard = Arc::new(GuardedVariant::new(cv, quick_policy()).unwrap());
+        let served = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let guard = guard.clone();
+                let served = served.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let x = ((t * 50 + i) % 10) as f64;
+                        let inv = guard.call(&x).unwrap();
+                        assert_eq!(inv.variant, usize::from(x >= 5.0));
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(served.load(Ordering::Relaxed), 200);
+        assert_eq!(guard.stats().calls, 200);
+    }
+
+    #[test]
+    fn sibling_guards_share_quarantine_state() {
+        let ctx = Context::new();
+        let mut cv_a = toy(&ctx);
+        cv_a.replace_variant(
+            1,
+            Arc::new(FnVariant::new("large", |_: &f64| -> f64 {
+                panic!("injected variant failure: 'large'")
+            })),
+        )
+        .unwrap();
+        cv_a.install_model(toy_model());
+        let guard_a = GuardedVariant::new(cv_a, quick_policy()).unwrap();
+
+        // A sibling (another shard's guard over the same function) that
+        // shares breaker/health/stats state.
+        let mut cv_b = toy(&ctx);
+        cv_b.install_model(toy_model());
+        let guard_b = GuardedVariant::new_sharing(cv_b, quick_policy(), guard_a.shared()).unwrap();
+
+        // Shard A trips variant 1's breaker…
+        guard_a.call(&9.0).unwrap();
+        assert!(guard_a.is_quarantined(1));
+        // …and shard B sees the quarantine without ever failing itself.
+        assert!(guard_b.is_quarantined(1));
+        assert_eq!(guard_b.call(&9.0).unwrap().variant, 0, "skips quarantined");
+        // Stats aggregate across both shards.
+        assert_eq!(guard_b.stats().calls, 2);
+        assert_eq!(guard_a.stats(), guard_b.stats());
     }
 }

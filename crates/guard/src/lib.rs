@@ -48,4 +48,4 @@ pub mod dispatch;
 pub use audit::{audit_fault_plan, audit_guard_policy};
 pub use breaker::{BreakerState, CircuitBreaker, GuardPolicy, Transition};
 pub use chaos::{inject_failures, ChaosVariant};
-pub use dispatch::{GuardStats, GuardedInvocation, GuardedVariant, HealthStatus};
+pub use dispatch::{GuardShared, GuardStats, GuardedInvocation, GuardedVariant, HealthStatus};

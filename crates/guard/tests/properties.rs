@@ -68,7 +68,7 @@ proptest! {
         cv.set_default(0);
         cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
         cv.install_model(two_class_model());
-        let mut guard = GuardedVariant::new(cv, quick_policy()).unwrap();
+        let guard = GuardedVariant::new(cv, quick_policy()).unwrap();
 
         for (x, failing) in schedule {
             outage.store(failing, Ordering::Relaxed);
@@ -166,8 +166,8 @@ proptest! {
             cv.install_model(two_class_model());
             GuardedVariant::new(cv, quick_policy()).unwrap()
         };
-        let mut a = build();
-        let mut b = build();
+        let a = build();
+        let b = build();
 
         for seed in gpu_seeds {
             let ra = a.call(&seed);

@@ -207,6 +207,17 @@ impl PulseAlert {
         parts.next()?; // require a trailing segment
         Some(function)
     }
+
+    /// True when this alert is a Page-severity latency regression on
+    /// the named tuned function — the condition that makes
+    /// `nitro-store` roll a promotion back and `nitro-serve` tighten
+    /// admission. Centralized here so every consumer reacts to exactly
+    /// the same alerts.
+    pub fn is_page_latency_for(&self, function: &str) -> bool {
+        self.kind == AlertKind::LatencyRegression
+            && self.severity == AlertSeverity::Page
+            && self.function() == Some(function)
+    }
 }
 
 /// One tick's cumulative capture of the metrics the specs reference.

@@ -1,0 +1,194 @@
+//! Serving-configuration audit: the `NITRO10x` diagnostics.
+//!
+//! Same shape as the guard's `NITRO05x` audit: inspect the
+//! configuration before traffic flows, refuse to start on
+//! error-severity findings, warn on footguns.
+//!
+//! * `NITRO100` (error)   — unbounded (or zero-capacity) admission
+//!   queue: overload would back up instead of shedding.
+//! * `NITRO101` (error)   — zero-capacity tenant bucket: a non-positive
+//!   or non-finite refill rate, zero burst, or zero slots means the
+//!   tenant can never be admitted.
+//! * `NITRO102` (error)   — degradation ladder missing its terminal
+//!   default variant: the `DefaultOnly` tier (and the guarded cascade
+//!   underneath) would have nowhere to land.
+//! * `NITRO103` (warning) — deadline budget below the observed p99
+//!   dispatch floor: most admitted requests would expire in flight.
+//! * `NITRO104` (warning) — more shards than hardware threads: shards
+//!   contend for cores instead of parallelizing.
+
+use nitro_core::diag::registry::codes;
+use nitro_core::Diagnostic;
+
+use crate::front::ServeConfig;
+
+/// Audit a serving configuration for `function`.
+/// [`ServeFront::start`](crate::ServeFront::start) refuses to start on
+/// error-severity findings. `has_default` reports whether the
+/// registration being served sets a default variant.
+pub fn audit_serve_config(
+    function: &str,
+    config: &ServeConfig,
+    has_default: bool,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    match config.queue_capacity {
+        None => diags.push(Diagnostic::error(
+            codes::NITRO100,
+            function,
+            "unbounded admission queue: overload backs up (and blows every latency \
+             SLO) instead of shedding; set queue_capacity",
+        )),
+        Some(0) => diags.push(Diagnostic::error(
+            codes::NITRO100,
+            function,
+            "zero-capacity admission queue: every request is rejected at the door",
+        )),
+        Some(_) => {}
+    }
+    if !(config.tenant_rate_per_s > 0.0 && config.tenant_rate_per_s.is_finite())
+        || config.tenant_burst == 0
+        || config.tenant_slots == 0
+    {
+        diags.push(Diagnostic::error(
+            codes::NITRO101,
+            function,
+            format!(
+                "zero-capacity tenant bucket (rate {}/s, burst {}, slots {}): \
+                 no tenant can ever be admitted",
+                config.tenant_rate_per_s, config.tenant_burst, config.tenant_slots
+            ),
+        ));
+    }
+    if !has_default {
+        diags.push(Diagnostic::error(
+            codes::NITRO102,
+            function,
+            "degradation ladder has no terminal default variant: the DefaultOnly \
+             tier (and the fallback cascade underneath it) has nowhere to land; \
+             call set_default before serving",
+        ));
+    }
+    if let Some(floor) = config.expected_p99_floor_ns {
+        if floor.is_finite() && (config.default_budget_ns as f64) < floor {
+            diags.push(Diagnostic::warning(
+                codes::NITRO103,
+                function,
+                format!(
+                    "deadline budget {} ns is below the observed p99 dispatch floor \
+                     {floor:.0} ns: most admitted requests will expire in flight",
+                    config.default_budget_ns
+                ),
+            ));
+        }
+    }
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if config.shards > hw {
+        diags.push(Diagnostic::warning(
+            codes::NITRO104,
+            function,
+            format!(
+                "{} shards on {hw} hardware threads: shards will contend for cores \
+                 instead of parallelizing",
+                config.shards
+            ),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_config() -> ServeConfig {
+        ServeConfig::default()
+    }
+
+    #[test]
+    fn healthy_config_is_clean() {
+        assert!(audit_serve_config("fn", &ok_config(), true).is_empty());
+    }
+
+    #[test]
+    fn unbounded_and_zero_queues_are_nitro100_errors() {
+        for capacity in [None, Some(0)] {
+            let cfg = ServeConfig {
+                queue_capacity: capacity,
+                ..ok_config()
+            };
+            let diags = audit_serve_config("fn", &cfg, true);
+            assert!(
+                diags.iter().any(|d| d.code == "NITRO100"),
+                "{capacity:?}: {diags:?}"
+            );
+            assert!(nitro_audit::has_errors(&diags));
+        }
+    }
+
+    #[test]
+    fn dead_tenant_buckets_are_nitro101_errors() {
+        for cfg in [
+            ServeConfig {
+                tenant_rate_per_s: 0.0,
+                ..ok_config()
+            },
+            ServeConfig {
+                tenant_rate_per_s: f64::NAN,
+                ..ok_config()
+            },
+            ServeConfig {
+                tenant_burst: 0,
+                ..ok_config()
+            },
+            ServeConfig {
+                tenant_slots: 0,
+                ..ok_config()
+            },
+        ] {
+            let diags = audit_serve_config("fn", &cfg, true);
+            assert!(diags.iter().any(|d| d.code == "NITRO101"), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn missing_terminal_default_is_a_nitro102_error() {
+        let diags = audit_serve_config("fn", &ok_config(), false);
+        assert!(diags.iter().any(|d| d.code == "NITRO102"), "{diags:?}");
+        assert!(nitro_audit::has_errors(&diags));
+    }
+
+    #[test]
+    fn budget_below_p99_floor_is_a_nitro103_warning() {
+        let cfg = ServeConfig {
+            default_budget_ns: 1_000,
+            expected_p99_floor_ns: Some(50_000.0),
+            ..ok_config()
+        };
+        let diags = audit_serve_config("fn", &cfg, true);
+        assert!(diags.iter().any(|d| d.code == "NITRO103"), "{diags:?}");
+        assert!(!nitro_audit::has_errors(&diags), "warning, not error");
+        // A budget above the floor is clean.
+        let cfg = ServeConfig {
+            default_budget_ns: 100_000,
+            expected_p99_floor_ns: Some(50_000.0),
+            ..ok_config()
+        };
+        assert!(audit_serve_config("fn", &cfg, true).is_empty());
+    }
+
+    #[test]
+    fn oversharding_is_a_nitro104_warning() {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let cfg = ServeConfig {
+            shards: hw + 1,
+            ..ok_config()
+        };
+        let diags = audit_serve_config("fn", &cfg, true);
+        assert!(diags.iter().any(|d| d.code == "NITRO104"), "{diags:?}");
+    }
+}

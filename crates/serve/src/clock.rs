@@ -1,0 +1,71 @@
+//! The serving clock: wall time in production, a hand-cranked counter
+//! under test.
+//!
+//! Every deadline decision in `nitro-serve` reads one [`ServeClock`],
+//! in plain `u64` nanoseconds. The [`ServeClock::manual`] variant makes
+//! overload scripts deterministic: the test advances time explicitly,
+//! so "this request expired while queued" is a scripted fact rather
+//! than a scheduling accident.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Nanosecond clock behind the front door. Cheap to clone; clones of a
+/// manual clock share the same hand.
+#[derive(Debug, Clone)]
+pub enum ServeClock {
+    /// Monotonic wall time since the clock was created.
+    Wall {
+        /// The zero point.
+        origin: Instant,
+    },
+    /// Virtual time: advances only when the owner of the hand says so.
+    Manual(Arc<AtomicU64>),
+}
+
+impl ServeClock {
+    /// A monotonic wall clock starting at zero now.
+    pub fn wall() -> Self {
+        ServeClock::Wall {
+            origin: Instant::now(),
+        }
+    }
+
+    /// A virtual clock starting at zero, plus the hand that advances it.
+    pub fn manual() -> (Self, Arc<AtomicU64>) {
+        let hand = Arc::new(AtomicU64::new(0));
+        (ServeClock::Manual(hand.clone()), hand)
+    }
+
+    /// Current reading in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            ServeClock::Wall { origin } => origin.elapsed().as_nanos() as u64,
+            ServeClock::Manual(hand) => hand.load(Ordering::SeqCst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_by_hand_and_clones_share_it() {
+        let (clock, hand) = ServeClock::manual();
+        let clone = clock.clone();
+        assert_eq!(clock.now_ns(), 0);
+        hand.fetch_add(250, Ordering::SeqCst);
+        assert_eq!(clock.now_ns(), 250);
+        assert_eq!(clone.now_ns(), 250, "clones read the same hand");
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = ServeClock::wall();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+}

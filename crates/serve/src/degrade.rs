@@ -1,0 +1,211 @@
+//! The three-tier degradation ladder and the per-regime decision cache.
+//!
+//! As a shard's queue deepens, each request is served with
+//! progressively less machinery:
+//!
+//! | tier | engages at | what runs |
+//! |---|---|---|
+//! | [`DegradeTier::Full`] | depth < soft watermark | feature eval + model predict + guarded cascade |
+//! | [`DegradeTier::CachedRegime`] | soft ≤ depth < hard | feature eval + cached per-regime variant (predict only on cache miss) |
+//! | [`DegradeTier::DefaultOnly`] | depth ≥ hard | the terminal default variant, no prediction at all |
+//!
+//! The ladder always terminates at the default variant — a
+//! configuration without one is refused at startup (`NITRO102`).
+//!
+//! The [`RegimeCache`] behind the middle tier maps *input regimes*
+//! (features quantized to order-of-magnitude buckets) to the variant
+//! the model last chose for that regime. It is worker-local — one
+//! worker per shard — so lookups are plain array reads, and it is
+//! cleared on every model hot-swap: a new model's decisions must not be
+//! served from the old model's cache.
+
+use nitro_core::Priority;
+
+/// How much prediction machinery a request gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeTier {
+    /// Full feature evaluation + model predict + guarded cascade.
+    Full,
+    /// Cached per-regime decision; model consulted only on cache miss.
+    CachedRegime,
+    /// Terminal default variant, no prediction.
+    DefaultOnly,
+}
+
+impl DegradeTier {
+    /// Short label for metrics and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeTier::Full => "full",
+            DegradeTier::CachedRegime => "cached_regime",
+            DegradeTier::DefaultOnly => "default_only",
+        }
+    }
+}
+
+/// Pick the tier for a shard at `depth` with `capacity` slots, given
+/// the soft/hard watermark fractions. `tighten_shift` halves both
+/// watermarks per level, so a burning SLO degrades earlier.
+pub fn tier_for(
+    depth: usize,
+    capacity: usize,
+    soft_fraction: f64,
+    hard_fraction: f64,
+    tighten_shift: u32,
+) -> DegradeTier {
+    let scale = 1.0 / f64::from(1u32 << tighten_shift.min(16));
+    let soft = (capacity as f64 * soft_fraction * scale) as usize;
+    let hard = (capacity as f64 * hard_fraction * scale) as usize;
+    if depth >= hard.max(1) {
+        DegradeTier::DefaultOnly
+    } else if depth >= soft.max(1) {
+        DegradeTier::CachedRegime
+    } else {
+        DegradeTier::Full
+    }
+}
+
+/// The admission watermark for one priority class: the fraction of
+/// queue capacity this class may fill, halved per tighten level. Always
+/// at least 1 so a healthy, empty system admits everyone.
+pub fn admission_watermark(capacity: usize, priority: Priority, tighten_shift: u32) -> usize {
+    let scaled =
+        capacity as f64 * priority.admission_fraction() / f64::from(1u32 << tighten_shift.min(16));
+    (scaled as usize).max(1)
+}
+
+const CACHE_SLOTS: usize = 64;
+const VALID: u64 = 1 << 63;
+const FP_BITS: u64 = (1 << 47) - 1;
+
+/// Worker-local map from quantized feature regime → last chosen
+/// variant. Fixed-size, direct-mapped: a colliding regime simply
+/// overwrites (the cache is an optimization, never a correctness
+/// dependency — a miss or eviction falls back to a full predict).
+#[derive(Debug)]
+pub struct RegimeCache {
+    slots: [u64; CACHE_SLOTS],
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for RegimeCache {
+    fn default() -> Self {
+        Self {
+            slots: [0; CACHE_SLOTS],
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// Quantize a feature vector to a regime fingerprint: each feature
+/// collapses to its sign + order of magnitude, so inputs of the same
+/// scale share a regime while the cache stays insensitive to noise.
+pub fn regime_fingerprint(features: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for &f in features {
+        let bucket: i64 = if !f.is_finite() {
+            i64::MAX
+        } else if f == 0.0 {
+            0
+        } else {
+            let mag = f.abs().log2().floor() as i64;
+            if f < 0.0 {
+                -(mag + 1)
+            } else {
+                mag + 1
+            }
+        };
+        for byte in bucket.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h & FP_BITS
+}
+
+impl RegimeCache {
+    /// The cached variant for this regime, if present.
+    pub fn lookup(&mut self, fingerprint: u64) -> Option<usize> {
+        let word = self.slots[(fingerprint as usize) % CACHE_SLOTS];
+        if word & VALID != 0 && (word >> 16) & FP_BITS == fingerprint {
+            self.hits += 1;
+            Some((word & 0xFFFF) as usize)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Record the model's decision for this regime.
+    pub fn insert(&mut self, fingerprint: u64, variant: usize) {
+        if variant > 0xFFFF {
+            return; // unrepresentable; the cache just won't serve it
+        }
+        self.slots[(fingerprint as usize) % CACHE_SLOTS] =
+            VALID | (fingerprint << 16) | variant as u64;
+    }
+
+    /// Drop every cached decision (model hot-swap).
+    pub fn clear(&mut self) {
+        self.slots = [0; CACHE_SLOTS];
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_engages_with_depth_and_tightening_lowers_it() {
+        let cap = 100;
+        assert_eq!(tier_for(0, cap, 0.5, 0.8, 0), DegradeTier::Full);
+        assert_eq!(tier_for(49, cap, 0.5, 0.8, 0), DegradeTier::Full);
+        assert_eq!(tier_for(50, cap, 0.5, 0.8, 0), DegradeTier::CachedRegime);
+        assert_eq!(tier_for(79, cap, 0.5, 0.8, 0), DegradeTier::CachedRegime);
+        assert_eq!(tier_for(80, cap, 0.5, 0.8, 0), DegradeTier::DefaultOnly);
+        // One tighten level halves both watermarks.
+        assert_eq!(tier_for(25, cap, 0.5, 0.8, 1), DegradeTier::CachedRegime);
+        assert_eq!(tier_for(40, cap, 0.5, 0.8, 1), DegradeTier::DefaultOnly);
+    }
+
+    #[test]
+    fn admission_watermarks_scale_by_priority_and_tightening() {
+        assert_eq!(admission_watermark(100, Priority::Interactive, 0), 100);
+        assert_eq!(admission_watermark(100, Priority::Standard, 0), 85);
+        assert_eq!(admission_watermark(100, Priority::Batch, 0), 70);
+        assert_eq!(admission_watermark(100, Priority::Batch, 1), 35);
+        assert_eq!(
+            admission_watermark(2, Priority::Batch, 4),
+            1,
+            "never below one"
+        );
+    }
+
+    #[test]
+    fn same_scale_inputs_share_a_regime_different_scales_do_not() {
+        let a = regime_fingerprint(&[1025.0, 0.5]);
+        let b = regime_fingerprint(&[1400.0, 0.6]);
+        let c = regime_fingerprint(&[100_000.0, 0.5]);
+        assert_eq!(a, b, "same order of magnitude");
+        assert_ne!(a, c, "different order of magnitude");
+    }
+
+    #[test]
+    fn cache_round_trips_and_clears_on_swap() {
+        let mut cache = RegimeCache::default();
+        let fp = regime_fingerprint(&[256.0]);
+        assert_eq!(cache.lookup(fp), None);
+        cache.insert(fp, 3);
+        assert_eq!(cache.lookup(fp), Some(3));
+        cache.clear();
+        assert_eq!(cache.lookup(fp), None, "hot-swap invalidates");
+        assert_eq!(cache.stats(), (1, 2));
+    }
+}

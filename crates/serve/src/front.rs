@@ -1,0 +1,679 @@
+//! The serving front door: admission, sharded dispatch, shedding,
+//! degradation and model hot-swap.
+//!
+//! ```text
+//!                    ┌──────────── ServeFront ────────────┐
+//!  submit(req) ──►  admission                             │
+//!   │  ├─ deadline already expired?   → reject (expired)  │
+//!   │  ├─ tenant token bucket empty?  → reject (tenant)   │
+//!   │  └─ shard queue over watermark? → reject (queue)    │
+//!   │                                                     │
+//!   └─► shard queue (bounded, 3 priority lanes)           │
+//!          │                                              │
+//!       worker: dequeue                                   │
+//!          ├─ deadline expired while queued → shed        │
+//!          ├─ remaining < service estimate  → shed        │
+//!          ├─ model epoch changed → hot-swap install      │
+//!          └─ dispatch at the pressure tier:              │
+//!               Full → CachedRegime → DefaultOnly         │
+//!                      (guarded cascade underneath)       │
+//! ```
+//!
+//! Work is **never** started on a request whose deadline has passed —
+//! expiry is checked at admission and re-checked at dequeue, and the
+//! optional hopeless-shed drops requests whose remaining budget is
+//! below the shard's smoothed service-time estimate. Every decision
+//! increments a [`ServePulse`](crate::ServePulse) counter.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use nitro_core::{CodeVariant, ModelArtifact, NitroError, RequestMeta, Result};
+use nitro_guard::{GuardPolicy, GuardedVariant};
+use nitro_pulse::{PulseAlert, PulseRegistry};
+use nitro_store::StagedPromotion;
+
+use crate::admission::TenantBuckets;
+use crate::audit::audit_serve_config;
+use crate::clock::ServeClock;
+use crate::degrade::{admission_watermark, regime_fingerprint, tier_for, DegradeTier, RegimeCache};
+use crate::epoch::EpochCell;
+use crate::metrics::ServePulse;
+use crate::queue::ShardQueue;
+
+/// Front-door configuration. Audited at startup
+/// ([`audit_serve_config`]); error-severity findings (`NITRO100`–`102`)
+/// refuse to start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Worker shards (each owns a `CodeVariant` + its compiled model).
+    pub shards: usize,
+    /// Per-shard queue bound. `None` is an unbounded queue — refused at
+    /// startup (`NITRO100`): overload must shed, not back up.
+    pub queue_capacity: Option<usize>,
+    /// Tenant bucket slots (tenants hash onto them).
+    pub tenant_slots: usize,
+    /// Tenant refill rate, tokens per second.
+    pub tenant_rate_per_s: f64,
+    /// Tenant burst size, tokens.
+    pub tenant_burst: u32,
+    /// Queue fraction where the cached-regime tier engages.
+    pub soft_degrade: f64,
+    /// Queue fraction where the default-only tier engages.
+    pub hard_degrade: f64,
+    /// Cap on SLO-driven admission tightening (each level halves rates
+    /// and watermarks).
+    pub max_tighten: u32,
+    /// Deadline budget the audit compares against the expected service
+    /// floor (`NITRO103`), ns.
+    pub default_budget_ns: u64,
+    /// Observed p99 dispatch floor from a calibration run, if any (ns).
+    pub expected_p99_floor_ns: Option<f64>,
+    /// Shed queued requests whose remaining budget is below the shard's
+    /// smoothed service-time estimate.
+    pub hopeless_shedding: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            // One shard per hardware thread, so the default never trips
+            // the NITRO104 oversharding warning.
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: Some(64),
+            tenant_slots: 64,
+            tenant_rate_per_s: 10_000.0,
+            tenant_burst: 64,
+            soft_degrade: 0.5,
+            hard_degrade: 0.8,
+            max_tighten: 3,
+            default_budget_ns: 5_000_000,
+            expected_p99_floor_ns: None,
+            hopeless_shedding: true,
+        }
+    }
+}
+
+/// Why `submit` turned a request away (synchronously, before it cost a
+/// queue slot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The deadline had already passed at submission.
+    DeadlineExpired,
+    /// The tenant's token bucket was empty.
+    TenantThrottled,
+    /// Every candidate shard was over this priority's watermark.
+    QueueFull {
+        /// The shallowest shard considered.
+        shard: usize,
+        /// Its depth at rejection time.
+        depth: usize,
+    },
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::DeadlineExpired => write!(f, "deadline expired before admission"),
+            Rejection::TenantThrottled => write!(f, "tenant token bucket empty"),
+            Rejection::QueueFull { shard, depth } => {
+                write!(f, "queue full (shard {shard} at depth {depth})")
+            }
+        }
+    }
+}
+
+/// What happened to an admitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeOutcome {
+    /// Dispatched and completed.
+    Served {
+        /// The variant that ran.
+        variant: usize,
+        /// Its name.
+        variant_name: String,
+        /// Objective it returned.
+        objective: f64,
+        /// The degradation tier it was served at.
+        tier: DegradeTier,
+        /// Admission → dequeue, ns.
+        queue_wait_ns: u64,
+        /// Dequeue → completion, ns.
+        dispatch_ns: u64,
+        /// Whether completion beat the deadline (the bench gate
+        /// requires this to always be true).
+        deadline_met: bool,
+        /// Whether the guarded cascade fell back past its first choice.
+        fell_back: bool,
+    },
+    /// Shed at dequeue: the deadline passed while queued. No work was
+    /// started.
+    ShedExpired {
+        /// How long it sat queued, ns.
+        queued_ns: u64,
+    },
+    /// Shed at dequeue: remaining budget below the service estimate.
+    /// No work was started.
+    ShedHopeless {
+        /// Budget left at dequeue, ns.
+        remaining_ns: u64,
+        /// The shard's smoothed service estimate, ns.
+        estimate_ns: u64,
+    },
+    /// Dispatch failed (cascade exhausted) — the error, stringified.
+    Failed {
+        /// What went wrong.
+        error: String,
+    },
+}
+
+/// The requester's handle on an admitted request.
+#[derive(Debug)]
+pub struct ServeTicket {
+    rx: Receiver<ServeOutcome>,
+}
+
+impl ServeTicket {
+    /// Block until the shard resolves this request.
+    pub fn wait(self) -> ServeOutcome {
+        self.rx.recv().unwrap_or(ServeOutcome::Failed {
+            error: "shard dropped the request (worker exited)".into(),
+        })
+    }
+}
+
+/// The model slot workers read per request and promotions publish into.
+#[derive(Debug)]
+pub struct ModelSlot {
+    /// Monotonic publication number (0 = the initial, possibly empty
+    /// slot).
+    pub version: u64,
+    /// The artifact to serve with; `None` leaves shards degraded.
+    pub artifact: Option<ModelArtifact>,
+}
+
+struct Job<I> {
+    input: I,
+    meta: RequestMeta,
+    enqueued_ns: u64,
+    reply: SyncSender<ServeOutcome>,
+}
+
+struct FrontInner<I> {
+    config: ServeConfig,
+    function: String,
+    clock: ServeClock,
+    queues: Vec<ShardQueue<Job<I>>>,
+    tenants: TenantBuckets,
+    tighten: AtomicU32,
+    rr: AtomicU64,
+    model: EpochCell<ModelSlot>,
+    publish_seq: AtomicU64,
+    pulse: Option<Arc<ServePulse>>,
+    escaped_panics: AtomicU64,
+}
+
+/// Aggregate outcome of a front door's lifetime, from
+/// [`ServeFront::shutdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Panics that escaped the guarded dispatch into a worker (0 in a
+    /// healthy system; the guard absorbs variant panics).
+    pub escaped_panics: u64,
+    /// Worker threads that exited cleanly.
+    pub workers_joined: usize,
+}
+
+/// An overload-safe, sharded serving front door over one tuned
+/// function. See the module docs for the pipeline.
+pub struct ServeFront<I: Send + Sync + 'static> {
+    inner: Arc<FrontInner<I>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<I: Send + Sync + 'static> ServeFront<I> {
+    /// Build and start the front door.
+    ///
+    /// `make_cv` constructs one registration per shard (shard index
+    /// passed in); every shard must register the same function. Guards
+    /// share one breaker/health/stats bank
+    /// ([`GuardedVariant::new_sharing`]), so a variant quarantined on
+    /// one shard is quarantined on all. The configuration audit
+    /// (`NITRO100`–`NITRO104`) runs first and error findings refuse
+    /// startup; attach a `PulseRegistry` to get the `serve.*` metrics.
+    pub fn start(
+        config: ServeConfig,
+        policy: GuardPolicy,
+        clock: ServeClock,
+        registry: Option<&PulseRegistry>,
+        make_cv: impl Fn(usize) -> CodeVariant<I>,
+    ) -> Result<Self> {
+        let cv0 = make_cv(0);
+        let function = cv0.name().to_string();
+        let diagnostics = audit_serve_config(&function, &config, cv0.default_variant().is_some());
+        if nitro_audit::has_errors(&diagnostics) {
+            return Err(NitroError::Audit { diagnostics });
+        }
+        let capacity = config.queue_capacity.expect("audited Some");
+        debug_assert!(capacity > 0, "audited nonzero");
+
+        let mut guards = Vec::with_capacity(config.shards);
+        let first = GuardedVariant::new(cv0, policy.clone())?;
+        let shared = first.shared();
+        guards.push(first);
+        for shard in 1..config.shards.max(1) {
+            let cv = make_cv(shard);
+            if cv.name() != function {
+                return Err(NitroError::ModelMismatch {
+                    detail: format!(
+                        "shard {shard} registered '{}' but shard 0 registered '{function}'",
+                        cv.name()
+                    ),
+                });
+            }
+            guards.push(GuardedVariant::new_sharing(
+                cv,
+                policy.clone(),
+                shared.clone(),
+            )?);
+        }
+
+        let pulse = registry.map(|r| ServePulse::register(r, &function));
+        let inner = Arc::new(FrontInner {
+            queues: (0..guards.len()).map(|_| ShardQueue::default()).collect(),
+            tenants: TenantBuckets::new(
+                config.tenant_slots,
+                config.tenant_rate_per_s,
+                config.tenant_burst,
+            ),
+            tighten: AtomicU32::new(0),
+            rr: AtomicU64::new(0),
+            model: EpochCell::new(Arc::new(ModelSlot {
+                version: 0,
+                artifact: None,
+            })),
+            publish_seq: AtomicU64::new(0),
+            pulse,
+            escaped_panics: AtomicU64::new(0),
+            config,
+            function,
+            clock,
+        });
+
+        let workers = guards
+            .into_iter()
+            .enumerate()
+            .map(|(shard, guard)| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("nitro-serve-{shard}"))
+                    .spawn(move || worker_loop(shard, guard, inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+
+        Ok(Self { inner, workers })
+    }
+
+    /// The function this front door serves.
+    pub fn function(&self) -> &str {
+        &self.inner.function
+    }
+
+    /// Submit a request. Admission is synchronous and lock-free: the
+    /// result is either a ticket (admitted — a worker will resolve it)
+    /// or the reason it was turned away.
+    pub fn submit(
+        &self,
+        input: I,
+        meta: RequestMeta,
+    ) -> std::result::Result<ServeTicket, Rejection> {
+        let inner = &*self.inner;
+        let now = inner.clock.now_ns();
+        if meta.deadline.is_expired(now) {
+            if let Some(p) = &inner.pulse {
+                p.rejected_expired.inc();
+            }
+            return Err(Rejection::DeadlineExpired);
+        }
+        let shift = inner.tighten.load(Ordering::SeqCst);
+        if !inner.tenants.try_take(meta.tenant, now, shift) {
+            if let Some(p) = &inner.pulse {
+                p.rejected_tenant.inc();
+            }
+            return Err(Rejection::TenantThrottled);
+        }
+        // Power of two choices on queue depth.
+        let n = inner.queues.len();
+        let a = (inner.rr.fetch_add(1, Ordering::Relaxed) as usize) % n;
+        let b = (a + 1 + (meta.tenant.0 as usize)) % n;
+        let (da, db) = (inner.queues[a].depth(), inner.queues[b].depth());
+        let (shard, depth) = if da <= db { (a, da) } else { (b, db) };
+
+        let capacity = inner.config.queue_capacity.expect("audited Some");
+        if depth >= admission_watermark(capacity, meta.priority, shift) {
+            if let Some(p) = &inner.pulse {
+                p.rejected_queue.inc();
+            }
+            return Err(Rejection::QueueFull { shard, depth });
+        }
+
+        let (reply, rx) = sync_channel(1);
+        let job = Job {
+            input,
+            meta,
+            enqueued_ns: now,
+            reply,
+        };
+        match inner.queues[shard].push(job, meta.priority) {
+            Ok(()) => {
+                if let Some(p) = &inner.pulse {
+                    p.admitted.inc();
+                }
+                Ok(ServeTicket { rx })
+            }
+            // Shutting down: the queue is closed.
+            Err(_) => Err(Rejection::QueueFull { shard, depth }),
+        }
+    }
+
+    /// Publish a model artifact to every shard via the epoch cell.
+    /// Lock-free for readers: workers pick it up on their next request.
+    /// Returns the publication version.
+    pub fn publish_artifact(&self, artifact: ModelArtifact) -> u64 {
+        let version = self.inner.publish_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        self.inner.model.publish(Arc::new(ModelSlot {
+            version,
+            artifact: Some(artifact),
+        }));
+        version
+    }
+
+    /// Swap-on-promote glue: publish a [`StagedPromotion`]'s current
+    /// incumbent. Call it after `promote_now` / `observe` report a
+    /// promotion (or rollback — this republishes whatever is current).
+    pub fn publish_promotion(&self, promotion: &StagedPromotion) -> u64 {
+        self.publish_artifact(promotion.current().clone())
+    }
+
+    /// The current model publication version (0 = none published).
+    pub fn model_version(&self) -> u64 {
+        self.inner.publish_seq.load(Ordering::SeqCst)
+    }
+
+    /// Feed a pulse alert into admission: a Page-severity latency
+    /// regression on this function tightens admission one level
+    /// (halving tenant rates and queue watermarks), up to
+    /// `max_tighten`. Returns true when the alert applied.
+    pub fn ingest_alert(&self, alert: &PulseAlert) -> bool {
+        if !alert.is_page_latency_for(&self.inner.function) {
+            return false;
+        }
+        let max = self.inner.config.max_tighten;
+        let _ = self
+            .inner
+            .tighten
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |t| {
+                (t < max).then_some(t + 1)
+            });
+        if let Some(p) = &self.inner.pulse {
+            p.tightened
+                .set(f64::from(self.inner.tighten.load(Ordering::SeqCst)));
+        }
+        true
+    }
+
+    /// Relax admission one tighten level (the SLO stopped burning).
+    pub fn relax(&self) {
+        let _ = self
+            .inner
+            .tighten
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |t| t.checked_sub(1));
+        if let Some(p) = &self.inner.pulse {
+            p.tightened
+                .set(f64::from(self.inner.tighten.load(Ordering::SeqCst)));
+        }
+    }
+
+    /// Current tighten level (0 = wide open).
+    pub fn tighten_level(&self) -> u32 {
+        self.inner.tighten.load(Ordering::SeqCst)
+    }
+
+    /// Current depth of every shard queue.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.inner.queues.iter().map(|q| q.depth()).collect()
+    }
+
+    /// Close the queues, drain remaining work, join every worker.
+    pub fn shutdown(self) -> ServeSummary {
+        for q in &self.inner.queues {
+            q.close();
+        }
+        let mut joined = 0;
+        for w in self.workers {
+            if w.join().is_ok() {
+                joined += 1;
+            }
+        }
+        ServeSummary {
+            escaped_panics: self.inner.escaped_panics.load(Ordering::SeqCst),
+            workers_joined: joined,
+        }
+    }
+}
+
+/// What one dispatch produced (worker-internal).
+struct Dispatched {
+    variant: usize,
+    variant_name: String,
+    objective: f64,
+    tier: DegradeTier,
+    fell_back: bool,
+}
+
+fn worker_loop<I: Send + Sync + 'static>(
+    shard: usize,
+    mut guard: GuardedVariant<I>,
+    inner: Arc<FrontInner<I>>,
+) {
+    let mut cache = RegimeCache::default();
+    let mut local_version = 0u64;
+    // Smoothed service-time estimate (EWMA, α = 1/8), ns. Zero until
+    // the first completion; hopeless-shedding stays off until then.
+    let mut ewma_ns = 0.0f64;
+    let capacity = inner.config.queue_capacity.expect("audited Some");
+
+    while let Some(job) = inner.queues[shard].pop() {
+        let now = inner.clock.now_ns();
+
+        // Shed *before* dispatch — work is never started for a request
+        // that can no longer meet its deadline.
+        if job.meta.deadline.is_expired(now) {
+            if let Some(p) = &inner.pulse {
+                p.shed_expired.inc();
+            }
+            let _ = job.reply.send(ServeOutcome::ShedExpired {
+                queued_ns: now.saturating_sub(job.enqueued_ns),
+            });
+            continue;
+        }
+        let remaining = job.meta.deadline.remaining_ns(now);
+        if inner.config.hopeless_shedding && ewma_ns > 0.0 && (remaining as f64) < ewma_ns {
+            if let Some(p) = &inner.pulse {
+                p.shed_hopeless.inc();
+            }
+            let _ = job.reply.send(ServeOutcome::ShedHopeless {
+                remaining_ns: remaining,
+                estimate_ns: ewma_ns as u64,
+            });
+            continue;
+        }
+
+        // Model hot-swap: pick up a newer epoch before dispatching.
+        let slot = inner.model.load();
+        if slot.version != local_version {
+            if let Some(artifact) = &slot.artifact {
+                guard.install_artifact_or_degrade(artifact.clone());
+            }
+            cache.clear();
+            local_version = slot.version;
+            if let Some(p) = &inner.pulse {
+                p.hotswap_installs.inc();
+            }
+        }
+        drop(slot);
+
+        let shift = inner.tighten.load(Ordering::SeqCst);
+        let tier = tier_for(
+            inner.queues[shard].depth(),
+            capacity,
+            inner.config.soft_degrade,
+            inner.config.hard_degrade,
+            shift,
+        );
+
+        let started = inner.clock.now_ns();
+        // The guard already isolates variant panics; this is the
+        // backstop that keeps a shard alive if one escapes anyway.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            dispatch_at_tier(&guard, &mut cache, tier, &job.input)
+        }));
+        let finished = inner.clock.now_ns();
+        let dispatch_ns = finished.saturating_sub(started);
+        let queue_wait_ns = started.saturating_sub(job.enqueued_ns);
+
+        match result {
+            Ok(Ok(d)) => {
+                ewma_ns = if ewma_ns == 0.0 {
+                    dispatch_ns as f64
+                } else {
+                    ewma_ns + (dispatch_ns as f64 - ewma_ns) / 8.0
+                };
+                let deadline_met = !job.meta.deadline.is_expired(finished);
+                if let Some(p) = &inner.pulse {
+                    p.dispatch_latency_ns.record(dispatch_ns as f64);
+                    p.queue_wait_ns.record(queue_wait_ns as f64);
+                    p.e2e_latency_ns
+                        .record(finished.saturating_sub(job.meta.deadline.issued_ns) as f64);
+                    match d.tier {
+                        DegradeTier::Full => {}
+                        DegradeTier::CachedRegime => p.degrade_cached.inc(),
+                        DegradeTier::DefaultOnly => p.degrade_default.inc(),
+                    }
+                    if !deadline_met {
+                        p.deadline_violations.inc();
+                    }
+                }
+                let _ = job.reply.send(ServeOutcome::Served {
+                    variant: d.variant,
+                    variant_name: d.variant_name,
+                    objective: d.objective,
+                    tier: d.tier,
+                    queue_wait_ns,
+                    dispatch_ns,
+                    deadline_met,
+                    fell_back: d.fell_back,
+                });
+            }
+            Ok(Err(e)) => {
+                let _ = job.reply.send(ServeOutcome::Failed {
+                    error: e.to_string(),
+                });
+            }
+            Err(panic) => {
+                inner.escaped_panics.fetch_add(1, Ordering::SeqCst);
+                if let Some(p) = &inner.pulse {
+                    p.panics.inc();
+                }
+                let detail = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                let _ = job.reply.send(ServeOutcome::Failed {
+                    error: format!("panic escaped the guarded dispatch: {detail}"),
+                });
+            }
+        }
+    }
+}
+
+fn dispatch_at_tier<I: Sync>(
+    guard: &GuardedVariant<I>,
+    cache: &mut RegimeCache,
+    tier: DegradeTier,
+    input: &I,
+) -> Result<Dispatched> {
+    match tier {
+        DegradeTier::Full => full_dispatch(guard, tier, input),
+        DegradeTier::CachedRegime => {
+            let (features, _) = guard.inner().evaluate_features(input);
+            let fp = regime_fingerprint(&features);
+            if let Some(variant) = cache.lookup(fp) {
+                // Quarantine still applies in the degraded tiers.
+                if !guard.is_quarantined(variant) {
+                    if let Ok(objective) = guard.inner().try_run_variant(variant, input) {
+                        return Ok(Dispatched {
+                            variant,
+                            variant_name: guard
+                                .inner()
+                                .variant(variant)
+                                .map(|v| v.name().to_string())
+                                .unwrap_or_default(),
+                            objective,
+                            tier,
+                            fell_back: false,
+                        });
+                    }
+                }
+            }
+            // Miss (or the cached variant failed): one full predict,
+            // then remember the regime's winner.
+            let d = full_dispatch(guard, tier, input)?;
+            cache.insert(fp, d.variant);
+            Ok(d)
+        }
+        DegradeTier::DefaultOnly => {
+            let default = guard.inner().default_variant();
+            if let Some(v) = default.filter(|&v| !guard.is_quarantined(v)) {
+                if let Ok(objective) = guard.inner().try_run_variant(v, input) {
+                    return Ok(Dispatched {
+                        variant: v,
+                        variant_name: guard
+                            .inner()
+                            .variant(v)
+                            .map(|va| va.name().to_string())
+                            .unwrap_or_default(),
+                        objective,
+                        tier,
+                        fell_back: false,
+                    });
+                }
+            }
+            // Default quarantined or failed: fall back to the guarded
+            // cascade rather than failing the request.
+            full_dispatch(guard, tier, input)
+        }
+    }
+}
+
+fn full_dispatch<I: Sync>(
+    guard: &GuardedVariant<I>,
+    tier: DegradeTier,
+    input: &I,
+) -> Result<Dispatched> {
+    let inv = guard.call(input)?;
+    Ok(Dispatched {
+        variant: inv.variant,
+        variant_name: inv.variant_name,
+        objective: inv.objective,
+        tier,
+        fell_back: inv.fell_back,
+    })
+}

@@ -1,0 +1,126 @@
+//! The per-shard bounded queue: three priority lanes behind one lock,
+//! with a lock-free depth mirror for admission checks.
+//!
+//! The mutex guards only enqueue/dequeue pointer shuffling (no work
+//! runs under it); admission reads `depth()` — a plain atomic — so the
+//! reject-early path never contends with workers. Capacity is enforced
+//! at admission (`front.rs`), not here: by the time a request reaches
+//! `push` it has been admitted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use nitro_core::Priority;
+
+struct Lanes<J> {
+    lanes: [VecDeque<J>; 3],
+    closed: bool,
+}
+
+/// A bounded, priority-laned MPSC queue: any thread may push, the
+/// shard's worker pops. `Interactive` drains strictly before
+/// `Standard`, which drains strictly before `Batch`.
+pub struct ShardQueue<J> {
+    inner: Mutex<Lanes<J>>,
+    available: Condvar,
+    depth: AtomicUsize,
+}
+
+impl<J> Default for ShardQueue<J> {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::new(Lanes {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                closed: false,
+            }),
+            available: Condvar::new(),
+            depth: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<J> ShardQueue<J> {
+    /// Current queue depth across all lanes (lock-free).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// Enqueue into the priority's lane. Returns false after `close`
+    /// (the job is handed back to the caller in that case).
+    pub fn push(&self, job: J, priority: Priority) -> Result<(), J> {
+        let mut inner = self.inner.lock().expect("shard queue lock");
+        if inner.closed {
+            return Err(job);
+        }
+        inner.lanes[priority.index()].push_back(job);
+        self.depth.fetch_add(1, Ordering::SeqCst);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the highest-priority job, blocking while the queue is
+    /// open and empty. `None` once closed **and** drained — a close
+    /// does not drop queued work.
+    pub fn pop(&self) -> Option<J> {
+        let mut inner = self.inner.lock().expect("shard queue lock");
+        loop {
+            for lane in &mut inner.lanes {
+                if let Some(job) = lane.pop_front() {
+                    self.depth.fetch_sub(1, Ordering::SeqCst);
+                    return Some(job);
+                }
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("shard queue lock");
+        }
+    }
+
+    /// Stop accepting pushes and wake every blocked popper.
+    pub fn close(&self) {
+        self.inner.lock().expect("shard queue lock").closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_priority_order_not_arrival_order() {
+        let q = ShardQueue::default();
+        q.push("batch", Priority::Batch).unwrap();
+        q.push("standard", Priority::Standard).unwrap();
+        q.push("interactive", Priority::Interactive).unwrap();
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.pop(), Some("interactive"));
+        assert_eq!(q.pop(), Some("standard"));
+        assert_eq!(q.pop(), Some("batch"));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn close_rejects_new_pushes_but_drains_queued_work() {
+        let q = ShardQueue::default();
+        q.push(1, Priority::Standard).unwrap();
+        q.close();
+        assert_eq!(q.push(2, Priority::Standard), Err(2));
+        assert_eq!(q.pop(), Some(1), "queued work survives close");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_popper_wakes_on_push() {
+        let q = std::sync::Arc::new(ShardQueue::default());
+        let popper = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.push(42, Priority::Interactive).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(42));
+    }
+}

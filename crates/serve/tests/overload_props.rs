@@ -1,0 +1,175 @@
+//! Property: under a randomized overload script, every admitted
+//! request either completes within its deadline or is shed *before*
+//! dispatch — work is never spent on a request that cannot make it,
+//! and a deadline is never violated silently.
+//!
+//! Determinism: the front runs on a manual clock and a single shard
+//! whose worker is parked inside a gated dispatch for the whole
+//! script, so queue depth at each submission — and therefore every
+//! admission decision — is exactly predictable, and every queued
+//! request is dequeued at one known timestamp (the clock's final
+//! value). The property checks the *exact* expected outcome of every
+//! submission, not just an envelope.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use nitro_core::{CodeVariant, Context, FnFeature, FnVariant, Priority, RequestMeta, TenantId};
+use nitro_guard::GuardPolicy;
+use nitro_serve::{
+    admission_watermark, Rejection, ServeClock, ServeConfig, ServeFront, ServeOutcome,
+};
+use proptest::prelude::*;
+
+const CAPACITY: usize = 8;
+
+struct Gate {
+    state: Mutex<(bool, bool)>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Gate {
+            state: Mutex::new((false, false)),
+            cv: Condvar::new(),
+        })
+    }
+    fn block(&self) {
+        let mut g = self.state.lock().unwrap();
+        g.0 = true;
+        self.cv.notify_all();
+        while !g.1 {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+    fn wait_entered(&self) {
+        let mut g = self.state.lock().unwrap();
+        while !g.0 {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+    fn release(&self) {
+        let mut g = self.state.lock().unwrap();
+        g.1 = true;
+        self.cv.notify_all();
+    }
+}
+
+fn priority_from(idx: u32) -> Priority {
+    match idx % 3 {
+        0 => Priority::Interactive,
+        1 => Priority::Standard,
+        _ => Priority::Batch,
+    }
+}
+
+proptest! {
+    /// One op = (clock advance, tenant, priority, deadline budget).
+    /// The script runs against a worker wedged open by a blocker
+    /// request, then the gate opens and every ticket must resolve to
+    /// its precomputed outcome.
+    #[test]
+    fn admitted_requests_meet_deadlines_or_shed_before_dispatch(
+        script in prop::collection::vec(
+            (0u64..2_000, 0u32..4, 0u32..3, 1u64..3_000),
+            1..24,
+        )
+    ) {
+        let runs = Arc::new(AtomicU64::new(0));
+        let gate = Gate::new();
+        let (clock, hand) = ServeClock::manual();
+        let config = ServeConfig {
+            shards: 1,
+            queue_capacity: Some(CAPACITY),
+            tenant_slots: 16,
+            tenant_rate_per_s: 1_000_000.0,
+            tenant_burst: 10_000, // tenants never throttle in this script
+            hopeless_shedding: false,
+            ..ServeConfig::default()
+        };
+        let front = ServeFront::start(
+            config,
+            GuardPolicy::default(),
+            clock.clone(),
+            None,
+            |_| {
+                let mut cv = CodeVariant::new("overload", &Context::new());
+                let runs = runs.clone();
+                let gate = gate.clone();
+                cv.add_variant(FnVariant::new("only", move |&x: &f64| {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    if x < 0.0 {
+                        gate.block();
+                    }
+                    x
+                }));
+                cv.set_default(0);
+                cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+                cv
+            },
+        ).unwrap();
+
+        // Wedge the single worker open so the script owns the queue.
+        let blocker = front
+            .submit(-1.0, RequestMeta::new(
+                TenantId(99), Priority::Interactive, clock.now_ns(), u64::MAX / 2,
+            ))
+            .unwrap();
+        gate.wait_entered();
+
+        // Replay the script, precomputing each submission's fate.
+        let mut queued = Vec::new(); // (ticket, expires_ns)
+        for &(advance, tenant, prio_idx, budget) in &script {
+            hand.fetch_add(advance, Ordering::SeqCst);
+            let now = clock.now_ns();
+            let priority = priority_from(prio_idx);
+            let meta = RequestMeta::new(TenantId(tenant), priority, now, budget);
+            let over_watermark =
+                queued.len() >= admission_watermark(CAPACITY, priority, 0);
+            match front.submit(1.0, meta) {
+                Ok(ticket) => {
+                    prop_assert!(!over_watermark, "should have been rejected");
+                    queued.push((ticket, meta.deadline.expires_ns));
+                }
+                Err(Rejection::QueueFull { depth, .. }) => {
+                    prop_assert!(over_watermark, "rejected below watermark");
+                    prop_assert_eq!(depth, queued.len());
+                }
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!(
+                        "only queue-full rejections are possible here, got {other:?}"
+                    )));
+                }
+            }
+        }
+
+        // Open the gate: the worker drains everything at time `fin`.
+        let fin = clock.now_ns();
+        gate.release();
+        prop_assert!(matches!(blocker.wait(), ServeOutcome::Served { .. }));
+
+        let mut served = 0u64;
+        for (ticket, expires_ns) in queued {
+            match ticket.wait() {
+                ServeOutcome::Served { deadline_met, .. } => {
+                    prop_assert!(deadline_met, "a violated deadline was served");
+                    prop_assert!(fin < expires_ns, "should have been shed at {fin}");
+                    served += 1;
+                }
+                ServeOutcome::ShedExpired { .. } => {
+                    prop_assert!(fin >= expires_ns, "live request was shed");
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "unexpected outcome {other:?}"
+                    )));
+                }
+            }
+        }
+        front.shutdown();
+
+        // Shed and rejected requests never cost variant work.
+        prop_assert_eq!(runs.load(Ordering::SeqCst), served + 1);
+    }
+}

@@ -25,7 +25,7 @@
 //! ```
 
 use nitro_core::{crc32, Diagnostic, ModelArtifact, NitroError, Result};
-use nitro_pulse::{AlertKind, AlertSeverity, PulseAlert, PulseRegistry, PulseSketch};
+use nitro_pulse::{PulseAlert, PulseRegistry, PulseSketch};
 use nitro_trace::RegretLedger;
 
 use crate::audit::{diag_rollback, diag_rollback_storm, diag_stale_candidate};
@@ -455,7 +455,7 @@ impl StagedPromotion {
     /// Consume a pulse alert as an out-of-band regression signal,
     /// closing the observe→act loop.
     ///
-    /// A paging [`AlertKind::LatencyRegression`] whose metric belongs to
+    /// A paging [`nitro_pulse::AlertKind::LatencyRegression`] whose metric belongs to
     /// this function acts immediately, without waiting for a ledger
     /// window to fill:
     ///
@@ -472,10 +472,7 @@ impl StagedPromotion {
         alert: &PulseAlert,
         store: Option<&mut ArtifactStore>,
     ) -> Result<Vec<LifecycleEvent>> {
-        if alert.kind != AlertKind::LatencyRegression
-            || alert.severity != AlertSeverity::Page
-            || alert.function() != Some(self.function.as_str())
-        {
+        if !alert.is_page_latency_for(&self.function) {
             return Ok(Vec::new());
         }
         if let Some(p) = &self.probation {

@@ -27,6 +27,7 @@ pub use nitro_guard as guard;
 pub use nitro_histogram as histogram;
 pub use nitro_ml as ml;
 pub use nitro_pulse as pulse;
+pub use nitro_serve as serve;
 pub use nitro_simt as simt;
 pub use nitro_solvers as solvers;
 pub use nitro_sort as sort;
