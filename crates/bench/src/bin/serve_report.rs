@@ -304,8 +304,10 @@ fn run_phase(
                 dispatch_ns.push(d as f64);
                 e2e_ns.push((w + d) as f64);
             }
-            ServeOutcome::ShedExpired { .. } | ServeOutcome::ShedHopeless { .. } => {}
-            ServeOutcome::Failed { .. } => failed += 1,
+            ServeOutcome::ShedExpired { .. }
+            | ServeOutcome::ShedHopeless { .. }
+            | ServeOutcome::ShedFailover { .. } => {}
+            ServeOutcome::Failed { .. } | ServeOutcome::Quarantined { .. } => failed += 1,
         }
     }
     let elapsed = started.elapsed().as_secs_f64();

@@ -109,6 +109,11 @@ registry! {
     NITRO102 => "error", "serving", "degradation ladder missing its terminal default variant";
     NITRO103 => "warning", "serving", "deadline budget shorter than the observed p99 dispatch floor: most admitted requests will expire";
     NITRO104 => "warning", "serving", "shard count exceeds available hardware threads: shards contend instead of parallelizing";
+    NITRO110 => "warning", "self-healing", "shard restarted: the supervisor replaced a dead or wedged worker, re-seeded from the current model version";
+    NITRO111 => "error", "self-healing", "shard restart budget exhausted: the shard is retired and serving capacity permanently reduced";
+    NITRO112 => "error", "self-healing", "poison-pill request quarantined after killing more than one shard";
+    NITRO113 => "error", "self-healing", "filesystem retry budget exhausted: a transient-looking I/O fault persisted and is surfaced as permanent";
+    NITRO114 => "error", "self-healing", "request-lineage conservation violated: an admitted request was lost or accounted more than once";
 }
 
 /// Look up one code's metadata.

@@ -59,7 +59,10 @@ pub use context::Context;
 pub use diag::{Diagnostic, Severity};
 pub use error::{NitroError, Result};
 pub use feature::{Constraint, FnConstraint, FnFeature, InputFeature};
-pub use fsio::{atomic_write, crc32};
+pub use fsio::{
+    atomic_write, atomic_write_with, crc32, fs_read, is_retryable, mix64, ChaosFs, FsFault, FsOp,
+    FsPolicy, RetryPolicy,
+};
 pub use model::{ModelArtifact, MODEL_SCHEMA_VERSION};
 pub use observer::{DispatchObservation, DispatchObserver};
 pub use policy::{StoppingCriterion, TuningPolicy};

@@ -32,6 +32,19 @@ pub struct GuardPolicy {
     /// Simulated backoff charged before the first retry, in nanoseconds;
     /// doubles on each further retry.
     pub backoff_base_ns: f64,
+    /// Deterministic jitter fraction in `[0, 1]` applied to each backoff
+    /// pause: the pause is scaled by a seeded factor in
+    /// `[1 − jitter, 1 + jitter)` so N shards retrying the same fault
+    /// decorrelate instead of thundering in lockstep. `0.0` (the
+    /// default) reproduces the bare exponential schedule.
+    #[serde(default)]
+    pub backoff_jitter: f64,
+    /// Seed of the jitter stream. Combined with the guard's per-shard
+    /// salt ([`crate::GuardedVariant::set_backoff_salt`]) so the
+    /// schedule is a pure, replayable function of
+    /// `(seed, salt, candidate, attempt, retry sequence)`.
+    #[serde(default = "default_jitter_seed")]
+    pub jitter_seed: u64,
     /// Consecutive failures that trip a variant's breaker Open.
     pub quarantine_threshold: u32,
     /// Guarded calls an Open breaker waits before probing (HalfOpen).
@@ -40,11 +53,17 @@ pub struct GuardPolicy {
     pub half_open_probes: u32,
 }
 
+fn default_jitter_seed() -> u64 {
+    0x6A17_7E55_EED5_EED1
+}
+
 impl Default for GuardPolicy {
     fn default() -> Self {
         Self {
             retry_budget: 2,
             backoff_base_ns: 1_000.0,
+            backoff_jitter: 0.0,
+            jitter_seed: default_jitter_seed(),
             quarantine_threshold: 3,
             cooldown_calls: 16,
             half_open_probes: 1,

@@ -244,6 +244,13 @@ pub struct GuardedVariant<I: ?Sized> {
     policy: GuardPolicy,
     shared: Arc<GuardShared>,
     pulse: Option<nitro_pulse::GuardPulse>,
+    /// Per-instance jitter salt (shard id, say): guards with the same
+    /// policy seed but different salts draw decorrelated backoff
+    /// schedules.
+    jitter_salt: u64,
+    /// Monotonic retry counter feeding the jitter stream, so successive
+    /// retries of the same `(candidate, attempt)` also decorrelate.
+    retry_seq: AtomicU64,
 }
 
 impl<I: ?Sized> std::fmt::Debug for GuardedVariant<I> {
@@ -281,6 +288,8 @@ impl<I: ?Sized> GuardedVariant<I> {
             policy,
             shared,
             pulse: None,
+            jitter_salt: 0,
+            retry_seq: AtomicU64::new(0),
         };
         if let Some(tracer) = guard.cv.context().tracer() {
             guard.declare_tracer_metrics(&tracer);
@@ -309,11 +318,50 @@ impl<I: ?Sized> GuardedVariant<I> {
             policy,
             shared,
             pulse: None,
+            jitter_salt: 0,
+            retry_seq: AtomicU64::new(0),
         };
         if let Some(tracer) = guard.cv.context().tracer() {
             guard.declare_tracer_metrics(&tracer);
         }
         Ok(guard)
+    }
+
+    /// Set this guard's jitter salt (typically the serving shard index)
+    /// and reset its retry sequence. Guards with the same policy seed
+    /// but different salts draw decorrelated backoff schedules; the
+    /// same `(seed, salt)` replays the same one.
+    pub fn set_backoff_salt(&mut self, salt: u64) {
+        self.jitter_salt = salt;
+        self.retry_seq = AtomicU64::new(0);
+    }
+
+    /// The jittered pause before a retry: the exponentially-doubled
+    /// base scaled by a deterministic factor in
+    /// `[1 − jitter, 1 + jitter)` drawn from
+    /// `(jitter_seed, salt, candidate, attempt, seq)`. With jitter 0
+    /// (the default) this is exactly the bare exponential schedule.
+    fn backoff_pause_ns(&self, candidate: usize, attempt: u32, seq: u64) -> f64 {
+        let base = self.policy.backoff_base_ns * f64::from(1u32 << (attempt - 1));
+        let jitter = if self.policy.backoff_jitter.is_finite() {
+            self.policy.backoff_jitter.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        if jitter == 0.0 || base <= 0.0 {
+            return base;
+        }
+        let word = nitro_core::mix64(
+            self.policy.jitter_seed
+                ^ nitro_core::mix64(self.jitter_salt)
+                ^ nitro_core::mix64(
+                    (candidate as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (u64::from(attempt) << 40)
+                        ^ seq,
+                ),
+        );
+        let u = (word >> 11) as f64 / (1u64 << 53) as f64;
+        base * (1.0 + jitter * (2.0 * u - 1.0))
     }
 
     /// Wrap with the default policy.
@@ -648,7 +696,8 @@ impl<I: ?Sized> GuardedVariant<I> {
                 if attempt > 0 {
                     retries += 1;
                     shared.stats.retries.fetch_add(1, Ordering::Relaxed);
-                    let pause = self.policy.backoff_base_ns * f64::from(1u32 << (attempt - 1));
+                    let seq = self.retry_seq.fetch_add(1, Ordering::Relaxed);
+                    let pause = self.backoff_pause_ns(candidate, attempt, seq);
                     backoff_ns += pause;
                     shared.stats.add_backoff(pause);
                     if let Some(t) = &tracer {
@@ -979,6 +1028,79 @@ mod tests {
                 consecutive_failures: 0
             })
         );
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed_and_decorrelated_per_shard() {
+        let ctx = Context::new();
+        // A guard whose model picks a permanently failing variant: every
+        // call burns the full retry budget and charges jittered backoff.
+        let mk_guard = |salt: u64, seed: u64| {
+            let mut cv = toy(&ctx);
+            cv.replace_variant(
+                1,
+                Arc::new(FnVariant::new("large", |_: &f64| -> f64 {
+                    panic!("injected variant failure: 'large'");
+                })),
+            )
+            .unwrap();
+            cv.install_model(toy_model());
+            let mut g = GuardedVariant::new(
+                cv,
+                GuardPolicy {
+                    retry_budget: 3,
+                    backoff_base_ns: 1_000.0,
+                    backoff_jitter: 0.5,
+                    jitter_seed: seed,
+                    quarantine_threshold: 100,
+                    ..GuardPolicy::default()
+                },
+            )
+            .unwrap();
+            g.set_backoff_salt(salt);
+            g
+        };
+        let schedule = |salt: u64, seed: u64| -> Vec<f64> {
+            let g = mk_guard(salt, seed);
+            (0..4).map(|_| g.call(&9.0).unwrap().backoff_ns).collect()
+        };
+        // The schedule is a pure function of (seed, salt): rebuilding the
+        // guard and replaying the same calls reproduces it bit-for-bit.
+        assert_eq!(schedule(3, 99), schedule(3, 99));
+        // Different shards (salts) under the same seed decorrelate, as
+        // do different seeds under the same salt.
+        assert_ne!(schedule(3, 99), schedule(4, 99));
+        assert_ne!(schedule(3, 99), schedule(3, 100));
+        // Every per-call total stays inside the jitter envelope around
+        // the bare exponential sum (1 + 2 + 4 = 7 × base).
+        for total in schedule(3, 99) {
+            assert!((3_500.0..=10_500.0).contains(&total), "total {total}");
+        }
+        // Jitter 0 reproduces the bare exponential schedule exactly.
+        let bare = {
+            let ctx = Context::new();
+            let mut cv = toy(&ctx);
+            cv.replace_variant(
+                1,
+                Arc::new(FnVariant::new("large", |_: &f64| -> f64 {
+                    panic!("injected variant failure: 'large'");
+                })),
+            )
+            .unwrap();
+            cv.install_model(toy_model());
+            let g = GuardedVariant::new(
+                cv,
+                GuardPolicy {
+                    retry_budget: 3,
+                    backoff_base_ns: 1_000.0,
+                    quarantine_threshold: 100,
+                    ..GuardPolicy::default()
+                },
+            )
+            .unwrap();
+            g.call(&9.0).unwrap().backoff_ns
+        };
+        assert_eq!(bare, 7_000.0);
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub mod dispatch;
 
 pub use audit::{audit_fault_plan, audit_guard_policy};
 pub use breaker::{BreakerState, CircuitBreaker, GuardPolicy, Transition};
-pub use chaos::{inject_failures, ChaosVariant};
+pub use chaos::{inject_failures, ChaosPlan, ChaosVariant};
 pub use dispatch::{GuardShared, GuardStats, GuardedInvocation, GuardedVariant, HealthStatus};

@@ -16,11 +16,22 @@
 //!   dispatch floor: most admitted requests would expire in flight.
 //! * `NITRO104` (warning) — more shards than hardware threads: shards
 //!   contend for cores instead of parallelizing.
+//!
+//! The self-healing runtime emits the `NITRO11x` family (collected into
+//! the [`ServeSummary`](crate::ServeSummary) rather than refusing
+//! startup — they describe what happened, not what was configured):
+//!
+//! * `NITRO110` (warning) — a shard was restarted by the supervisor.
+//! * `NITRO111` (error)   — a shard exhausted its restart budget and
+//!   was retired.
+//! * `NITRO112` (error)   — a poison-pill request was quarantined.
+//! * `NITRO114` (error)   — request-lineage conservation was violated.
 
 use nitro_core::diag::registry::codes;
 use nitro_core::Diagnostic;
 
 use crate::front::ServeConfig;
+use crate::lineage::LineageAccounting;
 
 /// Audit a serving configuration for `function`.
 /// [`ServeFront::start`](crate::ServeFront::start) refuses to start on
@@ -97,6 +108,66 @@ pub fn audit_serve_config(
         ));
     }
     diags
+}
+
+/// `NITRO110`: the supervisor replaced a dead or wedged worker.
+pub fn diag_shard_restart(
+    function: &str,
+    shard: usize,
+    generation: u64,
+    restarts: u32,
+    budget: u32,
+) -> Diagnostic {
+    Diagnostic::warning(
+        codes::NITRO110,
+        function,
+        format!(
+            "shard {shard} restarted (generation {generation}): the supervisor replaced a \
+             dead or wedged worker, re-seeded from the current model version \
+             ({restarts}/{budget} restarts consumed)"
+        ),
+    )
+}
+
+/// `NITRO111`: a shard's restart budget ran out and it was retired.
+pub fn diag_restart_budget(
+    function: &str,
+    shard: usize,
+    restarts: u32,
+    detail: &str,
+) -> Diagnostic {
+    Diagnostic::error(
+        codes::NITRO111,
+        function,
+        format!(
+            "shard {shard} retired after {restarts} restart(s): {detail}; serving capacity \
+             is permanently reduced"
+        ),
+    )
+}
+
+/// `NITRO112`: a request was quarantined as a poison pill.
+pub fn diag_poison_quarantine(function: &str, lineage: u64, tenant: u32, kills: u32) -> Diagnostic {
+    Diagnostic::error(
+        codes::NITRO112,
+        function,
+        format!(
+            "request lineage {lineage} (tenant {tenant}) quarantined as a poison pill after \
+             killing {kills} shard(s); it will not be re-placed again"
+        ),
+    )
+}
+
+/// `NITRO114`: the lineage-conservation invariant failed at shutdown.
+pub fn diag_conservation(function: &str, accounting: &LineageAccounting) -> Diagnostic {
+    Diagnostic::error(
+        codes::NITRO114,
+        function,
+        format!(
+            "request-lineage conservation violated: {}",
+            accounting.violations().join("; ")
+        ),
+    )
 }
 
 #[cfg(test)]
@@ -177,6 +248,50 @@ mod tests {
             ..ok_config()
         };
         assert!(audit_serve_config("fn", &cfg, true).is_empty());
+    }
+
+    #[test]
+    fn self_healing_diagnostics_carry_their_registered_codes() {
+        use nitro_core::Severity;
+
+        let d = diag_shard_restart("fn", 2, 3, 1, 4);
+        assert_eq!(d.code, "NITRO110");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("shard 2"), "{}", d.message);
+
+        let d = diag_restart_budget("fn", 1, 4, "still panicking");
+        assert_eq!(d.code, "NITRO111");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("retired"), "{}", d.message);
+
+        let d = diag_poison_quarantine("fn", 42, 7, 2);
+        assert_eq!(d.code, "NITRO112");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("lineage 42"), "{}", d.message);
+        assert!(d.message.contains("tenant 7"), "{}", d.message);
+
+        let broken = LineageAccounting {
+            admitted: 5,
+            served: 3,
+            shed_expired: 0,
+            shed_hopeless: 0,
+            shed_failover: 0,
+            failed: 0,
+            quarantined: 0,
+            lost: 1,
+        };
+        let d = diag_conservation("fn", &broken);
+        assert_eq!(d.code, "NITRO114");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("dropped without"), "{}", d.message);
+        // Every code is registered (lookup panics on unknown codes at
+        // the registry layer, so resolving severity is the check).
+        for code in ["NITRO110", "NITRO111", "NITRO112", "NITRO114"] {
+            assert!(
+                nitro_core::diag::registry::lookup(code).is_some(),
+                "{code} must be registered"
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,16 @@ pub enum ServeClock {
     },
     /// Virtual time: advances only when the owner of the hand says so.
     Manual(Arc<AtomicU64>),
+    /// Wall time plus an adjustable forward skew — the chaos harness's
+    /// "clock jumped" fault. The skew only ever grows, so the reading
+    /// stays monotonic; a jump makes queued deadlines expire early, the
+    /// way an NTP step would in production.
+    Skewed {
+        /// The zero point.
+        origin: Instant,
+        /// Extra nanoseconds added to every reading.
+        skew: Arc<AtomicU64>,
+    },
 }
 
 impl ServeClock {
@@ -38,11 +48,27 @@ impl ServeClock {
         (ServeClock::Manual(hand.clone()), hand)
     }
 
+    /// A wall clock with an injectable forward skew, plus the skew knob.
+    /// `skew.fetch_add(jump, SeqCst)` models a step adjustment.
+    pub fn skewed() -> (Self, Arc<AtomicU64>) {
+        let skew = Arc::new(AtomicU64::new(0));
+        (
+            ServeClock::Skewed {
+                origin: Instant::now(),
+                skew: skew.clone(),
+            },
+            skew,
+        )
+    }
+
     /// Current reading in nanoseconds.
     pub fn now_ns(&self) -> u64 {
         match self {
             ServeClock::Wall { origin } => origin.elapsed().as_nanos() as u64,
             ServeClock::Manual(hand) => hand.load(Ordering::SeqCst),
+            ServeClock::Skewed { origin, skew } => {
+                (origin.elapsed().as_nanos() as u64).saturating_add(skew.load(Ordering::SeqCst))
+            }
         }
     }
 }
@@ -67,5 +93,18 @@ mod tests {
         let a = clock.now_ns();
         let b = clock.now_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn skewed_clock_jumps_forward_and_stays_monotonic() {
+        let (clock, skew) = ServeClock::skewed();
+        let before = clock.now_ns();
+        skew.fetch_add(1_000_000_000, Ordering::SeqCst);
+        let after = clock.now_ns();
+        assert!(
+            after >= before + 1_000_000_000,
+            "skew jump must be visible: {before} → {after}"
+        );
+        assert!(clock.now_ns() >= after, "still monotonic after the jump");
     }
 }

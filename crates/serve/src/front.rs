@@ -1,11 +1,12 @@
 //! The serving front door: admission, sharded dispatch, shedding,
-//! degradation and model hot-swap.
+//! degradation, model hot-swap and shard supervision.
 //!
 //! ```text
 //!                    ┌──────────── ServeFront ────────────┐
 //!  submit(req) ──►  admission                             │
 //!   │  ├─ deadline already expired?   → reject (expired)  │
 //!   │  ├─ tenant token bucket empty?  → reject (tenant)   │
+//!   │  ├─ no live shard?              → reject (no shard) │
 //!   │  └─ shard queue over watermark? → reject (queue)    │
 //!   │                                                     │
 //!   └─► shard queue (bounded, 3 priority lanes)           │
@@ -17,6 +18,12 @@
 //!          └─ dispatch at the pressure tier:              │
 //!               Full → CachedRegime → DefaultOnly         │
 //!                      (guarded cascade underneath)       │
+//!                                                         │
+//!       supervisor: poll shard slots                      │
+//!          ├─ dead shard   → drain queue, re-place work,  │
+//!          │                 restart within budget/backoff│
+//!          ├─ wedged shard → fence generation, replace    │
+//!          └─ budget spent → retire (NITRO111)            │
 //! ```
 //!
 //! Work is **never** started on a request whose deadline has passed —
@@ -24,25 +31,41 @@
 //! optional hopeless-shed drops requests whose remaining budget is
 //! below the shard's smoothed service-time estimate. Every decision
 //! increments a [`ServePulse`](crate::ServePulse) counter.
+//!
+//! With supervision enabled (the default), a panic that escapes the
+//! guarded dispatch kills only its shard: the worker records the
+//! offending request ([`PanicRecord`]), parks it for re-placement (or
+//! quarantines it once it has killed
+//! [`SupervisorConfig::poison_kill_threshold`] shards, `NITRO112`),
+//! marks its slot dead and exits. The supervisor drains the dead
+//! shard's queue back through placement — every queued request ends in
+//! exactly one accounted outcome ([`ConservationLedger`]) — and
+//! restarts the shard re-seeded from the current model epoch, under an
+//! exponential backoff and a restart budget (`NITRO110`/`NITRO111`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use nitro_core::{CodeVariant, ModelArtifact, NitroError, RequestMeta, Result};
-use nitro_guard::{GuardPolicy, GuardedVariant};
+use nitro_core::{CodeVariant, Diagnostic, ModelArtifact, NitroError, RequestMeta, Result};
+use nitro_guard::{GuardPolicy, GuardShared, GuardedVariant};
 use nitro_pulse::{PulseAlert, PulseRegistry};
 use nitro_store::StagedPromotion;
 
 use crate::admission::TenantBuckets;
-use crate::audit::audit_serve_config;
+use crate::audit::{
+    audit_serve_config, diag_conservation, diag_poison_quarantine, diag_restart_budget,
+    diag_shard_restart,
+};
 use crate::clock::ServeClock;
 use crate::degrade::{admission_watermark, regime_fingerprint, tier_for, DegradeTier, RegimeCache};
 use crate::epoch::EpochCell;
+use crate::lineage::{ConservationLedger, LineageAccounting};
 use crate::metrics::ServePulse;
 use crate::queue::ShardQueue;
+use crate::supervise::{PanicRecord, ShardSlot, ShardState, SupervisorConfig};
 
 /// Front-door configuration. Audited at startup
 /// ([`audit_serve_config`]); error-severity findings (`NITRO100`–`102`)
@@ -75,6 +98,10 @@ pub struct ServeConfig {
     /// Shed queued requests whose remaining budget is below the shard's
     /// smoothed service-time estimate.
     pub hopeless_shedding: bool,
+    /// Shard supervision and self-healing. `Some` (the default) runs
+    /// the supervisor; `None` keeps the legacy behavior where a worker
+    /// survives an escaped panic by failing the request in place.
+    pub supervision: Option<SupervisorConfig>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +122,7 @@ impl Default for ServeConfig {
             default_budget_ns: 5_000_000,
             expected_p99_floor_ns: None,
             hopeless_shedding: true,
+            supervision: Some(SupervisorConfig::default()),
         }
     }
 }
@@ -114,6 +142,8 @@ pub enum Rejection {
         /// Its depth at rejection time.
         depth: usize,
     },
+    /// Every shard is dead or retired — nothing can run the request.
+    NoLiveShards,
 }
 
 impl std::fmt::Display for Rejection {
@@ -124,6 +154,7 @@ impl std::fmt::Display for Rejection {
             Rejection::QueueFull { shard, depth } => {
                 write!(f, "queue full (shard {shard} at depth {depth})")
             }
+            Rejection::NoLiveShards => write!(f, "no live shards (all dead or retired)"),
         }
     }
 }
@@ -165,6 +196,19 @@ pub enum ServeOutcome {
         /// The shard's smoothed service estimate, ns.
         estimate_ns: u64,
     },
+    /// Shed during failover: the request was drained off a dead shard
+    /// and no live shard could take it (or the front was shutting
+    /// down).
+    ShedFailover {
+        /// The shard it was rescued from.
+        from_shard: usize,
+    },
+    /// Quarantined as a poison pill (`NITRO112`): its dispatch killed
+    /// enough shards that re-placing it again would be sabotage.
+    Quarantined {
+        /// Shard kills attributed to this request.
+        kills: u32,
+    },
     /// Dispatch failed (cascade exhausted) — the error, stringified.
     Failed {
         /// What went wrong.
@@ -176,14 +220,21 @@ pub enum ServeOutcome {
 #[derive(Debug)]
 pub struct ServeTicket {
     rx: Receiver<ServeOutcome>,
+    lineage: u64,
 }
 
 impl ServeTicket {
-    /// Block until the shard resolves this request.
+    /// Block until this request resolves to its one accounted outcome.
     pub fn wait(self) -> ServeOutcome {
         self.rx.recv().unwrap_or(ServeOutcome::Failed {
             error: "shard dropped the request (worker exited)".into(),
         })
+    }
+
+    /// The request's lineage id (unique per admission, matches
+    /// [`PanicRecord::lineage`]).
+    pub fn lineage(&self) -> u64 {
+        self.lineage
     }
 }
 
@@ -197,11 +248,69 @@ pub struct ModelSlot {
     pub artifact: Option<ModelArtifact>,
 }
 
+/// The write half of a ticket, wrapped so that *dropping it without
+/// resolving* is observable: the drop counts a loss in the
+/// [`ConservationLedger`] (a `NITRO114` at shutdown) and still unblocks
+/// the waiter. Resolution is exactly-once by construction — `resolve`
+/// consumes the slot.
+struct ReplySlot {
+    tx: Option<SyncSender<ServeOutcome>>,
+    ledger: Arc<ConservationLedger>,
+}
+
+impl ReplySlot {
+    fn resolve(mut self, outcome: ServeOutcome) {
+        let counter = match &outcome {
+            ServeOutcome::Served { .. } => &self.ledger.served,
+            ServeOutcome::ShedExpired { .. } => &self.ledger.shed_expired,
+            ServeOutcome::ShedHopeless { .. } => &self.ledger.shed_hopeless,
+            ServeOutcome::ShedFailover { .. } => &self.ledger.shed_failover,
+            ServeOutcome::Quarantined { .. } => &self.ledger.quarantined,
+            ServeOutcome::Failed { .. } => &self.ledger.failed,
+        };
+        counter.fetch_add(1, Ordering::SeqCst);
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(outcome);
+        }
+    }
+
+    /// Disarm without accounting — only for jobs that were never
+    /// admitted (push refused at a closing queue).
+    fn defuse(mut self) {
+        self.tx = None;
+    }
+}
+
+impl Drop for ReplySlot {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            self.ledger.lost.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(ServeOutcome::Failed {
+                error: "request lost: reply slot dropped without an accounted outcome".into(),
+            });
+        }
+    }
+}
+
 struct Job<I> {
     input: I,
     meta: RequestMeta,
     enqueued_ns: u64,
-    reply: SyncSender<ServeOutcome>,
+    /// Unique per admission; ties tickets, panic records and
+    /// quarantine diagnostics to one request.
+    lineage: u64,
+    /// Shards this request's dispatch has killed so far.
+    kills: u32,
+    reply: ReplySlot,
+}
+
+/// Everything needed to rebuild a shard's worker: the caller's
+/// registration factory plus the guard policy and the shared
+/// breaker/health bank every shard participates in.
+struct WorkerFactory<I> {
+    make_cv: Arc<dyn Fn(usize) -> CodeVariant<I> + Send + Sync>,
+    policy: GuardPolicy,
+    shared: Arc<GuardShared>,
 }
 
 struct FrontInner<I> {
@@ -216,24 +325,61 @@ struct FrontInner<I> {
     publish_seq: AtomicU64,
     pulse: Option<Arc<ServePulse>>,
     escaped_panics: AtomicU64,
+    ledger: Arc<ConservationLedger>,
+    lineage_seq: AtomicU64,
+    slots: Vec<ShardSlot>,
+    /// Jobs rescued off dying workers, awaiting re-placement:
+    /// `(shard they died on, job)`.
+    parked: Mutex<Vec<(usize, Job<I>)>>,
+    panic_records: Mutex<Vec<PanicRecord>>,
+    diagnostics: Mutex<Vec<Diagnostic>>,
+    shard_deaths: AtomicU64,
+    shard_restarts: AtomicU64,
+    shards_retired: AtomicU64,
+    poison_quarantined: AtomicU64,
+    shutting_down: AtomicBool,
+    worker_handles: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// Handles of fenced-out (wedged) or retired workers; joined at
+    /// shutdown if they finished, detached otherwise.
+    zombie_handles: Mutex<Vec<JoinHandle<()>>>,
+    factory: Option<WorkerFactory<I>>,
 }
 
 /// Aggregate outcome of a front door's lifetime, from
 /// [`ServeFront::shutdown`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ServeSummary {
-    /// Panics that escaped the guarded dispatch into a worker (0 in a
-    /// healthy system; the guard absorbs variant panics).
+    /// Panics that escaped the guarded dispatch into a worker's
+    /// backstop (0 in a healthy system; the guard absorbs variant
+    /// panics). Each one has a matching [`PanicRecord`].
     pub escaped_panics: u64,
     /// Worker threads that exited cleanly.
     pub workers_joined: usize,
+    /// Worker threads whose join failed — a panic got past even the
+    /// backstop. Must be 0.
+    pub workers_failed: usize,
+    /// Shard deaths observed (panic escaped dispatch, supervised mode).
+    pub shard_deaths: u64,
+    /// Supervisor restarts performed (`NITRO110`s).
+    pub shard_restarts: u64,
+    /// Shards retired on an exhausted restart budget (`NITRO111`s).
+    pub shards_retired: u64,
+    /// Requests quarantined as poison pills (`NITRO112`s).
+    pub poison_quarantined: u64,
+    /// Final conservation accounting; `accounting.is_conserved()` must
+    /// hold (otherwise `diagnostics` carries a `NITRO114`).
+    pub accounting: LineageAccounting,
+    /// Every escaped panic, attributed to the request that caused it.
+    pub panic_records: Vec<PanicRecord>,
+    /// Startup warnings plus every `NITRO11x` the runtime emitted.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// An overload-safe, sharded serving front door over one tuned
 /// function. See the module docs for the pipeline.
 pub struct ServeFront<I: Send + Sync + 'static> {
     inner: Arc<FrontInner<I>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl<I: Send + Sync + 'static> ServeFront<I> {
@@ -246,12 +392,14 @@ impl<I: Send + Sync + 'static> ServeFront<I> {
     /// one shard is quarantined on all. The configuration audit
     /// (`NITRO100`–`NITRO104`) runs first and error findings refuse
     /// startup; attach a `PulseRegistry` to get the `serve.*` metrics.
+    /// With supervision enabled the factory is retained and re-invoked
+    /// to rebuild dead shards, so it must be `Send + Sync + 'static`.
     pub fn start(
         config: ServeConfig,
         policy: GuardPolicy,
         clock: ServeClock,
         registry: Option<&PulseRegistry>,
-        make_cv: impl Fn(usize) -> CodeVariant<I>,
+        make_cv: impl Fn(usize) -> CodeVariant<I> + Send + Sync + 'static,
     ) -> Result<Self> {
         let cv0 = make_cv(0);
         let function = cv0.name().to_string();
@@ -263,7 +411,8 @@ impl<I: Send + Sync + 'static> ServeFront<I> {
         debug_assert!(capacity > 0, "audited nonzero");
 
         let mut guards = Vec::with_capacity(config.shards);
-        let first = GuardedVariant::new(cv0, policy.clone())?;
+        let mut first = GuardedVariant::new(cv0, policy.clone())?;
+        first.set_backoff_salt(0);
         let shared = first.shared();
         guards.push(first);
         for shard in 1..config.shards.max(1) {
@@ -276,16 +425,25 @@ impl<I: Send + Sync + 'static> ServeFront<I> {
                     ),
                 });
             }
-            guards.push(GuardedVariant::new_sharing(
-                cv,
-                policy.clone(),
-                shared.clone(),
-            )?);
+            let mut guard = GuardedVariant::new_sharing(cv, policy.clone(), shared.clone())?;
+            // Decorrelated retry backoff per shard (same seed, different
+            // salt): shards that trip the same breaker don't thunder in
+            // phase.
+            guard.set_backoff_salt(shard as u64);
+            guards.push(guard);
         }
 
+        let supervision = config.supervision.clone();
+        let factory = supervision.is_some().then(|| WorkerFactory {
+            make_cv: Arc::new(make_cv),
+            policy: policy.clone(),
+            shared: shared.clone(),
+        });
+
         let pulse = registry.map(|r| ServePulse::register(r, &function));
+        let shard_count = guards.len();
         let inner = Arc::new(FrontInner {
-            queues: (0..guards.len()).map(|_| ShardQueue::default()).collect(),
+            queues: (0..shard_count).map(|_| ShardQueue::default()).collect(),
             tenants: TenantBuckets::new(
                 config.tenant_slots,
                 config.tenant_rate_per_s,
@@ -300,24 +458,51 @@ impl<I: Send + Sync + 'static> ServeFront<I> {
             publish_seq: AtomicU64::new(0),
             pulse,
             escaped_panics: AtomicU64::new(0),
+            ledger: Arc::new(ConservationLedger::new()),
+            lineage_seq: AtomicU64::new(0),
+            slots: (0..shard_count).map(|_| ShardSlot::default()).collect(),
+            parked: Mutex::new(Vec::new()),
+            panic_records: Mutex::new(Vec::new()),
+            // Keep the startup warnings (NITRO103/104): they belong in
+            // the shutdown summary next to the runtime NITRO11x family.
+            diagnostics: Mutex::new(diagnostics),
+            shard_deaths: AtomicU64::new(0),
+            shard_restarts: AtomicU64::new(0),
+            shards_retired: AtomicU64::new(0),
+            poison_quarantined: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            worker_handles: Mutex::new(Vec::new()),
+            zombie_handles: Mutex::new(Vec::new()),
+            factory,
             config,
             function,
             clock,
         });
 
-        let workers = guards
+        let handles: Vec<Option<JoinHandle<()>>> = guards
             .into_iter()
             .enumerate()
             .map(|(shard, guard)| {
                 let inner = inner.clone();
-                std::thread::Builder::new()
-                    .name(format!("nitro-serve-{shard}"))
-                    .spawn(move || worker_loop(shard, guard, inner))
-                    .expect("spawn serve worker")
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("nitro-serve-{shard}"))
+                        .spawn(move || worker_loop(shard, 0, 0, guard, inner))
+                        .expect("spawn serve worker"),
+                )
             })
             .collect();
+        *inner.worker_handles.lock().expect("worker handles") = handles;
 
-        Ok(Self { inner, workers })
+        let supervisor = supervision.map(|sup| {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("nitro-serve-supervisor".into())
+                .spawn(move || supervisor_loop(inner, sup))
+                .expect("spawn serve supervisor")
+        });
+
+        Ok(Self { inner, supervisor })
     }
 
     /// The function this front door serves.
@@ -348,10 +533,25 @@ impl<I: Send + Sync + 'static> ServeFront<I> {
             }
             return Err(Rejection::TenantThrottled);
         }
-        // Power of two choices on queue depth.
-        let n = inner.queues.len();
-        let a = (inner.rr.fetch_add(1, Ordering::Relaxed) as usize) % n;
-        let b = (a + 1 + (meta.tenant.0 as usize)) % n;
+        // Power of two choices on queue depth, over live shards only —
+        // dead and retired shards are out of the placement set.
+        let live: Vec<usize> = inner
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state() == ShardState::Up)
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            if let Some(p) = &inner.pulse {
+                p.rejected_queue.inc();
+            }
+            return Err(Rejection::NoLiveShards);
+        }
+        let n = live.len();
+        let pa = (inner.rr.fetch_add(1, Ordering::Relaxed) as usize) % n;
+        let pb = (pa + 1 + (meta.tenant.0 as usize)) % n;
+        let (a, b) = (live[pa], live[pb]);
         let (da, db) = (inner.queues[a].depth(), inner.queues[b].depth());
         let (shard, depth) = if da <= db { (a, da) } else { (b, db) };
 
@@ -363,22 +563,33 @@ impl<I: Send + Sync + 'static> ServeFront<I> {
             return Err(Rejection::QueueFull { shard, depth });
         }
 
-        let (reply, rx) = sync_channel(1);
+        let lineage = inner.lineage_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let (tx, rx) = sync_channel(1);
         let job = Job {
             input,
             meta,
             enqueued_ns: now,
-            reply,
+            lineage,
+            kills: 0,
+            reply: ReplySlot {
+                tx: Some(tx),
+                ledger: inner.ledger.clone(),
+            },
         };
         match inner.queues[shard].push(job, meta.priority) {
             Ok(()) => {
+                inner.ledger.admitted.fetch_add(1, Ordering::SeqCst);
                 if let Some(p) = &inner.pulse {
                     p.admitted.inc();
                 }
-                Ok(ServeTicket { rx })
+                Ok(ServeTicket { rx, lineage })
             }
-            // Shutting down: the queue is closed.
-            Err(_) => Err(Rejection::QueueFull { shard, depth }),
+            // Shutting down (or the shard retired between the state
+            // read and the push): never admitted, so don't account it.
+            Err(job) => {
+                job.reply.defuse();
+                Err(Rejection::QueueFull { shard, depth })
+            }
         }
     }
 
@@ -450,20 +661,89 @@ impl<I: Send + Sync + 'static> ServeFront<I> {
         self.inner.queues.iter().map(|q| q.depth()).collect()
     }
 
-    /// Close the queues, drain remaining work, join every worker.
+    /// Lifecycle state of every shard, as the supervisor sees it.
+    pub fn shard_states(&self) -> Vec<ShardState> {
+        self.inner.slots.iter().map(|s| s.state()).collect()
+    }
+
+    /// Mid-flight snapshot of the conservation ledger. While requests
+    /// are in queues, `admitted` legitimately exceeds the terminal sum;
+    /// only the post-shutdown snapshot (in [`ServeSummary`]) is a
+    /// conservation check.
+    pub fn accounting(&self) -> LineageAccounting {
+        self.inner.ledger.snapshot()
+    }
+
+    /// Close the queues, drain remaining work, join every worker, then
+    /// sweep anything left on dead shards so every admitted request has
+    /// resolved before the summary's conservation check runs.
     pub fn shutdown(self) -> ServeSummary {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
         for q in &self.inner.queues {
             q.close();
         }
+        if let Some(supervisor) = self.supervisor {
+            let _ = supervisor.join();
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .inner
+            .worker_handles
+            .lock()
+            .expect("worker handles")
+            .drain(..)
+            .flatten()
+            .collect();
         let mut joined = 0;
-        for w in self.workers {
-            if w.join().is_ok() {
+        let mut failed = 0;
+        for handle in handles {
+            if handle.join().is_ok() {
                 joined += 1;
+            } else {
+                failed += 1;
             }
+        }
+        let zombies: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.inner.zombie_handles.lock().expect("zombie handles"));
+        for zombie in zombies {
+            // A still-wedged zombie can never be joined without hanging
+            // shutdown; detach it. Its in-flight job (if any) resolves
+            // whenever it unwedges.
+            if zombie.is_finished() {
+                if zombie.join().is_ok() {
+                    joined += 1;
+                } else {
+                    failed += 1;
+                }
+            }
+        }
+        // Final sweep: dead/retired shards have no worker to drain
+        // their queues, and parked jobs may still await re-placement.
+        // Queues are closed, so every rescue resolves (re-push fails →
+        // failover shed) — nothing can be admitted or lost after this.
+        for shard in 0..self.inner.queues.len() {
+            drain_shard(&self.inner, shard);
+        }
+        replace_parked(&self.inner);
+
+        let accounting = self.inner.ledger.snapshot();
+        let mut diagnostics =
+            std::mem::take(&mut *self.inner.diagnostics.lock().expect("diagnostics"));
+        if !accounting.is_conserved() {
+            diagnostics.push(diag_conservation(&self.inner.function, &accounting));
         }
         ServeSummary {
             escaped_panics: self.inner.escaped_panics.load(Ordering::SeqCst),
             workers_joined: joined,
+            workers_failed: failed,
+            shard_deaths: self.inner.shard_deaths.load(Ordering::SeqCst),
+            shard_restarts: self.inner.shard_restarts.load(Ordering::SeqCst),
+            shards_retired: self.inner.shards_retired.load(Ordering::SeqCst),
+            poison_quarantined: self.inner.poison_quarantined.load(Ordering::SeqCst),
+            accounting,
+            panic_records: std::mem::take(
+                &mut *self.inner.panic_records.lock().expect("panic records"),
+            ),
+            diagnostics,
         }
     }
 }
@@ -479,17 +759,30 @@ struct Dispatched {
 
 fn worker_loop<I: Send + Sync + 'static>(
     shard: usize,
+    generation: u64,
+    initial_version: u64,
     mut guard: GuardedVariant<I>,
     inner: Arc<FrontInner<I>>,
 ) {
     let mut cache = RegimeCache::default();
-    let mut local_version = 0u64;
+    let mut local_version = initial_version;
     // Smoothed service-time estimate (EWMA, α = 1/8), ns. Zero until
     // the first completion; hopeless-shedding stays off until then.
     let mut ewma_ns = 0.0f64;
     let capacity = inner.config.queue_capacity.expect("audited Some");
 
-    while let Some(job) = inner.queues[shard].pop() {
+    loop {
+        {
+            let slot = &inner.slots[shard];
+            if slot.generation.load(Ordering::SeqCst) != generation {
+                break; // fenced out: a replacement owns this queue now
+            }
+            slot.heartbeat_ns
+                .store(inner.clock.now_ns(), Ordering::SeqCst);
+        }
+        let Some(job) = inner.queues[shard].pop() else {
+            break; // closed and drained
+        };
         let now = inner.clock.now_ns();
 
         // Shed *before* dispatch — work is never started for a request
@@ -498,7 +791,7 @@ fn worker_loop<I: Send + Sync + 'static>(
             if let Some(p) = &inner.pulse {
                 p.shed_expired.inc();
             }
-            let _ = job.reply.send(ServeOutcome::ShedExpired {
+            job.reply.resolve(ServeOutcome::ShedExpired {
                 queued_ns: now.saturating_sub(job.enqueued_ns),
             });
             continue;
@@ -508,7 +801,7 @@ fn worker_loop<I: Send + Sync + 'static>(
             if let Some(p) = &inner.pulse {
                 p.shed_hopeless.inc();
             }
-            let _ = job.reply.send(ServeOutcome::ShedHopeless {
+            job.reply.resolve(ServeOutcome::ShedHopeless {
                 remaining_ns: remaining,
                 estimate_ns: ewma_ns as u64,
             });
@@ -539,11 +832,29 @@ fn worker_loop<I: Send + Sync + 'static>(
         );
 
         let started = inner.clock.now_ns();
+        {
+            // Busy + fresh heartbeat while inside the dispatch, so the
+            // supervisor can tell "wedged mid-dispatch" from "idle".
+            // Guarded by generation so a fenced-out zombie doesn't
+            // clobber its replacement's liveness signals.
+            let slot = &inner.slots[shard];
+            if slot.generation.load(Ordering::SeqCst) == generation {
+                slot.heartbeat_ns.store(started, Ordering::SeqCst);
+                slot.busy.store(1, Ordering::SeqCst);
+            }
+        }
         // The guard already isolates variant panics; this is the
-        // backstop that keeps a shard alive if one escapes anyway.
+        // backstop for panics from feature evaluation or the dispatch
+        // plumbing itself.
         let result = catch_unwind(AssertUnwindSafe(|| {
             dispatch_at_tier(&guard, &mut cache, tier, &job.input)
         }));
+        {
+            let slot = &inner.slots[shard];
+            if slot.generation.load(Ordering::SeqCst) == generation {
+                slot.busy.store(0, Ordering::SeqCst);
+            }
+        }
         let finished = inner.clock.now_ns();
         let dispatch_ns = finished.saturating_sub(started);
         let queue_wait_ns = started.saturating_sub(job.enqueued_ns);
@@ -570,7 +881,7 @@ fn worker_loop<I: Send + Sync + 'static>(
                         p.deadline_violations.inc();
                     }
                 }
-                let _ = job.reply.send(ServeOutcome::Served {
+                job.reply.resolve(ServeOutcome::Served {
                     variant: d.variant,
                     variant_name: d.variant_name,
                     objective: d.objective,
@@ -582,26 +893,398 @@ fn worker_loop<I: Send + Sync + 'static>(
                 });
             }
             Ok(Err(e)) => {
-                let _ = job.reply.send(ServeOutcome::Failed {
+                job.reply.resolve(ServeOutcome::Failed {
                     error: e.to_string(),
                 });
             }
             Err(panic) => {
-                inner.escaped_panics.fetch_add(1, Ordering::SeqCst);
-                if let Some(p) = &inner.pulse {
-                    p.panics.inc();
-                }
                 let detail = panic
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".into());
-                let _ = job.reply.send(ServeOutcome::Failed {
-                    error: format!("panic escaped the guarded dispatch: {detail}"),
-                });
+                if handle_escaped_panic(shard, generation, job, detail, &inner) {
+                    break; // the shard is dead; the supervisor takes over
+                }
             }
         }
     }
+}
+
+/// Account an escaped panic against the request that caused it. In
+/// supervised mode the job is parked for re-placement (or quarantined
+/// as a poison pill), the shard slot is marked dead with its restart
+/// backoff armed, and the worker must exit (returns `true`). In legacy
+/// mode the request fails in place and the worker lives on (`false`).
+fn handle_escaped_panic<I: Send + Sync + 'static>(
+    shard: usize,
+    generation: u64,
+    mut job: Job<I>,
+    detail: String,
+    inner: &Arc<FrontInner<I>>,
+) -> bool {
+    inner.escaped_panics.fetch_add(1, Ordering::SeqCst);
+    if let Some(p) = &inner.pulse {
+        p.panics.inc();
+    }
+    inner
+        .panic_records
+        .lock()
+        .expect("panic records")
+        .push(PanicRecord {
+            shard,
+            generation,
+            lineage: job.lineage,
+            tenant: job.meta.tenant.0,
+            priority: format!("{:?}", job.meta.priority),
+            detail: detail.clone(),
+        });
+
+    let Some(sup) = inner.config.supervision.clone() else {
+        job.reply.resolve(ServeOutcome::Failed {
+            error: format!(
+                "panic escaped the guarded dispatch (request lineage {}, tenant {}): {detail}",
+                job.lineage, job.meta.tenant.0
+            ),
+        });
+        return false;
+    };
+
+    job.kills += 1;
+    if job.kills >= sup.poison_kill_threshold {
+        inner.poison_quarantined.fetch_add(1, Ordering::SeqCst);
+        if let Some(p) = &inner.pulse {
+            p.poison_quarantined.inc();
+        }
+        inner
+            .diagnostics
+            .lock()
+            .expect("diagnostics")
+            .push(diag_poison_quarantine(
+                &inner.function,
+                job.lineage,
+                job.meta.tenant.0,
+                job.kills,
+            ));
+        let kills = job.kills;
+        job.reply.resolve(ServeOutcome::Quarantined { kills });
+    } else {
+        inner.parked.lock().expect("parked").push((shard, job));
+    }
+
+    let slot = &inner.slots[shard];
+    let restarts = slot.restarts.load(Ordering::SeqCst);
+    let backoff = sup
+        .restart_backoff_base_ns
+        .saturating_mul(1u64 << restarts.min(20));
+    slot.next_restart_at_ns.store(
+        inner.clock.now_ns().saturating_add(backoff),
+        Ordering::SeqCst,
+    );
+    slot.set_state(ShardState::Dead);
+    inner.shard_deaths.fetch_add(1, Ordering::SeqCst);
+    if let Some(p) = &inner.pulse {
+        p.shard_deaths.inc();
+    }
+    true
+}
+
+/// The supervisor: polls every shard slot, drains and restarts dead
+/// shards (within budget and backoff), fences and replaces wedged
+/// workers, retires shards that keep dying, and re-places parked work.
+fn supervisor_loop<I: Send + Sync + 'static>(inner: Arc<FrontInner<I>>, sup: SupervisorConfig) {
+    loop {
+        let shutting_down = inner.shutting_down.load(Ordering::SeqCst);
+        let now = inner.clock.now_ns();
+        for shard in 0..inner.slots.len() {
+            let slot = &inner.slots[shard];
+            match slot.state() {
+                ShardState::Up => {
+                    if !shutting_down
+                        && slot.busy.load(Ordering::SeqCst) == 1
+                        && now.saturating_sub(slot.heartbeat_ns.load(Ordering::SeqCst))
+                            > sup.heartbeat_stale_ns
+                    {
+                        replace_wedged(&inner, &sup, shard, now);
+                    }
+                }
+                ShardState::Dead => {
+                    // Rescue queued work first — the restart may still
+                    // be in backoff and those requests have deadlines.
+                    drain_shard(&inner, shard);
+                    let restarts = slot.restarts.load(Ordering::SeqCst);
+                    if shutting_down {
+                        // No restarts mid-shutdown; the final sweep
+                        // rescues anything left.
+                    } else if restarts >= sup.restart_budget {
+                        retire_shard(&inner, shard, restarts, "restart budget exhausted");
+                    } else if now >= slot.next_restart_at_ns.load(Ordering::SeqCst) {
+                        restart_shard(&inner, &sup, shard, restarts);
+                    }
+                }
+                ShardState::Retired => {}
+            }
+        }
+        replace_parked(&inner);
+        if shutting_down {
+            break;
+        }
+        std::thread::sleep(sup.tick);
+    }
+}
+
+/// Restart a dead shard: join the exited worker, bump the generation
+/// and spawn a replacement re-seeded from the current model epoch.
+fn restart_shard<I: Send + Sync + 'static>(
+    inner: &Arc<FrontInner<I>>,
+    sup: &SupervisorConfig,
+    shard: usize,
+    restarts: u32,
+) {
+    if let Some(handle) = inner.worker_handles.lock().expect("worker handles")[shard].take() {
+        let _ = handle.join(); // the dead worker already exited
+    }
+    let slot = &inner.slots[shard];
+    let generation = slot.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    match spawn_worker(inner, shard, generation) {
+        Ok(handle) => {
+            inner.worker_handles.lock().expect("worker handles")[shard] = Some(handle);
+            slot.restarts.store(restarts + 1, Ordering::SeqCst);
+            slot.heartbeat_ns
+                .store(inner.clock.now_ns(), Ordering::SeqCst);
+            slot.busy.store(0, Ordering::SeqCst);
+            slot.set_state(ShardState::Up);
+            note_restart(inner, sup, shard, generation, restarts + 1);
+        }
+        Err(e) => retire_shard(
+            inner,
+            shard,
+            restarts,
+            &format!("replacement worker failed to build: {e}"),
+        ),
+    }
+}
+
+/// Fence out a wedged (busy, heartbeat-stale) worker and spawn a
+/// replacement on the same queue. The zombie exits on its own the next
+/// time it reaches a generation check.
+fn replace_wedged<I: Send + Sync + 'static>(
+    inner: &Arc<FrontInner<I>>,
+    sup: &SupervisorConfig,
+    shard: usize,
+    now: u64,
+) {
+    let slot = &inner.slots[shard];
+    let restarts = slot.restarts.load(Ordering::SeqCst);
+    if restarts >= sup.restart_budget {
+        slot.generation.fetch_add(1, Ordering::SeqCst); // fence the zombie
+        slot.busy.store(0, Ordering::SeqCst);
+        retire_shard(inner, shard, restarts, "wedged with no restart budget left");
+        return;
+    }
+    let generation = slot.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    slot.busy.store(0, Ordering::SeqCst);
+    slot.heartbeat_ns.store(now, Ordering::SeqCst);
+    if let Some(handle) = inner.worker_handles.lock().expect("worker handles")[shard].take() {
+        inner
+            .zombie_handles
+            .lock()
+            .expect("zombie handles")
+            .push(handle);
+    }
+    match spawn_worker(inner, shard, generation) {
+        Ok(handle) => {
+            inner.worker_handles.lock().expect("worker handles")[shard] = Some(handle);
+            slot.restarts.store(restarts + 1, Ordering::SeqCst);
+            note_restart(inner, sup, shard, generation, restarts + 1);
+        }
+        Err(e) => retire_shard(
+            inner,
+            shard,
+            restarts,
+            &format!("replacement worker failed to build: {e}"),
+        ),
+    }
+}
+
+/// Permanently take a shard out of rotation (`NITRO111`): close and
+/// drain its queue, fold its worker handle into the zombie list.
+fn retire_shard<I: Send + Sync + 'static>(
+    inner: &Arc<FrontInner<I>>,
+    shard: usize,
+    restarts: u32,
+    detail: &str,
+) {
+    let slot = &inner.slots[shard];
+    slot.set_state(ShardState::Retired);
+    inner.queues[shard].close();
+    drain_shard(inner, shard); // rescue anything that raced in before the close
+    inner.shards_retired.fetch_add(1, Ordering::SeqCst);
+    if let Some(p) = &inner.pulse {
+        p.shard_retired.inc();
+    }
+    inner
+        .diagnostics
+        .lock()
+        .expect("diagnostics")
+        .push(diag_restart_budget(
+            &inner.function,
+            shard,
+            restarts,
+            detail,
+        ));
+    if let Some(handle) = inner.worker_handles.lock().expect("worker handles")[shard].take() {
+        inner
+            .zombie_handles
+            .lock()
+            .expect("zombie handles")
+            .push(handle);
+    }
+}
+
+fn note_restart<I: Send + Sync + 'static>(
+    inner: &Arc<FrontInner<I>>,
+    sup: &SupervisorConfig,
+    shard: usize,
+    generation: u64,
+    restarts: u32,
+) {
+    inner.shard_restarts.fetch_add(1, Ordering::SeqCst);
+    if let Some(p) = &inner.pulse {
+        p.shard_restarts.inc();
+    }
+    inner
+        .diagnostics
+        .lock()
+        .expect("diagnostics")
+        .push(diag_shard_restart(
+            &inner.function,
+            shard,
+            generation,
+            restarts,
+            sup.restart_budget,
+        ));
+}
+
+/// Build and spawn a replacement worker for `shard`, re-seeded from the
+/// current model epoch so it comes up serving the same version its
+/// predecessor did.
+fn spawn_worker<I: Send + Sync + 'static>(
+    inner: &Arc<FrontInner<I>>,
+    shard: usize,
+    generation: u64,
+) -> Result<JoinHandle<()>> {
+    let factory = inner
+        .factory
+        .as_ref()
+        .expect("supervised front keeps its factory");
+    let cv = catch_unwind(AssertUnwindSafe(|| (factory.make_cv)(shard))).map_err(|_| {
+        NitroError::ModelMismatch {
+            detail: format!("shard {shard} registration factory panicked while rebuilding"),
+        }
+    })?;
+    if cv.name() != inner.function {
+        return Err(NitroError::ModelMismatch {
+            detail: format!(
+                "shard {shard} rebuilt '{}' but the front serves '{}'",
+                cv.name(),
+                inner.function
+            ),
+        });
+    }
+    let mut guard =
+        GuardedVariant::new_sharing(cv, factory.policy.clone(), factory.shared.clone())?;
+    // A fresh backoff salt per incarnation keeps restarted shards
+    // decorrelated from both their peers and their predecessors.
+    guard.set_backoff_salt((shard as u64) ^ (generation << 32));
+    let slot = inner.model.load();
+    let initial_version = slot.version;
+    if let Some(artifact) = &slot.artifact {
+        guard.install_artifact_or_degrade(artifact.clone());
+    }
+    drop(slot);
+    let inner = inner.clone();
+    std::thread::Builder::new()
+        .name(format!("nitro-serve-{shard}-g{generation}"))
+        .spawn(move || worker_loop(shard, generation, initial_version, guard, inner))
+        .map_err(NitroError::Io)
+}
+
+/// Drain every job off a shard's queue and route each back through
+/// placement (used for dead and retiring shards, and the shutdown
+/// sweep).
+fn drain_shard<I: Send + Sync + 'static>(inner: &Arc<FrontInner<I>>, shard: usize) {
+    let jobs = inner.queues[shard].drain();
+    if jobs.is_empty() {
+        return;
+    }
+    if let Some(p) = &inner.pulse {
+        p.drained.add(jobs.len() as u64);
+    }
+    for job in jobs {
+        replace_job(inner, shard, job);
+    }
+}
+
+/// Re-place every parked job (rescued from dying workers).
+fn replace_parked<I: Send + Sync + 'static>(inner: &Arc<FrontInner<I>>) {
+    let parked: Vec<(usize, Job<I>)> =
+        std::mem::take(&mut *inner.parked.lock().expect("parked jobs"));
+    for (shard, job) in parked {
+        replace_job(inner, shard, job);
+    }
+}
+
+/// Route one rescued job back through admission: shed if expired,
+/// re-place onto the shallowest live shard under its watermark,
+/// otherwise shed as failover. Exactly one outcome, always.
+fn replace_job<I: Send + Sync + 'static>(
+    inner: &Arc<FrontInner<I>>,
+    from_shard: usize,
+    job: Job<I>,
+) {
+    let now = inner.clock.now_ns();
+    if job.meta.deadline.is_expired(now) {
+        if let Some(p) = &inner.pulse {
+            p.shed_expired.inc();
+        }
+        job.reply.resolve(ServeOutcome::ShedExpired {
+            queued_ns: now.saturating_sub(job.enqueued_ns),
+        });
+        return;
+    }
+    let capacity = inner.config.queue_capacity.expect("audited Some");
+    let shift = inner.tighten.load(Ordering::SeqCst);
+    let mut best: Option<(usize, usize)> = None;
+    for (i, slot) in inner.slots.iter().enumerate() {
+        if slot.state() == ShardState::Up {
+            let depth = inner.queues[i].depth();
+            if best.is_none_or(|(_, d)| depth < d) {
+                best = Some((i, depth));
+            }
+        }
+    }
+    if let Some((target, depth)) = best {
+        if depth < admission_watermark(capacity, job.meta.priority, shift) {
+            let priority = job.meta.priority;
+            match inner.queues[target].push(job, priority) {
+                Ok(()) => return, // re-placed; it resolves on the new shard
+                Err(returned) => return shed_failover(inner, from_shard, returned),
+            }
+        }
+    }
+    shed_failover(inner, from_shard, job);
+}
+
+fn shed_failover<I: Send + Sync + 'static>(
+    inner: &Arc<FrontInner<I>>,
+    from_shard: usize,
+    job: Job<I>,
+) {
+    if let Some(p) = &inner.pulse {
+        p.shed_failover.inc();
+    }
+    job.reply.resolve(ServeOutcome::ShedFailover { from_shard });
 }
 
 fn dispatch_at_tier<I: Sync>(

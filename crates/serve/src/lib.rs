@@ -39,16 +39,23 @@ pub mod clock;
 pub mod degrade;
 pub mod epoch;
 pub mod front;
+pub mod lineage;
 pub mod metrics;
 pub mod queue;
+pub mod supervise;
 
 pub use admission::{TenantBuckets, TokenBucket};
-pub use audit::audit_serve_config;
+pub use audit::{
+    audit_serve_config, diag_conservation, diag_poison_quarantine, diag_restart_budget,
+    diag_shard_restart,
+};
 pub use clock::ServeClock;
 pub use degrade::{admission_watermark, regime_fingerprint, tier_for, DegradeTier, RegimeCache};
 pub use epoch::EpochCell;
 pub use front::{
     ModelSlot, Rejection, ServeConfig, ServeFront, ServeOutcome, ServeSummary, ServeTicket,
 };
+pub use lineage::{ConservationLedger, LineageAccounting};
 pub use metrics::ServePulse;
 pub use queue::ShardQueue;
+pub use supervise::{PanicRecord, ShardSlot, ShardState, SupervisorConfig};

@@ -38,6 +38,21 @@ pub struct ServePulse {
     pub panics: PulseCounter,
     /// Model hot-swap installs performed by workers.
     pub hotswap_installs: PulseCounter,
+    /// Worker deaths observed by the supervisor (panic escaped and the
+    /// shard went down).
+    pub shard_deaths: PulseCounter,
+    /// Supervisor restarts (dead-shard revivals plus wedged-worker
+    /// replacements).
+    pub shard_restarts: PulseCounter,
+    /// Shards retired after exhausting their restart budget.
+    pub shard_retired: PulseCounter,
+    /// Requests quarantined as poison pills.
+    pub poison_quarantined: PulseCounter,
+    /// Requests shed during failover (drained off a dead shard with no
+    /// live shard to take them).
+    pub shed_failover: PulseCounter,
+    /// Jobs drained off dead or wedged shards for re-placement.
+    pub drained: PulseCounter,
     /// Current admission tighten level (0 = wide open).
     pub tightened: PulseGauge,
     /// Dispatch latency (dequeue → completion), ns.
@@ -64,6 +79,12 @@ impl ServePulse {
             deadline_violations: c("deadline_violations"),
             panics: c("panics"),
             hotswap_installs: c("hotswap_installs"),
+            shard_deaths: c("shard_deaths"),
+            shard_restarts: c("shard_restarts"),
+            shard_retired: c("shard_retired"),
+            poison_quarantined: c("poison_quarantined"),
+            shed_failover: c("shed_failover"),
+            drained: c("drained"),
             tightened: registry.gauge(&format!("serve.{function}.tightened")),
             dispatch_latency_ns: registry.sketch(&format!("serve.{function}.dispatch_latency_ns")),
             queue_wait_ns: registry.sketch(&format!("serve.{function}.queue_wait_ns")),

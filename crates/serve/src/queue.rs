@@ -83,6 +83,20 @@ impl<J> ShardQueue<J> {
         self.inner.lock().expect("shard queue lock").closed = true;
         self.available.notify_all();
     }
+
+    /// Take every queued job at once, in priority order. Used by the
+    /// supervisor to rescue work off a dead shard's queue — the shard
+    /// has no worker left to pop, so the jobs must be re-placed or shed
+    /// by someone else.
+    pub fn drain(&self) -> Vec<J> {
+        let mut inner = self.inner.lock().expect("shard queue lock");
+        let mut out = Vec::new();
+        for lane in &mut inner.lanes {
+            out.extend(lane.drain(..));
+        }
+        self.depth.fetch_sub(out.len(), Ordering::SeqCst);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +124,20 @@ mod tests {
         assert_eq!(q.push(2, Priority::Standard), Err(2));
         assert_eq!(q.pop(), Some(1), "queued work survives close");
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drain_empties_all_lanes_in_priority_order() {
+        let q = ShardQueue::default();
+        q.push("batch", Priority::Batch).unwrap();
+        q.push("interactive", Priority::Interactive).unwrap();
+        q.push("standard", Priority::Standard).unwrap();
+        assert_eq!(q.drain(), vec!["interactive", "standard", "batch"]);
+        assert_eq!(q.depth(), 0);
+        assert!(q.drain().is_empty(), "second drain finds nothing");
+        // Draining does not close the queue.
+        q.push("late", Priority::Standard).unwrap();
+        assert_eq!(q.pop(), Some("late"));
     }
 
     #[test]

@@ -88,15 +88,17 @@ proptest! {
             hopeless_shedding: false,
             ..ServeConfig::default()
         };
+        let factory_runs = runs.clone();
+        let factory_gate = gate.clone();
         let front = ServeFront::start(
             config,
             GuardPolicy::default(),
             clock.clone(),
             None,
-            |_| {
+            move |_| {
                 let mut cv = CodeVariant::new("overload", &Context::new());
-                let runs = runs.clone();
-                let gate = gate.clone();
+                let runs = factory_runs.clone();
+                let gate = factory_gate.clone();
                 cv.add_variant(FnVariant::new("only", move |&x: &f64| {
                     runs.fetch_add(1, Ordering::SeqCst);
                     if x < 0.0 {

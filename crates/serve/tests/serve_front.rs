@@ -114,7 +114,10 @@ fn wall_clock_requests_are_served_within_budget() {
         GuardPolicy::default(),
         clock.clone(),
         Some(&registry),
-        |_| toy_cv(&Context::new(), runs.clone(), None),
+        {
+            let runs = runs.clone();
+            move |_| toy_cv(&Context::new(), runs.clone(), None)
+        },
     )
     .unwrap();
 
@@ -156,7 +159,10 @@ fn expired_at_the_door_is_rejected_before_costing_anything() {
         GuardPolicy::default(),
         clock.clone(),
         Some(&registry),
-        |_| toy_cv(&Context::new(), runs.clone(), None),
+        {
+            let runs = runs.clone();
+            move |_| toy_cv(&Context::new(), runs.clone(), None)
+        },
     )
     .unwrap();
 
@@ -186,8 +192,9 @@ fn burst_exhaustion_throttles_the_tenant() {
         tenant_rate_per_s: 0.001, // effectively no refill at a frozen clock
         ..test_config()
     };
-    let front = ServeFront::start(config, GuardPolicy::default(), clock.clone(), None, |_| {
-        toy_cv(&Context::new(), runs.clone(), None)
+    let front = ServeFront::start(config, GuardPolicy::default(), clock.clone(), None, {
+        let runs = runs.clone();
+        move |_| toy_cv(&Context::new(), runs.clone(), None)
     })
     .unwrap();
 
@@ -224,7 +231,11 @@ fn queue_watermarks_admit_by_priority() {
         GuardPolicy::default(),
         clock.clone(),
         Some(&registry),
-        |_| toy_cv(&Context::new(), runs.clone(), Some(gate.clone())),
+        {
+            let runs = runs.clone();
+            let gate = gate.clone();
+            move |_| toy_cv(&Context::new(), runs.clone(), Some(gate.clone()))
+        },
     )
     .unwrap();
 
@@ -285,7 +296,11 @@ fn deadline_shed_happens_before_dispatch_never_after() {
         GuardPolicy::default(),
         clock.clone(),
         Some(&registry),
-        |_| toy_cv(&Context::new(), runs.clone(), Some(gate.clone())),
+        {
+            let runs = runs.clone();
+            let gate = gate.clone();
+            move |_| toy_cv(&Context::new(), runs.clone(), Some(gate.clone()))
+        },
     )
     .unwrap();
 
@@ -337,7 +352,11 @@ fn hopeless_requests_are_shed_against_the_service_estimate() {
         GuardPolicy::default(),
         clock.clone(),
         Some(&registry),
-        |_| toy_cv(&Context::new(), runs.clone(), Some(gate.clone())),
+        {
+            let runs = runs.clone();
+            let gate = gate.clone();
+            move |_| toy_cv(&Context::new(), runs.clone(), Some(gate.clone()))
+        },
     )
     .unwrap();
 
@@ -381,7 +400,10 @@ fn hot_swap_mid_stream_changes_decisions_without_a_restart() {
         GuardPolicy::default(),
         clock.clone(),
         Some(&registry),
-        |_| toy_cv(&Context::new(), runs.clone(), None),
+        {
+            let runs = runs.clone();
+            move |_| toy_cv(&Context::new(), runs.clone(), None)
+        },
     )
     .unwrap();
     assert_eq!(front.model_version(), 0);
@@ -439,13 +461,10 @@ fn page_alerts_tighten_admission_and_relax_restores_it() {
         max_tighten: 2,
         ..test_config()
     };
-    let front = ServeFront::start(
-        config,
-        GuardPolicy::default(),
-        clock,
-        Some(&registry),
-        |_| toy_cv(&Context::new(), runs.clone(), None),
-    )
+    let front = ServeFront::start(config, GuardPolicy::default(), clock, Some(&registry), {
+        let runs = runs.clone();
+        move |_| toy_cv(&Context::new(), runs.clone(), None)
+    })
     .unwrap();
 
     let page = PulseAlert {
@@ -499,15 +518,18 @@ fn startup_refuses_mismatched_shards_and_unserveable_configs() {
         GuardPolicy::default(),
         clock.clone(),
         None,
-        |shard| {
-            let ctx = Context::new();
-            if shard == 0 {
-                toy_cv(&ctx, runs.clone(), None)
-            } else {
-                let mut cv = CodeVariant::new("imposter", &ctx);
-                cv.add_variant(FnVariant::new("v", |&x: &f64| x));
-                cv.set_default(0);
-                cv
+        {
+            let runs = runs.clone();
+            move |shard| {
+                let ctx = Context::new();
+                if shard == 0 {
+                    toy_cv(&ctx, runs.clone(), None)
+                } else {
+                    let mut cv = CodeVariant::new("imposter", &ctx);
+                    cv.add_variant(FnVariant::new("v", |&x: &f64| x));
+                    cv.set_default(0);
+                    cv
+                }
             }
         },
     ) {

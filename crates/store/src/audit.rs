@@ -13,6 +13,7 @@
 //! | `NITRO073` | warning | stale candidate: shadow window did not fill before `max_candidate_age` observations; candidate demoted |
 //! | `NITRO074` | warning | post-promotion regression: probation window regressed, promotion auto-rolled back |
 //! | `NITRO075` | error | rollback storm: repeated auto-rollbacks; promotions held until an operator intervenes |
+//! | `NITRO113` | error | filesystem retry budget exhausted: a transient-looking fault persisted and is surfaced as permanent |
 
 use nitro_core::diag::registry::codes;
 use nitro_core::Diagnostic;
@@ -97,6 +98,24 @@ pub fn diag_rollback_storm(function: &str, rollbacks: u64, threshold: u64) -> Di
     )
 }
 
+/// `NITRO113`: a bounded retry rode out as many transient I/O faults as
+/// its budget allowed and the fault persisted — surfaced as permanent
+/// instead of looping forever.
+pub fn diag_retry_exhausted(
+    subject: &str,
+    op: &str,
+    attempts: u32,
+    last_error: &str,
+) -> Diagnostic {
+    Diagnostic::error(
+        codes::NITRO113,
+        subject,
+        format!(
+            "filesystem retry budget exhausted: {op} still failing after {attempts} attempt(s); last error: {last_error}"
+        ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +141,11 @@ mod tests {
         assert_eq!(diag_rollback("f", 1.0, 1.0, 0.05).code, "NITRO074");
         assert_eq!(diag_rollback_storm("f", 3, 3).code, "NITRO075");
         assert_eq!(diag_rollback_storm("f", 3, 3).severity, Severity::Error);
+        assert_eq!(diag_retry_exhausted("p", "o", 4, "e").code, "NITRO113");
+        assert_eq!(
+            diag_retry_exhausted("p", "o", 4, "e").severity,
+            Severity::Error
+        );
     }
 
     #[test]

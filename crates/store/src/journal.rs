@@ -34,11 +34,15 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use nitro_core::{crc32, Diagnostic, NitroError, Objective, Result};
+use nitro_core::{
+    crc32, Diagnostic, FsFault, FsOp, FsPolicy, NitroError, Objective, Result, RetryPolicy,
+};
 use serde::{Deserialize, Serialize};
 
-use crate::audit::{diag_journal_checksum, diag_torn_journal};
+use crate::audit::{diag_journal_checksum, diag_retry_exhausted, diag_torn_journal};
+use crate::store::path_salt;
 
 /// Journal format version written by this build. A journal recorded by
 /// a *newer* format refuses to replay (forward compatibility is not
@@ -273,6 +277,8 @@ pub struct TuningJournal {
     recovery: Vec<Diagnostic>,
     appends: u64,
     kill_after_appends: Option<u64>,
+    fs_policy: Option<Arc<dyn FsPolicy>>,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for TuningJournal {
@@ -352,7 +358,23 @@ impl TuningJournal {
             recovery,
             appends: 0,
             kill_after_appends: None,
+            fs_policy: None,
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Install (or clear) the fault-injection seam consulted before
+    /// every append. Open/replay itself is never faulted — attach the
+    /// policy after opening, the way a chaos harness wraps a healthy
+    /// journal.
+    pub fn set_fs_policy(&mut self, policy: Option<Arc<dyn FsPolicy>>) {
+        self.fs_policy = policy;
+    }
+
+    /// Replace the bounded retry/backoff policy used when an injected
+    /// transient fault (e.g. `ENOSPC`) blocks an append.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// The journal's on-disk path.
@@ -414,7 +436,17 @@ impl TuningJournal {
     }
 
     /// Append one record (buffered write + flush). Honors the
-    /// [`TuningJournal::kill_after_appends`] crash hook.
+    /// [`TuningJournal::kill_after_appends`] crash hook and consults the
+    /// fault policy, if any:
+    ///
+    /// * an injected [`FsFault::TornWrite`] lands a *partial* line (no
+    ///   newline) and fails with `ErrorKind::Interrupted` — **never
+    ///   retried**, because a retry would append a complete line after
+    ///   the partial bytes and merge the two into one invalid record.
+    ///   Reopening truncates the torn tail (`NITRO070`) and resumes.
+    /// * transient faults (`ENOSPC`-shaped) land no bytes and are
+    ///   retried with deterministic jitter up to the retry budget;
+    ///   exhaustion is typed as `NITRO113`.
     pub fn append(&mut self, record: &JournalRecord) -> Result<()> {
         let line = encode_line(record)?;
         if self.kill_after_appends == Some(self.appends) {
@@ -427,6 +459,38 @@ impl TuningJournal {
                 std::io::ErrorKind::Interrupted,
                 format!("simulated crash after {} append(s)", self.appends),
             )));
+        }
+        if let Some(policy) = self.fs_policy.clone() {
+            let max = self.retry.max_attempts.max(1);
+            let mut attempt = 0;
+            loop {
+                attempt += 1;
+                match policy.fault(FsOp::Write, &self.path) {
+                    None => break,
+                    Some(FsFault::TornWrite) => {
+                        let torn = &line.as_bytes()[..line.len() / 2];
+                        self.file.write_all(torn)?;
+                        self.file.flush()?;
+                        return Err(NitroError::Io(FsFault::TornWrite.to_error(&self.path)));
+                    }
+                    Some(fault) => {
+                        if attempt >= max {
+                            return Err(NitroError::Audit {
+                                diagnostics: vec![diag_retry_exhausted(
+                                    &self.path.display().to_string(),
+                                    "journal append",
+                                    attempt,
+                                    &fault.to_error(&self.path).to_string(),
+                                )],
+                            });
+                        }
+                        let pause = self.retry.backoff_ns(path_salt(&self.path), attempt);
+                        if pause > 0 {
+                            std::thread::sleep(std::time::Duration::from_nanos(pause));
+                        }
+                    }
+                }
+            }
         }
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
@@ -602,6 +666,64 @@ mod tests {
         }
         let j = TuningJournal::open(&path).unwrap();
         assert_eq!(j.recovery_diagnostics().len(), 1);
+        assert!(j.replay().cell(0, 0).is_some());
+        assert!(j.replay().cell(0, 1).is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn injected_torn_append_is_never_retried_and_recovers_on_reopen() {
+        use nitro_core::ChaosFs;
+        let dir = temp_model_dir("journal-chaos-torn").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        {
+            let mut j = TuningJournal::open(&path).unwrap();
+            j.begin(&header(4)).unwrap();
+            j.append(&cell(0, 0, 1.0)).unwrap();
+            // Probability-1 torn writes: the very next append tears.
+            j.set_fs_policy(Some(Arc::new(ChaosFs::with_probs(9, 1.0, 0.0, 0.0, 0.0))));
+            let err = j.append(&cell(0, 1, 2.0)).unwrap_err();
+            let NitroError::Io(io) = &err else {
+                panic!("torn append must surface as Io, got {err}");
+            };
+            assert_eq!(io.kind(), std::io::ErrorKind::Interrupted, "{io}");
+        }
+        // Reopen: the torn tail is truncated (NITRO070), the durable
+        // prefix survives bit-identically, and appends continue.
+        let mut j = TuningJournal::open(&path).unwrap();
+        assert_eq!(j.recovery_diagnostics().len(), 1);
+        assert_eq!(j.recovery_diagnostics()[0].code, "NITRO070");
+        assert_eq!(j.replay().cell(0, 0).unwrap().cost, Some(1.0));
+        assert!(j.replay().cell(0, 1).is_none());
+        j.append(&cell(0, 1, 2.0)).unwrap();
+        let j = TuningJournal::open(&path).unwrap();
+        assert!(j.recovery_diagnostics().is_empty());
+        assert_eq!(j.replay().cell(0, 1).unwrap().cost, Some(2.0));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn transient_append_faults_are_retried_and_exhaustion_is_typed() {
+        use nitro_core::{ChaosFs, RetryPolicy};
+        let dir = temp_model_dir("journal-chaos-enospc").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        let mut j = TuningJournal::open(&path).unwrap();
+        j.begin(&header(4)).unwrap();
+        j.set_retry(RetryPolicy {
+            max_attempts: 10,
+            backoff_base_ns: 10,
+            ..RetryPolicy::default()
+        });
+        // Flaky ENOSPC: the bounded retry rides it out.
+        j.set_fs_policy(Some(Arc::new(ChaosFs::with_probs(11, 0.0, 0.5, 0.0, 0.0))));
+        j.append(&cell(0, 0, 1.0)).unwrap();
+        // Permanent ENOSPC: budget exhausts and surfaces as NITRO113.
+        j.set_fs_policy(Some(Arc::new(ChaosFs::with_probs(11, 0.0, 1.0, 0.0, 0.0))));
+        let err = j.append(&cell(0, 1, 2.0)).unwrap_err();
+        assert!(err.to_string().contains("NITRO113"), "{err}");
+        // Nothing landed for the failed append; the journal stays valid.
+        let j = TuningJournal::open(&path).unwrap();
+        assert!(j.recovery_diagnostics().is_empty());
         assert!(j.replay().cell(0, 0).is_some());
         assert!(j.replay().cell(0, 1).is_none());
         std::fs::remove_dir_all(dir).ok();

@@ -18,11 +18,25 @@
 //! automatic, see [`crate::promote`]) [`ArtifactStore::rollback`].
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use nitro_core::{atomic_write, crc32, Diagnostic, ModelArtifact, NitroError, Result};
+use nitro_core::{
+    atomic_write_with, crc32, fs_read, mix64, Diagnostic, FsPolicy, ModelArtifact, NitroError,
+    Result, RetryPolicy,
+};
 use serde::{Deserialize, Serialize};
 
-use crate::audit::{diag_version_checksum, diag_version_gap};
+use crate::audit::{diag_retry_exhausted, diag_version_checksum, diag_version_gap};
+
+/// Deterministic per-path retry-jitter salt: different files decorrelate
+/// their backoff schedules, the same file replays the same one.
+pub(crate) fn path_salt(path: &Path) -> u64 {
+    let mut h = 0xA57F_5A17u64;
+    for b in path.as_os_str().as_encoded_bytes() {
+        h = mix64(h ^ u64::from(*b));
+    }
+    h
+}
 
 /// One published version's manifest entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,6 +116,8 @@ pub struct ArtifactStore {
     dir: PathBuf,
     manifest: Manifest,
     tracer: Option<nitro_trace::Tracer>,
+    fs_policy: Option<Arc<dyn FsPolicy>>,
+    retry: RetryPolicy,
 }
 
 impl ArtifactStore {
@@ -136,7 +152,51 @@ impl ArtifactStore {
             dir,
             manifest,
             tracer: None,
+            fs_policy: None,
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Install (or clear) the fault-injection seam every subsequent
+    /// store read and write consults. `open` itself is never faulted —
+    /// attach the policy after opening, the way a chaos harness wraps a
+    /// healthy store.
+    pub fn set_fs_policy(&mut self, policy: Option<Arc<dyn FsPolicy>>) {
+        self.fs_policy = policy;
+    }
+
+    /// Replace the bounded retry/backoff policy used for transient I/O
+    /// faults ([`RetryPolicy::none`] disables retries entirely).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Atomic write through the policy seam with bounded retry.
+    /// Transient faults are retried with deterministic jitter; an
+    /// exhausted budget is typed (`NITRO113`) rather than looped on,
+    /// and non-retryable errors surface as plain I/O.
+    fn retried_write(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let policy = self.fs_policy.as_deref();
+        // retry_torn: an injected tear lands in the invisible temp file,
+        // never the target, so re-attempting an *atomic* write is safe.
+        let (result, attempts) = self.retry.run(path_salt(path), true, || {
+            atomic_write_with(path, bytes, policy).map_err(|e| match e {
+                NitroError::Io(io) => io,
+                other => std::io::Error::other(other.to_string()),
+            })
+        });
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) if attempts > 1 || nitro_core::is_retryable(&e) => Err(NitroError::Audit {
+                diagnostics: vec![diag_retry_exhausted(
+                    &path.display().to_string(),
+                    "atomic write",
+                    attempts,
+                    &e.to_string(),
+                )],
+            }),
+            Err(e) => Err(NitroError::Io(e)),
+        }
     }
 
     /// Emit `store.<fn>.*` counters and `store:<fn>` instants through a
@@ -195,7 +255,7 @@ impl ArtifactStore {
 
     fn save_manifest(&self) -> Result<()> {
         let json = serde_json::to_string_pretty(&self.manifest)?;
-        atomic_write(self.dir.join("manifest.json"), json.as_bytes())
+        self.retried_write(&self.dir.join("manifest.json"), json.as_bytes())
     }
 
     /// Publish an artifact as the next version and move `latest` to it.
@@ -214,7 +274,12 @@ impl ArtifactStore {
         let version = self.manifest.next_version;
         let json = artifact.to_json()?;
         let bytes = json.as_bytes();
-        atomic_write(self.version_path(version), bytes)?;
+        self.retried_write(&self.version_path(version), bytes)?;
+        // Mutate the in-memory manifest only after the artifact landed,
+        // and restore the snapshot if persisting the manifest fails —
+        // otherwise a failed publish leaves `latest` pointing at a
+        // version the on-disk manifest never adopted.
+        let snapshot = self.manifest.clone();
         self.manifest.versions.push(StoredVersion {
             version,
             crc: crc32(bytes),
@@ -225,7 +290,10 @@ impl ArtifactStore {
         self.manifest.latest = Some(version);
         self.manifest
             .push_event("publish", Some(version), note.to_string());
-        self.save_manifest()?;
+        if let Err(e) = self.save_manifest() {
+            self.manifest = snapshot;
+            return Err(e);
+        }
         self.note_event("publish", Some(version));
         Ok(version)
     }
@@ -239,8 +307,22 @@ impl ArtifactStore {
             return Err(diag_version_gap(f, version, "is not in the manifest"));
         };
         let path = self.version_path(version);
-        let bytes = std::fs::read(&path)
-            .map_err(|e| diag_version_gap(f, version, &format!("file is missing ({e})")))?;
+        let policy = self.fs_policy.as_deref();
+        let (read, attempts) = self
+            .retry
+            .run(path_salt(&path), false, || fs_read(&path, policy));
+        let bytes = read.map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                diag_version_gap(f, version, &format!("file is missing ({e})"))
+            } else {
+                diag_retry_exhausted(
+                    &path.display().to_string(),
+                    "read",
+                    attempts,
+                    &e.to_string(),
+                )
+            }
+        })?;
         let actual = crc32(&bytes);
         if actual != entry.crc {
             return Err(diag_version_checksum(f, version, entry.crc, actual));
@@ -317,6 +399,7 @@ impl ArtifactStore {
             });
         }
         let from = self.manifest.latest;
+        let snapshot = self.manifest.clone();
         self.manifest.latest = Some(to);
         self.manifest.push_event(
             "rollback",
@@ -326,7 +409,10 @@ impl ArtifactStore {
                 from.map_or_else(|| "(none)".into(), |v| format!("v{v}"))
             ),
         );
-        self.save_manifest()?;
+        if let Err(e) = self.save_manifest() {
+            self.manifest = snapshot;
+            return Err(e);
+        }
         self.note_event("rollback", Some(to));
         Ok(())
     }
@@ -340,6 +426,7 @@ impl ArtifactStore {
         }
         let cut = self.manifest.versions.len() - keep;
         let latest = self.manifest.latest;
+        let snapshot = self.manifest.clone();
         let mut removed = Vec::new();
         let mut kept = Vec::new();
         for (i, v) in self.manifest.versions.drain(..).enumerate() {
@@ -350,9 +437,6 @@ impl ArtifactStore {
             }
         }
         self.manifest.versions = kept;
-        for &version in &removed {
-            std::fs::remove_file(self.version_path(version)).ok();
-        }
         if !removed.is_empty() {
             let detail = format!(
                 "removed {}",
@@ -363,7 +447,16 @@ impl ArtifactStore {
                     .join(", ")
             );
             self.manifest.push_event("gc", None, detail);
-            self.save_manifest()?;
+            // Persist the shrunk manifest *before* deleting any file: a
+            // failure here must not leave the manifest listing versions
+            // whose files are gone.
+            if let Err(e) = self.save_manifest() {
+                self.manifest = snapshot;
+                return Err(e);
+            }
+            for &version in &removed {
+                std::fs::remove_file(self.version_path(version)).ok();
+            }
             self.note_event("gc", None);
         }
         Ok(removed)
@@ -608,6 +701,90 @@ mod tests {
         assert!(store.load(1).is_ok(), "latest must survive gc");
         assert!(store.load(2).is_err());
         assert!(store.verify().is_empty());
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn publish_rides_out_transient_faults_and_stays_intact() {
+        use nitro_core::{ChaosFs, RetryPolicy};
+        let root = temp_model_dir("store-chaos-flaky").unwrap();
+        let mut store = ArtifactStore::open(&root, "toy").unwrap();
+        store.set_retry(RetryPolicy {
+            max_attempts: 16,
+            backoff_base_ns: 10,
+            ..RetryPolicy::default()
+        });
+        // A mix of torn writes, ENOSPC and failed renames, none
+        // permanent: every publish eventually lands, and nothing a
+        // reader can observe is ever torn.
+        store.set_fs_policy(Some(Arc::new(ChaosFs::with_probs(3, 0.2, 0.2, 0.1, 0.2))));
+        for i in 0..4u32 {
+            let v = store
+                .publish(&artifact("toy", f64::from(i)), "tune")
+                .unwrap();
+            assert_eq!(v, u64::from(i) + 1);
+        }
+        assert_eq!(store.latest(), Some(4));
+        // Verification reads also pass through the (flaky) seam.
+        assert!(store.verify().is_empty());
+        // The store reopens clean with no policy attached.
+        let clean = ArtifactStore::open(&root, "toy").unwrap();
+        assert!(clean.verify().is_empty());
+        assert_eq!(clean.load_latest().unwrap().unwrap(), artifact("toy", 3.0));
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn exhausted_publish_is_typed_and_leaves_the_store_consistent() {
+        use nitro_core::{ChaosFs, RetryPolicy};
+        let root = temp_model_dir("store-chaos-bricked").unwrap();
+        let mut store = ArtifactStore::open(&root, "toy").unwrap();
+        store.publish(&artifact("toy", 0.0), "tune").unwrap();
+        store.set_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ns: 0,
+            ..RetryPolicy::default()
+        });
+        // Probability-1 ENOSPC: the budget exhausts, typed as NITRO113,
+        // and the in-memory manifest snaps back to the published state.
+        store.set_fs_policy(Some(Arc::new(ChaosFs::with_probs(7, 0.0, 1.0, 0.0, 0.0))));
+        let err = store.publish(&artifact("toy", 1.0), "retrain").unwrap_err();
+        assert!(err.to_string().contains("NITRO113"), "{err}");
+        assert_eq!(store.latest(), Some(1));
+        assert_eq!(store.versions().len(), 1);
+        store.set_fs_policy(None);
+        assert!(store.verify().is_empty());
+        assert_eq!(store.load_latest().unwrap().unwrap(), artifact("toy", 0.0));
+        // On-disk state agrees: reopening sees only the first publish.
+        let reopened = ArtifactStore::open(&root, "toy").unwrap();
+        assert_eq!(reopened.latest(), Some(1));
+        assert_eq!(reopened.versions().len(), 1);
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn permanent_read_faults_surface_as_retry_exhaustion() {
+        use nitro_core::{ChaosFs, RetryPolicy};
+        let root = temp_model_dir("store-chaos-read").unwrap();
+        let mut store = ArtifactStore::open(&root, "toy").unwrap();
+        store.publish(&artifact("toy", 0.0), "tune").unwrap();
+        store.set_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ns: 0,
+            ..RetryPolicy::default()
+        });
+        store.set_fs_policy(Some(Arc::new(ChaosFs::with_probs(5, 0.0, 0.0, 1.0, 0.0))));
+        let err = store.load(1).unwrap_err();
+        assert!(err.to_string().contains("NITRO113"), "{err}");
+        // load_latest_intact degrades gracefully: nothing intact under a
+        // total read outage, and the damage is reported, not hidden.
+        let (loaded, diags) = store.load_latest_intact();
+        assert!(loaded.is_none());
+        assert!(diags.iter().any(|d| d.code == "NITRO113"), "{diags:?}");
+        // Clearing the policy restores the store untouched.
+        store.set_fs_policy(None);
+        assert!(store.verify().is_empty());
+        assert_eq!(store.load_latest().unwrap().unwrap(), artifact("toy", 0.0));
         std::fs::remove_dir_all(root).ok();
     }
 

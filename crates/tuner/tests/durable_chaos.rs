@@ -1,0 +1,151 @@
+//! Property: durable tuning under *composed* failure — a simulated
+//! crash at an arbitrary journal offset (`kill_after_appends`) followed
+//! by resume attempts whose appends run under a seeded [`ChaosFs`]
+//! fault policy — either converges to the **bit-identical** artifact an
+//! uninterrupted run produces, or surfaces a *typed* error (torn-write
+//! `Io` or a `NITRO113` retry-exhaustion audit). Never a silently
+//! divergent model, never an unrecoverable journal: a final clean run
+//! must always succeed from whatever the faulted runs left on disk.
+
+use std::sync::Arc;
+
+use nitro_core::context::temp_model_dir;
+use nitro_core::{
+    ChaosFs, ClassifierConfig, CodeVariant, Context, FnFeature, FnVariant, NitroError, RetryPolicy,
+};
+use nitro_store::TuningJournal;
+use nitro_tuner::Autotuner;
+use proptest::prelude::*;
+
+fn toy(ctx: &Context) -> CodeVariant<f64> {
+    let mut cv = CodeVariant::new("toy", ctx);
+    cv.add_variant(FnVariant::new("rising", |&x: &f64| 1.0 + x));
+    cv.add_variant(FnVariant::new("falling", |&x: &f64| 11.0 - x));
+    cv.set_default(0);
+    cv.add_input_feature(FnFeature::new("x", |&x: &f64| x));
+    cv.policy_mut().classifier = ClassifierConfig::Svm {
+        c: Some(10.0),
+        gamma: Some(1.0),
+        grid_search: false,
+        cache_bytes: None,
+    };
+    cv
+}
+
+fn training_inputs() -> Vec<f64> {
+    (0..24).map(|i| i as f64 * 0.4).collect()
+}
+
+fn artifact_bytes(cv: &CodeVariant<f64>) -> String {
+    cv.export_artifact().unwrap().to_json().unwrap()
+}
+
+/// A faulted run may fail only in one of the typed ways; anything else
+/// (a `ModelMismatch`, say) would mean corruption was misread as a
+/// different run's journal.
+fn assert_typed(err: &NitroError) -> Result<(), TestCaseError> {
+    match err {
+        NitroError::Io(_) => Ok(()),
+        NitroError::Audit { diagnostics } => {
+            prop_assert!(
+                diagnostics.iter().all(|d| d.code == "NITRO113"),
+                "faulted append may only exhaust retries (NITRO113): {diagnostics:?}"
+            );
+            Ok(())
+        }
+        other => Err(TestCaseError::fail(format!(
+            "fault surfaced as an untyped error: {other}"
+        ))),
+    }
+}
+
+proptest! {
+    #[test]
+    fn crashed_then_faulted_tuning_resumes_bit_identical_or_types_the_error(
+        seed in 0u64..u64::MAX,
+        kill_at in 1u64..60,
+        torn_p in 0.0f64..0.35,
+        enospc_p in 0.0f64..0.35,
+    ) {
+        let dir = temp_model_dir("durable-chaos").unwrap();
+        let path = dir.join("toy.journal.jsonl");
+        let ctx = Context::new();
+        let inputs = training_inputs();
+
+        // The uninterrupted run every resumed run must reproduce.
+        let mut reference = toy(&ctx);
+        Autotuner::new().tune(&mut reference, &inputs).unwrap();
+        let reference = artifact_bytes(&reference);
+
+        // Run 1: crash at an arbitrary journal offset. The kill hook
+        // tears the tail exactly as a mid-write kill would, so it must
+        // surface as Io — or the run finishes because the journal never
+        // reached `kill_at` appends.
+        {
+            let mut cv = toy(&ctx);
+            let mut journal = TuningJournal::open(&path).unwrap();
+            journal.kill_after_appends(kill_at);
+            match Autotuner::new().tune_durable(&mut cv, &inputs, &mut journal) {
+                Ok(_) => prop_assert_eq!(&artifact_bytes(&cv), &reference),
+                Err(NitroError::Io(_)) => {}
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!(
+                        "kill hook must surface as Io, got {other}"
+                    )));
+                }
+            }
+        }
+
+        // Runs 2..: resume with chaos-faulted appends. Each attempt
+        // either completes bit-identically or fails typed; reopen-time
+        // recovery may only ever be a torn tail or a checksum truncation.
+        let mut converged = false;
+        for attempt in 0..6u64 {
+            let mut cv = toy(&ctx);
+            let mut journal = TuningJournal::open(&path).unwrap();
+            prop_assert!(
+                journal
+                    .recovery_diagnostics()
+                    .iter()
+                    .all(|d| d.code == "NITRO070" || d.code == "NITRO071"),
+                "unexpected recovery: {:?}",
+                journal.recovery_diagnostics()
+            );
+            journal.set_fs_policy(Some(Arc::new(ChaosFs::with_probs(
+                seed.wrapping_add(attempt),
+                torn_p,
+                enospc_p,
+                0.0,
+                0.0,
+            ))));
+            journal.set_retry(RetryPolicy {
+                max_attempts: 3,
+                backoff_base_ns: 10,
+                ..RetryPolicy::default()
+            });
+            match Autotuner::new().tune_durable(&mut cv, &inputs, &mut journal) {
+                Ok(_) => {
+                    prop_assert_eq!(&artifact_bytes(&cv), &reference,
+                        "a faulted-but-completed resume diverged");
+                    converged = true;
+                    break;
+                }
+                Err(err) => assert_typed(&err)?,
+            }
+        }
+
+        // However the faulted attempts went, a clean resume always
+        // converges to the reference artifact from what's on disk.
+        if !converged {
+            let mut cv = toy(&ctx);
+            let mut journal = TuningJournal::open(&path).unwrap();
+            Autotuner::new()
+                .tune_durable(&mut cv, &inputs, &mut journal)
+                .unwrap();
+            prop_assert_eq!(&artifact_bytes(&cv), &reference,
+                "clean resume after chaos diverged");
+        }
+
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
